@@ -1,0 +1,80 @@
+//! Criterion benches of the raw engine primitives on the **native**
+//! backend — these measure real wall-clock throughput of the vectorized
+//! kernels on the build machine (no simulated time involved), which is
+//! what makes the Figure 16 "software design" comparison credible.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use rapid_qef::exec::{CoreCtx, ExecContext};
+use rapid_qef::ops::join::JoinTable;
+use rapid_qef::primitives::filter::{cmp_const_bv, CmpOp};
+use rapid_qef::primitives::hash::hash_rows;
+use rapid_storage::vector::{ColumnData, Vector};
+
+fn native_core() -> CoreCtx {
+    CoreCtx::new(&ExecContext::native(1), 0)
+}
+
+fn bench_filter(c: &mut Criterion) {
+    let mut g = c.benchmark_group("native_filter");
+    for &n in &[4096usize, 65_536] {
+        let col = Vector::new(ColumnData::I32((0..n as i32).collect()));
+        g.throughput(Throughput::Elements(n as u64));
+        g.bench_with_input(BenchmarkId::from_parameter(n), &col, |b, col| {
+            let mut core = native_core();
+            b.iter(|| cmp_const_bv(&mut core, col, CmpOp::Lt, (col.len() / 2) as i64));
+        });
+    }
+    g.finish();
+}
+
+fn bench_hash(c: &mut Criterion) {
+    let mut g = c.benchmark_group("native_crc32_hash");
+    let n = 65_536usize;
+    let col = Vector::new(ColumnData::I64((0..n as i64).collect()));
+    g.throughput(Throughput::Elements(n as u64));
+    g.bench_function("single_key", |b| {
+        let mut core = native_core();
+        b.iter(|| hash_rows(&mut core, &[&col]));
+    });
+    g.finish();
+}
+
+fn bench_join_kernel(c: &mut Criterion) {
+    let mut g = c.benchmark_group("native_join_kernel");
+    g.sample_size(20);
+    let n = 2048usize; // one DMEM-sized kernel
+    let build = Vector::new(ColumnData::I64((0..n as i64).collect()));
+    let probe = Vector::new(ColumnData::I64((0..n as i64).map(|i| i * 2).collect()));
+    g.throughput(Throughput::Elements(n as u64));
+    g.bench_function("build", |b| {
+        let mut core = native_core();
+        b.iter(|| JoinTable::build(&mut core, &[&build], n, false).expect("build"));
+    });
+    g.bench_function("build_probe_50pct_hit", |b| {
+        let mut core = native_core();
+        b.iter(|| {
+            let (t, _) = JoinTable::build(&mut core, &[&build], n, false).expect("build");
+            t.probe(&mut core, &[&probe], &mut |_, _| {}).expect("probe")
+        });
+    });
+    g.finish();
+}
+
+fn bench_sort(c: &mut Criterion) {
+    use rapid_qef::ops::sort::sort_batch;
+    use rapid_qef::plan::SortKey;
+    let mut g = c.benchmark_group("native_radix_sort");
+    let n = 65_536usize;
+    let batch = rapid_qef::batch::Batch::new(vec![Vector::new(ColumnData::I64(
+        (0..n as i64).map(|i| (i.wrapping_mul(2_654_435_761)) % 1_000_000).collect(),
+    ))]);
+    g.throughput(Throughput::Elements(n as u64));
+    g.bench_function("i64_asc", |b| {
+        let mut core = native_core();
+        b.iter(|| sort_batch(&mut core, &batch, &[SortKey { col: 0, desc: false }]).expect("sort"));
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_filter, bench_hash, bench_join_kernel, bench_sort);
+criterion_main!(benches);

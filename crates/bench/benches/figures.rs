@@ -1,0 +1,57 @@
+//! Criterion benches wrapping the figure harness — one group per paper
+//! table/figure, small inputs so `cargo bench` completes quickly. The
+//! `figures` binary is the full-size regeneration path.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use rapid_bench as bench;
+use rapid_qef::exec::ExecContext;
+
+fn micro_figures(c: &mut Criterion) {
+    let mut g = c.benchmark_group("micro");
+    g.sample_size(10);
+    g.bench_function("fig08_hw_partitioning", |b| {
+        b.iter(|| bench::fig08_hw_partitioning(1 << 16))
+    });
+    g.bench_function("fig09_dms_speed", |b| b.iter(|| bench::fig09_dms_speed(1 << 16)));
+    g.bench_function("filter_microbench", |b| b.iter(|| bench::filter_microbench(1 << 16)));
+    g.finish();
+}
+
+fn operator_figures(c: &mut Criterion) {
+    let mut g = c.benchmark_group("operators");
+    g.sample_size(10);
+    g.bench_function("fig10_sw_partitioning", |b| {
+        b.iter(|| bench::fig10_sw_partitioning(1 << 12))
+    });
+    g.bench_function("fig11_join_build", |b| b.iter(|| bench::fig11_join_build(1 << 13)));
+    g.bench_function("fig12_join_probe", |b| b.iter(|| bench::fig12_join_probe(1 << 13)));
+    g.finish();
+}
+
+fn tpch_figures(c: &mut Criterion) {
+    let (db, catalog) = bench::setup_tpch(0.002, ExecContext::native(2));
+    let mut g = c.benchmark_group("tpch");
+    g.sample_size(10);
+    g.bench_function("fig13_vectorization", |b| {
+        b.iter(|| bench::fig13_vectorization(&catalog))
+    });
+    g.bench_function("fig14_15_16_all_engines", |b| {
+        b.iter(|| bench::run_tpch_all_engines(&db, &catalog, 1))
+    });
+    g.finish();
+}
+
+fn ablation_figures(c: &mut Criterion) {
+    let mut g = c.benchmark_group("ablations");
+    g.sample_size(10);
+    g.bench_function("rid_vs_bitvector", |b| {
+        b.iter(|| bench::ablation_rid_vs_bitvector(1 << 14))
+    });
+    g.bench_function("skew_resilience", |b| {
+        b.iter(|| bench::ablation_skew_resilience(1 << 12))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, micro_figures, operator_figures, tpch_figures, ablation_figures);
+criterion_main!(benches);

@@ -1,0 +1,65 @@
+//! A simulated dpCore: identity, cycle account and scratchpad.
+
+use crate::account::CycleAccount;
+use crate::dmem::Dmem;
+
+/// One data processing core of the DPU.
+///
+/// The core owns its [`CycleAccount`] (work it performed) and its [`Dmem`]
+/// budget. Real computation happens in the query engine's primitives, which
+/// borrow the core to charge costs and allocate scratch buffers.
+#[derive(Debug)]
+pub struct DpCore {
+    id: usize,
+    /// Accrued simulated work.
+    pub account: CycleAccount,
+    /// The core's 32 KiB scratchpad budget.
+    pub dmem: Dmem,
+}
+
+impl DpCore {
+    /// Create core `id` with a fresh account and a standard 32 KiB DMEM.
+    pub fn new(id: usize) -> Self {
+        DpCore { id, account: CycleAccount::new(), dmem: Dmem::new() }
+    }
+
+    /// Create core `id` with a custom DMEM capacity (capacity sweeps).
+    pub fn with_dmem_capacity(id: usize, dmem_bytes: usize) -> Self {
+        DpCore { id, account: CycleAccount::new(), dmem: Dmem::with_capacity(dmem_bytes) }
+    }
+
+    /// The core's id (0..32 on a full DPU).
+    pub fn id(&self) -> usize {
+        self.id
+    }
+
+    /// Which 8-core macro this core belongs to.
+    pub fn macro_id(&self) -> usize {
+        self.id / crate::ate::CORES_PER_MACRO
+    }
+
+    /// Reset the account for a new pipeline stage.
+    pub fn reset_account(&mut self) {
+        self.account.reset();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn core_has_32kib_dmem() {
+        let c = DpCore::new(3);
+        assert_eq!(c.id(), 3);
+        assert_eq!(c.dmem.capacity(), 32 * 1024);
+        assert_eq!(c.macro_id(), 0);
+        assert_eq!(DpCore::new(31).macro_id(), 3);
+    }
+
+    #[test]
+    fn custom_dmem_capacity() {
+        let c = DpCore::with_dmem_capacity(0, 1024);
+        assert_eq!(c.dmem.capacity(), 1024);
+    }
+}

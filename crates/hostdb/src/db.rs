@@ -1,0 +1,605 @@
+//! The assembled host database with RAPID attached.
+//!
+//! [`HostDb`] owns the row store (single source of truth), the RAPID node
+//! (a `rapid-qef` engine on either backend), the offload planner, and the
+//! background checkpointer that ships journal changes to RAPID (§3.3).
+//! `execute_sql` is the end-to-end path: parse → plan → offload decision →
+//! admission check (SCNs) → RAPID execution with host fallback.
+
+use parking_lot::RwLock;
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use rapid_qcomp::cost::CostParams;
+use rapid_qcomp::logical::LogicalPlan;
+use rapid_qef::engine::Engine;
+use rapid_qef::exec::ExecContext;
+use rapid_qef::plan::ColMeta;
+use rapid_storage::schema::Schema;
+use rapid_storage::scn::{RowChange, Scn};
+use rapid_storage::table::TableBuilder;
+use rapid_storage::types::{DataType, Value};
+
+use crate::offload::{decide, OffloadDecision};
+use crate::sql::{parse_sql, SqlError};
+use crate::store::RowStore;
+use crate::volcano;
+
+/// Where a query (or part of it) executed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ExecutionSite {
+    /// Fully on the RAPID node.
+    Rapid,
+    /// Fully on the host Volcano engine.
+    Host,
+    /// RAPID fragments + host post-processing.
+    Mixed,
+}
+
+/// An executed query's results and accounting.
+#[derive(Debug, Clone)]
+pub struct QueryResult {
+    /// Output column names.
+    pub columns: Vec<String>,
+    /// Result rows as values.
+    pub rows: Vec<Vec<Value>>,
+    /// Where execution happened.
+    pub site: ExecutionSite,
+    /// Seconds attributed to RAPID (simulated on the Dpu backend, wall on
+    /// Native).
+    pub rapid_secs: f64,
+    /// Wall seconds attributed to the host engine (planning excluded).
+    pub host_secs: f64,
+}
+
+impl QueryResult {
+    /// Fraction of elapsed time spent in RAPID (Figure 15's metric).
+    pub fn rapid_fraction(&self) -> f64 {
+        let total = self.rapid_secs + self.host_secs;
+        if total <= 0.0 {
+            0.0
+        } else {
+            self.rapid_secs / total
+        }
+    }
+}
+
+/// Errors from the end-to-end path.
+#[derive(Debug)]
+pub enum DbError {
+    /// SQL front-end failure.
+    Sql(SqlError),
+    /// Host executor failure.
+    Volcano(volcano::VolcanoError),
+    /// RAPID failure that also failed to fall back.
+    Rapid(String),
+    /// Unknown table.
+    NoSuchTable(String),
+}
+
+impl std::fmt::Display for DbError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            DbError::Sql(e) => write!(f, "{e}"),
+            DbError::Volcano(e) => write!(f, "{e}"),
+            DbError::Rapid(m) => write!(f, "RAPID error: {m}"),
+            DbError::NoSuchTable(t) => write!(f, "no such table '{t}'"),
+        }
+    }
+}
+
+impl std::error::Error for DbError {}
+
+/// The host database with an attached RAPID node.
+pub struct HostDb {
+    store: Arc<RowStore>,
+    rapid: Arc<RwLock<Engine>>,
+    params: CostParams,
+    /// Force every query to RAPID / to the host (benchmark harness knobs).
+    pub force_site: Option<ExecutionSite>,
+    checkpointer_stop: Arc<AtomicBool>,
+    checkpointer: Option<std::thread::JoinHandle<()>>,
+}
+
+impl std::fmt::Debug for HostDb {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("HostDb").field("tables", &self.store.table_names()).finish()
+    }
+}
+
+impl HostDb {
+    /// A database with a RAPID node on the given execution context.
+    pub fn new(rapid_ctx: ExecContext) -> Self {
+        HostDb {
+            store: Arc::new(RowStore::new()),
+            rapid: Arc::new(RwLock::new(Engine::new(rapid_ctx))),
+            params: CostParams::default(),
+            force_site: None,
+            checkpointer_stop: Arc::new(AtomicBool::new(false)),
+            checkpointer: None,
+        }
+    }
+
+    /// The row store.
+    pub fn store(&self) -> &RowStore {
+        &self.store
+    }
+
+    /// The attached RAPID engine.
+    pub fn rapid(&self) -> &Arc<RwLock<Engine>> {
+        &self.rapid
+    }
+
+    /// Create a host table.
+    pub fn create_table(&self, name: &str, schema: Schema) {
+        self.store.create_table(name, schema);
+    }
+
+    /// Bulk-insert rows (initial population).
+    pub fn bulk_insert(&self, table: &str, rows: impl IntoIterator<Item = Vec<Value>>) {
+        self.store.bulk_insert(table, rows);
+    }
+
+    /// Commit journaled changes (DML path).
+    pub fn commit(&self, table: &str, changes: Vec<RowChange>) -> Option<Scn> {
+        self.store.commit(table, changes)
+    }
+
+    /// The `LOAD` command (§4.4): snapshot a host table into RAPID's
+    /// columnar store at the current SCN.
+    pub fn load_into_rapid(&self, table: &str) -> Result<(), DbError> {
+        let t = self.store.table(table).ok_or_else(|| DbError::NoSuchTable(table.into()))?;
+        let guard = t.read();
+        let scn = guard.scn;
+        let mut b = TableBuilder::new(table, guard.schema.clone()).chunk_rows(4096).partitions(4);
+        for row in guard.scan() {
+            b.push_row(row.clone());
+        }
+        drop(guard);
+        let columnar = Arc::new(b.finish_at_scn(scn));
+        self.rapid.write().load_table(columnar);
+        // Everything up to `scn` is now in RAPID.
+        if let Some(ht) = self.store.table(table) {
+            ht.write().journal.mark_checkpointed(scn);
+        }
+        Ok(())
+    }
+
+    /// Ship pending journal changes of one table to RAPID (§3.3's query
+    /// checkpointing). No-op when the table is current.
+    ///
+    /// The host row store is the single source of truth, and journal rids
+    /// index its stable heap slots — so the consistent snapshot is rebuilt
+    /// from the store itself rather than by replaying units onto the
+    /// (compacted) previous snapshot (the RAPID-side
+    /// [`rapid_storage::scn::Tracker`] covers the replay-onto-base path
+    /// for per-vector versioning and is tested there).
+    pub fn checkpoint(&self, table: &str) -> Result<(), DbError> {
+        let host = self.store.table(table).ok_or_else(|| DbError::NoSuchTable(table.into()))?;
+        let current = {
+            let rapid = self.rapid.read();
+            match rapid.catalog().get(table) {
+                Some(t) => t.scn,
+                None => return Ok(()), // not loaded: nothing to keep fresh
+            }
+        };
+        let target_scn = host.read().scn;
+        if target_scn <= current {
+            return Ok(());
+        }
+        self.load_into_rapid(table)?;
+        Ok(())
+    }
+
+    /// Start the periodic background checkpointer (§3.3: "we utilize
+    /// periodic background threads for scanning and propagating the
+    /// changes from the journals").
+    pub fn start_checkpointer(&mut self, interval: Duration) {
+        let stop = Arc::clone(&self.checkpointer_stop);
+        let store = Arc::clone(&self.store);
+        let rapid = Arc::clone(&self.rapid);
+        self.checkpointer = Some(std::thread::spawn(move || {
+            while !stop.load(Ordering::Relaxed) {
+                for name in store.table_names() {
+                    let Some(host) = store.table(&name) else { continue };
+                    let current = {
+                        let r = rapid.read();
+                        match r.catalog().get(&name) {
+                            Some(t) => t.scn,
+                            None => continue,
+                        }
+                    };
+                    let (schema, rows, target) = {
+                        let g = host.read();
+                        if g.scn <= current {
+                            continue;
+                        }
+                        (g.schema.clone(), g.scan().cloned().collect::<Vec<_>>(), g.scn)
+                    };
+                    let mut b =
+                        TableBuilder::new(&name, schema).chunk_rows(4096).partitions(4);
+                    b.extend_rows(rows);
+                    let snap = Arc::new(b.finish_at_scn(target));
+                    rapid.write().load_table(snap);
+                    host.write().journal.mark_checkpointed(target);
+                }
+                std::thread::sleep(interval);
+            }
+        }));
+    }
+
+    /// Schemas visible to the SQL planner.
+    fn schemas(&self) -> HashMap<String, Vec<String>> {
+        let mut m = HashMap::new();
+        for name in self.store.table_names() {
+            if let Some(t) = self.store.table(&name) {
+                m.insert(
+                    name,
+                    t.read().schema.fields.iter().map(|f| f.name.clone()).collect(),
+                );
+            }
+        }
+        m
+    }
+
+    /// Simulate a RAPID node failure: the node loses its entire columnar
+    /// state (§3.4: "RAPID relies on the host database system for
+    /// durability and failure recovery").
+    pub fn simulate_rapid_failure(&self) {
+        let ctx = self.rapid.read().context().clone();
+        *self.rapid.write() = Engine::new(ctx);
+    }
+
+    /// The recovery protocol: bring up a (spare) node and reload it with
+    /// every table the failed node held — from the host, the single
+    /// source of truth.
+    pub fn recover_rapid(&self, tables: &[&str]) -> Result<(), DbError> {
+        for t in tables {
+            self.load_into_rapid(t)?;
+        }
+        Ok(())
+    }
+
+    /// Parse and execute a SQL query end-to-end.
+    pub fn execute_sql(&self, sql: &str) -> Result<QueryResult, DbError> {
+        let plan = parse_sql(sql, &self.schemas()).map_err(DbError::Sql)?;
+        self.execute_plan(&plan)
+    }
+
+    /// Execute a logical plan end-to-end (offload decision included).
+    pub fn execute_plan(&self, plan: &LogicalPlan) -> Result<QueryResult, DbError> {
+        let decision = match self.force_site {
+            Some(ExecutionSite::Rapid) => OffloadDecision::Full,
+            Some(ExecutionSite::Host) => {
+                OffloadDecision::None(crate::offload::NoOffloadReason::HostCheaper)
+            }
+            _ => {
+                let rapid = self.rapid.read();
+                decide(plan, rapid.catalog(), &self.params)
+            }
+        };
+        match decision {
+            OffloadDecision::Full => match self.execute_on_rapid(plan) {
+                Ok(r) => Ok(r),
+                // §3.2: "In case ... execution in RAPID fails, the RAPID
+                // operator can either fail or fallback".
+                Err(_) => self.execute_on_host(plan),
+            },
+            OffloadDecision::Partial(_) => self.execute_partial(plan),
+            OffloadDecision::None(_) => self.execute_on_host(plan),
+        }
+    }
+
+    /// Partial offload (§3.1-§3.2): execute the maximal RAPID-resident
+    /// fragments on the node, land their results in host-side buffers (the
+    /// RAPID operator's result consumption), and finish the remainder on
+    /// the Volcano engine.
+    pub fn execute_partial(&self, plan: &LogicalPlan) -> Result<QueryResult, DbError> {
+        use std::sync::atomic::AtomicU64;
+        static TEMP_ID: AtomicU64 = AtomicU64::new(0);
+
+        let (rewritten, fragments) = {
+            let rapid = self.rapid.read();
+            crate::offload::extract_fragments(plan, rapid.catalog())
+        };
+        if fragments.is_empty() {
+            return self.execute_on_host(plan);
+        }
+        let mut rapid_secs = 0.0;
+        let mut host_secs = 0.0;
+        let mut temp_names = Vec::new();
+        // Unique-ify temp names so concurrent queries cannot collide.
+        let uniq = TEMP_ID.fetch_add(1, Ordering::Relaxed);
+        let mut renamed = rewritten;
+        for (name, frag_plan) in &fragments {
+            let unique = format!("{name}__{uniq}");
+            rename_table(&mut renamed, name, &unique);
+            let frag = self.execute_on_rapid(frag_plan)?;
+            rapid_secs += frag.rapid_secs;
+            host_secs += frag.host_secs;
+            // Infer the temp table's schema from the fragment's compiled
+            // output columns.
+            let rapid = self.rapid.read();
+            let compiled = rapid_qcomp::compile(frag_plan, rapid.catalog(), &self.params)
+                .map_err(|e| DbError::Rapid(e.to_string()))?;
+            drop(rapid);
+            let fields = compiled
+                .output
+                .iter()
+                .map(|c| rapid_storage::schema::Field::nullable(c.name.clone(), c.dtype))
+                .collect();
+            self.store.create_table(&unique, Schema::new(fields));
+            self.store.bulk_insert(&unique, frag.rows);
+            temp_names.push(unique);
+        }
+        let t0 = Instant::now();
+        let result = volcano::execute(&renamed, &self.store).map_err(DbError::Volcano);
+        host_secs += t0.elapsed().as_secs_f64();
+        for name in temp_names {
+            self.store.drop_table(&name);
+        }
+        let (names, rows) = result?;
+        Ok(QueryResult { columns: names, rows, site: ExecutionSite::Mixed, rapid_secs, host_secs })
+    }
+
+    /// Run the whole plan on the RAPID node (admission check + execute).
+    pub fn execute_on_rapid(&self, plan: &LogicalPlan) -> Result<QueryResult, DbError> {
+        // Admission (§3.3): the query SCN must not be younger than any
+        // referenced RAPID table. Checkpoint lagging tables first.
+        let mut tables = std::collections::HashSet::new();
+        crate::offload::referenced_tables(plan, &mut tables);
+        for t in &tables {
+            self.checkpoint(t).ok();
+        }
+        let rapid = self.rapid.read();
+        let compiled = rapid_qcomp::compile(plan, rapid.catalog(), &self.params)
+            .map_err(|e| DbError::Rapid(e.to_string()))?;
+        let (out, report) =
+            rapid.execute(&compiled.plan).map_err(|e| DbError::Rapid(e.to_string()))?;
+        let rapid_secs = report.elapsed_secs(rapid.context().backend);
+        // Post-processing at the host: decode into values (§3.2's
+        // "decoding and other transformations" after the RDMA transfer).
+        // Compile time is excluded, matching the paper's elapsed split.
+        let decode_start = Instant::now();
+        let rows = decode_batch(&out.batch, &out.meta, rapid.catalog());
+        let host_secs = decode_start.elapsed().as_secs_f64();
+        Ok(QueryResult {
+            columns: compiled.output.iter().map(|c| c.name.clone()).collect(),
+            rows,
+            site: ExecutionSite::Rapid,
+            rapid_secs,
+            host_secs,
+        })
+    }
+
+    /// Run the whole plan on the host Volcano engine.
+    pub fn execute_on_host(&self, plan: &LogicalPlan) -> Result<QueryResult, DbError> {
+        let start = Instant::now();
+        let (names, rows) = volcano::execute(plan, &self.store).map_err(DbError::Volcano)?;
+        Ok(QueryResult {
+            columns: names,
+            rows,
+            site: ExecutionSite::Host,
+            rapid_secs: 0.0,
+            host_secs: start.elapsed().as_secs_f64(),
+        })
+    }
+}
+
+impl Drop for HostDb {
+    fn drop(&mut self) {
+        self.checkpointer_stop.store(true, Ordering::Relaxed);
+        if let Some(h) = self.checkpointer.take() {
+            let _ = h.join();
+        }
+    }
+}
+
+/// Rename every scan of `from` to `to` in place.
+fn rename_table(plan: &mut LogicalPlan, from: &str, to: &str) {
+    match plan {
+        LogicalPlan::Scan { table, .. } => {
+            if table == from {
+                *table = to.to_string();
+            }
+        }
+        LogicalPlan::Filter { input, .. }
+        | LogicalPlan::Project { input, .. }
+        | LogicalPlan::Sort { input, .. }
+        | LogicalPlan::Limit { input, .. }
+        | LogicalPlan::Aggregate { input, .. }
+        | LogicalPlan::Window { input, .. } => rename_table(input, from, to),
+        LogicalPlan::Join { left, right, .. } | LogicalPlan::SetOp { left, right, .. } => {
+            rename_table(left, from, to);
+            rename_table(right, from, to);
+        }
+    }
+}
+
+/// Decode a RAPID result batch into host values using the plan metadata.
+pub fn decode_batch(
+    batch: &rapid_qef::batch::Batch,
+    meta: &[ColMeta],
+    catalog: &rapid_qef::plan::Catalog,
+) -> Vec<Vec<Value>> {
+    let mut rows = Vec::with_capacity(batch.rows());
+    for i in 0..batch.rows() {
+        let mut row = Vec::with_capacity(meta.len());
+        for (c, m) in meta.iter().enumerate() {
+            let v = match batch.column(c).get(i) {
+                None => Value::Null,
+                Some(widened) => match (&m.dict, m.dtype) {
+                    (Some((tname, tcol)), _) => {
+                        let s = catalog
+                            .get(tname)
+                            .and_then(|t| t.dicts[*tcol].as_ref())
+                            .and_then(|d| d.value_of(widened as u32))
+                            .unwrap_or("")
+                            .to_string();
+                        Value::Str(s)
+                    }
+                    (None, DataType::Date) => Value::Date(widened as i32),
+                    (None, DataType::Decimal { .. }) => {
+                        if m.scale == 0 {
+                            Value::Int(widened)
+                        } else {
+                            Value::Decimal { unscaled: widened, scale: m.scale }
+                        }
+                    }
+                    _ => Value::Int(widened),
+                },
+            };
+            row.push(v);
+        }
+        rows.push(row);
+    }
+    rows
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rapid_storage::schema::Field;
+
+    fn db() -> HostDb {
+        let db = HostDb::new(ExecContext::dpu().with_cores(4));
+        db.create_table(
+            "sales",
+            Schema::new(vec![
+                Field::new("id", DataType::Int),
+                Field::new("amount", DataType::Decimal { scale: 2 }),
+                Field::new("region", DataType::Varchar),
+            ]),
+        );
+        db.bulk_insert(
+            "sales",
+            (0..10_000i64).map(|i| {
+                vec![
+                    Value::Int(i),
+                    Value::Decimal { unscaled: (i % 500) * 100 + 99, scale: 2 },
+                    Value::Str(["north", "south", "east", "west"][(i % 4) as usize].into()),
+                ]
+            }),
+        );
+        db
+    }
+
+    #[test]
+    fn host_only_execution_works_before_load() {
+        let d = db();
+        let r = d
+            .execute_sql("SELECT region, COUNT(*) AS n FROM sales GROUP BY region ORDER BY region")
+            .unwrap();
+        assert_eq!(r.site, ExecutionSite::Host);
+        assert_eq!(r.rows.len(), 4);
+        assert_eq!(r.rows[0][1], Value::Int(2500));
+    }
+
+    #[test]
+    fn load_then_offload_and_results_match_host() {
+        let d = db();
+        d.load_into_rapid("sales").unwrap();
+        let sql =
+            "SELECT region, SUM(amount) AS total FROM sales GROUP BY region ORDER BY region";
+        let rapid = d.execute_sql(sql).unwrap();
+        assert_eq!(rapid.site, ExecutionSite::Rapid, "large scan should offload");
+        assert!(rapid.rapid_secs > 0.0);
+        let host = d.execute_on_host(&parse_sql(sql, &d.schemas()).unwrap()).unwrap();
+        assert_eq!(rapid.rows.len(), host.rows.len());
+        for (a, b) in rapid.rows.iter().zip(&host.rows) {
+            assert_eq!(a[0], b[0]);
+            assert_eq!(
+                a[1].to_f64().unwrap(),
+                b[1].to_f64().unwrap(),
+                "region {:?}",
+                a[0]
+            );
+        }
+    }
+
+    #[test]
+    fn updates_are_visible_after_admission_checkpoint() {
+        let d = db();
+        d.load_into_rapid("sales").unwrap();
+        // Commit a journaled change after the load.
+        d.commit(
+            "sales",
+            vec![RowChange::Insert(vec![
+                Value::Int(999_999),
+                Value::Decimal { unscaled: 123_456, scale: 2 },
+                Value::Str("north".into()),
+            ])],
+        );
+        let r = d
+            .execute_sql("SELECT COUNT(*) AS n FROM sales WHERE id = 999999")
+            .unwrap();
+        // Wherever it ran, the fresh row must be visible (admission
+        // checkpointing shipped it to RAPID if the query offloaded).
+        assert_eq!(r.rows[0][0], Value::Int(1));
+    }
+
+    #[test]
+    fn background_checkpointer_ships_changes() {
+        let mut d = db();
+        d.load_into_rapid("sales").unwrap();
+        d.start_checkpointer(Duration::from_millis(10));
+        d.commit(
+            "sales",
+            vec![RowChange::Insert(vec![
+                Value::Int(777_777),
+                Value::Decimal { unscaled: 1, scale: 2 },
+                Value::Str("east".into()),
+            ])],
+        );
+        // Wait for the background thread to pick it up.
+        let deadline = Instant::now() + Duration::from_secs(5);
+        loop {
+            let current = {
+                let r = d.rapid.read();
+                r.catalog().get("sales").map(|t| t.rows())
+            };
+            if current == Some(10_001) {
+                break;
+            }
+            assert!(Instant::now() < deadline, "checkpointer never shipped the change");
+            std::thread::sleep(Duration::from_millis(5));
+        }
+    }
+
+    #[test]
+    fn force_site_knobs() {
+        let mut d = db();
+        d.load_into_rapid("sales").unwrap();
+        d.force_site = Some(ExecutionSite::Host);
+        let r = d.execute_sql("SELECT id FROM sales WHERE id < 5").unwrap();
+        assert_eq!(r.site, ExecutionSite::Host);
+        d.force_site = Some(ExecutionSite::Rapid);
+        let r = d.execute_sql("SELECT id FROM sales WHERE id < 5").unwrap();
+        assert_eq!(r.site, ExecutionSite::Rapid);
+        assert_eq!(r.rows.len(), 5);
+    }
+
+    #[test]
+    fn rapid_strings_decode_back() {
+        let d = db();
+        d.load_into_rapid("sales").unwrap();
+        let r = d
+            .execute_sql(
+                "SELECT region, MIN(amount) AS lo FROM sales GROUP BY region ORDER BY region",
+            )
+            .unwrap();
+        assert_eq!(r.rows[0][0], Value::Str("east".into()));
+        assert_eq!(r.columns, vec!["region", "lo"]);
+    }
+
+    #[test]
+    fn unknown_table_errors() {
+        let d = db();
+        assert!(matches!(
+            d.execute_sql("SELECT x FROM ghost"),
+            Err(DbError::Sql(_))
+        ));
+    }
+}

@@ -1,0 +1,37 @@
+//! # hostdb — the "System X" substrate (§3 of the paper)
+//!
+//! RAPID is "pluggable and can attach to an operational relational database
+//! for offloading analytical queries". The paper integrates with a
+//! commercial RDBMS it calls *System X*; this crate is the from-scratch
+//! stand-in:
+//!
+//! * a **row-store** with SCN-stamped commits and in-memory change
+//!   journals ([`store`]),
+//! * a small **SQL front end** ([`sql`]) producing the same logical plans
+//!   the RAPID compiler consumes,
+//! * a **Volcano executor** ([`volcano`]) implementing the classic
+//!   `allocate/start/fetch/close/release` iterator contract — the
+//!   conventional tuple-at-a-time engine RAPID is compared against,
+//! * the **offload planner** ([`offload`]): cost-based full/partial/no
+//!   offload decisions, the RAPID placeholder operator with SCN admission
+//!   checks, and fallback to local execution,
+//! * the assembled database ([`db`]): `LOAD` into RAPID, background
+//!   checkpointing of journals, and end-to-end `execute_sql`.
+//!
+//! Exact-decimal arithmetic over [`rapid_storage::types::Value`] lives in
+//! [`valmath`] and deliberately mirrors the RAPID compiler's DSB scale
+//! rules so the two engines produce comparable numbers — which the
+//! differential tests exploit.
+
+#![warn(missing_docs)]
+
+pub mod db;
+pub mod offload;
+pub mod sql;
+pub mod store;
+pub mod valmath;
+pub mod volcano;
+
+pub use db::{ExecutionSite, HostDb, QueryResult};
+pub use sql::parse_sql;
+pub use store::{HostTable, RowStore};

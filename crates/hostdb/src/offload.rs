@@ -1,0 +1,295 @@
+//! The cost-based offload planner (§3.1–§3.2).
+//!
+//! "The plan generator of System X considers i) full offload: RAPID-only,
+//! ii) partial offload: some fragment(s) of the query offloaded or iii) no
+//! offload. A fragment of a query is a candidate for offload if a) the
+//! relational operators of the fragment are supported in RAPID and b) the
+//! relational tables that are required by the operators in the fragment
+//! are loaded into RAPID."
+//!
+//! Every operator this system plans *is* supported in RAPID, so
+//! candidacy reduces to table residency; the cost comparison weighs the
+//! RAPID execution + result-return estimate (from `rapid-qcomp`'s cost
+//! model) against a calibrated per-row cost of the Volcano engine.
+
+use std::collections::HashSet;
+
+use rapid_qcomp::cost::{estimate, offload_cost, CostParams};
+use rapid_qcomp::logical::LogicalPlan;
+use rapid_qef::plan::Catalog;
+
+/// What the planner decided for a query.
+#[derive(Debug, Clone, PartialEq)]
+pub enum OffloadDecision {
+    /// The whole plan runs on RAPID.
+    Full,
+    /// The listed subtrees run on RAPID; the rest runs on the host. Each
+    /// fragment is identified by its pre-order index in the plan walk.
+    Partial(Vec<usize>),
+    /// Everything runs on the host.
+    None(NoOffloadReason),
+}
+
+/// Why a query stayed on the host.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum NoOffloadReason {
+    /// Some referenced table is not loaded into RAPID.
+    TablesNotLoaded,
+    /// The host plan was estimated cheaper (small queries lose the
+    /// offload round trip).
+    HostCheaper,
+}
+
+/// Calibration of the host-side (Volcano) cost: seconds per row-operator
+/// touch. Interpreted row-at-a-time execution costs on the order of
+/// hundreds of nanoseconds per row per operator.
+pub const VOLCANO_SECS_PER_ROW_OP: f64 = 250.0e-9;
+
+/// Estimate local (Volcano) execution seconds from plan cardinalities.
+pub fn estimate_local_secs(plan: &LogicalPlan, catalog: &Catalog, p: &CostParams) -> f64 {
+    // Reuse the RAPID cardinality estimator by compiling; on failure
+    // (tables unknown to RAPID) fall back to a coarse sum of table sizes.
+    fn walk(plan: &LogicalPlan, catalog: &Catalog, acc: &mut f64) {
+        match plan {
+            LogicalPlan::Scan { table, .. } => {
+                if let Some(t) = catalog.get(table) {
+                    *acc += t.rows() as f64;
+                }
+            }
+            LogicalPlan::Filter { input, .. }
+            | LogicalPlan::Project { input, .. }
+            | LogicalPlan::Sort { input, .. }
+            | LogicalPlan::Limit { input, .. }
+            | LogicalPlan::Aggregate { input, .. }
+            | LogicalPlan::Window { input, .. } => walk(input, catalog, acc),
+            LogicalPlan::Join { left, right, .. } | LogicalPlan::SetOp { left, right, .. } => {
+                walk(left, catalog, acc);
+                walk(right, catalog, acc);
+            }
+        }
+    }
+    let mut rows_touched = 0.0;
+    walk(plan, catalog, &mut rows_touched);
+    let _ = p;
+    // Every scanned row passes through a handful of operators.
+    rows_touched * 4.0 * VOLCANO_SECS_PER_ROW_OP
+}
+
+/// Tables referenced by a logical plan.
+pub fn referenced_tables(plan: &LogicalPlan, out: &mut HashSet<String>) {
+    match plan {
+        LogicalPlan::Scan { table, .. } => {
+            out.insert(table.clone());
+        }
+        LogicalPlan::Filter { input, .. }
+        | LogicalPlan::Project { input, .. }
+        | LogicalPlan::Sort { input, .. }
+        | LogicalPlan::Limit { input, .. }
+        | LogicalPlan::Aggregate { input, .. }
+        | LogicalPlan::Window { input, .. } => referenced_tables(input, out),
+        LogicalPlan::Join { left, right, .. } | LogicalPlan::SetOp { left, right, .. } => {
+            referenced_tables(left, out);
+            referenced_tables(right, out);
+        }
+    }
+}
+
+/// Make the offload decision for a query.
+pub fn decide(plan: &LogicalPlan, rapid_catalog: &Catalog, params: &CostParams) -> OffloadDecision {
+    let mut tables = HashSet::new();
+    referenced_tables(plan, &mut tables);
+    let all_loaded = tables.iter().all(|t| rapid_catalog.contains_key(t));
+    if !all_loaded {
+        // Partial offload: collect maximal loaded subtrees.
+        let mut fragments = Vec::new();
+        collect_fragments(plan, rapid_catalog, &mut 0, &mut fragments);
+        return if fragments.is_empty() {
+            OffloadDecision::None(NoOffloadReason::TablesNotLoaded)
+        } else {
+            OffloadDecision::Partial(fragments)
+        };
+    }
+    // Cost-based full-vs-none.
+    match rapid_qcomp::compile(plan, rapid_catalog, params) {
+        Ok(c) => {
+            let rapid_secs = offload_cost(&c.plan, rapid_catalog, params);
+            let local_secs = estimate_local_secs(plan, rapid_catalog, params);
+            let _ = estimate(&c.plan, rapid_catalog, params);
+            if rapid_secs < local_secs {
+                OffloadDecision::Full
+            } else {
+                OffloadDecision::None(NoOffloadReason::HostCheaper)
+            }
+        }
+        Err(_) => OffloadDecision::None(NoOffloadReason::TablesNotLoaded),
+    }
+}
+
+/// Pre-order walk collecting indices of maximal subtrees whose referenced
+/// tables are all RAPID-resident.
+fn collect_fragments(
+    plan: &LogicalPlan,
+    catalog: &Catalog,
+    idx: &mut usize,
+    out: &mut Vec<usize>,
+) {
+    let my_idx = *idx;
+    *idx += 1;
+    let mut tables = HashSet::new();
+    referenced_tables(plan, &mut tables);
+    if !tables.is_empty() && tables.iter().all(|t| catalog.contains_key(t)) {
+        out.push(my_idx);
+        return; // maximal: don't descend
+    }
+    match plan {
+        LogicalPlan::Scan { .. } => {}
+        LogicalPlan::Filter { input, .. }
+        | LogicalPlan::Project { input, .. }
+        | LogicalPlan::Sort { input, .. }
+        | LogicalPlan::Limit { input, .. }
+        | LogicalPlan::Aggregate { input, .. }
+        | LogicalPlan::Window { input, .. } => collect_fragments(input, catalog, idx, out),
+        LogicalPlan::Join { left, right, .. } | LogicalPlan::SetOp { left, right, .. } => {
+            collect_fragments(left, catalog, idx, out);
+            collect_fragments(right, catalog, idx, out);
+        }
+    }
+}
+
+/// Rewrite the plan for partial offload: each **maximal** RAPID-resident
+/// subtree becomes a placeholder scan of a temporary table named
+/// `__rapid_frag_<i>`, and the extracted fragments are returned alongside.
+/// The caller executes the fragments on RAPID, materializes their results
+/// under those temp names in the host store (the RAPID-operator buffers of
+/// §3.2), and runs the rewritten remainder locally.
+pub fn extract_fragments(
+    plan: &LogicalPlan,
+    catalog: &Catalog,
+) -> (LogicalPlan, Vec<(String, LogicalPlan)>) {
+    fn walk(
+        plan: &LogicalPlan,
+        catalog: &Catalog,
+        frags: &mut Vec<(String, LogicalPlan)>,
+    ) -> LogicalPlan {
+        let mut tables = HashSet::new();
+        referenced_tables(plan, &mut tables);
+        if !tables.is_empty() && tables.iter().all(|t| catalog.contains_key(t)) {
+            let name = format!("__rapid_frag_{}", frags.len());
+            frags.push((name.clone(), plan.clone()));
+            return LogicalPlan::Scan { table: name, pred: None, projection: None };
+        }
+        match plan {
+            LogicalPlan::Scan { .. } => plan.clone(),
+            LogicalPlan::Filter { input, pred } => LogicalPlan::Filter {
+                input: Box::new(walk(input, catalog, frags)),
+                pred: pred.clone(),
+            },
+            LogicalPlan::Project { input, exprs } => LogicalPlan::Project {
+                input: Box::new(walk(input, catalog, frags)),
+                exprs: exprs.clone(),
+            },
+            LogicalPlan::Sort { input, order } => LogicalPlan::Sort {
+                input: Box::new(walk(input, catalog, frags)),
+                order: order.clone(),
+            },
+            LogicalPlan::Limit { input, n } => {
+                LogicalPlan::Limit { input: Box::new(walk(input, catalog, frags)), n: *n }
+            }
+            LogicalPlan::Aggregate { input, group_by, aggs } => LogicalPlan::Aggregate {
+                input: Box::new(walk(input, catalog, frags)),
+                group_by: group_by.clone(),
+                aggs: aggs.clone(),
+            },
+            LogicalPlan::Window { input, partition_by, order_by, func, name } => {
+                LogicalPlan::Window {
+                    input: Box::new(walk(input, catalog, frags)),
+                    partition_by: partition_by.clone(),
+                    order_by: order_by.clone(),
+                    func: func.clone(),
+                    name: name.clone(),
+                }
+            }
+            LogicalPlan::Join { left, right, left_keys, right_keys, join_type } => {
+                LogicalPlan::Join {
+                    left: Box::new(walk(left, catalog, frags)),
+                    right: Box::new(walk(right, catalog, frags)),
+                    left_keys: left_keys.clone(),
+                    right_keys: right_keys.clone(),
+                    join_type: *join_type,
+                }
+            }
+            LogicalPlan::SetOp { left, right, op } => LogicalPlan::SetOp {
+                left: Box::new(walk(left, catalog, frags)),
+                right: Box::new(walk(right, catalog, frags)),
+                op: *op,
+            },
+        }
+    }
+    let mut frags = Vec::new();
+    let rewritten = walk(plan, catalog, &mut frags);
+    (rewritten, frags)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rapid_qcomp::logical::LPred;
+    use rapid_qef::primitives::filter::CmpOp;
+    use rapid_storage::schema::{Field, Schema};
+    use rapid_storage::table::TableBuilder;
+    use rapid_storage::types::{DataType, Value};
+    use std::sync::Arc;
+
+    fn catalog(rows: i64) -> Catalog {
+        let schema =
+            Schema::new(vec![Field::new("k", DataType::Int), Field::new("v", DataType::Int)]);
+        let mut b = TableBuilder::new("t", schema);
+        for i in 0..rows {
+            b.push_row(vec![Value::Int(i), Value::Int(i)]);
+        }
+        let mut c = Catalog::new();
+        c.insert("t".into(), Arc::new(b.finish()));
+        c
+    }
+
+    #[test]
+    fn big_scans_offload() {
+        let cat = catalog(500_000);
+        let plan = LogicalPlan::scan_where("t", LPred::cmp("k", CmpOp::Lt, Value::Int(10)));
+        assert_eq!(decide(&plan, &cat, &CostParams::default()), OffloadDecision::Full);
+    }
+
+    #[test]
+    fn tiny_queries_stay_local() {
+        let cat = catalog(10);
+        let plan = LogicalPlan::scan("t");
+        assert_eq!(
+            decide(&plan, &cat, &CostParams::default()),
+            OffloadDecision::None(NoOffloadReason::HostCheaper)
+        );
+    }
+
+    #[test]
+    fn unloaded_tables_block_full_offload() {
+        let cat = catalog(500_000);
+        let loaded = LogicalPlan::scan("t");
+        let unloaded = LogicalPlan::scan("ghost");
+        let join = loaded.join(unloaded, &["k"], &["g"]);
+        match decide(&join, &cat, &CostParams::default()) {
+            OffloadDecision::Partial(frags) => {
+                assert_eq!(frags.len(), 1, "the loaded scan is a fragment");
+            }
+            other => panic!("expected partial, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn fully_unloaded_is_no_offload() {
+        let cat = Catalog::new();
+        let plan = LogicalPlan::scan("ghost");
+        assert_eq!(
+            decide(&plan, &cat, &CostParams::default()),
+            OffloadDecision::None(NoOffloadReason::TablesNotLoaded)
+        );
+    }
+}

@@ -1,0 +1,1235 @@
+//! A compact SQL front end: lexer, parser and planner producing the
+//! logical plans that both the Volcano engine and the RAPID compiler
+//! consume.
+//!
+//! Supported surface (enough for the TPC-H subset and the examples):
+//!
+//! ```sql
+//! SELECT expr [AS alias], ...
+//! FROM t [JOIN u ON t.a = u.b [AND t.c = u.d]]...
+//!        [SEMI JOIN ...] [ANTI JOIN ...] [LEFT JOIN ...]
+//! [WHERE pred]
+//! [GROUP BY expr, ...] [HAVING pred]
+//! [ORDER BY expr [DESC], ...] [LIMIT n]
+//! ```
+//!
+//! Expressions: `+ - * /`, comparisons, `AND/OR/NOT`, `BETWEEN`, `IN
+//! (...)`, `LIKE 'p%'` / `LIKE '%s%'`, `CASE WHEN ... THEN ... ELSE ...
+//! END`, `EXTRACT(YEAR FROM x)`, `DATE 'yyyy-mm-dd'`, decimal and integer
+//! literals, and `SUM/MIN/MAX/COUNT/AVG`.
+//!
+//! Planning applies the host-side logical optimizations the paper assumes:
+//! single-table WHERE conjuncts are pushed into the scans, joins stay in
+//! FROM order (left-deep), and aggregate queries lower to
+//! `Aggregate(+Having)`.
+
+use std::collections::HashMap;
+
+use rapid_qcomp::logical::{LAgg, LExpr, LNamed, LPred, LSortKey, LWindowFunc, LogicalPlan};
+use rapid_qef::plan::JoinType;
+use rapid_qef::primitives::agg::AggFunc;
+use rapid_qef::primitives::arith::ArithOp;
+use rapid_qef::primitives::filter::CmpOp;
+use rapid_storage::types::{parse_date, Value};
+
+/// SQL front-end errors.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SqlError(pub String);
+
+impl std::fmt::Display for SqlError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "SQL error: {}", self.0)
+    }
+}
+
+impl std::error::Error for SqlError {}
+
+fn err<T>(msg: impl Into<String>) -> Result<T, SqlError> {
+    Err(SqlError(msg.into()))
+}
+
+// ---------------------------------------------------------------- lexer --
+
+#[derive(Debug, Clone, PartialEq)]
+enum Tok {
+    Ident(String),
+    Int(i64),
+    Dec(i64, u8),
+    Str(String),
+    Sym(char),
+    Le,
+    Ge,
+    Ne,
+    Eof,
+}
+
+fn lex(input: &str) -> Result<Vec<Tok>, SqlError> {
+    let mut out = Vec::new();
+    let b: Vec<char> = input.chars().collect();
+    let mut i = 0;
+    while i < b.len() {
+        let c = b[i];
+        if c.is_whitespace() {
+            i += 1;
+        } else if c.is_alphabetic() || c == '_' {
+            let start = i;
+            while i < b.len() && (b[i].is_alphanumeric() || b[i] == '_' || b[i] == '.') {
+                i += 1;
+            }
+            out.push(Tok::Ident(b[start..i].iter().collect()));
+        } else if c.is_ascii_digit() {
+            let start = i;
+            while i < b.len() && b[i].is_ascii_digit() {
+                i += 1;
+            }
+            if i < b.len() && b[i] == '.' && i + 1 < b.len() && b[i + 1].is_ascii_digit() {
+                i += 1;
+                let frac_start = i;
+                while i < b.len() && b[i].is_ascii_digit() {
+                    i += 1;
+                }
+                let whole: String = b[start..i].iter().filter(|&&c| c != '.').collect();
+                let scale = (i - frac_start) as u8;
+                let unscaled: i64 =
+                    whole.parse().map_err(|_| SqlError("bad decimal".into()))?;
+                out.push(Tok::Dec(unscaled, scale));
+            } else {
+                let s: String = b[start..i].iter().collect();
+                out.push(Tok::Int(s.parse().map_err(|_| SqlError("bad integer".into()))?));
+            }
+        } else if c == '\'' {
+            i += 1;
+            let start = i;
+            while i < b.len() && b[i] != '\'' {
+                i += 1;
+            }
+            if i == b.len() {
+                return err("unterminated string literal");
+            }
+            out.push(Tok::Str(b[start..i].iter().collect()));
+            i += 1;
+        } else if c == '<' && i + 1 < b.len() && b[i + 1] == '=' {
+            out.push(Tok::Le);
+            i += 2;
+        } else if c == '>' && i + 1 < b.len() && b[i + 1] == '=' {
+            out.push(Tok::Ge);
+            i += 2;
+        } else if c == '<' && i + 1 < b.len() && b[i + 1] == '>' {
+            out.push(Tok::Ne);
+            i += 2;
+        } else if c == '!' && i + 1 < b.len() && b[i + 1] == '=' {
+            out.push(Tok::Ne);
+            i += 2;
+        } else if "(),=<>*+-/".contains(c) {
+            out.push(Tok::Sym(c));
+            i += 1;
+        } else {
+            return err(format!("unexpected character '{c}'"));
+        }
+    }
+    out.push(Tok::Eof);
+    Ok(out)
+}
+
+// ------------------------------------------------------------------ AST --
+
+#[derive(Debug, Clone, PartialEq)]
+enum Ast {
+    Col(String),
+    Lit(Value),
+    Bin(ArithOp, Box<Ast>, Box<Ast>),
+    Cmp(CmpOp, Box<Ast>, Box<Ast>),
+    And(Vec<Ast>),
+    Or(Vec<Ast>),
+    Not(Box<Ast>),
+    Between(Box<Ast>, Value, Value),
+    InList(Box<Ast>, Vec<Value>),
+    Like(Box<Ast>, String),
+    Case(Box<Ast>, Box<Ast>, Box<Ast>),
+    Year(Box<Ast>),
+    Agg(AggFunc, Box<Ast>),
+    Star, // COUNT(*)
+    /// `RANK()/ROW_NUMBER()/SUM(col) OVER (PARTITION BY ... ORDER BY ...)`.
+    Window {
+        func: LWindowFunc,
+        partition_by: Vec<String>,
+        order_by: Vec<(String, bool)>,
+    },
+}
+
+#[derive(Debug, Clone)]
+struct JoinClause {
+    table: String,
+    on: Vec<(String, String)>,
+    join_type: JoinType,
+}
+
+#[derive(Debug, Clone)]
+struct SelectStmt {
+    items: Vec<(Ast, Option<String>)>,
+    from: String,
+    joins: Vec<JoinClause>,
+    where_: Option<Ast>,
+    group_by: Vec<Ast>,
+    having: Option<Ast>,
+    order_by: Vec<(Ast, bool)>,
+    limit: Option<usize>,
+}
+
+// --------------------------------------------------------------- parser --
+
+struct Parser {
+    toks: Vec<Tok>,
+    pos: usize,
+}
+
+impl Parser {
+    fn peek(&self) -> &Tok {
+        &self.toks[self.pos]
+    }
+
+    fn next(&mut self) -> Tok {
+        let t = self.toks[self.pos].clone();
+        if self.pos + 1 < self.toks.len() {
+            self.pos += 1;
+        }
+        t
+    }
+
+    fn kw(&mut self, word: &str) -> bool {
+        if let Tok::Ident(s) = self.peek() {
+            if s.eq_ignore_ascii_case(word) {
+                self.next();
+                return true;
+            }
+        }
+        false
+    }
+
+    fn expect_kw(&mut self, word: &str) -> Result<(), SqlError> {
+        if self.kw(word) {
+            Ok(())
+        } else {
+            err(format!("expected {word}, found {:?}", self.peek()))
+        }
+    }
+
+    fn expect_sym(&mut self, c: char) -> Result<(), SqlError> {
+        if *self.peek() == Tok::Sym(c) {
+            self.next();
+            Ok(())
+        } else {
+            err(format!("expected '{c}', found {:?}", self.peek()))
+        }
+    }
+
+    fn ident(&mut self) -> Result<String, SqlError> {
+        match self.next() {
+            Tok::Ident(s) => Ok(unqualify(&s)),
+            t => err(format!("expected identifier, found {t:?}")),
+        }
+    }
+
+    fn select(&mut self) -> Result<SelectStmt, SqlError> {
+        self.expect_kw("SELECT")?;
+        let mut items = Vec::new();
+        loop {
+            let e = self.expr()?;
+            let alias = if self.kw("AS") {
+                Some(self.ident()?)
+            } else if let Tok::Ident(s) = self.peek() {
+                // Bare alias, unless it's a clause keyword.
+                if !is_keyword(s) {
+                    Some(self.ident()?)
+                } else {
+                    None
+                }
+            } else {
+                None
+            };
+            items.push((e, alias));
+            if *self.peek() == Tok::Sym(',') {
+                self.next();
+            } else {
+                break;
+            }
+        }
+        self.expect_kw("FROM")?;
+        let from = self.ident()?;
+        let mut joins = Vec::new();
+        loop {
+            let join_type = if self.kw("SEMI") {
+                self.expect_kw("JOIN")?;
+                JoinType::LeftSemi
+            } else if self.kw("ANTI") {
+                self.expect_kw("JOIN")?;
+                JoinType::LeftAnti
+            } else if self.kw("LEFT") {
+                let _ = self.kw("OUTER");
+                self.expect_kw("JOIN")?;
+                JoinType::LeftOuter
+            } else if self.kw("JOIN") || {
+                if self.kw("INNER") {
+                    self.expect_kw("JOIN")?;
+                    true
+                } else {
+                    false
+                }
+            } {
+                JoinType::Inner
+            } else {
+                break;
+            };
+            let table = self.ident()?;
+            self.expect_kw("ON")?;
+            let mut on = Vec::new();
+            loop {
+                let l = self.ident()?;
+                self.expect_sym('=')?;
+                let r = self.ident()?;
+                on.push((l, r));
+                if !self.kw("AND") {
+                    break;
+                }
+            }
+            joins.push(JoinClause { table, on, join_type });
+        }
+        let where_ = if self.kw("WHERE") { Some(self.expr()?) } else { None };
+        let mut group_by = Vec::new();
+        if self.kw("GROUP") {
+            self.expect_kw("BY")?;
+            loop {
+                group_by.push(self.expr()?);
+                if *self.peek() == Tok::Sym(',') {
+                    self.next();
+                } else {
+                    break;
+                }
+            }
+        }
+        let having = if self.kw("HAVING") { Some(self.expr()?) } else { None };
+        let mut order_by = Vec::new();
+        if self.kw("ORDER") {
+            self.expect_kw("BY")?;
+            loop {
+                let e = self.expr()?;
+                let desc = if self.kw("DESC") {
+                    true
+                } else {
+                    let _ = self.kw("ASC");
+                    false
+                };
+                order_by.push((e, desc));
+                if *self.peek() == Tok::Sym(',') {
+                    self.next();
+                } else {
+                    break;
+                }
+            }
+        }
+        let limit = if self.kw("LIMIT") {
+            match self.next() {
+                Tok::Int(n) if n >= 0 => Some(n as usize),
+                t => return err(format!("expected LIMIT count, found {t:?}")),
+            }
+        } else {
+            None
+        };
+        if *self.peek() != Tok::Eof {
+            return err(format!("trailing tokens: {:?}", self.peek()));
+        }
+        Ok(SelectStmt { items, from, joins, where_, group_by, having, order_by, limit })
+    }
+
+    /// expr := or_term
+    fn expr(&mut self) -> Result<Ast, SqlError> {
+        let mut terms = vec![self.and_term()?];
+        while self.kw("OR") {
+            terms.push(self.and_term()?);
+        }
+        Ok(if terms.len() == 1 { terms.pop().expect("one") } else { Ast::Or(terms) })
+    }
+
+    fn and_term(&mut self) -> Result<Ast, SqlError> {
+        let mut terms = vec![self.not_term()?];
+        while self.kw("AND") {
+            terms.push(self.not_term()?);
+        }
+        Ok(if terms.len() == 1 { terms.pop().expect("one") } else { Ast::And(terms) })
+    }
+
+    fn not_term(&mut self) -> Result<Ast, SqlError> {
+        if self.kw("NOT") {
+            Ok(Ast::Not(Box::new(self.not_term()?)))
+        } else {
+            self.predicate()
+        }
+    }
+
+    /// predicate := additive [cmp additive | BETWEEN v AND v | IN (...) | LIKE 's']
+    fn predicate(&mut self) -> Result<Ast, SqlError> {
+        let left = self.additive()?;
+        let op = match self.peek() {
+            Tok::Sym('=') => Some(CmpOp::Eq),
+            Tok::Sym('<') => Some(CmpOp::Lt),
+            Tok::Sym('>') => Some(CmpOp::Gt),
+            Tok::Le => Some(CmpOp::Le),
+            Tok::Ge => Some(CmpOp::Ge),
+            Tok::Ne => Some(CmpOp::Ne),
+            _ => None,
+        };
+        if let Some(op) = op {
+            self.next();
+            let right = self.additive()?;
+            return Ok(Ast::Cmp(op, Box::new(left), Box::new(right)));
+        }
+        if self.kw("BETWEEN") {
+            let lo = self.literal()?;
+            self.expect_kw("AND")?;
+            let hi = self.literal()?;
+            return Ok(Ast::Between(Box::new(left), lo, hi));
+        }
+        if self.kw("IN") {
+            self.expect_sym('(')?;
+            let mut vals = Vec::new();
+            loop {
+                vals.push(self.literal()?);
+                if *self.peek() == Tok::Sym(',') {
+                    self.next();
+                } else {
+                    break;
+                }
+            }
+            self.expect_sym(')')?;
+            return Ok(Ast::InList(Box::new(left), vals));
+        }
+        if self.kw("LIKE") {
+            match self.next() {
+                Tok::Str(p) => return Ok(Ast::Like(Box::new(left), p)),
+                t => return err(format!("expected LIKE pattern, found {t:?}")),
+            }
+        }
+        Ok(left)
+    }
+
+    fn additive(&mut self) -> Result<Ast, SqlError> {
+        let mut left = self.multiplicative()?;
+        loop {
+            let op = match self.peek() {
+                Tok::Sym('+') => ArithOp::Add,
+                Tok::Sym('-') => ArithOp::Sub,
+                _ => break,
+            };
+            self.next();
+            let right = self.multiplicative()?;
+            left = Ast::Bin(op, Box::new(left), Box::new(right));
+        }
+        Ok(left)
+    }
+
+    fn multiplicative(&mut self) -> Result<Ast, SqlError> {
+        let mut left = self.atom()?;
+        loop {
+            let op = match self.peek() {
+                Tok::Sym('*') => ArithOp::Mul,
+                Tok::Sym('/') => ArithOp::Div,
+                _ => break,
+            };
+            self.next();
+            let right = self.atom()?;
+            left = Ast::Bin(op, Box::new(left), Box::new(right));
+        }
+        Ok(left)
+    }
+
+    fn literal(&mut self) -> Result<Value, SqlError> {
+        match self.next() {
+            Tok::Int(v) => Ok(Value::Int(v)),
+            Tok::Dec(u, s) => Ok(Value::Decimal { unscaled: u, scale: s }),
+            Tok::Str(s) => Ok(Value::Str(s)),
+            Tok::Ident(s) if s.eq_ignore_ascii_case("DATE") => match self.next() {
+                Tok::Str(d) => parse_date(&d)
+                    .map(Value::Date)
+                    .ok_or_else(|| SqlError(format!("bad date '{d}'"))),
+                t => err(format!("expected date string, found {t:?}")),
+            },
+            Tok::Sym('-') => match self.literal()? {
+                Value::Int(v) => Ok(Value::Int(-v)),
+                Value::Decimal { unscaled, scale } => {
+                    Ok(Value::Decimal { unscaled: -unscaled, scale })
+                }
+                v => err(format!("cannot negate {v}")),
+            },
+            t => err(format!("expected literal, found {t:?}")),
+        }
+    }
+
+    fn atom(&mut self) -> Result<Ast, SqlError> {
+        match self.peek().clone() {
+            Tok::Sym('(') => {
+                self.next();
+                let e = self.expr()?;
+                self.expect_sym(')')?;
+                Ok(e)
+            }
+            Tok::Sym('*') => {
+                self.next();
+                Ok(Ast::Star)
+            }
+            Tok::Sym('-') | Tok::Int(_) | Tok::Dec(..) | Tok::Str(_) => {
+                Ok(Ast::Lit(self.literal()?))
+            }
+            Tok::Ident(word) => {
+                // Aggregates / functions / DATE literal / column.
+                let upper = word.to_ascii_uppercase();
+                match upper.as_str() {
+                    "SUM" | "MIN" | "MAX" | "COUNT" | "AVG" => {
+                        self.next();
+                        self.expect_sym('(')?;
+                        let inner = self.expr()?;
+                        self.expect_sym(')')?;
+                        let f = match upper.as_str() {
+                            "SUM" => AggFunc::Sum,
+                            "MIN" => AggFunc::Min,
+                            "MAX" => AggFunc::Max,
+                            "AVG" => AggFunc::Avg,
+                            _ => AggFunc::Count,
+                        };
+                        if self.kw("OVER") {
+                            if f != AggFunc::Sum {
+                                return err("only SUM(col) is supported as a window aggregate");
+                            }
+                            let Ast::Col(col) = inner else {
+                                return err("window SUM takes a plain column");
+                            };
+                            let (partition_by, order_by) = self.over_clause()?;
+                            return Ok(Ast::Window {
+                                func: LWindowFunc::RunningSum { col },
+                                partition_by,
+                                order_by,
+                            });
+                        }
+                        Ok(Ast::Agg(f, Box::new(inner)))
+                    }
+                    "RANK" | "ROW_NUMBER" => {
+                        self.next();
+                        self.expect_sym('(')?;
+                        self.expect_sym(')')?;
+                        self.expect_kw("OVER")?;
+                        let (partition_by, order_by) = self.over_clause()?;
+                        let func = if upper == "RANK" {
+                            LWindowFunc::Rank
+                        } else {
+                            LWindowFunc::RowNumber
+                        };
+                        Ok(Ast::Window { func, partition_by, order_by })
+                    }
+                    "CASE" => {
+                        self.next();
+                        self.expect_kw("WHEN")?;
+                        let p = self.expr()?;
+                        self.expect_kw("THEN")?;
+                        let t = self.expr()?;
+                        self.expect_kw("ELSE")?;
+                        let e = self.expr()?;
+                        self.expect_kw("END")?;
+                        Ok(Ast::Case(Box::new(p), Box::new(t), Box::new(e)))
+                    }
+                    "EXTRACT" => {
+                        self.next();
+                        self.expect_sym('(')?;
+                        self.expect_kw("YEAR")?;
+                        self.expect_kw("FROM")?;
+                        let e = self.expr()?;
+                        self.expect_sym(')')?;
+                        Ok(Ast::Year(Box::new(e)))
+                    }
+                    "DATE" => Ok(Ast::Lit(self.literal()?)),
+                    _ => {
+                        self.next();
+                        Ok(Ast::Col(unqualify(&word)))
+                    }
+                }
+            }
+            t => err(format!("unexpected token {t:?}")),
+        }
+    }
+}
+
+impl Parser {
+    /// `( [PARTITION BY col, ...] [ORDER BY col [DESC], ...] )`
+    fn over_clause(&mut self) -> Result<(Vec<String>, Vec<(String, bool)>), SqlError> {
+        self.expect_sym('(')?;
+        let mut partition_by = Vec::new();
+        if self.kw("PARTITION") {
+            self.expect_kw("BY")?;
+            loop {
+                partition_by.push(self.ident()?);
+                if *self.peek() == Tok::Sym(',') {
+                    self.next();
+                } else {
+                    break;
+                }
+            }
+        }
+        let mut order_by = Vec::new();
+        if self.kw("ORDER") {
+            self.expect_kw("BY")?;
+            loop {
+                let col = self.ident()?;
+                let desc = if self.kw("DESC") {
+                    true
+                } else {
+                    let _ = self.kw("ASC");
+                    false
+                };
+                order_by.push((col, desc));
+                if *self.peek() == Tok::Sym(',') {
+                    self.next();
+                } else {
+                    break;
+                }
+            }
+        }
+        self.expect_sym(')')?;
+        Ok((partition_by, order_by))
+    }
+}
+
+fn unqualify(s: &str) -> String {
+    s.rsplit('.').next().unwrap_or(s).to_string()
+}
+
+fn is_keyword(s: &str) -> bool {
+    matches!(
+        s.to_ascii_uppercase().as_str(),
+        "FROM"
+            | "WHERE"
+            | "GROUP"
+            | "HAVING"
+            | "ORDER"
+            | "LIMIT"
+            | "JOIN"
+            | "SEMI"
+            | "ANTI"
+            | "LEFT"
+            | "INNER"
+            | "ON"
+            | "AND"
+            | "OR"
+            | "AS"
+            | "DESC"
+            | "ASC"
+            | "BY"
+            | "THEN"
+            | "ELSE"
+            | "END"
+            | "WHEN"
+    )
+}
+
+// -------------------------------------------------------------- planner --
+
+/// Expression rendering for implicit output names.
+fn ast_name(a: &Ast) -> String {
+    match a {
+        Ast::Col(c) => c.clone(),
+        Ast::Agg(f, inner) => format!("{f:?}_{}", ast_name(inner)).to_lowercase(),
+        Ast::Star => "star".into(),
+        Ast::Year(e) => format!("year_{}", ast_name(e)),
+        _ => "expr".into(),
+    }
+}
+
+fn to_lexpr(a: &Ast) -> Result<LExpr, SqlError> {
+    match a {
+        Ast::Col(c) => Ok(LExpr::Col(c.clone())),
+        Ast::Lit(v) => Ok(LExpr::Lit(v.clone())),
+        Ast::Bin(op, l, r) => {
+            Ok(LExpr::Bin { op: *op, a: Box::new(to_lexpr(l)?), b: Box::new(to_lexpr(r)?) })
+        }
+        Ast::Year(e) => Ok(LExpr::Year(Box::new(to_lexpr(e)?))),
+        Ast::Case(p, t, e) => Ok(LExpr::Case {
+            pred: Box::new(to_lpred(p)?),
+            then: Box::new(to_lexpr(t)?),
+            els: Box::new(to_lexpr(e)?),
+        }),
+        other => err(format!("expected scalar expression, found {other:?}")),
+    }
+}
+
+fn to_lpred(a: &Ast) -> Result<LPred, SqlError> {
+    match a {
+        Ast::Cmp(op, l, r) => Ok(LPred::Cmp { left: to_lexpr(l)?, op: *op, right: to_lexpr(r)? }),
+        Ast::And(ps) => Ok(LPred::And(ps.iter().map(to_lpred).collect::<Result<_, _>>()?)),
+        Ast::Or(ps) => Ok(LPred::Or(ps.iter().map(to_lpred).collect::<Result<_, _>>()?)),
+        Ast::Not(p) => Ok(LPred::Not(Box::new(to_lpred(p)?))),
+        Ast::Between(e, lo, hi) => match e.as_ref() {
+            Ast::Col(c) => {
+                Ok(LPred::Between { col: c.clone(), lo: lo.clone(), hi: hi.clone() })
+            }
+            _ => err("BETWEEN requires a column"),
+        },
+        Ast::InList(e, vals) => match e.as_ref() {
+            Ast::Col(c) => Ok(LPred::InList { col: c.clone(), values: vals.clone() }),
+            _ => err("IN requires a column"),
+        },
+        Ast::Like(e, pattern) => match e.as_ref() {
+            Ast::Col(c) => like_to_pred(c, pattern),
+            _ => err("LIKE requires a column"),
+        },
+        other => err(format!("expected predicate, found {other:?}")),
+    }
+}
+
+fn like_to_pred(col: &str, pattern: &str) -> Result<LPred, SqlError> {
+    let starts = pattern.starts_with('%');
+    let ends = pattern.ends_with('%');
+    let trimmed = pattern.trim_matches('%');
+    if trimmed.contains('%') {
+        return err(format!("unsupported LIKE pattern '{pattern}'"));
+    }
+    match (starts, ends) {
+        (false, true) => Ok(LPred::LikePrefix { col: col.into(), prefix: trimmed.into() }),
+        (true, true) => Ok(LPred::LikeContains { col: col.into(), needle: trimmed.into() }),
+        (false, false) => Ok(LPred::eq(col, Value::Str(pattern.into()))),
+        (true, false) => err(format!("suffix LIKE '{pattern}' not supported")),
+    }
+}
+
+/// Columns referenced by an AST node.
+fn ast_columns(a: &Ast, out: &mut Vec<String>) {
+    match a {
+        Ast::Col(c) => out.push(c.clone()),
+        Ast::Bin(_, l, r) | Ast::Cmp(_, l, r) => {
+            ast_columns(l, out);
+            ast_columns(r, out);
+        }
+        Ast::And(ps) | Ast::Or(ps) => ps.iter().for_each(|p| ast_columns(p, out)),
+        Ast::Not(p) | Ast::Year(p) | Ast::Agg(_, p) => ast_columns(p, out),
+        Ast::Between(e, _, _) | Ast::InList(e, _) | Ast::Like(e, _) => ast_columns(e, out),
+        Ast::Case(p, t, e) => {
+            ast_columns(p, out);
+            ast_columns(t, out);
+            ast_columns(e, out);
+        }
+        Ast::Lit(_) | Ast::Star | Ast::Window { .. } => {}
+    }
+}
+
+fn contains_agg(a: &Ast) -> bool {
+    match a {
+        Ast::Agg(..) => true,
+        Ast::Bin(_, l, r) | Ast::Cmp(_, l, r) => contains_agg(l) || contains_agg(r),
+        Ast::And(ps) | Ast::Or(ps) => ps.iter().any(contains_agg),
+        Ast::Not(p) | Ast::Year(p) => contains_agg(p),
+        Ast::Case(p, t, e) => contains_agg(p) || contains_agg(t) || contains_agg(e),
+        _ => false,
+    }
+}
+
+/// Parse SQL into a logical plan, given each table's column names (for
+/// predicate pushdown and join-side resolution).
+pub fn parse_sql(
+    sql: &str,
+    table_columns: &HashMap<String, Vec<String>>,
+) -> Result<LogicalPlan, SqlError> {
+    // Top-level set operations split the statement: each side is a full
+    // SELECT; sides must have equal arity (checked at compile).
+    for (kw, op) in [
+        (" UNION ", rapid_qef::plan::SetOpKind::Union),
+        (" INTERSECT ", rapid_qef::plan::SetOpKind::Intersect),
+        (" MINUS ", rapid_qef::plan::SetOpKind::Minus),
+        (" EXCEPT ", rapid_qef::plan::SetOpKind::Minus),
+    ] {
+        // Case-insensitive split outside string literals.
+        if let Some(pos) = find_keyword_outside_strings(sql, kw) {
+            let (l, r) = sql.split_at(pos);
+            let r = &r[kw.len()..];
+            return Ok(LogicalPlan::SetOp {
+                left: Box::new(parse_sql(l, table_columns)?),
+                right: Box::new(parse_sql(r, table_columns)?),
+                op,
+            });
+        }
+    }
+    let toks = lex(sql)?;
+    let mut p = Parser { toks, pos: 0 };
+    let stmt = p.select()?;
+    plan(stmt, table_columns)
+}
+
+/// Find a standalone keyword (spaces included in `kw`) outside single
+/// quotes, case-insensitively. Returns the byte offset of the match.
+fn find_keyword_outside_strings(sql: &str, kw: &str) -> Option<usize> {
+    let upper = sql.to_ascii_uppercase();
+    let kw = kw.to_ascii_uppercase();
+    let mut in_string = false;
+    let bytes = upper.as_bytes();
+    for i in 0..bytes.len() {
+        if bytes[i] == b'\'' {
+            in_string = !in_string;
+        }
+        if !in_string && upper[i..].starts_with(&kw) {
+            return Some(i);
+        }
+    }
+    None
+}
+
+fn plan(
+    stmt: SelectStmt,
+    table_columns: &HashMap<String, Vec<String>>,
+) -> Result<LogicalPlan, SqlError> {
+    // Which table owns each column (TPC-H prefixes make names unique).
+    let col_table = |c: &str| -> Option<&str> {
+        std::iter::once(&stmt.from)
+            .chain(stmt.joins.iter().map(|j| &j.table))
+            .find(|t| {
+                table_columns.get(t.as_str()).is_some_and(|cols| cols.iter().any(|x| x == c))
+            })
+            .map(String::as_str)
+    };
+
+    // Split WHERE conjuncts: single-table ones push into scans.
+    let mut scan_preds: HashMap<String, Vec<LPred>> = HashMap::new();
+    let mut residual: Vec<LPred> = Vec::new();
+    if let Some(w) = &stmt.where_ {
+        let conjuncts: Vec<Ast> = match w {
+            Ast::And(ps) => ps.clone(),
+            other => vec![other.clone()],
+        };
+        for c in conjuncts {
+            let mut cols = Vec::new();
+            ast_columns(&c, &mut cols);
+            let tables: Vec<&str> = {
+                let mut ts: Vec<&str> =
+                    cols.iter().filter_map(|c| col_table(c)).collect();
+                ts.sort_unstable();
+                ts.dedup();
+                ts
+            };
+            let lp = to_lpred(&c)?;
+            if tables.len() == 1 && cols.iter().all(|c| col_table(c).is_some()) {
+                scan_preds.entry(tables[0].to_string()).or_default().push(lp);
+            } else {
+                residual.push(lp);
+            }
+        }
+    }
+
+    let scan_for = |t: &str| -> Result<LogicalPlan, SqlError> {
+        if !table_columns.contains_key(t) {
+            return err(format!("unknown table '{t}'"));
+        }
+        let preds = scan_preds.get(t).cloned().unwrap_or_default();
+        Ok(LogicalPlan::Scan {
+            table: t.to_string(),
+            pred: if preds.is_empty() {
+                None
+            } else if preds.len() == 1 {
+                Some(preds.into_iter().next().expect("one"))
+            } else {
+                Some(LPred::And(preds))
+            },
+            projection: None,
+        })
+    };
+
+    // Left-deep join tree in FROM order.
+    let mut node = scan_for(&stmt.from)?;
+    for j in &stmt.joins {
+        let right = scan_for(&j.table)?;
+        // Keys: the side owning each ON column decides left vs right.
+        let mut lk = Vec::new();
+        let mut rk = Vec::new();
+        for (a, b) in &j.on {
+            let a_right = table_columns
+                .get(&j.table)
+                .is_some_and(|cols| cols.iter().any(|c| c == a));
+            let (l, r) = if a_right { (b.clone(), a.clone()) } else { (a.clone(), b.clone()) };
+            lk.push(l);
+            rk.push(r);
+        }
+        node = LogicalPlan::Join {
+            left: Box::new(node),
+            right: Box::new(right),
+            left_keys: lk,
+            right_keys: rk,
+            join_type: j.join_type,
+        };
+    }
+    for r in residual {
+        node = node.filter(r);
+    }
+
+    // Window functions: each window item appends a Window node; the final
+    // projection then selects it by name.
+    let mut window_names: Vec<(Ast, String)> = Vec::new();
+    for (e, alias) in &stmt.items {
+        if let Ast::Window { func, partition_by, order_by } = e {
+            let name = alias.clone().unwrap_or_else(|| "window".to_string());
+            node = LogicalPlan::Window {
+                input: Box::new(node),
+                partition_by: partition_by.clone(),
+                order_by: order_by
+                    .iter()
+                    .map(|(c, d)| LSortKey { col: c.clone(), desc: *d })
+                    .collect(),
+                func: func.clone(),
+                name: name.clone(),
+            };
+            window_names.push((e.clone(), name));
+        }
+    }
+
+    // Aggregation?
+    let has_agg = stmt.items.iter().any(|(e, _)| contains_agg(e)) || !stmt.group_by.is_empty();
+    let mut output_names = Vec::new();
+    if has_agg {
+        let mut group = Vec::new();
+        for g in &stmt.group_by {
+            let name = stmt
+                .items
+                .iter()
+                .find(|(e, _)| e == g)
+                .and_then(|(_, a)| a.clone())
+                .unwrap_or_else(|| ast_name(g));
+            group.push(LNamed::new(&name, to_lexpr(g)?));
+        }
+        let mut aggs = Vec::new();
+        for (e, alias) in &stmt.items {
+            match e {
+                Ast::Agg(f, inner) => {
+                    let name = alias.clone().unwrap_or_else(|| ast_name(e));
+                    let input = match (f, inner.as_ref()) {
+                        (AggFunc::Count, Ast::Star) => {
+                            // COUNT(*): count the first group key or any
+                            // column (non-null assumption on keys).
+                            match stmt.group_by.first() {
+                                Some(g) => to_lexpr(g)?,
+                                None => LExpr::int(1),
+                            }
+                        }
+                        _ => to_lexpr(inner)?,
+                    };
+                    aggs.push(LAgg { func: *f, input, name: name.clone() });
+                    output_names.push(name);
+                }
+                other if stmt.group_by.contains(other) => {
+                    let name = stmt
+                        .items
+                        .iter()
+                        .find(|(e2, _)| e2 == other)
+                        .and_then(|(_, a)| a.clone())
+                        .unwrap_or_else(|| ast_name(other));
+                    output_names.push(name);
+                }
+                other => {
+                    return err(format!(
+                        "non-aggregated select item {other:?} not in GROUP BY"
+                    ))
+                }
+            }
+        }
+        node = LogicalPlan::Aggregate { input: Box::new(node), group_by: group, aggs };
+        if let Some(h) = &stmt.having {
+            node = node.filter(having_pred(h, &stmt)?);
+        }
+    } else {
+        // Plain projection; window items project their appended column.
+        let exprs = stmt
+            .items
+            .iter()
+            .map(|(e, alias)| {
+                if let Some((_, name)) = window_names.iter().find(|(w, _)| w == e) {
+                    return Ok(LNamed::new(name, LExpr::Col(name.clone())));
+                }
+                Ok(LNamed::new(
+                    &alias.clone().unwrap_or_else(|| ast_name(e)),
+                    to_lexpr(e)?,
+                ))
+            })
+            .collect::<Result<Vec<_>, SqlError>>()?;
+        output_names.extend(exprs.iter().map(|e| e.name.clone()));
+        node = node.project(exprs);
+    }
+
+    // ORDER BY / LIMIT (names resolve against the output).
+    if !stmt.order_by.is_empty() {
+        let keys = stmt
+            .order_by
+            .iter()
+            .map(|(e, desc)| {
+                let name = match e {
+                    Ast::Col(c) => c.clone(),
+                    other => stmt
+                        .items
+                        .iter()
+                        .find(|(e2, _)| e2 == other)
+                        .and_then(|(_, a)| a.clone())
+                        .unwrap_or_else(|| ast_name(other)),
+                };
+                Ok(LSortKey { col: name, desc: *desc })
+            })
+            .collect::<Result<Vec<_>, SqlError>>()?;
+        node = node.sort(keys);
+    }
+    if let Some(n) = stmt.limit {
+        node = node.limit(n);
+    }
+    Ok(node)
+}
+
+/// HAVING predicates reference aggregate aliases (`HAVING sum_qty > 300`)
+/// or aggregate calls that appear in the select list.
+fn having_pred(h: &Ast, stmt: &SelectStmt) -> Result<LPred, SqlError> {
+    // Rewrite aggregate calls to the matching select alias.
+    fn rewrite(a: &Ast, stmt: &SelectStmt) -> Ast {
+        if let Some((_, Some(alias))) = stmt.items.iter().find(|(e, _)| e == a) {
+            return Ast::Col(alias.clone());
+        }
+        match a {
+            Ast::Cmp(op, l, r) => Ast::Cmp(
+                *op,
+                Box::new(rewrite(l, stmt)),
+                Box::new(rewrite(r, stmt)),
+            ),
+            Ast::And(ps) => Ast::And(ps.iter().map(|p| rewrite(p, stmt)).collect()),
+            Ast::Or(ps) => Ast::Or(ps.iter().map(|p| rewrite(p, stmt)).collect()),
+            Ast::Not(p) => Ast::Not(Box::new(rewrite(p, stmt))),
+            other => other.clone(),
+        }
+    }
+    to_lpred(&rewrite(h, stmt))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn schemas() -> HashMap<String, Vec<String>> {
+        let mut m = HashMap::new();
+        m.insert(
+            "lineitem".to_string(),
+            ["l_orderkey", "l_quantity", "l_extendedprice", "l_discount", "l_shipdate", "l_shipmode"]
+                .iter()
+                .map(|s| s.to_string())
+                .collect(),
+        );
+        m.insert(
+            "orders".to_string(),
+            ["o_orderkey", "o_custkey", "o_orderdate", "o_orderpriority"]
+                .iter()
+                .map(|s| s.to_string())
+                .collect(),
+        );
+        m
+    }
+
+    #[test]
+    fn simple_projection() {
+        let p = parse_sql("SELECT l_orderkey, l_quantity FROM lineitem", &schemas()).unwrap();
+        let LogicalPlan::Project { exprs, .. } = p else { panic!("{p:?}") };
+        assert_eq!(exprs.len(), 2);
+        assert_eq!(exprs[0].name, "l_orderkey");
+    }
+
+    #[test]
+    fn where_pushdown_into_scan() {
+        let p = parse_sql(
+            "SELECT l_orderkey FROM lineitem WHERE l_quantity < 24 AND l_shipdate >= DATE '1994-01-01'",
+            &schemas(),
+        )
+        .unwrap();
+        let LogicalPlan::Project { input, .. } = p else { panic!() };
+        let LogicalPlan::Scan { pred: Some(LPred::And(ps)), .. } = *input else {
+            panic!("pushdown failed: {input:?}")
+        };
+        assert_eq!(ps.len(), 2);
+    }
+
+    #[test]
+    fn join_with_on_keys_either_order() {
+        let p = parse_sql(
+            "SELECT o_orderkey FROM orders JOIN lineitem ON l_orderkey = o_orderkey",
+            &schemas(),
+        )
+        .unwrap();
+        let LogicalPlan::Project { input, .. } = p else { panic!() };
+        let LogicalPlan::Join { left_keys, right_keys, .. } = *input else { panic!() };
+        assert_eq!(left_keys, vec!["o_orderkey"]);
+        assert_eq!(right_keys, vec!["l_orderkey"]);
+    }
+
+    #[test]
+    fn aggregate_with_group_and_having_and_order() {
+        let p = parse_sql(
+            "SELECT l_shipmode, SUM(l_quantity) AS total FROM lineitem \
+             GROUP BY l_shipmode HAVING SUM(l_quantity) > 10 \
+             ORDER BY total DESC LIMIT 5",
+            &schemas(),
+        )
+        .unwrap();
+        // Limit(Sort(Filter(Aggregate))).
+        let LogicalPlan::Limit { input, n: 5 } = p else { panic!("{p:?}") };
+        let LogicalPlan::Sort { input, order } = *input else { panic!() };
+        assert!(order[0].desc);
+        assert_eq!(order[0].col, "total");
+        let LogicalPlan::Filter { pred, .. } = *input else { panic!() };
+        // HAVING rewrote SUM(...) to the alias.
+        assert_eq!(
+            pred,
+            LPred::cmp("total", CmpOp::Gt, Value::Int(10))
+        );
+    }
+
+    #[test]
+    fn count_star_and_case() {
+        let p = parse_sql(
+            "SELECT o_orderpriority, COUNT(*) AS n, \
+             SUM(CASE WHEN o_orderpriority = '1-URGENT' THEN 1 ELSE 0 END) AS urgent \
+             FROM orders GROUP BY o_orderpriority",
+            &schemas(),
+        )
+        .unwrap();
+        let LogicalPlan::Aggregate { aggs, .. } = p else { panic!() };
+        assert_eq!(aggs.len(), 2);
+        assert_eq!(aggs[0].name, "n");
+        assert!(matches!(aggs[1].input, LExpr::Case { .. }));
+    }
+
+    #[test]
+    fn semi_join_syntax() {
+        let p = parse_sql(
+            "SELECT o_orderkey FROM orders SEMI JOIN lineitem ON o_orderkey = l_orderkey",
+            &schemas(),
+        )
+        .unwrap();
+        let LogicalPlan::Project { input, .. } = p else { panic!() };
+        let LogicalPlan::Join { join_type, .. } = *input else { panic!() };
+        assert_eq!(join_type, JoinType::LeftSemi);
+    }
+
+    #[test]
+    fn like_patterns() {
+        let s = schemas();
+        let p = parse_sql("SELECT l_orderkey FROM lineitem WHERE l_shipmode LIKE 'AIR%'", &s)
+            .unwrap();
+        let LogicalPlan::Project { input, .. } = p else { panic!() };
+        let LogicalPlan::Scan { pred: Some(LPred::LikePrefix { .. }), .. } = *input else {
+            panic!()
+        };
+        let p =
+            parse_sql("SELECT l_orderkey FROM lineitem WHERE l_shipmode LIKE '%IR%'", &s).unwrap();
+        let LogicalPlan::Project { input, .. } = p else { panic!() };
+        let LogicalPlan::Scan { pred: Some(LPred::LikeContains { .. }), .. } = *input else {
+            panic!()
+        };
+    }
+
+    #[test]
+    fn decimal_and_date_literals() {
+        let p = parse_sql(
+            "SELECT l_orderkey FROM lineitem WHERE l_discount BETWEEN 0.05 AND 0.07",
+            &schemas(),
+        )
+        .unwrap();
+        let LogicalPlan::Project { input, .. } = p else { panic!() };
+        let LogicalPlan::Scan { pred: Some(LPred::Between { lo, hi, .. }), .. } = *input else {
+            panic!()
+        };
+        assert_eq!(lo, Value::Decimal { unscaled: 5, scale: 2 });
+        assert_eq!(hi, Value::Decimal { unscaled: 7, scale: 2 });
+    }
+
+    #[test]
+    fn errors_are_reported() {
+        assert!(parse_sql("SELECT FROM", &schemas()).is_err());
+        assert!(parse_sql("SELECT x FROM ghost", &schemas()).is_err());
+        assert!(parse_sql("SELECT l_orderkey FROM lineitem WHERE", &schemas()).is_err());
+        assert!(
+            parse_sql("SELECT l_orderkey, SUM(l_quantity) FROM lineitem", &schemas()).is_err(),
+            "non-grouped column with aggregate"
+        );
+    }
+
+    #[test]
+    fn qualified_names_unqualify() {
+        let p = parse_sql("SELECT lineitem.l_orderkey FROM lineitem", &schemas()).unwrap();
+        let LogicalPlan::Project { exprs, .. } = p else { panic!() };
+        assert_eq!(exprs[0].expr, LExpr::col("l_orderkey"));
+    }
+}
+
+#[cfg(test)]
+mod window_setop_tests {
+    use super::*;
+
+    fn schemas() -> HashMap<String, Vec<String>> {
+        let mut m = HashMap::new();
+        m.insert(
+            "emp".to_string(),
+            ["id", "dept", "salary"].iter().map(|s| s.to_string()).collect(),
+        );
+        m
+    }
+
+    #[test]
+    fn rank_over_clause() {
+        let p = parse_sql(
+            "SELECT id, RANK() OVER (PARTITION BY dept ORDER BY salary DESC) AS r FROM emp",
+            &schemas(),
+        )
+        .unwrap();
+        let LogicalPlan::Project { input, exprs } = p else { panic!("{p:?}") };
+        assert_eq!(exprs[1].name, "r");
+        let LogicalPlan::Window { partition_by, order_by, func, name, .. } = *input else {
+            panic!()
+        };
+        assert_eq!(partition_by, vec!["dept"]);
+        assert!(order_by[0].desc);
+        assert_eq!(func, LWindowFunc::Rank);
+        assert_eq!(name, "r");
+    }
+
+    #[test]
+    fn running_sum_over() {
+        let p = parse_sql(
+            "SELECT id, SUM(salary) OVER (ORDER BY id) AS cume FROM emp",
+            &schemas(),
+        )
+        .unwrap();
+        let LogicalPlan::Project { input, .. } = p else { panic!() };
+        let LogicalPlan::Window { func, partition_by, .. } = *input else { panic!() };
+        assert_eq!(func, LWindowFunc::RunningSum { col: "salary".into() });
+        assert!(partition_by.is_empty());
+    }
+
+    #[test]
+    fn union_minus_intersect() {
+        for (kw, op) in [
+            ("UNION", rapid_qef::plan::SetOpKind::Union),
+            ("INTERSECT", rapid_qef::plan::SetOpKind::Intersect),
+            ("MINUS", rapid_qef::plan::SetOpKind::Minus),
+            ("EXCEPT", rapid_qef::plan::SetOpKind::Minus),
+        ] {
+            let sql = format!(
+                "SELECT id FROM emp WHERE salary > 100 {kw} SELECT id FROM emp WHERE dept = 1"
+            );
+            let p = parse_sql(&sql, &schemas()).unwrap();
+            let LogicalPlan::SetOp { op: got, left, right } = p else { panic!("{kw}") };
+            assert_eq!(got, op, "{kw}");
+            assert!(matches!(*left, LogicalPlan::Project { .. }));
+            assert!(matches!(*right, LogicalPlan::Project { .. }));
+        }
+    }
+
+    #[test]
+    fn union_keyword_inside_string_is_literal() {
+        let mut m = schemas();
+        m.insert("t".to_string(), vec!["s".to_string()]);
+        let p = parse_sql("SELECT s FROM t WHERE s = 'credit union club'", &m).unwrap();
+        assert!(matches!(p, LogicalPlan::Project { .. }), "no set-op split");
+    }
+}

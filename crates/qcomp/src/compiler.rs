@@ -1,0 +1,1062 @@
+//! Lowering logical plans to physical QEPs.
+//!
+//! The compiler resolves column names, propagates DSB scales through
+//! arithmetic (Add/Sub unify scales, Mul adds them, Div pre-scales the
+//! dividend — all integer math, §4.2), encodes literals into the widened
+//! physical domain (dictionary codes for strings, mantissas for decimals,
+//! epoch days for dates), compiles string range/prefix predicates to code
+//! ranges (ordered dictionaries) or code bitmaps (post-update
+//! dictionaries), picks join build sides and group-by strategies from
+//! statistics, and chooses partition schemes via [`crate::partition_opt`].
+
+use std::ops::Bound;
+
+use rapid_qef::expr::{Expr, Pred};
+use rapid_qef::plan::{AggSpec, Catalog, GroupStrategy, JoinType, NamedExpr, PlanNode, SortKey};
+use rapid_qef::primitives::agg::AggFunc;
+use rapid_qef::primitives::arith::ArithOp;
+use rapid_qef::primitives::filter::CmpOp;
+use rapid_storage::types::{pow10, DataType, Value};
+
+use crate::cost::{estimate, CostParams, PlanCost};
+use crate::logical::{LExpr, LPred, LWindowFunc, LogicalPlan};
+use crate::partition_opt::{optimize_partition_scheme, PartitionOptInput};
+
+/// Extra fractional digits given to divisions.
+const DIV_EXTRA_SCALE: u8 = 6;
+
+/// Compilation errors.
+#[derive(Debug, Clone, PartialEq)]
+pub enum CompileError {
+    /// Referenced table is not loaded.
+    UnknownTable(String),
+    /// Referenced column does not exist in scope.
+    UnknownColumn(String),
+    /// A literal cannot be encoded for the column it is compared with.
+    BadLiteral(String),
+    /// Feature not supported by the physical engine.
+    Unsupported(String),
+}
+
+impl std::fmt::Display for CompileError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CompileError::UnknownTable(t) => write!(f, "unknown table '{t}'"),
+            CompileError::UnknownColumn(c) => write!(f, "unknown column '{c}'"),
+            CompileError::BadLiteral(m) => write!(f, "bad literal: {m}"),
+            CompileError::Unsupported(m) => write!(f, "unsupported: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for CompileError {}
+
+/// One column of a lowered node's output.
+#[derive(Debug, Clone, PartialEq)]
+pub struct OutCol {
+    /// Output name.
+    pub name: String,
+    /// Logical type.
+    pub dtype: DataType,
+    /// DSB scale.
+    pub scale: u8,
+    /// Dictionary provenance for Varchar columns.
+    pub dict: Option<(String, usize)>,
+    /// NDV estimate, when derivable from base-table statistics.
+    pub ndv: Option<u64>,
+}
+
+/// A compiled query.
+#[derive(Debug, Clone)]
+pub struct Compiled {
+    /// The physical plan.
+    pub plan: PlanNode,
+    /// Output columns (names + decode info, compiler's view).
+    pub output: Vec<OutCol>,
+    /// Estimated cost.
+    pub cost: PlanCost,
+}
+
+/// Compile a logical plan against the catalog.
+pub fn compile(
+    lp: &LogicalPlan,
+    catalog: &Catalog,
+    params: &CostParams,
+) -> Result<Compiled, CompileError> {
+    let (plan, output) = lower(lp, catalog, params)?;
+    let cost = estimate(&plan, catalog, params);
+    Ok(Compiled { plan, output, cost })
+}
+
+fn lower(
+    lp: &LogicalPlan,
+    catalog: &Catalog,
+    params: &CostParams,
+) -> Result<(PlanNode, Vec<OutCol>), CompileError> {
+    match lp {
+        LogicalPlan::Scan { table, pred, projection } => {
+            lower_scan(table, pred.as_ref(), projection.as_deref(), catalog)
+        }
+        LogicalPlan::Filter { input, pred } => {
+            let (child, cols) = lower(input, catalog, params)?;
+            let p = lower_pred(pred, &cols, catalog)?;
+            Ok((PlanNode::Filter { input: Box::new(child), pred: p }, cols))
+        }
+        LogicalPlan::Project { input, exprs } => {
+            let (child, cols) = lower(input, catalog, params)?;
+            let mut out_exprs = Vec::with_capacity(exprs.len());
+            let mut out_cols = Vec::with_capacity(exprs.len());
+            for e in exprs {
+                let t = lower_expr(&e.expr, &cols, catalog)?;
+                out_cols.push(OutCol {
+                    name: e.name.clone(),
+                    dtype: t.dtype,
+                    scale: t.scale,
+                    dict: t.dict.clone(),
+                    ndv: t.ndv,
+                });
+                out_exprs.push(NamedExpr {
+                    expr: t.expr,
+                    name: e.name.clone(),
+                    dtype: t.dtype,
+                    scale: t.scale,
+                    dict: t.dict.clone(),
+                });
+            }
+            Ok((PlanNode::Map { input: Box::new(child), exprs: out_exprs }, out_cols))
+        }
+        LogicalPlan::Join { left, right, left_keys, right_keys, join_type } => {
+            lower_join(left, right, left_keys, right_keys, *join_type, catalog, params)
+        }
+        LogicalPlan::Aggregate { input, group_by, aggs } => {
+            lower_aggregate(input, group_by, aggs, catalog, params)
+        }
+        LogicalPlan::Sort { input, order } => {
+            let (child, cols) = lower(input, catalog, params)?;
+            let keys = order
+                .iter()
+                .map(|k| {
+                    Ok(SortKey { col: position(&cols, &k.col)?, desc: k.desc })
+                })
+                .collect::<Result<Vec<_>, CompileError>>()?;
+            Ok((PlanNode::Sort { input: Box::new(child), order: keys }, cols))
+        }
+        LogicalPlan::Limit { input, n } => {
+            // Sort + Limit fuses into the vectorized Top-K (§5.4).
+            if let LogicalPlan::Sort { input: sort_in, order } = input.as_ref() {
+                let (child, cols) = lower(sort_in, catalog, params)?;
+                let keys = order
+                    .iter()
+                    .map(|k| {
+                        Ok(SortKey { col: position(&cols, &k.col)?, desc: k.desc })
+                    })
+                    .collect::<Result<Vec<_>, CompileError>>()?;
+                return Ok((
+                    PlanNode::TopK { input: Box::new(child), order: keys, k: *n },
+                    cols,
+                ));
+            }
+            let (child, cols) = lower(input, catalog, params)?;
+            Ok((PlanNode::Limit { input: Box::new(child), n: *n }, cols))
+        }
+        LogicalPlan::SetOp { left, right, op } => {
+            let (l, lc) = lower(left, catalog, params)?;
+            let (r, rc) = lower(right, catalog, params)?;
+            if lc.len() != rc.len() {
+                return Err(CompileError::Unsupported(
+                    "set operation inputs must have equal arity".into(),
+                ));
+            }
+            Ok((PlanNode::SetOp { left: Box::new(l), right: Box::new(r), op: *op }, lc))
+        }
+        LogicalPlan::Window { input, partition_by, order_by, func, name } => {
+            let (child, mut cols) = lower(input, catalog, params)?;
+            let pb = partition_by
+                .iter()
+                .map(|c| position(&cols, c))
+                .collect::<Result<Vec<_>, _>>()?;
+            let ob = order_by
+                .iter()
+                .map(|k| Ok(SortKey { col: position(&cols, &k.col)?, desc: k.desc }))
+                .collect::<Result<Vec<_>, CompileError>>()?;
+            let (wf, dtype, scale) = match func {
+                LWindowFunc::Rank => (rapid_qef::plan::WindowFunc::Rank, DataType::Int, 0),
+                LWindowFunc::RowNumber => {
+                    (rapid_qef::plan::WindowFunc::RowNumber, DataType::Int, 0)
+                }
+                LWindowFunc::RunningSum { col } => {
+                    let idx = position(&cols, col)?;
+                    let c = &cols[idx];
+                    (
+                        rapid_qef::plan::WindowFunc::RunningSum { col: idx },
+                        c.dtype,
+                        c.scale,
+                    )
+                }
+            };
+            cols.push(OutCol { name: name.clone(), dtype, scale, dict: None, ndv: None });
+            Ok((
+                PlanNode::Window {
+                    input: Box::new(child),
+                    partition_by: pb,
+                    order_by: ob,
+                    func: wf,
+                },
+                cols,
+            ))
+        }
+    }
+}
+
+fn lower_scan(
+    table: &str,
+    pred: Option<&LPred>,
+    projection: Option<&[String]>,
+    catalog: &Catalog,
+) -> Result<(PlanNode, Vec<OutCol>), CompileError> {
+    let t = catalog.get(table).ok_or_else(|| CompileError::UnknownTable(table.into()))?;
+    // Scan-level scope: the full table schema (pred uses table indices).
+    let table_cols: Vec<OutCol> = t
+        .schema
+        .fields
+        .iter()
+        .enumerate()
+        .map(|(i, f)| OutCol {
+            name: f.name.clone(),
+            dtype: f.dtype,
+            scale: t.scales[i],
+            dict: matches!(f.dtype, DataType::Varchar).then(|| (table.to_string(), i)),
+            ndv: t.stats.columns.get(i).map(|s| s.ndv),
+        })
+        .collect();
+    let p = pred.map(|pr| lower_pred(pr, &table_cols, catalog)).transpose()?;
+
+    let (columns, out_cols): (Vec<usize>, Vec<OutCol>) = match projection {
+        Some(names) => {
+            let mut idx = Vec::with_capacity(names.len());
+            let mut cols = Vec::with_capacity(names.len());
+            for n in names {
+                let i = t
+                    .schema
+                    .index_of(n)
+                    .ok_or_else(|| CompileError::UnknownColumn(n.clone()))?;
+                idx.push(i);
+                cols.push(table_cols[i].clone());
+            }
+            (idx, cols)
+        }
+        None => ((0..t.schema.len()).collect(), table_cols.clone()),
+    };
+    Ok((PlanNode::Scan { table: table.to_string(), columns, pred: p }, out_cols))
+}
+
+/// Resolve a name in an output-column scope.
+fn position(cols: &[OutCol], name: &str) -> Result<usize, CompileError> {
+    cols.iter()
+        .position(|c| c.name == name)
+        .ok_or_else(|| CompileError::UnknownColumn(name.to_string()))
+}
+
+/// A lowered, typed expression.
+struct Typed {
+    expr: Expr,
+    dtype: DataType,
+    scale: u8,
+    dict: Option<(String, usize)>,
+    ndv: Option<u64>,
+}
+
+fn lower_expr(e: &LExpr, cols: &[OutCol], catalog: &Catalog) -> Result<Typed, CompileError> {
+    match e {
+        LExpr::Col(name) => {
+            let i = position(cols, name)?;
+            let c = &cols[i];
+            Ok(Typed {
+                expr: Expr::Col(i),
+                dtype: c.dtype,
+                scale: c.scale,
+                dict: c.dict.clone(),
+                ndv: c.ndv,
+            })
+        }
+        LExpr::Lit(v) => match v {
+            Value::Int(x) => Ok(Typed {
+                expr: Expr::Lit(*x),
+                dtype: DataType::Int,
+                scale: 0,
+                dict: None,
+                ndv: Some(1),
+            }),
+            Value::Decimal { unscaled, scale } => Ok(Typed {
+                expr: Expr::Lit(*unscaled),
+                dtype: DataType::Decimal { scale: *scale },
+                scale: *scale,
+                dict: None,
+                ndv: Some(1),
+            }),
+            Value::Date(d) => Ok(Typed {
+                expr: Expr::Lit(*d as i64),
+                dtype: DataType::Date,
+                scale: 0,
+                dict: None,
+                ndv: Some(1),
+            }),
+            other => Err(CompileError::Unsupported(format!(
+                "literal {other} in scalar expression"
+            ))),
+        },
+        LExpr::Bin { op, a, b } => {
+            let ta = lower_expr(a, cols, catalog)?;
+            let tb = lower_expr(b, cols, catalog)?;
+            lower_arith(*op, ta, tb)
+        }
+        LExpr::Year(e) => {
+            let t = lower_expr(e, cols, catalog)?;
+            Ok(Typed {
+                expr: Expr::YearOf(Box::new(t.expr)),
+                dtype: DataType::Int,
+                scale: 0,
+                dict: None,
+                ndv: None,
+            })
+        }
+        LExpr::Case { pred, then, els } => {
+            let p = lower_pred(pred, cols, catalog)?;
+            let tt = lower_expr(then, cols, catalog)?;
+            let te = lower_expr(els, cols, catalog)?;
+            let (tt, te) = unify_scales(tt, te)?;
+            Ok(Typed {
+                expr: Expr::Case {
+                    pred: Box::new(p),
+                    then: Box::new(tt.expr),
+                    els: Box::new(te.expr),
+                },
+                dtype: widen_type(tt.dtype, te.dtype),
+                scale: tt.scale,
+                dict: None,
+                ndv: None,
+            })
+        }
+    }
+}
+
+/// Rescale `t` from its scale to `target` by multiplying mantissas.
+fn rescale_expr(t: Typed, target: u8) -> Result<Typed, CompileError> {
+    if t.scale == target {
+        return Ok(t);
+    }
+    if t.scale > target {
+        return Err(CompileError::Unsupported("downscaling in expression".into()));
+    }
+    let factor = pow10(target - t.scale)
+        .ok_or_else(|| CompileError::BadLiteral("rescale overflow".into()))?;
+    Ok(Typed {
+        expr: Expr::mul(t.expr, Expr::Lit(factor)),
+        scale: target,
+        dtype: if t.scale == 0 && target > 0 { DataType::Decimal { scale: target } } else { t.dtype },
+        dict: None,
+        ndv: t.ndv,
+    })
+}
+
+fn unify_scales(a: Typed, b: Typed) -> Result<(Typed, Typed), CompileError> {
+    let target = a.scale.max(b.scale);
+    Ok((rescale_expr(a, target)?, rescale_expr(b, target)?))
+}
+
+/// Reduce `t`'s scale to at most `max_scale` by integer-dividing the
+/// mantissa (truncating precision loss, used by division lowering).
+fn downscale_to(t: Typed, max_scale: u8) -> Result<Typed, CompileError> {
+    if t.scale <= max_scale {
+        return Ok(t);
+    }
+    let div = pow10(t.scale - max_scale)
+        .ok_or_else(|| CompileError::BadLiteral("downscale overflow".into()))?;
+    Ok(Typed {
+        expr: Expr::Arith {
+            op: ArithOp::Div,
+            a: Box::new(t.expr),
+            b: Box::new(Expr::Lit(div)),
+        },
+        scale: max_scale,
+        dtype: DataType::Decimal { scale: max_scale },
+        dict: None,
+        ndv: t.ndv,
+    })
+}
+
+fn widen_type(a: DataType, b: DataType) -> DataType {
+    match (a, b) {
+        (DataType::Decimal { scale }, _) | (_, DataType::Decimal { scale }) => {
+            DataType::Decimal { scale }
+        }
+        _ => a,
+    }
+}
+
+fn lower_arith(op: ArithOp, a: Typed, b: Typed) -> Result<Typed, CompileError> {
+    match op {
+        ArithOp::Add | ArithOp::Sub => {
+            let (a, b) = unify_scales(a, b)?;
+            Ok(Typed {
+                dtype: widen_type(a.dtype, b.dtype),
+                scale: a.scale,
+                expr: Expr::Arith { op, a: Box::new(a.expr), b: Box::new(b.expr) },
+                dict: None,
+                ndv: None,
+            })
+        }
+        ArithOp::Mul => {
+            let scale = a.scale + b.scale;
+            Ok(Typed {
+                dtype: if scale > 0 { DataType::Decimal { scale } } else { widen_type(a.dtype, b.dtype) },
+                scale,
+                expr: Expr::Arith { op, a: Box::new(a.expr), b: Box::new(b.expr) },
+                dict: None,
+                ndv: None,
+            })
+        }
+        ArithOp::Div => {
+            // Deep operand scales would force a huge dividend pre-scale
+            // and overflow the mantissa; normalize both operands down to
+            // scale ≤ 2 first (integer division — a DSB precision-loss
+            // tradeoff, acceptable for ratio reporting).
+            let a = downscale_to(a, 2)?;
+            let b = downscale_to(b, 2)?;
+            // out_scale = max(DIV_EXTRA, sa - sb); pre-scale the dividend
+            // so integer division retains the fraction.
+            let sa = a.scale;
+            let sb = b.scale;
+            let out_scale = DIV_EXTRA_SCALE.max(sa.saturating_sub(sb));
+            let k = out_scale + sb - sa; // ≥ 0 by construction
+            let dividend = if k > 0 {
+                Expr::mul(
+                    a.expr,
+                    Expr::Lit(pow10(k).ok_or_else(|| {
+                        CompileError::BadLiteral("division prescale overflow".into())
+                    })?),
+                )
+            } else {
+                a.expr
+            };
+            Ok(Typed {
+                dtype: DataType::Decimal { scale: out_scale },
+                scale: out_scale,
+                expr: Expr::Arith {
+                    op: ArithOp::Div,
+                    a: Box::new(dividend),
+                    b: Box::new(b.expr),
+                },
+                dict: None,
+                ndv: None,
+            })
+        }
+    }
+}
+
+/// Lower a predicate against an intermediate scope.
+fn lower_pred(p: &LPred, cols: &[OutCol], catalog: &Catalog) -> Result<Pred, CompileError> {
+    match p {
+        LPred::And(ps) => Ok(Pred::And(
+            ps.iter().map(|q| lower_pred(q, cols, catalog)).collect::<Result<_, _>>()?,
+        )),
+        LPred::Or(ps) => Ok(Pred::Or(
+            ps.iter().map(|q| lower_pred(q, cols, catalog)).collect::<Result<_, _>>()?,
+        )),
+        LPred::Not(q) => Ok(Pred::Not(Box::new(lower_pred(q, cols, catalog)?))),
+        LPred::Cmp { left, op, right } => lower_cmp(left, *op, right, cols, catalog),
+        LPred::Between { col, lo, hi } => {
+            let i = position(cols, col)?;
+            let c = &cols[i];
+            let lo = encode_boundary(c, lo, catalog, RoundDir::Up)?;
+            let hi = encode_boundary(c, hi, catalog, RoundDir::Down)?;
+            Ok(Pred::Between { col: i, lo, hi })
+        }
+        LPred::InList { col, values } => {
+            let i = position(cols, col)?;
+            let c = &cols[i];
+            if let Some((tname, tcol)) = &c.dict {
+                // String IN-list: a code bitmap.
+                let t = catalog
+                    .get(tname)
+                    .ok_or_else(|| CompileError::UnknownTable(tname.clone()))?;
+                let dict = t.dicts[*tcol].as_ref().expect("varchar has dict");
+                let mut codes = rapid_storage::bitvec::BitVec::zeros(dict.len());
+                for v in values {
+                    if let Value::Str(s) = v {
+                        if let Some(code) = dict.code_of(s) {
+                            codes.set(code as usize, true);
+                        }
+                    } else {
+                        return Err(CompileError::BadLiteral(format!(
+                            "non-string {v} in string IN-list"
+                        )));
+                    }
+                }
+                Ok(Pred::InCodes { col: i, codes })
+            } else {
+                let mut enc = Vec::with_capacity(values.len());
+                for v in values {
+                    match exact_encode(c, v, catalog)? {
+                        Some(x) => enc.push(x),
+                        None => {} // unrepresentable value can never match
+                    }
+                }
+                enc.sort_unstable();
+                enc.dedup();
+                Ok(Pred::InList { col: i, values: enc })
+            }
+        }
+        LPred::LikePrefix { col, prefix } => {
+            let (i, dict) = resolve_dict(col, cols, catalog)?;
+            Ok(Pred::InCodes { col: i, codes: dict.prefix_codes(prefix) })
+        }
+        LPred::LikeContains { col, needle } => {
+            let (i, dict) = resolve_dict(col, cols, catalog)?;
+            Ok(Pred::InCodes { col: i, codes: dict.contains_codes(needle) })
+        }
+    }
+}
+
+/// Resolve a string column's dictionary for LIKE compilation.
+fn resolve_dict<'a>(
+    col: &str,
+    cols: &[OutCol],
+    catalog: &'a Catalog,
+) -> Result<(usize, &'a rapid_storage::encoding::dict::Dictionary), CompileError> {
+    let i = position(cols, col)?;
+    let (tname, tcol) = cols[i].dict.as_ref().ok_or_else(|| {
+        CompileError::Unsupported(format!("LIKE on non-string column {col}"))
+    })?;
+    let t = catalog.get(tname).ok_or_else(|| CompileError::UnknownTable(tname.clone()))?;
+    Ok((i, t.dicts[*tcol].as_ref().expect("varchar has dict")))
+}
+
+fn lower_cmp(
+    left: &LExpr,
+    op: CmpOp,
+    right: &LExpr,
+    cols: &[OutCol],
+    catalog: &Catalog,
+) -> Result<Pred, CompileError> {
+    // Normalize literal-on-the-left.
+    if matches!(left, LExpr::Lit(_)) && !matches!(right, LExpr::Lit(_)) {
+        return lower_cmp(right, op.flipped(), left, cols, catalog);
+    }
+    match (left, right) {
+        (LExpr::Col(cn), LExpr::Lit(v)) => {
+            let i = position(cols, cn)?;
+            let c = &cols[i];
+            // String comparisons go through the dictionary.
+            if let (Some((tname, tcol)), Value::Str(s)) = (&c.dict, v) {
+                let t = catalog
+                    .get(tname)
+                    .ok_or_else(|| CompileError::UnknownTable(tname.clone()))?;
+                let dict = t.dicts[*tcol].as_ref().expect("varchar has dict");
+                return Ok(compile_string_cmp(i, op, s, dict));
+            }
+            match op {
+                CmpOp::Eq => match exact_encode(c, v, catalog)? {
+                    Some(x) => Ok(Pred::CmpConst { col: i, op, value: x }),
+                    None => Ok(Pred::Const(false)),
+                },
+                CmpOp::Ne => match exact_encode(c, v, catalog)? {
+                    Some(x) => Ok(Pred::CmpConst { col: i, op, value: x }),
+                    None => Ok(Pred::Const(true)),
+                },
+                CmpOp::Lt | CmpOp::Le => {
+                    let x = encode_boundary(c, v, catalog, RoundDir::Down)?;
+                    // v not exactly representable: x = floor ⇒ `col ≤ x`
+                    // captures both `<` and `≤` against the true value.
+                    let op = if exact_encode(c, v, catalog)?.is_some() { op } else { CmpOp::Le };
+                    Ok(Pred::CmpConst { col: i, op, value: x })
+                }
+                CmpOp::Gt | CmpOp::Ge => {
+                    let x = encode_boundary(c, v, catalog, RoundDir::Up)?;
+                    let op = if exact_encode(c, v, catalog)?.is_some() { op } else { CmpOp::Ge };
+                    Ok(Pred::CmpConst { col: i, op, value: x })
+                }
+            }
+        }
+        (LExpr::Col(a), LExpr::Col(b)) => {
+            let ia = position(cols, a)?;
+            let ib = position(cols, b)?;
+            if cols[ia].scale != cols[ib].scale {
+                // Rescale through expressions.
+                let ta = lower_expr(left, cols, catalog)?;
+                let tb = lower_expr(right, cols, catalog)?;
+                let (ta, tb) = unify_scales(ta, tb)?;
+                return Ok(Pred::CmpExpr {
+                    left: Box::new(ta.expr),
+                    op,
+                    right: Box::new(tb.expr),
+                });
+            }
+            Ok(Pred::CmpCols { left: ia, op, right: ib })
+        }
+        _ => {
+            let ta = lower_expr(left, cols, catalog)?;
+            let tb = lower_expr(right, cols, catalog)?;
+            let (ta, tb) = unify_scales(ta, tb)?;
+            Ok(Pred::CmpExpr { left: Box::new(ta.expr), op, right: Box::new(tb.expr) })
+        }
+    }
+}
+
+/// Compile `string-col <op> 'literal'` via the dictionary: a plain code
+/// compare when codes are order-preserving, a qualifying-code bitmap
+/// otherwise (the encoding selection of §5.2).
+fn compile_string_cmp(
+    col: usize,
+    op: CmpOp,
+    s: &str,
+    dict: &rapid_storage::encoding::dict::Dictionary,
+) -> Pred {
+    match op {
+        CmpOp::Eq => match dict.code_of(s) {
+            Some(c) => Pred::CmpConst { col, op: CmpOp::Eq, value: c as i64 },
+            None => Pred::Const(false),
+        },
+        CmpOp::Ne => match dict.code_of(s) {
+            Some(c) => Pred::CmpConst { col, op: CmpOp::Ne, value: c as i64 },
+            None => Pred::Const(true),
+        },
+        _ => {
+            let (lo, hi) = match op {
+                CmpOp::Lt => (Bound::Unbounded, Bound::Excluded(s)),
+                CmpOp::Le => (Bound::Unbounded, Bound::Included(s)),
+                CmpOp::Gt => (Bound::Excluded(s), Bound::Unbounded),
+                CmpOp::Ge => (Bound::Included(s), Bound::Unbounded),
+                _ => unreachable!(),
+            };
+            if let Some((a, b)) = dict.code_range(lo, hi) {
+                Pred::Between { col, lo: a as i64, hi: b as i64 }
+            } else if dict.codes_ordered() {
+                Pred::Const(false) // ordered dict, empty range
+            } else {
+                Pred::InCodes { col, codes: dict.range_codes(lo, hi) }
+            }
+        }
+    }
+}
+
+enum RoundDir {
+    Up,
+    Down,
+}
+
+/// Encode a literal exactly into the column's widened domain, or `None`
+/// if it is not representable (absent dictionary value, deeper decimal).
+fn exact_encode(c: &OutCol, v: &Value, catalog: &Catalog) -> Result<Option<i64>, CompileError> {
+    if let Some((tname, tcol)) = &c.dict {
+        let t =
+            catalog.get(tname).ok_or_else(|| CompileError::UnknownTable(tname.clone()))?;
+        return Ok(t.encode_value(*tcol, v));
+    }
+    match c.dtype {
+        DataType::Int => Ok(match v {
+            Value::Int(x) => Some(*x),
+            Value::Decimal { .. } => v.unscaled_at(0),
+            _ => None,
+        }),
+        DataType::Date => Ok(match v {
+            Value::Date(d) => Some(*d as i64),
+            Value::Int(d) => Some(*d),
+            _ => None,
+        }),
+        DataType::Decimal { .. } => Ok(v.unscaled_at(c.scale)),
+        DataType::Varchar => Ok(None),
+    }
+}
+
+/// Encode a literal as a comparison boundary, rounding in the given
+/// direction when the exact value is not representable at the column's
+/// scale.
+fn encode_boundary(
+    c: &OutCol,
+    v: &Value,
+    catalog: &Catalog,
+    dir: RoundDir,
+) -> Result<i64, CompileError> {
+    if let Some(x) = exact_encode(c, v, catalog)? {
+        return Ok(x);
+    }
+    let f = v
+        .to_f64()
+        .ok_or_else(|| CompileError::BadLiteral(format!("cannot encode {v}")))?;
+    let scaled = f * pow10(c.scale).unwrap_or(1) as f64;
+    Ok(match dir {
+        RoundDir::Down => scaled.floor() as i64,
+        RoundDir::Up => scaled.ceil() as i64,
+    })
+}
+
+#[allow(clippy::too_many_arguments)]
+fn lower_join(
+    left: &LogicalPlan,
+    right: &LogicalPlan,
+    left_keys: &[String],
+    right_keys: &[String],
+    join_type: JoinType,
+    catalog: &Catalog,
+    params: &CostParams,
+) -> Result<(PlanNode, Vec<OutCol>), CompileError> {
+    let (lplan, lcols) = lower(left, catalog, params)?;
+    let (rplan, rcols) = lower(right, catalog, params)?;
+    let lk = left_keys
+        .iter()
+        .map(|k| position(&lcols, k))
+        .collect::<Result<Vec<_>, _>>()?;
+    let rk = right_keys
+        .iter()
+        .map(|k| position(&rcols, k))
+        .collect::<Result<Vec<_>, _>>()?;
+
+    // For semi/anti/outer the left side must stay the probe/outer input.
+    // For inner joins the compiler picks the smaller side as build.
+    let (build_is_right, needs_reorder) = match join_type {
+        JoinType::Inner => {
+            let lc = estimate(&lplan, catalog, params);
+            let rc = estimate(&rplan, catalog, params);
+            if rc.rows <= lc.rows {
+                (true, false)
+            } else {
+                (false, true)
+            }
+        }
+        _ => (true, false),
+    };
+
+    let build_rows = {
+        let c = estimate(if build_is_right { &rplan } else { &lplan }, catalog, params);
+        c.rows as u64
+    };
+    let scheme = optimize_partition_scheme(
+        &params.cm,
+        &PartitionOptInput {
+            rows: build_rows.max(1),
+            row_bytes: (lk.len() * 8 + 8).max(8),
+            cores: params.cores,
+            ..Default::default()
+        },
+    );
+
+    let (llen, rlen) = (lcols.len(), rcols.len());
+    if build_is_right {
+        let node = PlanNode::HashJoin {
+            build: Box::new(rplan),
+            probe: Box::new(lplan),
+            build_keys: rk,
+            probe_keys: lk,
+            join_type,
+            scheme: Some(scheme.rounds),
+        };
+        // Output: probe (left) then build (right) — already logical order.
+        let mut cols = lcols;
+        if join_type == JoinType::Inner || join_type == JoinType::LeftOuter {
+            cols.extend(rcols);
+        }
+        Ok((node, cols))
+    } else {
+        let node = PlanNode::HashJoin {
+            build: Box::new(lplan),
+            probe: Box::new(rplan),
+            build_keys: lk,
+            probe_keys: rk,
+            join_type,
+            scheme: Some(scheme.rounds),
+        };
+        // Physical layout: probe (right) ++ build (left). Reorder back to
+        // the logical left-then-right layout with a projection.
+        debug_assert!(needs_reorder);
+        let mut physical = rcols;
+        physical.extend(lcols);
+        let mut exprs = Vec::with_capacity(llen + rlen);
+        let mut reordered = Vec::with_capacity(llen + rlen);
+        for src in (rlen..rlen + llen).chain(0..rlen) {
+            let c = &physical[src];
+            exprs.push(NamedExpr {
+                expr: Expr::Col(src),
+                name: c.name.clone(),
+                dtype: c.dtype,
+                scale: c.scale,
+                dict: c.dict.clone(),
+            });
+            reordered.push(c.clone());
+        }
+        Ok((PlanNode::Map { input: Box::new(node), exprs }, reordered))
+    }
+}
+
+fn lower_aggregate(
+    input: &LogicalPlan,
+    group_by: &[crate::logical::LNamed],
+    aggs: &[crate::logical::LAgg],
+    catalog: &Catalog,
+    params: &CostParams,
+) -> Result<(PlanNode, Vec<OutCol>), CompileError> {
+    let (child, cols) = lower(input, catalog, params)?;
+    // Pre-Map: group keys first, then agg inputs.
+    let mut exprs = Vec::new();
+    let mut out_cols = Vec::new();
+    let mut known_ndv: Option<u64> = Some(1);
+    for g in group_by {
+        let t = lower_expr(&g.expr, &cols, catalog)?;
+        known_ndv = match (known_ndv, t.ndv) {
+            (Some(a), Some(b)) => a.checked_mul(b),
+            _ => None,
+        };
+        out_cols.push(OutCol {
+            name: g.name.clone(),
+            dtype: t.dtype,
+            scale: t.scale,
+            dict: t.dict.clone(),
+            ndv: t.ndv,
+        });
+        exprs.push(NamedExpr {
+            expr: t.expr,
+            name: g.name.clone(),
+            dtype: t.dtype,
+            scale: t.scale,
+            dict: t.dict.clone(),
+        });
+    }
+    let k = group_by.len();
+    let mut specs = Vec::with_capacity(aggs.len());
+    for (j, a) in aggs.iter().enumerate() {
+        let t = lower_expr(&a.input, &cols, catalog)?;
+        let (dtype, scale) = match a.func {
+            AggFunc::Count => (DataType::Int, 0),
+            _ => (t.dtype, t.scale),
+        };
+        out_cols.push(OutCol {
+            name: a.name.clone(),
+            dtype,
+            scale,
+            dict: match a.func {
+                AggFunc::Min | AggFunc::Max => t.dict.clone(),
+                _ => None,
+            },
+            ndv: None,
+        });
+        exprs.push(NamedExpr {
+            expr: t.expr,
+            name: a.name.clone(),
+            dtype: t.dtype,
+            scale: t.scale,
+            dict: t.dict.clone(),
+        });
+        specs.push(AggSpec { func: a.func, col: k + j });
+    }
+
+    // Strategy selection from NDV statistics (§5.4's two group-by cases).
+    let limit =
+        rapid_qef::ops::groupby::on_the_fly_group_limit(32 * 1024, k, specs.len());
+    let strategy = match known_ndv {
+        Some(ndv) if (ndv as usize) <= limit => GroupStrategy::OnTheFly,
+        Some(_) => GroupStrategy::Partitioned,
+        None => GroupStrategy::Auto,
+    };
+
+    let mapped = PlanNode::Map { input: Box::new(child), exprs };
+    Ok((
+        PlanNode::GroupBy {
+            input: Box::new(mapped),
+            keys: (0..k).collect(),
+            aggs: specs,
+            strategy,
+        },
+        out_cols,
+    ))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::logical::{LAgg, LNamed, LSortKey};
+    use rapid_storage::schema::{Field, Schema};
+    use rapid_storage::table::TableBuilder;
+    use std::sync::Arc;
+
+    fn catalog() -> Catalog {
+        let schema = Schema::new(vec![
+            Field::new("k", DataType::Int),
+            Field::new("price", DataType::Decimal { scale: 2 }),
+            Field::new("flag", DataType::Varchar),
+            Field::new("d", DataType::Date),
+        ]);
+        let mut b = TableBuilder::new("t", schema);
+        for i in 0..100i64 {
+            b.push_row(vec![
+                Value::Int(i),
+                Value::Decimal { unscaled: i * 100 + 1, scale: 2 },
+                Value::Str(["A", "N", "R"][(i % 3) as usize].into()),
+                Value::Date(i as i32),
+            ]);
+        }
+        let mut c = Catalog::new();
+        c.insert("t".into(), Arc::new(b.finish()));
+        c
+    }
+
+    fn params() -> CostParams {
+        CostParams::default()
+    }
+
+    #[test]
+    fn scan_with_decimal_literal_encoding() {
+        let lp = LogicalPlan::scan_where(
+            "t",
+            LPred::cmp("price", CmpOp::Lt, Value::Decimal { unscaled: 5, scale: 1 }),
+        );
+        let c = compile(&lp, &catalog(), &params()).unwrap();
+        let PlanNode::Scan { pred: Some(p), .. } = &c.plan else { panic!("{:?}", c.plan) };
+        // 0.5 at column scale 2 -> mantissa 50.
+        assert_eq!(p, &Pred::CmpConst { col: 1, op: CmpOp::Lt, value: 50 });
+    }
+
+    #[test]
+    fn string_eq_compiles_to_code_compare() {
+        let lp = LogicalPlan::scan_where("t", LPred::eq("flag", Value::Str("R".into())));
+        let c = compile(&lp, &catalog(), &params()).unwrap();
+        let PlanNode::Scan { pred: Some(Pred::CmpConst { col: 2, op: CmpOp::Eq, value }), .. } =
+            c.plan
+        else {
+            panic!()
+        };
+        assert_eq!(value, 2, "codes are sorted: A=0, N=1, R=2");
+    }
+
+    #[test]
+    fn string_range_compiles_to_code_range() {
+        let lp = LogicalPlan::scan_where(
+            "t",
+            LPred::cmp("flag", CmpOp::Ge, Value::Str("N".into())),
+        );
+        let c = compile(&lp, &catalog(), &params()).unwrap();
+        let PlanNode::Scan { pred: Some(Pred::Between { col: 2, lo, hi }), .. } = c.plan else {
+            panic!()
+        };
+        assert_eq!((lo, hi), (1, 2));
+    }
+
+    #[test]
+    fn missing_string_eq_is_constant_false() {
+        let lp = LogicalPlan::scan_where("t", LPred::eq("flag", Value::Str("ZZZ".into())));
+        let c = compile(&lp, &catalog(), &params()).unwrap();
+        let PlanNode::Scan { pred: Some(Pred::Const(false)), .. } = c.plan else { panic!() };
+    }
+
+    #[test]
+    fn inexact_decimal_boundary_rounds_correctly() {
+        // price < 0.005 with scale 2: not representable; floor(0.5) = 0,
+        // op becomes <=: mantissa <= 0 ⟺ price < 0.005 for scale-2 values.
+        let lp = LogicalPlan::scan_where(
+            "t",
+            LPred::cmp("price", CmpOp::Lt, Value::Decimal { unscaled: 5, scale: 3 }),
+        );
+        let c = compile(&lp, &catalog(), &params()).unwrap();
+        let PlanNode::Scan { pred: Some(Pred::CmpConst { op, value, .. }), .. } = c.plan else {
+            panic!()
+        };
+        assert_eq!(op, CmpOp::Le);
+        assert_eq!(value, 0);
+    }
+
+    #[test]
+    fn arithmetic_scale_propagation() {
+        // price * 0.5 -> scale 2 + 1 = 3.
+        let lp = LogicalPlan::scan("t").project(vec![LNamed::new(
+            "half",
+            LExpr::bin(ArithOp::Mul, LExpr::col("price"), LExpr::dec(5, 1)),
+        )]);
+        let c = compile(&lp, &catalog(), &params()).unwrap();
+        assert_eq!(c.output[0].scale, 3);
+        assert_eq!(c.output[0].dtype, DataType::Decimal { scale: 3 });
+    }
+
+    #[test]
+    fn add_unifies_scales() {
+        // price + 1 (int) -> rescale the int side to scale 2.
+        let lp = LogicalPlan::scan("t").project(vec![LNamed::new(
+            "p1",
+            LExpr::bin(ArithOp::Add, LExpr::col("price"), LExpr::int(1)),
+        )]);
+        let c = compile(&lp, &catalog(), &params()).unwrap();
+        assert_eq!(c.output[0].scale, 2);
+    }
+
+    #[test]
+    fn division_prescales_dividend() {
+        let lp = LogicalPlan::scan("t").project(vec![LNamed::new(
+            "ratio",
+            LExpr::bin(ArithOp::Div, LExpr::col("price"), LExpr::col("k")),
+        )]);
+        let c = compile(&lp, &catalog(), &params()).unwrap();
+        assert_eq!(c.output[0].scale, DIV_EXTRA_SCALE);
+    }
+
+    #[test]
+    fn aggregate_selects_strategy_from_ndv() {
+        // flag has NDV 3 -> on-the-fly.
+        let lp = LogicalPlan::scan("t").aggregate(
+            vec![LNamed::new("f", LExpr::col("flag"))],
+            vec![LAgg { func: AggFunc::Count, input: LExpr::col("k"), name: "n".into() }],
+        );
+        let c = compile(&lp, &catalog(), &params()).unwrap();
+        let PlanNode::GroupBy { strategy, .. } = &c.plan else { panic!() };
+        assert_eq!(*strategy, GroupStrategy::OnTheFly);
+    }
+
+    #[test]
+    fn sort_limit_fuses_to_topk() {
+        let lp = LogicalPlan::scan("t")
+            .sort(vec![LSortKey { col: "price".into(), desc: true }])
+            .limit(5);
+        let c = compile(&lp, &catalog(), &params()).unwrap();
+        assert!(matches!(c.plan, PlanNode::TopK { k: 5, .. }));
+    }
+
+    #[test]
+    fn join_build_side_and_scheme_selected() {
+        let small = LogicalPlan::scan_where("t", LPred::cmp("k", CmpOp::Lt, Value::Int(5)));
+        let lp = LogicalPlan::scan("t").join(small, &["k"], &["k"]);
+        let c = compile(&lp, &catalog(), &params()).unwrap();
+        let PlanNode::HashJoin { scheme, probe, .. } = &c.plan else {
+            panic!("expected bare join, got {:?}", c.plan)
+        };
+        assert!(scheme.is_some());
+        // The filtered (smaller) side builds, the big scan probes.
+        assert!(matches!(**probe, PlanNode::Scan { pred: None, .. }));
+        // Output columns: left's then right's.
+        assert_eq!(c.output.len(), 8);
+        assert_eq!(c.output[0].name, "k");
+    }
+
+    #[test]
+    fn unknown_names_error() {
+        assert_eq!(
+            compile(&LogicalPlan::scan("ghost"), &catalog(), &params()).unwrap_err(),
+            CompileError::UnknownTable("ghost".into())
+        );
+        let lp = LogicalPlan::scan_where("t", LPred::eq("nope", Value::Int(1)));
+        assert_eq!(
+            compile(&lp, &catalog(), &params()).unwrap_err(),
+            CompileError::UnknownColumn("nope".into())
+        );
+    }
+
+    #[test]
+    fn like_prefix_compiles_to_code_bitmap() {
+        let lp = LogicalPlan::scan_where(
+            "t",
+            LPred::LikePrefix { col: "flag".into(), prefix: "R".into() },
+        );
+        let c = compile(&lp, &catalog(), &params()).unwrap();
+        let PlanNode::Scan { pred: Some(Pred::InCodes { col: 2, codes }), .. } = c.plan else {
+            panic!()
+        };
+        assert_eq!(codes.count_ones(), 1);
+        assert!(codes.get(2));
+    }
+}

@@ -1,0 +1,287 @@
+//! The RAPID cost model (§5.2).
+//!
+//! "Running on bare-metal without an operating system, RAPID has all the
+//! resources under complete control. Hence, the cost model is quite
+//! deterministic and accurate. The cost functions take data properties,
+//! statistics and various parameters of the physical operators such as
+//! vector size, encoding type as input. The total cost of a RAPID operator
+//! is analytically modeled on top of data transfer (I/O) and compute cost
+//! functions considering the potential overlap."
+//!
+//! The model here is *literally* the simulator's timing rules applied to
+//! estimated cardinalities — which is why it is accurate against the
+//! simulator by construction, mirroring how the real system's model was
+//! "accurately calibrated with micro-benchmarks". The host database reuses
+//! it for offload decisions.
+
+use dpu_sim::clock::SimTime;
+use dpu_sim::isa::CostModel;
+
+use rapid_qef::plan::{Catalog, GroupStrategy, JoinType, PlanNode};
+use rapid_qef::primitives::costs;
+
+/// Tunables of the estimator.
+#[derive(Debug, Clone)]
+pub struct CostParams {
+    /// The DPU calibration.
+    pub cm: CostModel,
+    /// Cores available.
+    pub cores: usize,
+    /// Tile size assumed for amortizing per-tile overheads.
+    pub tile_rows: usize,
+    /// Bytes/sec of the result-return link to the host (RDMA over IB).
+    pub network_bytes_per_sec: f64,
+    /// Fixed per-offload latency (round trip, scheduling) in seconds.
+    pub offload_latency_secs: f64,
+}
+
+impl Default for CostParams {
+    fn default() -> Self {
+        CostParams {
+            cm: CostModel::default(),
+            cores: 32,
+            tile_rows: 256,
+            network_bytes_per_sec: 3.0e9, // IB FDR-class single link
+            offload_latency_secs: 150.0e-6,
+        }
+    }
+}
+
+/// An estimated plan cost.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct PlanCost {
+    /// Estimated output rows.
+    pub rows: f64,
+    /// Estimated output bytes per row.
+    pub row_bytes: f64,
+    /// Estimated DPU execution seconds.
+    pub exec_secs: f64,
+}
+
+impl PlanCost {
+    /// Estimated bytes of the result.
+    pub fn output_bytes(&self) -> f64 {
+        self.rows * self.row_bytes
+    }
+}
+
+/// Estimate the execution cost of a physical plan against a catalog.
+pub fn estimate(plan: &PlanNode, catalog: &Catalog, p: &CostParams) -> PlanCost {
+    let cm = &p.cm;
+    match plan {
+        PlanNode::Scan { table, columns, pred } => {
+            let Some(t) = catalog.get(table) else {
+                return PlanCost::default();
+            };
+            let rows = t.rows() as f64;
+            let bytes: f64 = columns
+                .iter()
+                .map(|&c| t.schema.fields[c].dtype.physical_width() as f64)
+                .sum();
+            let sel = pred
+                .as_ref()
+                .map(|pr| rapid_qef::engine::estimate_selectivity(pr, &t.stats))
+                .unwrap_or(1.0);
+            // Transfer: stream the filter column(s) + gather survivors;
+            // compute: ~1.5 cy/row filter. Overlap: max of the two.
+            let wire = rows * bytes / cm.dms_bytes_per_cycle();
+            let compute_per_core =
+                rows * cm.kernel_cycles(&costs::filter_per_row()) / p.cores as f64;
+            let cycles = wire.max(compute_per_core);
+            PlanCost {
+                rows: (rows * sel).max(0.0),
+                row_bytes: bytes,
+                exec_secs: SimTime::from_secs(cycles / cm.freq_hz).as_secs(),
+            }
+        }
+        PlanNode::Filter { input, .. } => {
+            let c = estimate(input, catalog, p);
+            let cycles = c.rows * cm.kernel_cycles(&costs::filter_per_row()) / p.cores as f64;
+            PlanCost {
+                rows: c.rows * 0.5,
+                row_bytes: c.row_bytes,
+                exec_secs: c.exec_secs + cycles / cm.freq_hz,
+            }
+        }
+        PlanNode::Map { input, exprs } => {
+            let c = estimate(input, catalog, p);
+            let cycles = c.rows * exprs.len() as f64 * cm.kernel_cycles(&costs::arith_per_row())
+                / p.cores as f64;
+            PlanCost {
+                rows: c.rows,
+                row_bytes: exprs.len() as f64 * 8.0,
+                exec_secs: c.exec_secs + cycles / cm.freq_hz,
+            }
+        }
+        PlanNode::HashJoin { build, probe, join_type, .. } => {
+            let b = estimate(build, catalog, p);
+            let pr = estimate(probe, catalog, p);
+            // Partition both sides (read+write through the DMS), build,
+            // probe.
+            let part_bytes = b.output_bytes() + pr.output_bytes();
+            let wire = 2.0 * part_bytes / cm.dms_bytes_per_cycle();
+            let build_cy = b.rows * cm.kernel_cycles(&costs::join_build_per_row());
+            let probe_cy = pr.rows
+                * (cm.kernel_cycles(&costs::join_probe_per_row())
+                    + cm.kernel_cycles(&costs::join_probe_per_link()));
+            let compute = (build_cy + probe_cy) / p.cores as f64;
+            let cycles = wire.max(compute) + wire.min(compute) * 0.15;
+            let out_rows = match join_type {
+                JoinType::Inner | JoinType::LeftOuter => pr.rows.max(1.0),
+                JoinType::LeftSemi => pr.rows * 0.5,
+                JoinType::LeftAnti => pr.rows * 0.5,
+            };
+            let out_bytes = match join_type {
+                JoinType::Inner | JoinType::LeftOuter => b.row_bytes + pr.row_bytes,
+                _ => pr.row_bytes,
+            };
+            PlanCost {
+                rows: out_rows,
+                row_bytes: out_bytes,
+                exec_secs: b.exec_secs + pr.exec_secs + cycles / cm.freq_hz,
+            }
+        }
+        PlanNode::GroupBy { input, keys, aggs, strategy } => {
+            let c = estimate(input, catalog, p);
+            let per_row = cm.kernel_cycles(&costs::group_lookup_per_row())
+                + aggs.len() as f64 * cm.kernel_cycles(&costs::grouped_agg_per_row());
+            let mut cycles = c.rows * per_row / p.cores as f64;
+            if *strategy == GroupStrategy::Partitioned {
+                // Extra pass through the DMS to partition by keys.
+                cycles += 2.0 * c.output_bytes() / cm.dms_bytes_per_cycle();
+            }
+            let groups = (c.rows * 0.1).max(1.0);
+            PlanCost {
+                rows: groups,
+                row_bytes: (keys.len() + aggs.len()) as f64 * 8.0,
+                exec_secs: c.exec_secs + cycles / cm.freq_hz,
+            }
+        }
+        PlanNode::TopK { input, k, .. } => {
+            let c = estimate(input, catalog, p);
+            let cycles = c.rows * cm.kernel_cycles(&costs::topk_per_row()) / p.cores as f64;
+            PlanCost {
+                rows: *k as f64,
+                row_bytes: c.row_bytes,
+                exec_secs: c.exec_secs + cycles / cm.freq_hz,
+            }
+        }
+        PlanNode::Sort { input, .. } => {
+            let c = estimate(input, catalog, p);
+            let cycles =
+                c.rows * 4.0 * cm.kernel_cycles(&costs::radix_sort_per_row_per_pass())
+                    / p.cores as f64;
+            PlanCost { rows: c.rows, row_bytes: c.row_bytes, exec_secs: c.exec_secs + cycles / cm.freq_hz }
+        }
+        PlanNode::Limit { input, n } => {
+            let c = estimate(input, catalog, p);
+            PlanCost { rows: (*n as f64).min(c.rows), ..c }
+        }
+        PlanNode::SetOp { left, right, .. } => {
+            let l = estimate(left, catalog, p);
+            let r = estimate(right, catalog, p);
+            let cycles =
+                (l.rows + r.rows) * cm.kernel_cycles(&costs::group_lookup_per_row());
+            PlanCost {
+                rows: l.rows + r.rows,
+                row_bytes: l.row_bytes,
+                exec_secs: l.exec_secs + r.exec_secs + cycles / cm.freq_hz,
+            }
+        }
+        PlanNode::Window { input, .. } => {
+            let c = estimate(input, catalog, p);
+            let cycles = c.rows
+                * (cm.kernel_cycles(&costs::group_lookup_per_row())
+                    + 2.0 * cm.kernel_cycles(&costs::radix_sort_per_row_per_pass()));
+            PlanCost {
+                rows: c.rows,
+                row_bytes: c.row_bytes + 8.0,
+                exec_secs: c.exec_secs + cycles / cm.freq_hz,
+            }
+        }
+    }
+}
+
+/// Total offload cost: execution + result transfer + fixed latency — the
+/// quantity the host optimizer compares against local execution (§3.1).
+pub fn offload_cost(plan: &PlanNode, catalog: &Catalog, p: &CostParams) -> f64 {
+    let c = estimate(plan, catalog, p);
+    c.exec_secs + c.output_bytes() / p.network_bytes_per_sec + p.offload_latency_secs
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rapid_storage::schema::{Field, Schema};
+    use rapid_storage::table::TableBuilder;
+    use rapid_storage::types::{DataType, Value};
+    use std::sync::Arc;
+
+    fn catalog(rows: i64) -> Catalog {
+        let schema =
+            Schema::new(vec![Field::new("k", DataType::Int), Field::new("v", DataType::Int)]);
+        let mut b = TableBuilder::new("t", schema);
+        for i in 0..rows {
+            b.push_row(vec![Value::Int(i), Value::Int(i % 10)]);
+        }
+        let mut c = Catalog::new();
+        c.insert("t".into(), Arc::new(b.finish()));
+        c
+    }
+
+    fn scan() -> PlanNode {
+        PlanNode::Scan { table: "t".into(), columns: vec![0, 1], pred: None }
+    }
+
+    #[test]
+    fn bigger_tables_cost_more() {
+        let p = CostParams::default();
+        let small = estimate(&scan(), &catalog(1000), &p);
+        let big = estimate(&scan(), &catalog(100_000), &p);
+        assert!(big.exec_secs > small.exec_secs * 10.0);
+        assert_eq!(big.rows, 100_000.0);
+    }
+
+    #[test]
+    fn join_costs_more_than_its_scans() {
+        let p = CostParams::default();
+        let cat = catalog(50_000);
+        let join = PlanNode::HashJoin {
+            build: Box::new(scan()),
+            probe: Box::new(scan()),
+            build_keys: vec![0],
+            probe_keys: vec![0],
+            join_type: JoinType::Inner,
+            scheme: None,
+        };
+        let jc = estimate(&join, &cat, &p);
+        let sc = estimate(&scan(), &cat, &p);
+        assert!(jc.exec_secs > 2.0 * sc.exec_secs);
+    }
+
+    #[test]
+    fn offload_cost_includes_network_and_latency() {
+        let p = CostParams::default();
+        let cat = catalog(1000);
+        let total = offload_cost(&scan(), &cat, &p);
+        let exec = estimate(&scan(), &cat, &p).exec_secs;
+        assert!(total > exec + p.offload_latency_secs - 1e-12);
+    }
+
+    #[test]
+    fn groupby_reduces_estimated_rows() {
+        let p = CostParams::default();
+        let cat = catalog(10_000);
+        let gb = PlanNode::GroupBy {
+            input: Box::new(scan()),
+            keys: vec![1],
+            aggs: vec![rapid_qef::plan::AggSpec {
+                func: rapid_qef::primitives::agg::AggFunc::Count,
+                col: 0,
+            }],
+            strategy: GroupStrategy::Auto,
+        };
+        let c = estimate(&gb, &cat, &p);
+        assert!(c.rows < 10_000.0);
+    }
+}

@@ -1,0 +1,32 @@
+//! # rapid-qcomp — the RAPID query compiler and optimizer (§5.2, §5.3)
+//!
+//! *QComp* is "a cost-based physical query optimizer working on top of the
+//! logical query optimizations by the host database": it takes a logical
+//! query tree (join order already fixed), resolves names and types against
+//! the RAPID catalog, encodes literals into the widened physical domain
+//! (DSB mantissas, dictionary codes, epoch days), and emits the physical
+//! QEP that `rapid-qef` executes — making the physical choices the paper
+//! enumerates:
+//!
+//! * physical operator options (build-side selection, group-by strategy),
+//! * predicate ordering from statistics,
+//! * encoding/primitive selection (code-range vs code-bitmap string
+//!   predicates),
+//! * degree of parallelization,
+//! * partition scheme optimization ([`partition_opt`], §5.3),
+//! * task formation and DMEM/vector sizing ([`task_formation`], §5.2),
+//! * an analytically calibrated cost model ([`cost`]) reused by the host
+//!   database's offload decision.
+
+#![warn(missing_docs)]
+
+pub mod compiler;
+pub mod cost;
+pub mod logical;
+pub mod partition_opt;
+pub mod task_formation;
+
+pub use compiler::{compile, CompileError, Compiled};
+pub use cost::{CostParams, PlanCost};
+pub use logical::{LExpr, LPred, LogicalPlan};
+pub use partition_opt::{optimize_partition_scheme, PartitionScheme};

@@ -1,0 +1,226 @@
+//! The actor-model stage runner.
+//!
+//! "RAPID executes multiple hardware threads that communicate among each
+//! other with software control due to lack of cache coherency. [...] Actors
+//! explicitly communicate and share data via asynchronous message passing."
+//! (§5.1)
+//!
+//! A pipeline stage is a set of independent work items (chunks, partitions,
+//! partition pairs) processed by `cores` actors. Work is assigned
+//! statically round-robin — the QEF scheduling is "explicitly driven (by
+//! the query compiler) in an asynchronous and non-preemptive manner", and
+//! static assignment keeps simulated timing deterministic.
+//!
+//! * On the **Dpu backend** the actors are simulated cores: they run
+//!   one after another in host time, each accruing its own simulated
+//!   cycle account; the stage's simulated elapsed time is
+//!   `max(max-core-compute, Σ DMS)` — the same rule as
+//!   [`dpu_sim::dpu::Dpu::stage_report`].
+//! * On the **Native backend** the actors are OS threads and the stage
+//!   time is the wall clock.
+
+use std::time::{Duration, Instant};
+
+use dpu_sim::clock::{Cycles, SimTime};
+
+use crate::error::QefResult;
+use crate::exec::{Backend, CoreCtx, ExecContext};
+
+/// Timing of one completed stage.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct StageTiming {
+    /// Simulated elapsed time (Dpu backend; zero otherwise).
+    pub sim: SimTime,
+    /// Wall-clock elapsed (Native backend; zero otherwise).
+    pub wall: Duration,
+    /// Max per-core compute cycles (Dpu).
+    pub max_compute: Cycles,
+    /// Total DMS cycles (Dpu).
+    pub dms_total: Cycles,
+    /// Branches / mispredicts across cores (Dpu; for Figure 13).
+    pub branches: u64,
+    /// Mispredicted branches across cores.
+    pub mispredicts: u64,
+}
+
+impl StageTiming {
+    /// The stage's contribution to query elapsed time on its backend.
+    pub fn elapsed_secs(&self, backend: Backend) -> f64 {
+        match backend {
+            Backend::Dpu => self.sim.as_secs(),
+            Backend::Native => self.wall.as_secs_f64(),
+        }
+    }
+}
+
+/// Run `items` through `f` across the context's cores. Item `i` is handled
+/// by actor `i % cores`; results come back in item order.
+pub fn run_stage<W, R, F>(ctx: &ExecContext, items: Vec<W>, f: F) -> QefResult<(Vec<R>, StageTiming)>
+where
+    W: Send,
+    R: Send,
+    F: Fn(&mut CoreCtx, W) -> QefResult<R> + Sync,
+{
+    match ctx.backend {
+        Backend::Dpu => run_simulated(ctx, items, f),
+        Backend::Native => run_native(ctx, items, f),
+    }
+}
+
+fn run_simulated<W, R, F>(
+    ctx: &ExecContext,
+    items: Vec<W>,
+    f: F,
+) -> QefResult<(Vec<R>, StageTiming)>
+where
+    F: Fn(&mut CoreCtx, W) -> QefResult<R>,
+{
+    let cores = ctx.cores.max(1);
+    let n = items.len();
+    let mut results: Vec<Option<R>> = (0..n).map(|_| None).collect();
+    let mut timing = StageTiming::default();
+    let mut max_elapsed = Cycles::ZERO;
+
+    // One simulated core at a time; its account covers all its items.
+    let mut assigned: Vec<Vec<(usize, W)>> = (0..cores).map(|_| Vec::new()).collect();
+    for (i, w) in items.into_iter().enumerate() {
+        assigned[i % cores].push((i, w));
+    }
+    for (core_id, work) in assigned.into_iter().enumerate() {
+        if work.is_empty() {
+            continue;
+        }
+        let mut core = CoreCtx::new(ctx, core_id);
+        for (i, w) in work {
+            results[i] = Some(f(&mut core, w)?);
+        }
+        max_elapsed = max_elapsed.max(core.account.elapsed_cycles());
+        timing.max_compute = timing.max_compute.max(core.account.compute_cycles());
+        timing.dms_total += core.account.dms_cycles();
+        timing.branches += core.account.counters().branches;
+        timing.mispredicts += core.account.counters().branch_mispredicts;
+    }
+    let elapsed = max_elapsed.max(timing.dms_total);
+    timing.sim = elapsed.to_time(ctx.cost_model.freq_hz);
+    Ok((results.into_iter().map(|r| r.expect("all items processed")).collect(), timing))
+}
+
+fn run_native<W, R, F>(ctx: &ExecContext, items: Vec<W>, f: F) -> QefResult<(Vec<R>, StageTiming)>
+where
+    W: Send,
+    R: Send,
+    F: Fn(&mut CoreCtx, W) -> QefResult<R> + Sync,
+{
+    let cores = ctx.cores.max(1).min(items.len().max(1));
+    let start = Instant::now();
+    let mut assigned: Vec<Vec<(usize, W)>> = (0..cores).map(|_| Vec::new()).collect();
+    for (i, w) in items.into_iter().enumerate() {
+        assigned[i % cores].push((i, w));
+    }
+    let f = &f;
+    let worker_results: Vec<QefResult<Vec<(usize, R)>>> = std::thread::scope(|scope| {
+        let handles: Vec<_> = assigned
+            .into_iter()
+            .enumerate()
+            .map(|(core_id, work)| {
+                scope.spawn(move || {
+                    let mut core = CoreCtx::new(ctx, core_id);
+                    work.into_iter()
+                        .map(|(i, w)| f(&mut core, w).map(|r| (i, r)))
+                        .collect::<QefResult<Vec<_>>>()
+                })
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().expect("actor panicked")).collect()
+    });
+    let mut results: Vec<Option<R>> = Vec::new();
+    let mut pairs = Vec::new();
+    for wr in worker_results {
+        pairs.extend(wr?);
+    }
+    results.resize_with(pairs.len(), || None);
+    for (i, r) in pairs {
+        results[i] = Some(r);
+    }
+    let timing = StageTiming { wall: start.elapsed(), ..Default::default() };
+    Ok((results.into_iter().map(|r| r.expect("all items processed")).collect(), timing))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dpu_sim::isa::KernelCost;
+
+    #[test]
+    fn results_preserve_item_order_on_both_backends() {
+        for ctx in [ExecContext::dpu().with_cores(4), ExecContext::native(4)] {
+            let items: Vec<usize> = (0..37).collect();
+            let (out, _) = run_stage(&ctx, items, |_, i| Ok(i * 2)).unwrap();
+            assert_eq!(out, (0..37).map(|i| i * 2).collect::<Vec<_>>());
+        }
+    }
+
+    #[test]
+    fn simulated_time_reflects_parallelism() {
+        // 32 items of equal compute across 32 cores should take ~1 item's
+        // time; across 1 core, 32x that.
+        let work = |core: &mut CoreCtx, _: usize| {
+            core.charge_kernel(&KernelCost::paired(1000.0, 1000.0));
+            Ok(())
+        };
+        let (_, t32) =
+            run_stage(&ExecContext::dpu().with_cores(32), (0..32).collect(), work).unwrap();
+        let (_, t1) =
+            run_stage(&ExecContext::dpu().with_cores(1), (0..32).collect(), work).unwrap();
+        let ratio = t1.sim.as_secs() / t32.sim.as_secs();
+        assert!((ratio - 32.0).abs() < 0.5, "ratio = {ratio}");
+    }
+
+    #[test]
+    fn errors_propagate() {
+        let ctx = ExecContext::dpu().with_cores(2);
+        let r = run_stage(&ctx, vec![1, 2, 3], |_, i| {
+            if i == 2 {
+                Err(crate::error::QefError::Internal("boom".into()))
+            } else {
+                Ok(i)
+            }
+        });
+        assert!(r.is_err());
+    }
+
+    #[test]
+    fn native_errors_propagate() {
+        let ctx = ExecContext::native(2);
+        let r = run_stage(&ctx, vec![1, 2, 3], |_, i| {
+            if i == 3 {
+                Err(crate::error::QefError::Internal("boom".into()))
+            } else {
+                Ok(i)
+            }
+        });
+        assert!(r.is_err());
+    }
+
+    #[test]
+    fn empty_stage_is_fine() {
+        let ctx = ExecContext::dpu();
+        let (out, t) = run_stage(&ctx, Vec::<usize>::new(), |_, i| Ok(i)).unwrap();
+        assert!(out.is_empty());
+        assert_eq!(t.sim, SimTime::ZERO);
+    }
+
+    #[test]
+    fn dms_heavy_stage_serializes_on_engine() {
+        use dpu_sim::dms::engine::DmsCost;
+        let work = |core: &mut CoreCtx, _: usize| {
+            core.charge_dms(&DmsCost { cycles: 1000.0, bytes: 4096, descriptors: 1 });
+            Ok(())
+        };
+        let (_, t) =
+            run_stage(&ExecContext::dpu().with_cores(4), (0..4).collect(), work).unwrap();
+        // 4 cores x 1000 DMS cycles share one engine: 4000 cycles.
+        assert!((t.dms_total.get() - 4000.0).abs() < 1e-9);
+        assert!((t.sim.as_secs() - 4000.0 / 800.0e6).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,905 @@
+//! The execution engine: interprets a QEP across the dpCores.
+//!
+//! The engine walks the plan DAG bottom-up, materializing intermediate
+//! collections at task boundaries exactly as the paper describes
+//! ("operators within a task pipeline results to each other via DMEM and
+//! only results at task boundaries are materialized to DRAM"):
+//!
+//! * a **scan task** fuses scan + filter + projection over each chunk
+//!   (predicate reordering, RID/bit-vector choice, late materialization),
+//! * a **join** runs partition stages (HW+SW), then per-partition-pair
+//!   build/probe kernels, with large-skew re-partitioning,
+//! * a **group-by** picks the on-the-fly or partitioned strategy and adds
+//!   the merge operator on the low-NDV path,
+//! * pipeline stages are parallelized across cores by the actor runner.
+//!
+//! Timing is accumulated per stage: simulated time on the DPU backend,
+//! wall clock on the native backend.
+
+use std::sync::Arc;
+
+use rapid_storage::stats::ColumnStats;
+use rapid_storage::table::Table;
+
+use crate::actor::{run_stage, StageTiming};
+use crate::batch::Batch;
+use crate::error::{QefError, QefResult};
+use crate::exec::{Backend, ExecContext};
+use crate::expr::Pred;
+use crate::ops;
+use crate::plan::{Catalog, ColMeta, GroupStrategy, JoinType, PlanNode};
+use crate::util::next_pow2_at_least;
+
+/// Result rows plus decode metadata.
+#[derive(Debug, Clone)]
+pub struct QueryOutput {
+    /// All result rows in one batch.
+    pub batch: Batch,
+    /// Per-column decode metadata.
+    pub meta: Vec<ColMeta>,
+}
+
+/// Timing and counter report for one executed query.
+#[derive(Debug, Clone, Default)]
+pub struct QueryReport {
+    /// Total simulated seconds (Dpu backend).
+    pub sim_secs: f64,
+    /// Total wall-clock seconds (Native backend).
+    pub wall_secs: f64,
+    /// Pipeline stages executed.
+    pub stages: usize,
+    /// Result rows.
+    pub rows: usize,
+    /// Branches executed (Dpu accounting).
+    pub branches: u64,
+    /// Branch mispredicts (Dpu accounting).
+    pub mispredicts: u64,
+}
+
+impl QueryReport {
+    /// Elapsed seconds on the engine's backend.
+    pub fn elapsed_secs(&self, backend: Backend) -> f64 {
+        match backend {
+            Backend::Dpu => self.sim_secs,
+            Backend::Native => self.wall_secs,
+        }
+    }
+
+    fn absorb(&mut self, t: &StageTiming) {
+        self.sim_secs += t.sim.as_secs();
+        self.wall_secs += t.wall.as_secs_f64();
+        self.stages += 1;
+        self.branches += t.branches;
+        self.mispredicts += t.mispredicts;
+    }
+}
+
+/// The RAPID execution engine of one node.
+#[derive(Debug)]
+pub struct Engine {
+    ctx: ExecContext,
+    catalog: Catalog,
+}
+
+impl Engine {
+    /// An engine with the given execution context and empty catalog.
+    pub fn new(ctx: ExecContext) -> Engine {
+        Engine { ctx, catalog: Catalog::new() }
+    }
+
+    /// The execution context.
+    pub fn context(&self) -> &ExecContext {
+        &self.ctx
+    }
+
+    /// Load (or replace) a table.
+    pub fn load_table(&mut self, table: Arc<Table>) {
+        self.catalog.insert(table.name.clone(), table);
+    }
+
+    /// The catalog.
+    pub fn catalog(&self) -> &Catalog {
+        &self.catalog
+    }
+
+    /// Execute a plan, returning results and the timing report.
+    pub fn execute(&self, plan: &PlanNode) -> QefResult<(QueryOutput, QueryReport)> {
+        let mut report = QueryReport::default();
+        let batches = self.exec_node(plan, &mut report)?;
+        let meta = plan.output_meta(&self.catalog)?;
+        let mut batch = Batch::concat(&batches.into_iter().filter(|b| b.width() > 0).collect::<Vec<_>>());
+        if batch.width() == 0 && !meta.is_empty() {
+            // No surviving rows: synthesize an empty batch with the right
+            // column layout so callers can rely on the shape.
+            batch = empty_with_layout(&meta);
+        }
+        report.rows = batch.rows();
+        Ok((QueryOutput { batch, meta }, report))
+    }
+
+    fn exec_node(&self, node: &PlanNode, report: &mut QueryReport) -> QefResult<Vec<Batch>> {
+        match node {
+            PlanNode::Scan { table, columns, pred } => {
+                self.exec_scan(table, columns, pred.as_ref(), report)
+            }
+            PlanNode::Filter { input, pred } => {
+                let batches = self.exec_node(input, report)?;
+                let pred = pred.clone();
+                let (out, t) = run_stage(&self.ctx, batches, |core, b| {
+                    ops::filter::filter_batch(core, &b, &pred)
+                })?;
+                report.absorb(&t);
+                Ok(out.into_iter().filter(|b| !b.is_empty()).collect())
+            }
+            PlanNode::Map { input, exprs } => {
+                let batches = self.exec_node(input, report)?;
+                let exprs = exprs.clone();
+                let (out, t) = run_stage(&self.ctx, batches, |core, b| {
+                    let mut cols = Vec::with_capacity(exprs.len());
+                    for e in &exprs {
+                        cols.push(e.expr.eval(core, &b)?);
+                    }
+                    core.charge_tile();
+                    Ok(Batch::new(cols))
+                })?;
+                report.absorb(&t);
+                Ok(out)
+            }
+            PlanNode::HashJoin { build, probe, build_keys, probe_keys, join_type, scheme } => {
+                self.exec_join(
+                    build, probe, build_keys, probe_keys, *join_type, scheme.as_deref(), report,
+                )
+            }
+            PlanNode::GroupBy { input, keys, aggs, strategy } => {
+                self.exec_groupby(input, keys, aggs, *strategy, report)
+            }
+            PlanNode::TopK { input, order, k } => {
+                let batches = self.exec_node(input, report)?;
+                let order2 = order.clone();
+                let kk = *k;
+                // Per-core top-k over assigned batches.
+                let (heaps, t) = run_stage(&self.ctx, batches, move |core, b| {
+                    let mut acc = ops::topk::TopK::new(order2.clone(), kk);
+                    acc.consume(core, &b)?;
+                    Ok(acc)
+                })?;
+                report.absorb(&t);
+                // Merge on one core.
+                let order3 = order.clone();
+                let (merged, t2) = run_stage(&self.ctx, vec![heaps], move |core, hs| {
+                    let mut it = hs.into_iter();
+                    let Some(mut first) = it.next() else {
+                        return Ok(Batch::empty(0));
+                    };
+                    for h in it {
+                        first.merge(core, h)?;
+                    }
+                    let _ = &order3;
+                    Ok(first.finish(core))
+                })?;
+                report.absorb(&t2);
+                Ok(merged)
+            }
+            PlanNode::Sort { input, order } => {
+                let batches = self.exec_node(input, report)?;
+                let order2 = order.clone();
+                let (sorted, t) = run_stage(&self.ctx, batches, move |core, b| {
+                    ops::sort::sort_batch(core, &b, &order2)
+                })?;
+                report.absorb(&t);
+                let order3 = order.clone();
+                let (merged, t2) = run_stage(&self.ctx, vec![sorted], move |core, bs| {
+                    ops::sort::merge_sorted(core, &bs, &order3)
+                })?;
+                report.absorb(&t2);
+                Ok(merged)
+            }
+            PlanNode::Limit { input, n } => {
+                let batches = self.exec_node(input, report)?;
+                let all = Batch::concat(&batches);
+                let n = (*n).min(all.rows());
+                let rids: Vec<u32> = (0..n as u32).collect();
+                Ok(vec![all.gather(&rids)])
+            }
+            PlanNode::SetOp { left, right, op } => {
+                let l = self.exec_node(left, report)?;
+                let r = self.exec_node(right, report)?;
+                let op = *op;
+                let (out, t) = run_stage(&self.ctx, vec![(l, r)], move |core, (l, r)| {
+                    ops::setops::set_op(core, &l, &r, op)
+                })?;
+                report.absorb(&t);
+                Ok(out)
+            }
+            PlanNode::Window { input, partition_by, order_by, func } => {
+                let batches = self.exec_node(input, report)?;
+                let all = Batch::concat(&batches);
+                let (pb, ob, f) = (partition_by.clone(), order_by.clone(), *func);
+                let (out, t) = run_stage(&self.ctx, vec![all], move |core, b| {
+                    ops::window::window_batch(core, &b, &pb, &ob, f)
+                })?;
+                report.absorb(&t);
+                Ok(out)
+            }
+        }
+    }
+
+    fn exec_scan(
+        &self,
+        table: &str,
+        columns: &[usize],
+        pred: Option<&Pred>,
+        report: &mut QueryReport,
+    ) -> QefResult<Vec<Batch>> {
+        let t = self
+            .catalog
+            .get(table)
+            .ok_or_else(|| QefError::TableNotLoaded(table.to_string()))?;
+        for &c in columns {
+            if c >= t.schema.len() {
+                return Err(QefError::BadColumn { index: c, available: t.schema.len() });
+            }
+        }
+        // Order conjuncts most-selective-first from table statistics.
+        let mut conjuncts = pred.cloned().map(Pred::conjuncts).unwrap_or_default();
+        let stats = &t.stats;
+        conjuncts.sort_by(|a, b| {
+            estimate_selectivity(a, stats)
+                .partial_cmp(&estimate_selectivity(b, stats))
+                .unwrap_or(std::cmp::Ordering::Equal)
+        });
+        let expected = conjuncts
+            .first()
+            .map(|p| estimate_selectivity(p, stats))
+            .unwrap_or(1.0);
+
+        let chunks: Vec<&rapid_storage::chunk::Chunk> = t.chunks().collect();
+        let cols = columns.to_vec();
+        let tile = self.ctx.tile_rows;
+        let conj = conjuncts;
+        let (out, timing) = run_stage(&self.ctx, chunks, move |core, chunk| {
+            let fr = ops::filter::filter_chunk(core, chunk, &conj, expected, tile)?;
+            if fr.count() == 0 {
+                return Ok(Batch::empty(0));
+            }
+            Ok(ops::filter::materialize_projection(core, chunk, &fr.rows, &cols, tile))
+        })?;
+        report.absorb(&timing);
+        Ok(out.into_iter().filter(|b| !b.is_empty()).collect())
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn exec_join(
+        &self,
+        build: &PlanNode,
+        probe: &PlanNode,
+        build_keys: &[usize],
+        probe_keys: &[usize],
+        join_type: JoinType,
+        scheme: Option<&[usize]>,
+        report: &mut QueryReport,
+    ) -> QefResult<Vec<Batch>> {
+        if build_keys.len() != probe_keys.len() || build_keys.is_empty() {
+            return Err(QefError::BadPlan("join key arity mismatch".into()));
+        }
+        let build_meta = build.output_meta(&self.catalog)?;
+        let build_batches = self.exec_node(build, report)?;
+        let probe_batches = self.exec_node(probe, report)?;
+        let build_rows: usize = build_batches.iter().map(Batch::rows).sum();
+
+        // Partition scheme: from the compiler, or the engine default —
+        // enough partitions that each build side fits a DMEM join kernel,
+        // and at least one per core (§5.3's "required number of
+        // partitions").
+        let scheme_vec: Vec<usize> = match scheme {
+            Some(s) if !s.is_empty() => s.to_vec(),
+            _ => default_scheme(build_rows, build_keys.len(), &self.ctx),
+        };
+        let partitions: usize = scheme_vec.iter().product();
+        let est_per_partition = (build_rows / partitions.max(1)).max(1);
+
+        // Partition both sides (single stage each; the HW+SW split is
+        // captured by the per-round costs inside partition_scheme).
+        let bk = build_keys.to_vec();
+        let sv = scheme_vec.clone();
+        let tile = self.ctx.tile_rows;
+        let (bparts, t1) = run_stage(&self.ctx, vec![build_batches], move |core, bs| {
+            ops::partition::partition_scheme(core, bs, &bk, &sv, tile)
+        })?;
+        report.absorb(&t1);
+        let pk = probe_keys.to_vec();
+        let sv2 = scheme_vec.clone();
+        let (pparts, t2) = run_stage(&self.ctx, vec![probe_batches], move |core, bs| {
+            ops::partition::partition_scheme(core, bs, &pk, &sv2, tile)
+        })?;
+        report.absorb(&t2);
+        let bparts = bparts.into_iter().next().expect("one item");
+        let pparts = pparts.into_iter().next().expect("one item");
+
+        // Join partition pairs in parallel; handle large skew by extra
+        // partitioning rounds inside the worker.
+        let pairs: Vec<(Batch, Batch)> = bparts.into_iter().zip(pparts).collect();
+        let bk = build_keys.to_vec();
+        let pk = probe_keys.to_vec();
+        let build_width = build_meta.len();
+        let (joined, t3) = run_stage(&self.ctx, pairs, move |core, (b, p)| {
+            join_pair_resilient(
+                core,
+                b,
+                p,
+                &bk,
+                &pk,
+                join_type,
+                est_per_partition,
+                build_width,
+                tile,
+                0,
+            )
+        })?;
+        report.absorb(&t3);
+        Ok(joined.into_iter().filter(|b| !b.is_empty()).collect())
+    }
+
+    fn exec_groupby(
+        &self,
+        input: &PlanNode,
+        keys: &[usize],
+        aggs: &[crate::plan::AggSpec],
+        strategy: GroupStrategy,
+        report: &mut QueryReport,
+    ) -> QefResult<Vec<Batch>> {
+        let batches = self.exec_node(input, report)?;
+        let limit = ops::groupby::on_the_fly_group_limit(
+            self.ctx.dmem_bytes,
+            keys.len(),
+            aggs.len(),
+        );
+
+        let strategy = match strategy {
+            GroupStrategy::Auto => {
+                // Sample the first batch: if its observed group density
+                // suggests few distinct values, aggregate on the fly.
+                let sample_groups = batches
+                    .first()
+                    .map(|b| {
+                        let mut t = ops::groupby::GroupTable::new(keys.len(), aggs, 64);
+                        let mut core = crate::exec::CoreCtx::new(&self.ctx, 0);
+                        let _ = t.consume(&mut core, b, keys);
+                        t.groups()
+                    })
+                    .unwrap_or(0);
+                if sample_groups < limit / 2 {
+                    GroupStrategy::OnTheFly
+                } else {
+                    GroupStrategy::Partitioned
+                }
+            }
+            s => s,
+        };
+
+        match strategy {
+            GroupStrategy::OnTheFly | GroupStrategy::Auto => {
+                // Per-core local aggregation...
+                let (kk, aa) = (keys.to_vec(), aggs.to_vec());
+                let (tables, t) = run_stage(&self.ctx, batches, move |core, b| {
+                    let mut t = ops::groupby::GroupTable::new(kk.len(), &aa, 256);
+                    t.consume(core, &b, &kk)?;
+                    Ok(t)
+                })?;
+                report.absorb(&t);
+                // ...then the merge operator combines the per-core tables
+                // ("working on aggregated data, merge introduces low
+                // overhead").
+                let (out, t2) = run_stage(&self.ctx, vec![tables], move |core, ts| {
+                    let mut it = ts.into_iter();
+                    let Some(mut first) = it.next() else {
+                        return Ok(Batch::empty(0));
+                    };
+                    for other in it {
+                        first.merge_from(core, &other)?;
+                    }
+                    Ok(first.emit(core))
+                })?;
+                report.absorb(&t2);
+                Ok(out)
+            }
+            GroupStrategy::Partitioned => {
+                // Partition by grouping keys so each partition's table fits.
+                let rows: usize = batches.iter().map(Batch::rows).sum();
+                let scheme = default_scheme(rows, keys.len(), &self.ctx);
+                let (kk, sv, tile) = (keys.to_vec(), scheme, self.ctx.tile_rows);
+                let (parts, t) = run_stage(&self.ctx, vec![batches], move |core, bs| {
+                    ops::partition::partition_scheme(core, bs, &kk, &sv, tile)
+                })?;
+                report.absorb(&t);
+                let parts = parts.into_iter().next().expect("one item");
+                let (kk, aa) = (keys.to_vec(), aggs.to_vec());
+                let (out, t2) = run_stage(
+                    &self.ctx,
+                    parts.into_iter().filter(|p| !p.is_empty()).collect(),
+                    move |core, b| {
+                        let mut t = ops::groupby::GroupTable::new(kk.len(), &aa, 256);
+                        t.consume(core, &b, &kk)?;
+                        Ok(t.emit(core))
+                    },
+                )?;
+                report.absorb(&t2);
+                Ok(out.into_iter().filter(|b| !b.is_empty()).collect())
+            }
+        }
+    }
+}
+
+/// Join one partition pair with large-skew resilience: when the build side
+/// is much larger than estimated, re-partition the pair and recurse.
+#[allow(clippy::too_many_arguments)]
+fn join_pair_resilient(
+    core: &mut crate::exec::CoreCtx,
+    build: Batch,
+    probe: Batch,
+    build_keys: &[usize],
+    probe_keys: &[usize],
+    join_type: JoinType,
+    est_rows: usize,
+    build_width: usize,
+    tile: usize,
+    depth: usize,
+) -> QefResult<Batch> {
+    if build.is_empty() && join_type == JoinType::LeftOuter {
+        return Ok(pad_outer(probe, build_width));
+    }
+    let oversized = build.rows() > est_rows.saturating_mul(ops::join::LARGE_SKEW_FACTOR);
+    if oversized && depth < 3 && build.rows() > 256 {
+        // Large skew: extra partitioning rounds introduced dynamically.
+        let extra = 8usize;
+        let shift = 28 - (depth as u32 * 3); // high hash bits, disjoint from earlier rounds
+        let bsub = ops::partition::partition_batches(
+            core,
+            std::slice::from_ref(&build),
+            build_keys,
+            extra,
+            shift,
+            tile,
+        )?;
+        let psub = ops::partition::partition_batches(
+            core,
+            std::slice::from_ref(&probe),
+            probe_keys,
+            extra,
+            shift,
+            tile,
+        )?;
+        let mut outs = Vec::with_capacity(extra);
+        for (b, p) in bsub.into_iter().zip(psub) {
+            outs.push(join_pair_resilient(
+                core,
+                b,
+                p,
+                build_keys,
+                probe_keys,
+                join_type,
+                est_rows,
+                build_width,
+                tile,
+                depth + 1,
+            )?);
+        }
+        return Ok(Batch::concat(&outs.into_iter().filter(|b| !b.is_empty()).collect::<Vec<_>>()));
+    }
+    if build.is_empty() || probe.is_empty() {
+        return match join_type {
+            JoinType::Inner | JoinType::LeftSemi => Ok(Batch::empty(0)),
+            JoinType::LeftAnti => Ok(probe),
+            JoinType::LeftOuter => Ok(pad_outer(probe, build_width)),
+        };
+    }
+    ops::join::join_partition(core, &build, &probe, build_keys, probe_keys, join_type, est_rows)
+}
+
+/// Pad probe rows with NULL build columns for outer joins with no build.
+fn pad_outer(probe: Batch, build_width: usize) -> Batch {
+    if probe.is_empty() {
+        return Batch::empty(0);
+    }
+    let n = probe.rows();
+    let mut out = probe;
+    for _ in 0..build_width {
+        let mut data = rapid_storage::vector::ColumnData::I64(Vec::new());
+        let mut nulls = rapid_storage::bitvec::BitVec::zeros(0);
+        for _ in 0..n {
+            data.push_i64(0);
+            nulls.push(true);
+        }
+        out.push_column(rapid_storage::vector::Vector::with_nulls(data, nulls));
+    }
+    out
+}
+
+/// The engine's fallback partition scheme (§5.3 heuristics): total
+/// partitions = max(build-side DMEM pressure, cores), factored into
+/// power-of-two rounds of at most 32-way HW + 64-way SW fan-out.
+pub fn default_scheme(build_rows: usize, nkeys: usize, ctx: &ExecContext) -> Vec<usize> {
+    // A DMEM join kernel comfortably handles this many build rows (keys +
+    // compact table in 32 KiB with room for I/O vectors).
+    let per_part = (ctx.dmem_bytes / 2) / (nkeys * 8 + 6).max(1);
+    let needed = next_pow2_at_least(build_rows.div_ceil(per_part.max(1)), ctx.cores);
+    // Factor into rounds: ≤1024 per round (32 HW x 32 SW), minimal rounds,
+    // symmetric fan-outs preferred.
+    let mut rounds = Vec::new();
+    let mut rest = needed;
+    while rest > 1024 {
+        rounds.push(1024);
+        rest = rest.div_ceil(1024).next_power_of_two();
+    }
+    if rest > 1 {
+        rounds.push(rest);
+    }
+    if rounds.is_empty() {
+        rounds.push(1);
+    }
+    rounds
+}
+
+fn empty_with_layout(meta: &[ColMeta]) -> Batch {
+    use rapid_storage::types::DataType;
+    use rapid_storage::vector::{ColumnData, Vector};
+    Batch::new(
+        meta.iter()
+            .map(|m| {
+                Vector::new(match m.dtype {
+                    DataType::Date => ColumnData::I32(Vec::new()),
+                    DataType::Varchar => ColumnData::U32(Vec::new()),
+                    _ => ColumnData::I64(Vec::new()),
+                })
+            })
+            .collect(),
+    )
+}
+
+/// Selectivity estimate of a conjunct from table statistics (used for the
+/// most-selective-first ordering and by the compiler's cost model; coarse
+/// is fine).
+pub fn estimate_selectivity(pred: &Pred, stats: &rapid_storage::stats::TableStats) -> f64 {
+    use crate::primitives::filter::CmpOp;
+    let col_stats = |c: usize| -> Option<&ColumnStats> { stats.columns.get(c) };
+    match pred {
+        Pred::CmpConst { col, op, value } => {
+            let Some(s) = col_stats(*col) else { return 0.5 };
+            match op {
+                CmpOp::Eq => s.eq_selectivity(),
+                CmpOp::Ne => 1.0 - s.eq_selectivity(),
+                CmpOp::Lt | CmpOp::Le => s.range_selectivity(None, Some(*value)),
+                CmpOp::Gt | CmpOp::Ge => s.range_selectivity(Some(*value), None),
+            }
+        }
+        Pred::Between { col, lo, hi } => {
+            col_stats(*col).map_or(0.25, |s| s.range_selectivity(Some(*lo), Some(*hi)))
+        }
+        Pred::InCodes { col, codes } => {
+            let Some(s) = col_stats(*col) else { return 0.3 };
+            (codes.count_ones() as f64 * s.eq_selectivity()).min(1.0)
+        }
+        Pred::InList { col, values } => {
+            let Some(s) = col_stats(*col) else { return 0.3 };
+            (values.len() as f64 * s.eq_selectivity()).min(1.0)
+        }
+        Pred::And(ps) => ps.iter().map(|p| estimate_selectivity(p, stats)).product(),
+        Pred::Or(ps) => {
+            let mut none = 1.0;
+            for p in ps {
+                none *= 1.0 - estimate_selectivity(p, stats);
+            }
+            1.0 - none
+        }
+        Pred::Not(p) => 1.0 - estimate_selectivity(p, stats),
+        Pred::CmpCols { .. } | Pred::CmpExpr { .. } => 0.3,
+        Pred::Const(b) => {
+            if *b {
+                1.0
+            } else {
+                0.0
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::expr::Expr;
+    use crate::plan::{AggSpec, NamedExpr, SortKey};
+    use crate::primitives::agg::AggFunc;
+    use crate::primitives::filter::CmpOp;
+    use rapid_storage::schema::{Field, Schema};
+    use rapid_storage::table::TableBuilder;
+    use rapid_storage::types::{DataType, Value};
+
+    fn engine(ctx: ExecContext) -> Engine {
+        let schema = Schema::new(vec![
+            Field::new("k", DataType::Int),
+            Field::new("v", DataType::Int),
+            Field::new("grp", DataType::Int),
+        ]);
+        let mut b = TableBuilder::new("t", schema).chunk_rows(256);
+        for i in 0..5000i64 {
+            b.push_row(vec![Value::Int(i), Value::Int(i * 2), Value::Int(i % 7)]);
+        }
+        let mut e = Engine::new(ctx);
+        e.load_table(Arc::new(b.finish()));
+        e
+    }
+
+    fn scan(pred: Option<Pred>) -> PlanNode {
+        PlanNode::Scan { table: "t".into(), columns: vec![0, 1, 2], pred }
+    }
+
+    #[test]
+    fn scan_filter_project() {
+        for ctx in [ExecContext::dpu(), ExecContext::native(4)] {
+            let e = engine(ctx);
+            let plan = scan(Some(Pred::CmpConst { col: 0, op: CmpOp::Lt, value: 100 }));
+            let (out, report) = e.execute(&plan).unwrap();
+            assert_eq!(out.batch.rows(), 100);
+            assert_eq!(out.meta.len(), 3);
+            assert!(report.stages >= 1);
+        }
+    }
+
+    #[test]
+    fn dpu_backend_reports_simulated_time() {
+        let e = engine(ExecContext::dpu());
+        let (_, report) = e.execute(&scan(None)).unwrap();
+        assert!(report.sim_secs > 0.0);
+        assert_eq!(report.rows, 5000);
+    }
+
+    #[test]
+    fn map_expressions() {
+        let e = engine(ExecContext::dpu());
+        let plan = PlanNode::Map {
+            input: Box::new(scan(None)),
+            exprs: vec![NamedExpr {
+                expr: Expr::mul(Expr::Col(0), Expr::Lit(3)),
+                name: "tripled".into(),
+                dtype: DataType::Int,
+                scale: 0,
+                dict: None,
+            }],
+        };
+        let (out, _) = e.execute(&plan).unwrap();
+        assert_eq!(out.batch.width(), 1);
+        let v = out.batch.column(0).data.to_i64_vec();
+        assert_eq!(v.iter().sum::<i64>(), 3 * (0..5000i64).sum::<i64>());
+    }
+
+    #[test]
+    fn groupby_both_strategies_agree() {
+        let e = engine(ExecContext::dpu());
+        let mk = |strategy| PlanNode::GroupBy {
+            input: Box::new(scan(None)),
+            keys: vec![2],
+            aggs: vec![
+                AggSpec { func: AggFunc::Count, col: 0 },
+                AggSpec { func: AggFunc::Sum, col: 1 },
+            ],
+            strategy,
+        };
+        let mut results = Vec::new();
+        for strategy in [GroupStrategy::OnTheFly, GroupStrategy::Partitioned, GroupStrategy::Auto] {
+            let (out, _) = e.execute(&mk(strategy)).unwrap();
+            assert_eq!(out.batch.rows(), 7, "{strategy:?}");
+            let mut rows: Vec<(i64, i64, i64)> = (0..7)
+                .map(|i| {
+                    (
+                        out.batch.column(0).data.get_i64(i),
+                        out.batch.column(1).data.get_i64(i),
+                        out.batch.column(2).data.get_i64(i),
+                    )
+                })
+                .collect();
+            rows.sort_unstable();
+            results.push(rows);
+        }
+        assert_eq!(results[0], results[1]);
+        assert_eq!(results[0], results[2]);
+        // Spot-check group 0: keys 0,7,14,... -> count = ceil(5000/7).
+        assert_eq!(results[0][0].1, 715);
+    }
+
+    #[test]
+    fn hash_join_self_join() {
+        let e = engine(ExecContext::dpu());
+        let plan = PlanNode::HashJoin {
+            build: Box::new(PlanNode::Scan {
+                table: "t".into(),
+                columns: vec![0, 1],
+                pred: Some(Pred::CmpConst { col: 0, op: CmpOp::Lt, value: 500 }),
+            }),
+            probe: Box::new(PlanNode::Scan { table: "t".into(), columns: vec![0, 2], pred: None }),
+            build_keys: vec![0],
+            probe_keys: vec![0],
+            join_type: JoinType::Inner,
+            scheme: None,
+        };
+        let (out, _) = e.execute(&plan).unwrap();
+        assert_eq!(out.batch.rows(), 500);
+        assert_eq!(out.batch.width(), 4);
+        // probe k == build k on every output row.
+        for i in 0..out.batch.rows() {
+            assert_eq!(
+                out.batch.column(0).data.get_i64(i),
+                out.batch.column(2).data.get_i64(i)
+            );
+        }
+    }
+
+    #[test]
+    fn topk_returns_global_winners() {
+        let e = engine(ExecContext::dpu());
+        let plan = PlanNode::TopK {
+            input: Box::new(scan(None)),
+            order: vec![SortKey { col: 1, desc: true }],
+            k: 3,
+        };
+        let (out, _) = e.execute(&plan).unwrap();
+        assert_eq!(out.batch.column(1).data.to_i64_vec(), vec![9998, 9996, 9994]);
+    }
+
+    #[test]
+    fn sort_orders_globally() {
+        let e = engine(ExecContext::dpu());
+        let plan = PlanNode::Sort {
+            input: Box::new(scan(Some(Pred::CmpConst { col: 0, op: CmpOp::Lt, value: 50 }))),
+            order: vec![SortKey { col: 0, desc: true }],
+        };
+        let (out, _) = e.execute(&plan).unwrap();
+        let v = out.batch.column(0).data.to_i64_vec();
+        assert_eq!(v.len(), 50);
+        assert!(v.windows(2).all(|w| w[0] >= w[1]));
+    }
+
+    #[test]
+    fn empty_result_keeps_layout() {
+        let e = engine(ExecContext::dpu());
+        let plan = scan(Some(Pred::CmpConst { col: 0, op: CmpOp::Gt, value: 1 << 40 }));
+        let (out, _) = e.execute(&plan).unwrap();
+        assert_eq!(out.batch.rows(), 0);
+        assert_eq!(out.batch.width(), 3);
+    }
+
+    #[test]
+    fn default_scheme_covers_cores_and_dmem() {
+        let ctx = ExecContext::dpu();
+        let s = default_scheme(10, 1, &ctx);
+        assert_eq!(s.iter().product::<usize>(), 32, "at least one partition per core");
+        let s = default_scheme(10_000_000, 1, &ctx);
+        let total: usize = s.iter().product();
+        assert!(total * 1000 >= 10_000_000, "scheme {s:?} leaves partitions too big");
+        assert!(s.iter().all(|&f| f <= 1024));
+    }
+
+    #[test]
+    fn missing_table_fails_cleanly() {
+        let e = Engine::new(ExecContext::dpu());
+        let err = e.execute(&scan(None)).unwrap_err();
+        assert!(matches!(err, QefError::TableNotLoaded(_)));
+    }
+}
+
+#[cfg(test)]
+mod plan_node_tests {
+    //! Engine coverage for the plan nodes the main tests leave out:
+    //! Window, SetOp, Limit and Filter-over-intermediate.
+
+    use super::*;
+    use crate::expr::Pred;
+    use crate::plan::{SetOpKind, SortKey, WindowFunc};
+    use crate::primitives::filter::CmpOp;
+    use rapid_storage::schema::{Field, Schema};
+    use rapid_storage::table::TableBuilder;
+    use rapid_storage::types::{DataType, Value};
+    use std::sync::Arc;
+
+    fn engine() -> Engine {
+        let schema = Schema::new(vec![
+            Field::new("k", DataType::Int),
+            Field::new("grp", DataType::Int),
+        ]);
+        let mut b = TableBuilder::new("t", schema).chunk_rows(64);
+        for i in 0..500i64 {
+            b.push_row(vec![Value::Int(i), Value::Int(i % 3)]);
+        }
+        let mut e = Engine::new(ExecContext::dpu().with_cores(4));
+        e.load_table(Arc::new(b.finish()));
+        e
+    }
+
+    fn scan(pred: Option<Pred>) -> PlanNode {
+        PlanNode::Scan { table: "t".into(), columns: vec![0, 1], pred }
+    }
+
+    #[test]
+    fn window_rank_through_engine() {
+        let e = engine();
+        let plan = PlanNode::Window {
+            input: Box::new(scan(Some(Pred::CmpConst { col: 0, op: CmpOp::Lt, value: 9 }))),
+            partition_by: vec![1],
+            order_by: vec![SortKey { col: 0, desc: true }],
+            func: WindowFunc::Rank,
+        };
+        let (out, _) = e.execute(&plan).unwrap();
+        assert_eq!(out.batch.width(), 3);
+        assert_eq!(out.batch.rows(), 9);
+        // Each grp has 3 members -> ranks 1..=3 within each.
+        for i in 0..out.batch.rows() {
+            let rank = out.batch.column(2).data.get_i64(i);
+            assert!((1..=3).contains(&rank));
+        }
+        assert_eq!(out.meta[2].name, "rank");
+    }
+
+    #[test]
+    fn setops_through_engine() {
+        let e = engine();
+        let lows = scan(Some(Pred::CmpConst { col: 0, op: CmpOp::Lt, value: 10 }));
+        let evens_low = PlanNode::Filter {
+            input: Box::new(scan(Some(Pred::CmpConst { col: 0, op: CmpOp::Lt, value: 20 }))),
+            pred: Pred::CmpConst { col: 1, op: CmpOp::Eq, value: 0 },
+        };
+        for (op, expect) in [
+            // k<10 (10 rows) vs k<20 && grp==0 (k in {0,3,6,9,12,15,18}: 7 rows)
+            (SetOpKind::Union, 10 + 3),         // {0..9} u {12,15,18}
+            (SetOpKind::Intersect, 4),          // {0,3,6,9}
+            (SetOpKind::Minus, 6),              // {1,2,4,5,7,8}
+        ] {
+            let plan = PlanNode::SetOp {
+                left: Box::new(lows.clone()),
+                right: Box::new(evens_low.clone()),
+                op,
+            };
+            let (out, _) = e.execute(&plan).unwrap();
+            assert_eq!(out.batch.rows(), expect, "{op:?}");
+        }
+    }
+
+    #[test]
+    fn limit_through_engine() {
+        let e = engine();
+        let plan = PlanNode::Limit { input: Box::new(scan(None)), n: 7 };
+        let (out, _) = e.execute(&plan).unwrap();
+        assert_eq!(out.batch.rows(), 7);
+        let plan = PlanNode::Limit { input: Box::new(scan(None)), n: 10_000 };
+        let (out, _) = e.execute(&plan).unwrap();
+        assert_eq!(out.batch.rows(), 500, "limit larger than input");
+    }
+
+    #[test]
+    fn nonvectorized_engine_still_correct() {
+        // Figure 13's ablation switch must not change results.
+        let schema = Schema::new(vec![
+            Field::new("k", DataType::Int),
+            Field::new("grp", DataType::Int),
+        ]);
+        let mut b = TableBuilder::new("t", schema).chunk_rows(64);
+        for i in 0..500i64 {
+            b.push_row(vec![Value::Int(i), Value::Int(i % 3)]);
+        }
+        let table = Arc::new(b.finish());
+        let mut slow = Engine::new(ExecContext::dpu().with_cores(4).with_vectorized(false));
+        slow.load_table(Arc::clone(&table));
+        let join = PlanNode::HashJoin {
+            build: Box::new(scan(Some(Pred::CmpConst { col: 0, op: CmpOp::Lt, value: 50 }))),
+            probe: Box::new(scan(None)),
+            build_keys: vec![0],
+            probe_keys: vec![0],
+            join_type: JoinType::Inner,
+            scheme: None,
+        };
+        let (out, report) = slow.execute(&join).unwrap();
+        assert_eq!(out.batch.rows(), 50);
+        let fast = engine();
+        let (out2, report2) = fast.execute(&join).unwrap();
+        assert_eq!(out.batch.rows(), out2.batch.rows());
+        assert!(report.sim_secs > report2.sim_secs, "row-at-a-time must be slower");
+    }
+}

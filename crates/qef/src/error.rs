@@ -1,0 +1,68 @@
+//! QEF error types.
+
+use std::fmt;
+
+/// Result alias for QEF operations.
+pub type QefResult<T> = Result<T, QefError>;
+
+/// Errors surfaced by query execution.
+#[derive(Debug, Clone, PartialEq)]
+pub enum QefError {
+    /// A referenced table is not loaded into the engine's catalog.
+    TableNotLoaded(String),
+    /// A referenced column index is out of range.
+    BadColumn {
+        /// The offending column index.
+        index: usize,
+        /// Number of columns available.
+        available: usize,
+    },
+    /// DMEM exhausted and the operator had no overflow path.
+    DmemExhausted(String),
+    /// A plan was malformed (e.g. join key arity mismatch).
+    BadPlan(String),
+    /// Arithmetic overflow in DSB integer math that no rescale could avoid.
+    NumericOverflow(String),
+    /// Internal invariant violation.
+    Internal(String),
+}
+
+impl fmt::Display for QefError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            QefError::TableNotLoaded(t) => write!(f, "table '{t}' is not loaded"),
+            QefError::BadColumn { index, available } => {
+                write!(f, "column index {index} out of range ({available} columns)")
+            }
+            QefError::DmemExhausted(what) => write!(f, "DMEM exhausted in {what}"),
+            QefError::BadPlan(msg) => write!(f, "malformed plan: {msg}"),
+            QefError::NumericOverflow(what) => write!(f, "numeric overflow in {what}"),
+            QefError::Internal(msg) => write!(f, "internal error: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for QefError {}
+
+impl From<dpu_sim::DmemError> for QefError {
+    fn from(e: dpu_sim::DmemError) -> Self {
+        QefError::DmemExhausted(e.to_string())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_formats() {
+        assert_eq!(QefError::TableNotLoaded("t".into()).to_string(), "table 't' is not loaded");
+        assert!(QefError::BadColumn { index: 5, available: 2 }.to_string().contains("5"));
+    }
+
+    #[test]
+    fn dmem_error_converts() {
+        let e: QefError = dpu_sim::DmemError { requested: 10, available: 5 }.into();
+        assert!(matches!(e, QefError::DmemExhausted(_)));
+    }
+}

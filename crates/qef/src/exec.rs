@@ -1,0 +1,200 @@
+//! Execution contexts: the simulated-DPU and native-x86 backends.
+//!
+//! The same operator code runs on both backends — that is the point of the
+//! paper's Figure 16 ("RAPID software is also amenable to better
+//! performance on x86"). The difference is only in how time is observed:
+//!
+//! * [`Backend::Dpu`] — primitives charge the calibrated cost model into
+//!   per-core [`CycleAccount`]s; elapsed time is *simulated*.
+//! * [`Backend::Native`] — charging is skipped (the accounting calls are
+//!   cheap, but zero is cheaper) and elapsed time is the wall clock.
+
+use std::sync::Arc;
+
+use dpu_sim::account::CycleAccount;
+use dpu_sim::clock::Cycles;
+use dpu_sim::dmem::Dmem;
+use dpu_sim::dms::engine::{DmsCost, DmsEngine};
+use dpu_sim::isa::{CostModel, KernelCost};
+
+/// Which platform the engine models.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Backend {
+    /// The simulated RAPID DPU: simulated time, enforced DMEM budget.
+    Dpu,
+    /// Native x86: wall-clock time; the DMEM budget still shapes operator
+    /// buffer sizes (same software structure), but accounting is off.
+    Native,
+}
+
+/// Shared, immutable execution configuration.
+#[derive(Debug, Clone)]
+pub struct ExecContext {
+    /// Backend selection.
+    pub backend: Backend,
+    /// Calibrated cost model (used by the Dpu backend and by cost-aware
+    /// operator decisions on both backends).
+    pub cost_model: Arc<CostModel>,
+    /// Number of cores to parallelize across.
+    pub cores: usize,
+    /// DMEM capacity per core in bytes.
+    pub dmem_bytes: usize,
+    /// Default tile size in rows.
+    pub tile_rows: usize,
+    /// Vectorized execution on (Figure 13's ablation switch). When off,
+    /// primitives run row-at-a-time with per-row dispatch overhead.
+    pub vectorized: bool,
+}
+
+impl ExecContext {
+    /// Context for the full simulated DPU.
+    pub fn dpu() -> Self {
+        ExecContext {
+            backend: Backend::Dpu,
+            cost_model: Arc::new(CostModel::default()),
+            cores: 32,
+            dmem_bytes: dpu_sim::dmem::DMEM_BYTES,
+            tile_rows: 256,
+            vectorized: true,
+        }
+    }
+
+    /// Context for native execution with `cores` worker threads.
+    pub fn native(cores: usize) -> Self {
+        ExecContext { backend: Backend::Native, cores: cores.max(1), ..Self::dpu() }
+    }
+
+    /// Override the tile size.
+    pub fn with_tile_rows(mut self, rows: usize) -> Self {
+        self.tile_rows = rows.max(1);
+        self
+    }
+
+    /// Override the core count.
+    pub fn with_cores(mut self, cores: usize) -> Self {
+        self.cores = cores.max(1);
+        self
+    }
+
+    /// Toggle vectorized execution.
+    pub fn with_vectorized(mut self, on: bool) -> Self {
+        self.vectorized = on;
+        self
+    }
+
+    /// A DMS engine over this context's cost model.
+    pub fn dms(&self) -> DmsEngine {
+        DmsEngine::new((*self.cost_model).clone())
+    }
+}
+
+/// Per-core execution handle: the thing primitives charge and allocate on.
+#[derive(Debug)]
+pub struct CoreCtx {
+    /// Core id within the stage (0-based).
+    pub core_id: usize,
+    /// Backend of the enclosing context.
+    pub backend: Backend,
+    /// Cost model reference.
+    pub cost_model: Arc<CostModel>,
+    /// This core's cycle account (read back by the engine per stage).
+    pub account: CycleAccount,
+    /// This core's DMEM budget handle.
+    pub dmem: Dmem,
+    /// Whether primitives run vectorized (see [`ExecContext::vectorized`]).
+    pub vectorized: bool,
+}
+
+impl CoreCtx {
+    /// A fresh core context for `core_id` under `ctx`.
+    pub fn new(ctx: &ExecContext, core_id: usize) -> Self {
+        CoreCtx {
+            core_id,
+            backend: ctx.backend,
+            cost_model: Arc::clone(&ctx.cost_model),
+            account: CycleAccount::new(),
+            dmem: Dmem::with_capacity(ctx.dmem_bytes),
+            vectorized: ctx.vectorized,
+        }
+    }
+
+    /// Whether this core charges the simulated cost model.
+    #[inline]
+    pub fn charging(&self) -> bool {
+        self.backend == Backend::Dpu
+    }
+
+    /// Charge a kernel's measured operation counts.
+    #[inline]
+    pub fn charge_kernel(&mut self, cost: &KernelCost) {
+        if self.charging() {
+            let cm = Arc::clone(&self.cost_model);
+            self.account.charge_kernel(&cm, cost);
+        }
+    }
+
+    /// Charge the per-tile operator control-flow overhead.
+    #[inline]
+    pub fn charge_tile(&mut self) {
+        if self.charging() {
+            let cm = Arc::clone(&self.cost_model);
+            self.account.charge_tile_overhead(&cm);
+        }
+    }
+
+    /// Charge a DMS transfer attributed to this core's descriptor loops.
+    #[inline]
+    pub fn charge_dms(&mut self, cost: &DmsCost) {
+        if self.charging() {
+            self.account.charge_dms(Cycles(cost.cycles), cost.bytes, cost.descriptors);
+        }
+    }
+
+    /// Charge a double-buffered loop iteration: compute overlapped with
+    /// transfer.
+    #[inline]
+    pub fn charge_overlapped(&mut self, compute: Cycles, transfer: &DmsCost) {
+        if self.charging() {
+            self.account.charge_overlapped(compute, Cycles(transfer.cycles));
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dpu_context_defaults_match_hardware() {
+        let ctx = ExecContext::dpu();
+        assert_eq!(ctx.cores, 32);
+        assert_eq!(ctx.dmem_bytes, 32 * 1024);
+        assert!(ctx.vectorized);
+    }
+
+    #[test]
+    fn native_backend_skips_charging() {
+        let ctx = ExecContext::native(4);
+        let mut core = CoreCtx::new(&ctx, 0);
+        core.charge_kernel(&KernelCost::paired(100.0, 100.0));
+        assert_eq!(core.account.compute_cycles().get(), 0.0);
+    }
+
+    #[test]
+    fn dpu_backend_charges() {
+        let ctx = ExecContext::dpu();
+        let mut core = CoreCtx::new(&ctx, 0);
+        core.charge_kernel(&KernelCost::paired(100.0, 100.0));
+        assert!((core.account.compute_cycles().get() - 100.0).abs() < 1e-9);
+        core.charge_tile();
+        assert_eq!(core.account.counters().tiles, 1);
+    }
+
+    #[test]
+    fn builder_style_overrides() {
+        let ctx = ExecContext::dpu().with_tile_rows(512).with_cores(8).with_vectorized(false);
+        assert_eq!(ctx.tile_rows, 512);
+        assert_eq!(ctx.cores, 8);
+        assert!(!ctx.vectorized);
+    }
+}

@@ -1,0 +1,430 @@
+//! Vectorized scalar expressions and predicates over batches.
+//!
+//! Expressions operate in the widened `i64` physical domain (DSB mantissas,
+//! dictionary codes, epoch days); the compiler is responsible for scale
+//! bookkeeping and for encoding literals into that domain. Evaluation is
+//! vectorized: each node produces a whole [`Vector`] per tile by calling
+//! the primitive library, so per-row interpretive overhead never appears
+//! in the hot path (the property Figure 13 measures).
+
+use serde::{Deserialize, Serialize};
+
+use rapid_storage::bitvec::BitVec;
+use rapid_storage::vector::{ColumnData, Vector};
+
+use crate::batch::Batch;
+use crate::error::{QefError, QefResult};
+use crate::exec::CoreCtx;
+use crate::primitives::arith::{self, ArithOp};
+use crate::primitives::filter::{self, CmpOp};
+
+/// A scalar expression tree.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum Expr {
+    /// Input column by position.
+    Col(usize),
+    /// Literal in the widened physical domain.
+    Lit(i64),
+    /// Binary arithmetic.
+    Arith {
+        /// Operator.
+        op: ArithOp,
+        /// Left operand.
+        a: Box<Expr>,
+        /// Right operand.
+        b: Box<Expr>,
+    },
+    /// Calendar year of an epoch-days value (Q9's `EXTRACT(YEAR …)`).
+    YearOf(Box<Expr>),
+    /// `CASE WHEN pred THEN a ELSE b END` (Q12/Q14's conditional sums).
+    Case {
+        /// Condition.
+        pred: Box<Pred>,
+        /// Value when the condition holds.
+        then: Box<Expr>,
+        /// Value otherwise.
+        els: Box<Expr>,
+    },
+}
+
+impl Expr {
+    /// Evaluate over a batch, producing one value per row.
+    pub fn eval(&self, ctx: &mut CoreCtx, batch: &Batch) -> QefResult<Vector> {
+        match self {
+            Expr::Col(i) => batch
+                .columns
+                .get(*i)
+                .cloned()
+                .ok_or(QefError::BadColumn { index: *i, available: batch.width() }),
+            Expr::Lit(v) => {
+                Ok(Vector::new(ColumnData::I64(vec![*v; batch.rows()])))
+            }
+            Expr::Arith { op, a, b } => {
+                // Constant-on-one-side goes through the cheaper map kernel.
+                match (a.as_ref(), b.as_ref()) {
+                    (expr, Expr::Lit(c)) => {
+                        let av = expr.eval(ctx, batch)?;
+                        arith::arith_const(ctx, &av, *op, *c)
+                    }
+                    (Expr::Lit(c), expr) if matches!(op, ArithOp::Add | ArithOp::Mul) => {
+                        let bv = expr.eval(ctx, batch)?;
+                        arith::arith_const(ctx, &bv, *op, *c)
+                    }
+                    _ => {
+                        let av = a.eval(ctx, batch)?;
+                        let bv = b.eval(ctx, batch)?;
+                        arith::arith_col(ctx, &av, *op, &bv)
+                    }
+                }
+            }
+            Expr::YearOf(e) => {
+                let v = e.eval(ctx, batch)?;
+                Ok(arith::year_from_days(ctx, &v))
+            }
+            Expr::Case { pred, then, els } => {
+                let mask = pred.eval(ctx, batch)?;
+                let t = then.eval(ctx, batch)?;
+                let e = els.eval(ctx, batch)?;
+                let n = batch.rows();
+                let mut out = Vec::with_capacity(n);
+                let mut nulls = BitVec::zeros(n);
+                let mut has_null = false;
+                for i in 0..n {
+                    let src = if mask.get(i) { &t } else { &e };
+                    match src.get(i) {
+                        Some(v) => out.push(v),
+                        None => {
+                            out.push(0);
+                            nulls.set(i, true);
+                            has_null = true;
+                        }
+                    }
+                }
+                // Select loop: load mask + two candidate loads + store.
+                let k = dpu_sim::isa::KernelCost {
+                    alu: 1.0,
+                    lsu: 3.0,
+                    dual_issue_frac: 0.5,
+                    branches: 1.0 / 8.0,
+                    ..Default::default()
+                };
+                ctx.charge_kernel(&k.scaled(n as f64));
+                Ok(if has_null {
+                    Vector::with_nulls(ColumnData::I64(out), nulls)
+                } else {
+                    Vector::new(ColumnData::I64(out))
+                })
+            }
+        }
+    }
+
+    /// Convenience constructors.
+    pub fn add(a: Expr, b: Expr) -> Expr {
+        Expr::Arith { op: ArithOp::Add, a: Box::new(a), b: Box::new(b) }
+    }
+
+    /// `a - b`.
+    pub fn sub(a: Expr, b: Expr) -> Expr {
+        Expr::Arith { op: ArithOp::Sub, a: Box::new(a), b: Box::new(b) }
+    }
+
+    /// `a * b`.
+    pub fn mul(a: Expr, b: Expr) -> Expr {
+        Expr::Arith { op: ArithOp::Mul, a: Box::new(a), b: Box::new(b) }
+    }
+
+    /// Column indices referenced by the expression.
+    pub fn referenced_columns(&self, out: &mut Vec<usize>) {
+        match self {
+            Expr::Col(i) => out.push(*i),
+            Expr::Lit(_) => {}
+            Expr::Arith { a, b, .. } => {
+                a.referenced_columns(out);
+                b.referenced_columns(out);
+            }
+            Expr::YearOf(e) => e.referenced_columns(out),
+            Expr::Case { pred, then, els } => {
+                pred.referenced_columns(out);
+                then.referenced_columns(out);
+                els.referenced_columns(out);
+            }
+        }
+    }
+}
+
+/// A boolean predicate tree, evaluated to a qualifying bit-vector.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum Pred {
+    /// `col <op> literal` — the fast path the filter operator reorders.
+    CmpConst {
+        /// Column position.
+        col: usize,
+        /// Operator.
+        op: CmpOp,
+        /// Literal in the widened physical domain.
+        value: i64,
+    },
+    /// `left-col <op> right-col`.
+    CmpCols {
+        /// Left column position.
+        left: usize,
+        /// Operator.
+        op: CmpOp,
+        /// Right column position.
+        right: usize,
+    },
+    /// `expr <op> expr` (general case).
+    CmpExpr {
+        /// Left expression.
+        left: Box<Expr>,
+        /// Operator.
+        op: CmpOp,
+        /// Right expression.
+        right: Box<Expr>,
+    },
+    /// `col BETWEEN lo AND hi` (inclusive).
+    Between {
+        /// Column position.
+        col: usize,
+        /// Lower bound.
+        lo: i64,
+        /// Upper bound.
+        hi: i64,
+    },
+    /// `col IN (...)` compiled to a dictionary-code bitmap.
+    InCodes {
+        /// Column position (dictionary codes).
+        col: usize,
+        /// Qualifying-code bitmap.
+        codes: BitVec,
+    },
+    /// `col IN (...)` over a small sorted literal list.
+    InList {
+        /// Column position.
+        col: usize,
+        /// Sorted literal values.
+        values: Vec<i64>,
+    },
+    /// Conjunction.
+    And(Vec<Pred>),
+    /// Disjunction.
+    Or(Vec<Pred>),
+    /// Negation.
+    Not(Box<Pred>),
+    /// Constant truth (placeholder for always-true residuals).
+    Const(bool),
+}
+
+impl Pred {
+    /// Evaluate to a bit-vector over the batch's rows.
+    pub fn eval(&self, ctx: &mut CoreCtx, batch: &Batch) -> QefResult<BitVec> {
+        let col_ref = |i: usize| -> QefResult<&Vector> {
+            batch.columns.get(i).ok_or(QefError::BadColumn { index: i, available: batch.width() })
+        };
+        match self {
+            Pred::CmpConst { col, op, value } => {
+                Ok(filter::cmp_const_bv(ctx, col_ref(*col)?, *op, *value))
+            }
+            Pred::CmpCols { left, op, right } => {
+                let l = col_ref(*left)?.clone();
+                let r = col_ref(*right)?;
+                Ok(filter::cmp_col_bv(ctx, &l, *op, r))
+            }
+            Pred::CmpExpr { left, op, right } => {
+                let l = left.eval(ctx, batch)?;
+                let r = right.eval(ctx, batch)?;
+                Ok(filter::cmp_col_bv(ctx, &l, *op, &r))
+            }
+            Pred::Between { col, lo, hi } => {
+                Ok(filter::between_bv(ctx, col_ref(*col)?, *lo, *hi))
+            }
+            Pred::InCodes { col, codes } => {
+                Ok(filter::in_code_set_bv(ctx, col_ref(*col)?, codes))
+            }
+            Pred::InList { col, values } => {
+                let c = col_ref(*col)?;
+                let mut out = BitVec::zeros(c.len());
+                for i in 0..c.len() {
+                    if !c.is_null(i) && values.binary_search(&c.data.get_i64(i)).is_ok() {
+                        out.set(i, true);
+                    }
+                }
+                let k = crate::primitives::costs::filter_per_row()
+                    .scaled((c.len() * (values.len().max(2)).ilog2() as usize) as f64);
+                ctx.charge_kernel(&k);
+                Ok(out)
+            }
+            Pred::And(ps) => {
+                let mut it = ps.iter();
+                let Some(first) = it.next() else {
+                    return Ok(BitVec::ones(batch.rows()));
+                };
+                let mut acc = first.eval(ctx, batch)?;
+                for p in it {
+                    // Short-circuit: nothing qualifies, stop evaluating.
+                    if acc.count_ones() == 0 {
+                        break;
+                    }
+                    acc.and_with(&p.eval(ctx, batch)?);
+                }
+                Ok(acc)
+            }
+            Pred::Or(ps) => {
+                let mut acc = BitVec::zeros(batch.rows());
+                for p in ps {
+                    acc.or_with(&p.eval(ctx, batch)?);
+                }
+                Ok(acc)
+            }
+            Pred::Not(p) => {
+                let mut bv = p.eval(ctx, batch)?;
+                bv.negate();
+                Ok(bv)
+            }
+            Pred::Const(b) => {
+                Ok(if *b { BitVec::ones(batch.rows()) } else { BitVec::zeros(batch.rows()) })
+            }
+        }
+    }
+
+    /// Column indices referenced.
+    pub fn referenced_columns(&self, out: &mut Vec<usize>) {
+        match self {
+            Pred::CmpConst { col, .. } | Pred::Between { col, .. } | Pred::InCodes { col, .. } | Pred::InList { col, .. } => {
+                out.push(*col)
+            }
+            Pred::CmpCols { left, right, .. } => {
+                out.push(*left);
+                out.push(*right);
+            }
+            Pred::CmpExpr { left, right, .. } => {
+                left.referenced_columns(out);
+                right.referenced_columns(out);
+            }
+            Pred::And(ps) | Pred::Or(ps) => {
+                for p in ps {
+                    p.referenced_columns(out);
+                }
+            }
+            Pred::Not(p) => p.referenced_columns(out),
+            Pred::Const(_) => {}
+        }
+    }
+
+    /// Split a top-level conjunction into its conjuncts (for the filter's
+    /// most-selective-first reordering).
+    pub fn conjuncts(self) -> Vec<Pred> {
+        match self {
+            Pred::And(ps) => ps.into_iter().flat_map(Pred::conjuncts).collect(),
+            other => vec![other],
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::exec::ExecContext;
+
+    fn ctx() -> CoreCtx {
+        CoreCtx::new(&ExecContext::dpu(), 0)
+    }
+
+    fn batch() -> Batch {
+        Batch::new(vec![
+            Vector::new(ColumnData::I64(vec![1, 2, 3, 4])),
+            Vector::new(ColumnData::I64(vec![10, 20, 30, 40])),
+        ])
+    }
+
+    #[test]
+    fn arithmetic_tree() {
+        let mut c = ctx();
+        // (col0 + col1) * 2
+        let e = Expr::mul(Expr::add(Expr::Col(0), Expr::Col(1)), Expr::Lit(2));
+        let v = e.eval(&mut c, &batch()).unwrap();
+        assert_eq!(v.data.to_i64_vec(), vec![22, 44, 66, 88]);
+    }
+
+    #[test]
+    fn case_when() {
+        let mut c = ctx();
+        let e = Expr::Case {
+            pred: Box::new(Pred::CmpConst { col: 0, op: CmpOp::Ge, value: 3 }),
+            then: Box::new(Expr::Col(1)),
+            els: Box::new(Expr::Lit(0)),
+        };
+        let v = e.eval(&mut c, &batch()).unwrap();
+        assert_eq!(v.data.to_i64_vec(), vec![0, 0, 30, 40]);
+    }
+
+    #[test]
+    fn predicate_and_or_not() {
+        let mut c = ctx();
+        let p = Pred::And(vec![
+            Pred::CmpConst { col: 0, op: CmpOp::Gt, value: 1 },
+            Pred::Or(vec![
+                Pred::CmpConst { col: 1, op: CmpOp::Eq, value: 20 },
+                Pred::CmpConst { col: 1, op: CmpOp::Eq, value: 40 },
+            ]),
+        ]);
+        let bv = p.eval(&mut c, &batch()).unwrap();
+        assert_eq!(bv.iter_ones().collect::<Vec<_>>(), vec![1, 3]);
+        let inv = Pred::Not(Box::new(p)).eval(&mut c, &batch()).unwrap();
+        assert_eq!(inv.iter_ones().collect::<Vec<_>>(), vec![0, 2]);
+    }
+
+    #[test]
+    fn in_list_uses_binary_search() {
+        let mut c = ctx();
+        let p = Pred::InList { col: 0, values: vec![2, 4] };
+        let bv = p.eval(&mut c, &batch()).unwrap();
+        assert_eq!(bv.iter_ones().collect::<Vec<_>>(), vec![1, 3]);
+    }
+
+    #[test]
+    fn empty_and_is_true() {
+        let mut c = ctx();
+        let bv = Pred::And(vec![]).eval(&mut c, &batch()).unwrap();
+        assert_eq!(bv.count_ones(), 4);
+    }
+
+    #[test]
+    fn bad_column_is_an_error() {
+        let mut c = ctx();
+        let e = Expr::Col(9).eval(&mut c, &batch());
+        assert!(matches!(e, Err(QefError::BadColumn { index: 9, .. })));
+    }
+
+    #[test]
+    fn referenced_columns_collected() {
+        let e = Expr::mul(Expr::add(Expr::Col(0), Expr::Col(2)), Expr::Lit(1));
+        let mut cols = Vec::new();
+        e.referenced_columns(&mut cols);
+        assert_eq!(cols, vec![0, 2]);
+        let p = Pred::CmpCols { left: 1, op: CmpOp::Lt, right: 3 };
+        let mut cols = Vec::new();
+        p.referenced_columns(&mut cols);
+        assert_eq!(cols, vec![1, 3]);
+    }
+
+    #[test]
+    fn conjunct_splitting_flattens() {
+        let p = Pred::And(vec![
+            Pred::Const(true),
+            Pred::And(vec![Pred::Const(false), Pred::Const(true)]),
+        ]);
+        assert_eq!(p.conjuncts().len(), 3);
+    }
+
+    #[test]
+    fn serde_roundtrip() {
+        let p = Pred::And(vec![
+            Pred::CmpConst { col: 0, op: CmpOp::Le, value: 7 },
+            Pred::InList { col: 1, values: vec![1, 2] },
+        ]);
+        let json = serde_json::to_string(&p).unwrap();
+        let back: Pred = serde_json::from_str(&json).unwrap();
+        assert_eq!(p, back);
+    }
+}

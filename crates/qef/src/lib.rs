@@ -1,0 +1,48 @@
+//! # rapid-qef — the RAPID Query Execution Framework (§5, §6)
+//!
+//! The QEF provides the four properties §5.1 of the paper calls out:
+//!
+//! 1. **push-based execution** — data is pushed tile-by-tile through the
+//!    operators of a task; only task boundaries materialize to DRAM,
+//! 2. **an actor model for parallelism** — cores communicate by explicit
+//!    messages (no shared mutable state, matching the non-coherent caches),
+//! 3. **hardware-aware design** — operators declare DMEM needs, consume
+//!    data through the relation accessor (which programs the DMS), and
+//!    charge the simulated cost model for every kernel,
+//! 4. **vectorized processing** — primitives are type-specialized, tight,
+//!    branch-free loops over column vectors ("multiple rows at a time" in
+//!    the MonetDB/X100 sense, not SIMD).
+//!
+//! ## Layout
+//!
+//! | module | contents |
+//! |---|---|
+//! | [`batch`] | the tile of column vectors flowing between operators |
+//! | [`exec`] | execution context: backend (simulated DPU vs native x86), core handle |
+//! | [`expr`] | vectorized scalar expressions and predicates |
+//! | [`primitives`] | the generated primitive library (filter, arithmetic, hash, partition map, aggregation) |
+//! | [`ra`] | the relation accessor: sequential/gather DMS access patterns |
+//! | [`ops`] | data processing operators: filter, partition, hash join, group-by, top-k, sort, window, set ops |
+//! | [`plan`] | the serializable physical query execution plan (QEP) |
+//! | [`engine`] | the plan interpreter driving tasks across dpCores |
+//! | [`actor`] | message-passing scheduler used for exchange/merge steps |
+
+#![warn(missing_docs)]
+
+pub mod actor;
+pub mod batch;
+pub mod engine;
+pub mod error;
+pub mod exec;
+pub mod expr;
+pub mod ops;
+pub mod plan;
+pub mod primitives;
+pub mod ra;
+pub mod util;
+
+pub use batch::Batch;
+pub use engine::{Engine, QueryOutput, QueryReport};
+pub use error::{QefError, QefResult};
+pub use exec::{Backend, ExecContext};
+pub use plan::PlanNode;

@@ -1,0 +1,227 @@
+//! The partitioning operator: combined hardware + software partitioning.
+//!
+//! "RAPID combines hardware and software partitioning for efficiently
+//! partitioning relations" (§5.4): the DMS delivers up to 32-way
+//! partitioning while the data moves; the dpCores add further rounds in
+//! software using `compute_partition_map` + per-partition sequential
+//! gathers, with per-partition **local buffers in DMEM** flushed to DRAM
+//! when they fill — turning random partition writes into sequential ones.
+//!
+//! Multi-round schemes (§5.3) are driven by the caller (join/group-by):
+//! each round partitions every current partition `fanout`-ways, so a
+//! scheme `[16, 4]` yields 64 partitions after two passes.
+
+use rapid_storage::vector::Vector;
+
+use crate::batch::Batch;
+use crate::error::QefResult;
+use crate::exec::CoreCtx;
+use crate::primitives::hash::hash_rows;
+use crate::primitives::partition_map::{compute_partition_map, swpart_gather_column};
+use crate::ra::RelationAccessor;
+
+/// How many radix bits of the hash each round consumes, tracked so that
+/// successive rounds use *disjoint* hash bits.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct HashBitCursor {
+    /// Bits already consumed by earlier rounds.
+    pub consumed: u32,
+}
+
+impl HashBitCursor {
+    /// Take `bits` bits for a round, returning the shift to apply.
+    pub fn take(&mut self, bits: u32) -> u32 {
+        let shift = self.consumed;
+        self.consumed += bits;
+        assert!(self.consumed <= 32, "hash bits exhausted; scheme too deep");
+        shift
+    }
+}
+
+/// Partition a set of batches into `fanout` partitions by the hash of
+/// `key_cols`, consuming hash bits at `shift`. Returns one batch per
+/// partition (empty partitions produce empty batches).
+pub fn partition_batches(
+    ctx: &mut CoreCtx,
+    batches: &[Batch],
+    key_cols: &[usize],
+    fanout: usize,
+    shift: u32,
+    tile: usize,
+) -> QefResult<Vec<Batch>> {
+    debug_assert!(fanout.is_power_of_two());
+    let mut out: Vec<Vec<Batch>> = vec![Vec::new(); fanout];
+    for batch in batches {
+        if batch.is_empty() {
+            continue;
+        }
+        let keys: Vec<&Vector> = key_cols.iter().map(|&c| batch.column(c)).collect();
+        let hashes = hash_rows(ctx, &keys);
+        // Consume this round's bits of the hash.
+        let shifted: Vec<u32> = hashes.iter().map(|&h| h >> shift).collect();
+        let map = compute_partition_map(ctx, &shifted, fanout);
+
+        // Gather each column partition-by-partition (Listing 3), writing
+        // each partition's rows sequentially — charge the local-buffer
+        // flush as a sequential DMS write.
+        let mut per_part_cols: Vec<Vec<Vector>> = vec![Vec::new(); fanout];
+        for col in &batch.columns {
+            let gathered = swpart_gather_column(ctx, &map, col);
+            for (p, v) in gathered.into_iter().enumerate() {
+                per_part_cols[p].push(v);
+            }
+        }
+        let widths: Vec<usize> =
+            batch.columns.iter().map(|c| c.data.width()).collect();
+        ctx.charge_dms(&RelationAccessor::seq_write_cost(ctx, &widths, batch.rows(), tile));
+        ctx.charge_tile();
+        for (p, cols) in per_part_cols.into_iter().enumerate() {
+            let b = Batch::new(cols);
+            if !b.is_empty() {
+                out[p].push(b);
+            }
+        }
+    }
+    Ok(out.into_iter().map(|bs| Batch::concat(&bs)).collect())
+}
+
+/// Apply a multi-round partition scheme, producing `scheme.product()`
+/// partitions. Round `r` splits every partition of round `r-1`.
+pub fn partition_scheme(
+    ctx: &mut CoreCtx,
+    batches: Vec<Batch>,
+    key_cols: &[usize],
+    scheme: &[usize],
+    tile: usize,
+) -> QefResult<Vec<Batch>> {
+    let mut cursor = HashBitCursor::default();
+    let mut current: Vec<Batch> = vec![Batch::concat(&batches)];
+    for &fanout in scheme {
+        let shift = cursor.take(fanout.trailing_zeros());
+        let mut next = Vec::with_capacity(current.len() * fanout);
+        for part in &current {
+            next.extend(partition_batches(
+                ctx,
+                std::slice::from_ref(part),
+                key_cols,
+                fanout,
+                shift,
+                tile,
+            )?);
+        }
+        current = next;
+    }
+    Ok(current)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::exec::{CoreCtx, ExecContext};
+    use rapid_storage::vector::ColumnData;
+
+    fn ctx() -> CoreCtx {
+        CoreCtx::new(&ExecContext::dpu(), 0)
+    }
+
+    fn batch(n: i64) -> Batch {
+        Batch::new(vec![
+            Vector::new(ColumnData::I64((0..n).collect())),
+            Vector::new(ColumnData::I64((0..n).map(|i| i * 100).collect())),
+        ])
+    }
+
+    #[test]
+    fn partitions_cover_all_rows_exactly_once() {
+        let mut c = ctx();
+        let parts = partition_batches(&mut c, &[batch(10_000)], &[0], 16, 0, 256).unwrap();
+        assert_eq!(parts.len(), 16);
+        let total: usize = parts.iter().map(Batch::rows).sum();
+        assert_eq!(total, 10_000);
+        let mut all_keys: Vec<i64> =
+            parts.iter().flat_map(|p| p.column(0).data.to_i64_vec()).collect();
+        all_keys.sort_unstable();
+        assert_eq!(all_keys, (0..10_000).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn rows_keep_column_alignment() {
+        let mut c = ctx();
+        let parts = partition_batches(&mut c, &[batch(5000)], &[0], 8, 0, 256).unwrap();
+        for p in &parts {
+            for i in 0..p.rows() {
+                assert_eq!(p.column(1).data.get_i64(i), p.column(0).data.get_i64(i) * 100);
+            }
+        }
+    }
+
+    #[test]
+    fn same_key_lands_in_same_partition() {
+        let mut c = ctx();
+        let keys = vec![42i64; 1000];
+        let b = Batch::new(vec![Vector::new(ColumnData::I64(keys))]);
+        let parts = partition_batches(&mut c, &[b], &[0], 32, 0, 256).unwrap();
+        let nonempty: Vec<usize> =
+            parts.iter().enumerate().filter(|(_, p)| !p.is_empty()).map(|(i, _)| i).collect();
+        assert_eq!(nonempty.len(), 1);
+        assert_eq!(parts[nonempty[0]].rows(), 1000);
+    }
+
+    #[test]
+    fn multi_round_scheme_uses_disjoint_bits() {
+        let mut c = ctx();
+        // 8 x 4 = 32 partitions over two rounds.
+        let parts = partition_scheme(&mut c, vec![batch(20_000)], &[0], &[8, 4], 256).unwrap();
+        assert_eq!(parts.len(), 32);
+        let total: usize = parts.iter().map(Batch::rows).sum();
+        assert_eq!(total, 20_000);
+        // Two-round result must equal a single 32-way round on the same
+        // hash bits (rounds consume disjoint bit ranges of one hash).
+        let mut c2 = ctx();
+        let flat = partition_batches(&mut c2, &[batch(20_000)], &[0], 32, 0, 256).unwrap();
+        // Partition p of flat = partition (p%8 -> round1, p/8 -> round2):
+        // round 1 uses low 3 bits, round 2 the next 2 bits, so flat index
+        // bits [0..3) select the round-1 bucket and bits [3..5) round-2.
+        for (p, fp) in flat.iter().enumerate() {
+            let nested = &parts[(p & 7) * 4 + (p >> 3)];
+            let mut a = fp.column(0).data.to_i64_vec();
+            let mut b = nested.column(0).data.to_i64_vec();
+            a.sort_unstable();
+            b.sort_unstable();
+            assert_eq!(a, b, "partition {p}");
+        }
+    }
+
+    #[test]
+    fn multi_key_partitioning() {
+        let mut c = ctx();
+        let b = Batch::new(vec![
+            Vector::new(ColumnData::I64((0..1000).map(|i| i % 10).collect())),
+            Vector::new(ColumnData::I64((0..1000).map(|i| i / 10).collect())),
+        ]);
+        let parts = partition_batches(&mut c, &[b], &[0, 1], 16, 0, 256).unwrap();
+        let total: usize = parts.iter().map(Batch::rows).sum();
+        assert_eq!(total, 1000);
+        // Each distinct (k1,k2) pair must land in exactly one partition.
+        use std::collections::HashMap;
+        let mut seen: HashMap<(i64, i64), usize> = HashMap::new();
+        for (p, part) in parts.iter().enumerate() {
+            for i in 0..part.rows() {
+                let key = (part.column(0).data.get_i64(i), part.column(1).data.get_i64(i));
+                if let Some(&prev) = seen.get(&key) {
+                    assert_eq!(prev, p, "pair {key:?} split across partitions");
+                } else {
+                    seen.insert(key, p);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn empty_input() {
+        let mut c = ctx();
+        let parts = partition_batches(&mut c, &[], &[0], 4, 0, 64).unwrap();
+        assert_eq!(parts.len(), 4);
+        assert!(parts.iter().all(Batch::is_empty));
+    }
+}

@@ -1,0 +1,498 @@
+//! The physical query execution plan (QEP).
+//!
+//! A QEP is a DAG of physical operators produced by the RAPID compiler
+//! (`rapid-qcomp`), serialized into the host database's placeholder node
+//! (§3.1) and shipped to RAPID nodes for execution — which is why every
+//! node here derives `serde`. Column references are positional against the
+//! child's output; literals are pre-encoded into the widened physical
+//! domain (DSB mantissas, dictionary codes, epoch days) by the compiler.
+
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use rapid_storage::table::Table;
+use rapid_storage::types::DataType;
+
+use crate::error::{QefError, QefResult};
+use crate::expr::{Expr, Pred};
+use crate::primitives::agg::AggFunc;
+
+/// The catalog RAPID nodes resolve table names against.
+pub type Catalog = HashMap<String, Arc<Table>>;
+
+/// Join variants supported (§6.5). The *probe* side is the left/outer
+/// input; `Inner`/`LeftOuter` emit probe columns followed by build
+/// columns, `LeftSemi`/`LeftAnti` emit probe columns only.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum JoinType {
+    /// Matching pairs.
+    Inner,
+    /// Probe rows with ≥1 match (EXISTS).
+    LeftSemi,
+    /// Probe rows with no match (NOT EXISTS).
+    LeftAnti,
+    /// All probe rows; build columns NULL when unmatched.
+    LeftOuter,
+}
+
+/// Group-by execution strategy (§5.4).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum GroupStrategy {
+    /// Let the engine pick from the NDV estimate.
+    Auto,
+    /// High-NDV path: partition so each core's hash table fits in DMEM.
+    Partitioned,
+    /// Low-NDV path: every core aggregates its stream on the fly; a merge
+    /// operator combines the per-core tables.
+    OnTheFly,
+}
+
+/// A sort key.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct SortKey {
+    /// Column position in the input.
+    pub col: usize,
+    /// Descending order?
+    pub desc: bool,
+}
+
+/// A named, typed output expression for `Map` nodes.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct NamedExpr {
+    /// The expression over the input's columns.
+    pub expr: Expr,
+    /// Output column name.
+    pub name: String,
+    /// Logical output type.
+    pub dtype: DataType,
+    /// DSB scale of the output (decimals).
+    pub scale: u8,
+    /// Dictionary provenance, set by the compiler when the expression
+    /// passes a Varchar column through unchanged.
+    #[serde(default)]
+    pub dict: Option<(String, usize)>,
+}
+
+/// An aggregate specification.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct AggSpec {
+    /// Function.
+    pub func: AggFunc,
+    /// Input column position.
+    pub col: usize,
+}
+
+/// Set operation kinds (§5.4 "set operations").
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum SetOpKind {
+    /// Distinct union.
+    Union,
+    /// Distinct intersection.
+    Intersect,
+    /// Distinct difference (MINUS).
+    Minus,
+}
+
+/// Window functions supported (§5.4).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum WindowFunc {
+    /// 1-based rank with gaps over the order within the partition.
+    Rank,
+    /// 1-based dense row number within the partition.
+    RowNumber,
+    /// Running SUM of a column within the partition, in order.
+    RunningSum {
+        /// Summed column.
+        col: usize,
+    },
+}
+
+/// A physical plan node.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum PlanNode {
+    /// Leaf: scan a loaded base table, projecting `columns`; `pred`
+    /// references the **table schema's** column indices (not projected
+    /// positions) and is fused into the scan task with predicate
+    /// reordering and late materialization.
+    Scan {
+        /// Table name in the catalog.
+        table: String,
+        /// Projected column indices (into the table schema).
+        columns: Vec<usize>,
+        /// Fused filter over table column indices.
+        pred: Option<Pred>,
+    },
+    /// Filter by a predicate over the child's output.
+    Filter {
+        /// Input plan.
+        input: Box<PlanNode>,
+        /// Predicate.
+        pred: Pred,
+    },
+    /// Compute expressions; output = exactly `exprs` (use `Expr::Col` to
+    /// pass columns through).
+    Map {
+        /// Input plan.
+        input: Box<PlanNode>,
+        /// Output expressions.
+        exprs: Vec<NamedExpr>,
+    },
+    /// Partitioned hash join (§6). Output: probe columns ++ build columns
+    /// (inner/outer) or probe columns (semi/anti).
+    HashJoin {
+        /// Build (smaller) input.
+        build: Box<PlanNode>,
+        /// Probe (larger) input.
+        probe: Box<PlanNode>,
+        /// Key positions in the build output.
+        build_keys: Vec<usize>,
+        /// Key positions in the probe output.
+        probe_keys: Vec<usize>,
+        /// Join variant.
+        join_type: JoinType,
+        /// Partition fan-out per round, chosen by the compiler's partition
+        /// scheme optimization; `None` lets the engine pick.
+        scheme: Option<Vec<usize>>,
+    },
+    /// Group-by + aggregation. Output: keys ++ aggregates.
+    GroupBy {
+        /// Input plan.
+        input: Box<PlanNode>,
+        /// Grouping key positions.
+        keys: Vec<usize>,
+        /// Aggregates.
+        aggs: Vec<AggSpec>,
+        /// Strategy selection.
+        strategy: GroupStrategy,
+    },
+    /// Top-K by sort keys.
+    TopK {
+        /// Input plan.
+        input: Box<PlanNode>,
+        /// Ordering.
+        order: Vec<SortKey>,
+        /// Result size.
+        k: usize,
+    },
+    /// Full sort.
+    Sort {
+        /// Input plan.
+        input: Box<PlanNode>,
+        /// Ordering.
+        order: Vec<SortKey>,
+    },
+    /// First `n` rows (in current order).
+    Limit {
+        /// Input plan.
+        input: Box<PlanNode>,
+        /// Row cap.
+        n: usize,
+    },
+    /// Distinct set operation over two inputs with identical layouts.
+    SetOp {
+        /// Left input.
+        left: Box<PlanNode>,
+        /// Right input.
+        right: Box<PlanNode>,
+        /// Operation.
+        op: SetOpKind,
+    },
+    /// Window function; appends one column to the input.
+    Window {
+        /// Input plan.
+        input: Box<PlanNode>,
+        /// PARTITION BY key positions.
+        partition_by: Vec<usize>,
+        /// ORDER BY within the partition.
+        order_by: Vec<SortKey>,
+        /// The function.
+        func: WindowFunc,
+    },
+}
+
+/// Decode metadata of one output column.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ColMeta {
+    /// Column name.
+    pub name: String,
+    /// Logical type.
+    pub dtype: DataType,
+    /// DSB scale (decimals).
+    pub scale: u8,
+    /// Dictionary provenance `(table, column)` for Varchar columns.
+    pub dict: Option<(String, usize)>,
+    /// Whether NULLs may appear.
+    pub nullable: bool,
+}
+
+impl PlanNode {
+    /// Compute the output column metadata of this plan against a catalog.
+    pub fn output_meta(&self, catalog: &Catalog) -> QefResult<Vec<ColMeta>> {
+        match self {
+            PlanNode::Scan { table, columns, .. } => {
+                let t = catalog
+                    .get(table)
+                    .ok_or_else(|| QefError::TableNotLoaded(table.clone()))?;
+                columns
+                    .iter()
+                    .map(|&c| {
+                        let f = t.schema.fields.get(c).ok_or(QefError::BadColumn {
+                            index: c,
+                            available: t.schema.len(),
+                        })?;
+                        Ok(ColMeta {
+                            name: f.name.clone(),
+                            dtype: f.dtype,
+                            scale: t.scales[c],
+                            dict: matches!(f.dtype, DataType::Varchar)
+                                .then(|| (table.clone(), c)),
+                            nullable: f.nullable,
+                        })
+                    })
+                    .collect()
+            }
+            PlanNode::Filter { input, .. }
+            | PlanNode::TopK { input, .. }
+            | PlanNode::Sort { input, .. }
+            | PlanNode::Limit { input, .. } => input.output_meta(catalog),
+            PlanNode::Map { input, exprs } => {
+                let _ = input.output_meta(catalog)?; // validates the child
+                Ok(exprs
+                    .iter()
+                    .map(|e| ColMeta {
+                        name: e.name.clone(),
+                        dtype: e.dtype,
+                        scale: e.scale,
+                        dict: e.dict.clone(),
+                        nullable: true,
+                    })
+                    .collect())
+            }
+            PlanNode::HashJoin { build, probe, join_type, .. } => {
+                let p = probe.output_meta(catalog)?;
+                match join_type {
+                    JoinType::LeftSemi | JoinType::LeftAnti => Ok(p),
+                    JoinType::Inner => {
+                        let mut out = p;
+                        out.extend(build.output_meta(catalog)?);
+                        Ok(out)
+                    }
+                    JoinType::LeftOuter => {
+                        let mut out = p;
+                        out.extend(build.output_meta(catalog)?.into_iter().map(|mut m| {
+                            m.nullable = true;
+                            m
+                        }));
+                        Ok(out)
+                    }
+                }
+            }
+            PlanNode::GroupBy { input, keys, aggs, .. } => {
+                let im = input.output_meta(catalog)?;
+                let mut out = Vec::with_capacity(keys.len() + aggs.len());
+                for &k in keys {
+                    out.push(
+                        im.get(k)
+                            .cloned()
+                            .ok_or(QefError::BadColumn { index: k, available: im.len() })?,
+                    );
+                }
+                for a in aggs {
+                    let src = im
+                        .get(a.col)
+                        .ok_or(QefError::BadColumn { index: a.col, available: im.len() })?;
+                    let (name, dtype, scale) = match a.func {
+                        AggFunc::Count => {
+                            (format!("count_{}", src.name), DataType::Int, 0)
+                        }
+                        AggFunc::Sum => {
+                            (format!("sum_{}", src.name), src.dtype, src.scale)
+                        }
+                        AggFunc::Avg => {
+                            (format!("avg_{}", src.name), src.dtype, src.scale)
+                        }
+                        AggFunc::Min => {
+                            (format!("min_{}", src.name), src.dtype, src.scale)
+                        }
+                        AggFunc::Max => {
+                            (format!("max_{}", src.name), src.dtype, src.scale)
+                        }
+                    };
+                    // Aggregates of dictionary columns keep provenance
+                    // (MIN/MAX of a Varchar is still a code).
+                    let dict = match a.func {
+                        AggFunc::Min | AggFunc::Max => src.dict.clone(),
+                        _ => None,
+                    };
+                    out.push(ColMeta { name, dtype, scale, dict, nullable: true });
+                }
+                Ok(out)
+            }
+            PlanNode::SetOp { left, .. } => left.output_meta(catalog),
+            PlanNode::Window { input, func, .. } => {
+                let mut out = input.output_meta(catalog)?;
+                let (name, dtype, scale) = match func {
+                    WindowFunc::Rank => ("rank".to_string(), DataType::Int, 0),
+                    WindowFunc::RowNumber => ("row_number".to_string(), DataType::Int, 0),
+                    WindowFunc::RunningSum { col } => {
+                        let src = out.get(*col).ok_or(QefError::BadColumn {
+                            index: *col,
+                            available: out.len(),
+                        })?;
+                        (format!("running_sum_{}", src.name), src.dtype, src.scale)
+                    }
+                };
+                out.push(ColMeta { name, dtype, scale, dict: None, nullable: false });
+                Ok(out)
+            }
+        }
+    }
+
+    /// Tables referenced by the plan (for offload admissibility checks).
+    pub fn referenced_tables(&self, out: &mut Vec<String>) {
+        match self {
+            PlanNode::Scan { table, .. } => out.push(table.clone()),
+            PlanNode::Filter { input, .. }
+            | PlanNode::Map { input, .. }
+            | PlanNode::GroupBy { input, .. }
+            | PlanNode::TopK { input, .. }
+            | PlanNode::Sort { input, .. }
+            | PlanNode::Limit { input, .. }
+            | PlanNode::Window { input, .. } => input.referenced_tables(out),
+            PlanNode::HashJoin { build, probe, .. } => {
+                build.referenced_tables(out);
+                probe.referenced_tables(out);
+            }
+            PlanNode::SetOp { left, right, .. } => {
+                left.referenced_tables(out);
+                right.referenced_tables(out);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rapid_storage::schema::{Field, Schema};
+    use rapid_storage::table::TableBuilder;
+    use rapid_storage::types::Value;
+
+    fn catalog() -> Catalog {
+        let schema = Schema::new(vec![
+            Field::new("k", DataType::Int),
+            Field::new("price", DataType::Decimal { scale: 2 }),
+            Field::new("flag", DataType::Varchar),
+        ]);
+        let mut b = TableBuilder::new("t", schema);
+        b.push_row(vec![
+            Value::Int(1),
+            Value::Decimal { unscaled: 155, scale: 2 },
+            Value::Str("x".into()),
+        ]);
+        let mut c = Catalog::new();
+        c.insert("t".into(), Arc::new(b.finish()));
+        c
+    }
+
+    #[test]
+    fn scan_meta_reflects_schema() {
+        let plan = PlanNode::Scan { table: "t".into(), columns: vec![2, 1], pred: None };
+        let meta = plan.output_meta(&catalog()).unwrap();
+        assert_eq!(meta[0].name, "flag");
+        assert_eq!(meta[0].dict, Some(("t".into(), 2)));
+        assert_eq!(meta[1].scale, 2);
+    }
+
+    #[test]
+    fn groupby_meta_types() {
+        let plan = PlanNode::GroupBy {
+            input: Box::new(PlanNode::Scan { table: "t".into(), columns: vec![2, 1], pred: None }),
+            keys: vec![0],
+            aggs: vec![
+                AggSpec { func: AggFunc::Sum, col: 1 },
+                AggSpec { func: AggFunc::Count, col: 0 },
+            ],
+            strategy: GroupStrategy::Auto,
+        };
+        let meta = plan.output_meta(&catalog()).unwrap();
+        assert_eq!(meta.len(), 3);
+        assert_eq!(meta[1].name, "sum_price");
+        assert_eq!(meta[1].scale, 2);
+        assert_eq!(meta[2].dtype, DataType::Int);
+    }
+
+    #[test]
+    fn join_meta_concatenates_or_keeps_probe() {
+        let scan = PlanNode::Scan { table: "t".into(), columns: vec![0], pred: None };
+        let inner = PlanNode::HashJoin {
+            build: Box::new(scan.clone()),
+            probe: Box::new(scan.clone()),
+            build_keys: vec![0],
+            probe_keys: vec![0],
+            join_type: JoinType::Inner,
+            scheme: None,
+        };
+        assert_eq!(inner.output_meta(&catalog()).unwrap().len(), 2);
+        let semi = PlanNode::HashJoin {
+            build: Box::new(scan.clone()),
+            probe: Box::new(scan.clone()),
+            build_keys: vec![0],
+            probe_keys: vec![0],
+            join_type: JoinType::LeftSemi,
+            scheme: None,
+        };
+        assert_eq!(semi.output_meta(&catalog()).unwrap().len(), 1);
+        let outer = PlanNode::HashJoin {
+            build: Box::new(scan.clone()),
+            probe: Box::new(scan),
+            build_keys: vec![0],
+            probe_keys: vec![0],
+            join_type: JoinType::LeftOuter,
+            scheme: None,
+        };
+        let meta = outer.output_meta(&catalog()).unwrap();
+        assert!(meta[1].nullable);
+    }
+
+    #[test]
+    fn missing_table_is_an_error() {
+        let plan = PlanNode::Scan { table: "ghost".into(), columns: vec![0], pred: None };
+        assert!(matches!(
+            plan.output_meta(&catalog()),
+            Err(QefError::TableNotLoaded(t)) if t == "ghost"
+        ));
+    }
+
+    #[test]
+    fn referenced_tables_walks_dag() {
+        let scan = |t: &str| PlanNode::Scan { table: t.into(), columns: vec![0], pred: None };
+        let plan = PlanNode::HashJoin {
+            build: Box::new(scan("a")),
+            probe: Box::new(PlanNode::Filter {
+                input: Box::new(scan("b")),
+                pred: Pred::Const(true),
+            }),
+            build_keys: vec![0],
+            probe_keys: vec![0],
+            join_type: JoinType::Inner,
+            scheme: None,
+        };
+        let mut tables = Vec::new();
+        plan.referenced_tables(&mut tables);
+        assert_eq!(tables, vec!["a".to_string(), "b".to_string()]);
+    }
+
+    #[test]
+    fn plan_serde_roundtrip() {
+        let plan = PlanNode::TopK {
+            input: Box::new(PlanNode::Scan { table: "t".into(), columns: vec![0, 1], pred: None }),
+            order: vec![SortKey { col: 1, desc: true }],
+            k: 10,
+        };
+        let json = serde_json::to_string(&plan).unwrap();
+        let back: PlanNode = serde_json::from_str(&json).unwrap();
+        assert_eq!(plan, back);
+    }
+}

@@ -1,0 +1,213 @@
+//! Arithmetic map primitives over the widened `i64` compute domain.
+//!
+//! All numeric math in RAPID is integer math on DSB mantissas — the DPU has
+//! no floating point (§2.1/§4.2). Scale bookkeeping happens at plan time
+//! (the compiler assigns every expression an output scale); these kernels
+//! just run the checked integer loops and charge the multiplier stalls.
+
+use rapid_storage::bitvec::BitVec;
+use rapid_storage::vector::{ColumnData, Vector};
+
+use crate::error::{QefError, QefResult};
+use crate::exec::CoreCtx;
+use crate::primitives::costs;
+
+/// Binary arithmetic operators.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, serde::Serialize, serde::Deserialize)]
+pub enum ArithOp {
+    /// Addition.
+    Add,
+    /// Subtraction.
+    Sub,
+    /// Multiplication (stalls the low-power multiplier).
+    Mul,
+    /// Integer division (plans pre-scale the dividend to keep precision).
+    Div,
+}
+
+fn apply(op: ArithOp, a: i64, b: i64) -> QefResult<i64> {
+    let r = match op {
+        ArithOp::Add => a.checked_add(b),
+        ArithOp::Sub => a.checked_sub(b),
+        ArithOp::Mul => a.checked_mul(b),
+        ArithOp::Div => {
+            if b == 0 {
+                None
+            } else {
+                a.checked_div(b)
+            }
+        }
+    };
+    r.ok_or_else(|| QefError::NumericOverflow(format!("{a} {op:?} {b}")))
+}
+
+fn charge(ctx: &mut CoreCtx, op: ArithOp, rows: usize) {
+    let k = match op {
+        ArithOp::Mul | ArithOp::Div => costs::mul_per_row(),
+        _ => costs::arith_per_row(),
+    };
+    ctx.charge_kernel(&k.scaled(rows as f64));
+}
+
+/// `out[i] = col[i] op const`, null-propagating.
+pub fn arith_const(ctx: &mut CoreCtx, col: &Vector, op: ArithOp, cval: i64) -> QefResult<Vector> {
+    let n = col.len();
+    let mut out = Vec::with_capacity(n);
+    for i in 0..n {
+        if col.is_null(i) {
+            out.push(0);
+        } else {
+            out.push(apply(op, col.data.get_i64(i), cval)?);
+        }
+    }
+    charge(ctx, op, n);
+    Ok(match &col.nulls {
+        Some(nulls) => Vector::with_nulls(ColumnData::I64(out), nulls.clone()),
+        None => Vector::new(ColumnData::I64(out)),
+    })
+}
+
+/// `out[i] = a[i] op b[i]`, null-propagating.
+pub fn arith_col(ctx: &mut CoreCtx, a: &Vector, op: ArithOp, b: &Vector) -> QefResult<Vector> {
+    debug_assert_eq!(a.len(), b.len());
+    let n = a.len();
+    let mut out = Vec::with_capacity(n);
+    let mut nulls = if a.has_nulls() || b.has_nulls() { Some(BitVec::zeros(n)) } else { None };
+    for i in 0..n {
+        if a.is_null(i) || b.is_null(i) {
+            out.push(0);
+            if let Some(nl) = &mut nulls {
+                nl.set(i, true);
+            }
+        } else {
+            out.push(apply(op, a.data.get_i64(i), b.data.get_i64(i))?);
+        }
+    }
+    charge(ctx, op, n);
+    Ok(match nulls {
+        Some(nl) => Vector::with_nulls(ColumnData::I64(out), nl),
+        None => Vector::new(ColumnData::I64(out)),
+    })
+}
+
+/// Extract the calendar year from an epoch-days column (`EXTRACT(YEAR …)`
+/// in Q9) — pure integer math via the civil-calendar conversion.
+pub fn year_from_days(ctx: &mut CoreCtx, col: &Vector) -> Vector {
+    let n = col.len();
+    let mut out = Vec::with_capacity(n);
+    for i in 0..n {
+        if col.is_null(i) {
+            out.push(0);
+        } else {
+            let (y, _, _) = rapid_storage::types::civil_from_days(col.data.get_i64(i) as i32);
+            out.push(y as i64);
+        }
+    }
+    // Several shifts/divides per row, no multiplier stall (divide by
+    // constants strength-reduces on the dpCore toolchain).
+    let k = dpu_sim::isa::KernelCost {
+        alu: 8.0,
+        lsu: 2.0,
+        dual_issue_frac: 0.25,
+        branches: 1.0,
+        mispredicts: 0.02,
+        mul: 0.0,
+    };
+    ctx.charge_kernel(&k.scaled(n as f64));
+    match &col.nulls {
+        Some(nulls) => Vector::with_nulls(ColumnData::I64(out), nulls.clone()),
+        None => Vector::new(ColumnData::I64(out)),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::exec::ExecContext;
+
+    fn ctx() -> CoreCtx {
+        CoreCtx::new(&ExecContext::dpu(), 0)
+    }
+
+    #[test]
+    fn const_arith() {
+        let mut c = ctx();
+        let col = Vector::new(ColumnData::I64(vec![10, 20, 30]));
+        assert_eq!(
+            arith_const(&mut c, &col, ArithOp::Add, 5).unwrap().data.to_i64_vec(),
+            vec![15, 25, 35]
+        );
+        assert_eq!(
+            arith_const(&mut c, &col, ArithOp::Mul, -2).unwrap().data.to_i64_vec(),
+            vec![-20, -40, -60]
+        );
+        assert_eq!(
+            arith_const(&mut c, &col, ArithOp::Div, 10).unwrap().data.to_i64_vec(),
+            vec![1, 2, 3]
+        );
+    }
+
+    #[test]
+    fn col_arith_with_nulls() {
+        let mut c = ctx();
+        let mut nulls = BitVec::zeros(3);
+        nulls.set(1, true);
+        let a = Vector::with_nulls(ColumnData::I64(vec![1, 2, 3]), nulls);
+        let b = Vector::new(ColumnData::I64(vec![10, 20, 30]));
+        let r = arith_col(&mut c, &a, ArithOp::Add, &b).unwrap();
+        assert_eq!(r.get(0), Some(11));
+        assert_eq!(r.get(1), None, "null propagates");
+        assert_eq!(r.get(2), Some(33));
+    }
+
+    #[test]
+    fn overflow_is_an_error() {
+        let mut c = ctx();
+        let col = Vector::new(ColumnData::I64(vec![i64::MAX]));
+        assert!(matches!(
+            arith_const(&mut c, &col, ArithOp::Add, 1),
+            Err(QefError::NumericOverflow(_))
+        ));
+    }
+
+    #[test]
+    fn division_by_zero_is_an_error() {
+        let mut c = ctx();
+        let col = Vector::new(ColumnData::I64(vec![5]));
+        assert!(arith_const(&mut c, &col, ArithOp::Div, 0).is_err());
+    }
+
+    #[test]
+    fn dsb_semantics_example() {
+        // sum(l_quantity * 0.5): quantity at scale 2 (mantissa 450 = 4.50),
+        // 0.5 at scale 1 (mantissa 5) -> product at scale 3 (2250 = 2.250).
+        let mut c = ctx();
+        let qty = Vector::new(ColumnData::I64(vec![450]));
+        let r = arith_const(&mut c, &qty, ArithOp::Mul, 5).unwrap();
+        assert_eq!(r.data.get_i64(0), 2250);
+    }
+
+    #[test]
+    fn year_extraction() {
+        use rapid_storage::types::days_from_civil;
+        let mut c = ctx();
+        let col = Vector::new(ColumnData::I32(vec![
+            days_from_civil(1995, 1, 1),
+            days_from_civil(1998, 12, 31),
+            days_from_civil(1970, 6, 15),
+        ]));
+        let y = year_from_days(&mut c, &col);
+        assert_eq!(y.data.to_i64_vec(), vec![1995, 1998, 1970]);
+    }
+
+    #[test]
+    fn multiplies_stall_more_than_adds() {
+        let ctx_e = ExecContext::dpu();
+        let col = Vector::new(ColumnData::I64(vec![1; 1000]));
+        let mut c1 = CoreCtx::new(&ctx_e, 0);
+        arith_const(&mut c1, &col, ArithOp::Add, 1).unwrap();
+        let mut c2 = CoreCtx::new(&ctx_e, 0);
+        arith_const(&mut c2, &col, ArithOp::Mul, 2).unwrap();
+        assert!(c2.account.compute_cycles().get() > c1.account.compute_cycles().get());
+    }
+}

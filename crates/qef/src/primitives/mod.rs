@@ -1,0 +1,27 @@
+//! The primitive library.
+//!
+//! "RAPID query operators carry out data processing via primitives that are
+//! type-specialized, side-effect-free, short functions operating on
+//! columns. [...] RAPID primitive generator framework parses the templates
+//! and generates C functions for each supported primitive and input/output
+//! type combinations at compile time." (§5.1)
+//!
+//! Rust macros play the role of the primitive generator: each family below
+//! is a template expanded over the physical column types (`i8`, `i16`,
+//! `i32`, `i64`, `u32`), dispatched **once per tile** on the column's
+//! variant — matching the paper's "control flow is a single conditional
+//! check per tile".
+//!
+//! Every primitive returns real results *and* charges measured operation
+//! counts to the core's [`crate::exec::CoreCtx`], so data-dependent costs
+//! (selectivity, chain lengths, partition skew) flow into the simulated
+//! timing automatically.
+
+pub mod agg;
+pub mod arith;
+pub mod costs;
+pub mod filter;
+pub mod hash;
+pub mod partition_map;
+
+pub use filter::CmpOp;

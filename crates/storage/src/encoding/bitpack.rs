@@ -1,0 +1,194 @@
+//! Frame-of-reference bit-packing — one layer of the compression stack.
+//!
+//! Values are stored as unsigned deltas from the vector minimum, packed at
+//! the smallest bit width that holds the largest delta. Great for keys and
+//! dates, whose per-vector ranges are narrow.
+
+use serde::{Deserialize, Serialize};
+
+/// A frame-of-reference bit-packed vector.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct PackedVector {
+    /// The frame of reference (vector minimum).
+    min: i64,
+    /// Bits per packed delta (0 for constant vectors).
+    bits: u8,
+    /// Packed little-endian bit stream.
+    words: Vec<u64>,
+    len: usize,
+}
+
+impl PackedVector {
+    /// Encode; returns `None` when the value range does not fit in a `u64`
+    /// delta (e.g. spanning nearly the whole `i64` domain).
+    pub fn encode(values: &[i64]) -> Option<PackedVector> {
+        if values.is_empty() {
+            return Some(PackedVector { min: 0, bits: 0, words: Vec::new(), len: 0 });
+        }
+        let min = *values.iter().min().expect("non-empty");
+        let max = *values.iter().max().expect("non-empty");
+        let range = (max as i128) - (min as i128);
+        if range > u64::MAX as i128 {
+            return None;
+        }
+        let bits = if range == 0 { 0 } else { 128 - (range as u128).leading_zeros() as u8 };
+        if bits > 64 {
+            return None;
+        }
+        let total_bits = bits as usize * values.len();
+        let mut words = vec![0u64; total_bits.div_ceil(64)];
+        for (i, &v) in values.iter().enumerate() {
+            let delta = (v as i128 - min as i128) as u64;
+            write_bits(&mut words, i * bits as usize, bits, delta);
+        }
+        Some(PackedVector { min, bits, words, len: values.len() })
+    }
+
+    /// Logical element count.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Whether the vector is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Bits per value.
+    pub fn bits(&self) -> u8 {
+        self.bits
+    }
+
+    /// Bytes of the packed form (words + header).
+    pub fn size_bytes(&self) -> usize {
+        self.words.len() * 8 + 16
+    }
+
+    /// Decode element `i`.
+    pub fn get(&self, i: usize) -> Option<i64> {
+        if i >= self.len {
+            return None;
+        }
+        if self.bits == 0 {
+            return Some(self.min);
+        }
+        let delta = read_bits(&self.words, i * self.bits as usize, self.bits);
+        Some((self.min as i128 + delta as i128) as i64)
+    }
+
+    /// Decode the whole vector.
+    pub fn decode(&self) -> Vec<i64> {
+        (0..self.len).map(|i| self.get(i).expect("in range")).collect()
+    }
+}
+
+fn write_bits(words: &mut [u64], bit_pos: usize, bits: u8, value: u64) {
+    debug_assert!(bits <= 64);
+    if bits == 0 {
+        return;
+    }
+    let word = bit_pos / 64;
+    let off = bit_pos % 64;
+    words[word] |= value << off;
+    let spill = off + bits as usize;
+    if spill > 64 {
+        words[word + 1] |= value >> (64 - off);
+    }
+}
+
+fn read_bits(words: &[u64], bit_pos: usize, bits: u8) -> u64 {
+    let word = bit_pos / 64;
+    let off = bit_pos % 64;
+    let mask = if bits == 64 { !0u64 } else { (1u64 << bits) - 1 };
+    let mut v = words[word] >> off;
+    let spill = off + bits as usize;
+    if spill > 64 {
+        v |= words[word + 1] << (64 - off);
+    }
+    v & mask
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn narrow_range_packs_tightly() {
+        let values: Vec<i64> = (0..1000).map(|i| 1_000_000 + (i % 7)).collect();
+        let p = PackedVector::encode(&values).unwrap();
+        assert_eq!(p.bits(), 3);
+        assert_eq!(p.decode(), values);
+        assert!(p.size_bytes() < values.len()); // ~3 bits vs 64 per value
+    }
+
+    #[test]
+    fn constant_vector_needs_zero_bits() {
+        let values = vec![-17i64; 500];
+        let p = PackedVector::encode(&values).unwrap();
+        assert_eq!(p.bits(), 0);
+        assert_eq!(p.size_bytes(), 16);
+        assert_eq!(p.decode(), values);
+    }
+
+    #[test]
+    fn negative_frames() {
+        let values = vec![-100i64, -99, -80, -100];
+        let p = PackedVector::encode(&values).unwrap();
+        assert_eq!(p.decode(), values);
+        assert_eq!(p.get(2), Some(-80));
+    }
+
+    #[test]
+    fn full_domain_uses_exactly_64_bits() {
+        // The range i64::MIN..=i64::MAX is u64::MAX deltas — still
+        // representable at 64 bits/value (no compression, but correct).
+        let values = vec![i64::MIN, i64::MAX, 0, -1];
+        let p = PackedVector::encode(&values).unwrap();
+        assert_eq!(p.bits(), 64);
+        assert_eq!(p.decode(), values);
+    }
+
+    #[test]
+    fn near_full_domain_uses_64_bits() {
+        let values = vec![0i64, u32::MAX as i64, (u32::MAX as i64) * 2];
+        let p = PackedVector::encode(&values).unwrap();
+        assert_eq!(p.decode(), values);
+    }
+
+    #[test]
+    fn out_of_range_get_is_none() {
+        let p = PackedVector::encode(&[1, 2, 3]).unwrap();
+        assert_eq!(p.get(3), None);
+    }
+
+    #[test]
+    fn cross_word_boundaries() {
+        // 13-bit values straddle u64 words.
+        let values: Vec<i64> = (0..200).map(|i| i * 37 % 8000).collect();
+        let p = PackedVector::encode(&values).unwrap();
+        assert_eq!(p.bits(), 13);
+        assert_eq!(p.decode(), values);
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use proptest::prelude::*;
+
+    proptest! {
+        #[test]
+        fn roundtrip_arbitrary_i32_range(values in proptest::collection::vec(any::<i32>(), 0..300)) {
+            let values: Vec<i64> = values.into_iter().map(i64::from).collect();
+            let p = PackedVector::encode(&values).unwrap();
+            prop_assert_eq!(p.decode(), values);
+        }
+
+        #[test]
+        fn random_access_agrees_with_decode(values in proptest::collection::vec(0i64..100_000, 1..200), idx in 0usize..199) {
+            let p = PackedVector::encode(&values).unwrap();
+            let i = idx % values.len();
+            prop_assert_eq!(p.get(i), Some(values[i]));
+        }
+    }
+}

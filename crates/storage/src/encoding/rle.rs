@@ -1,0 +1,109 @@
+//! Run-length encoding — one layer of the lightweight compression stack.
+
+use serde::{Deserialize, Serialize};
+
+/// An RLE-compressed vector: `(value, run length)` pairs.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct RleVector {
+    runs: Vec<(i64, u32)>,
+    len: usize,
+}
+
+impl RleVector {
+    /// Encode, returning `None` for inputs with runs longer than `u32`
+    /// can count (never happens for 16 KiB vectors; guarded anyway).
+    pub fn encode(values: &[i64]) -> Option<RleVector> {
+        let mut runs: Vec<(i64, u32)> = Vec::new();
+        for &v in values {
+            match runs.last_mut() {
+                Some((rv, n)) if *rv == v && *n < u32::MAX => *n += 1,
+                _ => runs.push((v, 1)),
+            }
+        }
+        Some(RleVector { runs, len: values.len() })
+    }
+
+    /// Logical element count.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Whether the vector is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Number of runs.
+    pub fn run_count(&self) -> usize {
+        self.runs.len()
+    }
+
+    /// Bytes of the compressed form (8-byte value + 4-byte count per run).
+    pub fn size_bytes(&self) -> usize {
+        self.runs.len() * 12
+    }
+
+    /// Decode to a flat vector.
+    pub fn decode(&self) -> Vec<i64> {
+        let mut out = Vec::with_capacity(self.len);
+        for &(v, n) in &self.runs {
+            out.extend(std::iter::repeat(v).take(n as usize));
+        }
+        out
+    }
+
+    /// Random access without decompressing (linear in runs; fine for the
+    /// tracker's point lookups on mostly-constant columns).
+    pub fn get(&self, mut i: usize) -> Option<i64> {
+        if i >= self.len {
+            return None;
+        }
+        for &(v, n) in &self.runs {
+            if i < n as usize {
+                return Some(v);
+            }
+            i -= n as usize;
+        }
+        None
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn encode_decode_roundtrip() {
+        let values = vec![5, 5, 5, 2, 2, 9, 5, 5];
+        let r = RleVector::encode(&values).unwrap();
+        assert_eq!(r.run_count(), 4);
+        assert_eq!(r.decode(), values);
+        assert_eq!(r.len(), 8);
+    }
+
+    #[test]
+    fn random_access_matches_decode() {
+        let values = vec![1, 1, 2, 3, 3, 3];
+        let r = RleVector::encode(&values).unwrap();
+        for (i, &v) in values.iter().enumerate() {
+            assert_eq!(r.get(i), Some(v));
+        }
+        assert_eq!(r.get(6), None);
+    }
+
+    #[test]
+    fn empty_input() {
+        let r = RleVector::encode(&[]).unwrap();
+        assert!(r.is_empty());
+        assert_eq!(r.decode(), Vec::<i64>::new());
+        assert_eq!(r.size_bytes(), 0);
+    }
+
+    #[test]
+    fn constant_column_compresses_to_one_run() {
+        let values = vec![42i64; 4096];
+        let r = RleVector::encode(&values).unwrap();
+        assert_eq!(r.run_count(), 1);
+        assert_eq!(r.size_bytes(), 12);
+    }
+}

@@ -1,0 +1,53 @@
+//! # rapid-storage — the RAPID data and storage model (§4 of the paper)
+//!
+//! RAPID stores relations entirely in memory, organised for the DPU:
+//!
+//! ```text
+//! Table ─▶ horizontal Partitions ─▶ Chunks (row slices)
+//!                                      └▶ one Vector per column
+//!                                           (flat fixed-width array, 16 KiB sweet spot)
+//! Operators consume Tiles of ≥ 64 rows.
+//! ```
+//!
+//! The DPU has no floating-point unit and strict alignment rules, so
+//! **everything is fixed width**: decimals become *decimal scaled binary*
+//! (DSB) integers with a common per-vector scale and out-of-line exception
+//! values; strings become order-preserving dictionary codes supporting
+//! range and prefix predicates; a stack of lightweight encodings (RLE,
+//! bit-packing) compresses vectors at rest.
+//!
+//! The crate also owns what the host-database integration needs: SCN
+//! timestamps, in-memory update journals grouped into update units, and the
+//! tracker that serves consistent snapshots to queries (§3.3/§4.3).
+
+#![warn(missing_docs)]
+
+pub mod bitvec;
+pub mod chunk;
+pub mod encoding;
+pub mod load;
+pub mod scn;
+pub mod schema;
+pub mod stats;
+pub mod table;
+pub mod types;
+pub mod vector;
+
+pub use bitvec::{BitVec, RidList};
+pub use chunk::Chunk;
+pub use schema::{Field, Schema};
+pub use scn::{Journal, Scn, Tracker, UpdateUnit};
+pub use stats::{ColumnStats, TableStats};
+pub use table::{Table, TableBuilder};
+pub use types::{DataType, Value};
+pub use vector::{ColumnData, Vector};
+
+/// The vector size sweet spot on the DPU: 16 KiB (§4.1), chosen to enable
+/// double buffering and DMS/compute overlap.
+pub const VECTOR_BYTES: usize = 16 * 1024;
+
+/// Default rows per chunk: a 16 KiB vector of 4-byte elements.
+pub const DEFAULT_CHUNK_ROWS: usize = VECTOR_BYTES / 4;
+
+/// Minimum tile size: operators consume data at least 64 rows at a time.
+pub const MIN_TILE_ROWS: usize = 64;

@@ -1,0 +1,190 @@
+//! Table and column statistics.
+//!
+//! The RAPID metadata "holds the information about base tables loaded into
+//! RAPID, state of the system, table statistics, table partitioning
+//! information and column encodings" (§3.4). The compiler's cost model,
+//! the group-by strategy choice (NDV-driven, §5.4) and the hash-join
+//! partition sizing (§6) all consume these statistics.
+
+use serde::{Deserialize, Serialize};
+
+/// Number of buckets in the equi-width histograms.
+pub const HISTOGRAM_BUCKETS: usize = 64;
+
+/// Statistics for one column.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ColumnStats {
+    /// Minimum non-null value (widened), `None` for all-null/empty columns.
+    pub min: Option<i64>,
+    /// Maximum non-null value (widened).
+    pub max: Option<i64>,
+    /// Number of distinct non-null values.
+    pub ndv: u64,
+    /// Number of NULLs.
+    pub null_count: u64,
+    /// Equi-width histogram over `[min, max]` of non-null values.
+    pub histogram: Vec<u64>,
+}
+
+impl ColumnStats {
+    /// Compute stats from widened values and a null mask accessor.
+    pub fn compute(values: &[i64], is_null: impl Fn(usize) -> bool) -> ColumnStats {
+        let mut min = None;
+        let mut max = None;
+        let mut null_count = 0u64;
+        let mut distinct = std::collections::HashSet::new();
+        for (i, &v) in values.iter().enumerate() {
+            if is_null(i) {
+                null_count += 1;
+                continue;
+            }
+            min = Some(min.map_or(v, |m: i64| m.min(v)));
+            max = Some(max.map_or(v, |m: i64| m.max(v)));
+            distinct.insert(v);
+        }
+        let mut histogram = vec![0u64; HISTOGRAM_BUCKETS];
+        if let (Some(lo), Some(hi)) = (min, max) {
+            let span = (hi as i128 - lo as i128).max(1) as f64;
+            for (i, &v) in values.iter().enumerate() {
+                if is_null(i) {
+                    continue;
+                }
+                let b = (((v as i128 - lo as i128) as f64 / span)
+                    * (HISTOGRAM_BUCKETS - 1) as f64)
+                    .round() as usize;
+                histogram[b.min(HISTOGRAM_BUCKETS - 1)] += 1;
+            }
+        }
+        ColumnStats { min, max, ndv: distinct.len() as u64, null_count, histogram }
+    }
+
+    /// Merge statistics from another partition of the same column. NDV
+    /// merges by max (a lower bound: distinct sets may overlap entirely) —
+    /// documented inaccuracy the skew-resilient join tolerates by design.
+    pub fn merge(&mut self, other: &ColumnStats) {
+        self.min = match (self.min, other.min) {
+            (Some(a), Some(b)) => Some(a.min(b)),
+            (a, b) => a.or(b),
+        };
+        self.max = match (self.max, other.max) {
+            (Some(a), Some(b)) => Some(a.max(b)),
+            (a, b) => a.or(b),
+        };
+        self.ndv = self.ndv.max(other.ndv);
+        self.null_count += other.null_count;
+        for (h, o) in self.histogram.iter_mut().zip(&other.histogram) {
+            *h += o;
+        }
+    }
+
+    /// Estimated selectivity of `value <op> bound` style range predicates
+    /// using the histogram: fraction of rows in `[lo, hi]` (inclusive,
+    /// widened domain).
+    pub fn range_selectivity(&self, lo: Option<i64>, hi: Option<i64>) -> f64 {
+        let (Some(cmin), Some(cmax)) = (self.min, self.max) else {
+            return 0.0;
+        };
+        let lo = lo.unwrap_or(cmin).max(cmin);
+        let hi = hi.unwrap_or(cmax).min(cmax);
+        if lo > hi {
+            return 0.0;
+        }
+        let total: u64 = self.histogram.iter().sum();
+        if total == 0 {
+            return 0.0;
+        }
+        let span = (cmax as i128 - cmin as i128).max(1) as f64;
+        let b_lo = (((lo as i128 - cmin as i128) as f64 / span) * (HISTOGRAM_BUCKETS - 1) as f64)
+            .floor() as usize;
+        let b_hi = (((hi as i128 - cmin as i128) as f64 / span) * (HISTOGRAM_BUCKETS - 1) as f64)
+            .ceil() as usize;
+        let hits: u64 = self.histogram[b_lo..=b_hi.min(HISTOGRAM_BUCKETS - 1)].iter().sum();
+        (hits as f64 / total as f64).clamp(0.0, 1.0)
+    }
+
+    /// Estimated selectivity of an equality predicate (1/NDV, uniform).
+    pub fn eq_selectivity(&self) -> f64 {
+        if self.ndv == 0 {
+            0.0
+        } else {
+            1.0 / self.ndv as f64
+        }
+    }
+}
+
+/// Statistics for one table.
+#[derive(Debug, Clone, PartialEq, Default, Serialize, Deserialize)]
+pub struct TableStats {
+    /// Total row count.
+    pub rows: u64,
+    /// Per-column statistics, in schema order.
+    pub columns: Vec<ColumnStats>,
+}
+
+impl TableStats {
+    /// Stats for the column at schema index `i`.
+    pub fn column(&self, i: usize) -> Option<&ColumnStats> {
+        self.columns.get(i)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn compute_basic_stats() {
+        let values = vec![5i64, 1, 5, 9, 3];
+        let s = ColumnStats::compute(&values, |_| false);
+        assert_eq!(s.min, Some(1));
+        assert_eq!(s.max, Some(9));
+        assert_eq!(s.ndv, 4);
+        assert_eq!(s.null_count, 0);
+        assert_eq!(s.histogram.iter().sum::<u64>(), 5);
+    }
+
+    #[test]
+    fn nulls_are_excluded() {
+        let values = vec![5i64, 0, 7];
+        let s = ColumnStats::compute(&values, |i| i == 1);
+        assert_eq!(s.min, Some(5));
+        assert_eq!(s.null_count, 1);
+        assert_eq!(s.ndv, 2);
+    }
+
+    #[test]
+    fn all_null_column() {
+        let values = vec![0i64; 3];
+        let s = ColumnStats::compute(&values, |_| true);
+        assert_eq!(s.min, None);
+        assert_eq!(s.ndv, 0);
+        assert_eq!(s.eq_selectivity(), 0.0);
+        assert_eq!(s.range_selectivity(Some(0), Some(10)), 0.0);
+    }
+
+    #[test]
+    fn merge_combines_partitions() {
+        let mut a = ColumnStats::compute(&[1, 2, 3], |_| false);
+        let b = ColumnStats::compute(&[10, 20], |_| false);
+        a.merge(&b);
+        assert_eq!(a.min, Some(1));
+        assert_eq!(a.max, Some(20));
+        assert_eq!(a.histogram.iter().sum::<u64>(), 5);
+    }
+
+    #[test]
+    fn range_selectivity_uniform_data() {
+        let values: Vec<i64> = (0..10_000).collect();
+        let s = ColumnStats::compute(&values, |_| false);
+        let sel = s.range_selectivity(Some(0), Some(2499));
+        assert!((sel - 0.25).abs() < 0.05, "sel = {sel}");
+        assert_eq!(s.range_selectivity(Some(20_000), None), 0.0);
+        assert!((s.range_selectivity(None, None) - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn eq_selectivity_is_one_over_ndv() {
+        let s = ColumnStats::compute(&[1, 1, 2, 2, 3, 3, 4, 4], |_| false);
+        assert!((s.eq_selectivity() - 0.25).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,330 @@
+//! Column vectors: flat, fixed-width arrays — the unit of storage inside a
+//! chunk and the unit of transfer programmed into the DMS.
+//!
+//! [`ColumnData`] is the physical array in one of the DPU's supported
+//! widths (1, 2, 4 or 8 bytes). [`Vector`] adds an optional null bitmap.
+//! The engine's canonical compute representation is `i64` (the widening
+//! accessors below); narrow widths matter for storage footprint and for
+//! DMS byte accounting, which is why they are preserved here rather than
+//! widened at load time.
+
+use serde::{Deserialize, Serialize};
+
+use crate::bitvec::BitVec;
+use crate::types::DataType;
+
+/// Physical column data at one of the four supported fixed widths, plus an
+/// unsigned 4-byte variant for dictionary codes.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub enum ColumnData {
+    /// 1-byte signed integers.
+    I8(Vec<i8>),
+    /// 2-byte signed integers.
+    I16(Vec<i16>),
+    /// 4-byte signed integers (also dates).
+    I32(Vec<i32>),
+    /// 8-byte signed integers (also DSB decimals).
+    I64(Vec<i64>),
+    /// 4-byte unsigned dictionary codes.
+    U32(Vec<u32>),
+}
+
+impl ColumnData {
+    /// Number of elements.
+    pub fn len(&self) -> usize {
+        match self {
+            ColumnData::I8(v) => v.len(),
+            ColumnData::I16(v) => v.len(),
+            ColumnData::I32(v) => v.len(),
+            ColumnData::I64(v) => v.len(),
+            ColumnData::U32(v) => v.len(),
+        }
+    }
+
+    /// Whether there are zero elements.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Element width in bytes.
+    pub fn width(&self) -> usize {
+        match self {
+            ColumnData::I8(_) => 1,
+            ColumnData::I16(_) => 2,
+            ColumnData::I32(_) | ColumnData::U32(_) => 4,
+            ColumnData::I64(_) => 8,
+        }
+    }
+
+    /// Total bytes of the flat array.
+    pub fn size_bytes(&self) -> usize {
+        self.len() * self.width()
+    }
+
+    /// Widening read of element `i` as `i64` (dictionary codes widen
+    /// zero-extended; everything else sign-extends).
+    #[inline]
+    pub fn get_i64(&self, i: usize) -> i64 {
+        match self {
+            ColumnData::I8(v) => v[i] as i64,
+            ColumnData::I16(v) => v[i] as i64,
+            ColumnData::I32(v) => v[i] as i64,
+            ColumnData::I64(v) => v[i],
+            ColumnData::U32(v) => v[i] as i64,
+        }
+    }
+
+    /// Materialize the whole column widened to `i64`.
+    pub fn to_i64_vec(&self) -> Vec<i64> {
+        (0..self.len()).map(|i| self.get_i64(i)).collect()
+    }
+
+    /// Build the narrowest signed representation that holds every value in
+    /// `values` (the encoding-selection step of the compiler).
+    pub fn from_i64_narrowed(values: &[i64]) -> ColumnData {
+        let (mut lo, mut hi) = (0i64, 0i64);
+        for &v in values {
+            lo = lo.min(v);
+            hi = hi.max(v);
+        }
+        if lo >= i8::MIN as i64 && hi <= i8::MAX as i64 {
+            ColumnData::I8(values.iter().map(|&v| v as i8).collect())
+        } else if lo >= i16::MIN as i64 && hi <= i16::MAX as i64 {
+            ColumnData::I16(values.iter().map(|&v| v as i16).collect())
+        } else if lo >= i32::MIN as i64 && hi <= i32::MAX as i64 {
+            ColumnData::I32(values.iter().map(|&v| v as i32).collect())
+        } else {
+            ColumnData::I64(values.to_vec())
+        }
+    }
+
+    /// Gather elements by row offsets (the DMS RID-gather, functionally).
+    pub fn gather(&self, rids: &[u32]) -> ColumnData {
+        match self {
+            ColumnData::I8(v) => ColumnData::I8(rids.iter().map(|&r| v[r as usize]).collect()),
+            ColumnData::I16(v) => ColumnData::I16(rids.iter().map(|&r| v[r as usize]).collect()),
+            ColumnData::I32(v) => ColumnData::I32(rids.iter().map(|&r| v[r as usize]).collect()),
+            ColumnData::I64(v) => ColumnData::I64(rids.iter().map(|&r| v[r as usize]).collect()),
+            ColumnData::U32(v) => ColumnData::U32(rids.iter().map(|&r| v[r as usize]).collect()),
+        }
+    }
+
+    /// Contiguous sub-range `[from, to)` of the column.
+    pub fn slice(&self, from: usize, to: usize) -> ColumnData {
+        match self {
+            ColumnData::I8(v) => ColumnData::I8(v[from..to].to_vec()),
+            ColumnData::I16(v) => ColumnData::I16(v[from..to].to_vec()),
+            ColumnData::I32(v) => ColumnData::I32(v[from..to].to_vec()),
+            ColumnData::I64(v) => ColumnData::I64(v[from..to].to_vec()),
+            ColumnData::U32(v) => ColumnData::U32(v[from..to].to_vec()),
+        }
+    }
+
+    /// Append another column of the same variant.
+    pub fn extend_from(&mut self, other: &ColumnData) {
+        match (self, other) {
+            (ColumnData::I8(a), ColumnData::I8(b)) => a.extend_from_slice(b),
+            (ColumnData::I16(a), ColumnData::I16(b)) => a.extend_from_slice(b),
+            (ColumnData::I32(a), ColumnData::I32(b)) => a.extend_from_slice(b),
+            (ColumnData::I64(a), ColumnData::I64(b)) => a.extend_from_slice(b),
+            (ColumnData::U32(a), ColumnData::U32(b)) => a.extend_from_slice(b),
+            (a, b) => panic!("column variant mismatch: {:?} vs {:?}", a.width(), b.width()),
+        }
+    }
+
+    /// An empty column of the same physical variant.
+    pub fn empty_like(&self) -> ColumnData {
+        match self {
+            ColumnData::I8(_) => ColumnData::I8(Vec::new()),
+            ColumnData::I16(_) => ColumnData::I16(Vec::new()),
+            ColumnData::I32(_) => ColumnData::I32(Vec::new()),
+            ColumnData::I64(_) => ColumnData::I64(Vec::new()),
+            ColumnData::U32(_) => ColumnData::U32(Vec::new()),
+        }
+    }
+
+    /// The default physical variant for a logical type.
+    pub fn empty_for(dt: DataType) -> ColumnData {
+        match dt {
+            DataType::Int | DataType::Decimal { .. } => ColumnData::I64(Vec::new()),
+            DataType::Date => ColumnData::I32(Vec::new()),
+            DataType::Varchar => ColumnData::U32(Vec::new()),
+        }
+    }
+
+    /// Push a widened value, narrowing into the variant (panics if the
+    /// value does not fit — narrowing decisions are made before writes).
+    pub fn push_i64(&mut self, v: i64) {
+        match self {
+            ColumnData::I8(c) => c.push(i8::try_from(v).expect("i8 overflow")),
+            ColumnData::I16(c) => c.push(i16::try_from(v).expect("i16 overflow")),
+            ColumnData::I32(c) => c.push(i32::try_from(v).expect("i32 overflow")),
+            ColumnData::I64(c) => c.push(v),
+            ColumnData::U32(c) => c.push(u32::try_from(v).expect("u32 overflow")),
+        }
+    }
+}
+
+/// A column vector: physical data plus an optional null bitmap.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Vector {
+    /// Physical values (meaningless where the null bit is set).
+    pub data: ColumnData,
+    /// Null bitmap; bit set ⇒ value is NULL. `None` ⇒ no nulls.
+    pub nulls: Option<BitVec>,
+}
+
+impl Vector {
+    /// A vector without nulls.
+    pub fn new(data: ColumnData) -> Self {
+        Vector { data, nulls: None }
+    }
+
+    /// A vector with a null bitmap (dropped if it has no set bits).
+    pub fn with_nulls(data: ColumnData, nulls: BitVec) -> Self {
+        assert_eq!(data.len(), nulls.len(), "null bitmap length mismatch");
+        if nulls.count_ones() == 0 {
+            Vector { data, nulls: None }
+        } else {
+            Vector { data, nulls: Some(nulls) }
+        }
+    }
+
+    /// Number of rows.
+    pub fn len(&self) -> usize {
+        self.data.len()
+    }
+
+    /// Whether the vector has zero rows.
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+
+    /// Whether row `i` is NULL.
+    #[inline]
+    pub fn is_null(&self, i: usize) -> bool {
+        self.nulls.as_ref().is_some_and(|n| n.get(i))
+    }
+
+    /// Whether any row is NULL.
+    pub fn has_nulls(&self) -> bool {
+        self.nulls.is_some()
+    }
+
+    /// Widened value of row `i`, or `None` for NULL.
+    #[inline]
+    pub fn get(&self, i: usize) -> Option<i64> {
+        if self.is_null(i) {
+            None
+        } else {
+            Some(self.data.get_i64(i))
+        }
+    }
+
+    /// Gather rows by offsets (nulls gathered alongside).
+    pub fn gather(&self, rids: &[u32]) -> Vector {
+        let data = self.data.gather(rids);
+        let nulls = self.nulls.as_ref().map(|n| {
+            BitVec::from_bools(rids.iter().map(|&r| n.get(r as usize)))
+        });
+        match nulls {
+            Some(n) => Vector::with_nulls(data, n),
+            None => Vector::new(data),
+        }
+    }
+
+    /// Contiguous sub-range `[from, to)`.
+    pub fn slice(&self, from: usize, to: usize) -> Vector {
+        let data = self.data.slice(from, to);
+        let nulls =
+            self.nulls.as_ref().map(|n| BitVec::from_bools((from..to).map(|i| n.get(i))));
+        match nulls {
+            Some(n) => Vector::with_nulls(data, n),
+            None => Vector::new(data),
+        }
+    }
+
+    /// Bytes of the vector in memory (data + null bitmap).
+    pub fn size_bytes(&self) -> usize {
+        self.data.size_bytes() + self.nulls.as_ref().map_or(0, |n| n.size_bytes())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn widening_reads() {
+        assert_eq!(ColumnData::I8(vec![-5]).get_i64(0), -5);
+        assert_eq!(ColumnData::I16(vec![-500]).get_i64(0), -500);
+        assert_eq!(ColumnData::I32(vec![-70000]).get_i64(0), -70000);
+        assert_eq!(ColumnData::I64(vec![1 << 40]).get_i64(0), 1 << 40);
+        assert_eq!(ColumnData::U32(vec![u32::MAX]).get_i64(0), u32::MAX as i64);
+    }
+
+    #[test]
+    fn narrowing_picks_smallest_width() {
+        assert_eq!(ColumnData::from_i64_narrowed(&[1, -2, 100]).width(), 1);
+        assert_eq!(ColumnData::from_i64_narrowed(&[1, 300]).width(), 2);
+        assert_eq!(ColumnData::from_i64_narrowed(&[1, 70_000]).width(), 4);
+        assert_eq!(ColumnData::from_i64_narrowed(&[1, 1 << 40]).width(), 8);
+    }
+
+    #[test]
+    fn narrowed_roundtrips_values() {
+        let values = vec![-4000i64, 0, 17, 32000];
+        let col = ColumnData::from_i64_narrowed(&values);
+        assert_eq!(col.to_i64_vec(), values);
+    }
+
+    #[test]
+    fn gather_and_slice() {
+        let col = ColumnData::I32(vec![10, 20, 30, 40, 50]);
+        assert_eq!(col.gather(&[4, 0, 2]).to_i64_vec(), vec![50, 10, 30]);
+        assert_eq!(col.slice(1, 4).to_i64_vec(), vec![20, 30, 40]);
+    }
+
+    #[test]
+    fn vector_null_semantics() {
+        let mut nulls = BitVec::zeros(3);
+        nulls.set(1, true);
+        let v = Vector::with_nulls(ColumnData::I64(vec![1, 2, 3]), nulls);
+        assert_eq!(v.get(0), Some(1));
+        assert_eq!(v.get(1), None);
+        assert!(v.has_nulls());
+        let g = v.gather(&[1, 2]);
+        assert_eq!(g.get(0), None);
+        assert_eq!(g.get(1), Some(3));
+    }
+
+    #[test]
+    fn all_clear_null_bitmap_is_dropped() {
+        let v = Vector::with_nulls(ColumnData::I64(vec![1, 2]), BitVec::zeros(2));
+        assert!(!v.has_nulls());
+    }
+
+    #[test]
+    fn slice_keeps_null_alignment() {
+        let mut nulls = BitVec::zeros(5);
+        nulls.set(3, true);
+        let v = Vector::with_nulls(ColumnData::I32(vec![0, 1, 2, 3, 4]), nulls);
+        let s = v.slice(2, 5);
+        assert_eq!(s.get(0), Some(2));
+        assert_eq!(s.get(1), None);
+        assert_eq!(s.get(2), Some(4));
+    }
+
+    #[test]
+    #[should_panic(expected = "variant mismatch")]
+    fn extend_mismatched_variant_panics() {
+        let mut a = ColumnData::I8(vec![1]);
+        a.extend_from(&ColumnData::I64(vec![2]));
+    }
+
+    #[test]
+    fn size_accounting() {
+        let v = Vector::new(ColumnData::I32(vec![0; 4096]));
+        assert_eq!(v.size_bytes(), crate::VECTOR_BYTES);
+    }
+}

@@ -1,0 +1,80 @@
+//! TPC-H on the offload path: generate data, load into RAPID, run the
+//! paper's queries end-to-end on three engines and compare.
+//!
+//! ```text
+//! cargo run --release --example tpch_offload -- [scale-factor]
+//! ```
+
+use std::sync::Arc;
+
+use rapid_qcomp::cost::CostParams;
+use rapid_qef::engine::Engine;
+use rapid_qef::exec::ExecContext;
+use rapid_qef::plan::Catalog;
+
+fn main() {
+    let sf: f64 = std::env::args().nth(1).and_then(|s| s.parse().ok()).unwrap_or(0.01);
+    println!("generating TPC-H at SF {sf}...");
+    let data = tpch::generate(&tpch::TpchConfig::sf(sf));
+    println!("  {} total rows across 8 tables", data.total_rows());
+
+    // A simulated-DPU engine and a native engine over the same catalog.
+    let mut catalog = Catalog::new();
+    let mut dpu = Engine::new(ExecContext::dpu());
+    let mut native = Engine::new(ExecContext::native(
+        std::thread::available_parallelism().map(|n| n.get()).unwrap_or(4),
+    ));
+    for t in [
+        data.region,
+        data.nation,
+        data.supplier,
+        data.customer,
+        data.part,
+        data.partsupp,
+        data.orders,
+        data.lineitem,
+    ] {
+        let t = Arc::new(t);
+        catalog.insert(t.name.clone(), Arc::clone(&t));
+        dpu.load_table(Arc::clone(&t));
+        native.load_table(t);
+    }
+
+    let params = CostParams::default();
+    println!(
+        "\n{:<5} {:>8} {:>14} {:>14} {:>14} {:>12}",
+        "query", "rows", "DPU sim", "native wall", "DPU energy", "est. cost"
+    );
+    for (name, lp) in tpch::queries::all() {
+        let compiled = rapid_qcomp::compile(&lp, &catalog, &params).expect("compile");
+        let (out, dpu_report) = dpu.execute(&compiled.plan).expect("dpu");
+        let t0 = std::time::Instant::now();
+        let _ = native.execute(&compiled.plan).expect("native");
+        let native_secs = t0.elapsed().as_secs_f64();
+        let energy_mj = dpu_sim::PowerModel::dpu()
+            .energy_joules(dpu_sim::clock::SimTime::from_secs(dpu_report.sim_secs))
+            * 1e3;
+        println!(
+            "{:<5} {:>8} {:>11.3} ms {:>11.3} ms {:>11.3} mJ {:>9.3} ms",
+            name,
+            out.batch.rows(),
+            dpu_report.sim_secs * 1e3,
+            native_secs * 1e3,
+            energy_mj,
+            compiled.cost.exec_secs * 1e3,
+        );
+    }
+
+    // Show one full result, decoded.
+    let (name, q1) = tpch::queries::all().remove(0);
+    let compiled = rapid_qcomp::compile(&q1, &catalog, &params).expect("compile");
+    let (out, _) = dpu.execute(&compiled.plan).expect("run");
+    let rows = hostdb::db::decode_batch(&out.batch, &out.meta, dpu.catalog());
+    println!("\n{name} result ({} groups):", rows.len());
+    let header: Vec<&str> = compiled.output.iter().map(|c| c.name.as_str()).collect();
+    println!("  {}", header.join(" | "));
+    for row in rows {
+        let cells: Vec<String> = row.iter().map(|v| v.to_string()).collect();
+        println!("  {}", cells.join(" | "));
+    }
+}

@@ -1,0 +1,20 @@
+//! # rapid — reproduction of the RAPID analytical query engine (SIGMOD'18)
+//!
+//! This facade crate re-exports the public API of the workspace:
+//!
+//! * [`dpu`] — the simulated Data Processing Unit substrate,
+//! * [`storage`] — the columnar data/storage model and encodings,
+//! * [`qef`] — the push-based vectorized query execution framework,
+//! * [`qcomp`] — the cost-based physical query compiler,
+//! * [`host`] — the "System X" host RDBMS with RAPID offload,
+//! * [`tpch`] — the TPC-H-style workload used throughout the evaluation.
+//!
+//! See `README.md` for a quickstart and `DESIGN.md` / `EXPERIMENTS.md` for
+//! the reproduction methodology.
+
+pub use dpu_sim as dpu;
+pub use hostdb as host;
+pub use rapid_qcomp as qcomp;
+pub use rapid_qef as qef;
+pub use rapid_storage as storage;
+pub use tpch;
