@@ -1,0 +1,19 @@
+#!/usr/bin/env bash
+# Tier-1 gate: everything a PR must keep green, in the order that fails
+# fastest. Run from the repo root.
+set -euo pipefail
+cd "$(dirname "$0")"
+
+echo "== cargo fmt --check =="
+cargo fmt --check
+
+echo "== cargo clippy (workspace, warnings are errors) =="
+cargo clippy --workspace --all-targets -- -D warnings
+
+echo "== cargo build --release =="
+cargo build --release
+
+echo "== cargo test -q =="
+cargo test -q
+
+echo "CI green."

@@ -54,7 +54,8 @@ fn bench_join_kernel(c: &mut Criterion) {
         let mut core = native_core();
         b.iter(|| {
             let (t, _) = JoinTable::build(&mut core, &[&build], n, false).expect("build");
-            t.probe(&mut core, &[&probe], &mut |_, _| {}).expect("probe")
+            t.probe(&mut core, &[&probe], &mut |_, _| {})
+                .expect("probe")
         });
     });
     g.finish();
@@ -66,15 +67,33 @@ fn bench_sort(c: &mut Criterion) {
     let mut g = c.benchmark_group("native_radix_sort");
     let n = 65_536usize;
     let batch = rapid_qef::batch::Batch::new(vec![Vector::new(ColumnData::I64(
-        (0..n as i64).map(|i| (i.wrapping_mul(2_654_435_761)) % 1_000_000).collect(),
+        (0..n as i64)
+            .map(|i| (i.wrapping_mul(2_654_435_761)) % 1_000_000)
+            .collect(),
     ))]);
     g.throughput(Throughput::Elements(n as u64));
     g.bench_function("i64_asc", |b| {
         let mut core = native_core();
-        b.iter(|| sort_batch(&mut core, &batch, &[SortKey { col: 0, desc: false }]).expect("sort"));
+        b.iter(|| {
+            sort_batch(
+                &mut core,
+                &batch,
+                &[SortKey {
+                    col: 0,
+                    desc: false,
+                }],
+            )
+            .expect("sort")
+        });
     });
     g.finish();
 }
 
-criterion_group!(benches, bench_filter, bench_hash, bench_join_kernel, bench_sort);
+criterion_group!(
+    benches,
+    bench_filter,
+    bench_hash,
+    bench_join_kernel,
+    bench_sort
+);
 criterion_main!(benches);

@@ -12,8 +12,12 @@ fn micro_figures(c: &mut Criterion) {
     g.bench_function("fig08_hw_partitioning", |b| {
         b.iter(|| bench::fig08_hw_partitioning(1 << 16))
     });
-    g.bench_function("fig09_dms_speed", |b| b.iter(|| bench::fig09_dms_speed(1 << 16)));
-    g.bench_function("filter_microbench", |b| b.iter(|| bench::filter_microbench(1 << 16)));
+    g.bench_function("fig09_dms_speed", |b| {
+        b.iter(|| bench::fig09_dms_speed(1 << 16))
+    });
+    g.bench_function("filter_microbench", |b| {
+        b.iter(|| bench::filter_microbench(1 << 16))
+    });
     g.finish();
 }
 
@@ -23,8 +27,12 @@ fn operator_figures(c: &mut Criterion) {
     g.bench_function("fig10_sw_partitioning", |b| {
         b.iter(|| bench::fig10_sw_partitioning(1 << 12))
     });
-    g.bench_function("fig11_join_build", |b| b.iter(|| bench::fig11_join_build(1 << 13)));
-    g.bench_function("fig12_join_probe", |b| b.iter(|| bench::fig12_join_probe(1 << 13)));
+    g.bench_function("fig11_join_build", |b| {
+        b.iter(|| bench::fig11_join_build(1 << 13))
+    });
+    g.bench_function("fig12_join_probe", |b| {
+        b.iter(|| bench::fig12_join_probe(1 << 13))
+    });
     g.finish();
 }
 
@@ -53,5 +61,11 @@ fn ablation_figures(c: &mut Criterion) {
     g.finish();
 }
 
-criterion_group!(benches, micro_figures, operator_figures, tpch_figures, ablation_figures);
+criterion_group!(
+    benches,
+    micro_figures,
+    operator_figures,
+    tpch_figures,
+    ablation_figures
+);
 criterion_main!(benches);

@@ -11,7 +11,12 @@ use rapid_qef::exec::ExecContext;
 
 fn print_section(title: &str, points: &[bench::Point]) {
     println!("\n=== {title} ===");
-    let width = points.iter().map(|p| p.label.len()).max().unwrap_or(10).max(10);
+    let width = points
+        .iter()
+        .map(|p| p.label.len())
+        .max()
+        .unwrap_or(10)
+        .max(10);
     for p in points {
         if p.value.abs() >= 1.0e6 {
             println!("  {:width$}  {:>14.3e} {}", p.label, p.value, p.unit);
@@ -91,8 +96,9 @@ fn main() {
                 &bench::fig13_vectorization(&catalog),
             );
         }
-        let needs_timings =
-            ["fig14", "fig15", "fig16", "attribution"].iter().any(|k| want(k));
+        let needs_timings = ["fig14", "fig15", "fig16", "attribution"]
+            .iter()
+            .any(|k| want(k));
         if needs_timings {
             eprintln!("[running all 11 queries on 3 engines...]");
             // RAPID-software runs single-threaded to match the host
@@ -144,5 +150,7 @@ fn main() {
 }
 
 fn num_threads() -> usize {
-    std::thread::available_parallelism().map(|n| n.get()).unwrap_or(4)
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(4)
 }

@@ -1,0 +1,139 @@
+//! Multi-query throughput on the shared simulated DPU.
+//!
+//! Runs a batch of TPC-H queries through `hostdb::execute_batch` — each
+//! session forks the engine and routes its stages through the
+//! `rapid-sched` scheduler — and compares a serial baseline
+//! (`max_active = 1`) against concurrent admission. The paper's DPU is
+//! provisioned at 5.8 W whether one query runs or eight; concurrency is
+//! what turns that fixed power into throughput.
+//!
+//! ```text
+//! cargo run --release -p rapid-bench --bin multi_query -- \
+//!     [--sf <scale-factor>] [--queries <n>] [--cores <per-query>] \
+//!     [--active <concurrent-slots>] [--mode det|steal|both]
+//! ```
+
+use hostdb::BatchQuery;
+use rapid_bench as bench;
+use rapid_qef::exec::ExecContext;
+use rapid_sched::{DispatchMode, SchedConfig, SchedReport};
+
+fn batch(n: usize) -> Vec<BatchQuery> {
+    let all = tpch::queries::all();
+    (0..n)
+        .map(|i| BatchQuery::from_plan(all[i % all.len()].1.clone()))
+        .collect()
+}
+
+fn run(
+    db: &hostdb::HostDb,
+    queries: &[BatchQuery],
+    mode: DispatchMode,
+    max_active: usize,
+) -> SchedReport {
+    let cfg = SchedConfig {
+        max_active,
+        queue_capacity: queries.len(),
+        mode,
+        ..SchedConfig::default()
+    };
+    let outcome = db.execute_batch(queries, cfg);
+    for (i, r) in outcome.results.iter().enumerate() {
+        if let Err(e) = r {
+            panic!("query {i} failed: {e:?}");
+        }
+    }
+    outcome.sched
+}
+
+fn print_report(label: &str, n: usize, r: &SchedReport) {
+    let u = &r.utilization;
+    let makespan = u.makespan.as_secs();
+    println!("\n--- {label} ---");
+    println!("  queries               {n}");
+    println!("  stages placed         {}", u.stages);
+    println!("  simulated makespan    {:.3} ms", u.makespan.as_millis());
+    println!(
+        "  simulated throughput  {:.1} queries/s",
+        n as f64 / makespan
+    );
+    println!(
+        "  core utilization      {:.1} %",
+        u.core_utilization * 100.0
+    );
+    println!("  dms utilization       {:.1} %", u.dms_utilization * 100.0);
+    println!("  energy (5.8 W)        {:.3} mJ", u.energy_joules * 1e3);
+    println!(
+        "  energy per query      {:.3} mJ",
+        u.energy_joules * 1e3 / n as f64
+    );
+    let mut lat: Vec<f64> = r.queries.iter().map(|q| q.latency.as_millis()).collect();
+    lat.sort_by(f64::total_cmp);
+    let mean = lat.iter().sum::<f64>() / lat.len().max(1) as f64;
+    println!(
+        "  query latency ms      mean {:.3}  p50 {:.3}  max {:.3}",
+        mean,
+        lat.get(lat.len() / 2).copied().unwrap_or(0.0),
+        lat.last().copied().unwrap_or(0.0)
+    );
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut sf = 0.01f64;
+    let mut n = 8usize;
+    let mut cores = 8usize;
+    let mut active = 8usize;
+    let mut mode = "both".to_string();
+    let mut i = 0;
+    while i < args.len() {
+        let val = args.get(i + 1);
+        match args[i].as_str() {
+            "--sf" => sf = val.and_then(|s| s.parse().ok()).unwrap_or(sf),
+            "--queries" => n = val.and_then(|s| s.parse().ok()).unwrap_or(n),
+            "--cores" => cores = val.and_then(|s| s.parse().ok()).unwrap_or(cores),
+            "--active" => active = val.and_then(|s| s.parse().ok()).unwrap_or(active),
+            "--mode" => mode = val.cloned().unwrap_or(mode),
+            other => {
+                eprintln!("unknown argument: {other}");
+                std::process::exit(2);
+            }
+        }
+        i += 2;
+    }
+
+    println!(
+        "RAPID multi-query scheduling — TPC-H sf {sf}, {n} queries, \
+         {cores} cores/query on a 32-core DPU"
+    );
+    let (db, _catalog) = bench::setup_tpch(sf, ExecContext::dpu().with_cores(cores));
+    let queries = batch(n);
+
+    let modes: &[(&str, DispatchMode)] = match mode.as_str() {
+        "det" => &[("deterministic", DispatchMode::Deterministic)],
+        "steal" => &[("work-stealing", DispatchMode::WorkStealing)],
+        _ => &[
+            ("deterministic", DispatchMode::Deterministic),
+            ("work-stealing", DispatchMode::WorkStealing),
+        ],
+    };
+
+    for (name, m) in modes {
+        let serial = run(&db, &queries, *m, 1);
+        let concurrent = run(&db, &queries, *m, active);
+        print_report(&format!("{name}: serial (max_active = 1)"), n, &serial);
+        print_report(
+            &format!("{name}: concurrent (max_active = {active})"),
+            n,
+            &concurrent,
+        );
+        let speedup =
+            serial.utilization.makespan.as_secs() / concurrent.utilization.makespan.as_secs();
+        println!(
+            "\n  {name}: concurrent speedup {speedup:.2}x, \
+             utilization {:.1} % -> {:.1} %",
+            serial.utilization.core_utilization * 100.0,
+            concurrent.utilization.core_utilization * 100.0
+        );
+    }
+}

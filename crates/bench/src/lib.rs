@@ -55,7 +55,11 @@ pub struct Point {
 
 impl Point {
     fn new(label: impl Into<String>, value: f64, unit: &'static str) -> Point {
-        Point { label: label.into(), value, unit }
+        Point {
+            label: label.into(),
+            value,
+            unit,
+        }
     }
 }
 
@@ -71,11 +75,19 @@ fn gibps(bytes: u64, cycles: f64) -> f64 {
 pub fn fig08_hw_partitioning(rows: usize) -> Vec<Point> {
     let cm = CostModel::default();
     let strategies: Vec<(&str, PartitionStrategy)> = vec![
-        ("radix(5 bits)", PartitionStrategy::Radix { bits: 5, shift: 0 }),
+        (
+            "radix(5 bits)",
+            PartitionStrategy::Radix { bits: 5, shift: 0 },
+        ),
         ("hash(1 key)", PartitionStrategy::Hash { bits: 5 }),
         ("hash(2 keys)", PartitionStrategy::Hash { bits: 5 }),
         ("hash(4 keys)", PartitionStrategy::Hash { bits: 5 }),
-        ("range(32)", PartitionStrategy::Range { bounds: (1..32).map(|i| i * 1000).collect() }),
+        (
+            "range(32)",
+            PartitionStrategy::Range {
+                bounds: (1..32).map(|i| i * 1000).collect(),
+            },
+        ),
     ];
     strategies
         .into_iter()
@@ -177,8 +189,7 @@ pub fn fig10_sw_partitioning(rows_per_core: usize) -> Vec<Point> {
                     Vector::new(ColumnData::I32((done as i32..(done + n) as i32).collect())),
                     Vector::new(ColumnData::I32(vec![7; n])),
                 ]);
-                partition_batches(&mut core, &[batch], &[0], fanout, 0, tile)
-                    .expect("partition");
+                partition_batches(&mut core, &[batch], &[0], fanout, 0, tile).expect("partition");
                 done += n;
             }
             // Compute side only — the input transfer is the DMS's job.
@@ -188,8 +199,11 @@ pub fn fig10_sw_partitioning(rows_per_core: usize) -> Vec<Point> {
             // buffers (half of DMEM across `fanout` partitions) are too
             // small to hold the run and must flush to DRAM.
             let buf_bytes = (ctx.dmem_bytes / 2) as f64 / fanout as f64;
-            let dms_bytes_per_row =
-                if buf_bytes >= 16.0 * row_bytes { row_bytes } else { 2.0 * row_bytes };
+            let dms_bytes_per_row = if buf_bytes >= 16.0 * row_bytes {
+                row_bytes
+            } else {
+                2.0 * row_bytes
+            };
             let dms_bound = cm.dms_bytes_per_sec() / dms_bytes_per_row;
             let dpu_rate = (32.0 * compute_rate).min(dms_bound);
             out.push(Point::new(
@@ -220,17 +234,10 @@ pub fn fig11_join_build(rows: usize) -> Vec<Point> {
             let mut done = 0usize;
             while done < rows {
                 let n = KERNEL_ROWS.min(rows - done);
-                let keys = Vector::new(ColumnData::I64(
-                    (done as i64..(done + n) as i64).collect(),
-                ));
-                let (_t, _s) = JoinTable::build_with_buckets(
-                    &mut core,
-                    &[&keys],
-                    n,
-                    false,
-                    Some(buckets),
-                )
-                .expect("build");
+                let keys = Vector::new(ColumnData::I64((done as i64..(done + n) as i64).collect()));
+                let (_t, _s) =
+                    JoinTable::build_with_buckets(&mut core, &[&keys], n, false, Some(buckets))
+                        .expect("build");
                 for _ in 0..n.div_ceil(tile) {
                     core.charge_tile();
                 }
@@ -263,9 +270,7 @@ pub fn fig12_join_probe(rows: usize) -> Vec<Point> {
             while done < rows {
                 let n = KERNEL_ROWS.min(rows - done);
                 let base = done as i64;
-                let bkeys = Vector::new(ColumnData::I64(
-                    (base..base + n as i64).collect(),
-                ));
+                let bkeys = Vector::new(ColumnData::I64((base..base + n as i64).collect()));
                 let (table, _) = JoinTable::build_with_buckets(
                     &mut build_core,
                     &[&bkeys],
@@ -278,7 +283,9 @@ pub fn fig12_join_probe(rows: usize) -> Vec<Point> {
                 let pkeys = Vector::new(ColumnData::I64(
                     (0..n as i64).map(|i| base + i * 2).collect(),
                 ));
-                table.probe(&mut probe_core, &[&pkeys], &mut |_, _| {}).expect("probe");
+                table
+                    .probe(&mut probe_core, &[&pkeys], &mut |_, _| {})
+                    .expect("probe");
                 for _ in 0..n.div_ceil(tile) {
                     probe_core.charge_tile();
                 }
@@ -333,7 +340,9 @@ pub fn fig13_vectorization(catalog: &Catalog) -> Vec<Point> {
         let mut core = CoreCtx::new(&ctx, 0);
         // Kernel-by-kernel over DMEM-sized build partitions, probing the
         // co-partitioned probe keys (hash-partitioned by key).
-        let parts = 32usize.max(build_keys.len().div_ceil(KERNEL_ROWS)).next_power_of_two();
+        let parts = 32usize
+            .max(build_keys.len().div_ceil(KERNEL_ROWS))
+            .next_power_of_two();
         let mut b_parts: Vec<Vec<i64>> = vec![Vec::new(); parts];
         for &k in &build_keys {
             b_parts[(dpu_sim::crc32::hash_u64(k as u64) as usize) & (parts - 1)].push(k);
@@ -347,10 +356,11 @@ pub fn fig13_vectorization(catalog: &Catalog) -> Vec<Point> {
                 continue;
             }
             let bcol = Vector::new(ColumnData::I64(b.clone()));
-            let (table, _) =
-                JoinTable::build(&mut core, &[&bcol], b.len(), false).expect("build");
+            let (table, _) = JoinTable::build(&mut core, &[&bcol], b.len(), false).expect("build");
             let pcol = Vector::new(ColumnData::I64(p));
-            table.probe(&mut core, &[&pcol], &mut |_, _| {}).expect("probe");
+            table
+                .probe(&mut core, &[&pcol], &mut |_, _| {})
+                .expect("probe");
             core.charge_tile();
         }
         let secs = core.account.compute_cycles().get() / cm.freq_hz;
@@ -362,7 +372,11 @@ pub fn fig13_vectorization(catalog: &Catalog) -> Vec<Point> {
         } else {
             c.branch_mispredicts as f64 / c.branches as f64
         };
-        points.push(Point::new(format!("{label} mispredict rate"), rate * 100.0, "%"));
+        points.push(Point::new(
+            format!("{label} mispredict rate"),
+            rate * 100.0,
+            "%",
+        ));
     }
     points.push(Point::new(
         "vectorization gain",
@@ -390,7 +404,11 @@ pub struct QueryTimings {
 }
 
 /// Run all eleven queries on all three engines.
-pub fn run_tpch_all_engines(db: &HostDb, catalog: &Catalog, native_cores: usize) -> Vec<QueryTimings> {
+pub fn run_tpch_all_engines(
+    db: &HostDb,
+    catalog: &Catalog,
+    native_cores: usize,
+) -> Vec<QueryTimings> {
     let params = CostParams::default();
     // DPU-simulated engine.
     let mut dpu = Engine::new(ExecContext::dpu());
@@ -488,8 +506,8 @@ pub fn attribution(timings: &[QueryTimings]) -> Vec<Point> {
 /// Ablation: RID-list vs bit-vector filter representation across
 /// selectivities — the 1/32 rule's crossover.
 pub fn ablation_rid_vs_bitvector(rows: usize) -> Vec<Point> {
-    use rapid_qef::ops::filter::filter_chunk;
     use rapid_qef::expr::Pred;
+    use rapid_qef::ops::filter::filter_chunk;
     use rapid_qef::primitives::filter::CmpOp;
     let mut out = Vec::new();
     for &sel_ppm in &[1000usize, 10_000, 31_250, 100_000, 500_000] {
@@ -498,7 +516,11 @@ pub fn ablation_rid_vs_bitvector(rows: usize) -> Vec<Point> {
         let chunk = rapid_storage::chunk::Chunk::new(vec![Vector::new(ColumnData::I32(
             (0..rows as i32).collect(),
         ))]);
-        let pred = vec![Pred::CmpConst { col: 0, op: CmpOp::Lt, value: cutoff as i64 }];
+        let pred = vec![Pred::CmpConst {
+            col: 0,
+            op: CmpOp::Lt,
+            value: cutoff as i64,
+        }];
         for (label, forced) in [("rids", 0.001f64), ("bitvec", 0.5f64)] {
             let ctx = ExecContext::dpu().with_cores(1);
             let mut core = CoreCtx::new(&ctx, 0);
@@ -509,7 +531,11 @@ pub fn ablation_rid_vs_bitvector(rows: usize) -> Vec<Point> {
             // so report engine-occupancy cycles — on a memory-bound query
             // that is the elapsed time.
             let _ = rapid_qef::ops::filter::materialize_projection(
-                &mut core, &chunk, &r.rows, &[0], 4096,
+                &mut core,
+                &chunk,
+                &r.rows,
+                &[0],
+                4096,
             );
             let cy = core.account.dms_cycles().get();
             out.push(Point::new(
@@ -535,11 +561,17 @@ pub fn ablation_skew_resilience(rows: usize) -> Vec<Point> {
         let kcol = Vector::new(ColumnData::I64(keys.clone()));
         let (table, _) = JoinTable::build(&mut core, &[&kcol], est, heavy).expect("build");
         let probe = Vector::new(ColumnData::I64(keys));
-        table.probe(&mut core, &[&probe], &mut |_, _| {}).expect("probe");
+        table
+            .probe(&mut core, &[&probe], &mut |_, _| {})
+            .expect("probe");
         core.account.elapsed_cycles().get() / cm.freq_hz
     };
     let uniform: Vec<i64> = (0..rows as i64).collect();
-    out.push(Point::new("uniform, exact estimate", run(uniform.clone(), rows, false) * 1e3, "ms"));
+    out.push(Point::new(
+        "uniform, exact estimate",
+        run(uniform.clone(), rows, false) * 1e3,
+        "ms",
+    ));
     out.push(Point::new(
         "uniform, 4x under-estimate (overflow)",
         run(uniform, rows / 4, false) * 1e3,
@@ -553,7 +585,11 @@ pub fn ablation_skew_resilience(rows: usize) -> Vec<Point> {
         run(skewed.clone(), rows, false) * 1e3,
         "ms",
     ));
-    out.push(Point::new("heavy-hitter, flow-join ON", run(skewed, rows, true) * 1e3, "ms"));
+    out.push(Point::new(
+        "heavy-hitter, flow-join ON",
+        run(skewed, rows, true) * 1e3,
+        "ms",
+    ));
     out
 }
 
@@ -612,7 +648,11 @@ pub fn ablation_hash_vs_sortmerge(rows: usize) -> Vec<Point> {
         }
         let merge_ms = mc.account.elapsed_cycles().get() / cm.freq_hz * 1e3;
         out.push(Point::new(format!("{label}: hash join"), hash_ms, "ms"));
-        out.push(Point::new(format!("{label}: sort-merge join"), merge_ms, "ms"));
+        out.push(Point::new(
+            format!("{label}: sort-merge join"),
+            merge_ms,
+            "ms",
+        ));
     }
     out
 }
@@ -627,23 +667,23 @@ pub fn setup_tpch(sf: f64, rapid_ctx: ExecContext) -> (HostDb, Catalog) {
     for t in data.tables() {
         // Host row store gets the same logical rows.
         db.create_table(&t.name, t.schema.clone());
-        let mut rows = Vec::with_capacity(t.rows());
         let ncols = t.schema.len();
         let cols: Vec<Vec<i64>> = (0..ncols).map(|c| t.column_i64(c)).collect();
         let nulls: Vec<rapid_storage::bitvec::BitVec> =
             (0..ncols).map(|c| t.column_nulls(c)).collect();
-        for r in 0..t.rows() {
-            let row: Vec<Value> = (0..ncols)
-                .map(|c| {
-                    if nulls[c].get(r) {
-                        Value::Null
-                    } else {
-                        t.decode_value(c, cols[c][r])
-                    }
-                })
-                .collect();
-            rows.push(row);
-        }
+        let rows: Vec<Vec<Value>> = (0..t.rows())
+            .map(|r| {
+                (0..ncols)
+                    .map(|c| {
+                        if nulls[c].get(r) {
+                            Value::Null
+                        } else {
+                            t.decode_value(c, cols[c][r])
+                        }
+                    })
+                    .collect()
+            })
+            .collect();
         db.bulk_insert(&t.name, rows);
         db.load_into_rapid(&t.name).expect("load");
     }
@@ -660,7 +700,12 @@ mod tests {
     #[test]
     fn fig08_stays_in_paper_band() {
         for p in fig08_hw_partitioning(1 << 20) {
-            assert!((8.0..10.5).contains(&p.value), "{}: {} GiB/s", p.label, p.value);
+            assert!(
+                (8.0..10.5).contains(&p.value),
+                "{}: {} GiB/s",
+                p.label,
+                p.value
+            );
         }
     }
 
@@ -668,10 +713,19 @@ mod tests {
     fn fig09_shape_holds() {
         let pts = fig09_dms_speed(1 << 20);
         let get = |label: &str| {
-            pts.iter().find(|p| p.label == label).map(|p| p.value).expect("point exists")
+            pts.iter()
+                .find(|p| p.label == label)
+                .map(|p| p.value)
+                .expect("point exists")
         };
-        assert!(get("4cols_128_rw") > get("4cols_64_rw"), "bigger tiles amortize setup");
-        assert!(get("2cols_128_r") > get("32cols_128_r"), "more columns degrade mildly");
+        assert!(
+            get("4cols_128_rw") > get("4cols_64_rw"),
+            "bigger tiles amortize setup"
+        );
+        assert!(
+            get("2cols_128_r") > get("32cols_128_r"),
+            "more columns degrade mildly"
+        );
         assert!(get("4cols_128_r") >= 8.3, "near-peak streaming");
     }
 
@@ -699,26 +753,51 @@ mod tests {
             p32.value
         );
         // Larger tiles help.
-        let t64 = pts.iter().find(|p| p.label == "tile64_fanout32").expect("point");
+        let t64 = pts
+            .iter()
+            .find(|p| p.label == "tile64_fanout32")
+            .expect("point");
         assert!(p32.value >= t64.value);
     }
 
     #[test]
     fn fig11_build_operating_point_and_flat_buckets() {
         let pts = fig11_join_build(1 << 16);
-        let p = pts.iter().find(|p| p.label == "tile256_buckets2048").expect("point");
+        let p = pts
+            .iter()
+            .find(|p| p.label == "tile256_buckets2048")
+            .expect("point");
         assert!(
             (38.0e6..60.0e6).contains(&p.value),
             "build = {:.1} M rows/s/core (paper ~46M)",
             p.value / 1e6
         );
         // Hash-buckets size has no effect (DMEM-resident).
-        let a = pts.iter().find(|p| p.label == "tile256_buckets1024").expect("pt").value;
-        let b = pts.iter().find(|p| p.label == "tile256_buckets8192").expect("pt").value;
-        assert!((a / b - 1.0).abs() < 0.05, "buckets sweep should be flat: {a} vs {b}");
+        let a = pts
+            .iter()
+            .find(|p| p.label == "tile256_buckets1024")
+            .expect("pt")
+            .value;
+        let b = pts
+            .iter()
+            .find(|p| p.label == "tile256_buckets8192")
+            .expect("pt")
+            .value;
+        assert!(
+            (a / b - 1.0).abs() < 0.05,
+            "buckets sweep should be flat: {a} vs {b}"
+        );
         // Tile sweep: 64 -> 1024 improves ~39 %.
-        let t64 = pts.iter().find(|p| p.label == "tile64_buckets1024").expect("pt").value;
-        let t1024 = pts.iter().find(|p| p.label == "tile1024_buckets1024").expect("pt").value;
+        let t64 = pts
+            .iter()
+            .find(|p| p.label == "tile64_buckets1024")
+            .expect("pt")
+            .value;
+        let t1024 = pts
+            .iter()
+            .find(|p| p.label == "tile1024_buckets1024")
+            .expect("pt")
+            .value;
         let gain = t1024 / t64 - 1.0;
         assert!((0.2..0.6).contains(&gain), "tile gain = {gain:.2}");
     }
@@ -735,8 +814,16 @@ mod tests {
             );
         }
         // Tile 64 -> 1024 improves ~30 %.
-        let t64 = pts.iter().find(|p| p.label == "tile64_buckets1024").expect("pt").value;
-        let t1024 = pts.iter().find(|p| p.label == "tile1024_buckets1024").expect("pt").value;
+        let t64 = pts
+            .iter()
+            .find(|p| p.label == "tile64_buckets1024")
+            .expect("pt")
+            .value;
+        let t1024 = pts
+            .iter()
+            .find(|p| p.label == "tile1024_buckets1024")
+            .expect("pt")
+            .value;
         assert!((0.15..0.5).contains(&(t1024 / t64 - 1.0)));
     }
 
@@ -746,7 +833,10 @@ mod tests {
         let (_db, catalog) = setup_tpch(0.002, ExecContext::native(2));
         let pts = fig13_vectorization(&catalog);
         let gain = pts.last().expect("gain point").value;
-        assert!((30.0..60.0).contains(&gain), "gain = {gain:.1}% (paper: ~46%)");
+        assert!(
+            (30.0..60.0).contains(&gain),
+            "gain = {gain:.1}% (paper: ~46%)"
+        );
         // Branch mispredict rate must drop with vectorization.
         let vec_rate = pts[1].value;
         let row_rate = pts[3].value;
@@ -789,6 +879,11 @@ mod tests {
         // Overflow costs a bit more than exact estimates.
         assert!(v[1] >= v[0] * 0.99, "overflow {} vs exact {}", v[1], v[0]);
         // Flow-join beats degenerate chains on heavy-hitter data.
-        assert!(v[3] < v[2], "flow-join {} should beat chained {}", v[3], v[2]);
+        assert!(
+            v[3] < v[2],
+            "flow-join {} should beat chained {}",
+            v[3],
+            v[2]
+        );
     }
 }

@@ -216,7 +216,11 @@ mod tests {
     fn mispredict_rate_handles_zero_branches() {
         let c = Counters::default();
         assert_eq!(c.mispredict_rate(), 0.0);
-        let c = Counters { branches: 10, branch_mispredicts: 3, ..Default::default() };
+        let c = Counters {
+            branches: 10,
+            branch_mispredicts: 3,
+            ..Default::default()
+        };
         assert!((c.mispredict_rate() - 0.3).abs() < 1e-12);
     }
 }

@@ -80,7 +80,8 @@ impl<T: Send> Ate<T> {
     ) -> Result<(), AteError> {
         let tx = self.senders.get(to).ok_or(AteError::NoSuchCore(to))?;
         account.charge_ate(Self::message_cost(cm, from, to));
-        tx.send(AteMessage { from, payload }).map_err(|_| AteError::Disconnected(to))
+        tx.send(AteMessage { from, payload })
+            .map_err(|_| AteError::Disconnected(to))
     }
 
     /// A clonable sender endpoint for core `to` (used by worker threads).
@@ -136,7 +137,10 @@ pub struct AteBarrier {
 impl AteBarrier {
     /// Barrier across `parties` cores.
     pub fn new(parties: usize) -> Self {
-        AteBarrier { inner: std::sync::Barrier::new(parties), parties }
+        AteBarrier {
+            inner: std::sync::Barrier::new(parties),
+            parties,
+        }
     }
 
     /// Number of participating cores.
@@ -146,7 +150,9 @@ impl AteBarrier {
 
     /// Wait at the barrier, charging the arrive+release message pair.
     pub fn wait(&self, cm: &CostModel, account: &mut CycleAccount) {
-        account.charge_ate(Cycles(2.0 * (cm.ate_message_cycles + cm.ate_cross_macro_cycles)));
+        account.charge_ate(Cycles(
+            2.0 * (cm.ate_message_cycles + cm.ate_cross_macro_cycles),
+        ));
         self.inner.wait();
     }
 }
@@ -195,7 +201,10 @@ mod tests {
         let cm = CostModel::default();
         let ate: Ate<u8> = Ate::new(2);
         let mut acc = CycleAccount::new();
-        assert_eq!(ate.send(&cm, &mut acc, 0, 9, 7), Err(AteError::NoSuchCore(9)));
+        assert_eq!(
+            ate.send(&cm, &mut acc, 0, 9, 7),
+            Err(AteError::NoSuchCore(9))
+        );
     }
 
     #[test]

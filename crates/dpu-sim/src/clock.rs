@@ -143,7 +143,9 @@ impl SimTime {
     /// Largest of two durations.
     #[inline]
     pub fn max(self, other: SimTime) -> SimTime {
-        SimTime { secs: self.secs.max(other.secs) }
+        SimTime {
+            secs: self.secs.max(other.secs),
+        }
     }
 }
 
@@ -151,7 +153,9 @@ impl Add for SimTime {
     type Output = SimTime;
     #[inline]
     fn add(self, rhs: SimTime) -> SimTime {
-        SimTime { secs: self.secs + rhs.secs }
+        SimTime {
+            secs: self.secs + rhs.secs,
+        }
     }
 }
 
@@ -164,7 +168,9 @@ impl AddAssign for SimTime {
 
 impl Sum for SimTime {
     fn sum<I: Iterator<Item = SimTime>>(iter: I) -> SimTime {
-        SimTime { secs: iter.map(|t| t.secs).sum() }
+        SimTime {
+            secs: iter.map(|t| t.secs).sum(),
+        }
     }
 }
 

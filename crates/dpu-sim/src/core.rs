@@ -20,12 +20,20 @@ pub struct DpCore {
 impl DpCore {
     /// Create core `id` with a fresh account and a standard 32 KiB DMEM.
     pub fn new(id: usize) -> Self {
-        DpCore { id, account: CycleAccount::new(), dmem: Dmem::new() }
+        DpCore {
+            id,
+            account: CycleAccount::new(),
+            dmem: Dmem::new(),
+        }
     }
 
     /// Create core `id` with a custom DMEM capacity (capacity sweeps).
     pub fn with_dmem_capacity(id: usize, dmem_bytes: usize) -> Self {
-        DpCore { id, account: CycleAccount::new(), dmem: Dmem::with_capacity(dmem_bytes) }
+        DpCore {
+            id,
+            account: CycleAccount::new(),
+            dmem: Dmem::with_capacity(dmem_bytes),
+        }
     }
 
     /// The core's id (0..32 on a full DPU).

@@ -67,7 +67,12 @@ impl Dmem {
     /// A scratchpad with a custom capacity (used by tests and by task
     /// formation experiments that sweep the budget).
     pub fn with_capacity(capacity: usize) -> Self {
-        Dmem { budget: Arc::new(Budget { capacity, used: AtomicUsize::new(0) }) }
+        Dmem {
+            budget: Arc::new(Budget {
+                capacity,
+                used: AtomicUsize::new(0),
+            }),
+        }
     }
 
     /// Total capacity in bytes.
@@ -93,14 +98,21 @@ impl Dmem {
     pub fn alloc<T: Default + Clone>(&self, len: usize) -> Result<DmemBuf<T>, DmemError> {
         let bytes = len * std::mem::size_of::<T>();
         self.reserve(bytes)?;
-        Ok(DmemBuf { data: vec![T::default(); len], bytes, budget: Arc::clone(&self.budget) })
+        Ok(DmemBuf {
+            data: vec![T::default(); len],
+            bytes,
+            budget: Arc::clone(&self.budget),
+        })
     }
 
     /// Reserve raw bytes without creating a buffer (used for operator state
     /// that is modelled but not materialised, e.g. descriptor rings).
     pub fn reserve_raw(&self, bytes: usize) -> Result<DmemReservation, DmemError> {
         self.reserve(bytes)?;
-        Ok(DmemReservation { bytes, budget: Arc::clone(&self.budget) })
+        Ok(DmemReservation {
+            bytes,
+            budget: Arc::clone(&self.budget),
+        })
     }
 
     fn reserve(&self, bytes: usize) -> Result<(), DmemError> {
@@ -108,7 +120,10 @@ impl Dmem {
         loop {
             let new = cur + bytes;
             if new > self.budget.capacity {
-                return Err(DmemError { requested: bytes, available: self.budget.capacity - cur });
+                return Err(DmemError {
+                    requested: bytes,
+                    available: self.budget.capacity - cur,
+                });
             }
             match self.budget.used.compare_exchange_weak(
                 cur,

@@ -62,7 +62,12 @@ impl DescriptorLoop {
         let tile = tile.max(1);
         DescriptorLoop {
             descriptors: vec![
-                Descriptor { direction: Direction::Read, rows: tile, width, gather: false };
+                Descriptor {
+                    direction: Direction::Read,
+                    rows: tile,
+                    width,
+                    gather: false
+                };
                 cols
             ],
             iterations: rows_total.div_ceil(tile),
@@ -72,17 +77,36 @@ impl DescriptorLoop {
 
     /// A read+write loop (streaming transform): reads and writes back the
     /// same shape.
-    pub fn sequential_read_write(cols: usize, width: usize, rows_total: usize, tile: usize) -> Self {
+    pub fn sequential_read_write(
+        cols: usize,
+        width: usize,
+        rows_total: usize,
+        tile: usize,
+    ) -> Self {
         let tile = tile.max(1);
         let mut descriptors = vec![
-            Descriptor { direction: Direction::Read, rows: tile, width, gather: false };
+            Descriptor {
+                direction: Direction::Read,
+                rows: tile,
+                width,
+                gather: false
+            };
             cols
         ];
         descriptors.extend(vec![
-            Descriptor { direction: Direction::Write, rows: tile, width, gather: false };
+            Descriptor {
+                direction: Direction::Write,
+                rows: tile,
+                width,
+                gather: false
+            };
             cols
         ]);
-        DescriptorLoop { descriptors, iterations: rows_total.div_ceil(tile), double_buffered: true }
+        DescriptorLoop {
+            descriptors,
+            iterations: rows_total.div_ceil(tile),
+            double_buffered: true,
+        }
     }
 
     /// Total bytes moved across all iterations.
@@ -120,8 +144,12 @@ mod tests {
         let l = DescriptorLoop::sequential_read_write(2, 8, 256, 64);
         assert_eq!(l.descriptors.len(), 4);
         assert_eq!(l.iterations, 4);
-        assert!(l.descriptors[..2].iter().all(|d| d.direction == Direction::Read));
-        assert!(l.descriptors[2..].iter().all(|d| d.direction == Direction::Write));
+        assert!(l.descriptors[..2]
+            .iter()
+            .all(|d| d.direction == Direction::Read));
+        assert!(l.descriptors[2..]
+            .iter()
+            .all(|d| d.direction == Direction::Write));
     }
 
     #[test]
@@ -132,7 +160,12 @@ mod tests {
 
     #[test]
     fn descriptor_bytes() {
-        let d = Descriptor { direction: Direction::Read, rows: 128, width: 4, gather: false };
+        let d = Descriptor {
+            direction: Direction::Read,
+            rows: 128,
+            width: 4,
+            gather: false,
+        };
         assert_eq!(d.bytes(), 512);
     }
 }

@@ -90,15 +90,22 @@ impl DmsEngine {
             self.cm.dms_bytes_per_cycle()
         };
         let wire = d.bytes() as f64 / eff;
-        let turnaround =
-            if d.direction == Direction::Write { self.cm.rw_turnaround_cycles } else { 0.0 };
+        let turnaround = if d.direction == Direction::Write {
+            self.cm.rw_turnaround_cycles
+        } else {
+            0.0
+        };
         wire + self.cm.dms_descriptor_setup_cycles + self.page_open_cycles(streams) + turnaround
     }
 
     /// Total engine cost of a descriptor loop.
     pub fn loop_cost(&self, l: &DescriptorLoop) -> DmsCost {
         let streams = l.column_streams();
-        let per_iter: f64 = l.descriptors.iter().map(|d| self.descriptor_cycles(d, streams)).sum();
+        let per_iter: f64 = l
+            .descriptors
+            .iter()
+            .map(|d| self.descriptor_cycles(d, streams))
+            .sum();
         DmsCost {
             cycles: per_iter * l.iterations as f64,
             bytes: l.total_bytes(),
@@ -108,8 +115,16 @@ impl DmsEngine {
 
     /// Cost of streaming `rows_total` rows of `cols` columns (each `width`
     /// bytes) from DRAM into DMEM in tiles of `tile` rows.
-    pub fn sequential_read(&self, cols: usize, width: usize, rows_total: usize, tile: usize) -> DmsCost {
-        self.loop_cost(&DescriptorLoop::sequential_read(cols, width, rows_total, tile))
+    pub fn sequential_read(
+        &self,
+        cols: usize,
+        width: usize,
+        rows_total: usize,
+        tile: usize,
+    ) -> DmsCost {
+        self.loop_cost(&DescriptorLoop::sequential_read(
+            cols, width, rows_total, tile,
+        ))
     }
 
     /// Cost of a streaming read-transform-write of the same shape.
@@ -120,7 +135,9 @@ impl DmsEngine {
         rows_total: usize,
         tile: usize,
     ) -> DmsCost {
-        self.loop_cost(&DescriptorLoop::sequential_read_write(cols, width, rows_total, tile))
+        self.loop_cost(&DescriptorLoop::sequential_read_write(
+            cols, width, rows_total, tile,
+        ))
     }
 
     /// Cost of gathering `rows` selected rows of one `width`-byte column via
@@ -129,7 +146,12 @@ impl DmsEngine {
         let tile = tile.max(1);
         let l = DescriptorLoop {
             descriptors: vec![
-                Descriptor { direction: Direction::Read, rows: tile, width, gather: true };
+                Descriptor {
+                    direction: Direction::Read,
+                    rows: tile,
+                    width,
+                    gather: true
+                };
                 cols
             ],
             iterations: rows.div_ceil(tile),
@@ -144,7 +166,12 @@ impl DmsEngine {
         let tile = tile.max(1);
         let l = DescriptorLoop {
             descriptors: vec![
-                Descriptor { direction: Direction::Write, rows: tile, width, gather: true };
+                Descriptor {
+                    direction: Direction::Write,
+                    rows: tile,
+                    width,
+                    gather: true
+                };
                 cols
             ],
             iterations: rows.div_ceil(tile),

@@ -90,7 +90,9 @@ impl std::fmt::Display for HwPartitionError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
             HwPartitionError::BadFanout(n) => write!(f, "hardware fan-out {n} not in 1..=32"),
-            HwPartitionError::BadKeyColumns(n) => write!(f, "hash engine takes 1..=4 keys, got {n}"),
+            HwPartitionError::BadKeyColumns(n) => {
+                write!(f, "hash engine takes 1..=4 keys, got {n}")
+            }
             HwPartitionError::RaggedKeys => write!(f, "key columns have differing lengths"),
         }
     }
@@ -139,7 +141,10 @@ impl HwPartitioner {
             PartitionStrategy::Radix { bits, shift } => {
                 let key = keys.first().ok_or(HwPartitionError::BadKeyColumns(0))?;
                 let mask = (1u64 << bits) - 1;
-                Ok(key.iter().map(|&k| (((k as u64) >> shift) & mask) as u32).collect())
+                Ok(key
+                    .iter()
+                    .map(|&k| (((k as u64) >> shift) & mask) as u32)
+                    .collect())
             }
             PartitionStrategy::Hash { bits } => {
                 if keys.is_empty() || keys.len() > 4 {
@@ -217,7 +222,11 @@ impl HwPartitioner {
             .max(stage_cycles)
             .max(scatter_cycles * width as f64 * cols as f64 / 16.0);
 
-        DmsCost { cycles: pipeline, bytes: read.bytes, descriptors: read.descriptors }
+        DmsCost {
+            cycles: pipeline,
+            bytes: read.bytes,
+            descriptors: read.descriptors,
+        }
     }
 }
 
@@ -245,7 +254,9 @@ mod tests {
         vec![
             PartitionStrategy::Radix { bits: 5, shift: 0 },
             PartitionStrategy::Hash { bits: 5 },
-            PartitionStrategy::Range { bounds: (1..32).map(|i| i * 1000).collect() },
+            PartitionStrategy::Range {
+                bounds: (1..32).map(|i| i * 1000).collect(),
+            },
             PartitionStrategy::RoundRobin { fanout: 32 },
         ]
     }
@@ -307,7 +318,9 @@ mod tests {
     #[test]
     fn range_respects_bounds() {
         let hw = HwPartitioner::new(
-            PartitionStrategy::Range { bounds: vec![10, 20, 30] },
+            PartitionStrategy::Range {
+                bounds: vec![10, 20, 30],
+            },
             CostModel::default(),
         )
         .unwrap();
@@ -339,7 +352,10 @@ mod tests {
             HwPartitioner::new(PartitionStrategy::Hash { bits: 5 }, CostModel::default()).unwrap();
         let a: Vec<i64> = vec![1, 2, 3];
         let b: Vec<i64> = vec![1, 2];
-        assert_eq!(hw.assign(&[&a, &b]).unwrap_err(), HwPartitionError::RaggedKeys);
+        assert_eq!(
+            hw.assign(&[&a, &b]).unwrap_err(),
+            HwPartitionError::RaggedKeys
+        );
     }
 
     #[test]

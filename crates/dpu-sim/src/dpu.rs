@@ -50,7 +50,10 @@ impl Default for DpuConfig {
 impl DpuConfig {
     /// A reduced configuration for fast unit tests.
     pub fn small(cores: usize) -> Self {
-        DpuConfig { cores, ..Default::default() }
+        DpuConfig {
+            cores,
+            ..Default::default()
+        }
     }
 }
 
@@ -92,7 +95,12 @@ impl Dpu {
         let cores = (0..config.cores)
             .map(|id| DpCore::with_dmem_capacity(id, config.dmem_bytes))
             .collect();
-        Dpu { config, cores, elapsed: SimTime::ZERO, totals: Counters::default() }
+        Dpu {
+            config,
+            cores,
+            elapsed: SimTime::ZERO,
+            totals: Counters::default(),
+        }
     }
 
     /// A full 32-core DPU with default calibration.
@@ -206,7 +214,8 @@ mod tests {
         let mut dpu = Dpu::new(DpuConfig::small(4));
         let cm = dpu.cost_model().clone();
         let report = dpu.run_stage(|core| {
-            core.account.charge_kernel(&cm, &KernelCost::paired(1000.0, 1000.0));
+            core.account
+                .charge_kernel(&cm, &KernelCost::paired(1000.0, 1000.0));
         });
         // 4 cores each doing 1000 cycles of paired work -> 1000 elapsed.
         assert!((report.elapsed.get() - 1000.0).abs() < 1e-9);

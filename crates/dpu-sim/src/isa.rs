@@ -170,7 +170,12 @@ impl KernelCost {
     /// A kernel with only paired ALU/LSU work, e.g. `n` iterations of a
     /// perfectly dual-issued two-instruction loop body.
     pub fn paired(alu: f64, lsu: f64) -> Self {
-        KernelCost { alu, lsu, dual_issue_frac: 1.0, ..Default::default() }
+        KernelCost {
+            alu,
+            lsu,
+            dual_issue_frac: 1.0,
+            ..Default::default()
+        }
     }
 
     /// Scale all counts by `n` (e.g. per-row costs to per-tile costs).
@@ -212,14 +217,22 @@ mod tests {
         let c = cm.kernel_cycles(&KernelCost::paired(10.0, 10.0));
         assert!((c - 10.0).abs() < 1e-9);
         // Unpaired: 20 cycles.
-        let c = cm.kernel_cycles(&KernelCost { alu: 10.0, lsu: 10.0, ..Default::default() });
+        let c = cm.kernel_cycles(&KernelCost {
+            alu: 10.0,
+            lsu: 10.0,
+            ..Default::default()
+        });
         assert!((c - 20.0).abs() < 1e-9);
     }
 
     #[test]
     fn multiplies_and_mispredicts_serialize() {
         let cm = CostModel::default();
-        let c = cm.kernel_cycles(&KernelCost { mul: 2.0, mispredicts: 1.0, ..Default::default() });
+        let c = cm.kernel_cycles(&KernelCost {
+            mul: 2.0,
+            mispredicts: 1.0,
+            ..Default::default()
+        });
         assert!((c - (2.0 * cm.mul_stall_cycles + cm.branch_mispredict_cycles)).abs() < 1e-9);
     }
 
@@ -237,7 +250,12 @@ mod tests {
     #[test]
     fn accumulate_tracks_weighted_pairing() {
         let mut a = KernelCost::paired(4.0, 4.0);
-        let b = KernelCost { alu: 4.0, lsu: 4.0, dual_issue_frac: 0.0, ..Default::default() };
+        let b = KernelCost {
+            alu: 4.0,
+            lsu: 4.0,
+            dual_issue_frac: 0.0,
+            ..Default::default()
+        };
         a.accumulate(&b);
         assert!((a.alu - 8.0).abs() < 1e-9);
         assert!((a.dual_issue_frac - 0.5).abs() < 1e-9);
@@ -248,8 +266,15 @@ mod tests {
 
     #[test]
     fn scaled_multiplies_counts() {
-        let k = KernelCost { alu: 1.0, lsu: 2.0, mul: 0.5, branches: 1.0, mispredicts: 0.1, dual_issue_frac: 1.0 }
-            .scaled(10.0);
+        let k = KernelCost {
+            alu: 1.0,
+            lsu: 2.0,
+            mul: 0.5,
+            branches: 1.0,
+            mispredicts: 0.1,
+            dual_issue_frac: 1.0,
+        }
+        .scaled(10.0);
         assert_eq!(k.alu, 10.0);
         assert_eq!(k.lsu, 20.0);
         assert_eq!(k.mul, 5.0);

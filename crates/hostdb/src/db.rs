@@ -15,8 +15,9 @@ use std::time::{Duration, Instant};
 use rapid_qcomp::cost::CostParams;
 use rapid_qcomp::logical::LogicalPlan;
 use rapid_qef::engine::Engine;
-use rapid_qef::exec::ExecContext;
+use rapid_qef::exec::{ExecContext, StageRouter};
 use rapid_qef::plan::ColMeta;
+use rapid_sched::{SchedConfig, SchedReport, Scheduler};
 use rapid_storage::schema::Schema;
 use rapid_storage::scn::{RowChange, Scn};
 use rapid_storage::table::TableBuilder;
@@ -66,6 +67,65 @@ impl QueryResult {
     }
 }
 
+/// The text or pre-built plan a [`BatchQuery`] executes.
+#[derive(Debug, Clone)]
+enum BatchSource {
+    Sql(String),
+    Plan(LogicalPlan),
+}
+
+/// One query of a concurrent batch session (see [`HostDb::execute_batch`]).
+#[derive(Debug, Clone)]
+pub struct BatchQuery {
+    source: BatchSource,
+    /// Scheduler priority — higher values are admitted first.
+    pub priority: u8,
+    /// Optional wall-clock bound on the whole query (queueing included).
+    pub timeout: Option<Duration>,
+}
+
+impl BatchQuery {
+    /// A default-priority SQL query with no timeout.
+    pub fn new(sql: impl Into<String>) -> Self {
+        BatchQuery {
+            source: BatchSource::Sql(sql.into()),
+            priority: 0,
+            timeout: None,
+        }
+    }
+
+    /// A batch query from an already-built logical plan.
+    pub fn from_plan(plan: LogicalPlan) -> Self {
+        BatchQuery {
+            source: BatchSource::Plan(plan),
+            priority: 0,
+            timeout: None,
+        }
+    }
+
+    /// Set the scheduler priority.
+    pub fn with_priority(mut self, priority: u8) -> Self {
+        self.priority = priority;
+        self
+    }
+
+    /// Set the wall-clock timeout.
+    pub fn with_timeout(mut self, timeout: Duration) -> Self {
+        self.timeout = Some(timeout);
+        self
+    }
+}
+
+/// Outcome of a concurrent batch: per-query results in submission order
+/// plus the scheduler's accounting of the shared DPU.
+#[derive(Debug)]
+pub struct BatchOutcome {
+    /// One result per submitted query, in submission order.
+    pub results: Vec<Result<QueryResult, DbError>>,
+    /// Per-query simulated latency plus whole-DPU utilization/energy.
+    pub sched: SchedReport,
+}
+
 /// Errors from the end-to-end path.
 #[derive(Debug)]
 pub enum DbError {
@@ -105,7 +165,9 @@ pub struct HostDb {
 
 impl std::fmt::Debug for HostDb {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        f.debug_struct("HostDb").field("tables", &self.store.table_names()).finish()
+        f.debug_struct("HostDb")
+            .field("tables", &self.store.table_names())
+            .finish()
     }
 }
 
@@ -150,10 +212,15 @@ impl HostDb {
     /// The `LOAD` command (§4.4): snapshot a host table into RAPID's
     /// columnar store at the current SCN.
     pub fn load_into_rapid(&self, table: &str) -> Result<(), DbError> {
-        let t = self.store.table(table).ok_or_else(|| DbError::NoSuchTable(table.into()))?;
+        let t = self
+            .store
+            .table(table)
+            .ok_or_else(|| DbError::NoSuchTable(table.into()))?;
         let guard = t.read();
         let scn = guard.scn;
-        let mut b = TableBuilder::new(table, guard.schema.clone()).chunk_rows(4096).partitions(4);
+        let mut b = TableBuilder::new(table, guard.schema.clone())
+            .chunk_rows(4096)
+            .partitions(4);
         for row in guard.scan() {
             b.push_row(row.clone());
         }
@@ -177,7 +244,10 @@ impl HostDb {
     /// [`rapid_storage::scn::Tracker`] covers the replay-onto-base path
     /// for per-vector versioning and is tested there).
     pub fn checkpoint(&self, table: &str) -> Result<(), DbError> {
-        let host = self.store.table(table).ok_or_else(|| DbError::NoSuchTable(table.into()))?;
+        let host = self
+            .store
+            .table(table)
+            .ok_or_else(|| DbError::NoSuchTable(table.into()))?;
         let current = {
             let rapid = self.rapid.read();
             match rapid.catalog().get(table) {
@@ -203,7 +273,9 @@ impl HostDb {
         self.checkpointer = Some(std::thread::spawn(move || {
             while !stop.load(Ordering::Relaxed) {
                 for name in store.table_names() {
-                    let Some(host) = store.table(&name) else { continue };
+                    let Some(host) = store.table(&name) else {
+                        continue;
+                    };
                     let current = {
                         let r = rapid.read();
                         match r.catalog().get(&name) {
@@ -216,10 +288,15 @@ impl HostDb {
                         if g.scn <= current {
                             continue;
                         }
-                        (g.schema.clone(), g.scan().cloned().collect::<Vec<_>>(), g.scn)
+                        (
+                            g.schema.clone(),
+                            g.scan().cloned().collect::<Vec<_>>(),
+                            g.scn,
+                        )
                     };
-                    let mut b =
-                        TableBuilder::new(&name, schema).chunk_rows(4096).partitions(4);
+                    let mut b = TableBuilder::new(&name, schema)
+                        .chunk_rows(4096)
+                        .partitions(4);
                     b.extend_rows(rows);
                     let snap = Arc::new(b.finish_at_scn(target));
                     rapid.write().load_table(snap);
@@ -237,7 +314,12 @@ impl HostDb {
             if let Some(t) = self.store.table(&name) {
                 m.insert(
                     name,
-                    t.read().schema.fields.iter().map(|f| f.name.clone()).collect(),
+                    t.read()
+                        .schema
+                        .fields
+                        .iter()
+                        .map(|f| f.name.clone())
+                        .collect(),
                 );
             }
         }
@@ -292,11 +374,109 @@ impl HostDb {
         }
     }
 
+    /// Execute a batch of SQL queries concurrently — one session thread
+    /// per query — sharing the simulated DPU through a `rapid-sched`
+    /// scheduler. Per-query offload decisions and SCN admission checks are
+    /// unchanged from the serial path; only the simulated clock is
+    /// arbitrated. Queries that stay on the host release their DPU
+    /// admission slot before running.
+    ///
+    /// Results come back in submission order; the scheduler report carries
+    /// per-query simulated latency and whole-DPU utilization/energy.
+    pub fn execute_batch(&self, queries: &[BatchQuery], cfg: SchedConfig) -> BatchOutcome {
+        let sched = Arc::new(Scheduler::new(cfg));
+        // Submit in input order so scheduler ids (and deterministic-mode
+        // tie-breaks) are a function of the batch alone.
+        let handles: Vec<_> = queries
+            .iter()
+            .map(|q| sched.submit(q.priority, q.timeout))
+            .collect();
+        let results = std::thread::scope(|scope| {
+            let spawned: Vec<_> = queries
+                .iter()
+                .zip(handles)
+                .map(|(q, h)| {
+                    let sched = Arc::clone(&sched);
+                    scope.spawn(move || self.execute_session(q, h, sched))
+                })
+                .collect();
+            spawned
+                .into_iter()
+                .map(|j| j.join().expect("session thread panicked"))
+                .collect()
+        });
+        BatchOutcome {
+            results,
+            sched: sched.report(),
+        }
+    }
+
+    /// One concurrent session: admission, then the standard decision path
+    /// with RAPID stages routed through the shared scheduler.
+    fn execute_session(
+        &self,
+        q: &BatchQuery,
+        handle: Result<rapid_sched::QueryHandle, rapid_sched::SchedError>,
+        sched: Arc<Scheduler>,
+    ) -> Result<QueryResult, DbError> {
+        let handle = handle.map_err(|e| DbError::Rapid(e.to_string()))?;
+        handle
+            .await_admission()
+            .map_err(|e| DbError::Rapid(e.to_string()))?;
+        let plan = match &q.source {
+            BatchSource::Sql(sql) => parse_sql(sql, &self.schemas()).map_err(DbError::Sql)?,
+            BatchSource::Plan(plan) => plan.clone(),
+        };
+        let decision = match self.force_site {
+            Some(ExecutionSite::Rapid) => OffloadDecision::Full,
+            Some(ExecutionSite::Host) => {
+                OffloadDecision::None(crate::offload::NoOffloadReason::HostCheaper)
+            }
+            _ => {
+                let rapid = self.rapid.read();
+                decide(&plan, rapid.catalog(), &self.params)
+            }
+        };
+        let router: (Arc<dyn StageRouter>, u64) =
+            (Arc::clone(&sched) as Arc<dyn StageRouter>, handle.id());
+        match decision {
+            OffloadDecision::Full => {
+                match self.execute_on_rapid_routed(&plan, Some(&router)) {
+                    Ok(r) => Ok(r),
+                    // A cancelled or timed-out query aborts outright;
+                    // genuine engine failures fall back to the host as in
+                    // the serial path (slot released first).
+                    Err(e) if handle.cancelled() || handle.timed_out() => Err(e),
+                    Err(_) => {
+                        handle.finish();
+                        self.execute_on_host(&plan)
+                    }
+                }
+            }
+            OffloadDecision::Partial(_) => self.execute_partial_routed(&plan, Some(&router)),
+            OffloadDecision::None(_) => {
+                // Host-only: free the DPU slot before host execution.
+                handle.finish();
+                self.execute_on_host(&plan)
+            }
+        }
+    }
+
     /// Partial offload (§3.1-§3.2): execute the maximal RAPID-resident
     /// fragments on the node, land their results in host-side buffers (the
     /// RAPID operator's result consumption), and finish the remainder on
     /// the Volcano engine.
     pub fn execute_partial(&self, plan: &LogicalPlan) -> Result<QueryResult, DbError> {
+        self.execute_partial_routed(plan, None)
+    }
+
+    /// [`execute_partial`](Self::execute_partial) with the RAPID fragments
+    /// optionally routed through a multi-query scheduler.
+    fn execute_partial_routed(
+        &self,
+        plan: &LogicalPlan,
+        router: Option<&(Arc<dyn StageRouter>, u64)>,
+    ) -> Result<QueryResult, DbError> {
         use std::sync::atomic::AtomicU64;
         static TEMP_ID: AtomicU64 = AtomicU64::new(0);
 
@@ -316,7 +496,7 @@ impl HostDb {
         for (name, frag_plan) in &fragments {
             let unique = format!("{name}__{uniq}");
             rename_table(&mut renamed, name, &unique);
-            let frag = self.execute_on_rapid(frag_plan)?;
+            let frag = self.execute_on_rapid_routed(frag_plan, router)?;
             rapid_secs += frag.rapid_secs;
             host_secs += frag.host_secs;
             // Infer the temp table's schema from the fragment's compiled
@@ -341,11 +521,28 @@ impl HostDb {
             self.store.drop_table(&name);
         }
         let (names, rows) = result?;
-        Ok(QueryResult { columns: names, rows, site: ExecutionSite::Mixed, rapid_secs, host_secs })
+        Ok(QueryResult {
+            columns: names,
+            rows,
+            site: ExecutionSite::Mixed,
+            rapid_secs,
+            host_secs,
+        })
     }
 
     /// Run the whole plan on the RAPID node (admission check + execute).
     pub fn execute_on_rapid(&self, plan: &LogicalPlan) -> Result<QueryResult, DbError> {
+        self.execute_on_rapid_routed(plan, None)
+    }
+
+    /// [`execute_on_rapid`](Self::execute_on_rapid), optionally placing
+    /// every pipeline stage on a multi-query scheduler's shared timeline
+    /// as the given query id.
+    fn execute_on_rapid_routed(
+        &self,
+        plan: &LogicalPlan,
+        router: Option<&(Arc<dyn StageRouter>, u64)>,
+    ) -> Result<QueryResult, DbError> {
         // Admission (§3.3): the query SCN must not be younger than any
         // referenced RAPID table. Checkpoint lagging tables first.
         let mut tables = std::collections::HashSet::new();
@@ -353,17 +550,29 @@ impl HostDb {
         for t in &tables {
             self.checkpoint(t).ok();
         }
-        let rapid = self.rapid.read();
-        let compiled = rapid_qcomp::compile(plan, rapid.catalog(), &self.params)
+        // Fork a per-query engine (the catalog shares table `Arc`s) so the
+        // engine lock is NOT held while executing: concurrent sessions
+        // parked inside the scheduler must not block checkpoint writers.
+        let (engine, compiled) = {
+            let rapid = self.rapid.read();
+            let ctx = match router {
+                Some((r, qid)) => rapid.context().clone().with_router(Arc::clone(r), *qid),
+                None => rapid.context().clone(),
+            };
+            let engine = rapid.fork(ctx);
+            let compiled = rapid_qcomp::compile(plan, engine.catalog(), &self.params)
+                .map_err(|e| DbError::Rapid(e.to_string()))?;
+            (engine, compiled)
+        };
+        let (out, report) = engine
+            .execute(&compiled.plan)
             .map_err(|e| DbError::Rapid(e.to_string()))?;
-        let (out, report) =
-            rapid.execute(&compiled.plan).map_err(|e| DbError::Rapid(e.to_string()))?;
-        let rapid_secs = report.elapsed_secs(rapid.context().backend);
+        let rapid_secs = report.elapsed_secs(engine.context().backend);
         // Post-processing at the host: decode into values (§3.2's
         // "decoding and other transformations" after the RDMA transfer).
         // Compile time is excluded, matching the paper's elapsed split.
         let decode_start = Instant::now();
-        let rows = decode_batch(&out.batch, &out.meta, rapid.catalog());
+        let rows = decode_batch(&out.batch, &out.meta, engine.catalog());
         let host_secs = decode_start.elapsed().as_secs_f64();
         Ok(QueryResult {
             columns: compiled.output.iter().map(|c| c.name.clone()).collect(),
@@ -445,7 +654,10 @@ pub fn decode_batch(
                         if m.scale == 0 {
                             Value::Int(widened)
                         } else {
-                            Value::Decimal { unscaled: widened, scale: m.scale }
+                            Value::Decimal {
+                                unscaled: widened,
+                                scale: m.scale,
+                            }
                         }
                     }
                     _ => Value::Int(widened),
@@ -478,7 +690,10 @@ mod tests {
             (0..10_000i64).map(|i| {
                 vec![
                     Value::Int(i),
-                    Value::Decimal { unscaled: (i % 500) * 100 + 99, scale: 2 },
+                    Value::Decimal {
+                        unscaled: (i % 500) * 100 + 99,
+                        scale: 2,
+                    },
                     Value::Str(["north", "south", "east", "west"][(i % 4) as usize].into()),
                 ]
             }),
@@ -501,12 +716,17 @@ mod tests {
     fn load_then_offload_and_results_match_host() {
         let d = db();
         d.load_into_rapid("sales").unwrap();
-        let sql =
-            "SELECT region, SUM(amount) AS total FROM sales GROUP BY region ORDER BY region";
+        let sql = "SELECT region, SUM(amount) AS total FROM sales GROUP BY region ORDER BY region";
         let rapid = d.execute_sql(sql).unwrap();
-        assert_eq!(rapid.site, ExecutionSite::Rapid, "large scan should offload");
+        assert_eq!(
+            rapid.site,
+            ExecutionSite::Rapid,
+            "large scan should offload"
+        );
         assert!(rapid.rapid_secs > 0.0);
-        let host = d.execute_on_host(&parse_sql(sql, &d.schemas()).unwrap()).unwrap();
+        let host = d
+            .execute_on_host(&parse_sql(sql, &d.schemas()).unwrap())
+            .unwrap();
         assert_eq!(rapid.rows.len(), host.rows.len());
         for (a, b) in rapid.rows.iter().zip(&host.rows) {
             assert_eq!(a[0], b[0]);
@@ -528,7 +748,10 @@ mod tests {
             "sales",
             vec![RowChange::Insert(vec![
                 Value::Int(999_999),
-                Value::Decimal { unscaled: 123_456, scale: 2 },
+                Value::Decimal {
+                    unscaled: 123_456,
+                    scale: 2,
+                },
                 Value::Str("north".into()),
             ])],
         );
@@ -549,7 +772,10 @@ mod tests {
             "sales",
             vec![RowChange::Insert(vec![
                 Value::Int(777_777),
-                Value::Decimal { unscaled: 1, scale: 2 },
+                Value::Decimal {
+                    unscaled: 1,
+                    scale: 2,
+                },
                 Value::Str("east".into()),
             ])],
         );
@@ -563,7 +789,10 @@ mod tests {
             if current == Some(10_001) {
                 break;
             }
-            assert!(Instant::now() < deadline, "checkpointer never shipped the change");
+            assert!(
+                Instant::now() < deadline,
+                "checkpointer never shipped the change"
+            );
             std::thread::sleep(Duration::from_millis(5));
         }
     }
@@ -601,5 +830,52 @@ mod tests {
             d.execute_sql("SELECT x FROM ghost"),
             Err(DbError::Sql(_))
         ));
+    }
+
+    #[test]
+    fn concurrent_partial_offloads_use_unique_temp_names() {
+        // Partial offload materializes RAPID fragments as host temp tables;
+        // concurrent sessions must not collide on those names. Join a
+        // loaded table against an unloaded one so every query takes the
+        // Mixed path, then hammer it from several threads at once.
+        let d = db();
+        d.load_into_rapid("sales").unwrap();
+        d.create_table(
+            "region_names",
+            Schema::new(vec![
+                Field::new("key", DataType::Varchar),
+                Field::new("pretty", DataType::Varchar),
+            ]),
+        );
+        d.bulk_insert(
+            "region_names",
+            ["north", "south", "east", "west"]
+                .iter()
+                .map(|r| vec![Value::Str((*r).into()), Value::Str(format!("The {r}"))]),
+        );
+        let sql = "SELECT pretty, COUNT(*) AS n FROM sales \
+                   JOIN region_names ON region = key GROUP BY pretty ORDER BY pretty";
+        let expected = d.execute_sql(sql).unwrap();
+        assert_eq!(expected.site, ExecutionSite::Mixed);
+        std::thread::scope(|scope| {
+            let handles: Vec<_> = (0..4)
+                .map(|_| {
+                    let d = &d;
+                    let expected = &expected;
+                    scope.spawn(move || {
+                        for _ in 0..3 {
+                            let r = d.execute_sql(sql).expect("concurrent partial offload");
+                            assert_eq!(r.site, ExecutionSite::Mixed);
+                            assert_eq!(r.rows, expected.rows);
+                        }
+                    })
+                })
+                .collect();
+            for h in handles {
+                h.join().unwrap();
+            }
+        });
+        // No temp-table leftovers once every session finished.
+        assert!(d.schemas().keys().all(|t| !t.contains("__")));
     }
 }

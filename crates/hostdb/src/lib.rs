@@ -32,6 +32,6 @@ pub mod store;
 pub mod valmath;
 pub mod volcano;
 
-pub use db::{ExecutionSite, HostDb, QueryResult};
+pub use db::{BatchOutcome, BatchQuery, ExecutionSite, HostDb, QueryResult};
 pub use sql::parse_sql;
 pub use store::{HostTable, RowStore};

@@ -127,12 +127,7 @@ pub fn decide(plan: &LogicalPlan, rapid_catalog: &Catalog, params: &CostParams) 
 
 /// Pre-order walk collecting indices of maximal subtrees whose referenced
 /// tables are all RAPID-resident.
-fn collect_fragments(
-    plan: &LogicalPlan,
-    catalog: &Catalog,
-    idx: &mut usize,
-    out: &mut Vec<usize>,
-) {
+fn collect_fragments(plan: &LogicalPlan, catalog: &Catalog, idx: &mut usize, out: &mut Vec<usize>) {
     let my_idx = *idx;
     *idx += 1;
     let mut tables = HashSet::new();
@@ -176,7 +171,11 @@ pub fn extract_fragments(
         if !tables.is_empty() && tables.iter().all(|t| catalog.contains_key(t)) {
             let name = format!("__rapid_frag_{}", frags.len());
             frags.push((name.clone(), plan.clone()));
-            return LogicalPlan::Scan { table: name, pred: None, projection: None };
+            return LogicalPlan::Scan {
+                table: name,
+                pred: None,
+                projection: None,
+            };
         }
         match plan {
             LogicalPlan::Scan { .. } => plan.clone(),
@@ -192,32 +191,45 @@ pub fn extract_fragments(
                 input: Box::new(walk(input, catalog, frags)),
                 order: order.clone(),
             },
-            LogicalPlan::Limit { input, n } => {
-                LogicalPlan::Limit { input: Box::new(walk(input, catalog, frags)), n: *n }
-            }
-            LogicalPlan::Aggregate { input, group_by, aggs } => LogicalPlan::Aggregate {
+            LogicalPlan::Limit { input, n } => LogicalPlan::Limit {
+                input: Box::new(walk(input, catalog, frags)),
+                n: *n,
+            },
+            LogicalPlan::Aggregate {
+                input,
+                group_by,
+                aggs,
+            } => LogicalPlan::Aggregate {
                 input: Box::new(walk(input, catalog, frags)),
                 group_by: group_by.clone(),
                 aggs: aggs.clone(),
             },
-            LogicalPlan::Window { input, partition_by, order_by, func, name } => {
-                LogicalPlan::Window {
-                    input: Box::new(walk(input, catalog, frags)),
-                    partition_by: partition_by.clone(),
-                    order_by: order_by.clone(),
-                    func: func.clone(),
-                    name: name.clone(),
-                }
-            }
-            LogicalPlan::Join { left, right, left_keys, right_keys, join_type } => {
-                LogicalPlan::Join {
-                    left: Box::new(walk(left, catalog, frags)),
-                    right: Box::new(walk(right, catalog, frags)),
-                    left_keys: left_keys.clone(),
-                    right_keys: right_keys.clone(),
-                    join_type: *join_type,
-                }
-            }
+            LogicalPlan::Window {
+                input,
+                partition_by,
+                order_by,
+                func,
+                name,
+            } => LogicalPlan::Window {
+                input: Box::new(walk(input, catalog, frags)),
+                partition_by: partition_by.clone(),
+                order_by: order_by.clone(),
+                func: func.clone(),
+                name: name.clone(),
+            },
+            LogicalPlan::Join {
+                left,
+                right,
+                left_keys,
+                right_keys,
+                join_type,
+            } => LogicalPlan::Join {
+                left: Box::new(walk(left, catalog, frags)),
+                right: Box::new(walk(right, catalog, frags)),
+                left_keys: left_keys.clone(),
+                right_keys: right_keys.clone(),
+                join_type: *join_type,
+            },
             LogicalPlan::SetOp { left, right, op } => LogicalPlan::SetOp {
                 left: Box::new(walk(left, catalog, frags)),
                 right: Box::new(walk(right, catalog, frags)),
@@ -241,8 +253,10 @@ mod tests {
     use std::sync::Arc;
 
     fn catalog(rows: i64) -> Catalog {
-        let schema =
-            Schema::new(vec![Field::new("k", DataType::Int), Field::new("v", DataType::Int)]);
+        let schema = Schema::new(vec![
+            Field::new("k", DataType::Int),
+            Field::new("v", DataType::Int),
+        ]);
         let mut b = TableBuilder::new("t", schema);
         for i in 0..rows {
             b.push_row(vec![Value::Int(i), Value::Int(i)]);
@@ -256,7 +270,10 @@ mod tests {
     fn big_scans_offload() {
         let cat = catalog(500_000);
         let plan = LogicalPlan::scan_where("t", LPred::cmp("k", CmpOp::Lt, Value::Int(10)));
-        assert_eq!(decide(&plan, &cat, &CostParams::default()), OffloadDecision::Full);
+        assert_eq!(
+            decide(&plan, &cat, &CostParams::default()),
+            OffloadDecision::Full
+        );
     }
 
     #[test]

@@ -90,12 +90,13 @@ fn lex(input: &str) -> Result<Vec<Tok>, SqlError> {
                 }
                 let whole: String = b[start..i].iter().filter(|&&c| c != '.').collect();
                 let scale = (i - frac_start) as u8;
-                let unscaled: i64 =
-                    whole.parse().map_err(|_| SqlError("bad decimal".into()))?;
+                let unscaled: i64 = whole.parse().map_err(|_| SqlError("bad decimal".into()))?;
                 out.push(Tok::Dec(unscaled, scale));
             } else {
                 let s: String = b[start..i].iter().collect();
-                out.push(Tok::Int(s.parse().map_err(|_| SqlError("bad integer".into()))?));
+                out.push(Tok::Int(
+                    s.parse().map_err(|_| SqlError("bad integer".into()))?,
+                ));
             }
         } else if c == '\'' {
             i += 1;
@@ -114,10 +115,9 @@ fn lex(input: &str) -> Result<Vec<Tok>, SqlError> {
         } else if c == '>' && i + 1 < b.len() && b[i + 1] == '=' {
             out.push(Tok::Ge);
             i += 2;
-        } else if c == '<' && i + 1 < b.len() && b[i + 1] == '>' {
-            out.push(Tok::Ne);
-            i += 2;
-        } else if c == '!' && i + 1 < b.len() && b[i + 1] == '=' {
+        } else if i + 1 < b.len()
+            && ((c == '<' && b[i + 1] == '>') || (c == '!' && b[i + 1] == '='))
+        {
             out.push(Tok::Ne);
             i += 2;
         } else if "(),=<>*+-/".contains(c) {
@@ -292,9 +292,17 @@ impl Parser {
                     break;
                 }
             }
-            joins.push(JoinClause { table, on, join_type });
+            joins.push(JoinClause {
+                table,
+                on,
+                join_type,
+            });
         }
-        let where_ = if self.kw("WHERE") { Some(self.expr()?) } else { None };
+        let where_ = if self.kw("WHERE") {
+            Some(self.expr()?)
+        } else {
+            None
+        };
         let mut group_by = Vec::new();
         if self.kw("GROUP") {
             self.expect_kw("BY")?;
@@ -307,7 +315,11 @@ impl Parser {
                 }
             }
         }
-        let having = if self.kw("HAVING") { Some(self.expr()?) } else { None };
+        let having = if self.kw("HAVING") {
+            Some(self.expr()?)
+        } else {
+            None
+        };
         let mut order_by = Vec::new();
         if self.kw("ORDER") {
             self.expect_kw("BY")?;
@@ -338,7 +350,16 @@ impl Parser {
         if *self.peek() != Tok::Eof {
             return err(format!("trailing tokens: {:?}", self.peek()));
         }
-        Ok(SelectStmt { items, from, joins, where_, group_by, having, order_by, limit })
+        Ok(SelectStmt {
+            items,
+            from,
+            joins,
+            where_,
+            group_by,
+            having,
+            order_by,
+            limit,
+        })
     }
 
     /// expr := or_term
@@ -347,7 +368,11 @@ impl Parser {
         while self.kw("OR") {
             terms.push(self.and_term()?);
         }
-        Ok(if terms.len() == 1 { terms.pop().expect("one") } else { Ast::Or(terms) })
+        Ok(if terms.len() == 1 {
+            terms.pop().expect("one")
+        } else {
+            Ast::Or(terms)
+        })
     }
 
     fn and_term(&mut self) -> Result<Ast, SqlError> {
@@ -355,7 +380,11 @@ impl Parser {
         while self.kw("AND") {
             terms.push(self.not_term()?);
         }
-        Ok(if terms.len() == 1 { terms.pop().expect("one") } else { Ast::And(terms) })
+        Ok(if terms.len() == 1 {
+            terms.pop().expect("one")
+        } else {
+            Ast::And(terms)
+        })
     }
 
     fn not_term(&mut self) -> Result<Ast, SqlError> {
@@ -445,7 +474,10 @@ impl Parser {
     fn literal(&mut self) -> Result<Value, SqlError> {
         match self.next() {
             Tok::Int(v) => Ok(Value::Int(v)),
-            Tok::Dec(u, s) => Ok(Value::Decimal { unscaled: u, scale: s }),
+            Tok::Dec(u, s) => Ok(Value::Decimal {
+                unscaled: u,
+                scale: s,
+            }),
             Tok::Str(s) => Ok(Value::Str(s)),
             Tok::Ident(s) if s.eq_ignore_ascii_case("DATE") => match self.next() {
                 Tok::Str(d) => parse_date(&d)
@@ -455,9 +487,10 @@ impl Parser {
             },
             Tok::Sym('-') => match self.literal()? {
                 Value::Int(v) => Ok(Value::Int(-v)),
-                Value::Decimal { unscaled, scale } => {
-                    Ok(Value::Decimal { unscaled: -unscaled, scale })
-                }
+                Value::Decimal { unscaled, scale } => Ok(Value::Decimal {
+                    unscaled: -unscaled,
+                    scale,
+                }),
                 v => err(format!("cannot negate {v}")),
             },
             t => err(format!("expected literal, found {t:?}")),
@@ -522,7 +555,11 @@ impl Parser {
                         } else {
                             LWindowFunc::RowNumber
                         };
-                        Ok(Ast::Window { func, partition_by, order_by })
+                        Ok(Ast::Window {
+                            func,
+                            partition_by,
+                            order_by,
+                        })
                     }
                     "CASE" => {
                         self.next();
@@ -556,9 +593,13 @@ impl Parser {
     }
 }
 
+/// An `OVER (...)` clause: partition-by columns + `(column, descending)`
+/// order-by pairs.
+type OverClause = (Vec<String>, Vec<(String, bool)>);
+
 impl Parser {
     /// `( [PARTITION BY col, ...] [ORDER BY col [DESC], ...] )`
-    fn over_clause(&mut self) -> Result<(Vec<String>, Vec<(String, bool)>), SqlError> {
+    fn over_clause(&mut self) -> Result<OverClause, SqlError> {
         self.expect_sym('(')?;
         let mut partition_by = Vec::new();
         if self.kw("PARTITION") {
@@ -645,9 +686,11 @@ fn to_lexpr(a: &Ast) -> Result<LExpr, SqlError> {
     match a {
         Ast::Col(c) => Ok(LExpr::Col(c.clone())),
         Ast::Lit(v) => Ok(LExpr::Lit(v.clone())),
-        Ast::Bin(op, l, r) => {
-            Ok(LExpr::Bin { op: *op, a: Box::new(to_lexpr(l)?), b: Box::new(to_lexpr(r)?) })
-        }
+        Ast::Bin(op, l, r) => Ok(LExpr::Bin {
+            op: *op,
+            a: Box::new(to_lexpr(l)?),
+            b: Box::new(to_lexpr(r)?),
+        }),
         Ast::Year(e) => Ok(LExpr::Year(Box::new(to_lexpr(e)?))),
         Ast::Case(p, t, e) => Ok(LExpr::Case {
             pred: Box::new(to_lpred(p)?),
@@ -660,18 +703,31 @@ fn to_lexpr(a: &Ast) -> Result<LExpr, SqlError> {
 
 fn to_lpred(a: &Ast) -> Result<LPred, SqlError> {
     match a {
-        Ast::Cmp(op, l, r) => Ok(LPred::Cmp { left: to_lexpr(l)?, op: *op, right: to_lexpr(r)? }),
-        Ast::And(ps) => Ok(LPred::And(ps.iter().map(to_lpred).collect::<Result<_, _>>()?)),
-        Ast::Or(ps) => Ok(LPred::Or(ps.iter().map(to_lpred).collect::<Result<_, _>>()?)),
+        Ast::Cmp(op, l, r) => Ok(LPred::Cmp {
+            left: to_lexpr(l)?,
+            op: *op,
+            right: to_lexpr(r)?,
+        }),
+        Ast::And(ps) => Ok(LPred::And(
+            ps.iter().map(to_lpred).collect::<Result<_, _>>()?,
+        )),
+        Ast::Or(ps) => Ok(LPred::Or(
+            ps.iter().map(to_lpred).collect::<Result<_, _>>()?,
+        )),
         Ast::Not(p) => Ok(LPred::Not(Box::new(to_lpred(p)?))),
         Ast::Between(e, lo, hi) => match e.as_ref() {
-            Ast::Col(c) => {
-                Ok(LPred::Between { col: c.clone(), lo: lo.clone(), hi: hi.clone() })
-            }
+            Ast::Col(c) => Ok(LPred::Between {
+                col: c.clone(),
+                lo: lo.clone(),
+                hi: hi.clone(),
+            }),
             _ => err("BETWEEN requires a column"),
         },
         Ast::InList(e, vals) => match e.as_ref() {
-            Ast::Col(c) => Ok(LPred::InList { col: c.clone(), values: vals.clone() }),
+            Ast::Col(c) => Ok(LPred::InList {
+                col: c.clone(),
+                values: vals.clone(),
+            }),
             _ => err("IN requires a column"),
         },
         Ast::Like(e, pattern) => match e.as_ref() {
@@ -690,8 +746,14 @@ fn like_to_pred(col: &str, pattern: &str) -> Result<LPred, SqlError> {
         return err(format!("unsupported LIKE pattern '{pattern}'"));
     }
     match (starts, ends) {
-        (false, true) => Ok(LPred::LikePrefix { col: col.into(), prefix: trimmed.into() }),
-        (true, true) => Ok(LPred::LikeContains { col: col.into(), needle: trimmed.into() }),
+        (false, true) => Ok(LPred::LikePrefix {
+            col: col.into(),
+            prefix: trimmed.into(),
+        }),
+        (true, true) => Ok(LPred::LikeContains {
+            col: col.into(),
+            needle: trimmed.into(),
+        }),
         (false, false) => Ok(LPred::eq(col, Value::Str(pattern.into()))),
         (true, false) => err(format!("suffix LIKE '{pattern}' not supported")),
     }
@@ -786,7 +848,9 @@ fn plan(
         std::iter::once(&stmt.from)
             .chain(stmt.joins.iter().map(|j| &j.table))
             .find(|t| {
-                table_columns.get(t.as_str()).is_some_and(|cols| cols.iter().any(|x| x == c))
+                table_columns
+                    .get(t.as_str())
+                    .is_some_and(|cols| cols.iter().any(|x| x == c))
             })
             .map(String::as_str)
     };
@@ -803,15 +867,17 @@ fn plan(
             let mut cols = Vec::new();
             ast_columns(&c, &mut cols);
             let tables: Vec<&str> = {
-                let mut ts: Vec<&str> =
-                    cols.iter().filter_map(|c| col_table(c)).collect();
+                let mut ts: Vec<&str> = cols.iter().filter_map(|c| col_table(c)).collect();
                 ts.sort_unstable();
                 ts.dedup();
                 ts
             };
             let lp = to_lpred(&c)?;
             if tables.len() == 1 && cols.iter().all(|c| col_table(c).is_some()) {
-                scan_preds.entry(tables[0].to_string()).or_default().push(lp);
+                scan_preds
+                    .entry(tables[0].to_string())
+                    .or_default()
+                    .push(lp);
             } else {
                 residual.push(lp);
             }
@@ -847,7 +913,11 @@ fn plan(
             let a_right = table_columns
                 .get(&j.table)
                 .is_some_and(|cols| cols.iter().any(|c| c == a));
-            let (l, r) = if a_right { (b.clone(), a.clone()) } else { (a.clone(), b.clone()) };
+            let (l, r) = if a_right {
+                (b.clone(), a.clone())
+            } else {
+                (a.clone(), b.clone())
+            };
             lk.push(l);
             rk.push(r);
         }
@@ -867,14 +937,22 @@ fn plan(
     // projection then selects it by name.
     let mut window_names: Vec<(Ast, String)> = Vec::new();
     for (e, alias) in &stmt.items {
-        if let Ast::Window { func, partition_by, order_by } = e {
+        if let Ast::Window {
+            func,
+            partition_by,
+            order_by,
+        } = e
+        {
             let name = alias.clone().unwrap_or_else(|| "window".to_string());
             node = LogicalPlan::Window {
                 input: Box::new(node),
                 partition_by: partition_by.clone(),
                 order_by: order_by
                     .iter()
-                    .map(|(c, d)| LSortKey { col: c.clone(), desc: *d })
+                    .map(|(c, d)| LSortKey {
+                        col: c.clone(),
+                        desc: *d,
+                    })
                     .collect(),
                 func: func.clone(),
                 name: name.clone(),
@@ -913,7 +991,11 @@ fn plan(
                         }
                         _ => to_lexpr(inner)?,
                     };
-                    aggs.push(LAgg { func: *f, input, name: name.clone() });
+                    aggs.push(LAgg {
+                        func: *f,
+                        input,
+                        name: name.clone(),
+                    });
                     output_names.push(name);
                 }
                 other if stmt.group_by.contains(other) => {
@@ -932,7 +1014,11 @@ fn plan(
                 }
             }
         }
-        node = LogicalPlan::Aggregate { input: Box::new(node), group_by: group, aggs };
+        node = LogicalPlan::Aggregate {
+            input: Box::new(node),
+            group_by: group,
+            aggs,
+        };
         if let Some(h) = &stmt.having {
             node = node.filter(having_pred(h, &stmt)?);
         }
@@ -970,7 +1056,10 @@ fn plan(
                         .and_then(|(_, a)| a.clone())
                         .unwrap_or_else(|| ast_name(other)),
                 };
-                Ok(LSortKey { col: name, desc: *desc })
+                Ok(LSortKey {
+                    col: name,
+                    desc: *desc,
+                })
             })
             .collect::<Result<Vec<_>, SqlError>>()?;
         node = node.sort(keys);
@@ -990,11 +1079,9 @@ fn having_pred(h: &Ast, stmt: &SelectStmt) -> Result<LPred, SqlError> {
             return Ast::Col(alias.clone());
         }
         match a {
-            Ast::Cmp(op, l, r) => Ast::Cmp(
-                *op,
-                Box::new(rewrite(l, stmt)),
-                Box::new(rewrite(r, stmt)),
-            ),
+            Ast::Cmp(op, l, r) => {
+                Ast::Cmp(*op, Box::new(rewrite(l, stmt)), Box::new(rewrite(r, stmt)))
+            }
             Ast::And(ps) => Ast::And(ps.iter().map(|p| rewrite(p, stmt)).collect()),
             Ast::Or(ps) => Ast::Or(ps.iter().map(|p| rewrite(p, stmt)).collect()),
             Ast::Not(p) => Ast::Not(Box::new(rewrite(p, stmt))),
@@ -1012,10 +1099,17 @@ mod tests {
         let mut m = HashMap::new();
         m.insert(
             "lineitem".to_string(),
-            ["l_orderkey", "l_quantity", "l_extendedprice", "l_discount", "l_shipdate", "l_shipmode"]
-                .iter()
-                .map(|s| s.to_string())
-                .collect(),
+            [
+                "l_orderkey",
+                "l_quantity",
+                "l_extendedprice",
+                "l_discount",
+                "l_shipdate",
+                "l_shipmode",
+            ]
+            .iter()
+            .map(|s| s.to_string())
+            .collect(),
         );
         m.insert(
             "orders".to_string(),
@@ -1030,7 +1124,9 @@ mod tests {
     #[test]
     fn simple_projection() {
         let p = parse_sql("SELECT l_orderkey, l_quantity FROM lineitem", &schemas()).unwrap();
-        let LogicalPlan::Project { exprs, .. } = p else { panic!("{p:?}") };
+        let LogicalPlan::Project { exprs, .. } = p else {
+            panic!("{p:?}")
+        };
         assert_eq!(exprs.len(), 2);
         assert_eq!(exprs[0].name, "l_orderkey");
     }
@@ -1042,8 +1138,14 @@ mod tests {
             &schemas(),
         )
         .unwrap();
-        let LogicalPlan::Project { input, .. } = p else { panic!() };
-        let LogicalPlan::Scan { pred: Some(LPred::And(ps)), .. } = *input else {
+        let LogicalPlan::Project { input, .. } = p else {
+            panic!()
+        };
+        let LogicalPlan::Scan {
+            pred: Some(LPred::And(ps)),
+            ..
+        } = *input
+        else {
             panic!("pushdown failed: {input:?}")
         };
         assert_eq!(ps.len(), 2);
@@ -1056,8 +1158,17 @@ mod tests {
             &schemas(),
         )
         .unwrap();
-        let LogicalPlan::Project { input, .. } = p else { panic!() };
-        let LogicalPlan::Join { left_keys, right_keys, .. } = *input else { panic!() };
+        let LogicalPlan::Project { input, .. } = p else {
+            panic!()
+        };
+        let LogicalPlan::Join {
+            left_keys,
+            right_keys,
+            ..
+        } = *input
+        else {
+            panic!()
+        };
         assert_eq!(left_keys, vec!["o_orderkey"]);
         assert_eq!(right_keys, vec!["l_orderkey"]);
     }
@@ -1072,16 +1183,19 @@ mod tests {
         )
         .unwrap();
         // Limit(Sort(Filter(Aggregate))).
-        let LogicalPlan::Limit { input, n: 5 } = p else { panic!("{p:?}") };
-        let LogicalPlan::Sort { input, order } = *input else { panic!() };
+        let LogicalPlan::Limit { input, n: 5 } = p else {
+            panic!("{p:?}")
+        };
+        let LogicalPlan::Sort { input, order } = *input else {
+            panic!()
+        };
         assert!(order[0].desc);
         assert_eq!(order[0].col, "total");
-        let LogicalPlan::Filter { pred, .. } = *input else { panic!() };
+        let LogicalPlan::Filter { pred, .. } = *input else {
+            panic!()
+        };
         // HAVING rewrote SUM(...) to the alias.
-        assert_eq!(
-            pred,
-            LPred::cmp("total", CmpOp::Gt, Value::Int(10))
-        );
+        assert_eq!(pred, LPred::cmp("total", CmpOp::Gt, Value::Int(10)));
     }
 
     #[test]
@@ -1093,7 +1207,9 @@ mod tests {
             &schemas(),
         )
         .unwrap();
-        let LogicalPlan::Aggregate { aggs, .. } = p else { panic!() };
+        let LogicalPlan::Aggregate { aggs, .. } = p else {
+            panic!()
+        };
         assert_eq!(aggs.len(), 2);
         assert_eq!(aggs[0].name, "n");
         assert!(matches!(aggs[1].input, LExpr::Case { .. }));
@@ -1106,24 +1222,46 @@ mod tests {
             &schemas(),
         )
         .unwrap();
-        let LogicalPlan::Project { input, .. } = p else { panic!() };
-        let LogicalPlan::Join { join_type, .. } = *input else { panic!() };
+        let LogicalPlan::Project { input, .. } = p else {
+            panic!()
+        };
+        let LogicalPlan::Join { join_type, .. } = *input else {
+            panic!()
+        };
         assert_eq!(join_type, JoinType::LeftSemi);
     }
 
     #[test]
     fn like_patterns() {
         let s = schemas();
-        let p = parse_sql("SELECT l_orderkey FROM lineitem WHERE l_shipmode LIKE 'AIR%'", &s)
-            .unwrap();
-        let LogicalPlan::Project { input, .. } = p else { panic!() };
-        let LogicalPlan::Scan { pred: Some(LPred::LikePrefix { .. }), .. } = *input else {
+        let p = parse_sql(
+            "SELECT l_orderkey FROM lineitem WHERE l_shipmode LIKE 'AIR%'",
+            &s,
+        )
+        .unwrap();
+        let LogicalPlan::Project { input, .. } = p else {
             panic!()
         };
-        let p =
-            parse_sql("SELECT l_orderkey FROM lineitem WHERE l_shipmode LIKE '%IR%'", &s).unwrap();
-        let LogicalPlan::Project { input, .. } = p else { panic!() };
-        let LogicalPlan::Scan { pred: Some(LPred::LikeContains { .. }), .. } = *input else {
+        let LogicalPlan::Scan {
+            pred: Some(LPred::LikePrefix { .. }),
+            ..
+        } = *input
+        else {
+            panic!()
+        };
+        let p = parse_sql(
+            "SELECT l_orderkey FROM lineitem WHERE l_shipmode LIKE '%IR%'",
+            &s,
+        )
+        .unwrap();
+        let LogicalPlan::Project { input, .. } = p else {
+            panic!()
+        };
+        let LogicalPlan::Scan {
+            pred: Some(LPred::LikeContains { .. }),
+            ..
+        } = *input
+        else {
             panic!()
         };
     }
@@ -1135,12 +1273,30 @@ mod tests {
             &schemas(),
         )
         .unwrap();
-        let LogicalPlan::Project { input, .. } = p else { panic!() };
-        let LogicalPlan::Scan { pred: Some(LPred::Between { lo, hi, .. }), .. } = *input else {
+        let LogicalPlan::Project { input, .. } = p else {
             panic!()
         };
-        assert_eq!(lo, Value::Decimal { unscaled: 5, scale: 2 });
-        assert_eq!(hi, Value::Decimal { unscaled: 7, scale: 2 });
+        let LogicalPlan::Scan {
+            pred: Some(LPred::Between { lo, hi, .. }),
+            ..
+        } = *input
+        else {
+            panic!()
+        };
+        assert_eq!(
+            lo,
+            Value::Decimal {
+                unscaled: 5,
+                scale: 2
+            }
+        );
+        assert_eq!(
+            hi,
+            Value::Decimal {
+                unscaled: 7,
+                scale: 2
+            }
+        );
     }
 
     #[test]
@@ -1149,7 +1305,11 @@ mod tests {
         assert!(parse_sql("SELECT x FROM ghost", &schemas()).is_err());
         assert!(parse_sql("SELECT l_orderkey FROM lineitem WHERE", &schemas()).is_err());
         assert!(
-            parse_sql("SELECT l_orderkey, SUM(l_quantity) FROM lineitem", &schemas()).is_err(),
+            parse_sql(
+                "SELECT l_orderkey, SUM(l_quantity) FROM lineitem",
+                &schemas()
+            )
+            .is_err(),
             "non-grouped column with aggregate"
         );
     }
@@ -1157,7 +1317,9 @@ mod tests {
     #[test]
     fn qualified_names_unqualify() {
         let p = parse_sql("SELECT lineitem.l_orderkey FROM lineitem", &schemas()).unwrap();
-        let LogicalPlan::Project { exprs, .. } = p else { panic!() };
+        let LogicalPlan::Project { exprs, .. } = p else {
+            panic!()
+        };
         assert_eq!(exprs[0].expr, LExpr::col("l_orderkey"));
     }
 }
@@ -1170,7 +1332,10 @@ mod window_setop_tests {
         let mut m = HashMap::new();
         m.insert(
             "emp".to_string(),
-            ["id", "dept", "salary"].iter().map(|s| s.to_string()).collect(),
+            ["id", "dept", "salary"]
+                .iter()
+                .map(|s| s.to_string())
+                .collect(),
         );
         m
     }
@@ -1182,9 +1347,18 @@ mod window_setop_tests {
             &schemas(),
         )
         .unwrap();
-        let LogicalPlan::Project { input, exprs } = p else { panic!("{p:?}") };
+        let LogicalPlan::Project { input, exprs } = p else {
+            panic!("{p:?}")
+        };
         assert_eq!(exprs[1].name, "r");
-        let LogicalPlan::Window { partition_by, order_by, func, name, .. } = *input else {
+        let LogicalPlan::Window {
+            partition_by,
+            order_by,
+            func,
+            name,
+            ..
+        } = *input
+        else {
             panic!()
         };
         assert_eq!(partition_by, vec!["dept"]);
@@ -1200,9 +1374,21 @@ mod window_setop_tests {
             &schemas(),
         )
         .unwrap();
-        let LogicalPlan::Project { input, .. } = p else { panic!() };
-        let LogicalPlan::Window { func, partition_by, .. } = *input else { panic!() };
-        assert_eq!(func, LWindowFunc::RunningSum { col: "salary".into() });
+        let LogicalPlan::Project { input, .. } = p else {
+            panic!()
+        };
+        let LogicalPlan::Window {
+            func, partition_by, ..
+        } = *input
+        else {
+            panic!()
+        };
+        assert_eq!(
+            func,
+            LWindowFunc::RunningSum {
+                col: "salary".into()
+            }
+        );
         assert!(partition_by.is_empty());
     }
 
@@ -1218,7 +1404,14 @@ mod window_setop_tests {
                 "SELECT id FROM emp WHERE salary > 100 {kw} SELECT id FROM emp WHERE dept = 1"
             );
             let p = parse_sql(&sql, &schemas()).unwrap();
-            let LogicalPlan::SetOp { op: got, left, right } = p else { panic!("{kw}") };
+            let LogicalPlan::SetOp {
+                op: got,
+                left,
+                right,
+            } = p
+            else {
+                panic!("{kw}")
+            };
             assert_eq!(got, op, "{kw}");
             assert!(matches!(*left, LogicalPlan::Project { .. }));
             assert!(matches!(*right, LogicalPlan::Project { .. }));

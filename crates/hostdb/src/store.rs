@@ -29,7 +29,12 @@ pub struct HostTable {
 impl HostTable {
     /// Empty table.
     pub fn new(schema: Schema) -> Self {
-        HostTable { schema, rows: Vec::new(), journal: Journal::new(), scn: Scn::ZERO }
+        HostTable {
+            schema,
+            rows: Vec::new(),
+            journal: Journal::new(),
+            scn: Scn::ZERO,
+        }
     }
 
     /// Live rows (skipping deleted slots).
@@ -79,9 +84,10 @@ impl RowStore {
 
     /// Create a table (replacing any previous definition).
     pub fn create_table(&self, name: &str, schema: Schema) {
-        self.tables
-            .write()
-            .insert(name.to_string(), Arc::new(RwLock::new(HostTable::new(schema))));
+        self.tables.write().insert(
+            name.to_string(),
+            Arc::new(RwLock::new(HostTable::new(schema))),
+        );
     }
 
     /// Handle to a table.
@@ -110,13 +116,21 @@ impl RowStore {
             guard.apply(c);
         }
         guard.scn = scn;
-        guard.journal.append(UpdateUnit { scn, expiry: None, rows: changes });
+        guard.journal.append(UpdateUnit {
+            scn,
+            expiry: None,
+            rows: changes,
+        });
         Some(scn)
     }
 
     /// Bulk-insert without journaling (initial population before any RAPID
     /// load; the subsequent `LOAD` ships the whole table anyway).
-    pub fn bulk_insert(&self, table: &str, rows: impl IntoIterator<Item = Vec<Value>>) -> Option<Scn> {
+    pub fn bulk_insert(
+        &self,
+        table: &str,
+        rows: impl IntoIterator<Item = Vec<Value>>,
+    ) -> Option<Scn> {
         let t = self.table(table)?;
         let scn = self.clock.tick();
         let mut guard = t.write();
@@ -135,7 +149,10 @@ mod tests {
     use rapid_storage::types::DataType;
 
     fn schema() -> Schema {
-        Schema::new(vec![Field::new("k", DataType::Int), Field::new("v", DataType::Int)])
+        Schema::new(vec![
+            Field::new("k", DataType::Int),
+            Field::new("v", DataType::Int),
+        ])
     }
 
     #[test]
@@ -153,7 +170,10 @@ mod tests {
         let s = RowStore::new();
         s.create_table("t", schema());
         let scn1 = s
-            .commit("t", vec![RowChange::Insert(vec![Value::Int(1), Value::Int(10)])])
+            .commit(
+                "t",
+                vec![RowChange::Insert(vec![Value::Int(1), Value::Int(10)])],
+            )
             .unwrap();
         let scn2 = s.commit("t", vec![RowChange::Delete { rid: 0 }]).unwrap();
         assert!(scn2 > scn1);
@@ -167,10 +187,16 @@ mod tests {
     fn update_rewrites_row() {
         let s = RowStore::new();
         s.create_table("t", schema());
-        s.commit("t", vec![RowChange::Insert(vec![Value::Int(1), Value::Int(10)])]);
         s.commit(
             "t",
-            vec![RowChange::Update { rid: 0, row: vec![Value::Int(1), Value::Int(99)] }],
+            vec![RowChange::Insert(vec![Value::Int(1), Value::Int(10)])],
+        );
+        s.commit(
+            "t",
+            vec![RowChange::Update {
+                rid: 0,
+                row: vec![Value::Int(1), Value::Int(99)],
+            }],
         );
         let t = s.table("t").unwrap();
         let rows: Vec<_> = t.read().scan().cloned().collect();

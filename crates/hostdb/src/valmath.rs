@@ -55,14 +55,12 @@ fn make(unscaled: i64, scale: u8) -> Value {
 
 fn align(a: (i64, u8), b: (i64, u8)) -> Result<(i64, i64, u8), MathError> {
     let scale = a.1.max(b.1);
-    let ua = a
-        .0
-        .checked_mul(pow10(scale - a.1).ok_or(MathError::Overflow)?)
-        .ok_or(MathError::Overflow)?;
-    let ub = b
-        .0
-        .checked_mul(pow10(scale - b.1).ok_or(MathError::Overflow)?)
-        .ok_or(MathError::Overflow)?;
+    let ua =
+        a.0.checked_mul(pow10(scale - a.1).ok_or(MathError::Overflow)?)
+            .ok_or(MathError::Overflow)?;
+    let ub =
+        b.0.checked_mul(pow10(scale - b.1).ok_or(MathError::Overflow)?)
+            .ok_or(MathError::Overflow)?;
     Ok((ua, ub, scale))
 }
 
@@ -104,8 +102,9 @@ pub fn arith(op: ArithOp, a: &Value, b: &Value) -> Result<Value, MathError> {
             }
             let out_scale = 6u8.max(sa.saturating_sub(sb));
             let k = out_scale + sb - sa;
-            let dividend =
-                ua.checked_mul(pow10(k).ok_or(MathError::Overflow)?).ok_or(MathError::Overflow)?;
+            let dividend = ua
+                .checked_mul(pow10(k).ok_or(MathError::Overflow)?)
+                .ok_or(MathError::Overflow)?;
             Ok(make(dividend / ub, out_scale))
         }
     }
@@ -165,25 +164,40 @@ mod tests {
     use super::*;
 
     fn dec(u: i64, s: u8) -> Value {
-        Value::Decimal { unscaled: u, scale: s }
+        Value::Decimal {
+            unscaled: u,
+            scale: s,
+        }
     }
 
     #[test]
     fn add_unifies_scales() {
-        assert_eq!(arith(ArithOp::Add, &dec(150, 2), &Value::Int(1)).unwrap(), dec(250, 2));
-        assert_eq!(arith(ArithOp::Sub, &Value::Int(1), &dec(5, 1)).unwrap(), dec(5, 1));
+        assert_eq!(
+            arith(ArithOp::Add, &dec(150, 2), &Value::Int(1)).unwrap(),
+            dec(250, 2)
+        );
+        assert_eq!(
+            arith(ArithOp::Sub, &Value::Int(1), &dec(5, 1)).unwrap(),
+            dec(5, 1)
+        );
     }
 
     #[test]
     fn mul_adds_scales() {
         // 1.50 * 0.5 = 0.750 at scale 3.
-        assert_eq!(arith(ArithOp::Mul, &dec(150, 2), &dec(5, 1)).unwrap(), dec(750, 3));
+        assert_eq!(
+            arith(ArithOp::Mul, &dec(150, 2), &dec(5, 1)).unwrap(),
+            dec(750, 3)
+        );
     }
 
     #[test]
     fn div_matches_compiler_semantics() {
         // 1.00 / 3 = 0.333333 (six digits, truncated).
-        assert_eq!(arith(ArithOp::Div, &dec(100, 2), &Value::Int(3)).unwrap(), dec(333_333, 6));
+        assert_eq!(
+            arith(ArithOp::Div, &dec(100, 2), &Value::Int(3)).unwrap(),
+            dec(333_333, 6)
+        );
         // Deep scales truncate to 2 first: 0.123456 / 1 -> 0.12 -> 0.120000.
         assert_eq!(
             arith(ArithOp::Div, &dec(123_456, 6), &Value::Int(1)).unwrap(),
@@ -193,12 +207,18 @@ mod tests {
 
     #[test]
     fn division_errors() {
-        assert_eq!(arith(ArithOp::Div, &Value::Int(1), &Value::Int(0)), Err(MathError::DivByZero));
+        assert_eq!(
+            arith(ArithOp::Div, &Value::Int(1), &Value::Int(0)),
+            Err(MathError::DivByZero)
+        );
     }
 
     #[test]
     fn null_propagates_through_arith_but_fails_cmp() {
-        assert_eq!(arith(ArithOp::Add, &Value::Null, &Value::Int(1)).unwrap(), Value::Null);
+        assert_eq!(
+            arith(ArithOp::Add, &Value::Null, &Value::Int(1)).unwrap(),
+            Value::Null
+        );
         assert!(!cmp(CmpOp::Eq, &Value::Null, &Value::Null));
         assert!(!cmp(CmpOp::Ne, &Value::Null, &Value::Int(1)));
     }
@@ -209,19 +229,33 @@ mod tests {
         assert!(cmp(CmpOp::Lt, &dec(99, 2), &Value::Int(1)));
         assert!(cmp(CmpOp::Gt, &dec(101, 2), &Value::Int(1)));
         // Near-overflow mantissas still compare correctly via i128.
-        assert!(cmp(CmpOp::Lt, &Value::Int(i64::MAX - 1), &Value::Int(i64::MAX)));
+        assert!(cmp(
+            CmpOp::Lt,
+            &Value::Int(i64::MAX - 1),
+            &Value::Int(i64::MAX)
+        ));
     }
 
     #[test]
     fn string_comparisons() {
-        assert!(cmp(CmpOp::Lt, &Value::Str("apple".into()), &Value::Str("pear".into())));
+        assert!(cmp(
+            CmpOp::Lt,
+            &Value::Str("apple".into()),
+            &Value::Str("pear".into())
+        ));
     }
 
     #[test]
     fn order_by_null_placement() {
         use std::cmp::Ordering;
-        assert_eq!(order_by_cmp(&Value::Null, &Value::Int(1), false), Ordering::Greater);
-        assert_eq!(order_by_cmp(&Value::Null, &Value::Int(1), true), Ordering::Less);
+        assert_eq!(
+            order_by_cmp(&Value::Null, &Value::Int(1), false),
+            Ordering::Greater
+        );
+        assert_eq!(
+            order_by_cmp(&Value::Null, &Value::Int(1), true),
+            Ordering::Less
+        );
     }
 
     #[test]

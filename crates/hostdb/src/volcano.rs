@@ -59,7 +59,11 @@ pub trait VolcanoOp {
 enum RExpr {
     Col(usize),
     Lit(Value),
-    Bin(rapid_qef::primitives::arith::ArithOp, Box<RExpr>, Box<RExpr>),
+    Bin(
+        rapid_qef::primitives::arith::ArithOp,
+        Box<RExpr>,
+        Box<RExpr>,
+    ),
     Year(Box<RExpr>),
     Case(Box<RPred>, Box<RExpr>, Box<RExpr>),
 }
@@ -113,14 +117,16 @@ fn resolve_pred(p: &LPred, names: &[String]) -> Result<RPred, VolcanoError> {
         LPred::Between { col, lo, hi } => Ok(RPred::Between(idx(col)?, lo.clone(), hi.clone())),
         LPred::InList { col, values } => Ok(RPred::InList(idx(col)?, values.clone())),
         LPred::LikePrefix { col, prefix } => Ok(RPred::LikePrefix(idx(col)?, prefix.clone())),
-        LPred::LikeContains { col, needle } => {
-            Ok(RPred::LikeContains(idx(col)?, needle.clone()))
-        }
+        LPred::LikeContains { col, needle } => Ok(RPred::LikeContains(idx(col)?, needle.clone())),
         LPred::And(ps) => Ok(RPred::And(
-            ps.iter().map(|q| resolve_pred(q, names)).collect::<Result<_, _>>()?,
+            ps.iter()
+                .map(|q| resolve_pred(q, names))
+                .collect::<Result<_, _>>()?,
         )),
         LPred::Or(ps) => Ok(RPred::Or(
-            ps.iter().map(|q| resolve_pred(q, names)).collect::<Result<_, _>>()?,
+            ps.iter()
+                .map(|q| resolve_pred(q, names))
+                .collect::<Result<_, _>>()?,
         )),
         LPred::Not(q) => Ok(RPred::Not(Box::new(resolve_pred(q, names)?))),
     }
@@ -153,9 +159,7 @@ fn eval_expr(e: &RExpr, row: &Row) -> Result<Value, VolcanoError> {
 
 fn eval_pred(p: &RPred, row: &Row) -> Result<bool, VolcanoError> {
     Ok(match p {
-        RPred::Cmp(a, op, b) => {
-            valmath::cmp(*op, &eval_expr(a, row)?, &eval_expr(b, row)?)
-        }
+        RPred::Cmp(a, op, b) => valmath::cmp(*op, &eval_expr(a, row)?, &eval_expr(b, row)?),
         RPred::Between(i, lo, hi) => {
             valmath::cmp(CmpOp::Ge, &row[*i], lo) && valmath::cmp(CmpOp::Le, &row[*i], hi)
         }
@@ -201,7 +205,10 @@ fn norm_key(v: &Value) -> Value {
             if s == 0 {
                 Value::Int(u)
             } else {
-                Value::Decimal { unscaled: u, scale: s }
+                Value::Decimal {
+                    unscaled: u,
+                    scale: s,
+                }
             }
         }
         Value::Date(d) => Value::Int(*d as i64),
@@ -375,22 +382,20 @@ impl VolcanoOp for HashJoinOp {
                         return Ok(Some(lrow));
                     }
                 }
-                JoinType::LeftOuter => {
-                    match matches {
-                        Some(ms) if !ms.is_empty() => {
-                            for m in ms {
-                                let mut out = lrow.clone();
-                                out.extend(m.iter().cloned());
-                                self.pending.push(out);
-                            }
-                        }
-                        _ => {
-                            let mut out = lrow;
-                            out.extend(std::iter::repeat(Value::Null).take(self.right_width));
-                            return Ok(Some(out));
+                JoinType::LeftOuter => match matches {
+                    Some(ms) if !ms.is_empty() => {
+                        for m in ms {
+                            let mut out = lrow.clone();
+                            out.extend(m.iter().cloned());
+                            self.pending.push(out);
                         }
                     }
-                }
+                    _ => {
+                        let mut out = lrow;
+                        out.extend(std::iter::repeat_n(Value::Null, self.right_width));
+                        return Ok(Some(out));
+                    }
+                },
             }
         }
     }
@@ -417,7 +422,10 @@ struct Acc {
 
 impl Acc {
     fn init() -> Acc {
-        Acc { value: Value::Null, count: 0 }
+        Acc {
+            value: Value::Null,
+            count: 0,
+        }
     }
 
     fn update(&mut self, f: AggFunc, v: &Value) -> Result<(), VolcanoError> {
@@ -464,9 +472,10 @@ impl Acc {
                 } else {
                     match &self.value {
                         Value::Int(v) => Value::Int(v / self.count),
-                        Value::Decimal { unscaled, scale } => {
-                            Value::Decimal { unscaled: unscaled / self.count, scale: *scale }
-                        }
+                        Value::Decimal { unscaled, scale } => Value::Decimal {
+                            unscaled: unscaled / self.count,
+                            scale: *scale,
+                        },
                         other => other.clone(),
                     }
                 }
@@ -497,7 +506,10 @@ impl VolcanoOp for AggregateOp {
         self.input.close();
         // Global aggregate over empty input still yields one row.
         if groups.is_empty() && self.key_exprs.is_empty() {
-            groups.insert(String::new(), (Vec::new(), vec![Acc::init(); self.aggs.len()]));
+            groups.insert(
+                String::new(),
+                (Vec::new(), vec![Acc::init(); self.aggs.len()]),
+            );
         }
         self.results = groups
             .into_values()
@@ -667,7 +679,10 @@ impl VolcanoOp for WindowOp {
         self.input.close();
         let mut groups: HashMap<String, Vec<usize>> = HashMap::new();
         for (i, r) in rows.iter().enumerate() {
-            groups.entry(key_image(r, &self.partition_by)).or_default().push(i);
+            groups
+                .entry(key_image(r, &self.partition_by))
+                .or_default()
+                .push(i);
         }
         let mut out_vals = vec![Value::Null; rows.len()];
         for members in groups.values() {
@@ -751,17 +766,24 @@ pub fn build(
     store: &RowStore,
 ) -> Result<(Box<dyn VolcanoOp>, Vec<String>), VolcanoError> {
     match plan {
-        LogicalPlan::Scan { table, pred, projection } => {
+        LogicalPlan::Scan {
+            table,
+            pred,
+            projection,
+        } => {
             let t = store
                 .table(table)
                 .ok_or_else(|| VolcanoError(format!("unknown table '{table}'")))?;
             let guard = t.read();
-            let names: Vec<String> =
-                guard.schema.fields.iter().map(|f| f.name.clone()).collect();
+            let names: Vec<String> = guard.schema.fields.iter().map(|f| f.name.clone()).collect();
             let rows: Vec<Row> = guard.scan().cloned().collect();
             drop(guard);
             let rp = pred.as_ref().map(|p| resolve_pred(p, &names)).transpose()?;
-            let scan: Box<dyn VolcanoOp> = Box::new(ScanOp { rows, pred: rp, pos: 0 });
+            let scan: Box<dyn VolcanoOp> = Box::new(ScanOp {
+                rows,
+                pred: rp,
+                pos: 0,
+            });
             match projection {
                 None => Ok((scan, names)),
                 Some(cols) => {
@@ -769,17 +791,20 @@ pub fn build(
                         .iter()
                         .map(|c| resolve_expr(&LExpr::Col(c.clone()), &names))
                         .collect::<Result<Vec<_>, _>>()?;
-                    Ok((
-                        Box::new(ProjectOp { input: scan, exprs }),
-                        cols.clone(),
-                    ))
+                    Ok((Box::new(ProjectOp { input: scan, exprs }), cols.clone()))
                 }
             }
         }
         LogicalPlan::Filter { input, pred } => {
             let (child, names) = build(input, store)?;
             let rp = resolve_pred(pred, &names)?;
-            Ok((Box::new(FilterOp { input: child, pred: rp }), names))
+            Ok((
+                Box::new(FilterOp {
+                    input: child,
+                    pred: rp,
+                }),
+                names,
+            ))
         }
         LogicalPlan::Project { input, exprs } => {
             let (child, names) = build(input, store)?;
@@ -788,9 +813,21 @@ pub fn build(
                 .map(|e| resolve_expr(&e.expr, &names))
                 .collect::<Result<Vec<_>, _>>()?;
             let out = exprs.iter().map(|e| e.name.clone()).collect();
-            Ok((Box::new(ProjectOp { input: child, exprs: rexprs }), out))
+            Ok((
+                Box::new(ProjectOp {
+                    input: child,
+                    exprs: rexprs,
+                }),
+                out,
+            ))
         }
-        LogicalPlan::Join { left, right, left_keys, right_keys, join_type } => {
+        LogicalPlan::Join {
+            left,
+            right,
+            left_keys,
+            right_keys,
+            join_type,
+        } => {
             let (l, lnames) = build(left, store)?;
             let (r, rnames) = build(right, store)?;
             let lk = left_keys
@@ -834,7 +871,11 @@ pub fn build(
                 names,
             ))
         }
-        LogicalPlan::Aggregate { input, group_by, aggs } => {
+        LogicalPlan::Aggregate {
+            input,
+            group_by,
+            aggs,
+        } => {
             let (child, names) = build(input, store)?;
             let key_exprs = group_by
                 .iter()
@@ -869,21 +910,48 @@ pub fn build(
                         .ok_or_else(|| VolcanoError(format!("unknown sort key '{}'", k.col)))
                 })
                 .collect::<Result<Vec<_>, _>>()?;
-            Ok((Box::new(SortOp { input: child, keys, rows: Vec::new(), pos: 0 }), names))
+            Ok((
+                Box::new(SortOp {
+                    input: child,
+                    keys,
+                    rows: Vec::new(),
+                    pos: 0,
+                }),
+                names,
+            ))
         }
         LogicalPlan::Limit { input, n } => {
             let (child, names) = build(input, store)?;
-            Ok((Box::new(LimitOp { input: child, n: *n, taken: 0 }), names))
+            Ok((
+                Box::new(LimitOp {
+                    input: child,
+                    n: *n,
+                    taken: 0,
+                }),
+                names,
+            ))
         }
         LogicalPlan::SetOp { left, right, op } => {
             let (l, names) = build(left, store)?;
             let (r, _) = build(right, store)?;
             Ok((
-                Box::new(SetOpOp { left: l, right: r, kind: *op, results: Vec::new(), pos: 0 }),
+                Box::new(SetOpOp {
+                    left: l,
+                    right: r,
+                    kind: *op,
+                    results: Vec::new(),
+                    pos: 0,
+                }),
                 names,
             ))
         }
-        LogicalPlan::Window { input, partition_by, order_by, func, name } => {
+        LogicalPlan::Window {
+            input,
+            partition_by,
+            order_by,
+            func,
+            name,
+        } => {
             let (child, mut names) = build(input, store)?;
             let pb = partition_by
                 .iter()
@@ -1064,7 +1132,10 @@ mod tests {
     fn sort_limit() {
         let s = store();
         let plan = LogicalPlan::scan("t")
-            .sort(vec![rapid_qcomp::logical::LSortKey { col: "k".into(), desc: true }])
+            .sort(vec![rapid_qcomp::logical::LSortKey {
+                col: "k".into(),
+                desc: true,
+            }])
             .limit(3);
         let (_, rows) = execute(&plan, &s).unwrap();
         assert_eq!(
@@ -1099,7 +1170,10 @@ mod tests {
                 LPred::cmp("k", CmpOp::Lt, Value::Int(4)),
             )),
             partition_by: vec!["g".into()],
-            order_by: vec![rapid_qcomp::logical::LSortKey { col: "v".into(), desc: true }],
+            order_by: vec![rapid_qcomp::logical::LSortKey {
+                col: "v".into(),
+                desc: true,
+            }],
             func: LWindowFunc::Rank,
             name: "rnk".into(),
         };
@@ -1107,8 +1181,16 @@ mod tests {
         assert_eq!(names.last().unwrap(), "rnk");
         // evens {0,2}: v=4 rank1, v=0 rank2; odds {1,3}: v=6 rank1, v=2 rank2.
         for r in rows {
-            let k = if let Value::Int(k) = r[0] { k } else { panic!() };
-            let rank = if let Value::Int(x) = r[3] { x } else { panic!() };
+            let k = if let Value::Int(k) = r[0] {
+                k
+            } else {
+                panic!()
+            };
+            let rank = if let Value::Int(x) = r[3] {
+                x
+            } else {
+                panic!()
+            };
             assert_eq!(rank, if k >= 2 { 1 } else { 2 }, "row k={k}");
         }
     }

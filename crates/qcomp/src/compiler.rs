@@ -94,13 +94,21 @@ fn lower(
     params: &CostParams,
 ) -> Result<(PlanNode, Vec<OutCol>), CompileError> {
     match lp {
-        LogicalPlan::Scan { table, pred, projection } => {
-            lower_scan(table, pred.as_ref(), projection.as_deref(), catalog)
-        }
+        LogicalPlan::Scan {
+            table,
+            pred,
+            projection,
+        } => lower_scan(table, pred.as_ref(), projection.as_deref(), catalog),
         LogicalPlan::Filter { input, pred } => {
             let (child, cols) = lower(input, catalog, params)?;
             let p = lower_pred(pred, &cols, catalog)?;
-            Ok((PlanNode::Filter { input: Box::new(child), pred: p }, cols))
+            Ok((
+                PlanNode::Filter {
+                    input: Box::new(child),
+                    pred: p,
+                },
+                cols,
+            ))
         }
         LogicalPlan::Project { input, exprs } => {
             let (child, cols) = lower(input, catalog, params)?;
@@ -123,41 +131,81 @@ fn lower(
                     dict: t.dict.clone(),
                 });
             }
-            Ok((PlanNode::Map { input: Box::new(child), exprs: out_exprs }, out_cols))
+            Ok((
+                PlanNode::Map {
+                    input: Box::new(child),
+                    exprs: out_exprs,
+                },
+                out_cols,
+            ))
         }
-        LogicalPlan::Join { left, right, left_keys, right_keys, join_type } => {
-            lower_join(left, right, left_keys, right_keys, *join_type, catalog, params)
-        }
-        LogicalPlan::Aggregate { input, group_by, aggs } => {
-            lower_aggregate(input, group_by, aggs, catalog, params)
-        }
+        LogicalPlan::Join {
+            left,
+            right,
+            left_keys,
+            right_keys,
+            join_type,
+        } => lower_join(
+            left, right, left_keys, right_keys, *join_type, catalog, params,
+        ),
+        LogicalPlan::Aggregate {
+            input,
+            group_by,
+            aggs,
+        } => lower_aggregate(input, group_by, aggs, catalog, params),
         LogicalPlan::Sort { input, order } => {
             let (child, cols) = lower(input, catalog, params)?;
             let keys = order
                 .iter()
                 .map(|k| {
-                    Ok(SortKey { col: position(&cols, &k.col)?, desc: k.desc })
+                    Ok(SortKey {
+                        col: position(&cols, &k.col)?,
+                        desc: k.desc,
+                    })
                 })
                 .collect::<Result<Vec<_>, CompileError>>()?;
-            Ok((PlanNode::Sort { input: Box::new(child), order: keys }, cols))
+            Ok((
+                PlanNode::Sort {
+                    input: Box::new(child),
+                    order: keys,
+                },
+                cols,
+            ))
         }
         LogicalPlan::Limit { input, n } => {
             // Sort + Limit fuses into the vectorized Top-K (§5.4).
-            if let LogicalPlan::Sort { input: sort_in, order } = input.as_ref() {
+            if let LogicalPlan::Sort {
+                input: sort_in,
+                order,
+            } = input.as_ref()
+            {
                 let (child, cols) = lower(sort_in, catalog, params)?;
                 let keys = order
                     .iter()
                     .map(|k| {
-                        Ok(SortKey { col: position(&cols, &k.col)?, desc: k.desc })
+                        Ok(SortKey {
+                            col: position(&cols, &k.col)?,
+                            desc: k.desc,
+                        })
                     })
                     .collect::<Result<Vec<_>, CompileError>>()?;
                 return Ok((
-                    PlanNode::TopK { input: Box::new(child), order: keys, k: *n },
+                    PlanNode::TopK {
+                        input: Box::new(child),
+                        order: keys,
+                        k: *n,
+                    },
                     cols,
                 ));
             }
             let (child, cols) = lower(input, catalog, params)?;
-            Ok((PlanNode::Limit { input: Box::new(child), n: *n }, cols))
+            Ok((
+                PlanNode::Limit {
+                    input: Box::new(child),
+                    n: *n,
+                },
+                cols,
+            ))
         }
         LogicalPlan::SetOp { left, right, op } => {
             let (l, lc) = lower(left, catalog, params)?;
@@ -167,9 +215,22 @@ fn lower(
                     "set operation inputs must have equal arity".into(),
                 ));
             }
-            Ok((PlanNode::SetOp { left: Box::new(l), right: Box::new(r), op: *op }, lc))
+            Ok((
+                PlanNode::SetOp {
+                    left: Box::new(l),
+                    right: Box::new(r),
+                    op: *op,
+                },
+                lc,
+            ))
         }
-        LogicalPlan::Window { input, partition_by, order_by, func, name } => {
+        LogicalPlan::Window {
+            input,
+            partition_by,
+            order_by,
+            func,
+            name,
+        } => {
             let (child, mut cols) = lower(input, catalog, params)?;
             let pb = partition_by
                 .iter()
@@ -177,7 +238,12 @@ fn lower(
                 .collect::<Result<Vec<_>, _>>()?;
             let ob = order_by
                 .iter()
-                .map(|k| Ok(SortKey { col: position(&cols, &k.col)?, desc: k.desc }))
+                .map(|k| {
+                    Ok(SortKey {
+                        col: position(&cols, &k.col)?,
+                        desc: k.desc,
+                    })
+                })
                 .collect::<Result<Vec<_>, CompileError>>()?;
             let (wf, dtype, scale) = match func {
                 LWindowFunc::Rank => (rapid_qef::plan::WindowFunc::Rank, DataType::Int, 0),
@@ -194,7 +260,13 @@ fn lower(
                     )
                 }
             };
-            cols.push(OutCol { name: name.clone(), dtype, scale, dict: None, ndv: None });
+            cols.push(OutCol {
+                name: name.clone(),
+                dtype,
+                scale,
+                dict: None,
+                ndv: None,
+            });
             Ok((
                 PlanNode::Window {
                     input: Box::new(child),
@@ -214,7 +286,9 @@ fn lower_scan(
     projection: Option<&[String]>,
     catalog: &Catalog,
 ) -> Result<(PlanNode, Vec<OutCol>), CompileError> {
-    let t = catalog.get(table).ok_or_else(|| CompileError::UnknownTable(table.into()))?;
+    let t = catalog
+        .get(table)
+        .ok_or_else(|| CompileError::UnknownTable(table.into()))?;
     // Scan-level scope: the full table schema (pred uses table indices).
     let table_cols: Vec<OutCol> = t
         .schema
@@ -229,7 +303,9 @@ fn lower_scan(
             ndv: t.stats.columns.get(i).map(|s| s.ndv),
         })
         .collect();
-    let p = pred.map(|pr| lower_pred(pr, &table_cols, catalog)).transpose()?;
+    let p = pred
+        .map(|pr| lower_pred(pr, &table_cols, catalog))
+        .transpose()?;
 
     let (columns, out_cols): (Vec<usize>, Vec<OutCol>) = match projection {
         Some(names) => {
@@ -247,7 +323,14 @@ fn lower_scan(
         }
         None => ((0..t.schema.len()).collect(), table_cols.clone()),
     };
-    Ok((PlanNode::Scan { table: table.to_string(), columns, pred: p }, out_cols))
+    Ok((
+        PlanNode::Scan {
+            table: table.to_string(),
+            columns,
+            pred: p,
+        },
+        out_cols,
+    ))
 }
 
 /// Resolve a name in an output-column scope.
@@ -346,14 +429,20 @@ fn rescale_expr(t: Typed, target: u8) -> Result<Typed, CompileError> {
         return Ok(t);
     }
     if t.scale > target {
-        return Err(CompileError::Unsupported("downscaling in expression".into()));
+        return Err(CompileError::Unsupported(
+            "downscaling in expression".into(),
+        ));
     }
     let factor = pow10(target - t.scale)
         .ok_or_else(|| CompileError::BadLiteral("rescale overflow".into()))?;
     Ok(Typed {
         expr: Expr::mul(t.expr, Expr::Lit(factor)),
         scale: target,
-        dtype: if t.scale == 0 && target > 0 { DataType::Decimal { scale: target } } else { t.dtype },
+        dtype: if t.scale == 0 && target > 0 {
+            DataType::Decimal { scale: target }
+        } else {
+            t.dtype
+        },
         dict: None,
         ndv: t.ndv,
     })
@@ -401,7 +490,11 @@ fn lower_arith(op: ArithOp, a: Typed, b: Typed) -> Result<Typed, CompileError> {
             Ok(Typed {
                 dtype: widen_type(a.dtype, b.dtype),
                 scale: a.scale,
-                expr: Expr::Arith { op, a: Box::new(a.expr), b: Box::new(b.expr) },
+                expr: Expr::Arith {
+                    op,
+                    a: Box::new(a.expr),
+                    b: Box::new(b.expr),
+                },
                 dict: None,
                 ndv: None,
             })
@@ -409,9 +502,17 @@ fn lower_arith(op: ArithOp, a: Typed, b: Typed) -> Result<Typed, CompileError> {
         ArithOp::Mul => {
             let scale = a.scale + b.scale;
             Ok(Typed {
-                dtype: if scale > 0 { DataType::Decimal { scale } } else { widen_type(a.dtype, b.dtype) },
+                dtype: if scale > 0 {
+                    DataType::Decimal { scale }
+                } else {
+                    widen_type(a.dtype, b.dtype)
+                },
                 scale,
-                expr: Expr::Arith { op, a: Box::new(a.expr), b: Box::new(b.expr) },
+                expr: Expr::Arith {
+                    op,
+                    a: Box::new(a.expr),
+                    b: Box::new(b.expr),
+                },
                 dict: None,
                 ndv: None,
             })
@@ -458,10 +559,14 @@ fn lower_arith(op: ArithOp, a: Typed, b: Typed) -> Result<Typed, CompileError> {
 fn lower_pred(p: &LPred, cols: &[OutCol], catalog: &Catalog) -> Result<Pred, CompileError> {
     match p {
         LPred::And(ps) => Ok(Pred::And(
-            ps.iter().map(|q| lower_pred(q, cols, catalog)).collect::<Result<_, _>>()?,
+            ps.iter()
+                .map(|q| lower_pred(q, cols, catalog))
+                .collect::<Result<_, _>>()?,
         )),
         LPred::Or(ps) => Ok(Pred::Or(
-            ps.iter().map(|q| lower_pred(q, cols, catalog)).collect::<Result<_, _>>()?,
+            ps.iter()
+                .map(|q| lower_pred(q, cols, catalog))
+                .collect::<Result<_, _>>()?,
         )),
         LPred::Not(q) => Ok(Pred::Not(Box::new(lower_pred(q, cols, catalog)?))),
         LPred::Cmp { left, op, right } => lower_cmp(left, *op, right, cols, catalog),
@@ -497,23 +602,32 @@ fn lower_pred(p: &LPred, cols: &[OutCol], catalog: &Catalog) -> Result<Pred, Com
             } else {
                 let mut enc = Vec::with_capacity(values.len());
                 for v in values {
-                    match exact_encode(c, v, catalog)? {
-                        Some(x) => enc.push(x),
-                        None => {} // unrepresentable value can never match
+                    // An unrepresentable value can never match.
+                    if let Some(x) = exact_encode(c, v, catalog)? {
+                        enc.push(x);
                     }
                 }
                 enc.sort_unstable();
                 enc.dedup();
-                Ok(Pred::InList { col: i, values: enc })
+                Ok(Pred::InList {
+                    col: i,
+                    values: enc,
+                })
             }
         }
         LPred::LikePrefix { col, prefix } => {
             let (i, dict) = resolve_dict(col, cols, catalog)?;
-            Ok(Pred::InCodes { col: i, codes: dict.prefix_codes(prefix) })
+            Ok(Pred::InCodes {
+                col: i,
+                codes: dict.prefix_codes(prefix),
+            })
         }
         LPred::LikeContains { col, needle } => {
             let (i, dict) = resolve_dict(col, cols, catalog)?;
-            Ok(Pred::InCodes { col: i, codes: dict.contains_codes(needle) })
+            Ok(Pred::InCodes {
+                col: i,
+                codes: dict.contains_codes(needle),
+            })
         }
     }
 }
@@ -525,10 +639,13 @@ fn resolve_dict<'a>(
     catalog: &'a Catalog,
 ) -> Result<(usize, &'a rapid_storage::encoding::dict::Dictionary), CompileError> {
     let i = position(cols, col)?;
-    let (tname, tcol) = cols[i].dict.as_ref().ok_or_else(|| {
-        CompileError::Unsupported(format!("LIKE on non-string column {col}"))
-    })?;
-    let t = catalog.get(tname).ok_or_else(|| CompileError::UnknownTable(tname.clone()))?;
+    let (tname, tcol) = cols[i]
+        .dict
+        .as_ref()
+        .ok_or_else(|| CompileError::Unsupported(format!("LIKE on non-string column {col}")))?;
+    let t = catalog
+        .get(tname)
+        .ok_or_else(|| CompileError::UnknownTable(tname.clone()))?;
     Ok((i, t.dicts[*tcol].as_ref().expect("varchar has dict")))
 }
 
@@ -557,24 +674,48 @@ fn lower_cmp(
             }
             match op {
                 CmpOp::Eq => match exact_encode(c, v, catalog)? {
-                    Some(x) => Ok(Pred::CmpConst { col: i, op, value: x }),
+                    Some(x) => Ok(Pred::CmpConst {
+                        col: i,
+                        op,
+                        value: x,
+                    }),
                     None => Ok(Pred::Const(false)),
                 },
                 CmpOp::Ne => match exact_encode(c, v, catalog)? {
-                    Some(x) => Ok(Pred::CmpConst { col: i, op, value: x }),
+                    Some(x) => Ok(Pred::CmpConst {
+                        col: i,
+                        op,
+                        value: x,
+                    }),
                     None => Ok(Pred::Const(true)),
                 },
                 CmpOp::Lt | CmpOp::Le => {
                     let x = encode_boundary(c, v, catalog, RoundDir::Down)?;
                     // v not exactly representable: x = floor ⇒ `col ≤ x`
                     // captures both `<` and `≤` against the true value.
-                    let op = if exact_encode(c, v, catalog)?.is_some() { op } else { CmpOp::Le };
-                    Ok(Pred::CmpConst { col: i, op, value: x })
+                    let op = if exact_encode(c, v, catalog)?.is_some() {
+                        op
+                    } else {
+                        CmpOp::Le
+                    };
+                    Ok(Pred::CmpConst {
+                        col: i,
+                        op,
+                        value: x,
+                    })
                 }
                 CmpOp::Gt | CmpOp::Ge => {
                     let x = encode_boundary(c, v, catalog, RoundDir::Up)?;
-                    let op = if exact_encode(c, v, catalog)?.is_some() { op } else { CmpOp::Ge };
-                    Ok(Pred::CmpConst { col: i, op, value: x })
+                    let op = if exact_encode(c, v, catalog)?.is_some() {
+                        op
+                    } else {
+                        CmpOp::Ge
+                    };
+                    Ok(Pred::CmpConst {
+                        col: i,
+                        op,
+                        value: x,
+                    })
                 }
             }
         }
@@ -592,13 +733,21 @@ fn lower_cmp(
                     right: Box::new(tb.expr),
                 });
             }
-            Ok(Pred::CmpCols { left: ia, op, right: ib })
+            Ok(Pred::CmpCols {
+                left: ia,
+                op,
+                right: ib,
+            })
         }
         _ => {
             let ta = lower_expr(left, cols, catalog)?;
             let tb = lower_expr(right, cols, catalog)?;
             let (ta, tb) = unify_scales(ta, tb)?;
-            Ok(Pred::CmpExpr { left: Box::new(ta.expr), op, right: Box::new(tb.expr) })
+            Ok(Pred::CmpExpr {
+                left: Box::new(ta.expr),
+                op,
+                right: Box::new(tb.expr),
+            })
         }
     }
 }
@@ -614,11 +763,19 @@ fn compile_string_cmp(
 ) -> Pred {
     match op {
         CmpOp::Eq => match dict.code_of(s) {
-            Some(c) => Pred::CmpConst { col, op: CmpOp::Eq, value: c as i64 },
+            Some(c) => Pred::CmpConst {
+                col,
+                op: CmpOp::Eq,
+                value: c as i64,
+            },
             None => Pred::Const(false),
         },
         CmpOp::Ne => match dict.code_of(s) {
-            Some(c) => Pred::CmpConst { col, op: CmpOp::Ne, value: c as i64 },
+            Some(c) => Pred::CmpConst {
+                col,
+                op: CmpOp::Ne,
+                value: c as i64,
+            },
             None => Pred::Const(true),
         },
         _ => {
@@ -630,11 +787,18 @@ fn compile_string_cmp(
                 _ => unreachable!(),
             };
             if let Some((a, b)) = dict.code_range(lo, hi) {
-                Pred::Between { col, lo: a as i64, hi: b as i64 }
+                Pred::Between {
+                    col,
+                    lo: a as i64,
+                    hi: b as i64,
+                }
             } else if dict.codes_ordered() {
                 Pred::Const(false) // ordered dict, empty range
             } else {
-                Pred::InCodes { col, codes: dict.range_codes(lo, hi) }
+                Pred::InCodes {
+                    col,
+                    codes: dict.range_codes(lo, hi),
+                }
             }
         }
     }
@@ -649,8 +813,9 @@ enum RoundDir {
 /// if it is not representable (absent dictionary value, deeper decimal).
 fn exact_encode(c: &OutCol, v: &Value, catalog: &Catalog) -> Result<Option<i64>, CompileError> {
     if let Some((tname, tcol)) = &c.dict {
-        let t =
-            catalog.get(tname).ok_or_else(|| CompileError::UnknownTable(tname.clone()))?;
+        let t = catalog
+            .get(tname)
+            .ok_or_else(|| CompileError::UnknownTable(tname.clone()))?;
         return Ok(t.encode_value(*tcol, v));
     }
     match c.dtype {
@@ -728,7 +893,11 @@ fn lower_join(
     };
 
     let build_rows = {
-        let c = estimate(if build_is_right { &rplan } else { &lplan }, catalog, params);
+        let c = estimate(
+            if build_is_right { &rplan } else { &lplan },
+            catalog,
+            params,
+        );
         c.rows as u64
     };
     let scheme = optimize_partition_scheme(
@@ -784,7 +953,13 @@ fn lower_join(
             });
             reordered.push(c.clone());
         }
-        Ok((PlanNode::Map { input: Box::new(node), exprs }, reordered))
+        Ok((
+            PlanNode::Map {
+                input: Box::new(node),
+                exprs,
+            },
+            reordered,
+        ))
     }
 }
 
@@ -846,19 +1021,24 @@ fn lower_aggregate(
             scale: t.scale,
             dict: t.dict.clone(),
         });
-        specs.push(AggSpec { func: a.func, col: k + j });
+        specs.push(AggSpec {
+            func: a.func,
+            col: k + j,
+        });
     }
 
     // Strategy selection from NDV statistics (§5.4's two group-by cases).
-    let limit =
-        rapid_qef::ops::groupby::on_the_fly_group_limit(32 * 1024, k, specs.len());
+    let limit = rapid_qef::ops::groupby::on_the_fly_group_limit(32 * 1024, k, specs.len());
     let strategy = match known_ndv {
         Some(ndv) if (ndv as usize) <= limit => GroupStrategy::OnTheFly,
         Some(_) => GroupStrategy::Partitioned,
         None => GroupStrategy::Auto,
     };
 
-    let mapped = PlanNode::Map { input: Box::new(child), exprs };
+    let mapped = PlanNode::Map {
+        input: Box::new(child),
+        exprs,
+    };
     Ok((
         PlanNode::GroupBy {
             input: Box::new(mapped),
@@ -889,7 +1069,10 @@ mod tests {
         for i in 0..100i64 {
             b.push_row(vec![
                 Value::Int(i),
-                Value::Decimal { unscaled: i * 100 + 1, scale: 2 },
+                Value::Decimal {
+                    unscaled: i * 100 + 1,
+                    scale: 2,
+                },
                 Value::Str(["A", "N", "R"][(i % 3) as usize].into()),
                 Value::Date(i as i32),
             ]);
@@ -907,20 +1090,43 @@ mod tests {
     fn scan_with_decimal_literal_encoding() {
         let lp = LogicalPlan::scan_where(
             "t",
-            LPred::cmp("price", CmpOp::Lt, Value::Decimal { unscaled: 5, scale: 1 }),
+            LPred::cmp(
+                "price",
+                CmpOp::Lt,
+                Value::Decimal {
+                    unscaled: 5,
+                    scale: 1,
+                },
+            ),
         );
         let c = compile(&lp, &catalog(), &params()).unwrap();
-        let PlanNode::Scan { pred: Some(p), .. } = &c.plan else { panic!("{:?}", c.plan) };
+        let PlanNode::Scan { pred: Some(p), .. } = &c.plan else {
+            panic!("{:?}", c.plan)
+        };
         // 0.5 at column scale 2 -> mantissa 50.
-        assert_eq!(p, &Pred::CmpConst { col: 1, op: CmpOp::Lt, value: 50 });
+        assert_eq!(
+            p,
+            &Pred::CmpConst {
+                col: 1,
+                op: CmpOp::Lt,
+                value: 50
+            }
+        );
     }
 
     #[test]
     fn string_eq_compiles_to_code_compare() {
         let lp = LogicalPlan::scan_where("t", LPred::eq("flag", Value::Str("R".into())));
         let c = compile(&lp, &catalog(), &params()).unwrap();
-        let PlanNode::Scan { pred: Some(Pred::CmpConst { col: 2, op: CmpOp::Eq, value }), .. } =
-            c.plan
+        let PlanNode::Scan {
+            pred:
+                Some(Pred::CmpConst {
+                    col: 2,
+                    op: CmpOp::Eq,
+                    value,
+                }),
+            ..
+        } = c.plan
         else {
             panic!()
         };
@@ -929,12 +1135,14 @@ mod tests {
 
     #[test]
     fn string_range_compiles_to_code_range() {
-        let lp = LogicalPlan::scan_where(
-            "t",
-            LPred::cmp("flag", CmpOp::Ge, Value::Str("N".into())),
-        );
+        let lp =
+            LogicalPlan::scan_where("t", LPred::cmp("flag", CmpOp::Ge, Value::Str("N".into())));
         let c = compile(&lp, &catalog(), &params()).unwrap();
-        let PlanNode::Scan { pred: Some(Pred::Between { col: 2, lo, hi }), .. } = c.plan else {
+        let PlanNode::Scan {
+            pred: Some(Pred::Between { col: 2, lo, hi }),
+            ..
+        } = c.plan
+        else {
             panic!()
         };
         assert_eq!((lo, hi), (1, 2));
@@ -944,7 +1152,13 @@ mod tests {
     fn missing_string_eq_is_constant_false() {
         let lp = LogicalPlan::scan_where("t", LPred::eq("flag", Value::Str("ZZZ".into())));
         let c = compile(&lp, &catalog(), &params()).unwrap();
-        let PlanNode::Scan { pred: Some(Pred::Const(false)), .. } = c.plan else { panic!() };
+        let PlanNode::Scan {
+            pred: Some(Pred::Const(false)),
+            ..
+        } = c.plan
+        else {
+            panic!()
+        };
     }
 
     #[test]
@@ -953,10 +1167,21 @@ mod tests {
         // op becomes <=: mantissa <= 0 ⟺ price < 0.005 for scale-2 values.
         let lp = LogicalPlan::scan_where(
             "t",
-            LPred::cmp("price", CmpOp::Lt, Value::Decimal { unscaled: 5, scale: 3 }),
+            LPred::cmp(
+                "price",
+                CmpOp::Lt,
+                Value::Decimal {
+                    unscaled: 5,
+                    scale: 3,
+                },
+            ),
         );
         let c = compile(&lp, &catalog(), &params()).unwrap();
-        let PlanNode::Scan { pred: Some(Pred::CmpConst { op, value, .. }), .. } = c.plan else {
+        let PlanNode::Scan {
+            pred: Some(Pred::CmpConst { op, value, .. }),
+            ..
+        } = c.plan
+        else {
             panic!()
         };
         assert_eq!(op, CmpOp::Le);
@@ -1001,17 +1226,26 @@ mod tests {
         // flag has NDV 3 -> on-the-fly.
         let lp = LogicalPlan::scan("t").aggregate(
             vec![LNamed::new("f", LExpr::col("flag"))],
-            vec![LAgg { func: AggFunc::Count, input: LExpr::col("k"), name: "n".into() }],
+            vec![LAgg {
+                func: AggFunc::Count,
+                input: LExpr::col("k"),
+                name: "n".into(),
+            }],
         );
         let c = compile(&lp, &catalog(), &params()).unwrap();
-        let PlanNode::GroupBy { strategy, .. } = &c.plan else { panic!() };
+        let PlanNode::GroupBy { strategy, .. } = &c.plan else {
+            panic!()
+        };
         assert_eq!(*strategy, GroupStrategy::OnTheFly);
     }
 
     #[test]
     fn sort_limit_fuses_to_topk() {
         let lp = LogicalPlan::scan("t")
-            .sort(vec![LSortKey { col: "price".into(), desc: true }])
+            .sort(vec![LSortKey {
+                col: "price".into(),
+                desc: true,
+            }])
             .limit(5);
         let c = compile(&lp, &catalog(), &params()).unwrap();
         assert!(matches!(c.plan, PlanNode::TopK { k: 5, .. }));
@@ -1050,10 +1284,17 @@ mod tests {
     fn like_prefix_compiles_to_code_bitmap() {
         let lp = LogicalPlan::scan_where(
             "t",
-            LPred::LikePrefix { col: "flag".into(), prefix: "R".into() },
+            LPred::LikePrefix {
+                col: "flag".into(),
+                prefix: "R".into(),
+            },
         );
         let c = compile(&lp, &catalog(), &params()).unwrap();
-        let PlanNode::Scan { pred: Some(Pred::InCodes { col: 2, codes }), .. } = c.plan else {
+        let PlanNode::Scan {
+            pred: Some(Pred::InCodes { col: 2, codes }),
+            ..
+        } = c.plan
+        else {
             panic!()
         };
         assert_eq!(codes.count_ones(), 1);

@@ -69,7 +69,11 @@ impl PlanCost {
 pub fn estimate(plan: &PlanNode, catalog: &Catalog, p: &CostParams) -> PlanCost {
     let cm = &p.cm;
     match plan {
-        PlanNode::Scan { table, columns, pred } => {
+        PlanNode::Scan {
+            table,
+            columns,
+            pred,
+        } => {
             let Some(t) = catalog.get(table) else {
                 return PlanCost::default();
             };
@@ -113,7 +117,12 @@ pub fn estimate(plan: &PlanNode, catalog: &Catalog, p: &CostParams) -> PlanCost 
                 exec_secs: c.exec_secs + cycles / cm.freq_hz,
             }
         }
-        PlanNode::HashJoin { build, probe, join_type, .. } => {
+        PlanNode::HashJoin {
+            build,
+            probe,
+            join_type,
+            ..
+        } => {
             let b = estimate(build, catalog, p);
             let pr = estimate(probe, catalog, p);
             // Partition both sides (read+write through the DMS), build,
@@ -141,7 +150,12 @@ pub fn estimate(plan: &PlanNode, catalog: &Catalog, p: &CostParams) -> PlanCost 
                 exec_secs: b.exec_secs + pr.exec_secs + cycles / cm.freq_hz,
             }
         }
-        PlanNode::GroupBy { input, keys, aggs, strategy } => {
+        PlanNode::GroupBy {
+            input,
+            keys,
+            aggs,
+            strategy,
+        } => {
             let c = estimate(input, catalog, p);
             let per_row = cm.kernel_cycles(&costs::group_lookup_per_row())
                 + aggs.len() as f64 * cm.kernel_cycles(&costs::grouped_agg_per_row());
@@ -168,20 +182,25 @@ pub fn estimate(plan: &PlanNode, catalog: &Catalog, p: &CostParams) -> PlanCost 
         }
         PlanNode::Sort { input, .. } => {
             let c = estimate(input, catalog, p);
-            let cycles =
-                c.rows * 4.0 * cm.kernel_cycles(&costs::radix_sort_per_row_per_pass())
-                    / p.cores as f64;
-            PlanCost { rows: c.rows, row_bytes: c.row_bytes, exec_secs: c.exec_secs + cycles / cm.freq_hz }
+            let cycles = c.rows * 4.0 * cm.kernel_cycles(&costs::radix_sort_per_row_per_pass())
+                / p.cores as f64;
+            PlanCost {
+                rows: c.rows,
+                row_bytes: c.row_bytes,
+                exec_secs: c.exec_secs + cycles / cm.freq_hz,
+            }
         }
         PlanNode::Limit { input, n } => {
             let c = estimate(input, catalog, p);
-            PlanCost { rows: (*n as f64).min(c.rows), ..c }
+            PlanCost {
+                rows: (*n as f64).min(c.rows),
+                ..c
+            }
         }
         PlanNode::SetOp { left, right, .. } => {
             let l = estimate(left, catalog, p);
             let r = estimate(right, catalog, p);
-            let cycles =
-                (l.rows + r.rows) * cm.kernel_cycles(&costs::group_lookup_per_row());
+            let cycles = (l.rows + r.rows) * cm.kernel_cycles(&costs::group_lookup_per_row());
             PlanCost {
                 rows: l.rows + r.rows,
                 row_bytes: l.row_bytes,
@@ -218,8 +237,10 @@ mod tests {
     use std::sync::Arc;
 
     fn catalog(rows: i64) -> Catalog {
-        let schema =
-            Schema::new(vec![Field::new("k", DataType::Int), Field::new("v", DataType::Int)]);
+        let schema = Schema::new(vec![
+            Field::new("k", DataType::Int),
+            Field::new("v", DataType::Int),
+        ]);
         let mut b = TableBuilder::new("t", schema);
         for i in 0..rows {
             b.push_row(vec![Value::Int(i), Value::Int(i % 10)]);
@@ -230,7 +251,11 @@ mod tests {
     }
 
     fn scan() -> PlanNode {
-        PlanNode::Scan { table: "t".into(), columns: vec![0, 1], pred: None }
+        PlanNode::Scan {
+            table: "t".into(),
+            columns: vec![0, 1],
+            pred: None,
+        }
     }
 
     #[test]

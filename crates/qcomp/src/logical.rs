@@ -61,7 +61,11 @@ impl LExpr {
 
     /// `a op b` shorthand.
     pub fn bin(op: ArithOp, a: LExpr, b: LExpr) -> LExpr {
-        LExpr::Bin { op, a: Box::new(a), b: Box::new(b) }
+        LExpr::Bin {
+            op,
+            a: Box::new(a),
+            b: Box::new(b),
+        }
     }
 }
 
@@ -118,7 +122,11 @@ pub enum LPred {
 impl LPred {
     /// `col op literal` shorthand.
     pub fn cmp(col: &str, op: CmpOp, v: Value) -> LPred {
-        LPred::Cmp { left: LExpr::col(col), op, right: LExpr::Lit(v) }
+        LPred::Cmp {
+            left: LExpr::col(col),
+            op,
+            right: LExpr::Lit(v),
+        }
     }
 
     /// `col = literal` shorthand.
@@ -144,7 +152,10 @@ pub struct LNamed {
 impl LNamed {
     /// Shorthand.
     pub fn new(name: &str, expr: LExpr) -> LNamed {
-        LNamed { expr, name: name.to_string() }
+        LNamed {
+            expr,
+            name: name.to_string(),
+        }
     }
 }
 
@@ -271,22 +282,36 @@ pub enum LWindowFunc {
 impl LogicalPlan {
     /// Scan shorthand.
     pub fn scan(table: &str) -> LogicalPlan {
-        LogicalPlan::Scan { table: table.to_string(), pred: None, projection: None }
+        LogicalPlan::Scan {
+            table: table.to_string(),
+            pred: None,
+            projection: None,
+        }
     }
 
     /// Scan with predicate.
     pub fn scan_where(table: &str, pred: LPred) -> LogicalPlan {
-        LogicalPlan::Scan { table: table.to_string(), pred: Some(pred), projection: None }
+        LogicalPlan::Scan {
+            table: table.to_string(),
+            pred: Some(pred),
+            projection: None,
+        }
     }
 
     /// Filter shorthand.
     pub fn filter(self, pred: LPred) -> LogicalPlan {
-        LogicalPlan::Filter { input: Box::new(self), pred }
+        LogicalPlan::Filter {
+            input: Box::new(self),
+            pred,
+        }
     }
 
     /// Project shorthand.
     pub fn project(self, exprs: Vec<LNamed>) -> LogicalPlan {
-        LogicalPlan::Project { input: Box::new(self), exprs }
+        LogicalPlan::Project {
+            input: Box::new(self),
+            exprs,
+        }
     }
 
     /// Inner-join shorthand.
@@ -302,17 +327,27 @@ impl LogicalPlan {
 
     /// Aggregate shorthand.
     pub fn aggregate(self, group_by: Vec<LNamed>, aggs: Vec<LAgg>) -> LogicalPlan {
-        LogicalPlan::Aggregate { input: Box::new(self), group_by, aggs }
+        LogicalPlan::Aggregate {
+            input: Box::new(self),
+            group_by,
+            aggs,
+        }
     }
 
     /// Sort shorthand.
     pub fn sort(self, order: Vec<LSortKey>) -> LogicalPlan {
-        LogicalPlan::Sort { input: Box::new(self), order }
+        LogicalPlan::Sort {
+            input: Box::new(self),
+            order,
+        }
     }
 
     /// Limit shorthand.
     pub fn limit(self, n: usize) -> LogicalPlan {
-        LogicalPlan::Limit { input: Box::new(self), n }
+        LogicalPlan::Limit {
+            input: Box::new(self),
+            n,
+        }
     }
 }
 
@@ -332,10 +367,15 @@ mod tests {
                     name: "revenue".into(),
                 }],
             )
-            .sort(vec![LSortKey { col: "revenue".into(), desc: true }])
+            .sort(vec![LSortKey {
+                col: "revenue".into(),
+                desc: true,
+            }])
             .limit(10);
         // Shape: Limit(Sort(Aggregate(Filter(Scan)))).
-        let LogicalPlan::Limit { input, n } = plan else { panic!() };
+        let LogicalPlan::Limit { input, n } = plan else {
+            panic!()
+        };
         assert_eq!(n, 10);
         assert!(matches!(*input, LogicalPlan::Sort { .. }));
     }
@@ -344,7 +384,10 @@ mod tests {
     fn serde_roundtrip() {
         let plan = LogicalPlan::scan("t").filter(LPred::And(vec![
             LPred::eq("a", Value::Int(1)),
-            LPred::LikePrefix { col: "s".into(), prefix: "gr".into() },
+            LPred::LikePrefix {
+                col: "s".into(),
+                prefix: "gr".into(),
+            },
         ]));
         let json = serde_json::to_string(&plan).unwrap();
         assert_eq!(serde_json::from_str::<LogicalPlan>(&json).unwrap(), plan);

@@ -121,7 +121,10 @@ pub fn optimize_partition_scheme(cm: &CostModel, input: &PartitionOptInput) -> P
             }
         };
         if better {
-            best = Some(PartitionScheme { rounds, cost_cycles: cost });
+            best = Some(PartitionScheme {
+                rounds,
+                cost_cycles: cost,
+            });
         }
     }
     best.expect("at least one factorization exists")
@@ -158,13 +161,18 @@ fn enumerate_factorizations(
         }
         return;
     }
-    let cap = prefix.last().copied().unwrap_or(max_f).min(max_f).min(target);
+    let cap = prefix
+        .last()
+        .copied()
+        .unwrap_or(max_f)
+        .min(max_f)
+        .min(target);
     let mut f = cap.next_power_of_two();
     if f > cap {
         f /= 2;
     }
     while f >= 2 {
-        if target % f == 0 {
+        if target.is_multiple_of(f) {
             prefix.push(f);
             enumerate_factorizations(target / f, max_f, prefix, out);
             prefix.pop();
@@ -178,7 +186,10 @@ mod tests {
     use super::*;
 
     fn input(rows: u64) -> PartitionOptInput {
-        PartitionOptInput { rows, ..Default::default() }
+        PartitionOptInput {
+            rows,
+            ..Default::default()
+        }
     }
 
     #[test]
@@ -233,7 +244,9 @@ mod tests {
         // non-increasing), ...} — verify every candidate multiplies to 64
         // and respects constraints, and the canonical ones are present.
         assert!(out.iter().all(|r| r.iter().product::<usize>() == 64));
-        assert!(out.iter().all(|r| r.iter().all(|&f| f.is_power_of_two() && f <= 32)));
+        assert!(out
+            .iter()
+            .all(|r| r.iter().all(|&f| f.is_power_of_two() && f <= 32)));
         assert!(out.contains(&vec![8, 8]));
         assert!(out.contains(&vec![16, 4]));
         assert!(out.contains(&vec![32, 2]));
@@ -248,13 +261,19 @@ mod tests {
         // One spill-free 1024-way round beats two rounds only if buffers
         // hold up; at 16 KiB DMEM 1024 buffers of 16B thrash, so two
         // rounds should win here — the crossover the optimizer navigates.
-        assert!(two < one, "two rounds {two} vs oversized single round {one}");
+        assert!(
+            two < one,
+            "two rounds {two} vs oversized single round {one}"
+        );
     }
 
     #[test]
     fn optimizer_picks_min_cost_among_enumerated() {
         let cm = CostModel::default();
-        let inp = PartitionOptInput { rows: 1 << 24, ..Default::default() };
+        let inp = PartitionOptInput {
+            rows: 1 << 24,
+            ..Default::default()
+        };
         let best = optimize_partition_scheme(&cm, &inp);
         let mut all = Vec::new();
         enumerate_factorizations(required_partitions(&inp), 1024, &mut Vec::new(), &mut all);

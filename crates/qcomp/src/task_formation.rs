@@ -76,7 +76,9 @@ pub const MIN_VECTOR_ROWS: usize = 64;
 /// Bytes-per-row footprint of a task: every operator's input and output
 /// vectors, double-buffered.
 fn task_bytes_per_row(ops: &[OpShape]) -> usize {
-    ops.iter().map(|o| 2 * (o.in_bytes_per_row + o.out_bytes_per_row)).sum()
+    ops.iter()
+        .map(|o| 2 * (o.in_bytes_per_row + o.out_bytes_per_row))
+        .sum()
 }
 
 fn task_state_bytes(ops: &[OpShape]) -> usize {
@@ -100,12 +102,7 @@ pub fn vector_rows_for(ops: &[OpShape], dmem_bytes: usize) -> Option<usize> {
 /// Cost of a formation over `input_rows`: task-boundary materialization
 /// (DMS write + re-read of the intermediate) plus per-tile control
 /// overhead inside each task.
-pub fn formation_cost(
-    cm: &CostModel,
-    ops: &[OpShape],
-    tasks: &[Task],
-    input_rows: u64,
-) -> f64 {
+pub fn formation_cost(cm: &CostModel, ops: &[OpShape], tasks: &[Task], input_rows: u64) -> f64 {
     // Rows entering each operator.
     let mut rows_in = Vec::with_capacity(ops.len());
     let mut r = input_rows as f64;
@@ -144,7 +141,10 @@ pub fn optimize_tasks(
 ) -> Option<Formation> {
     let n = ops.len();
     if n == 0 {
-        return Some(Formation { tasks: Vec::new(), cost_cycles: 0.0 });
+        return Some(Formation {
+            tasks: Vec::new(),
+            cost_cycles: 0.0,
+        });
     }
     assert!(n <= 16, "task chains longer than 16 not expected");
     let mut best: Option<Formation> = None;
@@ -159,7 +159,10 @@ pub fn optimize_tasks(
                 continue;
             }
             match vector_rows_for(&ops[start..end], dmem_bytes) {
-                Some(rows) => tasks.push(Task { ops: start..end, vector_rows: rows }),
+                Some(rows) => tasks.push(Task {
+                    ops: start..end,
+                    vector_rows: rows,
+                }),
                 None => {
                     feasible = false;
                     break;
@@ -172,7 +175,10 @@ pub fn optimize_tasks(
         }
         let cost = formation_cost(cm, ops, &tasks, input_rows);
         if best.as_ref().is_none_or(|b| cost < b.cost_cycles) {
-            best = Some(Formation { tasks, cost_cycles: cost });
+            best = Some(Formation {
+                tasks,
+                cost_cycles: cost,
+            });
         }
     }
     best
@@ -265,8 +271,8 @@ mod tests {
     fn tight_dmem_forces_split() {
         // Shrink DMEM so the 4-op chain cannot fit at 64-row vectors.
         let ops = figure4_chain();
-        let needed = super::task_bytes_per_row(&ops) * MIN_VECTOR_ROWS
-            + super::task_state_bytes(&ops);
+        let needed =
+            super::task_bytes_per_row(&ops) * MIN_VECTOR_ROWS + super::task_state_bytes(&ops);
         let f = optimize_tasks(&cm(), &ops, needed - 1, 1_000_000).unwrap();
         assert!(f.tasks.len() >= 2, "must split under tight DMEM");
         // Every task must individually fit.
@@ -288,19 +294,34 @@ mod tests {
             OpShape::new("c", 8, 8, 0, 1.0),
         ];
         let after_a = vec![
-            Task { ops: 0..1, vector_rows: 256 },
-            Task { ops: 1..3, vector_rows: 256 },
+            Task {
+                ops: 0..1,
+                vector_rows: 256,
+            },
+            Task {
+                ops: 1..3,
+                vector_rows: 256,
+            },
         ];
         let after_b = vec![
-            Task { ops: 0..2, vector_rows: 256 },
-            Task { ops: 2..3, vector_rows: 256 },
+            Task {
+                ops: 0..2,
+                vector_rows: 256,
+            },
+            Task {
+                ops: 2..3,
+                vector_rows: 256,
+            },
         ];
         // Tile-overhead terms are identical (3 op-tiles either way at
         // equal vectors and selectivity 1), so only boundary bytes differ:
         // 1 B/row vs 8 B/row.
         let ca = formation_cost(&c, &ops, &after_a, 1_000_000);
         let cb = formation_cost(&c, &ops, &after_b, 1_000_000);
-        assert!(ca < cb, "narrow boundary {ca} should beat wide boundary {cb}");
+        assert!(
+            ca < cb,
+            "narrow boundary {ca} should beat wide boundary {cb}"
+        );
     }
 
     #[test]

@@ -21,10 +21,11 @@
 
 use std::time::{Duration, Instant};
 
+use dpu_sim::account::CycleAccount;
 use dpu_sim::clock::{Cycles, SimTime};
 
-use crate::error::QefResult;
-use crate::exec::{Backend, CoreCtx, ExecContext};
+use crate::error::{QefError, QefResult};
+use crate::exec::{Backend, CoreCtx, ExecContext, StageProfile};
 
 /// Timing of one completed stage.
 #[derive(Debug, Clone, Copy, Default)]
@@ -55,7 +56,11 @@ impl StageTiming {
 
 /// Run `items` through `f` across the context's cores. Item `i` is handled
 /// by actor `i % cores`; results come back in item order.
-pub fn run_stage<W, R, F>(ctx: &ExecContext, items: Vec<W>, f: F) -> QefResult<(Vec<R>, StageTiming)>
+pub fn run_stage<W, R, F>(
+    ctx: &ExecContext,
+    items: Vec<W>,
+    f: F,
+) -> QefResult<(Vec<R>, StageTiming)>
 where
     W: Send,
     R: Send,
@@ -81,6 +86,17 @@ where
     let mut timing = StageTiming::default();
     let mut max_elapsed = Cycles::ZERO;
 
+    // When a multi-query router is installed, costs are additionally
+    // captured per item so the router can re-balance lanes; absorbing the
+    // per-item accounts back into a per-core account is exact (all cycle
+    // streams compose additively), so the stage rule below is unchanged.
+    let capture = ctx.router.is_some();
+    let mut item_costs: Vec<Option<CycleAccount>> = if capture {
+        (0..n).map(|_| None).collect()
+    } else {
+        Vec::new()
+    };
+
     // One simulated core at a time; its account covers all its items.
     let mut assigned: Vec<Vec<(usize, W)>> = (0..cores).map(|_| Vec::new()).collect();
     for (i, w) in items.into_iter().enumerate() {
@@ -91,8 +107,19 @@ where
             continue;
         }
         let mut core = CoreCtx::new(ctx, core_id);
-        for (i, w) in work {
-            results[i] = Some(f(&mut core, w)?);
+        if capture {
+            let mut stage_acc = CycleAccount::new();
+            for (i, w) in work {
+                core.account.reset();
+                results[i] = Some(f(&mut core, w)?);
+                stage_acc.absorb(&core.account);
+                item_costs[i] = Some(std::mem::replace(&mut core.account, CycleAccount::new()));
+            }
+            core.account = stage_acc;
+        } else {
+            for (i, w) in work {
+                results[i] = Some(f(&mut core, w)?);
+            }
         }
         max_elapsed = max_elapsed.max(core.account.elapsed_cycles());
         timing.max_compute = timing.max_compute.max(core.account.compute_cycles());
@@ -100,9 +127,33 @@ where
         timing.branches += core.account.counters().branches;
         timing.mispredicts += core.account.counters().branch_mispredicts;
     }
-    let elapsed = max_elapsed.max(timing.dms_total);
-    timing.sim = elapsed.to_time(ctx.cost_model.freq_hz);
-    Ok((results.into_iter().map(|r| r.expect("all items processed")).collect(), timing))
+    match (&ctx.router, n) {
+        (Some(router), n) if n > 0 => {
+            let profile = StageProfile {
+                query_id: ctx.query_id,
+                parallelism: cores.min(n).max(1),
+                items: item_costs
+                    .into_iter()
+                    .map(|c| c.expect("captured"))
+                    .collect(),
+            };
+            let duration = router
+                .route_stage(&profile)
+                .map_err(|a| QefError::Aborted(format!("query {}: {}", ctx.query_id, a.reason)))?;
+            timing.sim = duration.to_time(ctx.cost_model.freq_hz);
+        }
+        _ => {
+            let elapsed = max_elapsed.max(timing.dms_total);
+            timing.sim = elapsed.to_time(ctx.cost_model.freq_hz);
+        }
+    }
+    Ok((
+        results
+            .into_iter()
+            .map(|r| r.expect("all items processed"))
+            .collect(),
+        timing,
+    ))
 }
 
 fn run_native<W, R, F>(ctx: &ExecContext, items: Vec<W>, f: F) -> QefResult<(Vec<R>, StageTiming)>
@@ -131,7 +182,10 @@ where
                 })
             })
             .collect();
-        handles.into_iter().map(|h| h.join().expect("actor panicked")).collect()
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("actor panicked"))
+            .collect()
     });
     let mut results: Vec<Option<R>> = Vec::new();
     let mut pairs = Vec::new();
@@ -142,8 +196,17 @@ where
     for (i, r) in pairs {
         results[i] = Some(r);
     }
-    let timing = StageTiming { wall: start.elapsed(), ..Default::default() };
-    Ok((results.into_iter().map(|r| r.expect("all items processed")).collect(), timing))
+    let timing = StageTiming {
+        wall: start.elapsed(),
+        ..Default::default()
+    };
+    Ok((
+        results
+            .into_iter()
+            .map(|r| r.expect("all items processed"))
+            .collect(),
+        timing,
+    ))
 }
 
 #[cfg(test)]
@@ -214,11 +277,14 @@ mod tests {
     fn dms_heavy_stage_serializes_on_engine() {
         use dpu_sim::dms::engine::DmsCost;
         let work = |core: &mut CoreCtx, _: usize| {
-            core.charge_dms(&DmsCost { cycles: 1000.0, bytes: 4096, descriptors: 1 });
+            core.charge_dms(&DmsCost {
+                cycles: 1000.0,
+                bytes: 4096,
+                descriptors: 1,
+            });
             Ok(())
         };
-        let (_, t) =
-            run_stage(&ExecContext::dpu().with_cores(4), (0..4).collect(), work).unwrap();
+        let (_, t) = run_stage(&ExecContext::dpu().with_cores(4), (0..4).collect(), work).unwrap();
         // 4 cores x 1000 DMS cycles share one engine: 4000 cycles.
         assert!((t.dms_total.get() - 4000.0).abs() < 1e-9);
         assert!((t.sim.as_secs() - 4000.0 / 800.0e6).abs() < 1e-12);

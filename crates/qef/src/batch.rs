@@ -26,7 +26,10 @@ impl Batch {
     /// An empty batch with zero columns and a row count (useful for
     /// count-only pipelines).
     pub fn empty(rows: usize) -> Self {
-        Batch { columns: Vec::new(), rows }
+        Batch {
+            columns: Vec::new(),
+            rows,
+        }
     }
 
     /// Number of rows.
@@ -107,7 +110,10 @@ impl Batch {
                 }
             })
             .collect();
-        Batch { columns: out_columns, rows: total }
+        Batch {
+            columns: out_columns,
+            rows: total,
+        }
     }
 
     /// Total bytes of the batch's vectors.
@@ -121,7 +127,11 @@ mod tests {
     use super::*;
 
     fn b(vals: &[&[i64]]) -> Batch {
-        Batch::new(vals.iter().map(|v| Vector::new(ColumnData::I64(v.to_vec()))).collect())
+        Batch::new(
+            vals.iter()
+                .map(|v| Vector::new(ColumnData::I64(v.to_vec())))
+                .collect(),
+        )
     }
 
     #[test]
@@ -155,8 +165,7 @@ mod tests {
         use rapid_storage::bitvec::BitVec;
         let mut nulls = BitVec::zeros(2);
         nulls.set(1, true);
-        let withnull =
-            Batch::new(vec![Vector::with_nulls(ColumnData::I64(vec![1, 0]), nulls)]);
+        let withnull = Batch::new(vec![Vector::with_nulls(ColumnData::I64(vec![1, 0]), nulls)]);
         let plain = Batch::new(vec![Vector::new(ColumnData::I64(vec![7]))]);
         let joined = Batch::concat(&[withnull, plain]);
         assert_eq!(joined.column(0).get(0), Some(1));

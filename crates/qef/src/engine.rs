@@ -84,7 +84,10 @@ pub struct Engine {
 impl Engine {
     /// An engine with the given execution context and empty catalog.
     pub fn new(ctx: ExecContext) -> Engine {
-        Engine { ctx, catalog: Catalog::new() }
+        Engine {
+            ctx,
+            catalog: Catalog::new(),
+        }
     }
 
     /// The execution context.
@@ -102,12 +105,28 @@ impl Engine {
         &self.catalog
     }
 
+    /// A per-session copy of this engine under a different execution
+    /// context, sharing the loaded tables (the catalog holds `Arc`s).
+    /// Used to attach a multi-query stage router plus query id to each
+    /// concurrent session without cloning any table data.
+    pub fn fork(&self, ctx: ExecContext) -> Engine {
+        Engine {
+            ctx,
+            catalog: self.catalog.clone(),
+        }
+    }
+
     /// Execute a plan, returning results and the timing report.
     pub fn execute(&self, plan: &PlanNode) -> QefResult<(QueryOutput, QueryReport)> {
         let mut report = QueryReport::default();
         let batches = self.exec_node(plan, &mut report)?;
         let meta = plan.output_meta(&self.catalog)?;
-        let mut batch = Batch::concat(&batches.into_iter().filter(|b| b.width() > 0).collect::<Vec<_>>());
+        let mut batch = Batch::concat(
+            &batches
+                .into_iter()
+                .filter(|b| b.width() > 0)
+                .collect::<Vec<_>>(),
+        );
         if batch.width() == 0 && !meta.is_empty() {
             // No surviving rows: synthesize an empty batch with the right
             // column layout so callers can rely on the shape.
@@ -119,9 +138,11 @@ impl Engine {
 
     fn exec_node(&self, node: &PlanNode, report: &mut QueryReport) -> QefResult<Vec<Batch>> {
         match node {
-            PlanNode::Scan { table, columns, pred } => {
-                self.exec_scan(table, columns, pred.as_ref(), report)
-            }
+            PlanNode::Scan {
+                table,
+                columns,
+                pred,
+            } => self.exec_scan(table, columns, pred.as_ref(), report),
             PlanNode::Filter { input, pred } => {
                 let batches = self.exec_node(input, report)?;
                 let pred = pred.clone();
@@ -145,14 +166,28 @@ impl Engine {
                 report.absorb(&t);
                 Ok(out)
             }
-            PlanNode::HashJoin { build, probe, build_keys, probe_keys, join_type, scheme } => {
-                self.exec_join(
-                    build, probe, build_keys, probe_keys, *join_type, scheme.as_deref(), report,
-                )
-            }
-            PlanNode::GroupBy { input, keys, aggs, strategy } => {
-                self.exec_groupby(input, keys, aggs, *strategy, report)
-            }
+            PlanNode::HashJoin {
+                build,
+                probe,
+                build_keys,
+                probe_keys,
+                join_type,
+                scheme,
+            } => self.exec_join(
+                build,
+                probe,
+                build_keys,
+                probe_keys,
+                *join_type,
+                scheme.as_deref(),
+                report,
+            ),
+            PlanNode::GroupBy {
+                input,
+                keys,
+                aggs,
+                strategy,
+            } => self.exec_groupby(input, keys, aggs, *strategy, report),
             PlanNode::TopK { input, order, k } => {
                 let batches = self.exec_node(input, report)?;
                 let order2 = order.clone();
@@ -211,7 +246,12 @@ impl Engine {
                 report.absorb(&t);
                 Ok(out)
             }
-            PlanNode::Window { input, partition_by, order_by, func } => {
+            PlanNode::Window {
+                input,
+                partition_by,
+                order_by,
+                func,
+            } => {
                 let batches = self.exec_node(input, report)?;
                 let all = Batch::concat(&batches);
                 let (pb, ob, f) = (partition_by.clone(), order_by.clone(), *func);
@@ -237,7 +277,10 @@ impl Engine {
             .ok_or_else(|| QefError::TableNotLoaded(table.to_string()))?;
         for &c in columns {
             if c >= t.schema.len() {
-                return Err(QefError::BadColumn { index: c, available: t.schema.len() });
+                return Err(QefError::BadColumn {
+                    index: c,
+                    available: t.schema.len(),
+                });
             }
         }
         // Order conjuncts most-selective-first from table statistics.
@@ -262,7 +305,9 @@ impl Engine {
             if fr.count() == 0 {
                 return Ok(Batch::empty(0));
             }
-            Ok(ops::filter::materialize_projection(core, chunk, &fr.rows, &cols, tile))
+            Ok(ops::filter::materialize_projection(
+                core, chunk, &fr.rows, &cols, tile,
+            ))
         })?;
         report.absorb(&timing);
         Ok(out.into_iter().filter(|b| !b.is_empty()).collect())
@@ -349,11 +394,8 @@ impl Engine {
         report: &mut QueryReport,
     ) -> QefResult<Vec<Batch>> {
         let batches = self.exec_node(input, report)?;
-        let limit = ops::groupby::on_the_fly_group_limit(
-            self.ctx.dmem_bytes,
-            keys.len(),
-            aggs.len(),
-        );
+        let limit =
+            ops::groupby::on_the_fly_group_limit(self.ctx.dmem_bytes, keys.len(), aggs.len());
 
         let strategy = match strategy {
             GroupStrategy::Auto => {
@@ -484,7 +526,12 @@ fn join_pair_resilient(
                 depth + 1,
             )?);
         }
-        return Ok(Batch::concat(&outs.into_iter().filter(|b| !b.is_empty()).collect::<Vec<_>>()));
+        return Ok(Batch::concat(
+            &outs
+                .into_iter()
+                .filter(|b| !b.is_empty())
+                .collect::<Vec<_>>(),
+        ));
     }
     if build.is_empty() || probe.is_empty() {
         return match join_type {
@@ -493,7 +540,9 @@ fn join_pair_resilient(
             JoinType::LeftOuter => Ok(pad_outer(probe, build_width)),
         };
     }
-    ops::join::join_partition(core, &build, &probe, build_keys, probe_keys, join_type, est_rows)
+    ops::join::join_partition(
+        core, &build, &probe, build_keys, probe_keys, join_type, est_rows,
+    )
 }
 
 /// Pad probe rows with NULL build columns for outer joins with no build.
@@ -630,14 +679,22 @@ mod tests {
     }
 
     fn scan(pred: Option<Pred>) -> PlanNode {
-        PlanNode::Scan { table: "t".into(), columns: vec![0, 1, 2], pred }
+        PlanNode::Scan {
+            table: "t".into(),
+            columns: vec![0, 1, 2],
+            pred,
+        }
     }
 
     #[test]
     fn scan_filter_project() {
         for ctx in [ExecContext::dpu(), ExecContext::native(4)] {
             let e = engine(ctx);
-            let plan = scan(Some(Pred::CmpConst { col: 0, op: CmpOp::Lt, value: 100 }));
+            let plan = scan(Some(Pred::CmpConst {
+                col: 0,
+                op: CmpOp::Lt,
+                value: 100,
+            }));
             let (out, report) = e.execute(&plan).unwrap();
             assert_eq!(out.batch.rows(), 100);
             assert_eq!(out.meta.len(), 3);
@@ -679,13 +736,23 @@ mod tests {
             input: Box::new(scan(None)),
             keys: vec![2],
             aggs: vec![
-                AggSpec { func: AggFunc::Count, col: 0 },
-                AggSpec { func: AggFunc::Sum, col: 1 },
+                AggSpec {
+                    func: AggFunc::Count,
+                    col: 0,
+                },
+                AggSpec {
+                    func: AggFunc::Sum,
+                    col: 1,
+                },
             ],
             strategy,
         };
         let mut results = Vec::new();
-        for strategy in [GroupStrategy::OnTheFly, GroupStrategy::Partitioned, GroupStrategy::Auto] {
+        for strategy in [
+            GroupStrategy::OnTheFly,
+            GroupStrategy::Partitioned,
+            GroupStrategy::Auto,
+        ] {
             let (out, _) = e.execute(&mk(strategy)).unwrap();
             assert_eq!(out.batch.rows(), 7, "{strategy:?}");
             let mut rows: Vec<(i64, i64, i64)> = (0..7)
@@ -713,9 +780,17 @@ mod tests {
             build: Box::new(PlanNode::Scan {
                 table: "t".into(),
                 columns: vec![0, 1],
-                pred: Some(Pred::CmpConst { col: 0, op: CmpOp::Lt, value: 500 }),
+                pred: Some(Pred::CmpConst {
+                    col: 0,
+                    op: CmpOp::Lt,
+                    value: 500,
+                }),
             }),
-            probe: Box::new(PlanNode::Scan { table: "t".into(), columns: vec![0, 2], pred: None }),
+            probe: Box::new(PlanNode::Scan {
+                table: "t".into(),
+                columns: vec![0, 2],
+                pred: None,
+            }),
             build_keys: vec![0],
             probe_keys: vec![0],
             join_type: JoinType::Inner,
@@ -742,14 +817,21 @@ mod tests {
             k: 3,
         };
         let (out, _) = e.execute(&plan).unwrap();
-        assert_eq!(out.batch.column(1).data.to_i64_vec(), vec![9998, 9996, 9994]);
+        assert_eq!(
+            out.batch.column(1).data.to_i64_vec(),
+            vec![9998, 9996, 9994]
+        );
     }
 
     #[test]
     fn sort_orders_globally() {
         let e = engine(ExecContext::dpu());
         let plan = PlanNode::Sort {
-            input: Box::new(scan(Some(Pred::CmpConst { col: 0, op: CmpOp::Lt, value: 50 }))),
+            input: Box::new(scan(Some(Pred::CmpConst {
+                col: 0,
+                op: CmpOp::Lt,
+                value: 50,
+            }))),
             order: vec![SortKey { col: 0, desc: true }],
         };
         let (out, _) = e.execute(&plan).unwrap();
@@ -761,7 +843,11 @@ mod tests {
     #[test]
     fn empty_result_keeps_layout() {
         let e = engine(ExecContext::dpu());
-        let plan = scan(Some(Pred::CmpConst { col: 0, op: CmpOp::Gt, value: 1 << 40 }));
+        let plan = scan(Some(Pred::CmpConst {
+            col: 0,
+            op: CmpOp::Gt,
+            value: 1 << 40,
+        }));
         let (out, _) = e.execute(&plan).unwrap();
         assert_eq!(out.batch.rows(), 0);
         assert_eq!(out.batch.width(), 3);
@@ -771,10 +857,17 @@ mod tests {
     fn default_scheme_covers_cores_and_dmem() {
         let ctx = ExecContext::dpu();
         let s = default_scheme(10, 1, &ctx);
-        assert_eq!(s.iter().product::<usize>(), 32, "at least one partition per core");
+        assert_eq!(
+            s.iter().product::<usize>(),
+            32,
+            "at least one partition per core"
+        );
         let s = default_scheme(10_000_000, 1, &ctx);
         let total: usize = s.iter().product();
-        assert!(total * 1000 >= 10_000_000, "scheme {s:?} leaves partitions too big");
+        assert!(
+            total * 1000 >= 10_000_000,
+            "scheme {s:?} leaves partitions too big"
+        );
         assert!(s.iter().all(|&f| f <= 1024));
     }
 
@@ -815,14 +908,22 @@ mod plan_node_tests {
     }
 
     fn scan(pred: Option<Pred>) -> PlanNode {
-        PlanNode::Scan { table: "t".into(), columns: vec![0, 1], pred }
+        PlanNode::Scan {
+            table: "t".into(),
+            columns: vec![0, 1],
+            pred,
+        }
     }
 
     #[test]
     fn window_rank_through_engine() {
         let e = engine();
         let plan = PlanNode::Window {
-            input: Box::new(scan(Some(Pred::CmpConst { col: 0, op: CmpOp::Lt, value: 9 }))),
+            input: Box::new(scan(Some(Pred::CmpConst {
+                col: 0,
+                op: CmpOp::Lt,
+                value: 9,
+            }))),
             partition_by: vec![1],
             order_by: vec![SortKey { col: 0, desc: true }],
             func: WindowFunc::Rank,
@@ -841,16 +942,28 @@ mod plan_node_tests {
     #[test]
     fn setops_through_engine() {
         let e = engine();
-        let lows = scan(Some(Pred::CmpConst { col: 0, op: CmpOp::Lt, value: 10 }));
+        let lows = scan(Some(Pred::CmpConst {
+            col: 0,
+            op: CmpOp::Lt,
+            value: 10,
+        }));
         let evens_low = PlanNode::Filter {
-            input: Box::new(scan(Some(Pred::CmpConst { col: 0, op: CmpOp::Lt, value: 20 }))),
-            pred: Pred::CmpConst { col: 1, op: CmpOp::Eq, value: 0 },
+            input: Box::new(scan(Some(Pred::CmpConst {
+                col: 0,
+                op: CmpOp::Lt,
+                value: 20,
+            }))),
+            pred: Pred::CmpConst {
+                col: 1,
+                op: CmpOp::Eq,
+                value: 0,
+            },
         };
         for (op, expect) in [
             // k<10 (10 rows) vs k<20 && grp==0 (k in {0,3,6,9,12,15,18}: 7 rows)
-            (SetOpKind::Union, 10 + 3),         // {0..9} u {12,15,18}
-            (SetOpKind::Intersect, 4),          // {0,3,6,9}
-            (SetOpKind::Minus, 6),              // {1,2,4,5,7,8}
+            (SetOpKind::Union, 10 + 3), // {0..9} u {12,15,18}
+            (SetOpKind::Intersect, 4),  // {0,3,6,9}
+            (SetOpKind::Minus, 6),      // {1,2,4,5,7,8}
         ] {
             let plan = PlanNode::SetOp {
                 left: Box::new(lows.clone()),
@@ -865,10 +978,16 @@ mod plan_node_tests {
     #[test]
     fn limit_through_engine() {
         let e = engine();
-        let plan = PlanNode::Limit { input: Box::new(scan(None)), n: 7 };
+        let plan = PlanNode::Limit {
+            input: Box::new(scan(None)),
+            n: 7,
+        };
         let (out, _) = e.execute(&plan).unwrap();
         assert_eq!(out.batch.rows(), 7);
-        let plan = PlanNode::Limit { input: Box::new(scan(None)), n: 10_000 };
+        let plan = PlanNode::Limit {
+            input: Box::new(scan(None)),
+            n: 10_000,
+        };
         let (out, _) = e.execute(&plan).unwrap();
         assert_eq!(out.batch.rows(), 500, "limit larger than input");
     }
@@ -888,7 +1007,11 @@ mod plan_node_tests {
         let mut slow = Engine::new(ExecContext::dpu().with_cores(4).with_vectorized(false));
         slow.load_table(Arc::clone(&table));
         let join = PlanNode::HashJoin {
-            build: Box::new(scan(Some(Pred::CmpConst { col: 0, op: CmpOp::Lt, value: 50 }))),
+            build: Box::new(scan(Some(Pred::CmpConst {
+                col: 0,
+                op: CmpOp::Lt,
+                value: 50,
+            }))),
             probe: Box::new(scan(None)),
             build_keys: vec![0],
             probe_keys: vec![0],
@@ -900,6 +1023,9 @@ mod plan_node_tests {
         let fast = engine();
         let (out2, report2) = fast.execute(&join).unwrap();
         assert_eq!(out.batch.rows(), out2.batch.rows());
-        assert!(report.sim_secs > report2.sim_secs, "row-at-a-time must be slower");
+        assert!(
+            report.sim_secs > report2.sim_secs,
+            "row-at-a-time must be slower"
+        );
     }
 }

@@ -25,6 +25,10 @@ pub enum QefError {
     NumericOverflow(String),
     /// Internal invariant violation.
     Internal(String),
+    /// The query was aborted mid-flight by the multi-query scheduler
+    /// (cancellation, timeout, or eviction) — not an engine failure, so
+    /// callers should surface it rather than fall back to another engine.
+    Aborted(String),
 }
 
 impl fmt::Display for QefError {
@@ -38,6 +42,7 @@ impl fmt::Display for QefError {
             QefError::BadPlan(msg) => write!(f, "malformed plan: {msg}"),
             QefError::NumericOverflow(what) => write!(f, "numeric overflow in {what}"),
             QefError::Internal(msg) => write!(f, "internal error: {msg}"),
+            QefError::Aborted(msg) => write!(f, "query aborted: {msg}"),
         }
     }
 }
@@ -56,13 +61,25 @@ mod tests {
 
     #[test]
     fn display_formats() {
-        assert_eq!(QefError::TableNotLoaded("t".into()).to_string(), "table 't' is not loaded");
-        assert!(QefError::BadColumn { index: 5, available: 2 }.to_string().contains("5"));
+        assert_eq!(
+            QefError::TableNotLoaded("t".into()).to_string(),
+            "table 't' is not loaded"
+        );
+        assert!(QefError::BadColumn {
+            index: 5,
+            available: 2
+        }
+        .to_string()
+        .contains("5"));
     }
 
     #[test]
     fn dmem_error_converts() {
-        let e: QefError = dpu_sim::DmemError { requested: 10, available: 5 }.into();
+        let e: QefError = dpu_sim::DmemError {
+            requested: 10,
+            available: 5,
+        }
+        .into();
         assert!(matches!(e, QefError::DmemExhausted(_)));
     }
 }

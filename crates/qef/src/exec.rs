@@ -27,6 +27,46 @@ pub enum Backend {
     Native,
 }
 
+/// Cost profile of one executed stage, handed to a [`StageRouter`] for
+/// placement on a timeline shared with other queries.
+///
+/// The actor runner measures one [`CycleAccount`] per work item (item order
+/// preserved); the router decides *when* the stage's cores and its slice of
+/// the single shared DMS engine run, and answers with the stage's duration
+/// as observed by the query — waiting for resources included.
+#[derive(Debug, Clone)]
+pub struct StageProfile {
+    /// Query the stage belongs to (see [`ExecContext::with_router`]).
+    pub query_id: u64,
+    /// Lanes the stage ran with: `min(ctx.cores, items.len())`, at least 1.
+    pub parallelism: usize,
+    /// Per-item accrued cost, in item order.
+    pub items: Vec<CycleAccount>,
+}
+
+/// A stage refused by the router: the query was cancelled, timed out, or
+/// evicted by admission control.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct StageAbort {
+    /// Human-readable reason.
+    pub reason: String,
+}
+
+/// Places pipeline stages of concurrent queries onto the shared DPU.
+///
+/// When installed in an [`ExecContext`], the timing of every simulated
+/// stage is delegated to the router instead of the engine-local
+/// `max(max-core-compute, Σ DMS)` rule. A router applies the same rule
+/// *within* a stage but decides when the stage's gang of cores and its DMS
+/// transfers fit on a timeline shared by all concurrent queries
+/// (implemented by the `rapid-sched` crate). Routing never changes query
+/// results — only the simulated clock.
+pub trait StageRouter: Send + Sync + std::fmt::Debug {
+    /// Place one stage; returns its duration in cycles as observed by the
+    /// query (resource waiting included), or an abort.
+    fn route_stage(&self, profile: &StageProfile) -> Result<Cycles, StageAbort>;
+}
+
 /// Shared, immutable execution configuration.
 #[derive(Debug, Clone)]
 pub struct ExecContext {
@@ -44,6 +84,11 @@ pub struct ExecContext {
     /// Vectorized execution on (Figure 13's ablation switch). When off,
     /// primitives run row-at-a-time with per-row dispatch overhead.
     pub vectorized: bool,
+    /// Multi-query stage router. `None` means this engine owns the DPU
+    /// alone and stages are timed by the local stage rule.
+    pub router: Option<Arc<dyn StageRouter>>,
+    /// Query id stamped into [`StageProfile`]s when a router is installed.
+    pub query_id: u64,
 }
 
 impl ExecContext {
@@ -56,12 +101,18 @@ impl ExecContext {
             dmem_bytes: dpu_sim::dmem::DMEM_BYTES,
             tile_rows: 256,
             vectorized: true,
+            router: None,
+            query_id: 0,
         }
     }
 
     /// Context for native execution with `cores` worker threads.
     pub fn native(cores: usize) -> Self {
-        ExecContext { backend: Backend::Native, cores: cores.max(1), ..Self::dpu() }
+        ExecContext {
+            backend: Backend::Native,
+            cores: cores.max(1),
+            ..Self::dpu()
+        }
     }
 
     /// Override the tile size.
@@ -79,6 +130,14 @@ impl ExecContext {
     /// Toggle vectorized execution.
     pub fn with_vectorized(mut self, on: bool) -> Self {
         self.vectorized = on;
+        self
+    }
+
+    /// Install a multi-query stage router; stages executed under this
+    /// context are placed on the router's shared timeline as `query_id`.
+    pub fn with_router(mut self, router: Arc<dyn StageRouter>, query_id: u64) -> Self {
+        self.router = Some(router);
+        self.query_id = query_id;
         self
     }
 
@@ -146,7 +205,8 @@ impl CoreCtx {
     #[inline]
     pub fn charge_dms(&mut self, cost: &DmsCost) {
         if self.charging() {
-            self.account.charge_dms(Cycles(cost.cycles), cost.bytes, cost.descriptors);
+            self.account
+                .charge_dms(Cycles(cost.cycles), cost.bytes, cost.descriptors);
         }
     }
 
@@ -155,7 +215,8 @@ impl CoreCtx {
     #[inline]
     pub fn charge_overlapped(&mut self, compute: Cycles, transfer: &DmsCost) {
         if self.charging() {
-            self.account.charge_overlapped(compute, Cycles(transfer.cycles));
+            self.account
+                .charge_overlapped(compute, Cycles(transfer.cycles));
         }
     }
 }
@@ -192,7 +253,10 @@ mod tests {
 
     #[test]
     fn builder_style_overrides() {
-        let ctx = ExecContext::dpu().with_tile_rows(512).with_cores(8).with_vectorized(false);
+        let ctx = ExecContext::dpu()
+            .with_tile_rows(512)
+            .with_cores(8)
+            .with_vectorized(false);
         assert_eq!(ctx.tile_rows, 512);
         assert_eq!(ctx.cores, 8);
         assert!(!ctx.vectorized);

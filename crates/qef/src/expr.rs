@@ -51,14 +51,11 @@ impl Expr {
     /// Evaluate over a batch, producing one value per row.
     pub fn eval(&self, ctx: &mut CoreCtx, batch: &Batch) -> QefResult<Vector> {
         match self {
-            Expr::Col(i) => batch
-                .columns
-                .get(*i)
-                .cloned()
-                .ok_or(QefError::BadColumn { index: *i, available: batch.width() }),
-            Expr::Lit(v) => {
-                Ok(Vector::new(ColumnData::I64(vec![*v; batch.rows()])))
-            }
+            Expr::Col(i) => batch.columns.get(*i).cloned().ok_or(QefError::BadColumn {
+                index: *i,
+                available: batch.width(),
+            }),
+            Expr::Lit(v) => Ok(Vector::new(ColumnData::I64(vec![*v; batch.rows()]))),
             Expr::Arith { op, a, b } => {
                 // Constant-on-one-side goes through the cheaper map kernel.
                 match (a.as_ref(), b.as_ref()) {
@@ -119,18 +116,33 @@ impl Expr {
     }
 
     /// Convenience constructors.
+    #[allow(clippy::should_implement_trait)]
     pub fn add(a: Expr, b: Expr) -> Expr {
-        Expr::Arith { op: ArithOp::Add, a: Box::new(a), b: Box::new(b) }
+        Expr::Arith {
+            op: ArithOp::Add,
+            a: Box::new(a),
+            b: Box::new(b),
+        }
     }
 
     /// `a - b`.
+    #[allow(clippy::should_implement_trait)]
     pub fn sub(a: Expr, b: Expr) -> Expr {
-        Expr::Arith { op: ArithOp::Sub, a: Box::new(a), b: Box::new(b) }
+        Expr::Arith {
+            op: ArithOp::Sub,
+            a: Box::new(a),
+            b: Box::new(b),
+        }
     }
 
     /// `a * b`.
+    #[allow(clippy::should_implement_trait)]
     pub fn mul(a: Expr, b: Expr) -> Expr {
-        Expr::Arith { op: ArithOp::Mul, a: Box::new(a), b: Box::new(b) }
+        Expr::Arith {
+            op: ArithOp::Mul,
+            a: Box::new(a),
+            b: Box::new(b),
+        }
     }
 
     /// Column indices referenced by the expression.
@@ -219,7 +231,10 @@ impl Pred {
     /// Evaluate to a bit-vector over the batch's rows.
     pub fn eval(&self, ctx: &mut CoreCtx, batch: &Batch) -> QefResult<BitVec> {
         let col_ref = |i: usize| -> QefResult<&Vector> {
-            batch.columns.get(i).ok_or(QefError::BadColumn { index: i, available: batch.width() })
+            batch.columns.get(i).ok_or(QefError::BadColumn {
+                index: i,
+                available: batch.width(),
+            })
         };
         match self {
             Pred::CmpConst { col, op, value } => {
@@ -235,12 +250,8 @@ impl Pred {
                 let r = right.eval(ctx, batch)?;
                 Ok(filter::cmp_col_bv(ctx, &l, *op, &r))
             }
-            Pred::Between { col, lo, hi } => {
-                Ok(filter::between_bv(ctx, col_ref(*col)?, *lo, *hi))
-            }
-            Pred::InCodes { col, codes } => {
-                Ok(filter::in_code_set_bv(ctx, col_ref(*col)?, codes))
-            }
+            Pred::Between { col, lo, hi } => Ok(filter::between_bv(ctx, col_ref(*col)?, *lo, *hi)),
+            Pred::InCodes { col, codes } => Ok(filter::in_code_set_bv(ctx, col_ref(*col)?, codes)),
             Pred::InList { col, values } => {
                 let c = col_ref(*col)?;
                 let mut out = BitVec::zeros(c.len());
@@ -281,18 +292,21 @@ impl Pred {
                 bv.negate();
                 Ok(bv)
             }
-            Pred::Const(b) => {
-                Ok(if *b { BitVec::ones(batch.rows()) } else { BitVec::zeros(batch.rows()) })
-            }
+            Pred::Const(b) => Ok(if *b {
+                BitVec::ones(batch.rows())
+            } else {
+                BitVec::zeros(batch.rows())
+            }),
         }
     }
 
     /// Column indices referenced.
     pub fn referenced_columns(&self, out: &mut Vec<usize>) {
         match self {
-            Pred::CmpConst { col, .. } | Pred::Between { col, .. } | Pred::InCodes { col, .. } | Pred::InList { col, .. } => {
-                out.push(*col)
-            }
+            Pred::CmpConst { col, .. }
+            | Pred::Between { col, .. }
+            | Pred::InCodes { col, .. }
+            | Pred::InList { col, .. } => out.push(*col),
             Pred::CmpCols { left, right, .. } => {
                 out.push(*left);
                 out.push(*right);
@@ -350,7 +364,11 @@ mod tests {
     fn case_when() {
         let mut c = ctx();
         let e = Expr::Case {
-            pred: Box::new(Pred::CmpConst { col: 0, op: CmpOp::Ge, value: 3 }),
+            pred: Box::new(Pred::CmpConst {
+                col: 0,
+                op: CmpOp::Ge,
+                value: 3,
+            }),
             then: Box::new(Expr::Col(1)),
             els: Box::new(Expr::Lit(0)),
         };
@@ -362,10 +380,22 @@ mod tests {
     fn predicate_and_or_not() {
         let mut c = ctx();
         let p = Pred::And(vec![
-            Pred::CmpConst { col: 0, op: CmpOp::Gt, value: 1 },
+            Pred::CmpConst {
+                col: 0,
+                op: CmpOp::Gt,
+                value: 1,
+            },
             Pred::Or(vec![
-                Pred::CmpConst { col: 1, op: CmpOp::Eq, value: 20 },
-                Pred::CmpConst { col: 1, op: CmpOp::Eq, value: 40 },
+                Pred::CmpConst {
+                    col: 1,
+                    op: CmpOp::Eq,
+                    value: 20,
+                },
+                Pred::CmpConst {
+                    col: 1,
+                    op: CmpOp::Eq,
+                    value: 40,
+                },
             ]),
         ]);
         let bv = p.eval(&mut c, &batch()).unwrap();
@@ -377,7 +407,10 @@ mod tests {
     #[test]
     fn in_list_uses_binary_search() {
         let mut c = ctx();
-        let p = Pred::InList { col: 0, values: vec![2, 4] };
+        let p = Pred::InList {
+            col: 0,
+            values: vec![2, 4],
+        };
         let bv = p.eval(&mut c, &batch()).unwrap();
         assert_eq!(bv.iter_ones().collect::<Vec<_>>(), vec![1, 3]);
     }
@@ -402,7 +435,11 @@ mod tests {
         let mut cols = Vec::new();
         e.referenced_columns(&mut cols);
         assert_eq!(cols, vec![0, 2]);
-        let p = Pred::CmpCols { left: 1, op: CmpOp::Lt, right: 3 };
+        let p = Pred::CmpCols {
+            left: 1,
+            op: CmpOp::Lt,
+            right: 3,
+        };
         let mut cols = Vec::new();
         p.referenced_columns(&mut cols);
         assert_eq!(cols, vec![1, 3]);
@@ -420,8 +457,15 @@ mod tests {
     #[test]
     fn serde_roundtrip() {
         let p = Pred::And(vec![
-            Pred::CmpConst { col: 0, op: CmpOp::Le, value: 7 },
-            Pred::InList { col: 1, values: vec![1, 2] },
+            Pred::CmpConst {
+                col: 0,
+                op: CmpOp::Le,
+                value: 7,
+            },
+            Pred::InList {
+                col: 1,
+                values: vec![1, 2],
+            },
         ]);
         let json = serde_json::to_string(&p).unwrap();
         let back: Pred = serde_json::from_str(&json).unwrap();

@@ -18,7 +18,7 @@
 //! | module | contents |
 //! |---|---|
 //! | [`batch`] | the tile of column vectors flowing between operators |
-//! | [`exec`] | execution context: backend (simulated DPU vs native x86), core handle |
+//! | [`exec`] | execution context: backend (simulated DPU vs native x86), core handle, [`StageRouter`](exec::StageRouter) hook |
 //! | [`expr`] | vectorized scalar expressions and predicates |
 //! | [`primitives`] | the generated primitive library (filter, arithmetic, hash, partition map, aggregation) |
 //! | [`ra`] | the relation accessor: sequential/gather DMS access patterns |
@@ -26,6 +26,12 @@
 //! | [`plan`] | the serializable physical query execution plan (QEP) |
 //! | [`engine`] | the plan interpreter driving tasks across dpCores |
 //! | [`actor`] | message-passing scheduler used for exchange/merge steps |
+//!
+//! An engine normally owns the whole simulated DPU. For concurrent
+//! multi-query execution, [`Engine::fork`](engine::Engine::fork) a
+//! per-session context carrying a [`StageRouter`](exec::StageRouter) —
+//! the `rapid-sched` crate's scheduler implements it to interleave stages
+//! from many queries on one shared simulated DPU.
 
 #![warn(missing_docs)]
 
@@ -44,5 +50,5 @@ pub mod util;
 pub use batch::Batch;
 pub use engine::{Engine, QueryOutput, QueryReport};
 pub use error::{QefError, QefResult};
-pub use exec::{Backend, ExecContext};
+pub use exec::{Backend, ExecContext, StageAbort, StageProfile, StageRouter};
 pub use plan::PlanNode;

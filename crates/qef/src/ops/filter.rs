@@ -51,7 +51,10 @@ pub fn filter_chunk(
 ) -> QefResult<FilterResult> {
     let rows = chunk.rows();
     if conjuncts.is_empty() {
-        return Ok(FilterResult { rows: RowSet::Bits(BitVec::ones(rows)), scanned: rows });
+        return Ok(FilterResult {
+            rows: RowSet::Bits(BitVec::ones(rows)),
+            scanned: rows,
+        });
     }
 
     // First predicate: stream the referenced columns sequentially.
@@ -71,9 +74,7 @@ pub fn filter_chunk(
     let mut qualifying = match RowSet::choose(expected_selectivity) {
         RowSetKind::Rids => {
             let rids = bv.to_rids();
-            ctx.charge_kernel(
-                &costs::filter_rid_emit_per_match().scaled(rids.len() as f64),
-            );
+            ctx.charge_kernel(&costs::filter_rid_emit_per_match().scaled(rids.len() as f64));
             RowSet::Rids(rids)
         }
         RowSetKind::Bits => RowSet::Bits(bv),
@@ -89,8 +90,10 @@ pub fn filter_chunk(
         pred.referenced_columns(&mut pcols);
         pcols.sort_unstable();
         pcols.dedup();
-        let widths: Vec<usize> =
-            pcols.iter().map(|&c| chunk.vector(c).data.width()).collect();
+        let widths: Vec<usize> = pcols
+            .iter()
+            .map(|&c| chunk.vector(c).data.width())
+            .collect();
         let gcost = RelationAccessor::gather_cost(ctx, &widths, n, tile)
             .merged(&RelationAccessor::rowset_cost(ctx, &qualifying));
         ctx.charge_dms(&gcost);
@@ -99,12 +102,9 @@ pub fn filter_chunk(
         // Evaluate on gathered rows only, then intersect.
         let mut rids = Vec::with_capacity(n);
         qualifying.for_each_row(|r| rids.push(r as u32));
-        let gathered = Batch::new(
-            chunk.vectors().iter().map(|v| v.gather(&rids)).collect(),
-        );
+        let gathered = Batch::new(chunk.vectors().iter().map(|v| v.gather(&rids)).collect());
         let pass = pred.eval(ctx, &gathered)?;
-        let surviving: Vec<u32> =
-            pass.iter_ones().map(|i| rids[i]).collect();
+        let surviving: Vec<u32> = pass.iter_ones().map(|i| rids[i]).collect();
         let sel = surviving.len() as f64 / rows.max(1) as f64;
         qualifying = match RowSet::choose(sel) {
             RowSetKind::Rids => RowSet::Rids(rapid_storage::bitvec::RidList { rids: surviving }),
@@ -118,7 +118,10 @@ pub fn filter_chunk(
         };
     }
 
-    Ok(FilterResult { rows: qualifying, scanned: rows })
+    Ok(FilterResult {
+        rows: qualifying,
+        scanned: rows,
+    })
 }
 
 /// Materialize the projection of a filtered chunk (the late-materialization
@@ -167,20 +170,34 @@ mod tests {
     fn single_predicate_selects_expected_rows() {
         let mut c = ctx();
         let ch = chunk(1000);
-        let preds = vec![Pred::CmpConst { col: 0, op: CmpOp::Lt, value: 250 }];
+        let preds = vec![Pred::CmpConst {
+            col: 0,
+            op: CmpOp::Lt,
+            value: 250,
+        }];
         let r = filter_chunk(&mut c, &ch, &preds, 0.25, 256).unwrap();
         assert_eq!(r.count(), 250);
-        assert!(matches!(r.rows, RowSet::Bits(_)), "25% selectivity uses bits");
+        assert!(
+            matches!(r.rows, RowSet::Bits(_)),
+            "25% selectivity uses bits"
+        );
     }
 
     #[test]
     fn selective_predicate_uses_rids() {
         let mut c = ctx();
         let ch = chunk(1000);
-        let preds = vec![Pred::CmpConst { col: 0, op: CmpOp::Lt, value: 10 }];
+        let preds = vec![Pred::CmpConst {
+            col: 0,
+            op: CmpOp::Lt,
+            value: 10,
+        }];
         let r = filter_chunk(&mut c, &ch, &preds, 0.01, 256).unwrap();
         assert_eq!(r.count(), 10);
-        assert!(matches!(r.rows, RowSet::Rids(_)), "1% selectivity uses RIDs");
+        assert!(
+            matches!(r.rows, RowSet::Rids(_)),
+            "1% selectivity uses RIDs"
+        );
     }
 
     #[test]
@@ -188,8 +205,16 @@ mod tests {
         let mut c = ctx();
         let ch = chunk(1000);
         let preds = vec![
-            Pred::CmpConst { col: 0, op: CmpOp::Lt, value: 500 },
-            Pred::CmpConst { col: 1, op: CmpOp::Lt, value: 50 },
+            Pred::CmpConst {
+                col: 0,
+                op: CmpOp::Lt,
+                value: 500,
+            },
+            Pred::CmpConst {
+                col: 1,
+                op: CmpOp::Lt,
+                value: 50,
+            },
         ];
         let r = filter_chunk(&mut c, &ch, &preds, 0.5, 256).unwrap();
         // rows < 500 with (row % 100) < 50: 250 rows.
@@ -209,8 +234,16 @@ mod tests {
         let mut c = ctx();
         let ch = chunk(100);
         let preds = vec![
-            Pred::CmpConst { col: 0, op: CmpOp::Gt, value: 1_000_000 },
-            Pred::CmpConst { col: 1, op: CmpOp::Eq, value: 0 },
+            Pred::CmpConst {
+                col: 0,
+                op: CmpOp::Gt,
+                value: 1_000_000,
+            },
+            Pred::CmpConst {
+                col: 1,
+                op: CmpOp::Eq,
+                value: 0,
+            },
         ];
         let r = filter_chunk(&mut c, &ch, &preds, 0.001, 64).unwrap();
         assert_eq!(r.count(), 0);
@@ -220,7 +253,11 @@ mod tests {
     fn materialization_gathers_projection() {
         let mut c = ctx();
         let ch = chunk(100);
-        let preds = vec![Pred::CmpConst { col: 0, op: CmpOp::Ge, value: 98 }];
+        let preds = vec![Pred::CmpConst {
+            col: 0,
+            op: CmpOp::Ge,
+            value: 98,
+        }];
         let r = filter_chunk(&mut c, &ch, &preds, 0.02, 64).unwrap();
         let b = materialize_projection(&mut c, &ch, &r.rows, &[1], 64);
         assert_eq!(b.rows(), 2);
@@ -231,8 +268,16 @@ mod tests {
     fn filter_batch_on_intermediates() {
         let mut c = ctx();
         let b = Batch::new(vec![Vector::new(ColumnData::I64(vec![1, 5, 3, 7]))]);
-        let out =
-            filter_batch(&mut c, &b, &Pred::CmpConst { col: 0, op: CmpOp::Gt, value: 3 }).unwrap();
+        let out = filter_batch(
+            &mut c,
+            &b,
+            &Pred::CmpConst {
+                col: 0,
+                op: CmpOp::Gt,
+                value: 3,
+            },
+        )
+        .unwrap();
         assert_eq!(out.column(0).data.to_i64_vec(), vec![5, 7]);
     }
 
@@ -241,8 +286,16 @@ mod tests {
         let mut c = ctx();
         let ch = chunk(777);
         let preds = vec![
-            Pred::CmpConst { col: 1, op: CmpOp::Ge, value: 30 },
-            Pred::CmpConst { col: 0, op: CmpOp::Lt, value: 600 },
+            Pred::CmpConst {
+                col: 1,
+                op: CmpOp::Ge,
+                value: 30,
+            },
+            Pred::CmpConst {
+                col: 0,
+                op: CmpOp::Lt,
+                value: 600,
+            },
         ];
         let r = filter_chunk(&mut c, &ch, &preds, 0.7, 128).unwrap();
         let mut expect = Vec::new();

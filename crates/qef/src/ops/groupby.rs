@@ -152,11 +152,11 @@ impl GroupTable {
         };
         let mut group_idx = Vec::with_capacity(rows);
         let mut keybuf = vec![(0i64, false); keys.len()];
-        for i in 0..rows {
+        for (i, &h) in hashes.iter().enumerate().take(rows) {
             for (j, k) in keys.iter().enumerate() {
                 keybuf[j] = (k.data.get_i64(i), k.is_null(i));
             }
-            group_idx.push(self.upsert(hashes[i], &keybuf));
+            group_idx.push(self.upsert(h, &keybuf));
         }
         ctx.charge_kernel(&costs::group_lookup_per_row().scaled(rows as f64));
         if !ctx.vectorized {
@@ -176,8 +176,8 @@ impl GroupTable {
         let mut keybuf = vec![(0i64, false); self.key_values.len()];
         let aggs = self.aggs.clone();
         for g in 0..other.groups() {
-            for j in 0..keybuf.len() {
-                keybuf[j] = (other.key_values[j][g], other.key_nulls[j][g]);
+            for (j, kb) in keybuf.iter_mut().enumerate() {
+                *kb = (other.key_values[j][g], other.key_nulls[j][g]);
             }
             let me = self.upsert(other.hashes[g], &keybuf) as usize;
             for (a, spec) in aggs.iter().enumerate() {
@@ -257,9 +257,18 @@ mod tests {
 
     fn specs() -> Vec<AggSpec> {
         vec![
-            AggSpec { func: AggFunc::Sum, col: 1 },
-            AggSpec { func: AggFunc::Count, col: 0 },
-            AggSpec { func: AggFunc::Min, col: 1 },
+            AggSpec {
+                func: AggFunc::Sum,
+                col: 1,
+            },
+            AggSpec {
+                func: AggFunc::Count,
+                col: 0,
+            },
+            AggSpec {
+                func: AggFunc::Min,
+                col: 1,
+            },
         ]
     }
 
@@ -267,8 +276,12 @@ mod tests {
     fn groups_and_aggregates() {
         let mut c = ctx();
         let mut t = GroupTable::new(1, &specs(), 4);
-        t.consume(&mut c, &batch(vec![1, 2, 1, 2, 1], vec![10, 20, 30, 40, 50]), &[0])
-            .unwrap();
+        t.consume(
+            &mut c,
+            &batch(vec![1, 2, 1, 2, 1], vec![10, 20, 30, 40, 50]),
+            &[0],
+        )
+        .unwrap();
         assert_eq!(t.groups(), 2);
         let out = t.emit(&mut c);
         // Row for key 1: sum=90, count=3, min=10.
@@ -295,9 +308,11 @@ mod tests {
     fn merge_combines_per_core_tables() {
         let mut c = ctx();
         let mut a = GroupTable::new(1, &specs(), 8);
-        a.consume(&mut c, &batch(vec![1, 2], vec![10, 20]), &[0]).unwrap();
+        a.consume(&mut c, &batch(vec![1, 2], vec![10, 20]), &[0])
+            .unwrap();
         let mut b = GroupTable::new(1, &specs(), 8);
-        b.consume(&mut c, &batch(vec![2, 3], vec![200, 300]), &[0]).unwrap();
+        b.consume(&mut c, &batch(vec![2, 3], vec![200, 300]), &[0])
+            .unwrap();
         a.merge_from(&mut c, &b).unwrap();
         assert_eq!(a.groups(), 3);
         let out = a.emit(&mut c);
@@ -310,7 +325,14 @@ mod tests {
     #[test]
     fn global_aggregate_without_keys() {
         let mut c = ctx();
-        let mut t = GroupTable::new(0, &[AggSpec { func: AggFunc::Sum, col: 0 }], 1);
+        let mut t = GroupTable::new(
+            0,
+            &[AggSpec {
+                func: AggFunc::Sum,
+                col: 0,
+            }],
+            1,
+        );
         t.consume(
             &mut c,
             &Batch::new(vec![Vector::new(ColumnData::I64(vec![1, 2, 3]))]),
@@ -332,7 +354,14 @@ mod tests {
         let keycol = Vector::with_nulls(ColumnData::I64(vec![7, 0, 7, 0]), nulls);
         let vals = Vector::new(ColumnData::I64(vec![1, 2, 3, 4]));
         let b = Batch::new(vec![keycol, vals]);
-        let mut t = GroupTable::new(1, &[AggSpec { func: AggFunc::Sum, col: 1 }], 4);
+        let mut t = GroupTable::new(
+            1,
+            &[AggSpec {
+                func: AggFunc::Sum,
+                col: 1,
+            }],
+            4,
+        );
         t.consume(&mut c, &b, &[0]).unwrap();
         assert_eq!(t.groups(), 2, "7-group and NULL-group");
         let out = t.emit(&mut c);
@@ -362,7 +391,14 @@ mod tests {
             Vector::new(ColumnData::I64(vec![10, 20, 10, 10])),
             Vector::new(ColumnData::I64(vec![5, 5, 5, 5])),
         ]);
-        let mut t = GroupTable::new(2, &[AggSpec { func: AggFunc::Count, col: 2 }], 4);
+        let mut t = GroupTable::new(
+            2,
+            &[AggSpec {
+                func: AggFunc::Count,
+                col: 2,
+            }],
+            4,
+        );
         t.consume(&mut c, &b, &[0, 1]).unwrap();
         assert_eq!(t.groups(), 3); // (1,10)x2, (1,20), (2,10)
     }

@@ -215,11 +215,13 @@ impl JoinTable {
             nkeys,
             build_rows: rows,
         };
-        let mut stats = BuildStats::default();
-        stats.heavy_keys = table.heavy.len();
+        let mut stats = BuildStats {
+            heavy_keys: table.heavy.len(),
+            ..BuildStats::default()
+        };
 
         let mut keybuf = vec![0i64; nkeys];
-        for i in 0..rows {
+        for (i, &hash) in hashes.iter().enumerate().take(rows) {
             if keys.iter().any(|k| k.is_null(i)) {
                 continue; // SQL: NULL keys never join
             }
@@ -232,14 +234,14 @@ impl JoinTable {
                 continue;
             }
             if !table.dmem_seg.is_full() {
-                table.dmem_seg.insert(hashes[i], &keybuf, i as u32);
+                table.dmem_seg.insert(hash, &keybuf, i as u32);
                 stats.in_dmem += 1;
             } else {
                 // Small-skew overflow to DRAM.
-                let seg = table.dram_seg.get_or_insert_with(|| {
-                    Segment::new(rows, nkeys, BUCKETS_PER_ROW_SHRINK)
-                });
-                seg.insert(hashes[i], &keybuf, i as u32);
+                let seg = table
+                    .dram_seg
+                    .get_or_insert_with(|| Segment::new(rows, nkeys, BUCKETS_PER_ROW_SHRINK));
+                seg.insert(hash, &keybuf, i as u32);
                 stats.overflowed += 1;
             }
         }
@@ -479,7 +481,9 @@ mod tests {
         assert_eq!(stats.in_dmem, 5);
         let pkeys = vcol(vec![2, 4, 1]);
         let mut pairs = Vec::new();
-        let counts = t.probe(&mut c, &[&pkeys], &mut |p, b| pairs.push((p, b))).unwrap();
+        let counts = t
+            .probe(&mut c, &[&pkeys], &mut |p, b| pairs.push((p, b)))
+            .unwrap();
         assert_eq!(counts, vec![2, 0, 2]);
         pairs.sort_unstable();
         assert_eq!(pairs, vec![(0, 1), (0, 3), (2, 0), (2, 4)]);
@@ -493,7 +497,8 @@ mod tests {
         let (t, _) = JoinTable::build(&mut c, &[&bkeys], 8, false).unwrap();
         let pkeys = vcol(vec![10]);
         let mut matched = Vec::new();
-        t.probe(&mut c, &[&pkeys], &mut |_, b| matched.push(b)).unwrap();
+        t.probe(&mut c, &[&pkeys], &mut |_, b| matched.push(b))
+            .unwrap();
         matched.sort_unstable();
         assert_eq!(matched, vec![0, 4, 7], "all three 10s found via chain");
     }
@@ -546,7 +551,11 @@ mod tests {
             n
         });
         let counts = t.probe(&mut c, &[&pkeys], &mut |_, _| {}).unwrap();
-        assert_eq!(counts, vec![1, 0], "null build row and null probe row drop out");
+        assert_eq!(
+            counts,
+            vec![1, 0],
+            "null build row and null probe row drop out"
+        );
     }
 
     #[test]
@@ -566,8 +575,7 @@ mod tests {
         let mut c = ctx();
         let build = Batch::new(vec![vcol(vec![1, 2]), vcol(vec![100, 200])]);
         let probe = Batch::new(vec![vcol(vec![2, 1, 3]), vcol(vec![-2, -1, -3])]);
-        let out =
-            join_partition(&mut c, &build, &probe, &[0], &[0], JoinType::Inner, 2).unwrap();
+        let out = join_partition(&mut c, &build, &probe, &[0], &[0], JoinType::Inner, 2).unwrap();
         assert_eq!(out.width(), 4);
         assert_eq!(out.rows(), 2);
         // Row for probe key 2: probe cols (2, -2), build cols (2, 200).
@@ -636,6 +644,9 @@ mod tests {
         t2.probe(&mut c2, &[&pkeys], &mut |_, _| {}).unwrap();
         let row_cost = c2.account.compute_cycles().get() - base2;
         let ratio = row_cost / vec_cost;
-        assert!(ratio > 1.15, "row-at-a-time should cost noticeably more: {ratio:.2}");
+        assert!(
+            ratio > 1.15,
+            "row-at-a-time should cost noticeably more: {ratio:.2}"
+        );
     }
 }

@@ -62,7 +62,9 @@ pub fn merge_join_partition(
     while i < l.rows() && j < r.rows() {
         steps += 1;
         // NULL keys sort last and never match: stop when reached.
-        let (Some(a), Some(b)) = (lk.get(i), rk.get(j)) else { break };
+        let (Some(a), Some(b)) = (lk.get(i), rk.get(j)) else {
+            break;
+        };
         match a.cmp(&b) {
             std::cmp::Ordering::Less => {
                 if join_type == JoinType::LeftAnti {
@@ -175,7 +177,14 @@ fn sort_if_needed(ctx: &mut CoreCtx, batch: &Batch, key: usize) -> QefResult<Bat
     if sorted {
         Ok(batch.clone())
     } else {
-        sort_batch(ctx, batch, &[SortKey { col: key, desc: false }])
+        sort_batch(
+            ctx,
+            batch,
+            &[SortKey {
+                col: key,
+                desc: false,
+            }],
+        )
     }
 }
 
@@ -197,12 +206,13 @@ mod tests {
     #[test]
     fn inner_merge_matches_hash_join() {
         let mut c = ctx();
-        let left = Batch::new(vec![vcol(vec![5, 1, 3, 5, 9]), vcol(vec![50, 10, 30, 51, 90])]);
+        let left = Batch::new(vec![
+            vcol(vec![5, 1, 3, 5, 9]),
+            vcol(vec![50, 10, 30, 51, 90]),
+        ]);
         let right = Batch::new(vec![vcol(vec![3, 5, 7]), vcol(vec![-3, -5, -7])]);
-        let merged =
-            merge_join_partition(&mut c, &left, &right, 0, 0, JoinType::Inner).unwrap();
-        let hashed =
-            join_partition(&mut c, &right, &left, &[0], &[0], JoinType::Inner, 3).unwrap();
+        let merged = merge_join_partition(&mut c, &left, &right, 0, 0, JoinType::Inner).unwrap();
+        let hashed = join_partition(&mut c, &right, &left, &[0], &[0], JoinType::Inner, 3).unwrap();
         assert_eq!(merged.rows(), hashed.rows());
         // Canonicalize: (lkey, lval, rkey, rval) tuples.
         let tuples = |b: &Batch| {
@@ -236,13 +246,11 @@ mod tests {
         let mut c = ctx();
         let left = Batch::new(vec![vcol(vec![4, 1, 3, 2])]);
         let right = Batch::new(vec![vcol(vec![2, 4, 4])]);
-        let semi =
-            merge_join_partition(&mut c, &left, &right, 0, 0, JoinType::LeftSemi).unwrap();
+        let semi = merge_join_partition(&mut c, &left, &right, 0, 0, JoinType::LeftSemi).unwrap();
         let mut s = semi.column(0).data.to_i64_vec();
         s.sort_unstable();
         assert_eq!(s, vec![2, 4]);
-        let anti =
-            merge_join_partition(&mut c, &left, &right, 0, 0, JoinType::LeftAnti).unwrap();
+        let anti = merge_join_partition(&mut c, &left, &right, 0, 0, JoinType::LeftAnti).unwrap();
         let mut a = anti.column(0).data.to_i64_vec();
         a.sort_unstable();
         assert_eq!(a, vec![1, 3]);
@@ -259,11 +267,9 @@ mod tests {
             nulls,
         )]);
         let right = Batch::new(vec![vcol(vec![0, 1, 2])]);
-        let inner =
-            merge_join_partition(&mut c, &left, &right, 0, 0, JoinType::Inner).unwrap();
+        let inner = merge_join_partition(&mut c, &left, &right, 0, 0, JoinType::Inner).unwrap();
         assert_eq!(inner.rows(), 2, "null left key matches nothing");
-        let anti =
-            merge_join_partition(&mut c, &left, &right, 0, 0, JoinType::LeftAnti).unwrap();
+        let anti = merge_join_partition(&mut c, &left, &right, 0, 0, JoinType::LeftAnti).unwrap();
         assert_eq!(anti.rows(), 1, "the null-key row survives anti-join");
     }
 
@@ -271,9 +277,7 @@ mod tests {
     fn outer_is_rejected() {
         let mut c = ctx();
         let b = Batch::new(vec![vcol(vec![1])]);
-        assert!(
-            merge_join_partition(&mut c, &b, &b, 0, 0, JoinType::LeftOuter).is_err()
-        );
+        assert!(merge_join_partition(&mut c, &b, &b, 0, 0, JoinType::LeftOuter).is_err());
     }
 
     #[test]
@@ -282,11 +286,15 @@ mod tests {
         let b = Batch::new(vec![vcol(vec![1, 2])]);
         let e = Batch::empty(0);
         assert_eq!(
-            merge_join_partition(&mut c, &b, &e, 0, 0, JoinType::LeftAnti).unwrap().rows(),
+            merge_join_partition(&mut c, &b, &e, 0, 0, JoinType::LeftAnti)
+                .unwrap()
+                .rows(),
             2
         );
         assert_eq!(
-            merge_join_partition(&mut c, &e, &b, 0, 0, JoinType::Inner).unwrap().rows(),
+            merge_join_partition(&mut c, &e, &b, 0, 0, JoinType::Inner)
+                .unwrap()
+                .rows(),
             0
         );
     }

@@ -71,9 +71,13 @@ pub fn partition_batches(
                 per_part_cols[p].push(v);
             }
         }
-        let widths: Vec<usize> =
-            batch.columns.iter().map(|c| c.data.width()).collect();
-        ctx.charge_dms(&RelationAccessor::seq_write_cost(ctx, &widths, batch.rows(), tile));
+        let widths: Vec<usize> = batch.columns.iter().map(|c| c.data.width()).collect();
+        ctx.charge_dms(&RelationAccessor::seq_write_cost(
+            ctx,
+            &widths,
+            batch.rows(),
+            tile,
+        ));
         ctx.charge_tile();
         for (p, cols) in per_part_cols.into_iter().enumerate() {
             let b = Batch::new(cols);
@@ -138,8 +142,10 @@ mod tests {
         assert_eq!(parts.len(), 16);
         let total: usize = parts.iter().map(Batch::rows).sum();
         assert_eq!(total, 10_000);
-        let mut all_keys: Vec<i64> =
-            parts.iter().flat_map(|p| p.column(0).data.to_i64_vec()).collect();
+        let mut all_keys: Vec<i64> = parts
+            .iter()
+            .flat_map(|p| p.column(0).data.to_i64_vec())
+            .collect();
         all_keys.sort_unstable();
         assert_eq!(all_keys, (0..10_000).collect::<Vec<_>>());
     }
@@ -150,7 +156,10 @@ mod tests {
         let parts = partition_batches(&mut c, &[batch(5000)], &[0], 8, 0, 256).unwrap();
         for p in &parts {
             for i in 0..p.rows() {
-                assert_eq!(p.column(1).data.get_i64(i), p.column(0).data.get_i64(i) * 100);
+                assert_eq!(
+                    p.column(1).data.get_i64(i),
+                    p.column(0).data.get_i64(i) * 100
+                );
             }
         }
     }
@@ -161,8 +170,12 @@ mod tests {
         let keys = vec![42i64; 1000];
         let b = Batch::new(vec![Vector::new(ColumnData::I64(keys))]);
         let parts = partition_batches(&mut c, &[b], &[0], 32, 0, 256).unwrap();
-        let nonempty: Vec<usize> =
-            parts.iter().enumerate().filter(|(_, p)| !p.is_empty()).map(|(i, _)| i).collect();
+        let nonempty: Vec<usize> = parts
+            .iter()
+            .enumerate()
+            .filter(|(_, p)| !p.is_empty())
+            .map(|(i, _)| i)
+            .collect();
         assert_eq!(nonempty.len(), 1);
         assert_eq!(parts[nonempty[0]].rows(), 1000);
     }
@@ -207,7 +220,10 @@ mod tests {
         let mut seen: HashMap<(i64, i64), usize> = HashMap::new();
         for (p, part) in parts.iter().enumerate() {
             for i in 0..part.rows() {
-                let key = (part.column(0).data.get_i64(i), part.column(1).data.get_i64(i));
+                let key = (
+                    part.column(0).data.get_i64(i),
+                    part.column(1).data.get_i64(i),
+                );
                 if let Some(&prev) = seen.get(&key) {
                     assert_eq!(prev, p, "pair {key:?} split across partitions");
                 } else {

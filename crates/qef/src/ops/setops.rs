@@ -101,8 +101,13 @@ mod tests {
     #[test]
     fn union_distinct() {
         let mut c = ctx();
-        let out = set_op(&mut c, &[batch(vec![1, 2, 2])], &[batch(vec![2, 3])], SetOpKind::Union)
-            .unwrap();
+        let out = set_op(
+            &mut c,
+            &[batch(vec![1, 2, 2])],
+            &[batch(vec![2, 3])],
+            SetOpKind::Union,
+        )
+        .unwrap();
         assert_eq!(values(&out), vec![1, 2, 3]);
     }
 
@@ -138,12 +143,11 @@ mod tests {
         let mut c = ctx();
         let mut nulls = BitVec::zeros(2);
         nulls.set(0, true);
-        let withnull =
-            Batch::new(vec![Vector::with_nulls(ColumnData::I64(vec![0, 1]), nulls)]);
+        let withnull = Batch::new(vec![Vector::with_nulls(ColumnData::I64(vec![0, 1]), nulls)]);
         let out = set_op(
             &mut c,
-            &[withnull.clone()],
-            &[withnull],
+            std::slice::from_ref(&withnull),
+            std::slice::from_ref(&withnull),
             SetOpKind::Intersect,
         )
         .unwrap();
@@ -153,8 +157,7 @@ mod tests {
     #[test]
     fn empty_sides() {
         let mut c = ctx();
-        let out =
-            set_op(&mut c, &[], &[batch(vec![1])], SetOpKind::Union).unwrap();
+        let out = set_op(&mut c, &[], &[batch(vec![1])], SetOpKind::Union).unwrap();
         assert_eq!(values(&out), vec![1]);
         let out = set_op(&mut c, &[batch(vec![1])], &[], SetOpKind::Intersect).unwrap();
         assert_eq!(out.rows(), 0);

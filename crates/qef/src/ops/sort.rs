@@ -33,19 +33,16 @@ fn order_key(v: Option<i64>, desc: bool) -> u64 {
 }
 
 /// Stable LSD radix sort of `perm` (row permutation) by one key column.
-fn radix_pass_column(
-    ctx: &mut CoreCtx,
-    batch: &Batch,
-    key: SortKey,
-    perm: &mut Vec<u32>,
-) {
+fn radix_pass_column(ctx: &mut CoreCtx, batch: &Batch, key: SortKey, perm: &mut Vec<u32>) {
     let n = perm.len();
     if n <= 1 {
         return;
     }
     let col = batch.column(key.col);
-    let keys: Vec<u64> =
-        perm.iter().map(|&r| order_key(col.get(r as usize), key.desc)).collect();
+    let keys: Vec<u64> = perm
+        .iter()
+        .map(|&r| order_key(col.get(r as usize), key.desc))
+        .collect();
     // 8 passes of 8 bits, counting sort each (skip passes where all bytes
     // are equal — common for narrow domains).
     let mut cur: Vec<(u64, u32)> = keys.into_iter().zip(perm.iter().copied()).collect();
@@ -76,9 +73,7 @@ fn radix_pass_column(
         cur = next;
     }
     *perm = cur.into_iter().map(|(_, r)| r).collect();
-    ctx.charge_kernel(
-        &costs::radix_sort_per_row_per_pass().scaled((n * passes.max(1)) as f64),
-    );
+    ctx.charge_kernel(&costs::radix_sort_per_row_per_pass().scaled((n * passes.max(1)) as f64));
 }
 
 /// Sort a batch by the given keys, returning the permuted batch.
@@ -98,8 +93,12 @@ pub fn sort_batch(ctx: &mut CoreCtx, batch: &Batch, order: &[SortKey]) -> QefRes
 /// merge; k-way with a simple loser-tree-equivalent linear pick).
 pub fn merge_sorted(ctx: &mut CoreCtx, batches: &[Batch], order: &[SortKey]) -> QefResult<Batch> {
     use crate::ops::topk::cmp_rows;
-    let mut cursors: Vec<(usize, usize)> =
-        batches.iter().enumerate().filter(|(_, b)| !b.is_empty()).map(|(i, _)| (i, 0)).collect();
+    let mut cursors: Vec<(usize, usize)> = batches
+        .iter()
+        .enumerate()
+        .filter(|(_, b)| !b.is_empty())
+        .map(|(i, _)| (i, 0))
+        .collect();
     let mut out_rows: Vec<(usize, u32)> = Vec::new();
     while !cursors.is_empty() {
         let mut best = 0usize;
@@ -157,7 +156,10 @@ mod tests {
         let out = sort_batch(
             &mut c,
             &batch(vec![5, -3, 0, i64::MIN, 9, i64::MAX, -3]),
-            &[SortKey { col: 0, desc: false }],
+            &[SortKey {
+                col: 0,
+                desc: false,
+            }],
         )
         .unwrap();
         assert_eq!(
@@ -169,8 +171,12 @@ mod tests {
     #[test]
     fn descending_sort() {
         let mut c = ctx();
-        let out =
-            sort_batch(&mut c, &batch(vec![1, 3, 2]), &[SortKey { col: 0, desc: true }]).unwrap();
+        let out = sort_batch(
+            &mut c,
+            &batch(vec![1, 3, 2]),
+            &[SortKey { col: 0, desc: true }],
+        )
+        .unwrap();
         assert_eq!(out.column(0).data.to_i64_vec(), vec![3, 2, 1]);
     }
 
@@ -184,7 +190,16 @@ mod tests {
         let out = sort_batch(
             &mut c,
             &b,
-            &[SortKey { col: 0, desc: false }, SortKey { col: 1, desc: false }],
+            &[
+                SortKey {
+                    col: 0,
+                    desc: false,
+                },
+                SortKey {
+                    col: 1,
+                    desc: false,
+                },
+            ],
         )
         .unwrap();
         assert_eq!(out.column(0).data.to_i64_vec(), vec![1, 1, 2, 2]);
@@ -197,8 +212,19 @@ mod tests {
         let mut c = ctx();
         let mut nulls = BitVec::zeros(3);
         nulls.set(0, true);
-        let b = Batch::new(vec![Vector::with_nulls(ColumnData::I64(vec![0, 2, 1]), nulls)]);
-        let asc = sort_batch(&mut c, &b, &[SortKey { col: 0, desc: false }]).unwrap();
+        let b = Batch::new(vec![Vector::with_nulls(
+            ColumnData::I64(vec![0, 2, 1]),
+            nulls,
+        )]);
+        let asc = sort_batch(
+            &mut c,
+            &b,
+            &[SortKey {
+                col: 0,
+                desc: false,
+            }],
+        )
+        .unwrap();
         assert_eq!(asc.column(0).get(2), None);
         let desc = sort_batch(&mut c, &b, &[SortKey { col: 0, desc: true }]).unwrap();
         assert_eq!(desc.column(0).get(0), None);
@@ -209,16 +235,40 @@ mod tests {
         let mut c = ctx();
         let a = batch(vec![1, 4, 7]);
         let b = batch(vec![2, 3, 9]);
-        let m = merge_sorted(&mut c, &[a, b], &[SortKey { col: 0, desc: false }]).unwrap();
+        let m = merge_sorted(
+            &mut c,
+            &[a, b],
+            &[SortKey {
+                col: 0,
+                desc: false,
+            }],
+        )
+        .unwrap();
         assert_eq!(m.column(0).data.to_i64_vec(), vec![1, 2, 3, 4, 7, 9]);
     }
 
     #[test]
     fn empty_inputs() {
         let mut c = ctx();
-        let out = sort_batch(&mut c, &batch(vec![]), &[SortKey { col: 0, desc: false }]).unwrap();
+        let out = sort_batch(
+            &mut c,
+            &batch(vec![]),
+            &[SortKey {
+                col: 0,
+                desc: false,
+            }],
+        )
+        .unwrap();
         assert_eq!(out.rows(), 0);
-        let m = merge_sorted(&mut c, &[], &[SortKey { col: 0, desc: false }]).unwrap();
+        let m = merge_sorted(
+            &mut c,
+            &[],
+            &[SortKey {
+                col: 0,
+                desc: false,
+            }],
+        )
+        .unwrap();
         assert_eq!(m.rows(), 0);
     }
 }

@@ -15,7 +15,13 @@ use crate::plan::SortKey;
 use crate::primitives::costs;
 
 /// Compare two rows of a batch under the sort keys.
-pub fn cmp_rows(batch_a: &Batch, row_a: usize, batch_b: &Batch, row_b: usize, order: &[SortKey]) -> Ordering {
+pub fn cmp_rows(
+    batch_a: &Batch,
+    row_a: usize,
+    batch_b: &Batch,
+    row_b: usize,
+    order: &[SortKey],
+) -> Ordering {
     for k in order {
         let a = batch_a.column(k.col).get(row_a);
         let b = batch_b.column(k.col).get(row_b);
@@ -47,7 +53,11 @@ pub struct TopK {
 impl TopK {
     /// Top-`k` under `order`.
     pub fn new(order: Vec<SortKey>, k: usize) -> TopK {
-        TopK { order, k, rows: Vec::new() }
+        TopK {
+            order,
+            k,
+            rows: Vec::new(),
+        }
     }
 
     /// Consume a batch.
@@ -68,7 +78,8 @@ impl TopK {
 
     fn prune(&mut self) {
         let order = self.order.clone();
-        self.rows.sort_by(|(ba, ra), (bb, rb)| cmp_rows(ba, *ra, bb, *rb, &order));
+        self.rows
+            .sort_by(|(ba, ra), (bb, rb)| cmp_rows(ba, *ra, bb, *rb, &order));
         self.rows.truncate(self.k);
     }
 
@@ -119,7 +130,13 @@ mod tests {
     #[test]
     fn k_larger_than_input() {
         let mut c = ctx();
-        let mut t = TopK::new(vec![SortKey { col: 0, desc: false }], 10);
+        let mut t = TopK::new(
+            vec![SortKey {
+                col: 0,
+                desc: false,
+            }],
+            10,
+        );
         t.consume(&mut c, &batch(vec![3, 1, 2])).unwrap();
         let out = t.finish(&mut c);
         assert_eq!(out.column(0).data.to_i64_vec(), vec![1, 2, 3]);
@@ -146,7 +163,10 @@ mod tests {
             t.consume(&mut c, &batch(chunk.to_vec())).unwrap();
         }
         let out = t.finish(&mut c);
-        assert_eq!(out.column(0).data.to_i64_vec(), vec![9999, 9998, 9997, 9996, 9995]);
+        assert_eq!(
+            out.column(0).data.to_i64_vec(),
+            vec![9999, 9998, 9997, 9996, 9995]
+        );
     }
 
     #[test]
@@ -157,7 +177,13 @@ mod tests {
             Vector::new(ColumnData::I64(vec![30, 10, 20])),
         ]);
         let mut t = TopK::new(
-            vec![SortKey { col: 0, desc: false }, SortKey { col: 1, desc: true }],
+            vec![
+                SortKey {
+                    col: 0,
+                    desc: false,
+                },
+                SortKey { col: 1, desc: true },
+            ],
             3,
         );
         t.consume(&mut c, &b).unwrap();
@@ -171,8 +197,17 @@ mod tests {
         let mut c = ctx();
         let mut nulls = BitVec::zeros(3);
         nulls.set(1, true);
-        let b = Batch::new(vec![Vector::with_nulls(ColumnData::I64(vec![5, 0, 1]), nulls)]);
-        let mut t = TopK::new(vec![SortKey { col: 0, desc: false }], 3);
+        let b = Batch::new(vec![Vector::with_nulls(
+            ColumnData::I64(vec![5, 0, 1]),
+            nulls,
+        )]);
+        let mut t = TopK::new(
+            vec![SortKey {
+                col: 0,
+                desc: false,
+            }],
+            3,
+        );
         t.consume(&mut c, &b).unwrap();
         let out = t.finish(&mut c);
         assert_eq!(out.column(0).get(0), Some(1));

@@ -29,8 +29,10 @@ pub fn window_batch(
     let mut groups: std::collections::HashMap<Vec<Option<i64>>, Vec<u32>> =
         std::collections::HashMap::new();
     for i in 0..n {
-        let key: Vec<Option<i64>> =
-            partition_by.iter().map(|&c| batch.column(c).get(i)).collect();
+        let key: Vec<Option<i64>> = partition_by
+            .iter()
+            .map(|&c| batch.column(c).get(i))
+            .collect();
         groups.entry(key).or_default().push(i as u32);
     }
     ctx.charge_kernel(&costs::group_lookup_per_row().scaled(n as f64));
@@ -40,9 +42,7 @@ pub fn window_batch(
         // Order within the partition.
         let mut ordered = rows.clone();
         ordered.sort_by(|&a, &b| cmp_rows(batch, a as usize, batch, b as usize, order_by));
-        ctx.charge_kernel(
-            &costs::radix_sort_per_row_per_pass().scaled((ordered.len() * 2) as f64),
-        );
+        ctx.charge_kernel(&costs::radix_sort_per_row_per_pass().scaled((ordered.len() * 2) as f64));
         match func {
             WindowFunc::RowNumber => {
                 for (pos, &r) in ordered.iter().enumerate() {
@@ -138,7 +138,10 @@ mod tests {
             &mut c,
             &batch(),
             &[0],
-            &[SortKey { col: 1, desc: false }],
+            &[SortKey {
+                col: 1,
+                desc: false,
+            }],
             WindowFunc::RunningSum { col: 1 },
         )
         .unwrap();
@@ -155,7 +158,10 @@ mod tests {
             &mut c,
             &batch(),
             &[],
-            &[SortKey { col: 1, desc: false }],
+            &[SortKey {
+                col: 1,
+                desc: false,
+            }],
             WindowFunc::RowNumber,
         )
         .unwrap();

@@ -245,8 +245,7 @@ impl PlanNode {
                             name: f.name.clone(),
                             dtype: f.dtype,
                             scale: t.scales[c],
-                            dict: matches!(f.dtype, DataType::Varchar)
-                                .then(|| (table.clone(), c)),
+                            dict: matches!(f.dtype, DataType::Varchar).then(|| (table.clone(), c)),
                             nullable: f.nullable,
                         })
                     })
@@ -269,7 +268,12 @@ impl PlanNode {
                     })
                     .collect())
             }
-            PlanNode::HashJoin { build, probe, join_type, .. } => {
+            PlanNode::HashJoin {
+                build,
+                probe,
+                join_type,
+                ..
+            } => {
                 let p = probe.output_meta(catalog)?;
                 match join_type {
                     JoinType::LeftSemi | JoinType::LeftAnti => Ok(p),
@@ -288,36 +292,28 @@ impl PlanNode {
                     }
                 }
             }
-            PlanNode::GroupBy { input, keys, aggs, .. } => {
+            PlanNode::GroupBy {
+                input, keys, aggs, ..
+            } => {
                 let im = input.output_meta(catalog)?;
                 let mut out = Vec::with_capacity(keys.len() + aggs.len());
                 for &k in keys {
-                    out.push(
-                        im.get(k)
-                            .cloned()
-                            .ok_or(QefError::BadColumn { index: k, available: im.len() })?,
-                    );
+                    out.push(im.get(k).cloned().ok_or(QefError::BadColumn {
+                        index: k,
+                        available: im.len(),
+                    })?);
                 }
                 for a in aggs {
-                    let src = im
-                        .get(a.col)
-                        .ok_or(QefError::BadColumn { index: a.col, available: im.len() })?;
+                    let src = im.get(a.col).ok_or(QefError::BadColumn {
+                        index: a.col,
+                        available: im.len(),
+                    })?;
                     let (name, dtype, scale) = match a.func {
-                        AggFunc::Count => {
-                            (format!("count_{}", src.name), DataType::Int, 0)
-                        }
-                        AggFunc::Sum => {
-                            (format!("sum_{}", src.name), src.dtype, src.scale)
-                        }
-                        AggFunc::Avg => {
-                            (format!("avg_{}", src.name), src.dtype, src.scale)
-                        }
-                        AggFunc::Min => {
-                            (format!("min_{}", src.name), src.dtype, src.scale)
-                        }
-                        AggFunc::Max => {
-                            (format!("max_{}", src.name), src.dtype, src.scale)
-                        }
+                        AggFunc::Count => (format!("count_{}", src.name), DataType::Int, 0),
+                        AggFunc::Sum => (format!("sum_{}", src.name), src.dtype, src.scale),
+                        AggFunc::Avg => (format!("avg_{}", src.name), src.dtype, src.scale),
+                        AggFunc::Min => (format!("min_{}", src.name), src.dtype, src.scale),
+                        AggFunc::Max => (format!("max_{}", src.name), src.dtype, src.scale),
                     };
                     // Aggregates of dictionary columns keep provenance
                     // (MIN/MAX of a Varchar is still a code).
@@ -325,7 +321,13 @@ impl PlanNode {
                         AggFunc::Min | AggFunc::Max => src.dict.clone(),
                         _ => None,
                     };
-                    out.push(ColMeta { name, dtype, scale, dict, nullable: true });
+                    out.push(ColMeta {
+                        name,
+                        dtype,
+                        scale,
+                        dict,
+                        nullable: true,
+                    });
                 }
                 Ok(out)
             }
@@ -343,7 +345,13 @@ impl PlanNode {
                         (format!("running_sum_{}", src.name), src.dtype, src.scale)
                     }
                 };
-                out.push(ColMeta { name, dtype, scale, dict: None, nullable: false });
+                out.push(ColMeta {
+                    name,
+                    dtype,
+                    scale,
+                    dict: None,
+                    nullable: false,
+                });
                 Ok(out)
             }
         }
@@ -388,7 +396,10 @@ mod tests {
         let mut b = TableBuilder::new("t", schema);
         b.push_row(vec![
             Value::Int(1),
-            Value::Decimal { unscaled: 155, scale: 2 },
+            Value::Decimal {
+                unscaled: 155,
+                scale: 2,
+            },
             Value::Str("x".into()),
         ]);
         let mut c = Catalog::new();
@@ -398,7 +409,11 @@ mod tests {
 
     #[test]
     fn scan_meta_reflects_schema() {
-        let plan = PlanNode::Scan { table: "t".into(), columns: vec![2, 1], pred: None };
+        let plan = PlanNode::Scan {
+            table: "t".into(),
+            columns: vec![2, 1],
+            pred: None,
+        };
         let meta = plan.output_meta(&catalog()).unwrap();
         assert_eq!(meta[0].name, "flag");
         assert_eq!(meta[0].dict, Some(("t".into(), 2)));
@@ -408,11 +423,21 @@ mod tests {
     #[test]
     fn groupby_meta_types() {
         let plan = PlanNode::GroupBy {
-            input: Box::new(PlanNode::Scan { table: "t".into(), columns: vec![2, 1], pred: None }),
+            input: Box::new(PlanNode::Scan {
+                table: "t".into(),
+                columns: vec![2, 1],
+                pred: None,
+            }),
             keys: vec![0],
             aggs: vec![
-                AggSpec { func: AggFunc::Sum, col: 1 },
-                AggSpec { func: AggFunc::Count, col: 0 },
+                AggSpec {
+                    func: AggFunc::Sum,
+                    col: 1,
+                },
+                AggSpec {
+                    func: AggFunc::Count,
+                    col: 0,
+                },
             ],
             strategy: GroupStrategy::Auto,
         };
@@ -425,7 +450,11 @@ mod tests {
 
     #[test]
     fn join_meta_concatenates_or_keeps_probe() {
-        let scan = PlanNode::Scan { table: "t".into(), columns: vec![0], pred: None };
+        let scan = PlanNode::Scan {
+            table: "t".into(),
+            columns: vec![0],
+            pred: None,
+        };
         let inner = PlanNode::HashJoin {
             build: Box::new(scan.clone()),
             probe: Box::new(scan.clone()),
@@ -458,7 +487,11 @@ mod tests {
 
     #[test]
     fn missing_table_is_an_error() {
-        let plan = PlanNode::Scan { table: "ghost".into(), columns: vec![0], pred: None };
+        let plan = PlanNode::Scan {
+            table: "ghost".into(),
+            columns: vec![0],
+            pred: None,
+        };
         assert!(matches!(
             plan.output_meta(&catalog()),
             Err(QefError::TableNotLoaded(t)) if t == "ghost"
@@ -467,7 +500,11 @@ mod tests {
 
     #[test]
     fn referenced_tables_walks_dag() {
-        let scan = |t: &str| PlanNode::Scan { table: t.into(), columns: vec![0], pred: None };
+        let scan = |t: &str| PlanNode::Scan {
+            table: t.into(),
+            columns: vec![0],
+            pred: None,
+        };
         let plan = PlanNode::HashJoin {
             build: Box::new(scan("a")),
             probe: Box::new(PlanNode::Filter {
@@ -487,7 +524,11 @@ mod tests {
     #[test]
     fn plan_serde_roundtrip() {
         let plan = PlanNode::TopK {
-            input: Box::new(PlanNode::Scan { table: "t".into(), columns: vec![0, 1], pred: None }),
+            input: Box::new(PlanNode::Scan {
+                table: "t".into(),
+                columns: vec![0, 1],
+                pred: None,
+            }),
             order: vec![SortKey { col: 1, desc: true }],
             k: 10,
         };

@@ -39,8 +39,14 @@ impl AggState {
     /// Neutral state for a function.
     pub fn init(f: AggFunc) -> AggState {
         match f {
-            AggFunc::Min => AggState { value: i64::MAX, count: 0 },
-            AggFunc::Max => AggState { value: i64::MIN, count: 0 },
+            AggFunc::Min => AggState {
+                value: i64::MAX,
+                count: 0,
+            },
+            AggFunc::Max => AggState {
+                value: i64::MIN,
+                count: 0,
+            },
             _ => AggState { value: 0, count: 0 },
         }
     }
@@ -183,7 +189,10 @@ mod tests {
         let s = AggState::init(AggFunc::Sum);
         assert_eq!(s.finalize(AggFunc::Sum), None);
         assert_eq!(s.finalize(AggFunc::Avg), None);
-        assert_eq!(AggState::init(AggFunc::Count).finalize(AggFunc::Count), Some(0));
+        assert_eq!(
+            AggState::init(AggFunc::Count).finalize(AggFunc::Count),
+            Some(0)
+        );
     }
 
     #[test]
@@ -210,7 +219,10 @@ mod tests {
 
     #[test]
     fn sum_overflow_detected() {
-        let mut s = AggState { value: i64::MAX, count: 1 };
+        let mut s = AggState {
+            value: i64::MAX,
+            count: 1,
+        };
         assert!(s.update(AggFunc::Sum, 1).is_err());
     }
 }

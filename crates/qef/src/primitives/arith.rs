@@ -72,7 +72,11 @@ pub fn arith_col(ctx: &mut CoreCtx, a: &Vector, op: ArithOp, b: &Vector) -> QefR
     debug_assert_eq!(a.len(), b.len());
     let n = a.len();
     let mut out = Vec::with_capacity(n);
-    let mut nulls = if a.has_nulls() || b.has_nulls() { Some(BitVec::zeros(n)) } else { None };
+    let mut nulls = if a.has_nulls() || b.has_nulls() {
+        Some(BitVec::zeros(n))
+    } else {
+        None
+    };
     for i in 0..n {
         if a.is_null(i) || b.is_null(i) {
             out.push(0);
@@ -134,15 +138,24 @@ mod tests {
         let mut c = ctx();
         let col = Vector::new(ColumnData::I64(vec![10, 20, 30]));
         assert_eq!(
-            arith_const(&mut c, &col, ArithOp::Add, 5).unwrap().data.to_i64_vec(),
+            arith_const(&mut c, &col, ArithOp::Add, 5)
+                .unwrap()
+                .data
+                .to_i64_vec(),
             vec![15, 25, 35]
         );
         assert_eq!(
-            arith_const(&mut c, &col, ArithOp::Mul, -2).unwrap().data.to_i64_vec(),
+            arith_const(&mut c, &col, ArithOp::Mul, -2)
+                .unwrap()
+                .data
+                .to_i64_vec(),
             vec![-20, -40, -60]
         );
         assert_eq!(
-            arith_const(&mut c, &col, ArithOp::Div, 10).unwrap().data.to_i64_vec(),
+            arith_const(&mut c, &col, ArithOp::Div, 10)
+                .unwrap()
+                .data
+                .to_i64_vec(),
             vec![1, 2, 3]
         );
     }

@@ -21,85 +21,182 @@ use dpu_sim::isa::KernelCost;
 /// Filter compare loop (Listing 1): `bvld` + `filteq` dual-issue per value,
 /// one backward branch per unrolled pair.
 pub fn filter_per_row() -> KernelCost {
-    KernelCost { alu: 1.0, lsu: 1.0, dual_issue_frac: 1.0, mul: 0.0, branches: 0.5, mispredicts: 0.005 }
+    KernelCost {
+        alu: 1.0,
+        lsu: 1.0,
+        dual_issue_frac: 1.0,
+        mul: 0.0,
+        branches: 0.5,
+        mispredicts: 0.005,
+    }
 }
 
 /// Extra cost when the filter emits RIDs instead of bits: a conditional
 /// append (data-dependent forward branch).
 pub fn filter_rid_emit_per_match() -> KernelCost {
-    KernelCost { alu: 1.0, lsu: 1.0, dual_issue_frac: 0.0, branches: 1.0, mispredicts: 0.15, ..Default::default() }
+    KernelCost {
+        alu: 1.0,
+        lsu: 1.0,
+        dual_issue_frac: 0.0,
+        branches: 1.0,
+        mispredicts: 0.15,
+        ..Default::default()
+    }
 }
 
 /// Arithmetic map loop: load, op, store — dual-issued.
 pub fn arith_per_row() -> KernelCost {
-    KernelCost { alu: 1.0, lsu: 2.0, dual_issue_frac: 1.0, mul: 0.0, branches: 1.0 / 8.0, mispredicts: 0.0 }
+    KernelCost {
+        alu: 1.0,
+        lsu: 2.0,
+        dual_issue_frac: 1.0,
+        mul: 0.0,
+        branches: 1.0 / 8.0,
+        mispredicts: 0.0,
+    }
 }
 
 /// Multiply variant: the low-power multiplier stalls the pipeline.
 pub fn mul_per_row() -> KernelCost {
-    KernelCost { mul: 1.0, ..arith_per_row() }
+    KernelCost {
+        mul: 1.0,
+        ..arith_per_row()
+    }
 }
 
 /// CRC32 hash per row per key column (single-cycle CRC instruction plus
 /// load, dual-issued).
 pub fn hash_per_row_per_key() -> KernelCost {
-    KernelCost { alu: 1.0, lsu: 1.0, dual_issue_frac: 1.0, branches: 1.0 / 16.0, ..Default::default() }
+    KernelCost {
+        alu: 1.0,
+        lsu: 1.0,
+        dual_issue_frac: 1.0,
+        branches: 1.0 / 16.0,
+        ..Default::default()
+    }
 }
 
 /// `compute_partition_map` (Listing 2): mask/shift on a hash value plus a
 /// histogram update, tight branch-free loops.
 pub fn partition_map_per_row() -> KernelCost {
-    KernelCost { alu: 3.0, lsu: 3.0, dual_issue_frac: 0.8, branches: 1.0 / 8.0, mispredicts: 0.0, mul: 0.0 }
+    KernelCost {
+        alu: 3.0,
+        lsu: 3.0,
+        dual_issue_frac: 0.8,
+        branches: 1.0 / 8.0,
+        mispredicts: 0.0,
+        mul: 0.0,
+    }
 }
 
 /// `swpart` column gather (Listing 3): load rid, load value, store value —
 /// per projected column.
 pub fn swpart_gather_per_row() -> KernelCost {
-    KernelCost { alu: 2.0, lsu: 5.0, dual_issue_frac: 0.7, branches: 1.0 / 8.0, ..Default::default() }
+    KernelCost {
+        alu: 2.0,
+        lsu: 5.0,
+        dual_issue_frac: 0.7,
+        branches: 1.0 / 8.0,
+        ..Default::default()
+    }
 }
 
 /// Hash-join build kernel per row: bucket index (mask+shift on the
 /// hardware CRC), load bucket, chain into link array, store rowid, store
 /// key copy (§6.3's compact bit-array updates are multi-op).
 pub fn join_build_per_row() -> KernelCost {
-    KernelCost { alu: 8.0, lsu: 8.0, dual_issue_frac: 0.4, mul: 0.0, branches: 1.0, mispredicts: 0.02 }
+    KernelCost {
+        alu: 8.0,
+        lsu: 8.0,
+        dual_issue_frac: 0.4,
+        mul: 0.0,
+        branches: 1.0,
+        mispredicts: 0.02,
+    }
 }
 
 /// Hash-join probe kernel fixed part per probe row: bucket index, bucket
 /// load, first comparison.
 pub fn join_probe_per_row() -> KernelCost {
-    KernelCost { alu: 7.0, lsu: 6.0, dual_issue_frac: 0.5, mul: 0.0, branches: 1.0, mispredicts: 0.05 }
+    KernelCost {
+        alu: 7.0,
+        lsu: 6.0,
+        dual_issue_frac: 0.5,
+        mul: 0.0,
+        branches: 1.0,
+        mispredicts: 0.05,
+    }
 }
 
 /// Per chain-link traversed during probe (link load + key compare).
 pub fn join_probe_per_link() -> KernelCost {
-    KernelCost { alu: 3.0, lsu: 3.0, dual_issue_frac: 0.5, branches: 1.0, mispredicts: 0.1, mul: 0.0 }
+    KernelCost {
+        alu: 3.0,
+        lsu: 3.0,
+        dual_issue_frac: 0.5,
+        branches: 1.0,
+        mispredicts: 0.1,
+        mul: 0.0,
+    }
 }
 
 /// Per produced match (output rid pair store).
 pub fn join_emit_per_match() -> KernelCost {
-    KernelCost { alu: 1.0, lsu: 2.0, dual_issue_frac: 0.5, branches: 0.0, mispredicts: 0.0, mul: 0.0 }
+    KernelCost {
+        alu: 1.0,
+        lsu: 2.0,
+        dual_issue_frac: 0.5,
+        branches: 0.0,
+        mispredicts: 0.0,
+        mul: 0.0,
+    }
 }
 
 /// Ungrouped aggregation per row (load + accumulate, dual-issued).
 pub fn agg_per_row() -> KernelCost {
-    KernelCost { alu: 1.0, lsu: 1.0, dual_issue_frac: 1.0, branches: 1.0 / 8.0, ..Default::default() }
+    KernelCost {
+        alu: 1.0,
+        lsu: 1.0,
+        dual_issue_frac: 1.0,
+        branches: 1.0 / 8.0,
+        ..Default::default()
+    }
 }
 
 /// Grouped aggregation per row (group index load, accumulator load,
 /// update, store).
 pub fn grouped_agg_per_row() -> KernelCost {
-    KernelCost { alu: 2.0, lsu: 3.0, dual_issue_frac: 0.7, branches: 1.0 / 8.0, mispredicts: 0.01, mul: 0.0 }
+    KernelCost {
+        alu: 2.0,
+        lsu: 3.0,
+        dual_issue_frac: 0.7,
+        branches: 1.0 / 8.0,
+        mispredicts: 0.01,
+        mul: 0.0,
+    }
 }
 
 /// Group-by hash-table lookup/insert per row (same family as join build).
 pub fn group_lookup_per_row() -> KernelCost {
-    KernelCost { alu: 6.0, lsu: 6.0, dual_issue_frac: 0.5, branches: 1.5, mispredicts: 0.05, mul: 0.0 }
+    KernelCost {
+        alu: 6.0,
+        lsu: 6.0,
+        dual_issue_frac: 0.5,
+        branches: 1.5,
+        mispredicts: 0.05,
+        mul: 0.0,
+    }
 }
 
 /// Radix-sort per row per pass (counting + scatter).
 pub fn radix_sort_per_row_per_pass() -> KernelCost {
-    KernelCost { alu: 3.0, lsu: 4.0, dual_issue_frac: 0.7, branches: 1.0 / 8.0, ..Default::default() }
+    KernelCost {
+        alu: 3.0,
+        lsu: 4.0,
+        dual_issue_frac: 0.7,
+        branches: 1.0 / 8.0,
+        ..Default::default()
+    }
 }
 
 /// Extra per-row overhead of **non**-vectorized (row-at-a-time) execution:
@@ -107,12 +204,26 @@ pub fn radix_sort_per_row_per_pass() -> KernelCost {
 /// work and hard-to-predict branches. This is the cost that Figure 13's
 /// vectorization ablation removes.
 pub fn row_at_a_time_overhead_per_row() -> KernelCost {
-    KernelCost { alu: 4.0, lsu: 2.0, dual_issue_frac: 0.0, branches: 2.0, mispredicts: 0.3, mul: 0.0 }
+    KernelCost {
+        alu: 4.0,
+        lsu: 2.0,
+        dual_issue_frac: 0.0,
+        branches: 2.0,
+        mispredicts: 0.3,
+        mul: 0.0,
+    }
 }
 
 /// Top-K heap update per row (comparison + conditional sift).
 pub fn topk_per_row() -> KernelCost {
-    KernelCost { alu: 3.0, lsu: 2.0, dual_issue_frac: 0.5, branches: 1.5, mispredicts: 0.1, mul: 0.0 }
+    KernelCost {
+        alu: 3.0,
+        lsu: 2.0,
+        dual_issue_frac: 0.5,
+        branches: 1.5,
+        mispredicts: 0.1,
+        mul: 0.0,
+    }
 }
 
 #[cfg(test)]
@@ -183,10 +294,13 @@ mod tests {
         // Figure 13: vectorization gains ~46 % on the Q3 join — i.e. the
         // row-at-a-time version is ~1.46x slower.
         let cm = CostModel::default();
-        let vec_row = cm.kernel_cycles(&join_probe_per_row())
-            + cm.kernel_cycles(&join_probe_per_link());
+        let vec_row =
+            cm.kernel_cycles(&join_probe_per_row()) + cm.kernel_cycles(&join_probe_per_link());
         let slow = vec_row + cm.kernel_cycles(&row_at_a_time_overhead_per_row());
         let ratio = slow / vec_row;
-        assert!((1.3..1.7).contains(&ratio), "row-at-a-time ratio = {ratio:.2}");
+        assert!(
+            (1.3..1.7).contains(&ratio),
+            "row-at-a-time ratio = {ratio:.2}"
+        );
     }
 }

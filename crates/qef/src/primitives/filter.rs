@@ -149,7 +149,7 @@ fn static_truth(cval: i64, op: CmpOp, lo: i64, hi: i64) -> bool {
     match op {
         CmpOp::Eq => false,
         CmpOp::Ne => true,
-        CmpOp::Lt | CmpOp::Le => above,  // v < big-const is always true
+        CmpOp::Lt | CmpOp::Le => above, // v < big-const is always true
         CmpOp::Gt | CmpOp::Ge => !above, // v > small-const is always true
     }
 }
@@ -288,10 +288,21 @@ mod tests {
     fn all_ops_match_scalar_semantics() {
         let mut c = ctx();
         let col = col_i32(&[5, 7, 7, 9, -3]);
-        for op in [CmpOp::Eq, CmpOp::Ne, CmpOp::Lt, CmpOp::Le, CmpOp::Gt, CmpOp::Ge] {
+        for op in [
+            CmpOp::Eq,
+            CmpOp::Ne,
+            CmpOp::Lt,
+            CmpOp::Le,
+            CmpOp::Gt,
+            CmpOp::Ge,
+        ] {
             let bv = cmp_const_bv(&mut c, &col, op, 7);
             for i in 0..col.len() {
-                assert_eq!(bv.get(i), op.apply(col.data.get_i64(i), 7), "{op:?} row {i}");
+                assert_eq!(
+                    bv.get(i),
+                    op.apply(col.data.get_i64(i), 7),
+                    "{op:?} row {i}"
+                );
             }
         }
     }
@@ -312,7 +323,10 @@ mod tests {
         let mut cand = BitVec::from_bools([true, false, true, false, true, false]);
         cmp_const_bv_masked(&mut c, &col, CmpOp::Gt, 2, &mut cand);
         // Only rows 2 and 4 survive (rows 1,3,5 were never candidates).
-        assert_eq!(cand, BitVec::from_bools([false, false, true, false, true, false]));
+        assert_eq!(
+            cand,
+            BitVec::from_bools([false, false, true, false, true, false])
+        );
     }
 
     #[test]

@@ -34,9 +34,7 @@ pub fn hash_rows(ctx: &mut CoreCtx, keys: &[&Vector]) -> Vec<u32> {
             }
         }
     }
-    ctx.charge_kernel(
-        &costs::hash_per_row_per_key().scaled((rows * keys.len()) as f64),
-    );
+    ctx.charge_kernel(&costs::hash_per_row_per_key().scaled((rows * keys.len()) as f64));
     out
 }
 
@@ -94,8 +92,8 @@ mod tests {
         let keys: Vec<i64> = (0..1000).map(|i| i * 31).collect();
         let col = Vector::new(ColumnData::I64(keys.clone()));
         let hashes = hash_rows(&mut c, &[&col]);
-        let hw = HwPartitioner::new(PartitionStrategy::Hash { bits: 5 }, Default::default())
-            .unwrap();
+        let hw =
+            HwPartitioner::new(PartitionStrategy::Hash { bits: 5 }, Default::default()).unwrap();
         let hw_assign = hw.assign(&[&keys]).unwrap();
         for (h, t) in hashes.iter().zip(&hw_assign) {
             assert_eq!((h & 31), *t);
@@ -116,7 +114,11 @@ mod tests {
             }
         }
         assert!(n > 1000, "enough same-partition keys sampled");
-        assert!(buckets.len() > 200, "only {} of 256 buckets used", buckets.len());
+        assert!(
+            buckets.len() > 200,
+            "only {} of 256 buckets used",
+            buckets.len()
+        );
     }
 
     #[test]

@@ -39,24 +39,29 @@ pub fn compute_partition_map(ctx: &mut CoreCtx, hashes: &[u32], fanout: usize) -
         histogram[p as usize] += 1;
     }
     // Loop 2: bucket rows by partition (gather lists).
-    let mut rows_by_partition: Vec<Vec<u32>> =
-        histogram.iter().map(|&n| Vec::with_capacity(n as usize)).collect();
+    let mut rows_by_partition: Vec<Vec<u32>> = histogram
+        .iter()
+        .map(|&n| Vec::with_capacity(n as usize))
+        .collect();
     for (i, &p) in part_of_row.iter().enumerate() {
         rows_by_partition[p as usize].push(i as u32);
     }
     ctx.charge_kernel(&costs::partition_map_per_row().scaled(2.0 * hashes.len() as f64));
-    PartitionMap { part_of_row, histogram, rows_by_partition }
+    PartitionMap {
+        part_of_row,
+        histogram,
+        rows_by_partition,
+    }
 }
 
 /// Listing 3: gather one projected column partition-by-partition. Returns
 /// the gathered column per partition, each written sequentially.
-pub fn swpart_gather_column(
-    ctx: &mut CoreCtx,
-    map: &PartitionMap,
-    column: &Vector,
-) -> Vec<Vector> {
-    let out: Vec<Vector> =
-        map.rows_by_partition.iter().map(|rids| column.gather(rids)).collect();
+pub fn swpart_gather_column(ctx: &mut CoreCtx, map: &PartitionMap, column: &Vector) -> Vec<Vector> {
+    let out: Vec<Vector> = map
+        .rows_by_partition
+        .iter()
+        .map(|rids| column.gather(rids))
+        .collect();
     ctx.charge_kernel(&costs::swpart_gather_per_row().scaled(column.len() as f64));
     out
 }
@@ -74,7 +79,9 @@ mod tests {
     #[test]
     fn map_partitions_every_row_exactly_once() {
         let mut c = ctx();
-        let hashes: Vec<u32> = (0..1000u32).map(|i| i.wrapping_mul(2_654_435_761)).collect();
+        let hashes: Vec<u32> = (0..1000u32)
+            .map(|i| i.wrapping_mul(2_654_435_761))
+            .collect();
         let map = compute_partition_map(&mut c, &hashes, 16);
         assert_eq!(map.part_of_row.len(), 1000);
         assert_eq!(map.histogram.iter().sum::<u32>(), 1000);

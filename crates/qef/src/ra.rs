@@ -27,7 +27,12 @@ fn loop_for(widths: &[usize], rows: usize, tile: usize, dir: Direction) -> Descr
     DescriptorLoop {
         descriptors: widths
             .iter()
-            .map(|&w| Descriptor { direction: dir, rows: tile, width: w, gather: false })
+            .map(|&w| Descriptor {
+                direction: dir,
+                rows: tile,
+                width: w,
+                gather: false,
+            })
             .collect(),
         iterations: rows.div_ceil(tile),
         double_buffered: true,
@@ -75,15 +80,16 @@ impl RelationAccessor {
         F: FnMut(&mut CoreCtx, Batch, usize) -> QefResult<()>,
     {
         let rows = chunk.rows();
-        let widths: Vec<usize> =
-            cols.iter().map(|&c| chunk.vector(c).data.width()).collect();
+        let widths: Vec<usize> = cols.iter().map(|&c| chunk.vector(c).data.width()).collect();
         let cost = Self::seq_read_cost(ctx, &widths, rows, tile);
         ctx.charge_dms(&cost);
         let mut start = 0usize;
         while start < rows {
             let end = (start + tile).min(rows);
-            let columns =
-                cols.iter().map(|&c| chunk.vector(c).slice(start, end)).collect();
+            let columns = cols
+                .iter()
+                .map(|&c| chunk.vector(c).slice(start, end))
+                .collect();
             ctx.charge_tile();
             f(ctx, Batch::new(columns), start)?;
             start = end;
@@ -125,12 +131,15 @@ impl RelationAccessor {
     ) -> Batch {
         let mut rids = Vec::with_capacity(rows.count());
         rows.for_each_row(|r| rids.push(r as u32));
-        let widths: Vec<usize> =
-            cols.iter().map(|&c| chunk.vector(c).data.width()).collect();
-        let cost = Self::gather_cost(ctx, &widths, rids.len(), tile)
-            .merged(&Self::rowset_cost(ctx, rows));
+        let widths: Vec<usize> = cols.iter().map(|&c| chunk.vector(c).data.width()).collect();
+        let cost =
+            Self::gather_cost(ctx, &widths, rids.len(), tile).merged(&Self::rowset_cost(ctx, rows));
         ctx.charge_dms(&cost);
-        Batch::new(cols.iter().map(|&c| chunk.vector(c).gather(&rids)).collect())
+        Batch::new(
+            cols.iter()
+                .map(|&c| chunk.vector(c).gather(&rids))
+                .collect(),
+        )
     }
 }
 

@@ -19,7 +19,11 @@ impl SmallIntArray {
     pub fn new(len: usize, bits: u8) -> Self {
         assert!((1..=64).contains(&bits), "bits must be 1..=64");
         let total = bits as usize * len;
-        SmallIntArray { words: vec![0; total.div_ceil(64)], bits, len }
+        SmallIntArray {
+            words: vec![0; total.div_ceil(64)],
+            bits,
+            len,
+        }
     }
 
     /// Bits needed to address `n` distinct values (⌈log₂ n⌉, min 1).
@@ -53,7 +57,11 @@ impl SmallIntArray {
         debug_assert!(i < self.len);
         let bit = i * self.bits as usize;
         let (word, off) = (bit / 64, bit % 64);
-        let mask = if self.bits == 64 { !0 } else { (1u64 << self.bits) - 1 };
+        let mask = if self.bits == 64 {
+            !0
+        } else {
+            (1u64 << self.bits) - 1
+        };
         let mut v = self.words[word] >> off;
         if off + self.bits as usize > 64 {
             v |= self.words[word + 1] << (64 - off);
@@ -65,7 +73,11 @@ impl SmallIntArray {
     #[inline]
     pub fn set(&mut self, i: usize, value: u64) {
         debug_assert!(i < self.len);
-        let mask = if self.bits == 64 { !0 } else { (1u64 << self.bits) - 1 };
+        let mask = if self.bits == 64 {
+            !0
+        } else {
+            (1u64 << self.bits) - 1
+        };
         debug_assert!(value <= mask, "value does not fit in {} bits", self.bits);
         let bit = i * self.bits as usize;
         let (word, off) = (bit / 64, bit % 64);
@@ -73,8 +85,7 @@ impl SmallIntArray {
         if off + self.bits as usize > 64 {
             let spill = 64 - off;
             let high_mask = mask >> spill;
-            self.words[word + 1] =
-                (self.words[word + 1] & !high_mask) | ((value & mask) >> spill);
+            self.words[word + 1] = (self.words[word + 1] & !high_mask) | ((value & mask) >> spill);
         }
     }
 
@@ -97,13 +108,21 @@ mod tests {
     fn set_get_roundtrip_various_widths() {
         for bits in [1u8, 3, 7, 11, 16, 21, 32, 63, 64] {
             let n = 100;
-            let mask = if bits == 64 { !0u64 } else { (1u64 << bits) - 1 };
+            let mask = if bits == 64 {
+                !0u64
+            } else {
+                (1u64 << bits) - 1
+            };
             let mut a = SmallIntArray::new(n, bits);
             for i in 0..n {
                 a.set(i, (i as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15) & mask);
             }
             for i in 0..n {
-                assert_eq!(a.get(i), (i as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15) & mask, "bits={bits} i={i}");
+                assert_eq!(
+                    a.get(i),
+                    (i as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15) & mask,
+                    "bits={bits} i={i}"
+                );
             }
         }
     }
@@ -173,8 +192,8 @@ mod proptests {
                 a.set(i, v);
                 model[i] = v;
             }
-            for i in 0..50 {
-                prop_assert_eq!(a.get(i), model[i]);
+            for (i, &m) in model.iter().enumerate().take(50) {
+                prop_assert_eq!(a.get(i), m);
             }
         }
     }

@@ -1,0 +1,44 @@
+//! # rapid-sched — concurrent multi-query scheduling over the shared DPU
+//!
+//! The engine crates simulate one query at a time owning the whole DPU.
+//! This crate adds the missing system layer for RAPID as a *database
+//! accelerator*: many sessions sharing one 32-core DPU and its single DMS
+//! engine, with admission control in front.
+//!
+//! | module | contents |
+//! |---|---|
+//! | [`timeline`] | [`DpuTimeline`]: sim-time placement of stages onto cores + the DMS engine |
+//! | [`scheduler`] | [`Scheduler`]: admission queue, priorities, cancellation, the two dispatch modes |
+//!
+//! The scheduler implements [`rapid_qef::exec::StageRouter`]; install it
+//! into a forked engine context per session:
+//!
+//! ```
+//! use std::sync::Arc;
+//! use rapid_qef::exec::{ExecContext, StageRouter};
+//! use rapid_sched::{SchedConfig, Scheduler};
+//!
+//! let sched = Arc::new(Scheduler::new(SchedConfig::default()));
+//! let handle = sched.submit(0, None).unwrap();
+//! let router: Arc<dyn StageRouter> = Arc::clone(&sched) as _;
+//! let ctx = ExecContext::dpu().with_cores(8).with_router(router, handle.id());
+//! // engine.fork(ctx).execute(&plan) now places its stages on the shared
+//! // timeline; handle.finish() (or drop) releases the admission slot.
+//! ```
+//!
+//! Invariants the tests pin down:
+//!
+//! * routing never changes query *results* — only the simulated clock;
+//! * a query running alone reproduces the engine-local stage rule
+//!   `max(max-core-compute, Σ DMS)` stage by stage;
+//! * [`DispatchMode::Deterministic`] timings are a pure function of the
+//!   submitted batch — bit-identical across runs regardless of host
+//!   thread interleaving.
+
+#![warn(missing_docs)]
+
+pub mod scheduler;
+pub mod timeline;
+
+pub use scheduler::{QueryHandle, QueryStats, SchedConfig, SchedError, SchedReport, Scheduler};
+pub use timeline::{DispatchMode, DpuTimeline, Placement, Utilization};

@@ -1,0 +1,747 @@
+//! The multi-query scheduler: bounded admission, priorities, cancellation,
+//! and two dispatch modes over one [`DpuTimeline`].
+//!
+//! Sessions [`submit`](Scheduler::submit) queries and receive a
+//! [`QueryHandle`]; each session then executes its query on its own OS
+//! thread with the scheduler installed as the engine's
+//! [`StageRouter`]. Host threads run concurrently — only the *simulated*
+//! clock is arbitrated here:
+//!
+//! * **Admission control** — at most `max_active` queries occupy the DPU;
+//!   up to `queue_capacity` more wait in a priority queue, and submission
+//!   beyond that is refused (backpressure). Each query can carry a
+//!   wall-clock timeout and can be cancelled from any thread.
+//! * **Deterministic mode** — stage placements are ordered by a baton
+//!   protocol: a stage request parks until every active query is parked
+//!   (or finished), then the request with the smallest
+//!   `(ready, -priority, id)` key proceeds. The resulting placement
+//!   sequence — and therefore every simulated timing — is a pure function
+//!   of the submitted batch, independent of host thread scheduling.
+//! * **Work-stealing mode** — placements happen in host arrival order and
+//!   items rebalance onto the least-loaded lanes; throughput is better on
+//!   skew, timings are not reproducible run to run.
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Condvar, Mutex, MutexGuard};
+use std::time::{Duration, Instant};
+
+use dpu_sim::clock::{Cycles, SimTime};
+use dpu_sim::isa::CostModel;
+use dpu_sim::power::PowerModel;
+use rapid_qef::exec::{StageAbort, StageProfile, StageRouter};
+
+use crate::timeline::{DispatchMode, DpuTimeline, Utilization};
+
+/// Scheduler configuration.
+#[derive(Debug, Clone)]
+pub struct SchedConfig {
+    /// Physical dpCores of the shared DPU (32 on the real chip).
+    pub cores: usize,
+    /// Queries allowed on the DPU concurrently (admission slots).
+    pub max_active: usize,
+    /// Queries allowed to wait for admission; submission past this bound
+    /// is refused with [`SchedError::QueueFull`].
+    pub queue_capacity: usize,
+    /// Dispatch mode.
+    pub mode: DispatchMode,
+    /// Cost model used to convert cycles into reported simulated time.
+    pub cost_model: CostModel,
+    /// Power model for the utilization report's energy figure.
+    pub power: PowerModel,
+}
+
+impl Default for SchedConfig {
+    fn default() -> Self {
+        SchedConfig {
+            cores: 32,
+            max_active: 8,
+            queue_capacity: 64,
+            mode: DispatchMode::Deterministic,
+            cost_model: CostModel::default(),
+            power: PowerModel::dpu(),
+        }
+    }
+}
+
+/// Scheduler-side errors surfaced to sessions.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SchedError {
+    /// The admission queue is full; try again later (backpressure).
+    QueueFull {
+        /// The configured waiting-queue bound that was hit.
+        capacity: usize,
+    },
+    /// The query was cancelled via [`QueryHandle::cancel`].
+    Cancelled,
+    /// The query's wall-clock timeout expired.
+    TimedOut,
+}
+
+impl std::fmt::Display for SchedError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SchedError::QueueFull { capacity } => {
+                write!(f, "admission queue full ({capacity} waiting queries)")
+            }
+            SchedError::Cancelled => write!(f, "query cancelled"),
+            SchedError::TimedOut => write!(f, "query timed out"),
+        }
+    }
+}
+
+impl std::error::Error for SchedError {}
+
+/// Final accounting for one query.
+#[derive(Debug, Clone)]
+pub struct QueryStats {
+    /// Scheduler-assigned query id (submission order).
+    pub query_id: u64,
+    /// Priority it ran with (higher is served first).
+    pub priority: u8,
+    /// Stages the scheduler placed for it.
+    pub stages: usize,
+    /// Simulated time spent waiting for admission.
+    pub queued: SimTime,
+    /// Simulated latency from submission to completion (queueing included).
+    pub latency: SimTime,
+    /// Simulated instant the query completed.
+    pub completed_at: SimTime,
+    /// Why the query aborted, if it did not run to completion.
+    pub aborted: Option<String>,
+}
+
+/// Snapshot of finished queries plus whole-DPU utilization.
+#[derive(Debug, Clone)]
+pub struct SchedReport {
+    /// Per-query stats, ordered by query id.
+    pub queries: Vec<QueryStats>,
+    /// Core/DMS occupancy and energy over everything placed so far.
+    pub utilization: Utilization,
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Phase {
+    Waiting,
+    Active,
+    Done,
+}
+
+#[derive(Debug)]
+struct QueryState {
+    priority: u8,
+    phase: Phase,
+    /// A deterministic-mode stage request is parked at the barrier.
+    parked: bool,
+    /// The query's own simulated clock: when its next stage may start.
+    ready: Cycles,
+    submitted_at: Cycles,
+    admitted_at: Cycles,
+    stages: usize,
+    cancelled: Arc<AtomicBool>,
+    deadline: Option<Instant>,
+}
+
+#[derive(Debug)]
+struct Inner {
+    timeline: DpuTimeline,
+    queries: HashMap<u64, QueryState>,
+    next_id: u64,
+    active: usize,
+    waiting: usize,
+    parked: usize,
+    /// Deterministic mode: the query whose parked stage request may proceed.
+    baton: Option<u64>,
+    finished: Vec<QueryStats>,
+}
+
+/// The concurrent multi-query scheduler owning the simulated DPU.
+#[derive(Debug)]
+pub struct Scheduler {
+    cfg: SchedConfig,
+    inner: Mutex<Inner>,
+    cv: Condvar,
+}
+
+/// A submitted query's handle: identity, cancellation, and completion.
+///
+/// Dropping the handle marks the query finished (releasing its admission
+/// slot), so sessions cannot leak slots on error paths.
+#[derive(Debug)]
+pub struct QueryHandle {
+    id: u64,
+    sched: Arc<Scheduler>,
+    cancelled: Arc<AtomicBool>,
+    finished: AtomicBool,
+}
+
+impl Scheduler {
+    /// A scheduler over an idle DPU.
+    pub fn new(cfg: SchedConfig) -> Scheduler {
+        let timeline = DpuTimeline::new(cfg.cores);
+        Scheduler {
+            cfg,
+            inner: Mutex::new(Inner {
+                timeline,
+                queries: HashMap::new(),
+                next_id: 0,
+                active: 0,
+                waiting: 0,
+                parked: 0,
+                baton: None,
+                finished: Vec::new(),
+            }),
+            cv: Condvar::new(),
+        }
+    }
+
+    /// The configuration.
+    pub fn config(&self) -> &SchedConfig {
+        &self.cfg
+    }
+
+    /// Submit a query. Returns immediately: the query is either admitted
+    /// (slot free) or queued by `(priority desc, id asc)`; a full queue is
+    /// refused. `timeout` is a wall-clock bound on the whole query.
+    pub fn submit(
+        self: &Arc<Self>,
+        priority: u8,
+        timeout: Option<Duration>,
+    ) -> Result<QueryHandle, SchedError> {
+        let mut inner = self.lock();
+        if inner.active >= self.cfg.max_active && inner.waiting >= self.cfg.queue_capacity {
+            return Err(SchedError::QueueFull {
+                capacity: self.cfg.queue_capacity,
+            });
+        }
+        let id = inner.next_id;
+        inner.next_id += 1;
+        let now = inner.timeline.makespan();
+        let admit = inner.active < self.cfg.max_active;
+        let cancelled = Arc::new(AtomicBool::new(false));
+        inner.queries.insert(
+            id,
+            QueryState {
+                priority,
+                phase: if admit { Phase::Active } else { Phase::Waiting },
+                parked: false,
+                ready: now,
+                submitted_at: now,
+                admitted_at: now,
+                stages: 0,
+                cancelled: Arc::clone(&cancelled),
+                deadline: timeout.map(|t| Instant::now() + t),
+            },
+        );
+        if admit {
+            inner.active += 1;
+        } else {
+            inner.waiting += 1;
+        }
+        self.cv.notify_all();
+        Ok(QueryHandle {
+            id,
+            sched: Arc::clone(self),
+            cancelled,
+            finished: AtomicBool::new(false),
+        })
+    }
+
+    /// Snapshot: finished queries (by id) plus whole-DPU utilization.
+    pub fn report(&self) -> SchedReport {
+        let inner = self.lock();
+        let mut queries = inner.finished.clone();
+        queries.sort_by_key(|q| q.query_id);
+        SchedReport {
+            queries,
+            utilization: inner
+                .timeline
+                .utilization(&self.cfg.cost_model, &self.cfg.power),
+        }
+    }
+
+    fn lock(&self) -> MutexGuard<'_, Inner> {
+        self.inner.lock().unwrap_or_else(|e| e.into_inner())
+    }
+
+    fn wait<'a>(
+        &self,
+        guard: MutexGuard<'a, Inner>,
+        deadline: Option<Instant>,
+    ) -> MutexGuard<'a, Inner> {
+        match deadline {
+            None => self.cv.wait(guard).unwrap_or_else(|e| e.into_inner()),
+            Some(d) => {
+                let remaining = d.saturating_duration_since(Instant::now());
+                if remaining.is_zero() {
+                    return guard; // caller re-checks the deadline
+                }
+                self.cv
+                    .wait_timeout(guard, remaining)
+                    .unwrap_or_else(|e| e.into_inner())
+                    .0
+            }
+        }
+    }
+
+    /// Cancel/timeout check for one query.
+    fn abort_reason(q: &QueryState) -> Option<String> {
+        if q.cancelled.load(Ordering::Relaxed) {
+            return Some("cancelled".into());
+        }
+        if let Some(d) = q.deadline {
+            if Instant::now() >= d {
+                return Some("timed out".into());
+            }
+        }
+        None
+    }
+
+    /// Promote waiters into freed slots at simulated instant `at`.
+    fn promote_locked(&self, inner: &mut Inner, at: Cycles) {
+        while inner.active < self.cfg.max_active {
+            let next = inner
+                .queries
+                .iter()
+                .filter(|(_, q)| q.phase == Phase::Waiting)
+                .min_by(|(ida, qa), (idb, qb)| {
+                    (u8::MAX - qa.priority, *ida).cmp(&(u8::MAX - qb.priority, *idb))
+                })
+                .map(|(&id, _)| id);
+            let Some(id) = next else { break };
+            let q = inner.queries.get_mut(&id).expect("waiter exists");
+            q.phase = Phase::Active;
+            q.admitted_at = at.max(q.submitted_at);
+            q.ready = q.admitted_at;
+            inner.waiting -= 1;
+            inner.active += 1;
+        }
+    }
+
+    /// Deterministic mode: hand the baton to the best parked request once
+    /// every active query is parked.
+    fn refresh_baton(cfg: &SchedConfig, inner: &mut Inner) {
+        if cfg.mode != DispatchMode::Deterministic
+            || inner.baton.is_some()
+            || inner.active == 0
+            || inner.parked != inner.active
+        {
+            return;
+        }
+        let mut best: Option<(f64, u8, u64)> = None;
+        for (&id, q) in &inner.queries {
+            if !q.parked {
+                continue;
+            }
+            let key = (q.ready.get(), u8::MAX - q.priority, id);
+            let better = match &best {
+                None => true,
+                Some(b) => {
+                    key.0
+                        .total_cmp(&b.0)
+                        .then(key.1.cmp(&b.1))
+                        .then(key.2.cmp(&b.2))
+                        == std::cmp::Ordering::Less
+                }
+            };
+            if better {
+                best = Some(key);
+            }
+        }
+        inner.baton = best.map(|(_, _, id)| id);
+    }
+
+    /// Place a stage for `id` and advance the query's clock.
+    fn place_locked(&self, inner: &mut Inner, id: u64, profile: &StageProfile) -> Cycles {
+        let prev_ready = inner.queries[&id].ready;
+        let p = inner.timeline.place(prev_ready, profile, self.cfg.mode);
+        let q = inner.queries.get_mut(&id).expect("active query");
+        q.ready = p.end;
+        q.stages += 1;
+        p.duration
+    }
+
+    /// Retire a query: release its slot, record stats, promote waiters,
+    /// and let the deterministic barrier re-form.
+    fn finish_locked(&self, inner: &mut Inner, id: u64, aborted: Option<String>) {
+        let freq = self.cfg.cost_model.freq_hz;
+        let Some(q) = inner.queries.get_mut(&id) else {
+            return;
+        };
+        if q.phase == Phase::Done {
+            return;
+        }
+        let was_waiting = q.phase == Phase::Waiting;
+        let was_parked = q.parked;
+        q.phase = Phase::Done;
+        q.parked = false;
+        let stats = QueryStats {
+            query_id: id,
+            priority: q.priority,
+            stages: q.stages,
+            queued: (q.admitted_at - q.submitted_at).to_time(freq),
+            latency: (q.ready - q.submitted_at).to_time(freq),
+            completed_at: q.ready.to_time(freq),
+            aborted,
+        };
+        let at = q.ready;
+        if was_waiting {
+            inner.waiting -= 1;
+        } else {
+            inner.active -= 1;
+        }
+        if was_parked {
+            inner.parked -= 1;
+        }
+        if inner.baton == Some(id) {
+            inner.baton = None;
+        }
+        inner.finished.push(stats);
+        self.promote_locked(inner, at);
+        Self::refresh_baton(&self.cfg, inner);
+        self.cv.notify_all();
+    }
+
+    /// Block until `id` is admitted. Shared by [`QueryHandle::await_admission`]
+    /// and [`StageRouter::route_stage`].
+    fn wait_admitted<'a>(
+        &self,
+        mut inner: MutexGuard<'a, Inner>,
+        id: u64,
+    ) -> Result<MutexGuard<'a, Inner>, StageAbort> {
+        loop {
+            let Some(q) = inner.queries.get(&id) else {
+                return Err(StageAbort {
+                    reason: "unknown query (submit it first)".into(),
+                });
+            };
+            if q.phase == Phase::Done {
+                return Err(StageAbort {
+                    reason: "query already finished".into(),
+                });
+            }
+            if let Some(reason) = Self::abort_reason(q) {
+                self.finish_locked(&mut inner, id, Some(reason.clone()));
+                return Err(StageAbort { reason });
+            }
+            if q.phase == Phase::Active {
+                return Ok(inner);
+            }
+            let deadline = q.deadline;
+            inner = self.wait(inner, deadline);
+        }
+    }
+}
+
+impl StageRouter for Scheduler {
+    fn route_stage(&self, profile: &StageProfile) -> Result<Cycles, StageAbort> {
+        let id = profile.query_id;
+        let mut inner = self.wait_admitted(self.lock(), id)?;
+        match self.cfg.mode {
+            DispatchMode::WorkStealing => Ok(self.place_locked(&mut inner, id, profile)),
+            DispatchMode::Deterministic => {
+                inner.queries.get_mut(&id).expect("active").parked = true;
+                inner.parked += 1;
+                Self::refresh_baton(&self.cfg, &mut inner);
+                self.cv.notify_all();
+                loop {
+                    if inner.baton == Some(id) {
+                        inner.baton = None;
+                        break;
+                    }
+                    let q = inner.queries.get(&id).expect("parked query");
+                    if let Some(reason) = Self::abort_reason(q) {
+                        // finish_locked unparks and re-forms the barrier.
+                        self.finish_locked(&mut inner, id, Some(reason.clone()));
+                        return Err(StageAbort { reason });
+                    }
+                    let deadline = q.deadline;
+                    inner = self.wait(inner, deadline);
+                }
+                inner.queries.get_mut(&id).expect("active").parked = false;
+                inner.parked -= 1;
+                let duration = self.place_locked(&mut inner, id, profile);
+                // The placer now runs host-side; peers re-evaluate once it
+                // parks again or finishes.
+                self.cv.notify_all();
+                Ok(duration)
+            }
+        }
+    }
+}
+
+impl QueryHandle {
+    /// The scheduler-assigned query id (stamp it into the engine context
+    /// via `ExecContext::with_router`).
+    pub fn id(&self) -> u64 {
+        self.id
+    }
+
+    /// Request cancellation: the query's next stage request aborts.
+    pub fn cancel(&self) {
+        self.cancelled.store(true, Ordering::Relaxed);
+        drop(self.sched.lock());
+        self.sched.cv.notify_all();
+    }
+
+    /// Whether cancellation was requested.
+    pub fn cancelled(&self) -> bool {
+        self.cancelled.load(Ordering::Relaxed)
+    }
+
+    /// Whether the wall-clock timeout has expired.
+    pub fn timed_out(&self) -> bool {
+        let inner = self.sched.lock();
+        inner
+            .queries
+            .get(&self.id)
+            .is_some_and(|q| q.deadline.is_some_and(|d| Instant::now() >= d))
+    }
+
+    /// Block until this query holds an admission slot (backpressure point
+    /// for sessions; stage routing would otherwise block here lazily).
+    pub fn await_admission(&self) -> Result<(), SchedError> {
+        match self.sched.wait_admitted(self.sched.lock(), self.id) {
+            Ok(_) => Ok(()),
+            Err(_) => {
+                if self.cancelled() {
+                    Err(SchedError::Cancelled)
+                } else {
+                    Err(SchedError::TimedOut)
+                }
+            }
+        }
+    }
+
+    /// Mark the query finished, releasing its admission slot. Idempotent;
+    /// also invoked on drop.
+    pub fn finish(&self) {
+        if self.finished.swap(true, Ordering::AcqRel) {
+            return;
+        }
+        let mut inner = self.sched.lock();
+        self.sched.finish_locked(&mut inner, self.id, None);
+    }
+}
+
+impl Drop for QueryHandle {
+    fn drop(&mut self) {
+        self.finish();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn compute_item(cycles: f64) -> dpu_sim::account::CycleAccount {
+        let mut a = dpu_sim::account::CycleAccount::new();
+        a.charge_compute(Cycles(cycles));
+        a
+    }
+
+    fn dms_item(cycles: f64) -> dpu_sim::account::CycleAccount {
+        let mut a = dpu_sim::account::CycleAccount::new();
+        a.charge_dms(Cycles(cycles), 1024, 1);
+        a
+    }
+
+    fn stage(qid: u64, lanes: usize, items: Vec<dpu_sim::account::CycleAccount>) -> StageProfile {
+        StageProfile {
+            query_id: qid,
+            parallelism: lanes,
+            items,
+        }
+    }
+
+    fn cfg(mode: DispatchMode, max_active: usize, queue: usize) -> SchedConfig {
+        SchedConfig {
+            max_active,
+            queue_capacity: queue,
+            mode,
+            ..Default::default()
+        }
+    }
+
+    #[test]
+    fn solo_query_reproduces_stage_rule() {
+        let s = Arc::new(Scheduler::new(cfg(DispatchMode::Deterministic, 1, 0)));
+        let h = s.submit(0, None).unwrap();
+        let d1 = s
+            .route_stage(&stage(
+                h.id(),
+                2,
+                vec![compute_item(1000.0), compute_item(500.0)],
+            ))
+            .unwrap();
+        assert_eq!(d1, Cycles(1000.0));
+        let d2 = s
+            .route_stage(&stage(h.id(), 2, vec![dms_item(300.0), dms_item(300.0)]))
+            .unwrap();
+        assert_eq!(d2, Cycles(600.0), "DMS serializes within the stage");
+        h.finish();
+        let r = s.report();
+        assert_eq!(r.queries.len(), 1);
+        assert_eq!(r.queries[0].stages, 2);
+        assert!((r.queries[0].latency.as_secs() - 1600.0 / 800.0e6).abs() < 1e-18);
+    }
+
+    #[test]
+    fn admission_bounds_active_queries() {
+        let s = Arc::new(Scheduler::new(cfg(DispatchMode::WorkStealing, 1, 4)));
+        let a = s.submit(0, None).unwrap();
+        let b = s.submit(0, None).unwrap();
+        // b is queued; a stage for it would block — verify non-blockingly.
+        {
+            let inner = s.lock();
+            assert_eq!(inner.active, 1);
+            assert_eq!(inner.waiting, 1);
+        }
+        s.route_stage(&stage(a.id(), 1, vec![compute_item(100.0)]))
+            .unwrap();
+        a.finish();
+        b.await_admission().unwrap();
+        let d = s
+            .route_stage(&stage(b.id(), 1, vec![compute_item(100.0)]))
+            .unwrap();
+        // b was admitted at a's completion instant; its core is free then.
+        assert_eq!(d, Cycles(100.0));
+        b.finish();
+        let r = s.report();
+        assert!(r.queries[1].queued.as_secs() > 0.0, "b waited in the queue");
+    }
+
+    #[test]
+    fn queue_full_is_backpressure() {
+        let s = Arc::new(Scheduler::new(cfg(DispatchMode::WorkStealing, 1, 1)));
+        let _a = s.submit(0, None).unwrap();
+        let _b = s.submit(0, None).unwrap();
+        assert_eq!(
+            s.submit(0, None).unwrap_err(),
+            SchedError::QueueFull { capacity: 1 }
+        );
+    }
+
+    #[test]
+    fn higher_priority_waiter_admitted_first() {
+        let s = Arc::new(Scheduler::new(cfg(DispatchMode::WorkStealing, 1, 4)));
+        let a = s.submit(0, None).unwrap();
+        let low = s.submit(1, None).unwrap();
+        let high = s.submit(9, None).unwrap();
+        a.finish();
+        {
+            let inner = s.lock();
+            assert_eq!(inner.queries[&high.id()].phase, Phase::Active);
+            assert_eq!(inner.queries[&low.id()].phase, Phase::Waiting);
+        }
+        high.finish();
+        low.await_admission().unwrap();
+    }
+
+    #[test]
+    fn cancelled_query_aborts_its_stages() {
+        let s = Arc::new(Scheduler::new(cfg(DispatchMode::WorkStealing, 2, 0)));
+        let h = s.submit(0, None).unwrap();
+        h.cancel();
+        let err = s
+            .route_stage(&stage(h.id(), 1, vec![compute_item(1.0)]))
+            .unwrap_err();
+        assert_eq!(err.reason, "cancelled");
+        let r = s.report();
+        assert_eq!(r.queries[0].aborted.as_deref(), Some("cancelled"));
+    }
+
+    #[test]
+    fn expired_timeout_aborts() {
+        let s = Arc::new(Scheduler::new(cfg(DispatchMode::WorkStealing, 2, 0)));
+        let h = s.submit(0, Some(Duration::from_millis(0))).unwrap();
+        std::thread::sleep(Duration::from_millis(2));
+        let err = s
+            .route_stage(&stage(h.id(), 1, vec![compute_item(1.0)]))
+            .unwrap_err();
+        assert_eq!(err.reason, "timed out");
+        assert!(h.timed_out());
+    }
+
+    #[test]
+    fn waiting_query_can_be_cancelled() {
+        let s = Arc::new(Scheduler::new(cfg(DispatchMode::WorkStealing, 1, 2)));
+        let _a = s.submit(0, None).unwrap();
+        let b = s.submit(0, None).unwrap();
+        b.cancel();
+        assert_eq!(b.await_admission().unwrap_err(), SchedError::Cancelled);
+    }
+
+    /// Drive `n` concurrent synthetic queries through the scheduler on real
+    /// threads and return (per-query latency secs, makespan secs).
+    fn run_batch(mode: DispatchMode, n: usize) -> (Vec<f64>, f64) {
+        let s = Arc::new(Scheduler::new(cfg(mode, n, n)));
+        let handles: Vec<_> = (0..n)
+            .map(|i| s.submit((i % 3) as u8, None).unwrap())
+            .collect();
+        std::thread::scope(|scope| {
+            for (i, h) in handles.iter().enumerate() {
+                let s = Arc::clone(&s);
+                scope.spawn(move || {
+                    // Each query: a compute stage, a DMS stage, and a mixed
+                    // stage, with per-query sizes.
+                    let c = 100.0 * (i as f64 + 1.0);
+                    s.route_stage(&stage(
+                        h.id(),
+                        2,
+                        vec![compute_item(c), compute_item(c / 2.0)],
+                    ))
+                    .unwrap();
+                    s.route_stage(&stage(h.id(), 1, vec![dms_item(50.0 + c)]))
+                        .unwrap();
+                    s.route_stage(&stage(h.id(), 2, vec![compute_item(c), dms_item(c / 4.0)]))
+                        .unwrap();
+                    h.finish();
+                });
+            }
+        });
+        let r = s.report();
+        assert_eq!(r.queries.len(), n);
+        (
+            r.queries.iter().map(|q| q.latency.as_secs()).collect(),
+            r.utilization.makespan.as_secs(),
+        )
+    }
+
+    #[test]
+    fn deterministic_mode_is_bit_identical_across_runs() {
+        let (lat1, mk1) = run_batch(DispatchMode::Deterministic, 6);
+        let (lat2, mk2) = run_batch(DispatchMode::Deterministic, 6);
+        assert_eq!(lat1, lat2, "latencies must be bit-identical");
+        assert_eq!(mk1, mk2, "makespan must be bit-identical");
+    }
+
+    #[test]
+    fn work_stealing_batch_completes_all_queries() {
+        let (lat, mk) = run_batch(DispatchMode::WorkStealing, 6);
+        assert!(lat.iter().all(|&l| l > 0.0));
+        assert!(mk > 0.0);
+        // Interleaving must beat fully serial execution of the same work.
+        let (_, serial) = {
+            let s = Arc::new(Scheduler::new(cfg(DispatchMode::WorkStealing, 1, 8)));
+            for i in 0..6usize {
+                let h = s.submit(0, None).unwrap();
+                h.await_admission().unwrap();
+                let c = 100.0 * (i as f64 + 1.0);
+                s.route_stage(&stage(
+                    h.id(),
+                    2,
+                    vec![compute_item(c), compute_item(c / 2.0)],
+                ))
+                .unwrap();
+                s.route_stage(&stage(h.id(), 1, vec![dms_item(50.0 + c)]))
+                    .unwrap();
+                s.route_stage(&stage(h.id(), 2, vec![compute_item(c), dms_item(c / 4.0)]))
+                    .unwrap();
+                h.finish();
+            }
+            ((), s.report().utilization.makespan.as_secs())
+        };
+        assert!(mk <= serial, "concurrent makespan {mk} vs serial {serial}");
+    }
+}

@@ -1,0 +1,394 @@
+//! The shared-DPU timeline: simulated-time placement of pipeline stages
+//! from concurrent queries onto one set of physical dpCores and the single
+//! shared DMS engine.
+//!
+//! The stage rule is exactly the one the engine applies when it owns the
+//! DPU alone (see [`dpu_sim::dpu::Dpu::stage_report`]):
+//!
+//! ```text
+//! stage_span = max( max_lane_elapsed , dms_queue_delay + Σ DMS )
+//! ```
+//!
+//! — per-lane compute runs in parallel on the granted cores, every lane's
+//! DMS transfers serialize on the shared engine (behind whatever transfer
+//! another query already queued), and double buffering overlaps the two
+//! streams. A stage placed on an otherwise idle timeline therefore takes
+//! exactly `max(max-core-compute, Σ DMS)` — bit-identical to the
+//! engine-local rule — while contention only ever *delays* stages.
+
+use dpu_sim::account::CycleAccount;
+use dpu_sim::clock::{Cycles, SimTime};
+use dpu_sim::isa::CostModel;
+use dpu_sim::power::PowerModel;
+use rapid_qef::exec::StageProfile;
+
+/// How stage items map onto lanes and how placements are ordered.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DispatchMode {
+    /// Static round-robin item→lane assignment (the engine's own layout)
+    /// and barrier-ordered placement across queries: simulated timings are
+    /// bit-identical across runs, and a query running alone reproduces the
+    /// engine-local stage timing.
+    Deterministic,
+    /// Work stealing: items go to the least-loaded lane (greedy longest
+    /// processing time balance) and stages are placed in host arrival
+    /// order. Better throughput on skewed stages; timings may vary from
+    /// run to run.
+    WorkStealing,
+}
+
+/// One placed stage on the timeline.
+#[derive(Debug, Clone, Copy)]
+pub struct Placement {
+    /// Simulated instant the stage's cores start.
+    pub start: Cycles,
+    /// Simulated instant the stage completes (compute and DMS drained).
+    pub end: Cycles,
+    /// Duration as observed by the query: waiting for cores included.
+    pub duration: Cycles,
+}
+
+/// Utilization and energy summary of everything placed so far.
+#[derive(Debug, Clone, Copy)]
+pub struct Utilization {
+    /// Simulated makespan: the latest stage end placed on the timeline.
+    pub makespan: SimTime,
+    /// Total core-busy simulated time across all cores.
+    pub core_busy: SimTime,
+    /// Core busy time over `cores × makespan` in [0, 1].
+    pub core_utilization: f64,
+    /// DMS engine occupancy over the makespan in [0, 1].
+    pub dms_utilization: f64,
+    /// Energy at the DPU's provisioned power over the makespan.
+    pub energy_joules: f64,
+    /// Stages placed.
+    pub stages: usize,
+}
+
+/// Simulated-time occupancy of the DPU's cores and single DMS engine.
+#[derive(Debug)]
+pub struct DpuTimeline {
+    /// Per physical core: the instant it becomes free.
+    core_free: Vec<Cycles>,
+    /// Per physical core: cycles it actually spent working.
+    core_busy: Vec<Cycles>,
+    /// The instant the shared DMS engine becomes free.
+    dms_free: Cycles,
+    /// Cycles the DMS engine spent transferring.
+    dms_busy: Cycles,
+    /// Latest stage end placed so far.
+    makespan: Cycles,
+    /// Stages placed.
+    stages: usize,
+}
+
+impl DpuTimeline {
+    /// An idle timeline over `cores` physical dpCores.
+    pub fn new(cores: usize) -> Self {
+        let cores = cores.max(1);
+        DpuTimeline {
+            core_free: vec![Cycles::ZERO; cores],
+            core_busy: vec![Cycles::ZERO; cores],
+            dms_free: Cycles::ZERO,
+            dms_busy: Cycles::ZERO,
+            makespan: Cycles::ZERO,
+            stages: 0,
+        }
+    }
+
+    /// Number of physical cores.
+    pub fn cores(&self) -> usize {
+        self.core_free.len()
+    }
+
+    /// Latest stage end placed so far.
+    pub fn makespan(&self) -> Cycles {
+        self.makespan
+    }
+
+    /// Place one stage no earlier than `ready` (the query's own clock).
+    ///
+    /// The stage gang-schedules `min(parallelism, cores)` of the
+    /// earliest-free cores (ties broken by core id), holds them until the
+    /// stage's barrier, and serializes its DMS total behind the transfers
+    /// already queued on the shared engine.
+    pub fn place(
+        &mut self,
+        ready: Cycles,
+        profile: &StageProfile,
+        mode: DispatchMode,
+    ) -> Placement {
+        let k = profile.parallelism.clamp(1, self.core_free.len());
+        // Earliest-free cores, ties by id: deterministic grant.
+        let mut order: Vec<usize> = (0..self.core_free.len()).collect();
+        order.sort_by(|&a, &b| {
+            self.core_free[a]
+                .get()
+                .total_cmp(&self.core_free[b].get())
+                .then(a.cmp(&b))
+        });
+        let granted = &order[..k];
+
+        // Gang start: all lanes begin together once the query is ready and
+        // every granted core is free.
+        let mut start = ready;
+        for &c in granted {
+            start = start.max(self.core_free[c]);
+        }
+
+        let lanes = assign_lanes(&profile.items, k, mode);
+        let mut max_lane = Cycles::ZERO;
+        for lane in &lanes {
+            max_lane = max_lane.max(lane.elapsed_cycles());
+        }
+        let mut dms_total = Cycles::ZERO;
+        for item in &profile.items {
+            dms_total += item.dms_cycles();
+        }
+
+        // The engine-local stage rule, placed in time. `dms_delay` is how
+        // long this stage's first descriptor waits behind transfers another
+        // query already queued; it is zero for a query running alone.
+        let dms_delay = if dms_total.get() > 0.0 {
+            (self.dms_free - start).max(Cycles::ZERO)
+        } else {
+            Cycles::ZERO
+        };
+        let span = max_lane.max(dms_delay + dms_total);
+        let end = start + span;
+
+        for (lane, &c) in lanes.iter().zip(granted) {
+            self.core_busy[c] += lane.elapsed_cycles();
+            self.core_free[c] = end;
+        }
+        if dms_total.get() > 0.0 {
+            self.dms_free = start + dms_delay + dms_total;
+            self.dms_busy += dms_total;
+        }
+        self.makespan = self.makespan.max(end);
+        self.stages += 1;
+
+        // Observed duration = wait for cores + the stage span; for a query
+        // alone this is exactly `max(max-core-compute, Σ DMS)`.
+        Placement {
+            start,
+            end,
+            duration: (start - ready) + span,
+        }
+    }
+
+    /// Utilization and energy over everything placed so far.
+    pub fn utilization(&self, cost_model: &CostModel, power: &PowerModel) -> Utilization {
+        let makespan = self.makespan.to_time(cost_model.freq_hz);
+        let busy: Cycles = self.core_busy.iter().copied().sum();
+        let denom = self.makespan.get() * self.core_free.len() as f64;
+        Utilization {
+            makespan,
+            core_busy: busy.to_time(cost_model.freq_hz),
+            core_utilization: if denom > 0.0 { busy.get() / denom } else { 0.0 },
+            dms_utilization: if self.makespan.get() > 0.0 {
+                self.dms_busy.get() / self.makespan.get()
+            } else {
+                0.0
+            },
+            energy_joules: power.energy_joules(makespan),
+            stages: self.stages,
+        }
+    }
+}
+
+/// Compose per-item accounts into `k` lane accounts. Round-robin mirrors
+/// the actor runner's own static layout; work stealing assigns each item
+/// (in order) to the lane with the least accrued elapsed time.
+fn assign_lanes(items: &[CycleAccount], k: usize, mode: DispatchMode) -> Vec<CycleAccount> {
+    let mut lanes = vec![CycleAccount::new(); k];
+    match mode {
+        DispatchMode::Deterministic => {
+            for (i, item) in items.iter().enumerate() {
+                lanes[i % k].absorb(item);
+            }
+        }
+        DispatchMode::WorkStealing => {
+            for item in items {
+                let j = (0..k)
+                    .min_by(|&a, &b| {
+                        lanes[a]
+                            .elapsed_cycles()
+                            .get()
+                            .total_cmp(&lanes[b].elapsed_cycles().get())
+                    })
+                    .expect("k >= 1");
+                lanes[j].absorb(item);
+            }
+        }
+    }
+    lanes
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn compute_item(cycles: f64) -> CycleAccount {
+        let mut a = CycleAccount::new();
+        a.charge_compute(Cycles(cycles));
+        a
+    }
+
+    fn dms_item(cycles: f64) -> CycleAccount {
+        let mut a = CycleAccount::new();
+        a.charge_dms(Cycles(cycles), 1024, 1);
+        a
+    }
+
+    fn profile(qid: u64, parallelism: usize, items: Vec<CycleAccount>) -> StageProfile {
+        StageProfile {
+            query_id: qid,
+            parallelism,
+            items,
+        }
+    }
+
+    #[test]
+    fn solo_stage_matches_engine_local_rule() {
+        // 4 lanes, compute 1000 each, plus 4x100 DMS: rule says
+        // max(1000, 400) = 1000.
+        let mut tl = DpuTimeline::new(32);
+        let mut items = Vec::new();
+        for _ in 0..4 {
+            items.push(compute_item(1000.0));
+            items.push(dms_item(100.0));
+        }
+        let p = tl.place(
+            Cycles::ZERO,
+            &profile(1, 8, items),
+            DispatchMode::Deterministic,
+        );
+        assert_eq!(p.start, Cycles::ZERO);
+        assert_eq!(p.duration, Cycles(1000.0));
+        assert_eq!(p.end, Cycles(1000.0));
+    }
+
+    #[test]
+    fn dms_serializes_across_queries() {
+        // Two DMS-bound stages from different queries: the second's
+        // transfers queue behind the first's on the single engine.
+        let mut tl = DpuTimeline::new(32);
+        let a = tl.place(
+            Cycles::ZERO,
+            &profile(1, 1, vec![dms_item(1000.0)]),
+            DispatchMode::Deterministic,
+        );
+        let b = tl.place(
+            Cycles::ZERO,
+            &profile(2, 1, vec![dms_item(1000.0)]),
+            DispatchMode::Deterministic,
+        );
+        assert_eq!(a.end, Cycles(1000.0));
+        // Query 2 starts its core at 0 (different core is free) but its
+        // transfer waits for the engine: ends at 2000.
+        assert_eq!(b.start, Cycles::ZERO);
+        assert_eq!(b.end, Cycles(2000.0));
+    }
+
+    #[test]
+    fn compute_stages_overlap_on_disjoint_cores() {
+        // Two 8-lane compute stages on a 32-core DPU run side by side.
+        let mut tl = DpuTimeline::new(32);
+        let items = |n: usize| (0..n).map(|_| compute_item(1000.0)).collect::<Vec<_>>();
+        let a = tl.place(
+            Cycles::ZERO,
+            &profile(1, 8, items(8)),
+            DispatchMode::Deterministic,
+        );
+        let b = tl.place(
+            Cycles::ZERO,
+            &profile(2, 8, items(8)),
+            DispatchMode::Deterministic,
+        );
+        assert_eq!(a.end, Cycles(1000.0));
+        assert_eq!(b.end, Cycles(1000.0), "disjoint cores: no queueing");
+        let u = tl.utilization(&CostModel::default(), &PowerModel::dpu());
+        assert!(
+            (u.core_utilization - 0.5).abs() < 1e-9,
+            "16 of 32 cores busy"
+        );
+    }
+
+    #[test]
+    fn gang_waits_for_granted_cores() {
+        // A 32-lane stage must wait for every core, including the ones the
+        // first stage still holds.
+        let mut tl = DpuTimeline::new(32);
+        let items = |n: usize| (0..n).map(|_| compute_item(1000.0)).collect::<Vec<_>>();
+        tl.place(
+            Cycles::ZERO,
+            &profile(1, 8, items(8)),
+            DispatchMode::Deterministic,
+        );
+        let b = tl.place(
+            Cycles::ZERO,
+            &profile(2, 32, items(32)),
+            DispatchMode::Deterministic,
+        );
+        assert_eq!(b.start, Cycles(1000.0));
+        assert_eq!(b.duration, Cycles(2000.0), "wait + span");
+    }
+
+    #[test]
+    fn work_stealing_balances_skewed_items_better() {
+        // Alternating heavy/light items on 2 lanes: round-robin piles every
+        // heavy item onto lane 0 (4000 cycles); greedy balancing lands at
+        // the 2020 optimum.
+        let skew = || -> Vec<CycleAccount> {
+            vec![
+                compute_item(1000.0),
+                compute_item(10.0),
+                compute_item(1000.0),
+                compute_item(10.0),
+                compute_item(1000.0),
+                compute_item(10.0),
+                compute_item(1000.0),
+                compute_item(10.0),
+            ]
+        };
+        let mut tl = DpuTimeline::new(2);
+        let det = tl.place(
+            Cycles::ZERO,
+            &profile(1, 2, skew()),
+            DispatchMode::Deterministic,
+        );
+        let mut tl = DpuTimeline::new(2);
+        let steal = tl.place(
+            Cycles::ZERO,
+            &profile(1, 2, skew()),
+            DispatchMode::WorkStealing,
+        );
+        assert_eq!(det.duration, Cycles(4000.0));
+        assert_eq!(steal.duration, Cycles(2020.0));
+    }
+
+    #[test]
+    fn utilization_reports_energy_at_provisioned_power() {
+        let mut tl = DpuTimeline::new(1);
+        // 8e8 cycles at 800 MHz = 1 simulated second.
+        tl.place(
+            Cycles::ZERO,
+            &profile(1, 1, vec![compute_item(8.0e8)]),
+            DispatchMode::Deterministic,
+        );
+        let u = tl.utilization(&CostModel::default(), &PowerModel::dpu());
+        assert!((u.makespan.as_secs() - 1.0).abs() < 1e-9);
+        assert!((u.energy_joules - 5.8).abs() < 1e-6);
+        assert!((u.core_utilization - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn empty_timeline_utilization_is_zero() {
+        let tl = DpuTimeline::new(32);
+        let u = tl.utilization(&CostModel::default(), &PowerModel::dpu());
+        assert_eq!(u.core_utilization, 0.0);
+        assert_eq!(u.dms_utilization, 0.0);
+        assert_eq!(u.stages, 0);
+    }
+}

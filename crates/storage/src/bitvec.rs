@@ -22,12 +22,18 @@ pub struct BitVec {
 impl BitVec {
     /// All-zero bit-vector of `len` rows.
     pub fn zeros(len: usize) -> Self {
-        BitVec { words: vec![0; len.div_ceil(64)], len }
+        BitVec {
+            words: vec![0; len.div_ceil(64)],
+            len,
+        }
     }
 
     /// All-one bit-vector of `len` rows.
     pub fn ones(len: usize) -> Self {
-        let mut bv = BitVec { words: vec![!0u64; len.div_ceil(64)], len };
+        let mut bv = BitVec {
+            words: vec![!0u64; len.div_ceil(64)],
+            len,
+        };
         bv.mask_tail();
         bv
     }
@@ -148,7 +154,9 @@ impl BitVec {
 
     /// Convert to a RID-list.
     pub fn to_rids(&self) -> RidList {
-        RidList { rids: self.iter_ones().map(|i| i as u32).collect() }
+        RidList {
+            rids: self.iter_ones().map(|i| i as u32).collect(),
+        }
     }
 
     /// Raw 64-bit words (for size accounting and `BVLD`-style access).

@@ -23,7 +23,12 @@ impl PackedVector {
     /// delta (e.g. spanning nearly the whole `i64` domain).
     pub fn encode(values: &[i64]) -> Option<PackedVector> {
         if values.is_empty() {
-            return Some(PackedVector { min: 0, bits: 0, words: Vec::new(), len: 0 });
+            return Some(PackedVector {
+                min: 0,
+                bits: 0,
+                words: Vec::new(),
+                len: 0,
+            });
         }
         let min = *values.iter().min().expect("non-empty");
         let max = *values.iter().max().expect("non-empty");
@@ -31,7 +36,11 @@ impl PackedVector {
         if range > u64::MAX as i128 {
             return None;
         }
-        let bits = if range == 0 { 0 } else { 128 - (range as u128).leading_zeros() as u8 };
+        let bits = if range == 0 {
+            0
+        } else {
+            128 - (range as u128).leading_zeros() as u8
+        };
         if bits > 64 {
             return None;
         }
@@ -41,7 +50,12 @@ impl PackedVector {
             let delta = (v as i128 - min as i128) as u64;
             write_bits(&mut words, i * bits as usize, bits, delta);
         }
-        Some(PackedVector { min, bits, words, len: values.len() })
+        Some(PackedVector {
+            min,
+            bits,
+            words,
+            len: values.len(),
+        })
     }
 
     /// Logical element count.
@@ -78,7 +92,9 @@ impl PackedVector {
 
     /// Decode the whole vector.
     pub fn decode(&self) -> Vec<i64> {
-        (0..self.len).map(|i| self.get(i).expect("in range")).collect()
+        (0..self.len)
+            .map(|i| self.get(i).expect("in range"))
+            .collect()
     }
 }
 
@@ -99,7 +115,11 @@ fn write_bits(words: &mut [u64], bit_pos: usize, bits: u8, value: u64) {
 fn read_bits(words: &[u64], bit_pos: usize, bits: u8) -> u64 {
     let word = bit_pos / 64;
     let off = bit_pos % 64;
-    let mask = if bits == 64 { !0u64 } else { (1u64 << bits) - 1 };
+    let mask = if bits == 64 {
+        !0u64
+    } else {
+        (1u64 << bits) - 1
+    };
     let mut v = words[word] >> off;
     let spill = off + bits as usize;
     if spill > 64 {

@@ -39,7 +39,12 @@ pub struct Dictionary {
 impl Dictionary {
     /// Empty dictionary.
     pub fn new() -> Self {
-        Dictionary { values: Vec::new(), sorted: Vec::new(), index: HashMap::new(), codes_ordered: true }
+        Dictionary {
+            values: Vec::new(),
+            sorted: Vec::new(),
+            index: HashMap::new(),
+            codes_ordered: true,
+        }
     }
 
     /// Build from a set of values; duplicates collapse. Values are sorted
@@ -48,15 +53,28 @@ impl Dictionary {
         let mut vals: Vec<String> = values.into_iter().map(Into::into).collect();
         vals.sort_unstable();
         vals.dedup();
-        let index = vals.iter().enumerate().map(|(i, v)| (v.clone(), i as u32)).collect();
+        let index = vals
+            .iter()
+            .enumerate()
+            .map(|(i, v)| (v.clone(), i as u32))
+            .collect();
         let sorted = (0..vals.len() as u32).collect();
-        Dictionary { values: vals, sorted, index, codes_ordered: true }
+        Dictionary {
+            values: vals,
+            sorted,
+            index,
+            codes_ordered: true,
+        }
     }
 
     /// Rebuild the value->code map (after deserialization).
     pub fn rebuild_index(&mut self) {
-        self.index =
-            self.values.iter().enumerate().map(|(i, v)| (v.clone(), i as u32)).collect();
+        self.index = self
+            .values
+            .iter()
+            .enumerate()
+            .map(|(i, v)| (v.clone(), i as u32))
+            .collect();
     }
 
     /// Number of distinct values.
@@ -113,13 +131,21 @@ impl Dictionary {
     pub fn range_codes(&self, lo: Bound<&str>, hi: Bound<&str>) -> BitVec {
         let start = match lo {
             Bound::Unbounded => 0,
-            Bound::Included(v) => self.sorted.partition_point(|&c| self.values[c as usize].as_str() < v),
-            Bound::Excluded(v) => self.sorted.partition_point(|&c| self.values[c as usize].as_str() <= v),
+            Bound::Included(v) => self
+                .sorted
+                .partition_point(|&c| self.values[c as usize].as_str() < v),
+            Bound::Excluded(v) => self
+                .sorted
+                .partition_point(|&c| self.values[c as usize].as_str() <= v),
         };
         let end = match hi {
             Bound::Unbounded => self.sorted.len(),
-            Bound::Included(v) => self.sorted.partition_point(|&c| self.values[c as usize].as_str() <= v),
-            Bound::Excluded(v) => self.sorted.partition_point(|&c| self.values[c as usize].as_str() < v),
+            Bound::Included(v) => self
+                .sorted
+                .partition_point(|&c| self.values[c as usize].as_str() <= v),
+            Bound::Excluded(v) => self
+                .sorted
+                .partition_point(|&c| self.values[c as usize].as_str() < v),
         };
         let mut bv = BitVec::zeros(self.values.len());
         for &code in &self.sorted[start..end.max(start)] {
@@ -222,7 +248,10 @@ mod tests {
         let mut d = Dictionary::build(["a", "b"]);
         d.insert("z");
         assert!(d.codes_ordered());
-        assert_eq!(d.code_range(Bound::Included("b"), Bound::Unbounded), Some((1, 2)));
+        assert_eq!(
+            d.code_range(Bound::Included("b"), Bound::Unbounded),
+            Some((1, 2))
+        );
     }
 
     #[test]
@@ -241,8 +270,10 @@ mod tests {
         let mut d = Dictionary::build(["grapefruit", "grape", "melon", "gr"]);
         d.insert("grain");
         let bv = d.prefix_codes("gra");
-        let matches: Vec<&str> =
-            bv.iter_ones().map(|c| d.value_of(c as u32).unwrap()).collect();
+        let matches: Vec<&str> = bv
+            .iter_ones()
+            .map(|c| d.value_of(c as u32).unwrap())
+            .collect();
         let mut sorted = matches.clone();
         sorted.sort_unstable();
         assert_eq!(sorted, vec!["grain", "grape", "grapefruit"]);
@@ -251,9 +282,18 @@ mod tests {
     #[test]
     fn code_range_bounds() {
         let d = Dictionary::build(["a", "c", "e", "g"]);
-        assert_eq!(d.code_range(Bound::Included("c"), Bound::Included("e")), Some((1, 2)));
-        assert_eq!(d.code_range(Bound::Excluded("c"), Bound::Excluded("e")), None); // only 'd' — absent
-        assert_eq!(d.code_range(Bound::Included("b"), Bound::Included("f")), Some((1, 2)));
+        assert_eq!(
+            d.code_range(Bound::Included("c"), Bound::Included("e")),
+            Some((1, 2))
+        );
+        assert_eq!(
+            d.code_range(Bound::Excluded("c"), Bound::Excluded("e")),
+            None
+        ); // only 'd' — absent
+        assert_eq!(
+            d.code_range(Bound::Included("b"), Bound::Included("f")),
+            Some((1, 2))
+        );
         assert_eq!(d.code_range(Bound::Included("x"), Bound::Unbounded), None);
     }
 
@@ -261,7 +301,10 @@ mod tests {
     fn contains_codes_scan() {
         let d = Dictionary::build(["forest green", "green", "lavender", "spring green"]);
         let bv = d.contains_codes("green");
-        let hits: Vec<&str> = bv.iter_ones().map(|c| d.value_of(c as u32).unwrap()).collect();
+        let hits: Vec<&str> = bv
+            .iter_ones()
+            .map(|c| d.value_of(c as u32).unwrap())
+            .collect();
         assert_eq!(hits.len(), 3);
         assert!(!bv.get(d.code_of("lavender").unwrap() as usize));
     }

@@ -73,7 +73,11 @@ impl DsbVector {
                 }
             }
         }
-        DsbVector { data, scale, exceptions }
+        DsbVector {
+            data,
+            scale,
+            exceptions,
+        }
     }
 
     /// Number of rows.
@@ -88,15 +92,23 @@ impl DsbVector {
 
     /// Whether row `i` is an exception.
     pub fn is_exception(&self, i: u32) -> bool {
-        self.exceptions.binary_search_by_key(&i, |(r, _)| *r).is_ok()
+        self.exceptions
+            .binary_search_by_key(&i, |(r, _)| *r)
+            .is_ok()
     }
 
     /// Decode row `i` back to a [`Value`].
     pub fn decode_row(&self, i: usize) -> Value {
-        if let Ok(pos) = self.exceptions.binary_search_by_key(&(i as u32), |(r, _)| *r) {
+        if let Ok(pos) = self
+            .exceptions
+            .binary_search_by_key(&(i as u32), |(r, _)| *r)
+        {
             return self.exceptions[pos].1.clone();
         }
-        Value::Decimal { unscaled: self.data[i], scale: self.scale }
+        Value::Decimal {
+            unscaled: self.data[i],
+            scale: self.scale,
+        }
     }
 
     /// Decode the whole vector.

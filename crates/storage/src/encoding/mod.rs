@@ -100,7 +100,7 @@ mod tests {
 
     #[test]
     fn compress_picks_rle_for_runs() {
-        let values: Vec<i64> = std::iter::repeat(7).take(10_000).collect();
+        let values: Vec<i64> = std::iter::repeat_n(7, 10_000).collect();
         let c = compress(&values);
         assert_eq!(c.encoding_name(), "rle");
         assert_eq!(c.decode(), values);
@@ -118,7 +118,9 @@ mod tests {
 
     #[test]
     fn compress_keeps_plain_for_random_wide_data() {
-        let values: Vec<i64> = (0..1000).map(|i| (i * 2_654_435_761i64) ^ (i << 32)).collect();
+        let values: Vec<i64> = (0..1000)
+            .map(|i| (i * 2_654_435_761i64) ^ (i << 32))
+            .collect();
         let c = compress(&values);
         assert_eq!(c.decode(), values);
         // Whatever won, it must not be bigger than plain.
@@ -149,7 +151,7 @@ mod proptests {
         fn compress_roundtrips_runny_vectors(
             runs in proptest::collection::vec((any::<i32>(), 1usize..20), 0..50)
         ) {
-            let values: Vec<i64> = runs.iter().flat_map(|&(v, n)| std::iter::repeat(v as i64).take(n)).collect();
+            let values: Vec<i64> = runs.iter().flat_map(|&(v, n)| std::iter::repeat_n(v as i64, n)).collect();
             let c = compress(&values);
             prop_assert_eq!(c.decode(), values);
         }

@@ -20,7 +20,10 @@ impl RleVector {
                 _ => runs.push((v, 1)),
             }
         }
-        Some(RleVector { runs, len: values.len() })
+        Some(RleVector {
+            runs,
+            len: values.len(),
+        })
     }
 
     /// Logical element count.
@@ -47,7 +50,7 @@ impl RleVector {
     pub fn decode(&self) -> Vec<i64> {
         let mut out = Vec::with_capacity(self.len);
         for &(v, n) in &self.runs {
-            out.extend(std::iter::repeat(v).take(n as usize));
+            out.extend(std::iter::repeat_n(v, n as usize));
         }
         out
     }

@@ -26,8 +26,8 @@ pub mod bitvec;
 pub mod chunk;
 pub mod encoding;
 pub mod load;
-pub mod scn;
 pub mod schema;
+pub mod scn;
 pub mod stats;
 pub mod table;
 pub mod types;

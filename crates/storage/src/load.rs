@@ -80,7 +80,10 @@ where
                                 if row.len() == ncols {
                                     Ok(row)
                                 } else {
-                                    Err(LoadError::Arity { expected: ncols, got: row.len() })
+                                    Err(LoadError::Arity {
+                                        expected: ncols,
+                                        got: row.len(),
+                                    })
                                 }
                             })
                             .collect::<Result<Vec<_>, _>>();
@@ -100,7 +103,9 @@ where
     for row in rows {
         batch.push(row);
         if batch.len() == LOAD_BATCH_ROWS {
-            work_tx.send((sent, std::mem::take(&mut batch))).expect("workers alive");
+            work_tx
+                .send((sent, std::mem::take(&mut batch)))
+                .expect("workers alive");
             sent += 1;
         }
     }
@@ -125,8 +130,9 @@ where
         return Err(e);
     }
 
-    let mut builder =
-        TableBuilder::new(name, schema).partitions(opts.partitions).chunk_rows(opts.chunk_rows);
+    let mut builder = TableBuilder::new(name, schema)
+        .partitions(opts.partitions)
+        .chunk_rows(opts.chunk_rows);
     for slot in slots {
         builder.extend_rows(slot.expect("all batches returned"));
     }
@@ -164,13 +170,17 @@ mod tests {
     use crate::types::DataType;
 
     fn schema() -> Schema {
-        Schema::new(vec![Field::new("k", DataType::Int), Field::new("v", DataType::Int)])
+        Schema::new(vec![
+            Field::new("k", DataType::Int),
+            Field::new("v", DataType::Int),
+        ])
     }
 
     #[test]
     fn parallel_load_preserves_order() {
-        let rows: Vec<Vec<Value>> =
-            (0..30_000i64).map(|i| vec![Value::Int(i), Value::Int(i * 2)]).collect();
+        let rows: Vec<Vec<Value>> = (0..30_000i64)
+            .map(|i| vec![Value::Int(i), Value::Int(i * 2)])
+            .collect();
         let t = load_table("t", schema(), rows, &LoadOptions::default()).unwrap();
         assert_eq!(t.rows(), 30_000);
         // Single partition: global row order must match input order.
@@ -182,7 +192,13 @@ mod tests {
     fn arity_error_propagates() {
         let rows = vec![vec![Value::Int(1), Value::Int(2)], vec![Value::Int(3)]];
         let err = load_table("t", schema(), rows, &LoadOptions::default()).unwrap_err();
-        assert_eq!(err, LoadError::Arity { expected: 2, got: 1 });
+        assert_eq!(
+            err,
+            LoadError::Arity {
+                expected: 2,
+                got: 1
+            }
+        );
     }
 
     #[test]
@@ -193,9 +209,14 @@ mod tests {
 
     #[test]
     fn partitioned_load() {
-        let rows: Vec<Vec<Value>> =
-            (0..1000i64).map(|i| vec![Value::Int(i), Value::Int(0)]).collect();
-        let opts = LoadOptions { partitions: 4, chunk_rows: 100, ..Default::default() };
+        let rows: Vec<Vec<Value>> = (0..1000i64)
+            .map(|i| vec![Value::Int(i), Value::Int(0)])
+            .collect();
+        let opts = LoadOptions {
+            partitions: 4,
+            chunk_rows: 100,
+            ..Default::default()
+        };
         let t = load_table("t", schema(), rows, &opts).unwrap();
         assert_eq!(t.partitions.len(), 4);
         assert_eq!(t.rows(), 1000);

@@ -18,12 +18,20 @@ pub struct Field {
 impl Field {
     /// A non-nullable field.
     pub fn new(name: impl Into<String>, dtype: DataType) -> Self {
-        Field { name: name.into(), dtype, nullable: false }
+        Field {
+            name: name.into(),
+            dtype,
+            nullable: false,
+        }
     }
 
     /// A nullable field.
     pub fn nullable(name: impl Into<String>, dtype: DataType) -> Self {
-        Field { name: name.into(), dtype, nullable: true }
+        Field {
+            name: name.into(),
+            dtype,
+            nullable: true,
+        }
     }
 }
 
@@ -68,8 +76,10 @@ impl Schema {
 
     /// A schema containing the named subset of columns, in the given order.
     pub fn project(&self, names: &[&str]) -> Option<Schema> {
-        let fields =
-            names.iter().map(|n| self.field(n).cloned()).collect::<Option<Vec<_>>>()?;
+        let fields = names
+            .iter()
+            .map(|n| self.field(n).cloned())
+            .collect::<Option<Vec<_>>>()?;
         Some(Schema { fields })
     }
 }
@@ -92,7 +102,10 @@ mod tests {
         let s = lineitem_ish();
         assert_eq!(s.index_of("l_shipdate"), Some(2));
         assert_eq!(s.index_of("nope"), None);
-        assert_eq!(s.field("l_quantity").unwrap().dtype, DataType::Decimal { scale: 2 });
+        assert_eq!(
+            s.field("l_quantity").unwrap().dtype,
+            DataType::Decimal { scale: 2 }
+        );
     }
 
     #[test]

@@ -99,7 +99,7 @@ pub struct UpdateUnit {
 impl UpdateUnit {
     /// Whether the unit is visible to a query at `q`.
     pub fn visible_at(&self, q: Scn) -> bool {
-        self.scn <= q && self.expiry.map_or(true, |e| e > q)
+        self.scn <= q && self.expiry.is_none_or(|e| e > q)
     }
 }
 
@@ -163,7 +163,11 @@ impl Journal {
         if old.len() > 1 {
             let scn = old.last().map_or(Scn::ZERO, |u| u.scn);
             let rows = old.into_iter().flat_map(|u| u.rows).collect();
-            self.units.push(UpdateUnit { scn, expiry: None, rows });
+            self.units.push(UpdateUnit {
+                scn,
+                expiry: None,
+                rows,
+            });
         } else {
             self.units.extend(old);
         }
@@ -202,7 +206,9 @@ impl Tracker {
             return Arc::clone(hit);
         }
         let snap = Arc::new(materialize(base, journal, q));
-        self.cache.lock().insert((base.name.clone(), q), Arc::clone(&snap));
+        self.cache
+            .lock()
+            .insert((base.name.clone(), q), Arc::clone(&snap));
         snap
     }
 
@@ -224,7 +230,7 @@ fn materialize(base: &Table, journal: &Journal, q: Scn) -> Table {
     let mut rows: Vec<Option<Vec<Value>>> = Vec::with_capacity(base.rows());
     let cols: Vec<Vec<i64>> = (0..ncols).map(|c| base.column_i64(c)).collect();
     let nulls: Vec<crate::bitvec::BitVec> = (0..ncols).map(|c| base.column_nulls(c)).collect();
-    for r in 0..base.rows() {
+    rows.extend((0..base.rows()).map(|r| {
         let row = (0..ncols)
             .map(|c| {
                 if nulls[c].get(r) {
@@ -234,8 +240,8 @@ fn materialize(base: &Table, journal: &Journal, q: Scn) -> Table {
                 }
             })
             .collect();
-        rows.push(Some(row));
-    }
+        Some(row)
+    }));
     for unit in journal.visible_at(q) {
         for change in &unit.rows {
             match change {
@@ -266,8 +272,10 @@ mod tests {
     use crate::types::DataType;
 
     fn base() -> Table {
-        let schema =
-            Schema::new(vec![Field::new("k", DataType::Int), Field::new("v", DataType::Int)]);
+        let schema = Schema::new(vec![
+            Field::new("k", DataType::Int),
+            Field::new("v", DataType::Int),
+        ]);
         let mut b = TableBuilder::new("t", schema);
         for i in 0..10 {
             b.push_row(vec![Value::Int(i), Value::Int(i * 10)]);
@@ -286,7 +294,11 @@ mod tests {
 
     #[test]
     fn visibility_rules() {
-        let u = UpdateUnit { scn: Scn(5), expiry: Some(Scn(9)), rows: vec![] };
+        let u = UpdateUnit {
+            scn: Scn(5),
+            expiry: Some(Scn(9)),
+            rows: vec![],
+        };
         assert!(!u.visible_at(Scn(4)));
         assert!(u.visible_at(Scn(5)));
         assert!(u.visible_at(Scn(8)));
@@ -302,7 +314,10 @@ mod tests {
             expiry: None,
             rows: vec![
                 RowChange::Insert(vec![Value::Int(100), Value::Int(1000)]),
-                RowChange::Update { rid: 0, row: vec![Value::Int(0), Value::Int(-1)] },
+                RowChange::Update {
+                    rid: 0,
+                    row: vec![Value::Int(0), Value::Int(-1)],
+                },
                 RowChange::Delete { rid: 5 },
             ],
         });
@@ -346,8 +361,16 @@ mod tests {
     #[test]
     fn journal_checkpoint_watermark() {
         let mut j = Journal::new();
-        j.append(UpdateUnit { scn: Scn(1), expiry: None, rows: vec![] });
-        j.append(UpdateUnit { scn: Scn(2), expiry: None, rows: vec![] });
+        j.append(UpdateUnit {
+            scn: Scn(1),
+            expiry: None,
+            rows: vec![],
+        });
+        j.append(UpdateUnit {
+            scn: Scn(2),
+            expiry: None,
+            rows: vec![],
+        });
         assert_eq!(j.pending().count(), 2);
         j.mark_checkpointed(Scn(1));
         assert_eq!(j.pending().count(), 1);
@@ -382,8 +405,16 @@ mod tests {
         assert_eq!(a, b, "compaction must not change visible state");
         // Uncheckpointed units are never compacted away.
         let mut j2 = Journal::new();
-        j2.append(UpdateUnit { scn: Scn(1), expiry: None, rows: vec![] });
-        j2.append(UpdateUnit { scn: Scn(2), expiry: None, rows: vec![] });
+        j2.append(UpdateUnit {
+            scn: Scn(1),
+            expiry: None,
+            rows: vec![],
+        });
+        j2.append(UpdateUnit {
+            scn: Scn(2),
+            expiry: None,
+            rows: vec![],
+        });
         j2.compact(Scn(9));
         assert_eq!(j2.len(), 2, "nothing checkpointed, nothing squashed");
     }
@@ -392,7 +423,15 @@ mod tests {
     #[should_panic(expected = "SCN-ordered")]
     fn out_of_order_append_panics() {
         let mut j = Journal::new();
-        j.append(UpdateUnit { scn: Scn(2), expiry: None, rows: vec![] });
-        j.append(UpdateUnit { scn: Scn(1), expiry: None, rows: vec![] });
+        j.append(UpdateUnit {
+            scn: Scn(2),
+            expiry: None,
+            rows: vec![],
+        });
+        j.append(UpdateUnit {
+            scn: Scn(1),
+            expiry: None,
+            rows: vec![],
+        });
     }
 }

@@ -49,13 +49,18 @@ impl ColumnStats {
                 if is_null(i) {
                     continue;
                 }
-                let b = (((v as i128 - lo as i128) as f64 / span)
-                    * (HISTOGRAM_BUCKETS - 1) as f64)
+                let b = (((v as i128 - lo as i128) as f64 / span) * (HISTOGRAM_BUCKETS - 1) as f64)
                     .round() as usize;
                 histogram[b.min(HISTOGRAM_BUCKETS - 1)] += 1;
             }
         }
-        ColumnStats { min, max, ndv: distinct.len() as u64, null_count, histogram }
+        ColumnStats {
+            min,
+            max,
+            ndv: distinct.len() as u64,
+            null_count,
+            histogram,
+        }
     }
 
     /// Merge statistics from another partition of the same column. NDV
@@ -98,7 +103,9 @@ impl ColumnStats {
             .floor() as usize;
         let b_hi = (((hi as i128 - cmin as i128) as f64 / span) * (HISTOGRAM_BUCKETS - 1) as f64)
             .ceil() as usize;
-        let hits: u64 = self.histogram[b_lo..=b_hi.min(HISTOGRAM_BUCKETS - 1)].iter().sum();
+        let hits: u64 = self.histogram[b_lo..=b_hi.min(HISTOGRAM_BUCKETS - 1)]
+            .iter()
+            .sum();
         (hits as f64 / total as f64).clamp(0.0, 1.0)
     }
 

@@ -95,11 +95,14 @@ impl Table {
         match self.schema.fields[col].dtype {
             DataType::Int => Value::Int(widened),
             DataType::Date => Value::Date(widened as i32),
-            DataType::Decimal { .. } => {
-                Value::Decimal { unscaled: widened, scale: self.scales[col] }
-            }
+            DataType::Decimal { .. } => Value::Decimal {
+                unscaled: widened,
+                scale: self.scales[col],
+            },
             DataType::Varchar => {
-                let dict = self.dicts[col].as_ref().expect("varchar column has dictionary");
+                let dict = self.dicts[col]
+                    .as_ref()
+                    .expect("varchar column has dictionary");
                 Value::Str(dict.value_of(widened as u32).unwrap_or("").to_string())
             }
         }
@@ -121,9 +124,10 @@ impl Table {
             },
             DataType::Decimal { .. } => v.unscaled_at(self.scales[col]),
             DataType::Varchar => match v {
-                Value::Str(s) => {
-                    self.dicts[col].as_ref().and_then(|d| d.code_of(s)).map(|c| c as i64)
-                }
+                Value::Str(s) => self.dicts[col]
+                    .as_ref()
+                    .and_then(|d| d.code_of(s))
+                    .map(|c| c as i64),
                 _ => None,
             },
         }
@@ -217,7 +221,8 @@ impl TableBuilder {
                     for row in &self.rows {
                         match &row[c] {
                             Value::Str(s) => {
-                                widened[c].push(dict.code_of(s).expect("dict covers values") as i64);
+                                widened[c]
+                                    .push(dict.code_of(s).expect("dict covers values") as i64);
                                 nulls[c].push(false);
                             }
                             Value::Null => {
@@ -243,9 +248,9 @@ impl TableBuilder {
                                 // Values outside the common scale's exact
                                 // range round (rare; the DSB exception path
                                 // is exercised in the encoding module).
-                                let u = v.unscaled_at(scale).unwrap_or_else(|| {
-                                    approx_unscaled(v, scale)
-                                });
+                                let u = v
+                                    .unscaled_at(scale)
+                                    .unwrap_or_else(|| approx_unscaled(v, scale));
                                 widened[c].push(u);
                                 nulls[c].push(false);
                             }
@@ -282,7 +287,10 @@ impl TableBuilder {
         let columns = (0..ncols)
             .map(|c| ColumnStats::compute(&widened[c], |i| nulls[c].get(i)))
             .collect();
-        let stats = TableStats { rows: nrows as u64, columns };
+        let stats = TableStats {
+            rows: nrows as u64,
+            columns,
+        };
 
         // Choose one physical width per column (consistent across chunks).
         let protos: Vec<ColumnData> = (0..ncols)
@@ -303,18 +311,28 @@ impl TableBuilder {
             for c in 0..ncols {
                 let mut data = protos[c].empty_like();
                 let mut nmask = BitVec::zeros(0);
-                for i in start..end {
-                    data.push_i64(if nulls[c].get(i) { 0 } else { widened[c][i] });
+                for (i, &w) in widened[c].iter().enumerate().take(end).skip(start) {
+                    data.push_i64(if nulls[c].get(i) { 0 } else { w });
                     nmask.push(nulls[c].get(i));
                 }
                 vectors.push(Vector::with_nulls(data, nmask));
             }
-            partitions[chunk_idx % self.target_partitions].chunks.push(Chunk::new(vectors));
+            partitions[chunk_idx % self.target_partitions]
+                .chunks
+                .push(Chunk::new(vectors));
             chunk_idx += 1;
             start = end;
         }
 
-        Table { name: self.name, schema: self.schema, partitions, dicts, scales, stats, scn }
+        Table {
+            name: self.name,
+            schema: self.schema,
+            partitions,
+            dicts,
+            scales,
+            stats,
+            scn,
+        }
     }
 }
 
@@ -345,13 +363,22 @@ mod tests {
             Field::new("flag", DataType::Varchar),
             Field::nullable("d", DataType::Date),
         ]);
-        let mut b = TableBuilder::new("t", schema).partitions(partitions).chunk_rows(chunk_rows);
+        let mut b = TableBuilder::new("t", schema)
+            .partitions(partitions)
+            .chunk_rows(chunk_rows);
         for i in 0..100i64 {
             b.push_row(vec![
                 Value::Int(i),
-                Value::Decimal { unscaled: i * 100 + 25, scale: 2 },
+                Value::Decimal {
+                    unscaled: i * 100 + 25,
+                    scale: 2,
+                },
                 Value::Str(if i % 2 == 0 { "A".into() } else { "R".into() }),
-                if i % 10 == 0 { Value::Null } else { Value::Date(i as i32) },
+                if i % 10 == 0 {
+                    Value::Null
+                } else {
+                    Value::Date(i as i32)
+                },
             ]);
         }
         b.finish()
@@ -389,14 +416,29 @@ mod tests {
         assert_eq!(t.scales[1], 2);
         let v = t.column_i64(1);
         assert_eq!(v[3], 325); // 3.25
-        assert_eq!(t.decode_value(1, v[3]), Value::Decimal { unscaled: 325, scale: 2 });
+        assert_eq!(
+            t.decode_value(1, v[3]),
+            Value::Decimal {
+                unscaled: 325,
+                scale: 2
+            }
+        );
     }
 
     #[test]
     fn encode_value_for_predicates() {
         let t = sample_table(1, 32);
         assert_eq!(t.encode_value(0, &Value::Int(42)), Some(42));
-        assert_eq!(t.encode_value(1, &Value::Decimal { unscaled: 5, scale: 1 }), Some(50));
+        assert_eq!(
+            t.encode_value(
+                1,
+                &Value::Decimal {
+                    unscaled: 5,
+                    scale: 1
+                }
+            ),
+            Some(50)
+        );
         assert_eq!(t.encode_value(2, &Value::Str("R".into())), Some(1));
         assert_eq!(t.encode_value(2, &Value::Str("missing".into())), None);
     }
@@ -518,16 +560,24 @@ mod compression_tests {
         let mut b = TableBuilder::new("c", schema).chunk_rows(512);
         for i in 0..4096i64 {
             b.push_row(vec![
-                Value::Int(7),                            // constant -> RLE
-                Value::Int(1_000_000 + i % 4),            // narrow range -> bitpack
-                Value::Int(i * 7_919 - (i << 33)),        // wide -> likely plain
+                Value::Int(7),                     // constant -> RLE
+                Value::Int(1_000_000 + i % 4),     // narrow range -> bitpack
+                Value::Int(i * 7_919 - (i << 33)), // wide -> likely plain
             ]);
         }
         let t = b.finish();
         let r = t.compression_report();
         assert_eq!(r.columns[0].1, "rle", "constant column: {:?}", r.columns[0]);
-        assert_eq!(r.columns[1].1, "bitpack", "narrow column: {:?}", r.columns[1]);
-        assert!(r.ratio() > 2.0, "overall ratio {} should be substantial", r.ratio());
+        assert_eq!(
+            r.columns[1].1, "bitpack",
+            "narrow column: {:?}",
+            r.columns[1]
+        );
+        assert!(
+            r.ratio() > 2.0,
+            "overall ratio {} should be substantial",
+            r.ratio()
+        );
         // Every compressed vector decodes back (spot-check one chunk).
         let chunk = t.chunks().next().expect("chunk");
         let vals = chunk.vector(1).data.to_i64_vec();

@@ -81,7 +81,10 @@ impl Value {
     /// generators; exact for the value ranges TPC-H produces).
     pub fn decimal_from_f64(v: f64, scale: u8) -> Value {
         let factor = 10f64.powi(scale as i32);
-        Value::Decimal { unscaled: (v * factor).round() as i64, scale }
+        Value::Decimal {
+            unscaled: (v * factor).round() as i64,
+            scale,
+        }
     }
 
     /// The decimal's numeric value as f64 (reporting only).
@@ -147,7 +150,13 @@ impl fmt::Display for Value {
                     let sign = if *unscaled < 0 { "-" } else { "" };
                     let abs = unscaled.unsigned_abs();
                     let f10 = factor as u64;
-                    write!(f, "{sign}{}.{:0width$}", abs / f10, abs % f10, width = *scale as usize)
+                    write!(
+                        f,
+                        "{sign}{}.{:0width$}",
+                        abs / f10,
+                        abs % f10,
+                        width = *scale as usize
+                    )
                 }
             }
             Value::Date(d) => write!(f, "date#{d}"),
@@ -214,15 +223,46 @@ mod tests {
 
     #[test]
     fn decimal_display() {
-        assert_eq!(Value::Decimal { unscaled: 12345, scale: 2 }.to_string(), "123.45");
-        assert_eq!(Value::Decimal { unscaled: -105, scale: 2 }.to_string(), "-1.05");
-        assert_eq!(Value::Decimal { unscaled: 7, scale: 0 }.to_string(), "7");
-        assert_eq!(Value::Decimal { unscaled: 5, scale: 3 }.to_string(), "0.005");
+        assert_eq!(
+            Value::Decimal {
+                unscaled: 12345,
+                scale: 2
+            }
+            .to_string(),
+            "123.45"
+        );
+        assert_eq!(
+            Value::Decimal {
+                unscaled: -105,
+                scale: 2
+            }
+            .to_string(),
+            "-1.05"
+        );
+        assert_eq!(
+            Value::Decimal {
+                unscaled: 7,
+                scale: 0
+            }
+            .to_string(),
+            "7"
+        );
+        assert_eq!(
+            Value::Decimal {
+                unscaled: 5,
+                scale: 3
+            }
+            .to_string(),
+            "0.005"
+        );
     }
 
     #[test]
     fn unscaled_rescaling() {
-        let v = Value::Decimal { unscaled: 150, scale: 2 }; // 1.50
+        let v = Value::Decimal {
+            unscaled: 150,
+            scale: 2,
+        }; // 1.50
         assert_eq!(v.unscaled_at(2), Some(150));
         assert_eq!(v.unscaled_at(4), Some(15000));
         assert_eq!(v.unscaled_at(1), Some(15)); // 1.5 exactly
@@ -257,8 +297,26 @@ mod tests {
 
     #[test]
     fn decimal_from_f64_rounds() {
-        assert_eq!(Value::decimal_from_f64(1.25, 2), Value::Decimal { unscaled: 125, scale: 2 });
-        assert_eq!(Value::decimal_from_f64(0.1, 1), Value::Decimal { unscaled: 1, scale: 1 });
-        assert_eq!(Value::decimal_from_f64(-3.999, 2), Value::Decimal { unscaled: -400, scale: 2 });
+        assert_eq!(
+            Value::decimal_from_f64(1.25, 2),
+            Value::Decimal {
+                unscaled: 125,
+                scale: 2
+            }
+        );
+        assert_eq!(
+            Value::decimal_from_f64(0.1, 1),
+            Value::Decimal {
+                unscaled: 1,
+                scale: 1
+            }
+        );
+        assert_eq!(
+            Value::decimal_from_f64(-3.999, 2),
+            Value::Decimal {
+                unscaled: -400,
+                scale: 2
+            }
+        );
     }
 }

@@ -128,7 +128,11 @@ impl ColumnData {
             (ColumnData::I32(a), ColumnData::I32(b)) => a.extend_from_slice(b),
             (ColumnData::I64(a), ColumnData::I64(b)) => a.extend_from_slice(b),
             (ColumnData::U32(a), ColumnData::U32(b)) => a.extend_from_slice(b),
-            (a, b) => panic!("column variant mismatch: {:?} vs {:?}", a.width(), b.width()),
+            (a, b) => panic!(
+                "column variant mismatch: {:?} vs {:?}",
+                a.width(),
+                b.width()
+            ),
         }
     }
 
@@ -186,7 +190,10 @@ impl Vector {
         if nulls.count_ones() == 0 {
             Vector { data, nulls: None }
         } else {
-            Vector { data, nulls: Some(nulls) }
+            Vector {
+                data,
+                nulls: Some(nulls),
+            }
         }
     }
 
@@ -224,9 +231,10 @@ impl Vector {
     /// Gather rows by offsets (nulls gathered alongside).
     pub fn gather(&self, rids: &[u32]) -> Vector {
         let data = self.data.gather(rids);
-        let nulls = self.nulls.as_ref().map(|n| {
-            BitVec::from_bools(rids.iter().map(|&r| n.get(r as usize)))
-        });
+        let nulls = self
+            .nulls
+            .as_ref()
+            .map(|n| BitVec::from_bools(rids.iter().map(|&r| n.get(r as usize))));
         match nulls {
             Some(n) => Vector::with_nulls(data, n),
             None => Vector::new(data),
@@ -236,8 +244,10 @@ impl Vector {
     /// Contiguous sub-range `[from, to)`.
     pub fn slice(&self, from: usize, to: usize) -> Vector {
         let data = self.data.slice(from, to);
-        let nulls =
-            self.nulls.as_ref().map(|n| BitVec::from_bools((from..to).map(|i| n.get(i))));
+        let nulls = self
+            .nulls
+            .as_ref()
+            .map(|n| BitVec::from_bools((from..to).map(|i| n.get(i))));
         match nulls {
             Some(n) => Vector::with_nulls(data, n),
             None => Vector::new(data),

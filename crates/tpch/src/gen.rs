@@ -30,14 +30,22 @@ pub struct TpchConfig {
 
 impl Default for TpchConfig {
     fn default() -> Self {
-        TpchConfig { scale_factor: 0.01, seed: 42, partitions: 4, chunk_rows: 4096 }
+        TpchConfig {
+            scale_factor: 0.01,
+            seed: 42,
+            partitions: 4,
+            chunk_rows: 4096,
+        }
     }
 }
 
 impl TpchConfig {
     /// A config with the given scale factor.
     pub fn sf(scale_factor: f64) -> Self {
-        TpchConfig { scale_factor, ..Default::default() }
+        TpchConfig {
+            scale_factor,
+            ..Default::default()
+        }
     }
 
     fn count(&self, base: u64) -> u64 {
@@ -115,11 +123,21 @@ const NATIONS: [(&str, i64); 25] = [
     ("UNITED KINGDOM", 3),
     ("UNITED STATES", 1),
 ];
-const SEGMENTS: [&str; 5] = ["AUTOMOBILE", "BUILDING", "FURNITURE", "HOUSEHOLD", "MACHINERY"];
+const SEGMENTS: [&str; 5] = [
+    "AUTOMOBILE",
+    "BUILDING",
+    "FURNITURE",
+    "HOUSEHOLD",
+    "MACHINERY",
+];
 const PRIORITIES: [&str; 5] = ["1-URGENT", "2-HIGH", "3-MEDIUM", "4-NOT SPECIFIED", "5-LOW"];
 const SHIPMODES: [&str; 7] = ["AIR", "AIR REG", "FOB", "MAIL", "RAIL", "SHIP", "TRUCK"];
-const INSTRUCTIONS: [&str; 4] =
-    ["COLLECT COD", "DELIVER IN PERSON", "NONE", "TAKE BACK RETURN"];
+const INSTRUCTIONS: [&str; 4] = [
+    "COLLECT COD",
+    "DELIVER IN PERSON",
+    "NONE",
+    "TAKE BACK RETURN",
+];
 const CONTAINERS: [&str; 8] = [
     "SM CASE", "SM BOX", "SM PACK", "SM PKG", "MED BAG", "MED BOX", "LG CASE", "LG BOX",
 ];
@@ -128,7 +146,15 @@ const TYPE_P1: [&str; 6] = ["STANDARD", "SMALL", "MEDIUM", "LARGE", "ECONOMY", "
 const TYPE_P2: [&str; 5] = ["ANODIZED", "BURNISHED", "PLATED", "POLISHED", "BRUSHED"];
 const TYPE_P3: [&str; 5] = ["TIN", "NICKEL", "BRASS", "STEEL", "COPPER"];
 const COLORS: [&str; 10] = [
-    "almond", "antique", "aquamarine", "azure", "beige", "blanched", "blue", "green", "navy",
+    "almond",
+    "antique",
+    "aquamarine",
+    "azure",
+    "beige",
+    "blanched",
+    "blue",
+    "green",
+    "navy",
     "red",
 ];
 
@@ -176,7 +202,11 @@ pub fn generate(cfg: &TpchConfig) -> TpchData {
             Field::new("n_regionkey", DataType::Int),
         ]);
         let rows = NATIONS.iter().enumerate().map(|(i, (n, r))| {
-            vec![Value::Int(i as i64), Value::Str(n.to_string()), Value::Int(*r)]
+            vec![
+                Value::Int(i as i64),
+                Value::Str(n.to_string()),
+                Value::Int(*r),
+            ]
         });
         load_table("nation", schema, rows, &opts).expect("nation load")
     };
@@ -301,8 +331,7 @@ pub fn generate(cfg: &TpchConfig) -> TpchData {
         for line in 0..nlines {
             let qty = rng.gen_range(1..=50i64);
             let partkey = rng.gen_range(1..=n_part) as i64;
-            let suppkey = ((partkey as u64 - 1 + (line as u64 % 4) * (n_supp / 4).max(1))
-                % n_supp
+            let suppkey = ((partkey as u64 - 1 + (line as u64 % 4) * (n_supp / 4).max(1)) % n_supp
                 + 1) as i64;
             let price_per = 90_000 + (partkey % 200) * 100; // mirrors p_retailprice
             let extended = qty * price_per;
@@ -311,24 +340,35 @@ pub fn generate(cfg: &TpchConfig) -> TpchData {
             let shipdate = orderdate + rng.gen_range(1..=121);
             let commitdate = orderdate + rng.gen_range(30..=90);
             let receiptdate = shipdate + rng.gen_range(1..=30);
-            let returnflag = if receiptdate
-                <= days_from_civil(1995, 6, 17)
-            {
+            let returnflag = if receiptdate <= days_from_civil(1995, 6, 17) {
                 ["R", "A"][rng.gen_range(0..2)]
             } else {
                 "N"
             };
-            let linestatus = if shipdate > days_from_civil(1995, 6, 17) { "O" } else { "F" };
+            let linestatus = if shipdate > days_from_civil(1995, 6, 17) {
+                "O"
+            } else {
+                "F"
+            };
             total += extended;
             lrows.push(vec![
                 Value::Int(o as i64 + 1),
                 Value::Int(partkey),
                 Value::Int(suppkey),
                 Value::Int(line as i64 + 1),
-                Value::Decimal { unscaled: qty * 100, scale: 2 },
+                Value::Decimal {
+                    unscaled: qty * 100,
+                    scale: 2,
+                },
                 dec(extended),
-                Value::Decimal { unscaled: discount, scale: 2 },
-                Value::Decimal { unscaled: tax, scale: 2 },
+                Value::Decimal {
+                    unscaled: discount,
+                    scale: 2,
+                },
+                Value::Decimal {
+                    unscaled: tax,
+                    scale: 2,
+                },
                 Value::Str(returnflag.to_string()),
                 Value::Str(linestatus.to_string()),
                 Value::Date(shipdate),
@@ -381,7 +421,16 @@ pub fn generate(cfg: &TpchConfig) -> TpchData {
         load_table("lineitem", schema, lrows, &opts).expect("lineitem load")
     };
 
-    TpchData { region, nation, supplier, customer, part, partsupp, orders, lineitem }
+    TpchData {
+        region,
+        nation,
+        supplier,
+        customer,
+        part,
+        partsupp,
+        orders,
+        lineitem,
+    }
 }
 
 #[cfg(test)]
@@ -389,7 +438,12 @@ mod tests {
     use super::*;
 
     fn tiny() -> TpchData {
-        generate(&TpchConfig { scale_factor: 0.001, seed: 7, partitions: 2, chunk_rows: 512 })
+        generate(&TpchConfig {
+            scale_factor: 0.001,
+            seed: 7,
+            partitions: 2,
+            chunk_rows: 512,
+        })
     }
 
     #[test]

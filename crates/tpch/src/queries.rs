@@ -61,13 +61,21 @@ pub fn q1() -> LogicalPlan {
             LNamed::new("l_linestatus", LExpr::col("l_linestatus")),
         ],
         vec![
-            LAgg { func: AggFunc::Sum, input: LExpr::col("l_quantity"), name: "sum_qty".into() },
+            LAgg {
+                func: AggFunc::Sum,
+                input: LExpr::col("l_quantity"),
+                name: "sum_qty".into(),
+            },
             LAgg {
                 func: AggFunc::Sum,
                 input: LExpr::col("l_extendedprice"),
                 name: "sum_base_price".into(),
             },
-            LAgg { func: AggFunc::Sum, input: disc_price(), name: "sum_disc_price".into() },
+            LAgg {
+                func: AggFunc::Sum,
+                input: disc_price(),
+                name: "sum_disc_price".into(),
+            },
             LAgg {
                 func: AggFunc::Sum,
                 input: LExpr::bin(
@@ -77,13 +85,21 @@ pub fn q1() -> LogicalPlan {
                 ),
                 name: "sum_charge".into(),
             },
-            LAgg { func: AggFunc::Avg, input: LExpr::col("l_quantity"), name: "avg_qty".into() },
+            LAgg {
+                func: AggFunc::Avg,
+                input: LExpr::col("l_quantity"),
+                name: "avg_qty".into(),
+            },
             LAgg {
                 func: AggFunc::Avg,
                 input: LExpr::col("l_extendedprice"),
                 name: "avg_price".into(),
             },
-            LAgg { func: AggFunc::Avg, input: LExpr::col("l_discount"), name: "avg_disc".into() },
+            LAgg {
+                func: AggFunc::Avg,
+                input: LExpr::col("l_discount"),
+                name: "avg_disc".into(),
+            },
             LAgg {
                 func: AggFunc::Count,
                 input: LExpr::col("l_orderkey"),
@@ -92,19 +108,24 @@ pub fn q1() -> LogicalPlan {
         ],
     )
     .sort(vec![
-        LSortKey { col: "l_returnflag".into(), desc: false },
-        LSortKey { col: "l_linestatus".into(), desc: false },
+        LSortKey {
+            col: "l_returnflag".into(),
+            desc: false,
+        },
+        LSortKey {
+            col: "l_linestatus".into(),
+            desc: false,
+        },
     ])
 }
 
 /// Q3 — shipping priority: 3-way join + top-10.
 pub fn q3() -> LogicalPlan {
-    let customer =
-        LogicalPlan::Scan {
-            table: "customer".into(),
-            pred: Some(LPred::eq("c_mktsegment", s("BUILDING"))),
-            projection: Some(vec!["c_custkey".into()]),
-        };
+    let customer = LogicalPlan::Scan {
+        table: "customer".into(),
+        pred: Some(LPred::eq("c_mktsegment", s("BUILDING"))),
+        projection: Some(vec!["c_custkey".into()]),
+    };
     let orders = LogicalPlan::Scan {
         table: "orders".into(),
         pred: Some(LPred::cmp("o_orderdate", CmpOp::Lt, date(1995, 3, 15))),
@@ -125,18 +146,32 @@ pub fn q3() -> LogicalPlan {
         ]),
     };
     lineitem
-        .join(orders.join(customer, &["o_custkey"], &["c_custkey"]), &["l_orderkey"], &["o_orderkey"])
+        .join(
+            orders.join(customer, &["o_custkey"], &["c_custkey"]),
+            &["l_orderkey"],
+            &["o_orderkey"],
+        )
         .aggregate(
             vec![
                 LNamed::new("l_orderkey", LExpr::col("l_orderkey")),
                 LNamed::new("o_orderdate", LExpr::col("o_orderdate")),
                 LNamed::new("o_shippriority", LExpr::col("o_shippriority")),
             ],
-            vec![LAgg { func: AggFunc::Sum, input: disc_price(), name: "revenue".into() }],
+            vec![LAgg {
+                func: AggFunc::Sum,
+                input: disc_price(),
+                name: "revenue".into(),
+            }],
         )
         .sort(vec![
-            LSortKey { col: "revenue".into(), desc: true },
-            LSortKey { col: "o_orderdate".into(), desc: false },
+            LSortKey {
+                col: "revenue".into(),
+                desc: true,
+            },
+            LSortKey {
+                col: "o_orderdate".into(),
+                desc: false,
+            },
         ])
         .limit(10)
 }
@@ -168,14 +203,20 @@ pub fn q4() -> LogicalPlan {
         join_type: JoinType::LeftSemi,
     }
     .aggregate(
-        vec![LNamed::new("o_orderpriority", LExpr::col("o_orderpriority"))],
+        vec![LNamed::new(
+            "o_orderpriority",
+            LExpr::col("o_orderpriority"),
+        )],
         vec![LAgg {
             func: AggFunc::Count,
             input: LExpr::col("o_orderkey"),
             name: "order_count".into(),
         }],
     )
-    .sort(vec![LSortKey { col: "o_orderpriority".into(), desc: false }])
+    .sort(vec![LSortKey {
+        col: "o_orderpriority".into(),
+        desc: false,
+    }])
 }
 
 /// Q5 — local supplier volume: 6-way join with a two-column key pair.
@@ -237,9 +278,16 @@ pub fn q5() -> LogicalPlan {
         )
         .aggregate(
             vec![LNamed::new("n_name", LExpr::col("n_name"))],
-            vec![LAgg { func: AggFunc::Sum, input: disc_price(), name: "revenue".into() }],
+            vec![LAgg {
+                func: AggFunc::Sum,
+                input: disc_price(),
+                name: "revenue".into(),
+            }],
         )
-        .sort(vec![LSortKey { col: "revenue".into(), desc: true }])
+        .sort(vec![LSortKey {
+            col: "revenue".into(),
+            desc: true,
+        }])
 }
 
 /// Q6 — forecasting revenue change: the pure filter+aggregate query.
@@ -249,7 +297,11 @@ pub fn q6() -> LogicalPlan {
         pred: Some(LPred::And(vec![
             LPred::cmp("l_shipdate", CmpOp::Ge, date(1994, 1, 1)),
             LPred::cmp("l_shipdate", CmpOp::Lt, date(1995, 1, 1)),
-            LPred::Between { col: "l_discount".into(), lo: dec(5, 2), hi: dec(7, 2) },
+            LPred::Between {
+                col: "l_discount".into(),
+                lo: dec(5, 2),
+                hi: dec(7, 2),
+            },
             LPred::cmp("l_quantity", CmpOp::Lt, Value::Int(24)),
         ])),
         projection: Some(vec!["l_extendedprice".into(), "l_discount".into()]),
@@ -273,7 +325,10 @@ pub fn q6() -> LogicalPlan {
 pub fn q9() -> LogicalPlan {
     let part = LogicalPlan::Scan {
         table: "part".into(),
-        pred: Some(LPred::LikeContains { col: "p_name".into(), needle: "green".into() }),
+        pred: Some(LPred::LikeContains {
+            col: "p_name".into(),
+            needle: "green".into(),
+        }),
         projection: Some(vec!["p_partkey".into()]),
     };
     let supplier = LogicalPlan::Scan {
@@ -315,7 +370,11 @@ pub fn q9() -> LogicalPlan {
     lineitem
         .join(part, &["l_partkey"], &["p_partkey"])
         .join(supplier, &["l_suppkey"], &["s_suppkey"])
-        .join(partsupp, &["l_partkey", "l_suppkey"], &["ps_partkey", "ps_suppkey"])
+        .join(
+            partsupp,
+            &["l_partkey", "l_suppkey"],
+            &["ps_partkey", "ps_suppkey"],
+        )
         .join(orders, &["l_orderkey"], &["o_orderkey"])
         .join(nation, &["s_nationkey"], &["n_nationkey"])
         .aggregate(
@@ -338,8 +397,14 @@ pub fn q9() -> LogicalPlan {
             }],
         )
         .sort(vec![
-            LSortKey { col: "nation".into(), desc: false },
-            LSortKey { col: "o_year".into(), desc: true },
+            LSortKey {
+                col: "nation".into(),
+                desc: false,
+            },
+            LSortKey {
+                col: "o_year".into(),
+                desc: true,
+            },
         ])
 }
 
@@ -390,9 +455,16 @@ pub fn q10() -> LogicalPlan {
                 LNamed::new("c_phone", LExpr::col("c_phone")),
                 LNamed::new("n_name", LExpr::col("n_name")),
             ],
-            vec![LAgg { func: AggFunc::Sum, input: disc_price(), name: "revenue".into() }],
+            vec![LAgg {
+                func: AggFunc::Sum,
+                input: disc_price(),
+                name: "revenue".into(),
+            }],
         )
-        .sort(vec![LSortKey { col: "revenue".into(), desc: true }])
+        .sort(vec![LSortKey {
+            col: "revenue".into(),
+            desc: true,
+        }])
         .limit(20)
 }
 
@@ -454,7 +526,10 @@ pub fn q12() -> LogicalPlan {
                 },
             ],
         )
-        .sort(vec![LSortKey { col: "l_shipmode".into(), desc: false }])
+        .sort(vec![LSortKey {
+            col: "l_shipmode".into(),
+            desc: false,
+        }])
 }
 
 /// Q14 — promotion effect: join + conditional-sum ratio.
@@ -493,7 +568,11 @@ pub fn q14() -> LogicalPlan {
                     },
                     name: "promo".into(),
                 },
-                LAgg { func: AggFunc::Sum, input: disc_price(), name: "total".into() },
+                LAgg {
+                    func: AggFunc::Sum,
+                    input: disc_price(),
+                    name: "total".into(),
+                },
             ],
         )
         .project(vec![LNamed::new(
@@ -516,7 +595,11 @@ pub fn q18() -> LogicalPlan {
     }
     .aggregate(
         vec![LNamed::new("big_okey", LExpr::col("l_orderkey"))],
-        vec![LAgg { func: AggFunc::Sum, input: LExpr::col("l_quantity"), name: "qty_sum".into() }],
+        vec![LAgg {
+            func: AggFunc::Sum,
+            input: LExpr::col("l_quantity"),
+            name: "qty_sum".into(),
+        }],
     )
     .filter(LPred::cmp("qty_sum", CmpOp::Gt, Value::Int(300)));
 
@@ -565,8 +648,14 @@ pub fn q18() -> LogicalPlan {
             }],
         )
         .sort(vec![
-            LSortKey { col: "o_totalprice".into(), desc: true },
-            LSortKey { col: "o_orderdate".into(), desc: false },
+            LSortKey {
+                col: "o_totalprice".into(),
+                desc: true,
+            },
+            LSortKey {
+                col: "o_orderdate".into(),
+                desc: false,
+            },
         ])
         .limit(100)
 }
@@ -577,7 +666,10 @@ pub fn q19() -> LogicalPlan {
     let lineitem = LogicalPlan::Scan {
         table: "lineitem".into(),
         pred: Some(LPred::And(vec![
-            LPred::InList { col: "l_shipmode".into(), values: vec![s("AIR"), s("AIR REG")] },
+            LPred::InList {
+                col: "l_shipmode".into(),
+                values: vec![s("AIR"), s("AIR REG")],
+            },
             LPred::eq("l_shipinstruct", s("DELIVER IN PERSON")),
         ])),
         projection: Some(vec![
@@ -609,19 +701,33 @@ pub fn q19() -> LogicalPlan {
                 lo: Value::Int(qlo),
                 hi: Value::Int(qhi),
             },
-            LPred::Between { col: "p_size".into(), lo: Value::Int(1), hi: Value::Int(smax) },
+            LPred::Between {
+                col: "p_size".into(),
+                lo: Value::Int(1),
+                hi: Value::Int(smax),
+            },
         ])
     };
     lineitem
         .join(part, &["l_partkey"], &["p_partkey"])
         .filter(LPred::Or(vec![
-            group("Brand#12", &["SM CASE", "SM BOX", "SM PACK", "SM PKG"], 1, 11, 5),
+            group(
+                "Brand#12",
+                &["SM CASE", "SM BOX", "SM PACK", "SM PKG"],
+                1,
+                11,
+                5,
+            ),
             group("Brand#23", &["MED BAG", "MED BOX"], 10, 20, 10),
             group("Brand#34", &["LG CASE", "LG BOX"], 20, 30, 15),
         ]))
         .aggregate(
             vec![],
-            vec![LAgg { func: AggFunc::Sum, input: disc_price(), name: "revenue".into() }],
+            vec![LAgg {
+                func: AggFunc::Sum,
+                input: disc_price(),
+                name: "revenue".into(),
+            }],
         )
 }
 
@@ -653,7 +759,12 @@ mod tests {
     use std::sync::Arc;
 
     fn catalog() -> Catalog {
-        let data = generate(&TpchConfig { scale_factor: 0.002, seed: 3, partitions: 2, chunk_rows: 1024 });
+        let data = generate(&TpchConfig {
+            scale_factor: 0.002,
+            seed: 3,
+            partitions: 2,
+            chunk_rows: 1024,
+        });
         let mut c = Catalog::new();
         for t in [
             data.region,
@@ -710,7 +821,11 @@ mod tests {
         let c = rapid_qcomp::compile(&q1(), &cat, &CostParams::default()).unwrap();
         let (out, _) = engine.execute(&c.plan).unwrap();
         // R/F, A/F, N/F, N/O possible — between 3 and 4 groups.
-        assert!((3..=4).contains(&out.batch.rows()), "groups = {}", out.batch.rows());
+        assert!(
+            (3..=4).contains(&out.batch.rows()),
+            "groups = {}",
+            out.batch.rows()
+        );
         // count_order column sums to the filtered row count.
         let counts = out.batch.column(out.meta.len() - 1).data.to_i64_vec();
         assert!(counts.iter().sum::<i64>() > 0);

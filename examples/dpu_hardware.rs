@@ -21,11 +21,20 @@ fn main() {
     let dms = DmsEngine::new(cm.clone());
     let l = DescriptorLoop::sequential_read(4, 4, 1 << 20, 128);
     let cost = dms.loop_cost(&l);
-    println!("DMS stream: {} descriptors, {} MiB", cost.descriptors, cost.bytes >> 20);
+    println!(
+        "DMS stream: {} descriptors, {} MiB",
+        cost.descriptors,
+        cost.bytes >> 20
+    );
     println!(
         "  engine time {:.3} ms -> {:.2} GiB/s",
-        dpu_sim::clock::Cycles(cost.cycles).to_dpu_time().as_millis(),
-        rates::gib_per_sec(cost.bytes, dpu_sim::clock::Cycles(cost.cycles).to_dpu_time())
+        dpu_sim::clock::Cycles(cost.cycles)
+            .to_dpu_time()
+            .as_millis(),
+        rates::gib_per_sec(
+            cost.bytes,
+            dpu_sim::clock::Cycles(cost.cycles).to_dpu_time()
+        )
     );
 
     // --- 2. Hardware hash partitioning while the data moves ------------
@@ -42,7 +51,10 @@ fn main() {
     };
     println!(
         "\nHW partition: 32-way over 1M rows at {:.2} GiB/s, per-core load {}..{}",
-        rates::gib_per_sec(pcost.bytes, dpu_sim::clock::Cycles(pcost.cycles).to_dpu_time()),
+        rates::gib_per_sec(
+            pcost.bytes,
+            dpu_sim::clock::Cycles(pcost.cycles).to_dpu_time()
+        ),
         loads.0,
         loads.1
     );
@@ -53,13 +65,19 @@ fn main() {
     let report = dpu.run_stage(|core| {
         // Each core runs a hand-scheduled kernel over its partition:
         // ~31250 rows at filter cost, plus its share of DMS traffic.
-        core.account.charge_kernel(&cm2, &KernelCost::paired(31_250.0, 31_250.0));
-        core.account.charge_dms(dpu_sim::clock::Cycles(31_250.0 * 4.0 / 12.0), 125_000, 31);
+        core.account
+            .charge_kernel(&cm2, &KernelCost::paired(31_250.0, 31_250.0));
+        core.account
+            .charge_dms(dpu_sim::clock::Cycles(31_250.0 * 4.0 / 12.0), 125_000, 31);
     });
     println!(
         "\nstage: elapsed {:.3} ms ({}), max core compute {:.0} cy, DMS total {:.0} cy",
         report.elapsed_time(&cm2).as_millis(),
-        if report.dms_bound { "DMS-bound" } else { "compute-bound" },
+        if report.dms_bound {
+            "DMS-bound"
+        } else {
+            "compute-bound"
+        },
         report.max_core_compute.get(),
         report.dms_total.get()
     );

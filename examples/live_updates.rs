@@ -36,7 +36,10 @@ fn main() {
         }),
     );
     db.load_into_rapid("inventory").expect("load");
-    println!("loaded 50,000 rows into RAPID at {}", db.rapid().read().catalog()["inventory"].scn);
+    println!(
+        "loaded 50,000 rows into RAPID at {}",
+        db.rapid().read().catalog()["inventory"].scn
+    );
 
     let total = |db: &HostDb| {
         let r = db
@@ -52,8 +55,15 @@ fn main() {
         .commit(
             "inventory",
             vec![
-                RowChange::Insert(vec![Value::Int(999_001), Value::Int(5000), Value::Str("FRA".into())]),
-                RowChange::Update { rid: 0, row: vec![Value::Int(0), Value::Int(0), Value::Str("FRA".into())] },
+                RowChange::Insert(vec![
+                    Value::Int(999_001),
+                    Value::Int(5000),
+                    Value::Str("FRA".into()),
+                ]),
+                RowChange::Update {
+                    rid: 0,
+                    row: vec![Value::Int(0), Value::Int(0), Value::Str("FRA".into())],
+                },
                 RowChange::Delete { rid: 1 },
             ],
         )
@@ -79,9 +89,7 @@ fn main() {
     }
     std::thread::sleep(Duration::from_millis(200));
     let rapid_rows = db.rapid().read().catalog()["inventory"].rows();
-    println!(
-        "\nbackground checkpointer shipped the 5 inserts: RAPID now holds {rapid_rows} rows"
-    );
+    println!("\nbackground checkpointer shipped the 5 inserts: RAPID now holds {rapid_rows} rows");
 
     let r = db
         .execute_sql(
@@ -91,6 +99,11 @@ fn main() {
         .expect("final");
     println!("\nfinal per-warehouse state (on {:?}):", r.site);
     for row in &r.rows {
-        println!("  {:<4} skus={:<7} stock={}", row[0].to_string(), row[1].to_string(), row[2]);
+        println!(
+            "  {:<4} skus={:<7} stock={}",
+            row[0].to_string(),
+            row[1].to_string(),
+            row[2]
+        );
     }
 }

@@ -31,7 +31,10 @@ fn main() {
         (0..200_000i64).map(|i| {
             vec![
                 Value::Int(i),
-                Value::Decimal { unscaled: (i % 9_000) * 100 + 49, scale: 2 },
+                Value::Decimal {
+                    unscaled: (i % 9_000) * 100 + 49,
+                    scale: 2,
+                },
                 Value::Str(["open", "shipped", "returned"][(i % 3) as usize].to_string()),
             ]
         }),
@@ -62,12 +65,19 @@ fn main() {
     );
     println!("\n{:<10} {:>10} {:>16}", "status", "orders", "revenue");
     for row in &result.rows {
-        println!("{:<10} {:>10} {:>16}", row[0].to_string(), row[1].to_string(), row[2].to_string());
+        println!(
+            "{:<10} {:>10} {:>16}",
+            row[0].to_string(),
+            row[1].to_string(),
+            row[2].to_string()
+        );
     }
 
     // Energy at the DPU's 5.8 W provisioned power:
-    let joules = dpu_sim::PowerModel::dpu().energy_joules(
-        dpu_sim::clock::SimTime::from_secs(result.rapid_secs),
+    let joules = dpu_sim::PowerModel::dpu()
+        .energy_joules(dpu_sim::clock::SimTime::from_secs(result.rapid_secs));
+    println!(
+        "\nenergy on the DPU: {:.3} mJ at 5.8 W provisioned power",
+        joules * 1e3
     );
-    println!("\nenergy on the DPU: {:.3} mJ at 5.8 W provisioned power", joules * 1e3);
 }

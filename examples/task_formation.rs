@@ -29,7 +29,12 @@ fn main() {
     for dmem in [32 * 1024usize, 4 * 1024, 2 * 1024] {
         match optimize_tasks(&cm, &ops, dmem, 1_000_000) {
             Some(f) => {
-                println!("\nDMEM = {:>2} KiB -> {} task(s), cost {:.0} cycles", dmem / 1024, f.tasks.len(), f.cost_cycles);
+                println!(
+                    "\nDMEM = {:>2} KiB -> {} task(s), cost {:.0} cycles",
+                    dmem / 1024,
+                    f.tasks.len(),
+                    f.cost_cycles
+                );
                 for t in &f.tasks {
                     let names: Vec<&str> =
                         ops[t.ops.clone()].iter().map(|o| o.name.as_str()).collect();
@@ -49,7 +54,10 @@ fn main() {
     // --- §5.3: the partition scheme search -------------------------------
     println!("\npartition-scheme optimization:");
     for rows in [100_000u64, 10_000_000, 1_000_000_000] {
-        let input = PartitionOptInput { rows, ..Default::default() };
+        let input = PartitionOptInput {
+            rows,
+            ..Default::default()
+        };
         let scheme = optimize_partition_scheme(&cm, &input);
         println!(
             "  {:>13} rows -> {:>7} partitions required, scheme {:?} ({} round(s), {:.2e} cycles)",

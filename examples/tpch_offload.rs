@@ -13,7 +13,10 @@ use rapid_qef::exec::ExecContext;
 use rapid_qef::plan::Catalog;
 
 fn main() {
-    let sf: f64 = std::env::args().nth(1).and_then(|s| s.parse().ok()).unwrap_or(0.01);
+    let sf: f64 = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(0.01);
     println!("generating TPC-H at SF {sf}...");
     let data = tpch::generate(&tpch::TpchConfig::sf(sf));
     println!("  {} total rows across 8 tables", data.total_rows());
@@ -22,7 +25,9 @@ fn main() {
     let mut catalog = Catalog::new();
     let mut dpu = Engine::new(ExecContext::dpu());
     let mut native = Engine::new(ExecContext::native(
-        std::thread::available_parallelism().map(|n| n.get()).unwrap_or(4),
+        std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(4),
     ));
     for t in [
         data.region,

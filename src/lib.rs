@@ -6,6 +6,7 @@
 //! * [`storage`] — the columnar data/storage model and encodings,
 //! * [`qef`] — the push-based vectorized query execution framework,
 //! * [`qcomp`] — the cost-based physical query compiler,
+//! * [`sched`] — the concurrent multi-query scheduler with admission control,
 //! * [`host`] — the "System X" host RDBMS with RAPID offload,
 //! * [`tpch`] — the TPC-H-style workload used throughout the evaluation.
 //!
@@ -16,5 +17,6 @@ pub use dpu_sim as dpu;
 pub use hostdb as host;
 pub use rapid_qcomp as qcomp;
 pub use rapid_qef as qef;
+pub use rapid_sched as sched;
 pub use rapid_storage as storage;
 pub use tpch;

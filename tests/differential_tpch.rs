@@ -85,21 +85,31 @@ fn all_eleven_queries_agree_across_engines() {
 
     for (name, lp) in tpch::queries::all() {
         // Engine 1: host Volcano.
-        let host = db.execute_on_host(&lp).unwrap_or_else(|e| panic!("{name} host: {e}"));
+        let host = db
+            .execute_on_host(&lp)
+            .unwrap_or_else(|e| panic!("{name} host: {e}"));
         // Engine 2: RAPID on the simulated DPU (through the offload path).
-        let rapid_dpu =
-            db.execute_on_rapid(&lp).unwrap_or_else(|e| panic!("{name} rapid: {e}"));
+        let rapid_dpu = db
+            .execute_on_rapid(&lp)
+            .unwrap_or_else(|e| panic!("{name} rapid: {e}"));
         // Engine 3: RAPID software on native threads.
         let compiled = rapid::qcomp::compile(&lp, &catalog, &params)
             .unwrap_or_else(|e| panic!("{name} compile: {e}"));
-        let (nout, _) =
-            native.execute(&compiled.plan).unwrap_or_else(|e| panic!("{name} native: {e}"));
+        let (nout, _) = native
+            .execute(&compiled.plan)
+            .unwrap_or_else(|e| panic!("{name} native: {e}"));
         let native_rows = hostdb::db::decode_batch(&nout.batch, &nout.meta, native.catalog());
 
         let h = canonical(&host.rows);
         let d = canonical(&rapid_dpu.rows);
         let n = canonical(&native_rows);
-        assert_eq!(h.len(), d.len(), "{name}: row count host={} dpu={}", h.len(), d.len());
+        assert_eq!(
+            h.len(),
+            d.len(),
+            "{name}: row count host={} dpu={}",
+            h.len(),
+            d.len()
+        );
         assert_eq!(h, d, "{name}: host vs DPU rows differ");
         assert_eq!(h, n, "{name}: host vs native rows differ");
         assert!(!h.is_empty() || name == "Q18", "{name} returned no rows");
@@ -114,8 +124,15 @@ fn sorted_queries_respect_their_sort_keys() {
     let r = db.execute_on_rapid(&q3).expect("q3");
     // Q3 output: l_orderkey, o_orderdate, o_shippriority, revenue — sorted
     // by revenue desc then o_orderdate asc.
-    let rev: Vec<f64> = r.rows.iter().map(|row| row[3].to_f64().expect("rev")).collect();
-    assert!(rev.windows(2).all(|w| w[0] >= w[1] - 1e-9), "revenue not descending: {rev:?}");
+    let rev: Vec<f64> = r
+        .rows
+        .iter()
+        .map(|row| row[3].to_f64().expect("rev"))
+        .collect();
+    assert!(
+        rev.windows(2).all(|w| w[0] >= w[1] - 1e-9),
+        "revenue not descending: {rev:?}"
+    );
     assert!(r.rows.len() <= 10, "top-10 respected");
 
     let q1 = tpch::queries::q1();
@@ -158,7 +175,7 @@ fn q14_ratio_is_a_sane_percentage() {
 fn repeated_runs_are_deterministic() {
     // Simulated timing and results must be bit-identical across runs —
     // the property resume/debugging workflows rely on.
-    let (db, catalog) = setup();
+    let (_db, catalog) = setup();
     let params = CostParams::default();
     let mut engine = Engine::new(ExecContext::dpu().with_cores(8));
     for t in catalog.values() {

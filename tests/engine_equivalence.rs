@@ -22,7 +22,12 @@ struct RandomTable {
 
 fn arb_table() -> impl Strategy<Value = RandomTable> {
     proptest::collection::vec(
-        (-50i64..50, -1000i64..1000, 0u8..4, proptest::option::of(-100i64..100)),
+        (
+            -50i64..50,
+            -1000i64..1000,
+            0u8..4,
+            proptest::option::of(-100i64..100),
+        ),
         1..300,
     )
     .prop_map(|rows| RandomTable { rows })
@@ -38,8 +43,13 @@ enum RandomQuery {
 
 fn arb_query() -> impl Strategy<Value = RandomQuery> {
     prop_oneof![
-        (0u8..2, 0u8..6, -60i64..60)
-            .prop_map(|(col, op_idx, threshold)| RandomQuery::FilterProject { col, op_idx, threshold }),
+        (0u8..2, 0u8..6, -60i64..60).prop_map(|(col, op_idx, threshold)| {
+            RandomQuery::FilterProject {
+                col,
+                op_idx,
+                threshold,
+            }
+        }),
         (0u8..4).prop_map(|agg_idx| RandomQuery::GroupAgg { agg_idx }),
         (any::<bool>(), 1usize..20).prop_map(|(desc, n)| RandomQuery::SortLimit { desc, n }),
         (-60i64..60).prop_map(|threshold| RandomQuery::JoinSelf { threshold }),
@@ -73,50 +83,82 @@ fn build_db(t: &RandomTable) -> HostDb {
 }
 
 fn to_plan(q: &RandomQuery) -> LogicalPlan {
-    let ops = [CmpOp::Eq, CmpOp::Ne, CmpOp::Lt, CmpOp::Le, CmpOp::Gt, CmpOp::Ge];
+    let ops = [
+        CmpOp::Eq,
+        CmpOp::Ne,
+        CmpOp::Lt,
+        CmpOp::Le,
+        CmpOp::Gt,
+        CmpOp::Ge,
+    ];
     match q {
-        RandomQuery::FilterProject { col, op_idx, threshold } => {
+        RandomQuery::FilterProject {
+            col,
+            op_idx,
+            threshold,
+        } => {
             let name = ["k", "v"][*col as usize % 2];
-            LogicalPlan::scan_where("t", LPred::cmp(name, ops[*op_idx as usize % 6], Value::Int(*threshold)))
-                .project(vec![
-                    LNamed::new("k", LExpr::col("k")),
-                    LNamed::new(
-                        "kv",
-                        LExpr::bin(ArithOp::Add, LExpr::col("k"), LExpr::col("v")),
-                    ),
-                    LNamed::new("m", LExpr::col("m")),
-                ])
+            LogicalPlan::scan_where(
+                "t",
+                LPred::cmp(name, ops[*op_idx as usize % 6], Value::Int(*threshold)),
+            )
+            .project(vec![
+                LNamed::new("k", LExpr::col("k")),
+                LNamed::new(
+                    "kv",
+                    LExpr::bin(ArithOp::Add, LExpr::col("k"), LExpr::col("v")),
+                ),
+                LNamed::new("m", LExpr::col("m")),
+            ])
         }
         RandomQuery::GroupAgg { agg_idx } => {
-            let f = [AggFunc::Sum, AggFunc::Count, AggFunc::Min, AggFunc::Max]
-                [*agg_idx as usize % 4];
+            let f =
+                [AggFunc::Sum, AggFunc::Count, AggFunc::Min, AggFunc::Max][*agg_idx as usize % 4];
             LogicalPlan::scan("t").aggregate(
                 vec![LNamed::new("cat", LExpr::col("cat"))],
                 vec![
-                    LAgg { func: f, input: LExpr::col("v"), name: "a1".into() },
-                    LAgg { func: f, input: LExpr::col("m"), name: "a2".into() },
+                    LAgg {
+                        func: f,
+                        input: LExpr::col("v"),
+                        name: "a1".into(),
+                    },
+                    LAgg {
+                        func: f,
+                        input: LExpr::col("m"),
+                        name: "a2".into(),
+                    },
                 ],
             )
         }
         RandomQuery::SortLimit { desc, n } => LogicalPlan::scan("t")
             .sort(vec![
-                LSortKey { col: "v".into(), desc: *desc },
-                LSortKey { col: "k".into(), desc: false },
+                LSortKey {
+                    col: "v".into(),
+                    desc: *desc,
+                },
+                LSortKey {
+                    col: "k".into(),
+                    desc: false,
+                },
             ])
             .limit(*n),
         RandomQuery::JoinSelf { threshold } => {
-            let small = LogicalPlan::scan_where(
-                "t",
-                LPred::cmp("k", CmpOp::Lt, Value::Int(*threshold)),
-            )
-            .project(vec![
-                LNamed::new("rk", LExpr::col("k")),
-                LNamed::new("rcat", LExpr::col("cat")),
-            ]);
-            LogicalPlan::scan("t").join(small, &["k"], &["rk"]).aggregate(
-                vec![LNamed::new("rcat", LExpr::col("rcat"))],
-                vec![LAgg { func: AggFunc::Count, input: LExpr::col("k"), name: "n".into() }],
-            )
+            let small =
+                LogicalPlan::scan_where("t", LPred::cmp("k", CmpOp::Lt, Value::Int(*threshold)))
+                    .project(vec![
+                        LNamed::new("rk", LExpr::col("k")),
+                        LNamed::new("rcat", LExpr::col("cat")),
+                    ]);
+            LogicalPlan::scan("t")
+                .join(small, &["k"], &["rk"])
+                .aggregate(
+                    vec![LNamed::new("rcat", LExpr::col("rcat"))],
+                    vec![LAgg {
+                        func: AggFunc::Count,
+                        input: LExpr::col("k"),
+                        name: "n".into(),
+                    }],
+                )
         }
     }
 }
@@ -139,7 +181,7 @@ fn canonical(rows: &[Vec<Value>]) -> Vec<Vec<String>> {
 }
 
 proptest! {
-    #![proptest_config(ProptestConfig { cases: 24, ..ProptestConfig::default() })]
+    #![proptest_config(ProptestConfig { cases: 24 })]
 
     #[test]
     fn rapid_and_volcano_agree_on_random_queries(table in arb_table(), query in arb_query()) {
@@ -172,7 +214,7 @@ proptest! {
 }
 
 proptest! {
-    #![proptest_config(ProptestConfig { cases: 12, ..ProptestConfig::default() })]
+    #![proptest_config(ProptestConfig { cases: 12 })]
 
     #[test]
     fn dpu_and_native_backends_agree(table in arb_table(), query in arb_query()) {

@@ -27,7 +27,10 @@ fn db_with_table(rows: i64) -> HostDb {
         (0..rows).map(|i| {
             vec![
                 Value::Int(i),
-                Value::Decimal { unscaled: (i * 7) % 100_000, scale: 2 },
+                Value::Decimal {
+                    unscaled: (i * 7) % 100_000,
+                    scale: 2,
+                },
                 Value::Str(format!("host{}", i % 5)),
             ]
         }),
@@ -46,8 +49,14 @@ fn large_queries_offload_small_ones_stay_home() {
 
     let tiny_db = db_with_table(20);
     tiny_db.load_into_rapid("metrics").expect("load");
-    let small = tiny_db.execute_sql("SELECT ts FROM metrics WHERE ts = 3").expect("small");
-    assert_eq!(small.site, ExecutionSite::Host, "20 rows never beat the offload latency");
+    let small = tiny_db
+        .execute_sql("SELECT ts FROM metrics WHERE ts = 3")
+        .expect("small");
+    assert_eq!(
+        small.site,
+        ExecutionSite::Host,
+        "20 rows never beat the offload latency"
+    );
     assert_eq!(small.rows.len(), 1);
 }
 
@@ -55,7 +64,9 @@ fn large_queries_offload_small_ones_stay_home() {
 fn unloaded_tables_run_on_host() {
     let db = db_with_table(100_000);
     // No load_into_rapid: the table is not RAPID-resident.
-    let r = db.execute_sql("SELECT COUNT(*) AS n FROM metrics").expect("q");
+    let r = db
+        .execute_sql("SELECT COUNT(*) AS n FROM metrics")
+        .expect("q");
     assert_eq!(r.site, ExecutionSite::Host);
     assert_eq!(r.rows[0][0], Value::Int(100_000));
 }
@@ -70,7 +81,10 @@ fn admission_checkpoint_makes_committed_data_visible() {
             "metrics",
             vec![RowChange::Insert(vec![
                 Value::Int(1_000_000 + i),
-                Value::Decimal { unscaled: 1, scale: 2 },
+                Value::Decimal {
+                    unscaled: 1,
+                    scale: 2,
+                },
                 Value::Str("hostX".into()),
             ])],
         );
@@ -87,20 +101,26 @@ fn admission_checkpoint_makes_committed_data_visible() {
 fn deletes_and_updates_propagate() {
     let db = db_with_table(50_000);
     db.load_into_rapid("metrics").expect("load");
-    db.commit("metrics", vec![RowChange::Delete { rid: 0 }]).expect("commit");
+    db.commit("metrics", vec![RowChange::Delete { rid: 0 }])
+        .expect("commit");
     db.commit(
         "metrics",
         vec![RowChange::Update {
             rid: 1,
             row: vec![
                 Value::Int(1),
-                Value::Decimal { unscaled: 99_999_99, scale: 2 },
+                Value::Decimal {
+                    unscaled: 9_999_999,
+                    scale: 2,
+                },
                 Value::Str("host1".into()),
             ],
         }],
     )
     .expect("commit");
-    let r = db.execute_sql("SELECT COUNT(*) AS n, MAX(value) AS m FROM metrics").expect("q");
+    let r = db
+        .execute_sql("SELECT COUNT(*) AS n, MAX(value) AS m FROM metrics")
+        .expect("q");
     assert_eq!(r.rows[0][0], Value::Int(49_999));
     assert_eq!(r.rows[0][1].to_f64().expect("max"), 99_999.99);
 }
@@ -191,7 +211,11 @@ fn partial_offload_runs_fragments_on_rapid() {
     let sql = "SELECT label, COUNT(*) AS n FROM metrics \
                JOIN labels ON ts = lk GROUP BY label ORDER BY label";
     let r = db.execute_sql(sql).expect("partial");
-    assert_eq!(r.site, ExecutionSite::Mixed, "fragments on RAPID, rest on host");
+    assert_eq!(
+        r.site,
+        ExecutionSite::Mixed,
+        "fragments on RAPID, rest on host"
+    );
     assert!(r.rapid_secs > 0.0, "the metrics subtree ran on the node");
     assert_eq!(r.rows.len(), 5);
     for row in &r.rows {
@@ -214,7 +238,15 @@ fn schemas_of(db: &HostDb) -> std::collections::HashMap<String, Vec<String>> {
     let mut m = std::collections::HashMap::new();
     for name in db.store().table_names() {
         if let Some(t) = db.store().table(&name) {
-            m.insert(name, t.read().schema.fields.iter().map(|f| f.name.clone()).collect());
+            m.insert(
+                name,
+                t.read()
+                    .schema
+                    .fields
+                    .iter()
+                    .map(|f| f.name.clone())
+                    .collect(),
+            );
         }
     }
     m
@@ -232,7 +264,10 @@ fn node_failure_recovery_protocol() {
         .expect("before");
 
     db.simulate_rapid_failure();
-    assert!(db.rapid().read().catalog().is_empty(), "node lost its state");
+    assert!(
+        db.rapid().read().catalog().is_empty(),
+        "node lost its state"
+    );
     // During recovery the node cannot serve queries; the offload path
     // falls back to the host (§3.4: "RAPID cluster cannot be used ...").
     let during = db.execute_plan(

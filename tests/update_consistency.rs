@@ -26,7 +26,7 @@ fn arb_dml() -> impl Strategy<Value = Dml> {
 }
 
 proptest! {
-    #![proptest_config(ProptestConfig { cases: 16, ..ProptestConfig::default() })]
+    #![proptest_config(ProptestConfig { cases: 16 })]
 
     #[test]
     fn offloaded_queries_see_every_commit(
@@ -97,7 +97,10 @@ fn snapshot_cache_serves_repeated_scns() {
     let db = HostDb::new(ExecContext::dpu().with_cores(2));
     db.create_table(
         "t",
-        Schema::new(vec![Field::new("k", DataType::Int), Field::new("v", DataType::Int)]),
+        Schema::new(vec![
+            Field::new("k", DataType::Int),
+            Field::new("v", DataType::Int),
+        ]),
     );
     db.bulk_insert("t", (0..100i64).map(|i| vec![Value::Int(i), Value::Int(i)]));
     db.load_into_rapid("t").expect("load");
@@ -119,9 +122,15 @@ fn dsb_exceptions_survive_the_round_trip() {
     // values keep exact semantics next to an extreme one.
     use rapid::storage::encoding::dsb::DsbVector;
     let vals = vec![
-        Value::Decimal { unscaled: 150, scale: 2 },
+        Value::Decimal {
+            unscaled: 150,
+            scale: 2,
+        },
         Value::Int(i64::MAX / 2), // cannot rescale to scale 2
-        Value::Decimal { unscaled: 333_333_333_333_333, scale: 15 }, // ~1/3
+        Value::Decimal {
+            unscaled: 333_333_333_333_333,
+            scale: 15,
+        }, // ~1/3
     ];
     let v = DsbVector::encode(&vals);
     assert_eq!(v.exceptions.len(), 2);
@@ -140,10 +149,7 @@ fn tracker_snapshots_are_scn_isolated() {
     use rapid::storage::schema::{Field as F, Schema as S};
     use rapid::storage::scn::{Journal, Scn, Tracker, UpdateUnit};
     use rapid::storage::table::TableBuilder;
-    let mut b = TableBuilder::new(
-        "t",
-        S::new(vec![F::new("k", DataType::Int)]),
-    );
+    let mut b = TableBuilder::new("t", S::new(vec![F::new("k", DataType::Int)]));
     for i in 0..10 {
         b.push_row(vec![Value::Int(i)]);
     }
@@ -169,4 +175,44 @@ fn tracker_snapshots_are_scn_isolated() {
     assert!(at1.column_i64(0).contains(&100));
     assert!(!at2.column_i64(0).contains(&0), "rid 0 deleted at scn 2");
     assert_eq!(tracker.cached(), 3);
+}
+
+#[test]
+fn pinned_regression_duplicate_key_inserts_between_checkpoints() {
+    // Pinned from tests/update_consistency.proptest-regressions: three
+    // inserts of the same key with a checkpoint between the second and
+    // third once produced a wrong SUM through the offload path. The shim
+    // proptest runner does not replay regression files, so the case is
+    // kept alive here verbatim.
+    let mut db = HostDb::new(ExecContext::dpu().with_cores(2));
+    db.create_table(
+        "t",
+        Schema::new(vec![
+            Field::new("k", DataType::Int),
+            Field::new("v", DataType::Int),
+        ]),
+    );
+    db.bulk_insert(
+        "t",
+        (0..1i64).map(|i| vec![Value::Int(i), Value::Int(i * 3)]),
+    );
+    db.load_into_rapid("t").expect("load");
+
+    let dml = [(1000i64, 0i64), (1000, 0), (1000, -5)];
+    let checkpoint_after = [false, true, false];
+    for ((k, v), ckpt) in dml.iter().zip(checkpoint_after) {
+        db.commit(
+            "t",
+            vec![RowChange::Insert(vec![Value::Int(*k), Value::Int(*v)])],
+        );
+        if ckpt {
+            db.checkpoint("t").expect("checkpoint");
+        }
+    }
+    db.force_site = Some(hostdb::ExecutionSite::Rapid);
+    let r = db
+        .execute_sql("SELECT COUNT(*) AS n, SUM(v) AS s FROM t")
+        .expect("query");
+    assert_eq!(r.rows[0][0], Value::Int(4), "count");
+    assert_eq!(r.rows[0][1], Value::Int(-5), "sum");
 }

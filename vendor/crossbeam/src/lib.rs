@@ -1,0 +1,137 @@
+//! Offline shim for the `crossbeam` API subset used by this workspace.
+//!
+//! Only `crossbeam::channel` is consumed (the ATE mailboxes in `dpu-sim`
+//! and the scheduler queues). The shim is backed by `std::sync::mpsc`;
+//! the crossbeam properties the workspace relies on are preserved:
+//! per-sender FIFO ordering, `Sender: Clone`, and `Receiver: Send + Sync`
+//! (the std receiver is wrapped in a mutex to regain `Sync`).
+
+/// MPMC-ish channels backed by `std::sync::mpsc`.
+pub mod channel {
+    use std::sync::mpsc;
+    use std::sync::{Arc, Mutex};
+
+    /// Sending half of a channel.
+    #[derive(Debug)]
+    pub struct Sender<T>(mpsc::Sender<T>);
+
+    impl<T> Clone for Sender<T> {
+        fn clone(&self) -> Self {
+            Sender(self.0.clone())
+        }
+    }
+
+    /// Receiving half of a channel; `Sync` via an internal mutex (receives
+    /// from multiple threads serialize, which is also crossbeam's effective
+    /// behavior for a shared receiver).
+    #[derive(Debug)]
+    pub struct Receiver<T>(Arc<Mutex<mpsc::Receiver<T>>>);
+
+    impl<T> Clone for Receiver<T> {
+        fn clone(&self) -> Self {
+            Receiver(Arc::clone(&self.0))
+        }
+    }
+
+    /// Error returned by [`Sender::send`] when all receivers are gone.
+    #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+    pub struct SendError<T>(pub T);
+
+    /// Error returned by [`Receiver::recv`] when all senders are gone.
+    #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+    pub struct RecvError;
+
+    /// Error returned by [`Receiver::try_recv`].
+    #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+    pub enum TryRecvError {
+        /// The channel is currently empty.
+        Empty,
+        /// All senders disconnected and the buffer is drained.
+        Disconnected,
+    }
+
+    /// An unbounded FIFO channel.
+    pub fn unbounded<T>() -> (Sender<T>, Receiver<T>) {
+        let (tx, rx) = mpsc::channel();
+        (Sender(tx), Receiver(Arc::new(Mutex::new(rx))))
+    }
+
+    impl<T> Sender<T> {
+        /// Send a message, failing only when every receiver is dropped.
+        pub fn send(&self, value: T) -> Result<(), SendError<T>> {
+            self.0
+                .send(value)
+                .map_err(|mpsc::SendError(v)| SendError(v))
+        }
+    }
+
+    impl<T> Receiver<T> {
+        /// Block until a message arrives or every sender is dropped.
+        pub fn recv(&self) -> Result<T, RecvError> {
+            let rx = self.0.lock().unwrap_or_else(|e| e.into_inner());
+            rx.recv().map_err(|_| RecvError)
+        }
+
+        /// Non-blocking receive.
+        pub fn try_recv(&self) -> Result<T, TryRecvError> {
+            let rx = self.0.lock().unwrap_or_else(|e| e.into_inner());
+            match rx.try_recv() {
+                Ok(v) => Ok(v),
+                Err(mpsc::TryRecvError::Empty) => Err(TryRecvError::Empty),
+                Err(mpsc::TryRecvError::Disconnected) => Err(TryRecvError::Disconnected),
+            }
+        }
+
+        /// Drain the channel into an iterator, blocking between messages
+        /// until every sender is dropped.
+        pub fn iter(&self) -> Iter<'_, T> {
+            Iter { rx: self }
+        }
+    }
+
+    /// Blocking iterator over received messages.
+    #[derive(Debug)]
+    pub struct Iter<'a, T> {
+        rx: &'a Receiver<T>,
+    }
+
+    impl<T> Iterator for Iter<'_, T> {
+        type Item = T;
+        fn next(&mut self) -> Option<T> {
+            self.rx.recv().ok()
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::channel;
+
+    #[test]
+    fn fifo_per_sender() {
+        let (tx, rx) = channel::unbounded();
+        for i in 0..10 {
+            tx.send(i).unwrap();
+        }
+        for i in 0..10 {
+            assert_eq!(rx.recv().unwrap(), i);
+        }
+    }
+
+    #[test]
+    fn try_recv_empty_then_disconnected() {
+        let (tx, rx) = channel::unbounded::<u8>();
+        assert_eq!(rx.try_recv(), Err(channel::TryRecvError::Empty));
+        drop(tx);
+        assert_eq!(rx.try_recv(), Err(channel::TryRecvError::Disconnected));
+    }
+
+    #[test]
+    fn receiver_shared_across_threads() {
+        let (tx, rx) = channel::unbounded::<u32>();
+        let rx2 = rx.clone();
+        let h = std::thread::spawn(move || rx2.recv().unwrap());
+        tx.send(42).unwrap();
+        assert_eq!(h.join().unwrap(), 42);
+    }
+}

@@ -1,0 +1,723 @@
+//! Offline shim for the `proptest` API subset used by this workspace.
+//!
+//! Differences from upstream, by design:
+//!
+//! - **No shrinking.** A failing case reports the exact sampled input
+//!   (everything the workspace feeds in is `Debug + Clone`), which is enough
+//!   to pin it as a deterministic regression test.
+//! - **Deterministic seeding.** The RNG is seeded from the test's name, so a
+//!   given test binary explores the same cases on every run; `*.proptest-
+//!   regressions` files are not consulted.
+//! - **Tiny regex support.** String strategies accept only the subset the
+//!   workspace uses: literal chars, one-range character classes, and `{m,n}`
+//!   / `{m}` repetition (e.g. `"[a-z]{0,8}"`).
+
+use std::fmt::Debug;
+use std::ops::Range;
+use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
+
+// ---------------------------------------------------------------------------
+// RNG
+// ---------------------------------------------------------------------------
+
+/// Deterministic test RNG (xoshiro256**, seeded via SplitMix64).
+#[derive(Debug, Clone)]
+pub struct TestRng {
+    s: [u64; 4],
+}
+
+impl TestRng {
+    /// RNG seeded from an arbitrary u64.
+    pub fn from_seed(seed: u64) -> Self {
+        let mut x = seed;
+        let mut next = || {
+            x = x.wrapping_add(0x9e3779b97f4a7c15);
+            let mut z = x;
+            z = (z ^ (z >> 30)).wrapping_mul(0xbf58476d1ce4e5b9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94d049bb133111eb);
+            z ^ (z >> 31)
+        };
+        TestRng {
+            s: [next(), next(), next(), next()],
+        }
+    }
+
+    /// RNG seeded from a test name (FNV-1a hash).
+    pub fn from_name(name: &str) -> Self {
+        let mut h = 0xcbf29ce484222325u64;
+        for b in name.bytes() {
+            h ^= b as u64;
+            h = h.wrapping_mul(0x100000001b3);
+        }
+        Self::from_seed(h)
+    }
+
+    /// Next raw 64-bit output.
+    pub fn next_u64(&mut self) -> u64 {
+        let [s0, s1, s2, s3] = self.s;
+        let result = s1.wrapping_mul(5).rotate_left(7).wrapping_mul(9);
+        let t = s1 << 17;
+        let (mut n2, mut n3) = (s2 ^ s0, s3 ^ s1);
+        let n1 = s1 ^ n2;
+        let n0 = s0 ^ n3;
+        n2 ^= t;
+        n3 = n3.rotate_left(45);
+        self.s = [n0, n1, n2, n3];
+        result
+    }
+
+    /// Uniform value in `[0, n)` (Lemire's method); `n` must be nonzero.
+    pub fn below(&mut self, n: u64) -> u64 {
+        debug_assert!(n > 0);
+        loop {
+            let x = self.next_u64();
+            let m = (x as u128) * (n as u128);
+            let low = m as u64;
+            if low >= n.wrapping_neg() % n {
+                return (m >> 64) as u64;
+            }
+            // Rejected: retry to stay unbiased.
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Strategy
+// ---------------------------------------------------------------------------
+
+/// A recipe for producing random values of `Self::Value`.
+pub trait Strategy {
+    /// The produced value type.
+    type Value;
+
+    /// Draw one value.
+    fn sample(&self, rng: &mut TestRng) -> Self::Value;
+
+    /// Transform produced values with `f`.
+    fn prop_map<O, F>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+        F: Fn(Self::Value) -> O,
+    {
+        Map { inner: self, f }
+    }
+
+    /// Erase the concrete strategy type.
+    fn boxed(self) -> BoxedStrategy<Self::Value>
+    where
+        Self: Sized + 'static,
+    {
+        Box::new(self)
+    }
+}
+
+/// Type-erased strategy.
+pub type BoxedStrategy<T> = Box<dyn Strategy<Value = T>>;
+
+impl<T> Strategy for BoxedStrategy<T> {
+    type Value = T;
+    fn sample(&self, rng: &mut TestRng) -> T {
+        (**self).sample(rng)
+    }
+}
+
+/// [`Strategy::prop_map`] adapter.
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S: Strategy, O, F: Fn(S::Value) -> O> Strategy for Map<S, F> {
+    type Value = O;
+    fn sample(&self, rng: &mut TestRng) -> O {
+        (self.f)(self.inner.sample(rng))
+    }
+}
+
+/// Always produces a clone of the given value.
+#[derive(Debug, Clone)]
+pub struct Just<T: Clone>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+    fn sample(&self, _rng: &mut TestRng) -> T {
+        self.0.clone()
+    }
+}
+
+/// Uniform choice between boxed alternatives (the `prop_oneof!` backend).
+pub struct Union<T> {
+    arms: Vec<BoxedStrategy<T>>,
+}
+
+impl<T> Union<T> {
+    /// Union over `arms`; must be non-empty.
+    pub fn new(arms: Vec<BoxedStrategy<T>>) -> Self {
+        assert!(!arms.is_empty(), "prop_oneof! needs at least one arm");
+        Union { arms }
+    }
+}
+
+impl<T> Strategy for Union<T> {
+    type Value = T;
+    fn sample(&self, rng: &mut TestRng) -> T {
+        let idx = rng.below(self.arms.len() as u64) as usize;
+        self.arms[idx].sample(rng)
+    }
+}
+
+// Integer range strategies. Signed sampling offsets through the unsigned
+// width to avoid overflow on ranges like `i64::MIN..i64::MAX`.
+macro_rules! impl_range_strategy {
+    ($($t:ty => $u:ty),* $(,)?) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+            fn sample(&self, rng: &mut TestRng) -> $t {
+                assert!(self.start < self.end, "empty range strategy");
+                let span = (self.end as $u).wrapping_sub(self.start as $u);
+                let off = rng.below(span as u64) as $u;
+                (self.start as $u).wrapping_add(off) as $t
+            }
+        }
+        impl Strategy for std::ops::RangeInclusive<$t> {
+            type Value = $t;
+            fn sample(&self, rng: &mut TestRng) -> $t {
+                let (lo, hi) = (*self.start(), *self.end());
+                assert!(lo <= hi, "empty range strategy");
+                let span = (hi as $u).wrapping_sub(lo as $u) as u64;
+                if span == u64::MAX {
+                    return rng.next_u64() as $t;
+                }
+                let off = rng.below(span + 1) as $u;
+                (lo as $u).wrapping_add(off) as $t
+            }
+        }
+    )*};
+}
+
+impl_range_strategy! {
+    i8 => u8, i16 => u16, i32 => u32, i64 => u64, isize => usize,
+    u8 => u8, u16 => u16, u32 => u32, u64 => u64, usize => usize,
+}
+
+// Tuple strategies up to arity 6.
+macro_rules! impl_tuple_strategy {
+    ($(($($name:ident : $idx:tt),+),)*) => {$(
+        impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+            type Value = ($($name::Value,)+);
+            fn sample(&self, rng: &mut TestRng) -> Self::Value {
+                ($(self.$idx.sample(rng),)+)
+            }
+        }
+    )*};
+}
+
+impl_tuple_strategy! {
+    (A: 0),
+    (A: 0, B: 1),
+    (A: 0, B: 1, C: 2),
+    (A: 0, B: 1, C: 2, D: 3),
+    (A: 0, B: 1, C: 2, D: 3, E: 4),
+    (A: 0, B: 1, C: 2, D: 3, E: 4, F: 5),
+}
+
+// ---------------------------------------------------------------------------
+// any::<T>()
+// ---------------------------------------------------------------------------
+
+/// Full-domain sampling for `T` (the `any::<T>()` backend).
+pub trait ArbitrarySample: Sized {
+    /// Draw one value from the full domain.
+    fn arbitrary(rng: &mut TestRng) -> Self;
+}
+
+macro_rules! impl_arbitrary_int {
+    ($($t:ty),* $(,)?) => {$(
+        impl ArbitrarySample for $t {
+            fn arbitrary(rng: &mut TestRng) -> $t {
+                rng.next_u64() as $t
+            }
+        }
+    )*};
+}
+
+impl_arbitrary_int!(i8, i16, i32, i64, isize, u8, u16, u32, u64, usize);
+
+impl ArbitrarySample for bool {
+    fn arbitrary(rng: &mut TestRng) -> bool {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+/// Strategy over the full domain of `T`.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Any<T>(std::marker::PhantomData<T>);
+
+impl<T: ArbitrarySample> Strategy for Any<T> {
+    type Value = T;
+    fn sample(&self, rng: &mut TestRng) -> T {
+        T::arbitrary(rng)
+    }
+}
+
+/// Strategy producing any value of `T`.
+pub fn any<T: ArbitrarySample>() -> Any<T> {
+    Any(std::marker::PhantomData)
+}
+
+// ---------------------------------------------------------------------------
+// String strategies (tiny regex subset)
+// ---------------------------------------------------------------------------
+
+enum RegexAtom {
+    Class(Vec<(char, char)>),
+    Lit(char),
+}
+
+struct RegexPiece {
+    atom: RegexAtom,
+    min: usize,
+    max: usize,
+}
+
+fn parse_tiny_regex(pattern: &str) -> Vec<RegexPiece> {
+    let chars: Vec<char> = pattern.chars().collect();
+    let mut pieces = Vec::new();
+    let mut i = 0usize;
+    while i < chars.len() {
+        let atom = if chars[i] == '[' {
+            let close = chars[i..]
+                .iter()
+                .position(|&c| c == ']')
+                .unwrap_or_else(|| panic!("proptest shim: unclosed class in regex {pattern:?}"))
+                + i;
+            let mut ranges = Vec::new();
+            let mut j = i + 1;
+            while j < close {
+                if j + 2 < close && chars[j + 1] == '-' {
+                    ranges.push((chars[j], chars[j + 2]));
+                    j += 3;
+                } else {
+                    ranges.push((chars[j], chars[j]));
+                    j += 1;
+                }
+            }
+            i = close + 1;
+            RegexAtom::Class(ranges)
+        } else {
+            let c = chars[i];
+            assert!(
+                !"\\.(|)*+?".contains(c),
+                "proptest shim: unsupported regex feature {c:?} in {pattern:?}"
+            );
+            i += 1;
+            RegexAtom::Lit(c)
+        };
+        let (min, max) = if i < chars.len() && chars[i] == '{' {
+            let close = chars[i..]
+                .iter()
+                .position(|&c| c == '}')
+                .unwrap_or_else(|| panic!("proptest shim: unclosed repetition in {pattern:?}"))
+                + i;
+            let spec: String = chars[i + 1..close].iter().collect();
+            i = close + 1;
+            match spec.split_once(',') {
+                Some((m, n)) => (
+                    m.trim().parse().expect("repetition min"),
+                    n.trim().parse().expect("repetition max"),
+                ),
+                None => {
+                    let m: usize = spec.trim().parse().expect("repetition count");
+                    (m, m)
+                }
+            }
+        } else {
+            (1, 1)
+        };
+        pieces.push(RegexPiece { atom, min, max });
+    }
+    pieces
+}
+
+impl Strategy for &str {
+    type Value = String;
+    fn sample(&self, rng: &mut TestRng) -> String {
+        let pieces = parse_tiny_regex(self);
+        let mut out = String::new();
+        for p in &pieces {
+            let reps = p.min + rng.below((p.max - p.min + 1) as u64) as usize;
+            for _ in 0..reps {
+                match &p.atom {
+                    RegexAtom::Lit(c) => out.push(*c),
+                    RegexAtom::Class(ranges) => {
+                        let total: u64 =
+                            ranges.iter().map(|(a, b)| *b as u64 - *a as u64 + 1).sum();
+                        let mut pick = rng.below(total);
+                        for (a, b) in ranges {
+                            let n = *b as u64 - *a as u64 + 1;
+                            if pick < n {
+                                out.push(char::from_u32(*a as u32 + pick as u32).unwrap());
+                                break;
+                            }
+                            pick -= n;
+                        }
+                    }
+                }
+            }
+        }
+        out
+    }
+}
+
+// ---------------------------------------------------------------------------
+// collection / option modules
+// ---------------------------------------------------------------------------
+
+/// Collection strategies.
+pub mod collection {
+    use super::{Strategy, TestRng};
+
+    /// Element-count specification: an exact length or a half-open range.
+    #[derive(Debug, Clone)]
+    pub struct SizeRange {
+        min: usize,
+        max_exclusive: usize,
+    }
+
+    impl From<usize> for SizeRange {
+        fn from(n: usize) -> Self {
+            SizeRange {
+                min: n,
+                max_exclusive: n + 1,
+            }
+        }
+    }
+
+    impl From<std::ops::Range<usize>> for SizeRange {
+        fn from(r: std::ops::Range<usize>) -> Self {
+            assert!(r.start < r.end, "empty size range");
+            SizeRange {
+                min: r.start,
+                max_exclusive: r.end,
+            }
+        }
+    }
+
+    /// Strategy for `Vec<S::Value>`.
+    pub struct VecStrategy<S> {
+        element: S,
+        size: SizeRange,
+    }
+
+    /// Vector of values from `element` with a length drawn from `size`.
+    pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+        VecStrategy {
+            element,
+            size: size.into(),
+        }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn sample(&self, rng: &mut TestRng) -> Vec<S::Value> {
+            let span = (self.size.max_exclusive - self.size.min) as u64;
+            let len = self.size.min + rng.below(span.max(1)) as usize;
+            (0..len).map(|_| self.element.sample(rng)).collect()
+        }
+    }
+}
+
+/// Option strategies.
+pub mod option {
+    use super::{Strategy, TestRng};
+
+    /// Strategy for `Option<S::Value>`.
+    pub struct OptionStrategy<S> {
+        inner: S,
+    }
+
+    /// `None` a quarter of the time, otherwise `Some` of the inner strategy.
+    pub fn of<S: Strategy>(inner: S) -> OptionStrategy<S> {
+        OptionStrategy { inner }
+    }
+
+    impl<S: Strategy> Strategy for OptionStrategy<S> {
+        type Value = Option<S::Value>;
+        fn sample(&self, rng: &mut TestRng) -> Option<S::Value> {
+            if rng.below(4) == 0 {
+                None
+            } else {
+                Some(self.inner.sample(rng))
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Runner
+// ---------------------------------------------------------------------------
+
+/// Test-case outcomes other than success.
+#[derive(Debug)]
+pub enum TestCaseError {
+    /// Assertion failure with message.
+    Fail(String),
+    /// `prop_assume!` rejected the inputs; draw another case.
+    Reject,
+}
+
+/// Result type of a property body.
+pub type TestCaseResult = Result<(), TestCaseError>;
+
+/// Runner configuration.
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    /// Number of successful cases required.
+    pub cases: u32,
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig { cases: 64 }
+    }
+}
+
+/// Test-runner plumbing used by the `proptest!` macro expansion.
+pub mod test_runner {
+    use super::*;
+    pub use super::{ProptestConfig, TestCaseError, TestCaseResult};
+
+    const MAX_REJECTS: u32 = 65_536;
+
+    /// Run `test` against `config.cases` sampled inputs, panicking (with the
+    /// offending input) on the first failure.
+    pub fn run<S, F>(name: &str, config: &ProptestConfig, strategy: &S, test: F)
+    where
+        S: Strategy,
+        S::Value: Clone + Debug,
+        F: Fn(S::Value) -> TestCaseResult,
+    {
+        let mut rng = TestRng::from_name(name);
+        let mut passed = 0u32;
+        let mut rejected = 0u32;
+        while passed < config.cases {
+            let input = strategy.sample(&mut rng);
+            let outcome = catch_unwind(AssertUnwindSafe(|| test(input.clone())));
+            match outcome {
+                Ok(Ok(())) => passed += 1,
+                Ok(Err(TestCaseError::Reject)) => {
+                    rejected += 1;
+                    assert!(
+                        rejected < MAX_REJECTS,
+                        "proptest {name}: too many prop_assume! rejections"
+                    );
+                }
+                Ok(Err(TestCaseError::Fail(msg))) => {
+                    panic!(
+                        "proptest {name}: case {n} failed: {msg}\ninput: {input:?}",
+                        n = passed + 1
+                    );
+                }
+                Err(payload) => {
+                    eprintln!(
+                        "proptest {name}: case {n} panicked\ninput: {input:?}",
+                        n = passed + 1
+                    );
+                    resume_unwind(payload);
+                }
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Macros
+// ---------------------------------------------------------------------------
+
+/// Declare property tests.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_fns! { ($cfg) $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_fns! {
+            ($crate::test_runner::ProptestConfig::default()) $($rest)*
+        }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_fns {
+    (($cfg:expr)) => {};
+    (($cfg:expr)
+     $(#[$meta:meta])*
+     fn $name:ident ( $($arg:ident in $strat:expr),+ $(,)? ) $body:block
+     $($rest:tt)*
+    ) => {
+        $(#[$meta])*
+        fn $name() {
+            let config = $cfg;
+            let strategy = ($($strat,)+);
+            $crate::test_runner::run(
+                stringify!($name),
+                &config,
+                &strategy,
+                |($($arg,)+)| {
+                    $body
+                    Ok(())
+                },
+            );
+        }
+        $crate::__proptest_fns! { ($cfg) $($rest)* }
+    };
+}
+
+/// Fail the current case unless `cond` holds.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        if !($cond) {
+            return Err($crate::TestCaseError::Fail(
+                format!("assertion failed: {}", stringify!($cond)),
+            ));
+        }
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !($cond) {
+            return Err($crate::TestCaseError::Fail(format!(
+                "assertion failed: {} ({})",
+                stringify!($cond),
+                format!($($fmt)+),
+            )));
+        }
+    };
+}
+
+/// Fail the current case unless `left == right`.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (l, r) = (&$left, &$right);
+        if !(l == r) {
+            return Err($crate::TestCaseError::Fail(
+                format!("assertion failed: `left == right`\n  left: {l:?}\n right: {r:?}"),
+            ));
+        }
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)+) => {{
+        let (l, r) = (&$left, &$right);
+        if !(l == r) {
+            return Err($crate::TestCaseError::Fail(format!(
+                "assertion failed: `left == right` ({})\n  left: {l:?}\n right: {r:?}",
+                format!($($fmt)+),
+            )));
+        }
+    }};
+}
+
+/// Fail the current case unless `left != right`.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (l, r) = (&$left, &$right);
+        if !(l != r) {
+            return Err($crate::TestCaseError::Fail(format!(
+                "assertion failed: `left != right`\n  both: {l:?}"
+            )));
+        }
+    }};
+}
+
+/// Reject the current case (resample) unless `cond` holds.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr) => {
+        if !($cond) {
+            return Err($crate::TestCaseError::Reject);
+        }
+    };
+}
+
+/// Uniform choice between the listed strategies.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($arm:expr),+ $(,)?) => {
+        $crate::Union::new(vec![$($crate::Strategy::boxed($arm)),+])
+    };
+}
+
+/// The glob-importable prelude matching upstream's.
+pub mod prelude {
+    pub use crate::test_runner::ProptestConfig;
+    pub use crate::{
+        any, prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, prop_oneof, proptest, Just,
+        Strategy,
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    #[test]
+    fn rng_is_deterministic() {
+        let mut a = crate::TestRng::from_name("x");
+        let mut b = crate::TestRng::from_name("x");
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn below_stays_in_range() {
+        let mut rng = crate::TestRng::from_seed(7);
+        for n in [1u64, 2, 3, 17, 1 << 40] {
+            for _ in 0..200 {
+                assert!(rng.below(n) < n);
+            }
+        }
+    }
+
+    #[test]
+    fn range_strategies_respect_bounds() {
+        let mut rng = crate::TestRng::from_seed(1);
+        for _ in 0..500 {
+            let v = Strategy::sample(&(-50i64..50), &mut rng);
+            assert!((-50..50).contains(&v));
+            let u = Strategy::sample(&(0u8..4), &mut rng);
+            assert!(u < 4);
+        }
+    }
+
+    #[test]
+    fn regex_subset_generates_matching_strings() {
+        let mut rng = crate::TestRng::from_seed(2);
+        for _ in 0..200 {
+            let s = Strategy::sample(&"[a-z]{0,8}", &mut rng);
+            assert!(s.len() <= 8);
+            assert!(s.chars().all(|c| c.is_ascii_lowercase()));
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig { cases: 8 })]
+
+        #[test]
+        fn macro_pipeline_works(
+            v in crate::collection::vec(any::<i32>(), 0..10),
+            flag in any::<bool>(),
+            opt in crate::option::of(1i64..5),
+        ) {
+            prop_assume!(v.len() != 9);
+            prop_assert!(v.len() < 10, "len was {}", v.len());
+            if let Some(x) = opt {
+                prop_assert!((1..5).contains(&x));
+            }
+            let echoed = prop_oneof![Just(flag)].sample(&mut crate::TestRng::from_seed(0));
+            prop_assert_eq!(echoed, flag);
+            prop_assert_ne!(v.len(), 10);
+        }
+    }
+}

@@ -1,0 +1,594 @@
+//! Offline shim for `serde_derive`: derives the value-tree `Serialize` /
+//! `Deserialize` traits defined by the companion `serde` shim.
+//!
+//! The input item is parsed directly from the `proc_macro` token stream (no
+//! `syn`/`quote` available offline) and the impl is generated as source text.
+//! Supported shapes — exactly what this workspace uses:
+//!
+//! - non-generic structs with named fields (`#[serde(skip)]` and
+//!   `#[serde(default)]` honoured per field)
+//! - non-generic tuple/newtype structs
+//! - non-generic enums with unit, newtype, tuple, and struct variants,
+//!   encoded externally tagged like upstream serde
+//!
+//! Generic types produce a `compile_error!` instead of silently-wrong code.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+use std::fmt::Write as _;
+
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    expand(input, Mode::Serialize)
+}
+
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    expand(input, Mode::Deserialize)
+}
+
+#[derive(Clone, Copy, PartialEq)]
+enum Mode {
+    Serialize,
+    Deserialize,
+}
+
+struct Field {
+    name: String,
+    skip: bool,
+    default: bool,
+}
+
+enum Payload {
+    Unit,
+    Tuple(usize),
+    Struct(Vec<Field>),
+}
+
+struct Variant {
+    name: String,
+    payload: Payload,
+}
+
+enum Item {
+    Struct {
+        name: String,
+        fields: Vec<Field>,
+    },
+    TupleStruct {
+        name: String,
+        arity: usize,
+    },
+    Enum {
+        name: String,
+        variants: Vec<Variant>,
+    },
+}
+
+fn expand(input: TokenStream, mode: Mode) -> TokenStream {
+    match parse_item(input) {
+        Ok(item) => {
+            let code = match mode {
+                Mode::Serialize => gen_serialize(&item),
+                Mode::Deserialize => gen_deserialize(&item),
+            };
+            code.parse()
+                .expect("serde_derive: generated code failed to parse")
+        }
+        Err(msg) => format!("compile_error!({msg:?});").parse().unwrap(),
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Parsing
+// ---------------------------------------------------------------------------
+
+fn parse_item(input: TokenStream) -> Result<Item, String> {
+    let tokens: Vec<TokenTree> = input.into_iter().collect();
+    let mut i = 0usize;
+    skip_attrs_and_vis(&tokens, &mut i);
+
+    let kind = match tokens.get(i) {
+        Some(TokenTree::Ident(id)) if id.to_string() == "struct" => "struct",
+        Some(TokenTree::Ident(id)) if id.to_string() == "enum" => "enum",
+        other => {
+            return Err(format!(
+                "serde shim derive: expected struct or enum, got {other:?}"
+            ))
+        }
+    };
+    i += 1;
+
+    let name = match tokens.get(i) {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => {
+            return Err(format!(
+                "serde shim derive: expected type name, got {other:?}"
+            ))
+        }
+    };
+    i += 1;
+
+    if let Some(TokenTree::Punct(p)) = tokens.get(i) {
+        if p.as_char() == '<' {
+            return Err(format!(
+                "serde shim derive does not support generic type `{name}`"
+            ));
+        }
+    }
+
+    match tokens.get(i) {
+        Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace && kind == "struct" => {
+            Ok(Item::Struct {
+                name,
+                fields: parse_fields(g.stream())?,
+            })
+        }
+        Some(TokenTree::Group(g))
+            if g.delimiter() == Delimiter::Parenthesis && kind == "struct" =>
+        {
+            Ok(Item::TupleStruct {
+                name,
+                arity: tuple_arity(g.stream()),
+            })
+        }
+        Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace && kind == "enum" => {
+            Ok(Item::Enum {
+                name,
+                variants: parse_variants(g.stream())?,
+            })
+        }
+        other => Err(format!(
+            "serde shim derive: unsupported item body {other:?}"
+        )),
+    }
+}
+
+/// Skip leading attributes (`#[...]`) and visibility (`pub`, `pub(...)`).
+fn skip_attrs_and_vis(tokens: &[TokenTree], i: &mut usize) {
+    loop {
+        match tokens.get(*i) {
+            Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                *i += 1; // '#'
+                if matches!(tokens.get(*i), Some(TokenTree::Group(_))) {
+                    *i += 1; // [...]
+                }
+            }
+            Some(TokenTree::Ident(id)) if id.to_string() == "pub" => {
+                *i += 1;
+                if let Some(TokenTree::Group(g)) = tokens.get(*i) {
+                    if g.delimiter() == Delimiter::Parenthesis {
+                        *i += 1; // pub(crate) etc.
+                    }
+                }
+            }
+            _ => return,
+        }
+    }
+}
+
+/// Collect the `#[serde(...)]` flags from attributes starting at `i`,
+/// advancing past all attributes.
+fn take_attr_flags(tokens: &[TokenTree], i: &mut usize) -> (bool, bool) {
+    let (mut skip, mut default) = (false, false);
+    while let Some(TokenTree::Punct(p)) = tokens.get(*i) {
+        if p.as_char() != '#' {
+            break;
+        }
+        *i += 1;
+        if let Some(TokenTree::Group(attr)) = tokens.get(*i) {
+            let inner: Vec<TokenTree> = attr.stream().into_iter().collect();
+            if let (Some(TokenTree::Ident(head)), Some(TokenTree::Group(args))) =
+                (inner.first(), inner.get(1))
+            {
+                if head.to_string() == "serde" {
+                    for t in args.stream() {
+                        match t {
+                            TokenTree::Ident(id) if id.to_string() == "skip" => skip = true,
+                            TokenTree::Ident(id) if id.to_string() == "default" => default = true,
+                            _ => {}
+                        }
+                    }
+                }
+            }
+            *i += 1;
+        }
+    }
+    (skip, default)
+}
+
+fn parse_fields(body: TokenStream) -> Result<Vec<Field>, String> {
+    let tokens: Vec<TokenTree> = body.into_iter().collect();
+    let mut fields = Vec::new();
+    let mut i = 0usize;
+    while i < tokens.len() {
+        let (skip, default) = take_attr_flags(&tokens, &mut i);
+        skip_attrs_and_vis(&tokens, &mut i);
+        let name = match tokens.get(i) {
+            Some(TokenTree::Ident(id)) => id.to_string(),
+            other => {
+                return Err(format!(
+                    "serde shim derive: expected field name, got {other:?}"
+                ))
+            }
+        };
+        i += 1;
+        match tokens.get(i) {
+            Some(TokenTree::Punct(p)) if p.as_char() == ':' => i += 1,
+            other => return Err(format!("serde shim derive: expected ':', got {other:?}")),
+        }
+        skip_type(&tokens, &mut i);
+        if let Some(TokenTree::Punct(p)) = tokens.get(i) {
+            if p.as_char() == ',' {
+                i += 1;
+            }
+        }
+        fields.push(Field {
+            name,
+            skip,
+            default,
+        });
+    }
+    Ok(fields)
+}
+
+/// Advance past a type: everything up to a `,` at angle-bracket depth 0.
+fn skip_type(tokens: &[TokenTree], i: &mut usize) {
+    let mut depth = 0i32;
+    while let Some(t) = tokens.get(*i) {
+        if let TokenTree::Punct(p) = t {
+            match p.as_char() {
+                '<' => depth += 1,
+                '>' => depth -= 1,
+                ',' if depth == 0 => return,
+                _ => {}
+            }
+        }
+        *i += 1;
+    }
+}
+
+/// Number of top-level comma-separated types in a tuple body.
+fn tuple_arity(body: TokenStream) -> usize {
+    let tokens: Vec<TokenTree> = body.into_iter().collect();
+    if tokens.is_empty() {
+        return 0;
+    }
+    let (mut depth, mut arity) = (0i32, 1usize);
+    let mut trailing_comma = false;
+    for t in &tokens {
+        trailing_comma = false;
+        if let TokenTree::Punct(p) = t {
+            match p.as_char() {
+                '<' => depth += 1,
+                '>' => depth -= 1,
+                ',' if depth == 0 => {
+                    arity += 1;
+                    trailing_comma = true;
+                }
+                _ => {}
+            }
+        }
+    }
+    if trailing_comma {
+        arity -= 1;
+    }
+    arity
+}
+
+fn parse_variants(body: TokenStream) -> Result<Vec<Variant>, String> {
+    let tokens: Vec<TokenTree> = body.into_iter().collect();
+    let mut variants = Vec::new();
+    let mut i = 0usize;
+    while i < tokens.len() {
+        skip_attrs_and_vis(&tokens, &mut i);
+        if i >= tokens.len() {
+            break;
+        }
+        let name = match tokens.get(i) {
+            Some(TokenTree::Ident(id)) => id.to_string(),
+            other => {
+                return Err(format!(
+                    "serde shim derive: expected variant name, got {other:?}"
+                ))
+            }
+        };
+        i += 1;
+        let payload = match tokens.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                i += 1;
+                Payload::Tuple(tuple_arity(g.stream()))
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                i += 1;
+                Payload::Struct(parse_fields(g.stream())?)
+            }
+            _ => Payload::Unit,
+        };
+        if let Some(TokenTree::Punct(p)) = tokens.get(i) {
+            if p.as_char() == ',' {
+                i += 1;
+            }
+        }
+        variants.push(Variant { name, payload });
+    }
+    Ok(variants)
+}
+
+// ---------------------------------------------------------------------------
+// Codegen
+// ---------------------------------------------------------------------------
+
+const VALUE: &str = "::serde::json::Value";
+
+fn gen_serialize(item: &Item) -> String {
+    let mut out = String::new();
+    match item {
+        Item::Struct { name, fields } => {
+            let mut body = String::new();
+            let _ = writeln!(
+                body,
+                "let mut entries: Vec<(String, {VALUE})> = Vec::new();"
+            );
+            for f in fields {
+                if f.skip {
+                    continue;
+                }
+                let fname = &f.name;
+                let _ = writeln!(
+                    body,
+                    "entries.push(({fname:?}.to_string(), \
+                     ::serde::Serialize::serialize(&self.{fname})));"
+                );
+            }
+            let _ = writeln!(body, "{VALUE}::Object(entries)");
+            let _ = write!(out, "{}", impl_serialize(name, &body));
+        }
+        Item::TupleStruct { name, arity } => {
+            let body = if *arity == 1 {
+                "::serde::Serialize::serialize(&self.0)".to_string()
+            } else {
+                let items: Vec<String> = (0..*arity)
+                    .map(|i| format!("::serde::Serialize::serialize(&self.{i})"))
+                    .collect();
+                format!("{VALUE}::Array(vec![{}])", items.join(", "))
+            };
+            let _ = write!(out, "{}", impl_serialize(name, &body));
+        }
+        Item::Enum { name, variants } => {
+            let mut body = String::from("match self {\n");
+            for v in variants {
+                let vname = &v.name;
+                match &v.payload {
+                    Payload::Unit => {
+                        let _ = writeln!(
+                            body,
+                            "{name}::{vname} => {VALUE}::Str({vname:?}.to_string()),"
+                        );
+                    }
+                    Payload::Tuple(1) => {
+                        let _ = writeln!(
+                            body,
+                            "{name}::{vname}(f0) => {VALUE}::Object(vec![({vname:?}.to_string(), \
+                             ::serde::Serialize::serialize(f0))]),"
+                        );
+                    }
+                    Payload::Tuple(n) => {
+                        let binds: Vec<String> = (0..*n).map(|i| format!("f{i}")).collect();
+                        let sers: Vec<String> = (0..*n)
+                            .map(|i| format!("::serde::Serialize::serialize(f{i})"))
+                            .collect();
+                        let _ = writeln!(
+                            body,
+                            "{name}::{vname}({}) => {VALUE}::Object(vec![({vname:?}.to_string(), \
+                             {VALUE}::Array(vec![{}]))]),",
+                            binds.join(", "),
+                            sers.join(", ")
+                        );
+                    }
+                    Payload::Struct(fields) => {
+                        let binds: Vec<String> = fields.iter().map(|f| f.name.clone()).collect();
+                        let mut inner = String::new();
+                        let _ = writeln!(inner, "let mut e: Vec<(String, {VALUE})> = Vec::new();");
+                        for f in fields {
+                            if f.skip {
+                                continue;
+                            }
+                            let fname = &f.name;
+                            let _ = writeln!(
+                                inner,
+                                "e.push(({fname:?}.to_string(), \
+                                 ::serde::Serialize::serialize({fname})));"
+                            );
+                        }
+                        let _ = writeln!(inner, "{VALUE}::Object(e)");
+                        let _ = writeln!(
+                            body,
+                            "{name}::{vname} {{ {} }} => {VALUE}::Object(vec![({vname:?}\
+                             .to_string(), {{ {inner} }})]),",
+                            binds.join(", ")
+                        );
+                    }
+                }
+            }
+            body.push('}');
+            let _ = write!(out, "{}", impl_serialize(name, &body));
+        }
+    }
+    out
+}
+
+fn impl_serialize(name: &str, body: &str) -> String {
+    format!(
+        "#[automatically_derived]\n\
+         impl ::serde::Serialize for {name} {{\n\
+             fn serialize(&self) -> {VALUE} {{\n{body}\n}}\n\
+         }}\n"
+    )
+}
+
+/// Generate the deserialization expression for one named field looked up in
+/// the object entry slice named by `entries_var`.
+fn field_expr(ctx: &str, f: &Field, entries_var: &str) -> String {
+    let fname = &f.name;
+    if f.skip {
+        return format!("{fname}: Default::default(),\n");
+    }
+    let missing = if f.default {
+        "Default::default()".to_string()
+    } else {
+        format!(
+            "return Err(::serde::Error::msg(concat!({ctx:?}, \": missing field \", {fname:?})))"
+        )
+    };
+    format!(
+        "{fname}: match ::serde::json::find({entries_var}, {fname:?}) {{\n\
+             Some(x) => ::serde::Deserialize::deserialize(x)?,\n\
+             None => {missing},\n\
+         }},\n"
+    )
+}
+
+fn gen_deserialize(item: &Item) -> String {
+    let mut out = String::new();
+    match item {
+        Item::Struct { name, fields } => {
+            let mut body = String::new();
+            let _ = writeln!(
+                body,
+                "let entries = v.as_object().ok_or_else(|| \
+                 ::serde::Error::msg(concat!({name:?}, \": expected object\")))?;"
+            );
+            let _ = writeln!(body, "Ok({name} {{");
+            for f in fields {
+                body.push_str(&field_expr(name, f, "entries"));
+            }
+            let _ = writeln!(body, "}})");
+            let _ = write!(out, "{}", impl_deserialize(name, &body));
+        }
+        Item::TupleStruct { name, arity } => {
+            let body = if *arity == 1 {
+                format!("Ok({name}(::serde::Deserialize::deserialize(v)?))")
+            } else {
+                let items: Vec<String> = (0..*arity)
+                    .map(|i| format!("::serde::Deserialize::deserialize(&items[{i}])?"))
+                    .collect();
+                format!(
+                    "match v {{\n\
+                         {VALUE}::Array(items) if items.len() == {arity} => \
+                             Ok({name}({})),\n\
+                         _ => Err(::serde::Error::msg(concat!({name:?}, \
+                             \": expected {arity}-element array\"))),\n\
+                     }}",
+                    items.join(", ")
+                )
+            };
+            let _ = write!(out, "{}", impl_deserialize(name, &body));
+        }
+        Item::Enum { name, variants } => {
+            let unit: Vec<&Variant> = variants
+                .iter()
+                .filter(|v| matches!(v.payload, Payload::Unit))
+                .collect();
+            let tagged: Vec<&Variant> = variants
+                .iter()
+                .filter(|v| !matches!(v.payload, Payload::Unit))
+                .collect();
+
+            let mut body = String::from("match v {\n");
+
+            if unit.is_empty() {
+                let _ = writeln!(
+                    body,
+                    "{VALUE}::Str(_) => Err(::serde::Error::msg(concat!({name:?}, \
+                     \": unexpected unit variant\"))),"
+                );
+            } else {
+                let _ = writeln!(body, "{VALUE}::Str(s) => match s.as_str() {{");
+                for v in &unit {
+                    let vname = &v.name;
+                    let _ = writeln!(body, "{vname:?} => Ok({name}::{vname}),");
+                }
+                let _ = writeln!(
+                    body,
+                    "other => Err(::serde::Error::msg(format!(\
+                     \"{name}: unknown unit variant '{{other}}'\"))),\n}},"
+                );
+            }
+
+            if !tagged.is_empty() {
+                let _ = writeln!(
+                    body,
+                    "{VALUE}::Object(entries) if entries.len() == 1 => {{\n\
+                     let (tag, payload) = &entries[0];\n\
+                     match tag.as_str() {{"
+                );
+                for v in &tagged {
+                    let vname = &v.name;
+                    match &v.payload {
+                        Payload::Unit => unreachable!(),
+                        Payload::Tuple(1) => {
+                            let _ = writeln!(
+                                body,
+                                "{vname:?} => Ok({name}::{vname}(\
+                                 ::serde::Deserialize::deserialize(payload)?)),"
+                            );
+                        }
+                        Payload::Tuple(n) => {
+                            let items: Vec<String> = (0..*n)
+                                .map(|i| format!("::serde::Deserialize::deserialize(&items[{i}])?"))
+                                .collect();
+                            let _ = writeln!(
+                                body,
+                                "{vname:?} => match payload {{\n\
+                                     {VALUE}::Array(items) if items.len() == {n} => \
+                                         Ok({name}::{vname}({})),\n\
+                                     _ => Err(::serde::Error::msg(concat!({name:?}, \"::\", \
+                                         {vname:?}, \": expected {n}-element array\"))),\n\
+                                 }},",
+                                items.join(", ")
+                            );
+                        }
+                        Payload::Struct(fields) => {
+                            let ctx = format!("{name}::{vname}");
+                            let mut inner = String::new();
+                            let _ = writeln!(
+                                inner,
+                                "let fields = payload.as_object().ok_or_else(|| \
+                                 ::serde::Error::msg(concat!({ctx:?}, \": expected object\")))?;"
+                            );
+                            let _ = writeln!(inner, "Ok({name}::{vname} {{");
+                            for f in fields {
+                                inner.push_str(&field_expr(&ctx, f, "fields"));
+                            }
+                            let _ = writeln!(inner, "}})");
+                            let _ = writeln!(body, "{vname:?} => {{ {inner} }},");
+                        }
+                    }
+                }
+                let _ = writeln!(
+                    body,
+                    "other => Err(::serde::Error::msg(format!(\
+                     \"{name}: unknown variant '{{other}}'\"))),\n}}\n}},"
+                );
+            }
+
+            let _ = writeln!(
+                body,
+                "_ => Err(::serde::Error::msg(concat!({name:?}, \
+                 \": expected externally-tagged enum value\"))),"
+            );
+            body.push('}');
+            let _ = write!(out, "{}", impl_deserialize(name, &body));
+        }
+    }
+    out
+}
+
+fn impl_deserialize(name: &str, body: &str) -> String {
+    format!(
+        "#[automatically_derived]\n\
+         impl ::serde::Deserialize for {name} {{\n\
+             fn deserialize(v: &{VALUE}) -> Result<Self, ::serde::Error> {{\n{body}\n}}\n\
+         }}\n"
+    )
+}

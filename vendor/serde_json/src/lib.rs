@@ -1,0 +1,43 @@
+//! Offline shim for the `serde_json` API subset used by this workspace:
+//! [`to_string`] and [`from_str`] over the companion `serde` shim's value
+//! tree. Output is compact JSON; roundtrips through this shim are exact for
+//! every type the workspace serializes (integers stay integers).
+
+pub use serde::json::Value;
+pub use serde::Error;
+
+/// Result alias matching the upstream crate's shape.
+pub type Result<T> = std::result::Result<T, Error>;
+
+/// Serialize `value` to a compact JSON string.
+pub fn to_string<T: serde::Serialize + ?Sized>(value: &T) -> Result<String> {
+    let tree = value.serialize();
+    let mut out = String::new();
+    serde::json::encode(&tree, &mut out);
+    Ok(out)
+}
+
+/// Deserialize a `T` from JSON text.
+pub fn from_str<T: serde::Deserialize>(s: &str) -> Result<T> {
+    let tree = serde::json::decode(s)?;
+    T::deserialize(&tree)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip_via_text() {
+        let v = vec![Some(1i64), None, Some(-3)];
+        let json = to_string(&v).unwrap();
+        assert_eq!(json, "[1,null,-3]");
+        let back: Vec<Option<i64>> = from_str(&json).unwrap();
+        assert_eq!(back, v);
+    }
+
+    #[test]
+    fn parse_error_is_reported() {
+        assert!(from_str::<Vec<i64>>("[1,").is_err());
+    }
+}
