@@ -16,4 +16,10 @@ cargo build --release
 echo "== cargo test -q =="
 cargo test -q
 
+echo "== cargo test --doc =="
+cargo test -q --workspace --doc
+
+echo "== trace_report smoke (sf 0.01) =="
+cargo run -q --release -p rapid-bench --bin trace_report -- --sf 0.01 --query Q6 > /dev/null
+
 echo "CI green."

@@ -1,0 +1,79 @@
+//! Per-stage trace dump for one TPC-H query.
+//!
+//! Runs a single query through `HostDb::explain_analyze_plan` on the
+//! simulated DPU and emits the full trace as JSON on stdout (the rendered
+//! operator tree goes to stderr for humans). The JSON `events` are the raw
+//! `rapid_qef::trace::StageEvent`s; summing their `sim_secs` in `stage_id`
+//! order reproduces the engine's `QueryReport` total bit-for-bit.
+//!
+//! ```text
+//! cargo run --release -p rapid-bench --bin trace_report -- \
+//!     [--sf <scale-factor>] [--query <Q1|Q3|...|Q19>]
+//! ```
+
+use rapid_bench as bench;
+use rapid_qef::exec::ExecContext;
+use rapid_qef::trace::StageEvent;
+
+#[derive(serde::Serialize)]
+struct Report {
+    query: String,
+    scale_factor: f64,
+    site: String,
+    rapid_secs: f64,
+    host_secs: f64,
+    total_sim_secs: f64,
+    total_energy_joules: f64,
+    result_rows: usize,
+    events: Vec<StageEvent>,
+}
+
+fn main() {
+    let mut sf = 0.01;
+    let mut qname = "Q1".to_string();
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--sf" => {
+                i += 1;
+                sf = args[i].parse().expect("--sf takes a float");
+            }
+            "--query" => {
+                i += 1;
+                qname = args[i].to_ascii_uppercase();
+            }
+            other => {
+                eprintln!("unknown argument {other}");
+                std::process::exit(2);
+            }
+        }
+        i += 1;
+    }
+
+    let plans = tpch::queries::all();
+    let Some((name, plan)) = plans.iter().find(|(n, _)| *n == qname) else {
+        let names: Vec<&str> = plans.iter().map(|(n, _)| *n).collect();
+        eprintln!("unknown query {qname}; available: {}", names.join(", "));
+        std::process::exit(2);
+    };
+
+    let (db, _catalog) = bench::setup_tpch(sf, ExecContext::dpu().with_cores(32));
+    let analysis = db.explain_analyze_plan(plan).expect("explain analyze");
+    eprint!("{}", analysis.text);
+
+    let total_sim_secs: f64 = analysis.events.iter().map(|e| e.sim_secs).sum();
+    let total_energy_joules: f64 = analysis.events.iter().map(|e| e.energy_joules).sum();
+    let report = Report {
+        query: name.to_string(),
+        scale_factor: sf,
+        site: format!("{:?}", analysis.result.site),
+        rapid_secs: analysis.result.rapid_secs,
+        host_secs: analysis.result.host_secs,
+        total_sim_secs,
+        total_energy_joules,
+        result_rows: analysis.result.rows.len(),
+        events: analysis.events,
+    };
+    println!("{}", serde_json::to_string(&report).expect("serialize"));
+}

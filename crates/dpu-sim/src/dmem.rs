@@ -46,6 +46,7 @@ impl std::error::Error for DmemError {}
 struct Budget {
     capacity: usize,
     used: AtomicUsize,
+    peak: AtomicUsize,
 }
 
 /// A per-core DMEM budget.
@@ -71,6 +72,7 @@ impl Dmem {
             budget: Arc::new(Budget {
                 capacity,
                 used: AtomicUsize::new(0),
+                peak: AtomicUsize::new(0),
             }),
         }
     }
@@ -88,6 +90,12 @@ impl Dmem {
     /// Bytes still free.
     pub fn available(&self) -> usize {
         self.capacity().saturating_sub(self.used())
+    }
+
+    /// High-water mark: the largest number of bytes ever reserved at once.
+    /// Reported per stage by the tracing subsystem as DMEM occupancy.
+    pub fn peak(&self) -> usize {
+        self.budget.peak.load(Ordering::Relaxed)
     }
 
     /// Reserve space for `len` elements of `T`, zero-initialised.
@@ -131,7 +139,10 @@ impl Dmem {
                 Ordering::Relaxed,
                 Ordering::Relaxed,
             ) {
-                Ok(_) => return Ok(()),
+                Ok(_) => {
+                    self.budget.peak.fetch_max(new, Ordering::Relaxed);
+                    return Ok(());
+                }
                 Err(actual) => cur = actual,
             }
         }
@@ -251,6 +262,20 @@ mod tests {
         assert_eq!(dmem.available(), 24);
         drop(r);
         assert_eq!(dmem.available(), 64);
+    }
+
+    #[test]
+    fn peak_tracks_high_water_not_current_use() {
+        let dmem = Dmem::with_capacity(128);
+        assert_eq!(dmem.peak(), 0);
+        let a = dmem.reserve_raw(48).unwrap();
+        let b = dmem.reserve_raw(32).unwrap();
+        drop(a);
+        drop(b);
+        assert_eq!(dmem.used(), 0);
+        assert_eq!(dmem.peak(), 80);
+        let _c = dmem.reserve_raw(16).unwrap();
+        assert_eq!(dmem.peak(), 80);
     }
 
     #[test]

@@ -27,6 +27,10 @@ pub const MAX_HW_FANOUT: usize = 32;
 pub enum PartitionStrategy {
     /// Use `bits` bits of the key value itself, starting at `shift`.
     /// The paper's micro-benchmark uses the least significant 5 bits.
+    ///
+    /// Keys are viewed through the order-preserving sign-biased encoding
+    /// (bit 63 flipped), so radix bit-fields place negative keys before
+    /// positive ones — consistent with [`PartitionStrategy::Range`].
     Radix {
         /// Number of radix bits (fan-out = 2^bits, at most 32 targets).
         bits: u32,
@@ -141,9 +145,12 @@ impl HwPartitioner {
             PartitionStrategy::Radix { bits, shift } => {
                 let key = keys.first().ok_or(HwPartitionError::BadKeyColumns(0))?;
                 let mask = (1u64 << bits) - 1;
+                // Sign-biased view: flipping bit 63 maps i64 order onto u64
+                // order, so negative keys take the low partitions instead of
+                // wrapping into the top ones.
                 Ok(key
                     .iter()
-                    .map(|&k| (((k as u64) >> shift) & mask) as u32)
+                    .map(|&k| (((k as u64 ^ (1u64 << 63)) >> shift) & mask) as u32)
                     .collect())
             }
             PartitionStrategy::Hash { bits } => {
@@ -285,6 +292,24 @@ mod tests {
         for (i, &t) in a.iter().enumerate() {
             assert_eq!(t, (i % 32) as u32);
         }
+    }
+
+    #[test]
+    fn radix_orders_negative_keys_like_range() {
+        // Top-bits radix on signed keys must agree with range partitioning's
+        // ordering: negative keys go to lower partitions than positive ones.
+        let hw = HwPartitioner::new(
+            PartitionStrategy::Radix { bits: 2, shift: 62 },
+            CostModel::default(),
+        )
+        .unwrap();
+        let keys = vec![i64::MIN, -1, 0, i64::MAX];
+        let a = hw.assign(&[&keys]).unwrap();
+        assert_eq!(a, vec![0, 1, 2, 3]);
+        // Monotone: partition index never decreases as the key grows.
+        let sorted: Vec<i64> = vec![i64::MIN, -5_000_000, -1, 0, 1, 5_000_000, i64::MAX];
+        let parts = hw.assign(&[&sorted]).unwrap();
+        assert!(parts.windows(2).all(|w| w[0] <= w[1]), "{parts:?}");
     }
 
     #[test]

@@ -17,6 +17,7 @@ use rapid_qcomp::logical::LogicalPlan;
 use rapid_qef::engine::Engine;
 use rapid_qef::exec::{ExecContext, StageRouter};
 use rapid_qef::plan::ColMeta;
+use rapid_qef::trace::{MemorySink, StageEvent, TraceSink};
 use rapid_sched::{SchedConfig, SchedReport, Scheduler};
 use rapid_storage::schema::Schema;
 use rapid_storage::scn::{RowChange, Scn};
@@ -65,6 +66,20 @@ impl QueryResult {
             self.rapid_secs / total
         }
     }
+}
+
+/// `EXPLAIN ANALYZE` output: the executed query's result plus the
+/// per-stage trace it produced and a rendered operator tree.
+#[derive(Debug, Clone)]
+pub struct ExplainAnalysis {
+    /// The inner query's result (it really executed).
+    pub result: QueryResult,
+    /// Per-stage trace events in canonical `(query, stage)` order — empty
+    /// when the query ran entirely on the host (no RAPID trace exists).
+    pub events: Vec<StageEvent>,
+    /// Human-readable operator tree with per-stage simulated cycles, rows
+    /// and energy, plus a reconciling TOTAL footer.
+    pub text: String,
 }
 
 /// The text or pre-built plan a [`BatchQuery`] executes.
@@ -137,6 +152,8 @@ pub enum DbError {
     Rapid(String),
     /// Unknown table.
     NoSuchTable(String),
+    /// A batch session thread panicked; only that query is lost.
+    SessionPanic(String),
 }
 
 impl std::fmt::Display for DbError {
@@ -146,6 +163,7 @@ impl std::fmt::Display for DbError {
             DbError::Volcano(e) => write!(f, "{e}"),
             DbError::Rapid(m) => write!(f, "RAPID error: {m}"),
             DbError::NoSuchTable(t) => write!(f, "no such table '{t}'"),
+            DbError::SessionPanic(m) => write!(f, "session panicked: {m}"),
         }
     }
 }
@@ -344,10 +362,70 @@ impl HostDb {
         Ok(())
     }
 
-    /// Parse and execute a SQL query end-to-end.
+    /// Parse and execute a SQL query end-to-end. A statement prefixed
+    /// with `EXPLAIN ANALYZE` executes the inner query and returns the
+    /// rendered per-operator trace as a one-column (`QUERY PLAN`) result,
+    /// the way interactive databases surface it.
     pub fn execute_sql(&self, sql: &str) -> Result<QueryResult, DbError> {
+        if crate::sql::strip_explain_analyze(sql).is_some() {
+            let analysis = self.explain_analyze(sql)?;
+            return Ok(QueryResult {
+                columns: vec!["QUERY PLAN".into()],
+                rows: analysis
+                    .text
+                    .lines()
+                    .map(|l| vec![Value::Str(l.into())])
+                    .collect(),
+                site: analysis.result.site,
+                rapid_secs: analysis.result.rapid_secs,
+                host_secs: analysis.result.host_secs,
+            });
+        }
         let plan = parse_sql(sql, &self.schemas()).map_err(DbError::Sql)?;
         self.execute_plan(&plan)
+    }
+
+    /// Execute `sql` (the `EXPLAIN ANALYZE` prefix is optional) with
+    /// per-stage tracing and return result + events + rendered tree.
+    pub fn explain_analyze(&self, sql: &str) -> Result<ExplainAnalysis, DbError> {
+        let inner = crate::sql::strip_explain_analyze(sql).unwrap_or(sql);
+        let plan = parse_sql(inner, &self.schemas()).map_err(DbError::Sql)?;
+        self.explain_analyze_plan(&plan)
+    }
+
+    /// [`explain_analyze`](Self::explain_analyze) over an already-built
+    /// logical plan. The plan is executed on RAPID with a trace sink
+    /// installed; if RAPID execution fails (e.g. tables not loaded) the
+    /// query falls back to the host and the rendering says so — host
+    /// Volcano execution has no simulated trace.
+    pub fn explain_analyze_plan(&self, plan: &LogicalPlan) -> Result<ExplainAnalysis, DbError> {
+        let sink = MemorySink::new();
+        let trace: Arc<dyn TraceSink> = Arc::clone(&sink) as _;
+        match self.execute_on_rapid_routed(plan, None, Some(trace)) {
+            Ok(result) => {
+                let events = sink.take();
+                let text = render_explain(&events, &result);
+                Ok(ExplainAnalysis {
+                    result,
+                    events,
+                    text,
+                })
+            }
+            Err(_) => {
+                let result = self.execute_on_host(plan)?;
+                let text = format!(
+                    "EXPLAIN ANALYZE (site=Host — query did not offload, no RAPID trace)\n\
+                     rows: {}\nhost wall: {:.6}s\n",
+                    result.rows.len(),
+                    result.host_secs
+                );
+                Ok(ExplainAnalysis {
+                    result,
+                    events: Vec::new(),
+                    text,
+                })
+            }
+        }
     }
 
     /// Execute a logical plan end-to-end (offload decision included).
@@ -402,7 +480,14 @@ impl HostDb {
                 .collect();
             spawned
                 .into_iter()
-                .map(|j| j.join().expect("session thread panicked"))
+                .map(|j| match j.join() {
+                    Ok(r) => r,
+                    // A panicking session fails its own slot only: the
+                    // QueryHandle was moved into the thread, so unwinding
+                    // dropped it and released the admission slot — siblings
+                    // keep running and the batch still returns in order.
+                    Err(payload) => Err(DbError::SessionPanic(panic_message(&*payload).into())),
+                })
                 .collect()
         });
         BatchOutcome {
@@ -441,7 +526,7 @@ impl HostDb {
             (Arc::clone(&sched) as Arc<dyn StageRouter>, handle.id());
         match decision {
             OffloadDecision::Full => {
-                match self.execute_on_rapid_routed(&plan, Some(&router)) {
+                match self.execute_on_rapid_routed(&plan, Some(&router), None) {
                     Ok(r) => Ok(r),
                     // A cancelled or timed-out query aborts outright;
                     // genuine engine failures fall back to the host as in
@@ -496,7 +581,7 @@ impl HostDb {
         for (name, frag_plan) in &fragments {
             let unique = format!("{name}__{uniq}");
             rename_table(&mut renamed, name, &unique);
-            let frag = self.execute_on_rapid_routed(frag_plan, router)?;
+            let frag = self.execute_on_rapid_routed(frag_plan, router, None)?;
             rapid_secs += frag.rapid_secs;
             host_secs += frag.host_secs;
             // Infer the temp table's schema from the fragment's compiled
@@ -532,16 +617,18 @@ impl HostDb {
 
     /// Run the whole plan on the RAPID node (admission check + execute).
     pub fn execute_on_rapid(&self, plan: &LogicalPlan) -> Result<QueryResult, DbError> {
-        self.execute_on_rapid_routed(plan, None)
+        self.execute_on_rapid_routed(plan, None, None)
     }
 
     /// [`execute_on_rapid`](Self::execute_on_rapid), optionally placing
     /// every pipeline stage on a multi-query scheduler's shared timeline
-    /// as the given query id.
+    /// as the given query id, and optionally recording per-stage trace
+    /// events into `trace`.
     fn execute_on_rapid_routed(
         &self,
         plan: &LogicalPlan,
         router: Option<&(Arc<dyn StageRouter>, u64)>,
+        trace: Option<Arc<dyn TraceSink>>,
     ) -> Result<QueryResult, DbError> {
         // Admission (§3.3): the query SCN must not be younger than any
         // referenced RAPID table. Checkpoint lagging tables first.
@@ -555,10 +642,13 @@ impl HostDb {
         // parked inside the scheduler must not block checkpoint writers.
         let (engine, compiled) = {
             let rapid = self.rapid.read();
-            let ctx = match router {
+            let mut ctx = match router {
                 Some((r, qid)) => rapid.context().clone().with_router(Arc::clone(r), *qid),
                 None => rapid.context().clone(),
             };
+            if let Some(sink) = trace {
+                ctx = ctx.with_trace(sink);
+            }
             let engine = rapid.fork(ctx);
             let compiled = rapid_qcomp::compile(plan, engine.catalog(), &self.params)
                 .map_err(|e| DbError::Rapid(e.to_string()))?;
@@ -603,6 +693,67 @@ impl Drop for HostDb {
         if let Some(h) = self.checkpointer.take() {
             let _ = h.join();
         }
+    }
+}
+
+/// Render a traced query as a per-operator tree plus a reconciling footer.
+///
+/// Tree lines are ordered by `(node_id, stage_id)` — node ids are assigned
+/// pre-order over the plan, so a parent prints above its children, indented
+/// by depth; a node's stages keep their emission order. The TOTAL footer
+/// sums `sim_secs` in stage-emission order, which reproduces the engine's
+/// `QueryReport::sim_secs` bit-for-bit (same f64 values, same addition
+/// order — see `rapid_qef::trace`).
+fn render_explain(events: &[StageEvent], result: &QueryResult) -> String {
+    use std::fmt::Write;
+    let mut s = String::new();
+    let _ = writeln!(
+        s,
+        "EXPLAIN ANALYZE (site={:?}, {} stages, simulated DPU)",
+        result.site,
+        events.len()
+    );
+    let mut tree: Vec<&StageEvent> = events.iter().collect();
+    tree.sort_by_key(|e| (e.node_id, e.stage_id));
+    for e in &tree {
+        let _ = writeln!(
+            s,
+            "{:indent$}{}  rows={} sim={:.9}s cycles={:.0}c+{:.0}d instr={} \
+             bytes={} dmem_peak={} energy={:.3e}J wall={:.6}s",
+            "",
+            e.operator,
+            e.rows,
+            e.sim_secs,
+            e.compute_cycles,
+            e.dms_cycles,
+            e.instructions,
+            e.dms_bytes,
+            e.dmem_peak_bytes,
+            e.energy_joules,
+            e.wall_secs,
+            indent = e.depth as usize * 2,
+        );
+    }
+    let mut emission: Vec<&StageEvent> = events.iter().collect();
+    emission.sort_by_key(|e| e.stage_id);
+    let total: f64 = emission.iter().map(|e| e.sim_secs).sum();
+    let energy: f64 = emission.iter().map(|e| e.energy_joules).sum();
+    let _ = writeln!(
+        s,
+        "TOTAL simulated: {total:.9}s, {energy:.3e}J (sums bit-exactly to QueryReport)"
+    );
+    let _ = writeln!(s, "host wall (decode + host ops): {:.6}s", result.host_secs);
+    s
+}
+
+/// Best-effort text of a thread panic payload.
+fn panic_message(payload: &(dyn std::any::Any + Send)) -> &str {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        s
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s
+    } else {
+        "non-string panic payload"
     }
 }
 
@@ -830,6 +981,232 @@ mod tests {
             d.execute_sql("SELECT x FROM ghost"),
             Err(DbError::Sql(_))
         ));
+    }
+
+    #[test]
+    fn explain_analyze_reconciles_with_query_report() {
+        let d = db();
+        d.load_into_rapid("sales").unwrap();
+        let a = d
+            .explain_analyze(
+                "EXPLAIN ANALYZE SELECT region, SUM(amount) AS t FROM sales \
+                 GROUP BY region ORDER BY region",
+            )
+            .unwrap();
+        assert_eq!(a.result.site, ExecutionSite::Rapid);
+        assert!(!a.events.is_empty());
+        // Summing the per-stage sim_secs in emission order reproduces the
+        // engine's QueryReport total bit-for-bit — the tentpole invariant.
+        let total: f64 = a.events.iter().map(|e| e.sim_secs).sum();
+        assert_eq!(total.to_bits(), a.result.rapid_secs.to_bits());
+        assert!(a.text.contains("TOTAL simulated"));
+        assert!(
+            a.text.contains("scan(sales)"),
+            "tree names the scan:\n{}",
+            a.text
+        );
+    }
+
+    #[test]
+    fn explain_analyze_via_sql_surface() {
+        let d = db();
+        d.load_into_rapid("sales").unwrap();
+        let r = d
+            .execute_sql("EXPLAIN ANALYZE SELECT region, COUNT(*) AS n FROM sales GROUP BY region")
+            .unwrap();
+        assert_eq!(r.columns, vec!["QUERY PLAN"]);
+        assert!(r
+            .rows
+            .iter()
+            .any(|row| matches!(&row[0], Value::Str(s) if s.contains("TOTAL simulated"))));
+    }
+
+    #[test]
+    fn explain_analyze_host_fallback_has_no_trace() {
+        let d = db(); // nothing loaded into RAPID
+        let a = d
+            .explain_analyze("SELECT region, COUNT(*) AS n FROM sales GROUP BY region")
+            .unwrap();
+        assert_eq!(a.result.site, ExecutionSite::Host);
+        assert!(a.events.is_empty());
+        assert!(a.text.contains("Host"));
+    }
+
+    #[test]
+    fn negative_key_join_round_trips() {
+        // Regression for the radix-partition sign bug: negative i64 join
+        // keys must land in partitions consistently on both sides and
+        // match exactly what the host engine produces.
+        let d = HostDb::new(ExecContext::dpu().with_cores(4));
+        d.create_table(
+            "facts",
+            Schema::new(vec![
+                Field::new("k", DataType::Int),
+                Field::new("v", DataType::Int),
+            ]),
+        );
+        d.create_table(
+            "dims",
+            Schema::new(vec![
+                Field::new("dk", DataType::Int),
+                Field::new("label", DataType::Varchar),
+            ]),
+        );
+        let keys: Vec<i64> = vec![-1_000_000_007, -50, -3, -1, 0, 1, 7, 42, 1_000_003];
+        d.bulk_insert(
+            "facts",
+            keys.iter()
+                .enumerate()
+                .map(|(i, k)| vec![Value::Int(*k), Value::Int(i as i64)]),
+        );
+        d.bulk_insert(
+            "dims",
+            keys.iter()
+                .map(|k| vec![Value::Int(*k), Value::Str(format!("key{k}"))]),
+        );
+        d.load_into_rapid("facts").unwrap();
+        d.load_into_rapid("dims").unwrap();
+        let sql = "SELECT k, label FROM facts JOIN dims ON k = dk ORDER BY k";
+        let plan = parse_sql(sql, &d.schemas()).unwrap();
+        let rapid = d.execute_on_rapid(&plan).unwrap();
+        let host = d.execute_on_host(&plan).unwrap();
+        assert_eq!(rapid.rows.len(), keys.len(), "every negative key matched");
+        assert_eq!(rapid.rows, host.rows);
+    }
+
+    #[test]
+    fn null_group_keys_round_trip_through_sql() {
+        let d = HostDb::new(ExecContext::dpu().with_cores(4));
+        d.create_table(
+            "obs",
+            Schema::new(vec![
+                Field::nullable("g", DataType::Int),
+                Field::new("x", DataType::Int),
+            ]),
+        );
+        d.bulk_insert(
+            "obs",
+            (0..300i64).map(|i| {
+                let g = if i % 5 == 0 {
+                    Value::Null
+                } else {
+                    Value::Int(i % 3)
+                };
+                vec![g, Value::Int(1)]
+            }),
+        );
+        d.load_into_rapid("obs").unwrap();
+        let sql = "SELECT g, COUNT(*) AS n FROM obs GROUP BY g ORDER BY g";
+        let plan = parse_sql(sql, &d.schemas()).unwrap();
+        let rapid = d.execute_on_rapid(&plan).unwrap();
+        let host = d.execute_on_host(&plan).unwrap();
+        assert_eq!(rapid.rows, host.rows, "NULL group keys agree with host");
+        // NULLs form exactly one group alongside the three integer groups.
+        assert_eq!(rapid.rows.len(), 4);
+        assert!(rapid
+            .rows
+            .iter()
+            .any(|r| r[0] == Value::Null && r[1] == Value::Int(60)));
+    }
+
+    #[test]
+    fn null_join_keys_round_trip_through_sql() {
+        let d = HostDb::new(ExecContext::dpu().with_cores(4));
+        d.create_table(
+            "l",
+            Schema::new(vec![
+                Field::nullable("lk", DataType::Int),
+                Field::new("lv", DataType::Int),
+            ]),
+        );
+        d.create_table(
+            "r",
+            Schema::new(vec![
+                Field::nullable("rk", DataType::Int),
+                Field::new("rv", DataType::Int),
+            ]),
+        );
+        // 1/4 of keys NULL on each side; NULL never equals NULL in SQL.
+        d.bulk_insert(
+            "l",
+            (0..200i64).map(|i| {
+                let k = if i % 4 == 0 {
+                    Value::Null
+                } else {
+                    Value::Int(i % 10)
+                };
+                vec![k, Value::Int(i)]
+            }),
+        );
+        d.bulk_insert(
+            "r",
+            (0..40i64).map(|i| {
+                let k = if i % 4 == 1 {
+                    Value::Null
+                } else {
+                    Value::Int(i % 10)
+                };
+                vec![k, Value::Int(i)]
+            }),
+        );
+        d.load_into_rapid("l").unwrap();
+        d.load_into_rapid("r").unwrap();
+        let sql = "SELECT lk, COUNT(*) AS n FROM l JOIN r ON lk = rk GROUP BY lk ORDER BY lk";
+        let plan = parse_sql(sql, &d.schemas()).unwrap();
+        let rapid = d.execute_on_rapid(&plan).unwrap();
+        let host = d.execute_on_host(&plan).unwrap();
+        assert_eq!(rapid.rows, host.rows, "NULL join keys agree with host");
+        assert!(
+            rapid.rows.iter().all(|r| r[0] != Value::Null),
+            "NULL keys never match"
+        );
+    }
+
+    #[test]
+    fn deterministic_batch_traces_are_bit_identical() {
+        // A trace sink installed on the base context is inherited by every
+        // forked per-session engine; in Deterministic dispatch the drained
+        // trace is a pure function of the batch.
+        use rapid_sched::DispatchMode;
+        let run = || {
+            let sink = MemorySink::new();
+            let trace: Arc<dyn TraceSink> = Arc::clone(&sink) as _;
+            let mut d = HostDb::new(ExecContext::dpu().with_cores(4).with_trace(trace));
+            d.create_table(
+                "t",
+                Schema::new(vec![
+                    Field::new("k", DataType::Int),
+                    Field::new("v", DataType::Int),
+                ]),
+            );
+            d.bulk_insert(
+                "t",
+                (0..5_000i64).map(|i| vec![Value::Int(i % 7), Value::Int(i)]),
+            );
+            d.load_into_rapid("t").unwrap();
+            d.force_site = Some(ExecutionSite::Rapid);
+            let queries = vec![
+                BatchQuery::new("SELECT k, SUM(v) AS s FROM t GROUP BY k ORDER BY k"),
+                BatchQuery::new("SELECT COUNT(*) AS n FROM t WHERE v < 1000"),
+                BatchQuery::new("SELECT k, COUNT(*) AS n FROM t GROUP BY k ORDER BY k"),
+            ];
+            let cfg = SchedConfig {
+                mode: DispatchMode::Deterministic,
+                ..SchedConfig::default()
+            };
+            let out = d.execute_batch(&queries, cfg);
+            for r in &out.results {
+                assert!(r.is_ok(), "{r:?}");
+            }
+            sink.take()
+                .iter()
+                .map(|e| e.deterministic_view())
+                .collect::<Vec<_>>()
+        };
+        let a = run();
+        let b = run();
+        assert!(!a.is_empty(), "batch produced trace events");
+        assert_eq!(a, b, "deterministic traces are bit-identical");
     }
 
     #[test]

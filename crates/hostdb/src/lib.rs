@@ -32,6 +32,6 @@ pub mod store;
 pub mod valmath;
 pub mod volcano;
 
-pub use db::{BatchOutcome, BatchQuery, ExecutionSite, HostDb, QueryResult};
-pub use sql::parse_sql;
+pub use db::{BatchOutcome, BatchQuery, ExecutionSite, ExplainAnalysis, HostDb, QueryResult};
+pub use sql::{parse_sql, strip_explain_analyze};
 pub use store::{HostTable, RowStore};

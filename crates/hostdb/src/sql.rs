@@ -821,6 +821,27 @@ pub fn parse_sql(
     plan(stmt, table_columns)
 }
 
+/// Strip a leading `EXPLAIN ANALYZE` prefix (case-insensitive), returning
+/// the statement to instrument, or `None` when the prefix is absent.
+/// `EXPLAIN` without `ANALYZE` is not recognised — the engine only renders
+/// executed plans (there is no cost-only explain surface).
+pub fn strip_explain_analyze(sql: &str) -> Option<&str> {
+    let rest = strip_keyword(sql.trim_start(), "EXPLAIN")?;
+    strip_keyword(rest.trim_start(), "ANALYZE")
+}
+
+/// Strip one leading keyword at a word boundary, case-insensitively.
+fn strip_keyword<'a>(s: &'a str, kw: &str) -> Option<&'a str> {
+    if s.len() < kw.len() || !s[..kw.len()].eq_ignore_ascii_case(kw) {
+        return None;
+    }
+    let rest = &s[kw.len()..];
+    match rest.chars().next() {
+        Some(c) if c.is_alphanumeric() || c == '_' => None,
+        _ => Some(rest),
+    }
+}
+
 /// Find a standalone keyword (spaces included in `kw`) outside single
 /// quotes, case-insensitively. Returns the byte offset of the match.
 fn find_keyword_outside_strings(sql: &str, kw: &str) -> Option<usize> {
@@ -981,14 +1002,10 @@ fn plan(
                 Ast::Agg(f, inner) => {
                     let name = alias.clone().unwrap_or_else(|| ast_name(e));
                     let input = match (f, inner.as_ref()) {
-                        (AggFunc::Count, Ast::Star) => {
-                            // COUNT(*): count the first group key or any
-                            // column (non-null assumption on keys).
-                            match stmt.group_by.first() {
-                                Some(g) => to_lexpr(g)?,
-                                None => LExpr::int(1),
-                            }
-                        }
+                        // COUNT(*) counts rows, so its input must never be
+                        // NULL — a literal 1, not a group key (keys can be
+                        // NULL and their group still counts every row).
+                        (AggFunc::Count, Ast::Star) => LExpr::int(1),
                         _ => to_lexpr(inner)?,
                     };
                     aggs.push(LAgg {
@@ -1424,5 +1441,21 @@ mod window_setop_tests {
         m.insert("t".to_string(), vec!["s".to_string()]);
         let p = parse_sql("SELECT s FROM t WHERE s = 'credit union club'", &m).unwrap();
         assert!(matches!(p, LogicalPlan::Project { .. }), "no set-op split");
+    }
+
+    #[test]
+    fn explain_analyze_prefix_strips() {
+        assert_eq!(
+            strip_explain_analyze("EXPLAIN ANALYZE SELECT 1"),
+            Some(" SELECT 1")
+        );
+        assert_eq!(
+            strip_explain_analyze("  explain   Analyze\nSELECT id FROM emp"),
+            Some("\nSELECT id FROM emp")
+        );
+        // EXPLAIN alone, a non-boundary, or no prefix: not recognised.
+        assert_eq!(strip_explain_analyze("EXPLAIN SELECT 1"), None);
+        assert_eq!(strip_explain_analyze("EXPLAINANALYZE SELECT 1"), None);
+        assert_eq!(strip_explain_analyze("SELECT 'EXPLAIN ANALYZE'"), None);
     }
 }

@@ -3,13 +3,15 @@
 //!
 //! * `+`/`-` unify scales to the max,
 //! * `*` adds scales,
-//! * `/` first truncates both operands to scale ≤ 2, then divides at
-//!   `max(6, sa - sb)` fractional digits (integer division),
+//! * `/` first reduces both operands to scale ≤ 2, then divides at
+//!   `max(6, sa - sb)` fractional digits; every division rounds half away
+//!   from zero (standard SQL numeric rounding, shared with the QEF's
+//!   [`div_round_half_away`] so both engines agree on negative operands),
 //! * comparisons align scales exactly (via i128, no rounding).
 
 use rapid_storage::types::{pow10, Value};
 
-use rapid_qef::primitives::arith::ArithOp;
+use rapid_qef::primitives::arith::{div_round_half_away, ArithOp};
 use rapid_qef::primitives::filter::CmpOp;
 
 /// Errors from value arithmetic.
@@ -68,7 +70,12 @@ fn downscale(v: (i64, u8), max_scale: u8) -> (i64, u8) {
     if v.1 <= max_scale {
         v
     } else {
-        (v.0 / pow10(v.1 - max_scale).unwrap_or(1), max_scale)
+        let p = pow10(v.1 - max_scale).unwrap_or(1);
+        // Dividing by a positive power of ten cannot leave i64.
+        (
+            div_round_half_away(v.0, p).expect("downscale fits"),
+            max_scale,
+        )
     }
 }
 
@@ -93,7 +100,7 @@ pub fn arith(op: ArithOp, a: &Value, b: &Value) -> Result<Value, MathError> {
             Ok(make(na.0.checked_mul(nb.0).ok_or(MathError::Overflow)?, s))
         }
         ArithOp::Div => {
-            // Mirror the compiler: truncate operands to scale ≤ 2, then
+            // Mirror the compiler: reduce operands to scale ≤ 2, then
             // out_scale = max(6, sa - sb) with dividend pre-scaling.
             let (ua, sa) = downscale(na, 2);
             let (ub, sb) = downscale(nb, 2);
@@ -105,7 +112,10 @@ pub fn arith(op: ArithOp, a: &Value, b: &Value) -> Result<Value, MathError> {
             let dividend = ua
                 .checked_mul(pow10(k).ok_or(MathError::Overflow)?)
                 .ok_or(MathError::Overflow)?;
-            Ok(make(dividend / ub, out_scale))
+            Ok(make(
+                div_round_half_away(dividend, ub).ok_or(MathError::Overflow)?,
+                out_scale,
+            ))
         }
     }
 }
@@ -162,6 +172,7 @@ pub fn order_by_cmp(a: &Value, b: &Value, desc: bool) -> std::cmp::Ordering {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use proptest::prelude::*;
 
     fn dec(u: i64, s: u8) -> Value {
         Value::Decimal {
@@ -203,6 +214,68 @@ mod tests {
             arith(ArithOp::Div, &dec(123_456, 6), &Value::Int(1)).unwrap(),
             dec(120_000, 6)
         );
+    }
+
+    #[test]
+    fn div_rounds_half_away_from_zero() {
+        // -1.00 / 3 = -0.333333... -> -0.333333 (nearest), symmetric with
+        // the positive case (truncation used to give -0.333333 too, but
+        // -2.00 / 3 exposes it).
+        assert_eq!(
+            arith(ArithOp::Div, &dec(-100, 2), &Value::Int(3)).unwrap(),
+            dec(-333_333, 6)
+        );
+        // -2 / 3 = -0.666666... -> -0.666667, not the truncated -0.666666.
+        assert_eq!(
+            arith(ArithOp::Div, &Value::Int(-2), &Value::Int(3)).unwrap(),
+            dec(-666_667, 6)
+        );
+        assert_eq!(
+            arith(ArithOp::Div, &Value::Int(2), &Value::Int(3)).unwrap(),
+            dec(666_667, 6)
+        );
+        // Ties round away from zero, also in the scale-reduction step:
+        // 0.125 -> 0.13 at scale 2.
+        assert_eq!(
+            arith(ArithOp::Div, &dec(125, 3), &Value::Int(1)).unwrap(),
+            dec(130_000, 6)
+        );
+        assert_eq!(
+            arith(ArithOp::Div, &dec(-125, 3), &Value::Int(1)).unwrap(),
+            dec(-130_000, 6)
+        );
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig { cases: 64 })]
+        #[test]
+        fn div_matches_i128_oracle_including_negatives(
+            a in -1_000_000_000i64..1_000_000_000,
+            sa in 0u8..3,
+            b in 1i64..1_000_000,
+            sb in 0u8..3,
+            bneg in 0i32..2,
+        ) {
+            // Operands at scale ≤ 2 skip the reduction step, so the result
+            // mantissa must equal the i128 half-away-from-zero rounding of
+            // (a·10^k) / b, computed here by the independent magnitude
+            // formula round_half_up(|x|/|y|) = (2|x| + |y|) / (2|y|).
+            let b = if bneg == 1 { -b } else { b };
+            let out_scale = 6u8.max(sa.saturating_sub(sb));
+            let k = (out_scale + sb - sa) as u32;
+            let x = a as i128 * 10i128.pow(k);
+            let y = b as i128;
+            let sign = if (x < 0) != (y < 0) { -1i128 } else { 1 };
+            let expect = sign * ((2 * x.abs() + y.abs()) / (2 * y.abs()));
+            let got = arith(ArithOp::Div, &dec(a, sa), &dec(b, sb)).unwrap();
+            let (mantissa, scale) = match got {
+                Value::Decimal { unscaled, scale } => (unscaled, scale),
+                Value::Int(v) => (v, 0),
+                other => panic!("unexpected {other:?}"),
+            };
+            assert_eq!(scale, out_scale);
+            assert_eq!(mantissa as i128, expect);
+        }
     }
 
     #[test]

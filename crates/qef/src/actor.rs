@@ -21,7 +21,7 @@
 
 use std::time::{Duration, Instant};
 
-use dpu_sim::account::CycleAccount;
+use dpu_sim::account::{Counters, CycleAccount};
 use dpu_sim::clock::{Cycles, SimTime};
 
 use crate::error::{QefError, QefResult};
@@ -38,10 +38,13 @@ pub struct StageTiming {
     pub max_compute: Cycles,
     /// Total DMS cycles (Dpu).
     pub dms_total: Cycles,
-    /// Branches / mispredicts across cores (Dpu; for Figure 13).
-    pub branches: u64,
-    /// Mispredicted branches across cores.
-    pub mispredicts: u64,
+    /// Operation counters merged across cores (Dpu; branches feed
+    /// Figure 13, the rest the tracing subsystem).
+    pub counters: Counters,
+    /// Lanes the stage ran with: `min(cores, items)`, at least 1.
+    pub parallelism: usize,
+    /// Max per-core DMEM high-water mark in bytes (Dpu).
+    pub dmem_peak: u64,
 }
 
 impl StageTiming {
@@ -124,9 +127,10 @@ where
         max_elapsed = max_elapsed.max(core.account.elapsed_cycles());
         timing.max_compute = timing.max_compute.max(core.account.compute_cycles());
         timing.dms_total += core.account.dms_cycles();
-        timing.branches += core.account.counters().branches;
-        timing.mispredicts += core.account.counters().branch_mispredicts;
+        timing.counters = timing.counters.merged(core.account.counters());
+        timing.dmem_peak = timing.dmem_peak.max(core.dmem.peak() as u64);
     }
+    timing.parallelism = cores.min(n).max(1);
     match (&ctx.router, n) {
         (Some(router), n) if n > 0 => {
             let profile = StageProfile {
@@ -184,7 +188,15 @@ where
             .collect();
         handles
             .into_iter()
-            .map(|h| h.join().expect("actor panicked"))
+            .map(|h| match h.join() {
+                Ok(r) => r,
+                // A panicking actor fails its own query instead of tearing
+                // down the process (and, under execute_batch, its siblings).
+                Err(payload) => Err(QefError::Internal(format!(
+                    "actor panicked: {}",
+                    panic_message(&*payload)
+                ))),
+            })
             .collect()
     });
     let mut results: Vec<Option<R>> = Vec::new();
@@ -198,6 +210,7 @@ where
     }
     let timing = StageTiming {
         wall: start.elapsed(),
+        parallelism: cores,
         ..Default::default()
     };
     Ok((
@@ -207,6 +220,17 @@ where
             .collect(),
         timing,
     ))
+}
+
+/// Best-effort text of a thread panic payload.
+fn panic_message(payload: &(dyn std::any::Any + Send)) -> &str {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        s
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s
+    } else {
+        "non-string panic payload"
+    }
 }
 
 #[cfg(test)]
@@ -263,6 +287,23 @@ mod tests {
             }
         });
         assert!(r.is_err());
+    }
+
+    #[test]
+    fn native_panics_become_errors() {
+        // A panicking stage closure must fail its own query, not the
+        // process (execute_batch runs sibling queries in the same scope).
+        let ctx = ExecContext::native(2);
+        let r = run_stage(&ctx, vec![1, 2, 3], |_, i| {
+            if i == 2 {
+                panic!("kaboom {i}");
+            }
+            Ok(i)
+        });
+        match r {
+            Err(QefError::Internal(m)) => assert!(m.contains("kaboom"), "{m}"),
+            other => panic!("expected Internal error, got {other:?}"),
+        }
     }
 
     #[test]

@@ -28,6 +28,7 @@ use crate::exec::{Backend, ExecContext};
 use crate::expr::Pred;
 use crate::ops;
 use crate::plan::{Catalog, ColMeta, GroupStrategy, JoinType, PlanNode};
+use crate::trace::{StageEvent, TraceSink};
 use crate::util::next_pow2_at_least;
 
 /// Result rows plus decode metadata.
@@ -69,9 +70,88 @@ impl QueryReport {
         self.sim_secs += t.sim.as_secs();
         self.wall_secs += t.wall.as_secs_f64();
         self.stages += 1;
-        self.branches += t.branches;
-        self.mispredicts += t.mispredicts;
+        self.branches += t.counters.branches;
+        self.mispredicts += t.counters.branch_mispredicts;
     }
+}
+
+/// Tags stage timings with their plan position and forwards them to the
+/// context's trace sink. With no sink installed the cost is one `Option`
+/// test per stage.
+struct Tracer {
+    sink: Option<Arc<dyn TraceSink>>,
+    query_id: u64,
+    watts: f64,
+    stage_seq: u32,
+    node_seq: u32,
+}
+
+impl Tracer {
+    fn new(ctx: &ExecContext) -> Tracer {
+        Tracer {
+            sink: ctx.trace.clone(),
+            query_id: ctx.query_id,
+            watts: dpu_sim::power::PowerModel::dpu().watts,
+            stage_seq: 0,
+            node_seq: 0,
+        }
+    }
+
+    /// Pre-order id for the plan node about to execute.
+    fn enter_node(&mut self) -> u32 {
+        let id = self.node_seq;
+        self.node_seq += 1;
+        id
+    }
+
+    /// Absorb one stage into the report, emitting its trace event.
+    ///
+    /// The event's `sim_secs` is the exact `f64` added to the report and
+    /// events are emitted in absorption order, so summing them reproduces
+    /// `QueryReport::sim_secs` bit-for-bit.
+    fn absorb(
+        &mut self,
+        report: &mut QueryReport,
+        t: &StageTiming,
+        node_id: u32,
+        depth: u32,
+        operator: &str,
+        rows: u64,
+    ) {
+        report.absorb(t);
+        if let Some(sink) = &self.sink {
+            let sim_secs = t.sim.as_secs();
+            let c = t.counters;
+            sink.record(StageEvent {
+                query_id: self.query_id,
+                stage_id: self.stage_seq,
+                node_id,
+                depth,
+                operator: operator.to_string(),
+                parallelism: t.parallelism,
+                rows,
+                sim_secs,
+                compute_cycles: t.max_compute.get(),
+                dms_cycles: t.dms_total.get(),
+                instructions: c.instructions,
+                branches: c.branches,
+                mispredicts: c.branch_mispredicts,
+                dms_bytes: c.dms_bytes,
+                dms_descriptors: c.dms_descriptors,
+                tiles: c.tiles,
+                ate_messages: c.ate_messages,
+                dmem_peak_bytes: t.dmem_peak,
+                energy_joules: self.watts * sim_secs,
+                wall_secs: t.wall.as_secs_f64(),
+            });
+        }
+        self.stage_seq += 1;
+    }
+}
+
+/// Total rows across a stage's output batches.
+fn batch_rows(batches: &[Batch]) -> u64 {
+    batches.iter().map(|b| b.rows() as u64).sum()
 }
 
 /// The RAPID execution engine of one node.
@@ -117,9 +197,14 @@ impl Engine {
     }
 
     /// Execute a plan, returning results and the timing report.
+    ///
+    /// When the context carries a [`TraceSink`], one
+    /// [`StageEvent`](crate::trace::StageEvent) is emitted per executed
+    /// stage; their `sim_secs` sum to the report's exactly.
     pub fn execute(&self, plan: &PlanNode) -> QefResult<(QueryOutput, QueryReport)> {
         let mut report = QueryReport::default();
-        let batches = self.exec_node(plan, &mut report)?;
+        let mut tr = Tracer::new(&self.ctx);
+        let batches = self.exec_node(plan, &mut report, &mut tr, 0)?;
         let meta = plan.output_meta(&self.catalog)?;
         let mut batch = Batch::concat(
             &batches
@@ -136,24 +221,32 @@ impl Engine {
         Ok((QueryOutput { batch, meta }, report))
     }
 
-    fn exec_node(&self, node: &PlanNode, report: &mut QueryReport) -> QefResult<Vec<Batch>> {
+    fn exec_node(
+        &self,
+        node: &PlanNode,
+        report: &mut QueryReport,
+        tr: &mut Tracer,
+        depth: u32,
+    ) -> QefResult<Vec<Batch>> {
+        let nid = tr.enter_node();
         match node {
             PlanNode::Scan {
                 table,
                 columns,
                 pred,
-            } => self.exec_scan(table, columns, pred.as_ref(), report),
+            } => self.exec_scan(table, columns, pred.as_ref(), report, tr, nid, depth),
             PlanNode::Filter { input, pred } => {
-                let batches = self.exec_node(input, report)?;
+                let batches = self.exec_node(input, report, tr, depth + 1)?;
                 let pred = pred.clone();
                 let (out, t) = run_stage(&self.ctx, batches, |core, b| {
                     ops::filter::filter_batch(core, &b, &pred)
                 })?;
-                report.absorb(&t);
-                Ok(out.into_iter().filter(|b| !b.is_empty()).collect())
+                let out: Vec<Batch> = out.into_iter().filter(|b| !b.is_empty()).collect();
+                tr.absorb(report, &t, nid, depth, "filter", batch_rows(&out));
+                Ok(out)
             }
             PlanNode::Map { input, exprs } => {
-                let batches = self.exec_node(input, report)?;
+                let batches = self.exec_node(input, report, tr, depth + 1)?;
                 let exprs = exprs.clone();
                 let (out, t) = run_stage(&self.ctx, batches, |core, b| {
                     let mut cols = Vec::with_capacity(exprs.len());
@@ -163,7 +256,7 @@ impl Engine {
                     core.charge_tile();
                     Ok(Batch::new(cols))
                 })?;
-                report.absorb(&t);
+                tr.absorb(report, &t, nid, depth, "map", batch_rows(&out));
                 Ok(out)
             }
             PlanNode::HashJoin {
@@ -181,15 +274,19 @@ impl Engine {
                 *join_type,
                 scheme.as_deref(),
                 report,
+                tr,
+                nid,
+                depth,
             ),
             PlanNode::GroupBy {
                 input,
                 keys,
                 aggs,
                 strategy,
-            } => self.exec_groupby(input, keys, aggs, *strategy, report),
+            } => self.exec_groupby(input, keys, aggs, *strategy, report, tr, nid, depth),
             PlanNode::TopK { input, order, k } => {
-                let batches = self.exec_node(input, report)?;
+                let batches = self.exec_node(input, report, tr, depth + 1)?;
+                let in_rows = batch_rows(&batches);
                 let order2 = order.clone();
                 let kk = *k;
                 // Per-core top-k over assigned batches.
@@ -198,7 +295,7 @@ impl Engine {
                     acc.consume(core, &b)?;
                     Ok(acc)
                 })?;
-                report.absorb(&t);
+                tr.absorb(report, &t, nid, depth, "topk.consume", in_rows);
                 // Merge on one core.
                 let order3 = order.clone();
                 let (merged, t2) = run_stage(&self.ctx, vec![heaps], move |core, hs| {
@@ -212,38 +309,39 @@ impl Engine {
                     let _ = &order3;
                     Ok(first.finish(core))
                 })?;
-                report.absorb(&t2);
+                tr.absorb(report, &t2, nid, depth, "topk.merge", batch_rows(&merged));
                 Ok(merged)
             }
             PlanNode::Sort { input, order } => {
-                let batches = self.exec_node(input, report)?;
+                let batches = self.exec_node(input, report, tr, depth + 1)?;
+                let in_rows = batch_rows(&batches);
                 let order2 = order.clone();
                 let (sorted, t) = run_stage(&self.ctx, batches, move |core, b| {
                     ops::sort::sort_batch(core, &b, &order2)
                 })?;
-                report.absorb(&t);
+                tr.absorb(report, &t, nid, depth, "sort.local", in_rows);
                 let order3 = order.clone();
                 let (merged, t2) = run_stage(&self.ctx, vec![sorted], move |core, bs| {
                     ops::sort::merge_sorted(core, &bs, &order3)
                 })?;
-                report.absorb(&t2);
+                tr.absorb(report, &t2, nid, depth, "sort.merge", batch_rows(&merged));
                 Ok(merged)
             }
             PlanNode::Limit { input, n } => {
-                let batches = self.exec_node(input, report)?;
+                let batches = self.exec_node(input, report, tr, depth + 1)?;
                 let all = Batch::concat(&batches);
                 let n = (*n).min(all.rows());
                 let rids: Vec<u32> = (0..n as u32).collect();
                 Ok(vec![all.gather(&rids)])
             }
             PlanNode::SetOp { left, right, op } => {
-                let l = self.exec_node(left, report)?;
-                let r = self.exec_node(right, report)?;
+                let l = self.exec_node(left, report, tr, depth + 1)?;
+                let r = self.exec_node(right, report, tr, depth + 1)?;
                 let op = *op;
                 let (out, t) = run_stage(&self.ctx, vec![(l, r)], move |core, (l, r)| {
                     ops::setops::set_op(core, &l, &r, op)
                 })?;
-                report.absorb(&t);
+                tr.absorb(report, &t, nid, depth, "setop", batch_rows(&out));
                 Ok(out)
             }
             PlanNode::Window {
@@ -252,24 +350,28 @@ impl Engine {
                 order_by,
                 func,
             } => {
-                let batches = self.exec_node(input, report)?;
+                let batches = self.exec_node(input, report, tr, depth + 1)?;
                 let all = Batch::concat(&batches);
                 let (pb, ob, f) = (partition_by.clone(), order_by.clone(), *func);
                 let (out, t) = run_stage(&self.ctx, vec![all], move |core, b| {
                     ops::window::window_batch(core, &b, &pb, &ob, f)
                 })?;
-                report.absorb(&t);
+                tr.absorb(report, &t, nid, depth, "window", batch_rows(&out));
                 Ok(out)
             }
         }
     }
 
+    #[allow(clippy::too_many_arguments)]
     fn exec_scan(
         &self,
         table: &str,
         columns: &[usize],
         pred: Option<&Pred>,
         report: &mut QueryReport,
+        tr: &mut Tracer,
+        nid: u32,
+        depth: u32,
     ) -> QefResult<Vec<Batch>> {
         let t = self
             .catalog
@@ -309,8 +411,16 @@ impl Engine {
                 core, chunk, &fr.rows, &cols, tile,
             ))
         })?;
-        report.absorb(&timing);
-        Ok(out.into_iter().filter(|b| !b.is_empty()).collect())
+        let out: Vec<Batch> = out.into_iter().filter(|b| !b.is_empty()).collect();
+        tr.absorb(
+            report,
+            &timing,
+            nid,
+            depth,
+            &format!("scan({table})"),
+            batch_rows(&out),
+        );
+        Ok(out)
     }
 
     #[allow(clippy::too_many_arguments)]
@@ -323,14 +433,18 @@ impl Engine {
         join_type: JoinType,
         scheme: Option<&[usize]>,
         report: &mut QueryReport,
+        tr: &mut Tracer,
+        nid: u32,
+        depth: u32,
     ) -> QefResult<Vec<Batch>> {
         if build_keys.len() != probe_keys.len() || build_keys.is_empty() {
             return Err(QefError::BadPlan("join key arity mismatch".into()));
         }
         let build_meta = build.output_meta(&self.catalog)?;
-        let build_batches = self.exec_node(build, report)?;
-        let probe_batches = self.exec_node(probe, report)?;
+        let build_batches = self.exec_node(build, report, tr, depth + 1)?;
+        let probe_batches = self.exec_node(probe, report, tr, depth + 1)?;
         let build_rows: usize = build_batches.iter().map(Batch::rows).sum();
+        let probe_rows = batch_rows(&probe_batches);
 
         // Partition scheme: from the compiler, or the engine default —
         // enough partitions that each build side fits a DMEM join kernel,
@@ -351,13 +465,20 @@ impl Engine {
         let (bparts, t1) = run_stage(&self.ctx, vec![build_batches], move |core, bs| {
             ops::partition::partition_scheme(core, bs, &bk, &sv, tile)
         })?;
-        report.absorb(&t1);
+        tr.absorb(
+            report,
+            &t1,
+            nid,
+            depth,
+            "join.partition-build",
+            build_rows as u64,
+        );
         let pk = probe_keys.to_vec();
         let sv2 = scheme_vec.clone();
         let (pparts, t2) = run_stage(&self.ctx, vec![probe_batches], move |core, bs| {
             ops::partition::partition_scheme(core, bs, &pk, &sv2, tile)
         })?;
-        report.absorb(&t2);
+        tr.absorb(report, &t2, nid, depth, "join.partition-probe", probe_rows);
         let bparts = bparts.into_iter().next().expect("one item");
         let pparts = pparts.into_iter().next().expect("one item");
 
@@ -381,10 +502,12 @@ impl Engine {
                 0,
             )
         })?;
-        report.absorb(&t3);
-        Ok(joined.into_iter().filter(|b| !b.is_empty()).collect())
+        let joined: Vec<Batch> = joined.into_iter().filter(|b| !b.is_empty()).collect();
+        tr.absorb(report, &t3, nid, depth, "join.pairs", batch_rows(&joined));
+        Ok(joined)
     }
 
+    #[allow(clippy::too_many_arguments)]
     fn exec_groupby(
         &self,
         input: &PlanNode,
@@ -392,8 +515,11 @@ impl Engine {
         aggs: &[crate::plan::AggSpec],
         strategy: GroupStrategy,
         report: &mut QueryReport,
+        tr: &mut Tracer,
+        nid: u32,
+        depth: u32,
     ) -> QefResult<Vec<Batch>> {
-        let batches = self.exec_node(input, report)?;
+        let batches = self.exec_node(input, report, tr, depth + 1)?;
         let limit =
             ops::groupby::on_the_fly_group_limit(self.ctx.dmem_bytes, keys.len(), aggs.len());
 
@@ -428,7 +554,8 @@ impl Engine {
                     t.consume(core, &b, &kk)?;
                     Ok(t)
                 })?;
-                report.absorb(&t);
+                let groups: u64 = tables.iter().map(|t| t.groups() as u64).sum();
+                tr.absorb(report, &t, nid, depth, "groupby.consume", groups);
                 // ...then the merge operator combines the per-core tables
                 // ("working on aggregated data, merge introduces low
                 // overhead").
@@ -442,7 +569,7 @@ impl Engine {
                     }
                     Ok(first.emit(core))
                 })?;
-                report.absorb(&t2);
+                tr.absorb(report, &t2, nid, depth, "groupby.merge", batch_rows(&out));
                 Ok(out)
             }
             GroupStrategy::Partitioned => {
@@ -453,7 +580,7 @@ impl Engine {
                 let (parts, t) = run_stage(&self.ctx, vec![batches], move |core, bs| {
                     ops::partition::partition_scheme(core, bs, &kk, &sv, tile)
                 })?;
-                report.absorb(&t);
+                tr.absorb(report, &t, nid, depth, "groupby.partition", rows as u64);
                 let parts = parts.into_iter().next().expect("one item");
                 let (kk, aa) = (keys.to_vec(), aggs.to_vec());
                 let (out, t2) = run_stage(
@@ -465,8 +592,16 @@ impl Engine {
                         Ok(t.emit(core))
                     },
                 )?;
-                report.absorb(&t2);
-                Ok(out.into_iter().filter(|b| !b.is_empty()).collect())
+                let out: Vec<Batch> = out.into_iter().filter(|b| !b.is_empty()).collect();
+                tr.absorb(
+                    report,
+                    &t2,
+                    nid,
+                    depth,
+                    "groupby.aggregate",
+                    batch_rows(&out),
+                );
+                Ok(out)
             }
         }
     }
@@ -869,6 +1004,65 @@ mod tests {
             "scheme {s:?} leaves partitions too big"
         );
         assert!(s.iter().all(|&f| f <= 1024));
+    }
+
+    #[test]
+    fn trace_events_reconcile_exactly_with_report() {
+        use crate::trace::MemorySink;
+        let sink = MemorySink::new();
+        let e = engine(ExecContext::dpu().with_trace(sink.clone()));
+        let plan = PlanNode::GroupBy {
+            input: Box::new(PlanNode::Filter {
+                input: Box::new(scan(None)),
+                pred: Pred::CmpConst {
+                    col: 0,
+                    op: CmpOp::Lt,
+                    value: 4000,
+                },
+            }),
+            keys: vec![2],
+            aggs: vec![AggSpec {
+                func: AggFunc::Sum,
+                col: 1,
+            }],
+            strategy: GroupStrategy::Partitioned,
+        };
+        let (_, report) = e.execute(&plan).unwrap();
+        let events = sink.take();
+        assert_eq!(events.len(), report.stages);
+        // Exact (bit-level) reconciliation: events carry the same f64s the
+        // report summed, in the same order.
+        let total: f64 = events.iter().map(|e| e.sim_secs).sum();
+        assert_eq!(total.to_bits(), report.sim_secs.to_bits());
+        let branches: u64 = events.iter().map(|e| e.branches).sum();
+        assert_eq!(branches, report.branches);
+        // Stage ids are emission order; node ids are pre-order, so the
+        // deeper scan node has a larger id than its groupby ancestor.
+        for (i, ev) in events.iter().enumerate() {
+            assert_eq!(ev.stage_id, i as u32);
+        }
+        let scan_ev = events.iter().find(|e| e.operator == "scan(t)").unwrap();
+        let group_ev = events
+            .iter()
+            .find(|e| e.operator == "groupby.partition")
+            .unwrap();
+        assert!(scan_ev.node_id > group_ev.node_id);
+        assert_eq!(scan_ev.depth, 2);
+        assert_eq!(group_ev.depth, 0);
+        // A bare scan (its predicate lives in the Filter node above) is
+        // pure DMS traffic; the filter stage retires instructions.
+        assert!(scan_ev.dms_bytes > 0);
+        assert!(scan_ev.energy_joules > 0.0);
+        let filter_ev = events.iter().find(|e| e.operator == "filter").unwrap();
+        assert!(filter_ev.instructions > 0);
+    }
+
+    #[test]
+    fn tracing_is_off_by_default() {
+        let e = engine(ExecContext::dpu());
+        assert!(e.context().trace.is_none());
+        let (_, report) = e.execute(&scan(None)).unwrap();
+        assert!(report.stages >= 1);
     }
 
     #[test]

@@ -17,6 +17,8 @@ use dpu_sim::dmem::Dmem;
 use dpu_sim::dms::engine::{DmsCost, DmsEngine};
 use dpu_sim::isa::{CostModel, KernelCost};
 
+use crate::trace::TraceSink;
+
 /// Which platform the engine models.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum Backend {
@@ -89,6 +91,9 @@ pub struct ExecContext {
     pub router: Option<Arc<dyn StageRouter>>,
     /// Query id stamped into [`StageProfile`]s when a router is installed.
     pub query_id: u64,
+    /// Stage-event sink. `None` (the default) disables tracing: the engine
+    /// then skips event construction, leaving one `Option` test per stage.
+    pub trace: Option<Arc<dyn TraceSink>>,
 }
 
 impl ExecContext {
@@ -103,6 +108,7 @@ impl ExecContext {
             vectorized: true,
             router: None,
             query_id: 0,
+            trace: None,
         }
     }
 
@@ -138,6 +144,13 @@ impl ExecContext {
     pub fn with_router(mut self, router: Arc<dyn StageRouter>, query_id: u64) -> Self {
         self.router = Some(router);
         self.query_id = query_id;
+        self
+    }
+
+    /// Install a stage-event sink; stages executed under this context emit
+    /// one [`crate::trace::StageEvent`] each.
+    pub fn with_trace(mut self, sink: Arc<dyn TraceSink>) -> Self {
+        self.trace = Some(sink);
         self
     }
 

@@ -45,6 +45,7 @@ pub mod ops;
 pub mod plan;
 pub mod primitives;
 pub mod ra;
+pub mod trace;
 pub mod util;
 
 pub use batch::Batch;
@@ -52,3 +53,4 @@ pub use engine::{Engine, QueryOutput, QueryReport};
 pub use error::{QefError, QefResult};
 pub use exec::{Backend, ExecContext, StageAbort, StageProfile, StageRouter};
 pub use plan::PlanNode;
+pub use trace::{MemorySink, StageEvent, TraceSink};

@@ -21,8 +21,26 @@ pub enum ArithOp {
     Sub,
     /// Multiplication (stalls the low-power multiplier).
     Mul,
-    /// Integer division (plans pre-scale the dividend to keep precision).
+    /// Integer division, rounded half away from zero (plans pre-scale the
+    /// dividend to keep precision).
     Div,
+}
+
+/// `a / b` rounded half away from zero — standard SQL numeric rounding, so
+/// negative dividends round symmetrically to positive ones. Widened through
+/// i128 so `i64::MIN / -1` and the remainder comparison cannot overflow;
+/// `None` when the rounded quotient leaves i64. The host engine's decimal
+/// math (`hostdb::valmath`) uses this same function to stay bit-identical.
+pub fn div_round_half_away(a: i64, b: i64) -> Option<i64> {
+    let (a, b) = (a as i128, b as i128);
+    let q = a / b;
+    let r = a % b;
+    let q = if 2 * r.abs() >= b.abs() {
+        q + if (a < 0) != (b < 0) { -1 } else { 1 }
+    } else {
+        q
+    };
+    i64::try_from(q).ok()
 }
 
 fn apply(op: ArithOp, a: i64, b: i64) -> QefResult<i64> {
@@ -34,7 +52,7 @@ fn apply(op: ArithOp, a: i64, b: i64) -> QefResult<i64> {
             if b == 0 {
                 None
             } else {
-                a.checked_div(b)
+                div_round_half_away(a, b)
             }
         }
     };
@@ -188,6 +206,54 @@ mod tests {
         let mut c = ctx();
         let col = Vector::new(ColumnData::I64(vec![5]));
         assert!(arith_const(&mut c, &col, ArithOp::Div, 0).is_err());
+    }
+
+    #[test]
+    fn div_rounds_half_away_from_zero() {
+        let mut c = ctx();
+        let col = Vector::new(ColumnData::I64(vec![7, -7, 5, -5, 6, -6]));
+        assert_eq!(
+            arith_const(&mut c, &col, ArithOp::Div, 2)
+                .unwrap()
+                .data
+                .to_i64_vec(),
+            vec![4, -4, 3, -3, 3, -3],
+            "ties round away from zero, symmetrically for negatives"
+        );
+        assert_eq!(
+            arith_const(&mut c, &col, ArithOp::Div, -2)
+                .unwrap()
+                .data
+                .to_i64_vec(),
+            vec![-4, 4, -3, 3, -3, 3]
+        );
+        // i64::MIN / -1 leaves i64 after widening: an overflow error, not
+        // a panic.
+        let edge = Vector::new(ColumnData::I64(vec![i64::MIN]));
+        assert!(matches!(
+            arith_const(&mut c, &edge, ArithOp::Div, -1),
+            Err(QefError::NumericOverflow(_))
+        ));
+    }
+
+    use proptest::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig { cases: 64 })]
+        #[test]
+        fn div_matches_i128_oracle(
+            a in -1_000_000_000_000i64..1_000_000_000_000,
+            b in 1i64..1_000_000,
+            bneg in 0i32..2,
+        ) {
+            // Independent formulation: round-half-up on magnitudes, sign
+            // reattached — equals round-half-away-from-zero.
+            let b = if bneg == 1 { -b } else { b };
+            let (aa, bb) = ((a as i128).abs(), (b as i128).abs());
+            let sign = if (a < 0) != (b < 0) { -1i128 } else { 1 };
+            let expect = sign * ((2 * aa + bb) / (2 * bb));
+            assert_eq!(div_round_half_away(a, b), Some(expect as i64));
+        }
     }
 
     #[test]

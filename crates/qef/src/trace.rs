@@ -1,0 +1,186 @@
+//! Structured per-stage query tracing.
+//!
+//! The paper's whole evaluation (§7) is a set of per-stage breakdowns —
+//! cycles per operator, DMS bytes moved, energy per query — so the engine
+//! emits one [`StageEvent`] per executed pipeline stage, tagged with the
+//! (query id, stage id, operator, plan node) it belongs to. Events flow to
+//! a pluggable [`TraceSink`]; when no sink is installed the engine skips
+//! event construction entirely, so tracing is a single `Option` test per
+//! *stage* (not per row) when disabled.
+//!
+//! Reconciliation invariant: `sim_secs` of an event is the **identical**
+//! `f64` the engine absorbs into [`QueryReport::sim_secs`], and events are
+//! emitted in absorption order, so summing `sim_secs` over a query's events
+//! reproduces the report total bit-for-bit (f64 addition in the same order).
+//! `EXPLAIN ANALYZE` and the `trace_report` bench binary both lean on this.
+//!
+//! [`QueryReport::sim_secs`]: crate::engine::QueryReport
+
+use std::sync::{Arc, Mutex};
+
+/// One executed pipeline stage, as observed by the engine.
+///
+/// Cycle/counter fields are the merge of the stage's per-core
+/// [`CycleAccount`]s; `sim_secs` is the stage's contribution to the query's
+/// simulated elapsed time (router waiting included when a multi-query
+/// scheduler is installed). On the native backend the simulated fields are
+/// zero and `wall_secs` carries the measurement.
+///
+/// [`CycleAccount`]: dpu_sim::account::CycleAccount
+#[derive(Debug, Clone, PartialEq, Default, serde::Serialize, serde::Deserialize)]
+pub struct StageEvent {
+    /// Query the stage belongs to.
+    pub query_id: u64,
+    /// Stage sequence number within the query (emission order).
+    pub stage_id: u32,
+    /// Plan node the stage implements (pre-order id within the query).
+    pub node_id: u32,
+    /// Depth of that node in the plan tree (root = 0).
+    pub depth: u32,
+    /// Operator label, e.g. `"scan"`, `"join.partition-build"`.
+    pub operator: String,
+    /// Lanes (cores) the stage ran with.
+    pub parallelism: usize,
+    /// Rows produced by the stage (groups for aggregation stages).
+    pub rows: u64,
+    /// Simulated elapsed seconds — the exact value absorbed into the
+    /// query's `QueryReport`.
+    pub sim_secs: f64,
+    /// Max per-core compute cycles.
+    pub compute_cycles: f64,
+    /// Total DMS cycles across cores.
+    pub dms_cycles: f64,
+    /// Instructions retired across cores.
+    pub instructions: u64,
+    /// Branches executed across cores.
+    pub branches: u64,
+    /// Branches mispredicted across cores.
+    pub mispredicts: u64,
+    /// Bytes moved by DMS descriptor programs.
+    pub dms_bytes: u64,
+    /// DMS descriptors executed.
+    pub dms_descriptors: u64,
+    /// Tiles processed by operator control loops.
+    pub tiles: u64,
+    /// ATE messages sent.
+    pub ate_messages: u64,
+    /// Max per-core DMEM high-water mark in bytes.
+    pub dmem_peak_bytes: u64,
+    /// Energy at the DPU's provisioned power over `sim_secs`, in joules.
+    pub energy_joules: f64,
+    /// Host wall-clock seconds (native backend; 0 on the DPU).
+    pub wall_secs: f64,
+}
+
+impl StageEvent {
+    /// The event with host-side wall-clock zeroed — the deterministic
+    /// portion compared bit-for-bit across runs in baton dispatch mode.
+    pub fn deterministic_view(&self) -> StageEvent {
+        StageEvent {
+            wall_secs: 0.0,
+            ..self.clone()
+        }
+    }
+}
+
+/// Receives stage events. Implementations must tolerate concurrent calls —
+/// sessions of a multi-query batch trace into one sink from their own
+/// threads.
+pub trait TraceSink: Send + Sync + std::fmt::Debug {
+    /// Record one completed stage.
+    fn record(&self, event: StageEvent);
+}
+
+/// A sink that buffers events in memory, for `EXPLAIN ANALYZE`, tests, and
+/// the `trace_report` binary.
+#[derive(Debug, Default)]
+pub struct MemorySink {
+    events: Mutex<Vec<StageEvent>>,
+}
+
+impl MemorySink {
+    /// A fresh shared sink.
+    pub fn new() -> Arc<Self> {
+        Arc::new(Self::default())
+    }
+
+    /// Drain all buffered events in canonical order: sorted by
+    /// (query_id, stage_id). Within a query, stage ids follow emission
+    /// order, so per-query event order is exactly absorption order; the
+    /// sort only makes the interleaving of concurrent queries canonical.
+    pub fn take(&self) -> Vec<StageEvent> {
+        let mut events = std::mem::take(&mut *self.lock());
+        events.sort_by_key(|e| (e.query_id, e.stage_id));
+        events
+    }
+
+    /// Number of events buffered so far.
+    pub fn len(&self) -> usize {
+        self.lock().len()
+    }
+
+    /// Whether no events have been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.lock().is_empty()
+    }
+
+    fn lock(&self) -> std::sync::MutexGuard<'_, Vec<StageEvent>> {
+        // A panicking session must not wedge tracing for the others.
+        self.events.lock().unwrap_or_else(|e| e.into_inner())
+    }
+}
+
+impl TraceSink for MemorySink {
+    fn record(&self, event: StageEvent) {
+        self.lock().push(event);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ev(query_id: u64, stage_id: u32) -> StageEvent {
+        StageEvent {
+            query_id,
+            stage_id,
+            operator: "scan".into(),
+            sim_secs: 1e-6,
+            wall_secs: 0.125,
+            ..Default::default()
+        }
+    }
+
+    #[test]
+    fn memory_sink_drains_in_canonical_order() {
+        let sink = MemorySink::new();
+        sink.record(ev(2, 0));
+        sink.record(ev(1, 1));
+        sink.record(ev(1, 0));
+        assert_eq!(sink.len(), 3);
+        let order: Vec<_> = sink
+            .take()
+            .iter()
+            .map(|e| (e.query_id, e.stage_id))
+            .collect();
+        assert_eq!(order, vec![(1, 0), (1, 1), (2, 0)]);
+        assert!(sink.is_empty());
+    }
+
+    #[test]
+    fn deterministic_view_zeroes_only_wall_clock() {
+        let e = ev(1, 0);
+        let d = e.deterministic_view();
+        assert_eq!(d.wall_secs, 0.0);
+        assert_eq!(d.sim_secs, e.sim_secs);
+        assert_eq!(d.operator, e.operator);
+    }
+
+    #[test]
+    fn events_round_trip_through_json() {
+        let e = ev(7, 3);
+        let json = serde_json::to_string(&e).unwrap();
+        let back: StageEvent = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, e);
+    }
+}

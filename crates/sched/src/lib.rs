@@ -41,4 +41,6 @@ pub mod scheduler;
 pub mod timeline;
 
 pub use scheduler::{QueryHandle, QueryStats, SchedConfig, SchedError, SchedReport, Scheduler};
-pub use timeline::{DispatchMode, DpuTimeline, Placement, Utilization};
+pub use timeline::{
+    DispatchMode, DpuTimeline, Placement, PlacementRecord, Utilization, UtilizationSample,
+};

@@ -260,6 +260,19 @@ impl Scheduler {
         }
     }
 
+    /// Whole-DPU core/DMS occupancy over `buckets` equal slices of the
+    /// timeline so far. Bucket sums reproduce the aggregate busy cycles
+    /// exactly; empty when nothing has been placed.
+    pub fn utilization_series(&self, buckets: usize) -> Vec<crate::timeline::UtilizationSample> {
+        self.lock().timeline.utilization_series(buckets)
+    }
+
+    /// Every stage placement so far, tagged with its query id — the raw
+    /// series behind [`Scheduler::utilization_series`].
+    pub fn placements(&self) -> Vec<crate::timeline::PlacementRecord> {
+        self.lock().timeline.placements().to_vec()
+    }
+
     fn lock(&self) -> MutexGuard<'_, Inner> {
         self.inner.lock().unwrap_or_else(|e| e.into_inner())
     }
@@ -743,5 +756,75 @@ mod tests {
             ((), s.report().utilization.makespan.as_secs())
         };
         assert!(mk <= serial, "concurrent makespan {mk} vs serial {serial}");
+    }
+
+    #[test]
+    fn panicking_session_leaves_scheduler_serving_others() {
+        // A query whose stage closure panics must fail alone: unwinding
+        // drops its QueryHandle (releasing the admission slot) and every
+        // other session keeps running to completion.
+        let s = Arc::new(Scheduler::new(cfg(DispatchMode::WorkStealing, 2, 8)));
+        let outcomes: Vec<_> = std::thread::scope(|scope| {
+            let joins: Vec<_> = (0..4)
+                .map(|i| {
+                    let s = Arc::clone(&s);
+                    scope.spawn(move || {
+                        let h = s.submit(0, None).unwrap();
+                        h.await_admission().unwrap();
+                        s.route_stage(&stage(h.id(), 1, vec![compute_item(100.0)]))
+                            .unwrap();
+                        if i == 1 {
+                            panic!("session {i} dies mid-query");
+                        }
+                        s.route_stage(&stage(h.id(), 1, vec![dms_item(40.0)]))
+                            .unwrap();
+                        h.finish();
+                    })
+                })
+                .collect();
+            joins.into_iter().map(|j| j.join()).collect()
+        });
+        assert_eq!(outcomes.iter().filter(|o| o.is_err()).count(), 1);
+        let r = s.report();
+        assert_eq!(r.queries.len(), 4, "panicked query retired too");
+        assert_eq!(
+            r.queries.iter().filter(|q| q.stages == 2).count(),
+            3,
+            "survivors placed both their stages"
+        );
+        // The scheduler still serves fresh queries afterwards.
+        let h = s.submit(0, None).unwrap();
+        h.await_admission().unwrap();
+        s.route_stage(&stage(h.id(), 1, vec![compute_item(10.0)]))
+            .unwrap();
+        h.finish();
+        assert_eq!(s.report().queries.len(), 5);
+    }
+
+    #[test]
+    fn utilization_series_exposed_through_scheduler() {
+        let s = Arc::new(Scheduler::new(cfg(DispatchMode::WorkStealing, 2, 4)));
+        for _ in 0..2 {
+            let h = s.submit(0, None).unwrap();
+            h.await_admission().unwrap();
+            s.route_stage(&stage(
+                h.id(),
+                2,
+                vec![compute_item(500.0), dms_item(100.0)],
+            ))
+            .unwrap();
+            h.finish();
+        }
+        let placements = s.placements();
+        assert_eq!(placements.len(), 2);
+        assert!(placements.iter().any(|p| p.query_id == 0));
+        assert!(placements.iter().any(|p| p.query_id == 1));
+        let series = s.utilization_series(8);
+        assert_eq!(series.len(), 8);
+        assert!(series
+            .iter()
+            .all(|b| (0.0..=1.0).contains(&b.core_busy_frac)
+                && (0.0..=1.0).contains(&b.dms_busy_frac)));
+        assert!(series.iter().any(|b| b.core_busy_frac > 0.0));
     }
 }

@@ -48,6 +48,39 @@ pub struct Placement {
     pub duration: Cycles,
 }
 
+/// Retained record of one placed stage, tagged with its query — the
+/// scheduler-side aggregation of the engine's stage trace, and the basis of
+/// [`DpuTimeline::utilization_series`].
+#[derive(Debug, Clone, Copy)]
+pub struct PlacementRecord {
+    /// Query the stage belongs to.
+    pub query_id: u64,
+    /// Simulated instant the stage's cores start.
+    pub start: Cycles,
+    /// Simulated instant the stage completes.
+    pub end: Cycles,
+    /// Cores the stage gang-scheduled.
+    pub lanes: usize,
+    /// Core-busy cycles across the stage's lanes.
+    pub core_busy: Cycles,
+    /// DMS cycles the stage queued on the shared engine.
+    pub dms: Cycles,
+}
+
+/// One bucket of the whole-DPU utilization series.
+#[derive(Debug, Clone, Copy)]
+pub struct UtilizationSample {
+    /// Bucket start instant.
+    pub start: Cycles,
+    /// Bucket end instant.
+    pub end: Cycles,
+    /// Core-busy cycles landing in the bucket over `cores × bucket width`,
+    /// in [0, 1].
+    pub core_busy_frac: f64,
+    /// DMS cycles landing in the bucket over the bucket width, in [0, 1].
+    pub dms_busy_frac: f64,
+}
+
 /// Utilization and energy summary of everything placed so far.
 #[derive(Debug, Clone, Copy)]
 pub struct Utilization {
@@ -80,6 +113,8 @@ pub struct DpuTimeline {
     makespan: Cycles,
     /// Stages placed.
     stages: usize,
+    /// Every placement, in placement order, tagged with its query.
+    history: Vec<PlacementRecord>,
 }
 
 impl DpuTimeline {
@@ -93,6 +128,7 @@ impl DpuTimeline {
             dms_busy: Cycles::ZERO,
             makespan: Cycles::ZERO,
             stages: 0,
+            history: Vec::new(),
         }
     }
 
@@ -157,9 +193,11 @@ impl DpuTimeline {
         let span = max_lane.max(dms_delay + dms_total);
         let end = start + span;
 
+        let mut stage_busy = Cycles::ZERO;
         for (lane, &c) in lanes.iter().zip(granted) {
             self.core_busy[c] += lane.elapsed_cycles();
             self.core_free[c] = end;
+            stage_busy += lane.elapsed_cycles();
         }
         if dms_total.get() > 0.0 {
             self.dms_free = start + dms_delay + dms_total;
@@ -167,6 +205,14 @@ impl DpuTimeline {
         }
         self.makespan = self.makespan.max(end);
         self.stages += 1;
+        self.history.push(PlacementRecord {
+            query_id: profile.query_id,
+            start,
+            end,
+            lanes: k,
+            core_busy: stage_busy,
+            dms: dms_total,
+        });
 
         // Observed duration = wait for cores + the stage span; for a query
         // alone this is exactly `max(max-core-compute, Σ DMS)`.
@@ -175,6 +221,59 @@ impl DpuTimeline {
             end,
             duration: (start - ready) + span,
         }
+    }
+
+    /// Every placement so far, in placement order.
+    pub fn placements(&self) -> &[PlacementRecord] {
+        &self.history
+    }
+
+    /// Whole-DPU utilization over simulated time, as `buckets` equal-width
+    /// samples spanning the makespan. Each placement's core-busy and DMS
+    /// cycles are spread uniformly over its `[start, end)` span (the
+    /// timeline does not retain sub-stage scheduling), so bucket fractions
+    /// are an approximation but their totals are exact: summed over all
+    /// buckets they reproduce the aggregate [`Utilization`] figures.
+    pub fn utilization_series(&self, buckets: usize) -> Vec<UtilizationSample> {
+        let buckets = buckets.max(1);
+        let span = self.makespan.get();
+        if span <= 0.0 {
+            return Vec::new();
+        }
+        let width = span / buckets as f64;
+        let cores = self.core_free.len() as f64;
+        let mut core_cycles = vec![0.0f64; buckets];
+        let mut dms_cycles = vec![0.0f64; buckets];
+        for rec in &self.history {
+            let (s, e) = (rec.start.get(), rec.end.get());
+            if e <= s {
+                continue;
+            }
+            let density = 1.0 / (e - s);
+            let first = ((s / width) as usize).min(buckets - 1);
+            let last = ((e / width).ceil() as usize).clamp(first + 1, buckets);
+            for (b, (cc, dc)) in core_cycles
+                .iter_mut()
+                .zip(&mut dms_cycles)
+                .enumerate()
+                .take(last)
+                .skip(first)
+            {
+                let lo = (b as f64 * width).max(s);
+                let hi = ((b + 1) as f64 * width).min(e);
+                let frac = (hi - lo).max(0.0) * density;
+                *cc += rec.core_busy.get() * frac;
+                *dc += rec.dms.get() * frac;
+            }
+        }
+        (0..buckets)
+            .map(|b| UtilizationSample {
+                start: Cycles(b as f64 * width),
+                end: Cycles((b + 1) as f64 * width),
+                core_busy_frac: core_cycles[b] / (cores * width),
+                dms_busy_frac: dms_cycles[b] / width,
+            })
+            .collect()
     }
 
     /// Utilization and energy over everything placed so far.
@@ -366,6 +465,71 @@ mod tests {
         );
         assert_eq!(det.duration, Cycles(4000.0));
         assert_eq!(steal.duration, Cycles(2020.0));
+    }
+
+    #[test]
+    fn placements_are_tagged_with_their_query() {
+        let mut tl = DpuTimeline::new(4);
+        tl.place(
+            Cycles::ZERO,
+            &profile(7, 2, vec![compute_item(1000.0), dms_item(100.0)]),
+            DispatchMode::Deterministic,
+        );
+        tl.place(
+            Cycles::ZERO,
+            &profile(9, 1, vec![compute_item(500.0)]),
+            DispatchMode::Deterministic,
+        );
+        let recs = tl.placements();
+        assert_eq!(recs.len(), 2);
+        assert_eq!(recs[0].query_id, 7);
+        assert_eq!(recs[0].lanes, 2);
+        assert_eq!(recs[0].dms, Cycles(100.0));
+        assert_eq!(recs[1].query_id, 9);
+        assert_eq!(recs[1].core_busy, Cycles(500.0));
+    }
+
+    #[test]
+    fn utilization_series_totals_match_aggregate() {
+        let mut tl = DpuTimeline::new(4);
+        tl.place(
+            Cycles::ZERO,
+            &profile(
+                1,
+                2,
+                vec![
+                    compute_item(1000.0),
+                    compute_item(600.0),
+                    dms_item(100.0),
+                    dms_item(100.0),
+                ],
+            ),
+            DispatchMode::Deterministic,
+        );
+        tl.place(
+            Cycles::ZERO,
+            &profile(2, 4, vec![compute_item(400.0); 4]),
+            DispatchMode::Deterministic,
+        );
+        let series = tl.utilization_series(8);
+        assert_eq!(series.len(), 8);
+        let width = tl.makespan().get() / 8.0;
+        let core_total: f64 = series.iter().map(|s| s.core_busy_frac * 4.0 * width).sum();
+        let dms_total: f64 = series.iter().map(|s| s.dms_busy_frac * width).sum();
+        let busy_expect: f64 = tl.placements().iter().map(|r| r.core_busy.get()).sum();
+        let dms_expect: f64 = tl.placements().iter().map(|r| r.dms.get()).sum();
+        assert!((core_total - busy_expect).abs() < 1e-6, "{core_total}");
+        assert!((dms_total - dms_expect).abs() < 1e-6, "{dms_total}");
+        // Every bucket fraction is a valid occupancy.
+        for s in &series {
+            assert!((0.0..=1.0 + 1e-9).contains(&s.core_busy_frac));
+        }
+    }
+
+    #[test]
+    fn utilization_series_empty_timeline() {
+        let tl = DpuTimeline::new(4);
+        assert!(tl.utilization_series(8).is_empty());
     }
 
     #[test]
