@@ -19,6 +19,9 @@ cargo test -q
 echo "== cargo test --doc =="
 cargo test -q --workspace --doc
 
+echo "== differential fuzz smoke (200 queries, fixed seed) + corpus replay =="
+FUZZ_QUERIES=200 cargo test -q --release --test differential_fuzz
+
 echo "== trace_report smoke (sf 0.01) =="
 cargo run -q --release -p rapid-bench --bin trace_report -- --sf 0.01 --query Q6 > /dev/null
 

@@ -1,0 +1,110 @@
+//! The replay corpus: minimized divergence repros committed to the repo.
+//!
+//! Every divergence the fuzzer ever found lives on as a JSON file under
+//! `fuzz/corpus/` (repo root) pairing the minimized SQL with the exact
+//! table data that triggered it. Corpus entries replay as ordinary tests:
+//! each must execute with **no** divergence, pinning the fix forever. The
+//! files are deliberately human-readable — a repro should be debuggable
+//! with an editor, not a debugger.
+
+use std::fs;
+use std::path::{Path, PathBuf};
+
+use serde::{Deserialize, Serialize};
+
+use crate::datagen::TableSpec;
+
+/// One committed repro.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct CorpusEntry {
+    /// Stable identifier (also the file stem).
+    pub name: String,
+    /// What divergence this pinned, and the fix that resolved it.
+    pub note: String,
+    /// Generator seed that first produced the divergence, if it came from
+    /// the fuzzer (hand-written regressions use `None`).
+    pub seed: Option<u64>,
+    /// The minimized SQL.
+    pub sql: String,
+    /// The minimized tables.
+    pub tables: Vec<TableSpec>,
+}
+
+/// `fuzz/corpus` at the repository root.
+pub fn corpus_dir() -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR")).join("../../fuzz/corpus")
+}
+
+/// Load every `*.json` entry, sorted by file name.
+pub fn load_all(dir: &Path) -> Vec<(PathBuf, CorpusEntry)> {
+    let mut paths: Vec<PathBuf> = match fs::read_dir(dir) {
+        Ok(rd) => rd
+            .filter_map(|e| e.ok())
+            .map(|e| e.path())
+            .filter(|p| p.extension().is_some_and(|x| x == "json"))
+            .collect(),
+        Err(_) => Vec::new(),
+    };
+    paths.sort();
+    paths
+        .into_iter()
+        .map(|p| {
+            let text = fs::read_to_string(&p).unwrap_or_else(|e| panic!("read {p:?}: {e}"));
+            let entry: CorpusEntry = serde_json::from_str(&text)
+                .unwrap_or_else(|e| panic!("corpus entry {p:?} is not valid JSON: {e}"));
+            (p, entry)
+        })
+        .collect()
+}
+
+/// Write an entry as `<dir>/<name>.json` (trailing newline so the
+/// committed file is diff-friendly).
+pub fn save(dir: &Path, entry: &CorpusEntry) -> PathBuf {
+    fs::create_dir_all(dir).expect("create corpus dir");
+    let path = dir.join(format!("{}.json", entry.name));
+    let mut text = serde_json::to_string(entry).expect("serialize corpus entry");
+    text.push('\n');
+    fs::write(&path, text).unwrap_or_else(|e| panic!("write {path:?}: {e}"));
+    path
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::datagen::ColumnSpec;
+    use rapid_storage::types::{DataType, Value};
+
+    #[test]
+    fn round_trips_through_json() {
+        let entry = CorpusEntry {
+            name: "x".into(),
+            note: "n".into(),
+            seed: Some(7),
+            sql: "SELECT ta_id AS c0 FROM ta".into(),
+            tables: vec![TableSpec {
+                name: "ta".into(),
+                columns: vec![
+                    ColumnSpec {
+                        name: "ta_id".into(),
+                        dtype: DataType::Int,
+                    },
+                    ColumnSpec {
+                        name: "ta_b".into(),
+                        dtype: DataType::Decimal { scale: 2 },
+                    },
+                ],
+                rows: vec![vec![
+                    Value::Int(i64::MIN),
+                    Value::Decimal {
+                        unscaled: -150,
+                        scale: 2,
+                    },
+                ]],
+            }],
+        };
+        let text = serde_json::to_string(&entry).unwrap();
+        let back: CorpusEntry = serde_json::from_str(&text).unwrap();
+        assert_eq!(back.sql, entry.sql);
+        assert_eq!(back.tables[0].rows, entry.tables[0].rows);
+    }
+}

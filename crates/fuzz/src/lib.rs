@@ -1,0 +1,148 @@
+//! Differential SQL fuzzing for the three RAPID engines.
+//!
+//! The fuzzer generates seeded random tables ([`datagen`]) and queries
+//! ([`querygen`]), executes each query on the host Volcano executor, on
+//! RAPID over the simulated DPU, and on RAPID-software over native
+//! threads ([`runner`]), and compares canonicalized results. Divergent
+//! cases are greedily minimized ([`shrink`]) and committed as replayable
+//! JSON repros ([`corpus`]).
+//!
+//! Everything is deterministic per seed: a CI failure line contains the
+//! case seed, and `fuzz_one(seed)` reproduces the exact tables and SQL.
+
+pub mod corpus;
+pub mod datagen;
+pub mod querygen;
+pub mod rng;
+pub mod runner;
+pub mod shrink;
+
+use rapid_storage::types::Value;
+
+use crate::rng::Rng;
+use crate::runner::run_sql;
+use crate::shrink::FuzzCase;
+
+/// Canonical result form shared by the differential tests and the fuzzer:
+/// every value rendered with numeric normalization (`1.50 == 1.5 == 3/2`),
+/// then the rows sorted — immune to cross-engine row-order and scale
+/// representation differences.
+pub fn canonical(rows: &[Vec<Value>]) -> Vec<Vec<String>> {
+    let mut out: Vec<Vec<String>> = rows
+        .iter()
+        .map(|r| {
+            r.iter()
+                .map(|v| match v {
+                    Value::Null => "NULL".to_string(),
+                    Value::Str(s) => format!("s:{s}"),
+                    other => {
+                        let f = other.to_f64().expect("numeric");
+                        format!("n:{:.6}", f)
+                    }
+                })
+                .collect()
+        })
+        .collect();
+    out.sort();
+    out
+}
+
+/// One executed case and what happened to it.
+pub struct CaseReport {
+    /// The case seed (reproduce with [`fuzz_one`]).
+    pub seed: u64,
+    /// The generated case.
+    pub case: FuzzCase,
+    /// `Err(reason)` when the case never reached the engines (skip),
+    /// `Ok(Some(detail))` on divergence, `Ok(None)` on agreement.
+    pub outcome: Result<Option<String>, String>,
+}
+
+/// Generate and execute the case for one seed.
+pub fn fuzz_one(seed: u64) -> CaseReport {
+    let mut rng = Rng::new(seed);
+    let tables = datagen::gen_tables(&mut rng);
+    let query = querygen::gen_query(&mut rng);
+    let case = FuzzCase { tables, query };
+    let outcome = run_sql(&case.tables, &case.sql()).map(|t| t.divergence());
+    CaseReport {
+        seed,
+        case,
+        outcome,
+    }
+}
+
+/// A minimized divergence, ready to be reported or saved to the corpus.
+pub struct Divergence {
+    /// Seed of the originating case.
+    pub seed: u64,
+    /// Divergence description from the *original* (pre-shrink) run.
+    pub detail: String,
+    /// The minimized case.
+    pub minimized: FuzzCase,
+}
+
+/// Aggregate result of a fuzzing run.
+pub struct FuzzReport {
+    /// Cases that executed on all three engines.
+    pub executed: usize,
+    /// Cases that failed before reaching the engines (parse/load).
+    pub skipped: usize,
+    /// Divergences found, each minimized.
+    pub divergences: Vec<Divergence>,
+}
+
+impl FuzzReport {
+    /// Human-readable failure report: one block per divergence with the
+    /// seed, minimized SQL, and minimized data as corpus-style JSON.
+    pub fn render(&self) -> String {
+        let mut s = format!(
+            "{} executed, {} skipped, {} divergences",
+            self.executed,
+            self.skipped,
+            self.divergences.len()
+        );
+        for d in &self.divergences {
+            s.push_str(&format!(
+                "\n--- seed {:#x}\n{}\nminimized SQL: {}\nminimized data: {}",
+                d.seed,
+                d.detail,
+                d.minimized.sql(),
+                serde_json::to_string(&d.minimized.tables).unwrap_or_default()
+            ));
+        }
+        s
+    }
+}
+
+/// Run `n` executed cases derived from `run_seed`, minimizing every
+/// divergence found. Parse/load skips draw replacement seeds so the run
+/// always executes `n` real tri-engine comparisons (bounded at `3n`
+/// attempts so a generator bug cannot loop forever).
+pub fn fuzz_run(run_seed: u64, n: usize) -> FuzzReport {
+    let mut report = FuzzReport {
+        executed: 0,
+        skipped: 0,
+        divergences: Vec::new(),
+    };
+    let mut attempt = 0u64;
+    while report.executed < n && attempt < 3 * n as u64 {
+        let seed = rng::mix(run_seed, attempt);
+        attempt += 1;
+        let r = fuzz_one(seed);
+        match r.outcome {
+            Err(_) => report.skipped += 1,
+            Ok(None) => report.executed += 1,
+            Ok(Some(detail)) => {
+                report.executed += 1;
+                let minimized = shrink::shrink(&r.case, 250);
+                report.divergences.push(Divergence {
+                    seed,
+                    detail,
+                    minimized,
+                });
+            }
+        }
+    }
+    report
+}

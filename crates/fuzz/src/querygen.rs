@@ -1,0 +1,642 @@
+//! Seeded random SQL generation over the fuzz tables.
+//!
+//! The generator is shaped so that any divergence it produces is a real
+//! engine bug, not an artifact of under-specified SQL semantics:
+//!
+//! * SUM/AVG draw only from bounded-magnitude columns — summing the
+//!   boundary column `ta_big` would make overflow depend on the (engine-
+//!   specific) accumulation order, which is not a divergence.
+//! * Arithmetic expressions carry a conservative magnitude bound through
+//!   generation, so products and sums stay far from `i64` overflow at the
+//!   DSB mantissa level in every engine.
+//! * `ORDER BY` always lists **all** output aliases, so `LIMIT` selects a
+//!   well-defined multiset even though engines break ties differently.
+//! * Division is only by non-zero integer literals.
+//! * Joins are equi-joins on integer key columns (per-table string
+//!   dictionaries are not reconciled across tables).
+//!
+//! The boundary column `ta_big` still flows through comparisons, MIN/MAX,
+//! COUNT, GROUP BY keys and ORDER BY — everywhere it cannot create
+//! order-dependent overflow.
+
+use rapid_storage::types::civil_from_days;
+use serde::{Deserialize, Serialize};
+
+use crate::rng::Rng;
+
+/// One select item: an expression and its output alias.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Item {
+    /// Expression SQL (also the literal GROUP BY text for grouping items).
+    pub sql: String,
+    /// Output alias (`c0`, `c1`, …).
+    pub alias: String,
+    /// Whether this item is a group key (its SQL appears in GROUP BY).
+    pub grouping: bool,
+}
+
+/// A generated query in structural form, so the shrinker can drop parts.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct QuerySpec {
+    /// Select items in order.
+    pub items: Vec<Item>,
+    /// Full join clause (e.g. `LEFT JOIN tb ON ta_k = tb_k`), if any.
+    pub join: Option<String>,
+    /// WHERE conjuncts (AND-ed).
+    pub filters: Vec<String>,
+    /// GROUP BY expressions (literal text of the grouping items).
+    pub group_by: Vec<String>,
+    /// ORDER BY over output aliases with per-key DESC flags.
+    pub order_by: Vec<(String, bool)>,
+    /// LIMIT row count.
+    pub limit: Option<usize>,
+}
+
+impl QuerySpec {
+    /// Render to SQL.
+    pub fn to_sql(&self) -> String {
+        let mut s = String::from("SELECT ");
+        for (i, it) in self.items.iter().enumerate() {
+            if i > 0 {
+                s.push_str(", ");
+            }
+            s.push_str(&format!("{} AS {}", it.sql, it.alias));
+        }
+        s.push_str(" FROM ta");
+        if let Some(j) = &self.join {
+            s.push(' ');
+            s.push_str(j);
+        }
+        if !self.filters.is_empty() {
+            s.push_str(" WHERE ");
+            s.push_str(&self.filters.join(" AND "));
+        }
+        if !self.group_by.is_empty() {
+            s.push_str(" GROUP BY ");
+            s.push_str(&self.group_by.join(", "));
+        }
+        if !self.order_by.is_empty() {
+            s.push_str(" ORDER BY ");
+            let keys: Vec<String> = self
+                .order_by
+                .iter()
+                .map(|(a, d)| if *d { format!("{a} DESC") } else { a.clone() })
+                .collect();
+            s.push_str(&keys.join(", "));
+        }
+        if let Some(n) = self.limit {
+            s.push_str(&format!(" LIMIT {n}"));
+        }
+        s
+    }
+}
+
+/// A bounded-magnitude numeric column visible to expression generation.
+#[derive(Clone, Copy)]
+struct NumCol {
+    name: &'static str,
+    /// Conservative bound on |value|.
+    vbound: f64,
+    /// Decimal scale.
+    scale: u32,
+}
+
+/// What the current FROM/JOIN shape makes visible.
+struct Env {
+    nums: Vec<NumCol>,
+    strs: Vec<&'static str>,
+    dates: Vec<&'static str>,
+    bigs: Vec<&'static str>,
+}
+
+impl Env {
+    fn new(tb_visible: bool) -> Env {
+        let mut nums = vec![
+            NumCol {
+                name: "ta_id",
+                vbound: 40.0,
+                scale: 0,
+            },
+            NumCol {
+                name: "ta_k",
+                vbound: 4.0,
+                scale: 0,
+            },
+            NumCol {
+                name: "ta_a",
+                vbound: 1.0e6,
+                scale: 0,
+            },
+            NumCol {
+                name: "ta_b",
+                vbound: 100.0,
+                scale: 2,
+            },
+        ];
+        let mut strs = vec!["ta_s"];
+        if tb_visible {
+            nums.push(NumCol {
+                name: "tb_id",
+                vbound: 30.0,
+                scale: 0,
+            });
+            nums.push(NumCol {
+                name: "tb_k",
+                vbound: 4.0,
+                scale: 0,
+            });
+            nums.push(NumCol {
+                name: "tb_v",
+                vbound: 50.0,
+                scale: 2,
+            });
+            strs.push("tb_s");
+        }
+        Env {
+            nums,
+            strs,
+            dates: vec!["ta_d"],
+            bigs: vec!["ta_big"],
+        }
+    }
+}
+
+/// An expression with its magnitude bookkeeping.
+struct GenExpr {
+    sql: String,
+    vbound: f64,
+    scale: u32,
+}
+
+/// Keep DSB mantissas well clear of i64 range in every engine.
+const MANTISSA_LIMIT: f64 = 1.0e15;
+
+fn mantissa(vbound: f64, scale: u32) -> f64 {
+    vbound * 10f64.powi(scale as i32)
+}
+
+fn dec_literal(rng: &mut Rng) -> GenExpr {
+    let unscaled = rng.range_i64(-999, 999);
+    let a = unscaled.abs();
+    GenExpr {
+        sql: format!(
+            "{}{}.{:02}",
+            if unscaled < 0 { "-" } else { "" },
+            a / 100,
+            a % 100
+        ),
+        vbound: 10.0,
+        scale: 2,
+    }
+}
+
+fn num_atom(rng: &mut Rng, env: &Env) -> GenExpr {
+    let roll = rng.below(100);
+    if roll < 60 {
+        let c = rng.pick(&env.nums);
+        GenExpr {
+            sql: c.name.into(),
+            vbound: c.vbound,
+            scale: c.scale,
+        }
+    } else if roll < 85 {
+        let v = rng.range_i64(-20, 20);
+        GenExpr {
+            sql: format!("{v}"),
+            vbound: 20.0,
+            scale: 0,
+        }
+    } else {
+        dec_literal(rng)
+    }
+}
+
+/// A scale-0 atom (for CASE branches, which must agree on scale).
+fn int_atom(rng: &mut Rng, env: &Env) -> GenExpr {
+    let ints: Vec<NumCol> = env.nums.iter().copied().filter(|c| c.scale == 0).collect();
+    if rng.chance(50) {
+        let c = *rng.pick(&ints);
+        GenExpr {
+            sql: c.name.into(),
+            vbound: c.vbound,
+            scale: 0,
+        }
+    } else {
+        let v = rng.range_i64(-20, 20);
+        GenExpr {
+            sql: format!("{v}"),
+            vbound: 20.0,
+            scale: 0,
+        }
+    }
+}
+
+fn num_expr(rng: &mut Rng, env: &Env, depth: u32) -> GenExpr {
+    if depth == 0 || rng.chance(40) {
+        return num_atom(rng, env);
+    }
+    match rng.below(5) {
+        0 | 1 => {
+            // Add / Sub.
+            let l = num_expr(rng, env, depth - 1);
+            let r = num_expr(rng, env, depth - 1);
+            let scale = l.scale.max(r.scale);
+            let vbound = l.vbound + r.vbound;
+            if mantissa(vbound, scale) > MANTISSA_LIMIT {
+                return num_atom(rng, env);
+            }
+            let op = if rng.chance(50) { "+" } else { "-" };
+            GenExpr {
+                sql: format!("({} {op} {})", l.sql, r.sql),
+                vbound,
+                scale,
+            }
+        }
+        2 => {
+            // Mul: scales add at the mantissa level.
+            let l = num_expr(rng, env, depth - 1);
+            let r = num_expr(rng, env, depth - 1);
+            let scale = l.scale + r.scale;
+            let vbound = l.vbound * r.vbound;
+            if scale > 6 || mantissa(vbound, scale) > MANTISSA_LIMIT {
+                return num_atom(rng, env);
+            }
+            GenExpr {
+                sql: format!("({} * {})", l.sql, r.sql),
+                vbound,
+                scale,
+            }
+        }
+        3 => {
+            // Div by a non-zero integer literal; output scale widens to 6.
+            let l = num_expr(rng, env, depth - 1);
+            let d = rng.range_i64(1, 9);
+            let d = if rng.chance(30) { -d } else { d };
+            if mantissa(l.vbound, 6) > MANTISSA_LIMIT {
+                return num_atom(rng, env);
+            }
+            GenExpr {
+                sql: format!("({} / {d})", l.sql),
+                vbound: l.vbound,
+                scale: 6,
+            }
+        }
+        _ => {
+            // CASE: both branches scale-0 atoms so the output type is
+            // unambiguous; the predicate reuses the WHERE generator.
+            let p = simple_pred(rng, env, 0);
+            let t = int_atom(rng, env);
+            let e = int_atom(rng, env);
+            GenExpr {
+                sql: format!("CASE WHEN {p} THEN {} ELSE {} END", t.sql, e.sql),
+                vbound: t.vbound.max(e.vbound),
+                scale: 0,
+            }
+        }
+    }
+}
+
+/// LIKE pattern pool: repeated `%`, bare `_`, leading/trailing wildcards,
+/// wildcard-literal interleavings, and exact strings (some containing the
+/// metacharacters as data).
+const LIKE_PATTERNS: [&str; 16] = [
+    "%", "%%", "", "a%", "%e", "%an%", "gr_pe%", "_", "____", "%a_", "_a%", "ap%le", "%p%l%",
+    "a%e", "apple", "a_b",
+];
+
+fn date_literal(rng: &mut Rng) -> String {
+    let days = rng.range_i64(7_300, 22_000) as i32;
+    let (y, m, d) = civil_from_days(days);
+    format!("DATE '{y:04}-{m:02}-{d:02}'")
+}
+
+fn cmp_op(rng: &mut Rng) -> &'static str {
+    ["=", "<>", "<", "<=", ">", ">="][rng.below(6) as usize]
+}
+
+/// One predicate; `depth` allows limited OR/NOT nesting.
+fn simple_pred(rng: &mut Rng, env: &Env, depth: u32) -> String {
+    if depth > 0 && rng.chance(20) {
+        let a = simple_pred(rng, env, depth - 1);
+        return if rng.chance(50) {
+            let b = simple_pred(rng, env, depth - 1);
+            format!("({a} OR {b})")
+        } else {
+            format!("NOT ({a})")
+        };
+    }
+    match rng.below(8) {
+        0 => {
+            // Numeric column vs literal (decimal columns get decimal or
+            // deliberately mis-scaled literals to exercise boundary
+            // rounding in the compiler).
+            let c = rng.pick(&env.nums);
+            if c.scale > 0 {
+                let lit = match rng.below(3) {
+                    0 => dec_literal(rng).sql,
+                    1 => format!("{}", rng.range_i64(-90, 90)),
+                    _ => {
+                        let u = rng.range_i64(-9999, 9999);
+                        let a = u.abs();
+                        format!(
+                            "{}{}.{:03}",
+                            if u < 0 { "-" } else { "" },
+                            a / 1000,
+                            a % 1000
+                        )
+                    }
+                };
+                format!("{} {} {lit}", c.name, cmp_op(rng))
+            } else {
+                format!("{} {} {}", c.name, cmp_op(rng), rng.range_i64(-50, 50))
+            }
+        }
+        1 => {
+            // Same-scale column-vs-column compare (includes the boundary
+            // column — comparisons never do arithmetic).
+            let mut pool: Vec<&str> = env
+                .nums
+                .iter()
+                .filter(|c| c.scale == 0)
+                .map(|c| c.name)
+                .collect();
+            pool.extend(env.bigs.iter().copied());
+            let a = *rng.pick(&pool);
+            let b = *rng.pick(&pool);
+            format!("{a} {} {b}", cmp_op(rng))
+        }
+        2 => {
+            // BETWEEN on int / date / decimal (sometimes empty-range).
+            match rng.below(3) {
+                0 => {
+                    let c = rng
+                        .pick(&env.nums.iter().filter(|c| c.scale == 0).collect::<Vec<_>>())
+                        .name;
+                    let mut lo = rng.range_i64(-40, 40);
+                    let mut hi = rng.range_i64(-40, 40);
+                    if lo > hi && rng.chance(80) {
+                        std::mem::swap(&mut lo, &mut hi);
+                    }
+                    format!("{c} BETWEEN {lo} AND {hi}")
+                }
+                1 => {
+                    let d = *rng.pick(&env.dates);
+                    format!(
+                        "{d} BETWEEN {} AND {}",
+                        date_literal(rng),
+                        date_literal(rng)
+                    )
+                }
+                _ => {
+                    let c = rng
+                        .pick(&env.nums.iter().filter(|c| c.scale > 0).collect::<Vec<_>>())
+                        .name;
+                    let (a, b) = (dec_literal(rng).sql, dec_literal(rng).sql);
+                    format!("{c} BETWEEN {a} AND {b}")
+                }
+            }
+        }
+        3 => {
+            // IN lists.
+            if rng.chance(50) {
+                let c = rng
+                    .pick(&env.nums.iter().filter(|c| c.scale == 0).collect::<Vec<_>>())
+                    .name;
+                let vals: Vec<String> = (0..rng.range_i64(1, 4))
+                    .map(|_| format!("{}", rng.range_i64(-10, 10)))
+                    .collect();
+                format!("{c} IN ({})", vals.join(", "))
+            } else {
+                let c = *rng.pick(&env.strs);
+                let vals: Vec<String> = (0..rng.range_i64(1, 3))
+                    .map(|_| format!("'{}'", rng.pick(&crate::datagen::STRING_POOL)))
+                    .collect();
+                format!("{c} IN ({})", vals.join(", "))
+            }
+        }
+        4 => {
+            let c = *rng.pick(&env.strs);
+            format!("{c} LIKE '{}'", rng.pick(&LIKE_PATTERNS))
+        }
+        5 => {
+            let c = *rng.pick(&env.strs);
+            format!(
+                "{c} {} '{}'",
+                ["=", "<>", "<", ">="][rng.below(4) as usize],
+                rng.pick(&crate::datagen::STRING_POOL)
+            )
+        }
+        6 => {
+            // Boundary column vs extreme literal (the SQL lexer parses
+            // i64::MAX but not i64::MIN's magnitude, so the pool stays
+            // within ±i64::MAX).
+            let c = *rng.pick(&env.bigs);
+            let lit = *rng.pick(&[
+                i64::MAX,
+                -i64::MAX,
+                1_000_000_000_000_000_000,
+                -1_000_000_000_000_000_000,
+                -1,
+                0,
+                1,
+            ]);
+            format!("{c} {} {lit}", cmp_op(rng))
+        }
+        _ => {
+            let d = *rng.pick(&env.dates);
+            format!("{d} {} {}", cmp_op(rng), date_literal(rng))
+        }
+    }
+}
+
+fn aggregate(rng: &mut Rng, env: &Env) -> String {
+    match rng.below(6) {
+        0 => "COUNT(*)".into(),
+        1 => {
+            let mut pool: Vec<&str> = env.nums.iter().map(|c| c.name).collect();
+            pool.extend(env.strs.iter().copied());
+            pool.extend(env.dates.iter().copied());
+            pool.extend(env.bigs.iter().copied());
+            format!("COUNT({})", rng.pick(&pool))
+        }
+        2 | 3 => {
+            // SUM/AVG only over bounded columns: never `ta_big`.
+            let c = rng.pick(&env.nums).name;
+            let f = if rng.chance(50) { "SUM" } else { "AVG" };
+            format!("{f}({c})")
+        }
+        _ => {
+            let mut pool: Vec<&str> = env.nums.iter().map(|c| c.name).collect();
+            pool.extend(env.dates.iter().copied());
+            pool.extend(env.bigs.iter().copied());
+            let f = if rng.chance(50) { "MIN" } else { "MAX" };
+            format!("{f}({})", rng.pick(&pool))
+        }
+    }
+}
+
+/// Generate one query over the standard `ta`/`tb` tables.
+pub fn gen_query(rng: &mut Rng) -> QuerySpec {
+    // FROM shape.
+    let join = if rng.chance(50) {
+        let kind = match rng.below(100) {
+            0..=39 => "JOIN",
+            40..=64 => "LEFT JOIN",
+            65..=84 => "SEMI JOIN",
+            _ => "ANTI JOIN",
+        };
+        let on = if rng.chance(75) {
+            "ta_k = tb_k"
+        } else {
+            "ta_id = tb_id"
+        };
+        Some((kind, format!("{kind} tb ON {on}")))
+    } else {
+        None
+    };
+    let tb_visible = matches!(join, Some(("JOIN" | "LEFT JOIN", _)));
+    let env = Env::new(tb_visible);
+    // Predicates on semi/anti-join results may only mention the left side,
+    // which `Env::new(false)` already guarantees.
+
+    // Select shape.
+    let mut items: Vec<Item> = Vec::new();
+    let mut group_by: Vec<String> = Vec::new();
+    let mut alias = 0usize;
+    let mut next_alias = || {
+        let a = format!("c{alias}");
+        alias += 1;
+        a
+    };
+
+    if rng.chance(40) {
+        // Grouped aggregation.
+        let mut keys: Vec<&str> = vec!["ta_k", "ta_s", "ta_d", "ta_big"];
+        if tb_visible {
+            keys.extend(["tb_k", "tb_s"]);
+        }
+        rng.shuffle(&mut keys);
+        keys.truncate(1 + rng.below(2) as usize);
+        for k in &keys {
+            items.push(Item {
+                sql: (*k).into(),
+                alias: next_alias(),
+                grouping: true,
+            });
+            group_by.push((*k).into());
+        }
+        for _ in 0..1 + rng.below(3) {
+            items.push(Item {
+                sql: aggregate(rng, &env),
+                alias: next_alias(),
+                grouping: false,
+            });
+        }
+    } else if rng.chance(35) {
+        // Ungrouped aggregation (single output row).
+        for _ in 0..1 + rng.below(3) {
+            items.push(Item {
+                sql: aggregate(rng, &env),
+                alias: next_alias(),
+                grouping: false,
+            });
+        }
+    } else {
+        // Projection query.
+        for _ in 0..1 + rng.below(4) {
+            let sql = match rng.below(100) {
+                0..=44 => {
+                    let mut pool: Vec<&str> = env.nums.iter().map(|c| c.name).collect();
+                    pool.extend(env.strs.iter().copied());
+                    pool.extend(env.dates.iter().copied());
+                    pool.extend(env.bigs.iter().copied());
+                    (*rng.pick(&pool)).into()
+                }
+                45..=84 => num_expr(rng, &env, 2).sql,
+                _ => format!("EXTRACT(YEAR FROM {})", rng.pick(&env.dates)),
+            };
+            items.push(Item {
+                sql,
+                alias: next_alias(),
+                grouping: false,
+            });
+        }
+    }
+
+    // WHERE.
+    let filters: Vec<String> = (0..rng.below(4))
+        .map(|_| simple_pred(rng, &env, 1))
+        .collect();
+
+    // ORDER BY all aliases (deterministic LIMIT), sometimes neither.
+    let (order_by, limit) = if rng.chance(70) {
+        let mut aliases: Vec<String> = items.iter().map(|i| i.alias.clone()).collect();
+        rng.shuffle(&mut aliases);
+        let order: Vec<(String, bool)> = aliases.into_iter().map(|a| (a, rng.chance(50))).collect();
+        let limit = if rng.chance(50) {
+            Some(1 + rng.below(12) as usize)
+        } else {
+            None
+        };
+        (order, limit)
+    } else {
+        (Vec::new(), None)
+    };
+
+    QuerySpec {
+        items,
+        join: join.map(|(_, j)| j),
+        filters,
+        group_by,
+        order_by,
+        limit,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn queries_are_deterministic_per_seed() {
+        let a = gen_query(&mut Rng::new(99));
+        let b = gen_query(&mut Rng::new(99));
+        assert_eq!(a.to_sql(), b.to_sql());
+    }
+
+    #[test]
+    fn renders_every_clause_eventually() {
+        let mut saw = [false; 6]; // join, where, group, order, limit, case
+        for seed in 0..300 {
+            let q = gen_query(&mut Rng::new(seed));
+            let sql = q.to_sql();
+            saw[0] |= q.join.is_some();
+            saw[1] |= !q.filters.is_empty();
+            saw[2] |= !q.group_by.is_empty();
+            saw[3] |= !q.order_by.is_empty();
+            saw[4] |= q.limit.is_some();
+            saw[5] |= sql.contains("CASE WHEN");
+        }
+        assert!(saw.iter().all(|s| *s), "clause coverage: {saw:?}");
+    }
+
+    #[test]
+    fn group_items_literally_match_group_by() {
+        for seed in 0..200 {
+            let q = gen_query(&mut Rng::new(seed));
+            for it in q.items.iter().filter(|i| i.grouping) {
+                assert!(q.group_by.contains(&it.sql));
+            }
+        }
+    }
+
+    #[test]
+    fn limit_only_with_full_order_by() {
+        for seed in 0..200 {
+            let q = gen_query(&mut Rng::new(seed));
+            if q.limit.is_some() {
+                assert_eq!(q.order_by.len(), q.items.len());
+            }
+        }
+    }
+}

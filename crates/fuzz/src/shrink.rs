@@ -1,0 +1,174 @@
+//! Greedy shrinking of a divergent case.
+//!
+//! The shrinker repeatedly proposes structurally smaller variants (fewer
+//! rows, fewer clauses, fewer select items) and keeps a variant only if it
+//! still diverges. Variants that stop parsing or planning simply stop
+//! diverging (`run_sql` returns `Err` or all engines error identically),
+//! so the shrinker never needs semantic knowledge of which clause depends
+//! on which — an invalid proposal rejects itself.
+
+use crate::datagen::TableSpec;
+use crate::querygen::QuerySpec;
+use crate::runner::run_sql;
+
+/// A complete reproducible case: data plus query.
+#[derive(Debug, Clone)]
+pub struct FuzzCase {
+    /// Tables to create and load.
+    pub tables: Vec<TableSpec>,
+    /// Query in structural form.
+    pub query: QuerySpec,
+}
+
+impl FuzzCase {
+    /// Rendered SQL.
+    pub fn sql(&self) -> String {
+        self.query.to_sql()
+    }
+}
+
+fn diverges(case: &FuzzCase, budget: &mut usize) -> bool {
+    if *budget == 0 {
+        return false;
+    }
+    *budget -= 1;
+    run_sql(&case.tables, &case.sql())
+        .ok()
+        .and_then(|t| t.divergence())
+        .is_some()
+}
+
+/// Remove ORDER BY aliases that no longer name a select item.
+fn prune_order_by(q: &mut QuerySpec) {
+    let aliases: Vec<&String> = q.items.iter().map(|i| &i.alias).collect();
+    q.order_by.retain(|(a, _)| aliases.contains(&a));
+    if q.order_by.len() != q.items.len() {
+        // LIMIT is only deterministic under a full ORDER BY.
+        q.limit = None;
+    }
+}
+
+/// Greedily minimize a divergent case. `budget` bounds the number of
+/// tri-engine executions spent.
+pub fn shrink(case: &FuzzCase, mut budget: usize) -> FuzzCase {
+    let mut best = case.clone();
+    let mut changed = true;
+    while changed && budget > 0 {
+        changed = false;
+
+        // Clause-level drops, cheapest wins first.
+        let mut clause_variants: Vec<FuzzCase> = Vec::new();
+        if best.query.limit.is_some() {
+            let mut v = best.clone();
+            v.query.limit = None;
+            clause_variants.push(v);
+        }
+        if !best.query.order_by.is_empty() {
+            let mut v = best.clone();
+            v.query.order_by.clear();
+            v.query.limit = None;
+            clause_variants.push(v);
+        }
+        if best.query.join.is_some() {
+            let mut v = best.clone();
+            v.query.join = None;
+            // Drop the right-side table once nothing references it.
+            v.tables.retain(|t| t.name != "tb");
+            clause_variants.push(v);
+        }
+        for i in 0..best.query.filters.len() {
+            let mut v = best.clone();
+            v.query.filters.remove(i);
+            clause_variants.push(v);
+        }
+        for g in best.query.group_by.clone() {
+            let mut v = best.clone();
+            v.query.group_by.retain(|x| *x != g);
+            v.query.items.retain(|it| !(it.grouping && it.sql == g));
+            prune_order_by(&mut v.query);
+            clause_variants.push(v);
+        }
+        if best.query.items.len() > 1 {
+            for i in 0..best.query.items.len() {
+                if best.query.items[i].grouping {
+                    continue; // handled with its GROUP BY entry above
+                }
+                let mut v = best.clone();
+                v.query.items.remove(i);
+                prune_order_by(&mut v.query);
+                clause_variants.push(v);
+            }
+        }
+        for v in clause_variants {
+            if diverges(&v, &mut budget) {
+                best = v;
+                changed = true;
+                break;
+            }
+        }
+        if changed {
+            continue;
+        }
+
+        // Row-level drops: halves first, then single rows.
+        'rows: for ti in 0..best.tables.len() {
+            let n = best.tables[ti].rows.len();
+            if n > 1 {
+                for (lo, hi) in [(0, n / 2), (n / 2, n)] {
+                    let mut v = best.clone();
+                    v.tables[ti].rows = v.tables[ti].rows[lo..hi].to_vec();
+                    if diverges(&v, &mut budget) {
+                        best = v;
+                        changed = true;
+                        break 'rows;
+                    }
+                }
+            }
+            for r in (0..best.tables[ti].rows.len()).rev() {
+                if best.tables[ti].rows.len() <= 1 {
+                    break;
+                }
+                let mut v = best.clone();
+                v.tables[ti].rows.remove(r);
+                if diverges(&v, &mut budget) {
+                    best = v;
+                    changed = true;
+                    break 'rows;
+                }
+            }
+        }
+    }
+    best
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::querygen::Item;
+
+    #[test]
+    fn prune_order_by_clears_limit_when_partial() {
+        let mut q = QuerySpec {
+            items: vec![
+                Item {
+                    sql: "ta_a".into(),
+                    alias: "c0".into(),
+                    grouping: false,
+                },
+                Item {
+                    sql: "ta_k".into(),
+                    alias: "c2".into(),
+                    grouping: false,
+                },
+            ],
+            join: None,
+            filters: vec![],
+            group_by: vec![],
+            order_by: vec![("c0".into(), false), ("c1".into(), true)],
+            limit: Some(3),
+        };
+        prune_order_by(&mut q);
+        assert_eq!(q.order_by.len(), 1, "dangling alias c1 dropped");
+        assert_eq!(q.limit, None, "partial ORDER BY cannot keep LIMIT");
+    }
+}

@@ -1,0 +1,243 @@
+//! Encoding round-trips under the fuzzer's adversarial value generator
+//! (satellite of the differential-fuzzing work): RLE, frame-of-reference
+//! bit-packing, the `compress` selector, DSB, and the string dictionary
+//! must all survive i64 extremes and mixed-scale decimals losslessly.
+//!
+//! DSB comparisons are exact mantissa math — `to_f64` would hide
+//! precision loss exactly where these values live.
+
+use rapid_fuzz::datagen::{gen_extreme_i64s, EXTREME_INTS, STRING_POOL};
+use rapid_fuzz::rng::{mix, Rng};
+use rapid_storage::encoding::bitpack::PackedVector;
+use rapid_storage::encoding::dict::Dictionary;
+use rapid_storage::encoding::dsb::DsbVector;
+use rapid_storage::encoding::rle::RleVector;
+use rapid_storage::encoding::{compress, Compressed};
+use rapid_storage::like::like_match;
+use rapid_storage::types::Value;
+
+const SEED: u64 = 0xE27C0DE;
+
+#[test]
+fn rle_roundtrips_extreme_values() {
+    for case in 0..20u64 {
+        let mut rng = Rng::new(mix(SEED, case));
+        let vals = gen_extreme_i64s(&mut rng, 300);
+        // RLE declines vectors with too few runs; when it accepts, every
+        // element must come back exactly, positionally and in bulk.
+        if let Some(r) = RleVector::encode(&vals) {
+            assert_eq!(r.len(), vals.len());
+            assert_eq!(r.decode(), vals);
+            for (i, &v) in vals.iter().enumerate() {
+                assert_eq!(r.get(i), Some(v), "row {i} of case {case}");
+            }
+            assert_eq!(r.get(vals.len()), None);
+        }
+    }
+}
+
+#[test]
+fn rle_roundtrips_runs_of_extremes() {
+    // Force run-heavy input: long runs of i64::MIN / i64::MAX neighbors.
+    let mut vals = Vec::new();
+    for &v in &EXTREME_INTS {
+        vals.extend(std::iter::repeat_n(v, 37));
+    }
+    let r = RleVector::encode(&vals).expect("run-heavy vector should RLE-encode");
+    assert_eq!(r.decode(), vals);
+    assert_eq!(r.get(36), Some(EXTREME_INTS[0]));
+    assert_eq!(r.get(37), Some(EXTREME_INTS[1]));
+}
+
+#[test]
+fn bitpack_roundtrips_when_it_accepts() {
+    for case in 0..20u64 {
+        let mut rng = Rng::new(mix(SEED, case.wrapping_add(100)));
+        let vals = gen_extreme_i64s(&mut rng, 300);
+        let p = PackedVector::encode(&vals).expect("any i64 range fits u64 deltas");
+        assert_eq!(p.decode(), vals);
+        for (i, &v) in vals.iter().enumerate() {
+            assert_eq!(p.get(i), Some(v), "row {i} of case {case}");
+        }
+        assert_eq!(p.get(vals.len()), None);
+    }
+    // The widest possible span — delta exactly u64::MAX — needs 64-bit
+    // deltas and must still round-trip, not wrap.
+    let p = PackedVector::encode(&[i64::MIN, i64::MAX]).expect("u64::MAX delta is representable");
+    assert_eq!(p.bits(), 64);
+    assert_eq!(p.decode(), vec![i64::MIN, i64::MAX]);
+}
+
+#[test]
+fn compress_selector_is_lossless_on_extremes() {
+    for case in 0..40u64 {
+        let mut rng = Rng::new(mix(SEED, case.wrapping_add(200)));
+        let vals = gen_extreme_i64s(&mut rng, 257);
+        let c = compress(&vals);
+        assert_eq!(c.len(), vals.len());
+        assert_eq!(
+            c.decode(),
+            vals,
+            "lossy {} encoding in case {case}",
+            c.encoding_name()
+        );
+    }
+    // Whole-domain span forces the Plain fallback and still round-trips.
+    let span = vec![i64::MIN, i64::MAX, 0, -1, i64::MIN + 1];
+    let c = compress(&span);
+    assert!(matches!(c, Compressed::Plain(_)));
+    assert_eq!(c.decode(), span);
+}
+
+#[test]
+fn dsb_roundtrips_exactly_including_exceptions() {
+    let mut rng = Rng::new(mix(SEED, 777));
+    let mut vals: Vec<Value> = Vec::new();
+    for _ in 0..200 {
+        vals.push(if rng.chance(40) {
+            Value::Int(*rng.pick(&EXTREME_INTS))
+        } else {
+            Value::Decimal {
+                unscaled: rng.range_i64(-100_000, 100_000),
+                scale: rng.below(7) as u8,
+            }
+        });
+    }
+    let v = DsbVector::encode(&vals);
+    assert_eq!(v.len(), vals.len());
+    for (row, original) in vals.iter().enumerate() {
+        let decoded = v.decode_row(row);
+        match original.unscaled_at(v.scale) {
+            // Representable at the common scale: the decoded decimal must
+            // carry the exact mantissa.
+            Some(u) => {
+                assert_eq!(
+                    decoded,
+                    Value::Decimal {
+                        unscaled: u,
+                        scale: v.scale
+                    },
+                    "row {row} ({original:?}) lost precision in-line"
+                );
+                assert!(!v.is_exception(row as u32));
+            }
+            // Not representable (i64::MAX at scale 3, ...): must have been
+            // an exception and decode bit-for-bit.
+            None => {
+                assert!(
+                    v.is_exception(row as u32),
+                    "row {row} should be an exception"
+                );
+                assert_eq!(decoded, *original, "row {row} exception not exact");
+            }
+        }
+    }
+}
+
+#[test]
+fn dsb_whole_extreme_vector_is_exact() {
+    let vals: Vec<Value> = EXTREME_INTS.iter().map(|&v| Value::Int(v)).collect();
+    let v = DsbVector::encode(&vals);
+    // All ints: common scale stays 0 and nothing needs the exception path.
+    assert_eq!(v.scale, 0);
+    assert!(v.exceptions.is_empty());
+    assert_eq!(
+        v.decode(),
+        vec![
+            // Ints come back as scale-0 decimals with identical mantissas.
+            Value::Decimal {
+                unscaled: EXTREME_INTS[0],
+                scale: 0
+            },
+            Value::Decimal {
+                unscaled: EXTREME_INTS[1],
+                scale: 0
+            },
+            Value::Decimal {
+                unscaled: EXTREME_INTS[2],
+                scale: 0
+            },
+            Value::Decimal {
+                unscaled: EXTREME_INTS[3],
+                scale: 0
+            },
+            Value::Decimal {
+                unscaled: EXTREME_INTS[4],
+                scale: 0
+            },
+            Value::Decimal {
+                unscaled: EXTREME_INTS[5],
+                scale: 0
+            },
+            Value::Decimal {
+                unscaled: EXTREME_INTS[6],
+                scale: 0
+            },
+            Value::Decimal {
+                unscaled: EXTREME_INTS[7],
+                scale: 0
+            },
+            Value::Decimal {
+                unscaled: EXTREME_INTS[8],
+                scale: 0
+            },
+            Value::Decimal {
+                unscaled: EXTREME_INTS[9],
+                scale: 0
+            },
+        ]
+    );
+}
+
+#[test]
+fn dictionary_roundtrips_the_adversarial_string_pool() {
+    let mut d = Dictionary::build(STRING_POOL.iter().copied());
+    // Every pool string (duplicates collapse) maps code <-> value exactly.
+    for s in STRING_POOL {
+        let code = d.code_of(s).expect("pool string must be present");
+        assert_eq!(d.value_of(code), Some(s));
+        // Re-inserting is a no-op returning the same code.
+        assert_eq!(d.insert(s), code);
+    }
+    assert_eq!(d.len(), STRING_POOL.len());
+    assert_eq!(d.code_of("not-in-pool"), None);
+}
+
+#[test]
+fn dictionary_prefix_and_contains_agree_with_like() {
+    let d = Dictionary::build(STRING_POOL.iter().copied());
+    // prefix_codes(p) must mark exactly the codes whose value matches
+    // LIKE 'p%'; contains_codes(n) exactly those matching LIKE '%n%'.
+    for probe in ["a", "ap", "grape", "", "pe", "_", "%"] {
+        let by_prefix = d.prefix_codes(probe);
+        let by_contains = d.contains_codes(probe);
+        for (code, value) in d.values().iter().enumerate() {
+            // The probe is literal text here, so escape nothing and
+            // compare against a literal-prefix matcher instead of a LIKE
+            // pattern containing the probe's own wildcards.
+            assert_eq!(
+                by_prefix.get(code),
+                value.starts_with(probe),
+                "prefix {probe:?} vs {value:?}"
+            );
+            assert_eq!(
+                by_contains.get(code),
+                value.contains(probe),
+                "contains {probe:?} vs {value:?}"
+            );
+        }
+    }
+    // And for wildcard-free probes the LIKE matcher agrees with both.
+    for probe in ["a", "ap", "grape", "pe"] {
+        for value in d.values() {
+            assert_eq!(
+                like_match(&format!("{probe}%"), value),
+                value.starts_with(probe)
+            );
+            assert_eq!(
+                like_match(&format!("%{probe}%"), value),
+                value.contains(probe)
+            );
+        }
+    }
+}

@@ -739,23 +739,36 @@ fn to_lpred(a: &Ast) -> Result<LPred, SqlError> {
 }
 
 fn like_to_pred(col: &str, pattern: &str) -> Result<LPred, SqlError> {
+    // Classify into the cheap shapes where the wildcards allow it; any
+    // other pattern (suffix '%s', inner '%', any '_') routes to the
+    // general matcher, which both engines evaluate via
+    // `rapid_storage::like::like_match`.
+    let wildcards = pattern.matches('%').count();
+    if pattern.contains('_') {
+        return Ok(LPred::Like {
+            col: col.into(),
+            pattern: pattern.into(),
+        });
+    }
     let starts = pattern.starts_with('%');
     let ends = pattern.ends_with('%');
     let trimmed = pattern.trim_matches('%');
-    if trimmed.contains('%') {
-        return err(format!("unsupported LIKE pattern '{pattern}'"));
-    }
-    match (starts, ends) {
-        (false, true) => Ok(LPred::LikePrefix {
+    match (starts, ends, wildcards) {
+        (_, _, 0) => Ok(LPred::eq(col, Value::Str(pattern.into()))),
+        (false, true, 1) => Ok(LPred::LikePrefix {
             col: col.into(),
             prefix: trimmed.into(),
         }),
-        (true, true) => Ok(LPred::LikeContains {
+        // '%s%' — but also the degenerate '%%', whose trimmed needle is
+        // empty and correctly matches every non-NULL string.
+        (true, true, 2) => Ok(LPred::LikeContains {
             col: col.into(),
             needle: trimmed.into(),
         }),
-        (false, false) => Ok(LPred::eq(col, Value::Str(pattern.into()))),
-        (true, false) => err(format!("suffix LIKE '{pattern}' not supported")),
+        _ => Ok(LPred::Like {
+            col: col.into(),
+            pattern: pattern.into(),
+        }),
     }
 }
 

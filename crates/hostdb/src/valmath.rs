@@ -154,18 +154,22 @@ pub fn cmp(op: CmpOp, a: &Value, b: &Value) -> bool {
     }
 }
 
-/// Ordering for ORDER BY: NULLs last ascending (mirrors the QEF).
+/// Ordering for ORDER BY: NULLs last in both directions (mirrors the
+/// QEF's radix sort and Top-K comparator — only real values reverse under
+/// DESC).
 pub fn order_by_cmp(a: &Value, b: &Value, desc: bool) -> std::cmp::Ordering {
-    let ord = match (a.is_null(), b.is_null()) {
+    match (a.is_null(), b.is_null()) {
         (true, true) => std::cmp::Ordering::Equal,
         (true, false) => std::cmp::Ordering::Greater,
         (false, true) => std::cmp::Ordering::Less,
-        (false, false) => compare(a, b).expect("non-null"),
-    };
-    if desc {
-        ord.reverse()
-    } else {
-        ord
+        (false, false) => {
+            let ord = compare(a, b).expect("non-null");
+            if desc {
+                ord.reverse()
+            } else {
+                ord
+            }
+        }
     }
 }
 
@@ -321,13 +325,24 @@ mod tests {
     #[test]
     fn order_by_null_placement() {
         use std::cmp::Ordering;
+        // NULLS LAST in both directions: a NULL compares greater than any
+        // value whether the key is ascending or descending.
         assert_eq!(
             order_by_cmp(&Value::Null, &Value::Int(1), false),
             Ordering::Greater
         );
         assert_eq!(
             order_by_cmp(&Value::Null, &Value::Int(1), true),
+            Ordering::Greater
+        );
+        assert_eq!(
+            order_by_cmp(&Value::Int(1), &Value::Null, true),
             Ordering::Less
+        );
+        // Real values still reverse under DESC.
+        assert_eq!(
+            order_by_cmp(&Value::Int(1), &Value::Int(2), true),
+            Ordering::Greater
         );
     }
 

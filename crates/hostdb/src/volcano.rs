@@ -74,6 +74,7 @@ enum RPred {
     InList(usize, Vec<Value>),
     LikePrefix(usize, String),
     LikeContains(usize, String),
+    Like(usize, String),
     And(Vec<RPred>),
     Or(Vec<RPred>),
     Not(Box<RPred>),
@@ -118,6 +119,7 @@ fn resolve_pred(p: &LPred, names: &[String]) -> Result<RPred, VolcanoError> {
         LPred::InList { col, values } => Ok(RPred::InList(idx(col)?, values.clone())),
         LPred::LikePrefix { col, prefix } => Ok(RPred::LikePrefix(idx(col)?, prefix.clone())),
         LPred::LikeContains { col, needle } => Ok(RPred::LikeContains(idx(col)?, needle.clone())),
+        LPred::Like { col, pattern } => Ok(RPred::Like(idx(col)?, pattern.clone())),
         LPred::And(ps) => Ok(RPred::And(
             ps.iter()
                 .map(|q| resolve_pred(q, names))
@@ -170,6 +172,10 @@ fn eval_pred(p: &RPred, row: &Row) -> Result<bool, VolcanoError> {
         },
         RPred::LikeContains(i, needle) => match &row[*i] {
             Value::Str(s) => s.contains(needle.as_str()),
+            _ => false,
+        },
+        RPred::Like(i, pattern) => match &row[*i] {
+            Value::Str(s) => rapid_storage::like::like_match(pattern, s),
             _ => false,
         },
         RPred::And(ps) => {
@@ -465,15 +471,20 @@ impl Acc {
         match f {
             AggFunc::Count => Value::Int(self.count),
             AggFunc::Avg => {
-                // Mirror the QEF: integer division of the sum's mantissa by
-                // the count, at the sum's scale.
+                // Mirror the QEF: the sum's mantissa divided by the count
+                // at the sum's scale, rounding half away from zero exactly
+                // like `AggState::finalize` does.
                 if self.count == 0 {
                     Value::Null
                 } else {
+                    let div = |v: i64| {
+                        rapid_qef::primitives::arith::div_round_half_away(v, self.count)
+                            .expect("count >= 1 cannot overflow the quotient")
+                    };
                     match &self.value {
-                        Value::Int(v) => Value::Int(v / self.count),
+                        Value::Int(v) => Value::Int(div(*v)),
                         Value::Decimal { unscaled, scale } => Value::Decimal {
-                            unscaled: unscaled / self.count,
+                            unscaled: div(*unscaled),
                             scale: *scale,
                         },
                         other => other.clone(),
@@ -1192,6 +1203,59 @@ mod tests {
                 panic!()
             };
             assert_eq!(rank, if k >= 2 { 1 } else { 2 }, "row k={k}");
+        }
+    }
+}
+
+#[cfg(test)]
+mod avg_parity_proptests {
+    use super::*;
+    use proptest::prelude::*;
+    use rapid_qef::primitives::agg::{AggFunc as QAgg, AggState};
+
+    /// Independent oracle: round-half-away-from-zero division in i128.
+    fn oracle(sum: i64, count: i64) -> i64 {
+        let (a, b) = (sum as i128, count as i128);
+        let q = a / b;
+        let r = a % b;
+        let q = if 2 * r.abs() >= b.abs() {
+            q + if (a < 0) != (b < 0) { -1 } else { 1 }
+        } else {
+            q
+        };
+        i64::try_from(q).expect("count >= 1 keeps the quotient in range")
+    }
+
+    proptest! {
+        /// Satellite: AVG finalization parity. The Volcano accumulator and
+        /// the QEF aggregate state must produce the identical quotient for
+        /// every (sum, count) pair — negatives and extremes included — and
+        /// both must match an independent i128 rounding oracle.
+        #[test]
+        fn avg_division_agrees_across_engines(sum in any::<i64>(), count in 1i64..10_000) {
+            let want = oracle(sum, count);
+            let volcano = Acc { value: Value::Int(sum), count }.finalize(AggFunc::Avg);
+            prop_assert_eq!(volcano, Value::Int(want));
+            let qef = AggState { value: sum, count }.finalize(QAgg::Avg);
+            prop_assert_eq!(qef, Some(want));
+            // Decimal mantissas go through the same scalar path.
+            let vdec = Acc { value: Value::Decimal { unscaled: sum, scale: 2 }, count }
+                .finalize(AggFunc::Avg);
+            prop_assert_eq!(vdec, Value::Decimal { unscaled: want, scale: 2 });
+        }
+
+        #[test]
+        fn avg_half_away_boundary_cases(count in 1i64..50) {
+            // sum = ±(count/2) exercises the exact .5 boundary when count
+            // is even; parity there is where truncation used to diverge.
+            for sum in [count / 2, -(count / 2), count - 1, 1 - count] {
+                let want = oracle(sum, count);
+                prop_assert_eq!(
+                    Acc { value: Value::Int(sum), count }.finalize(AggFunc::Avg),
+                    Value::Int(want)
+                );
+                prop_assert_eq!(AggState { value: sum, count }.finalize(QAgg::Avg), Some(want));
+            }
         }
     }
 }

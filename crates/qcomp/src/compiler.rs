@@ -629,6 +629,18 @@ fn lower_pred(p: &LPred, cols: &[OutCol], catalog: &Catalog) -> Result<Pred, Com
                 codes: dict.contains_codes(needle),
             })
         }
+        LPred::Like { col, pattern } => {
+            // General pattern: evaluate LIKE once per dictionary entry and
+            // compile the result to a qualifying-code bitmap.
+            let (i, dict) = resolve_dict(col, cols, catalog)?;
+            let mut codes = rapid_storage::bitvec::BitVec::zeros(dict.len());
+            for (code, v) in dict.values().iter().enumerate() {
+                if rapid_storage::like::like_match(pattern, v) {
+                    codes.set(code, true);
+                }
+            }
+            Ok(Pred::InCodes { col: i, codes })
+        }
     }
 }
 
@@ -687,7 +699,9 @@ fn lower_cmp(
                         op,
                         value: x,
                     }),
-                    None => Ok(Pred::Const(true)),
+                    // No stored value can equal the literal, but NULLs
+                    // still fail `<>` (three-valued comparison).
+                    None => Ok(Pred::NotNull { col: i }),
                 },
                 CmpOp::Lt | CmpOp::Le => {
                     let x = encode_boundary(c, v, catalog, RoundDir::Down)?;
@@ -776,7 +790,9 @@ fn compile_string_cmp(
                 op: CmpOp::Ne,
                 value: c as i64,
             },
-            None => Pred::Const(true),
+            // Absent from the dictionary: every non-NULL value differs,
+            // but NULL rows still fail `<>`.
+            None => Pred::NotNull { col },
         },
         _ => {
             let (lo, hi) = match op {

@@ -111,6 +111,14 @@ pub enum LPred {
         /// The substring.
         needle: String,
     },
+    /// `col LIKE pattern` for general patterns (`%`/`_` anywhere); the
+    /// simpler prefix/contains shapes use the dedicated variants above.
+    Like {
+        /// Column name.
+        col: String,
+        /// The raw LIKE pattern.
+        pattern: String,
+    },
     /// Conjunction.
     And(Vec<LPred>),
     /// Disjunction.

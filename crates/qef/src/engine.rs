@@ -487,7 +487,21 @@ impl Engine {
         let pairs: Vec<(Batch, Batch)> = bparts.into_iter().zip(pparts).collect();
         let bk = build_keys.to_vec();
         let pk = probe_keys.to_vec();
-        let build_width = build_meta.len();
+        // Physical prototypes of the build columns, for outer-join NULL
+        // padding: the pad must use the same variant the matched
+        // partitions gather, or concatenating partition outputs mixes
+        // physical widths and panics.
+        let build_protos: Vec<rapid_storage::vector::ColumnData> = match pairs
+            .iter()
+            .map(|(b, _)| b)
+            .find(|b| b.width() == build_meta.len())
+        {
+            Some(b) => b.columns.iter().map(|c| c.data.empty_like()).collect(),
+            None => build_meta
+                .iter()
+                .map(|m| rapid_storage::vector::ColumnData::empty_for(m.dtype))
+                .collect(),
+        };
         let (joined, t3) = run_stage(&self.ctx, pairs, move |core, (b, p)| {
             join_pair_resilient(
                 core,
@@ -497,7 +511,7 @@ impl Engine {
                 &pk,
                 join_type,
                 est_per_partition,
-                build_width,
+                &build_protos,
                 tile,
                 0,
             )
@@ -545,7 +559,7 @@ impl Engine {
             s => s,
         };
 
-        match strategy {
+        let mut out = match strategy {
             GroupStrategy::OnTheFly | GroupStrategy::Auto => {
                 // Per-core local aggregation...
                 let (kk, aa) = (keys.to_vec(), aggs.to_vec());
@@ -570,7 +584,7 @@ impl Engine {
                     Ok(first.emit(core))
                 })?;
                 tr.absorb(report, &t2, nid, depth, "groupby.merge", batch_rows(&out));
-                Ok(out)
+                out
             }
             GroupStrategy::Partitioned => {
                 // Partition by grouping keys so each partition's table fits.
@@ -601,9 +615,20 @@ impl Engine {
                     "groupby.aggregate",
                     batch_rows(&out),
                 );
-                Ok(out)
+                out
             }
+        };
+        // A global aggregate emits one row no matter what reached it:
+        // when every input row was filtered away (or the table is empty),
+        // synthesize the single empty-input group so COUNT comes out 0
+        // and the other aggregates NULL — mirroring the host executor.
+        if keys.is_empty() && out.iter().all(|b| b.rows() == 0) {
+            let mut t = ops::groupby::GroupTable::new(0, aggs, 16);
+            t.force_global_group();
+            let mut core = crate::exec::CoreCtx::new(&self.ctx, 0);
+            out = vec![t.emit(&mut core)];
         }
+        Ok(out)
     }
 }
 
@@ -618,12 +643,12 @@ fn join_pair_resilient(
     probe_keys: &[usize],
     join_type: JoinType,
     est_rows: usize,
-    build_width: usize,
+    build_protos: &[rapid_storage::vector::ColumnData],
     tile: usize,
     depth: usize,
 ) -> QefResult<Batch> {
     if build.is_empty() && join_type == JoinType::LeftOuter {
-        return Ok(pad_outer(probe, build_width));
+        return Ok(pad_outer(probe, build_protos));
     }
     let oversized = build.rows() > est_rows.saturating_mul(ops::join::LARGE_SKEW_FACTOR);
     if oversized && depth < 3 && build.rows() > 256 {
@@ -656,7 +681,7 @@ fn join_pair_resilient(
                 probe_keys,
                 join_type,
                 est_rows,
-                build_width,
+                build_protos,
                 tile,
                 depth + 1,
             )?);
@@ -672,7 +697,7 @@ fn join_pair_resilient(
         return match join_type {
             JoinType::Inner | JoinType::LeftSemi => Ok(Batch::empty(0)),
             JoinType::LeftAnti => Ok(probe),
-            JoinType::LeftOuter => Ok(pad_outer(probe, build_width)),
+            JoinType::LeftOuter => Ok(pad_outer(probe, build_protos)),
         };
     }
     ops::join::join_partition(
@@ -681,14 +706,16 @@ fn join_pair_resilient(
 }
 
 /// Pad probe rows with NULL build columns for outer joins with no build.
-fn pad_outer(probe: Batch, build_width: usize) -> Batch {
+/// Each pad column clones its prototype's physical variant so the result
+/// concatenates cleanly with partitions that did find matches.
+fn pad_outer(probe: Batch, build_protos: &[rapid_storage::vector::ColumnData]) -> Batch {
     if probe.is_empty() {
         return Batch::empty(0);
     }
     let n = probe.rows();
     let mut out = probe;
-    for _ in 0..build_width {
-        let mut data = rapid_storage::vector::ColumnData::I64(Vec::new());
+    for proto in build_protos {
+        let mut data = proto.empty_like();
         let mut nulls = rapid_storage::bitvec::BitVec::zeros(0);
         for _ in 0..n {
             data.push_i64(0);
@@ -776,6 +803,13 @@ pub fn estimate_selectivity(pred: &Pred, stats: &rapid_storage::stats::TableStat
             1.0 - none
         }
         Pred::Not(p) => 1.0 - estimate_selectivity(p, stats),
+        Pred::NotNull { col } => col_stats(*col).map_or(0.9, |s| {
+            if stats.rows == 0 {
+                1.0
+            } else {
+                1.0 - s.null_count as f64 / stats.rows as f64
+            }
+        }),
         Pred::CmpCols { .. } | Pred::CmpExpr { .. } => 0.3,
         Pred::Const(b) => {
             if *b {
@@ -909,6 +943,57 @@ mod tests {
     }
 
     #[test]
+    fn global_aggregate_over_empty_input_emits_one_row() {
+        // SQL semantics pinned by the differential fuzzer: an ungrouped
+        // aggregate yields exactly one row even when the filter removes
+        // every input row — COUNT 0, the other aggregates NULL.
+        for ctx in [ExecContext::dpu(), ExecContext::native(4)] {
+            let e = engine(ctx);
+            let plan = PlanNode::GroupBy {
+                input: Box::new(scan(Some(Pred::Const(false)))),
+                keys: vec![],
+                aggs: vec![
+                    AggSpec {
+                        func: AggFunc::Count,
+                        col: 0,
+                    },
+                    AggSpec {
+                        func: AggFunc::Sum,
+                        col: 1,
+                    },
+                    AggSpec {
+                        func: AggFunc::Min,
+                        col: 0,
+                    },
+                ],
+                strategy: GroupStrategy::Auto,
+            };
+            let (out, _) = e.execute(&plan).unwrap();
+            assert_eq!(out.batch.rows(), 1);
+            assert_eq!(out.batch.column(0).get(0), Some(0), "COUNT of nothing");
+            assert_eq!(out.batch.column(1).get(0), None, "SUM of nothing");
+            assert_eq!(out.batch.column(2).get(0), None, "MIN of nothing");
+        }
+    }
+
+    #[test]
+    fn grouped_aggregate_over_empty_input_stays_empty() {
+        // With GROUP BY keys there are no groups to emit — zero rows.
+        let e = engine(ExecContext::dpu());
+        let plan = PlanNode::GroupBy {
+            input: Box::new(scan(Some(Pred::Const(false)))),
+            keys: vec![2],
+            aggs: vec![AggSpec {
+                func: AggFunc::Count,
+                col: 0,
+            }],
+            strategy: GroupStrategy::Auto,
+        };
+        let (out, _) = e.execute(&plan).unwrap();
+        assert_eq!(out.batch.rows(), 0);
+    }
+
+    #[test]
     fn hash_join_self_join() {
         let e = engine(ExecContext::dpu());
         let plan = PlanNode::HashJoin {
@@ -940,6 +1025,52 @@ mod tests {
                 out.batch.column(0).data.get_i64(i),
                 out.batch.column(2).data.get_i64(i)
             );
+        }
+    }
+
+    #[test]
+    fn outer_join_pad_matches_build_column_variants() {
+        // Found by the differential fuzzer: with a partitioned LEFT OUTER
+        // join, partitions whose build side is empty pad with NULL build
+        // columns. The pad must use the build columns' physical variants
+        // (here k/v narrow below i64) or concatenating padded and matched
+        // partition outputs panics on the variant mismatch.
+        for ctx in [ExecContext::dpu(), ExecContext::native(4)] {
+            let e = engine(ctx);
+            let plan = PlanNode::HashJoin {
+                // Build: two rows, k in {0, 1}; most partitions see none.
+                build: Box::new(PlanNode::Scan {
+                    table: "t".into(),
+                    columns: vec![0, 1],
+                    pred: Some(Pred::CmpConst {
+                        col: 0,
+                        op: CmpOp::Lt,
+                        value: 2,
+                    }),
+                }),
+                // Probe keyed on grp (0..=6): grp 0 and 1 match, 2..=6
+                // must come back NULL-padded.
+                probe: Box::new(scan(None)),
+                build_keys: vec![0],
+                probe_keys: vec![2],
+                join_type: JoinType::LeftOuter,
+                scheme: None,
+            };
+            let (out, _) = e.execute(&plan).unwrap();
+            assert_eq!(out.batch.rows(), 5000, "outer join keeps every probe row");
+            assert_eq!(out.batch.width(), 5);
+            for i in 0..out.batch.rows() {
+                let grp = out.batch.column(2).data.get_i64(i);
+                let build_k = out.batch.column(3).get(i);
+                let build_v = out.batch.column(4).get(i);
+                if grp < 2 {
+                    assert_eq!(build_k, Some(grp));
+                    assert_eq!(build_v, Some(grp * 2));
+                } else {
+                    assert_eq!(build_k, None, "unmatched row must be NULL-padded");
+                    assert_eq!(build_v, None);
+                }
+            }
         }
     }
 

@@ -223,6 +223,14 @@ pub enum Pred {
     Or(Vec<Pred>),
     /// Negation.
     Not(Box<Pred>),
+    /// `col IS NOT NULL` — also what `col <> lit` compiles to when `lit`
+    /// cannot equal any stored value (absent dictionary entry,
+    /// unrepresentable decimal): every non-null row qualifies, but NULL
+    /// rows must still be excluded per SQL comparison semantics.
+    NotNull {
+        /// Column position.
+        col: usize,
+    },
     /// Constant truth (placeholder for always-true residuals).
     Const(bool),
 }
@@ -292,6 +300,16 @@ impl Pred {
                 bv.negate();
                 Ok(bv)
             }
+            Pred::NotNull { col } => {
+                let c = col_ref(*col)?;
+                let mut out = BitVec::ones(c.len());
+                if let Some(nulls) = &c.nulls {
+                    let mut not_null = nulls.clone();
+                    not_null.negate();
+                    out.and_with(&not_null);
+                }
+                Ok(out)
+            }
             Pred::Const(b) => Ok(if *b {
                 BitVec::ones(batch.rows())
             } else {
@@ -306,7 +324,8 @@ impl Pred {
             Pred::CmpConst { col, .. }
             | Pred::Between { col, .. }
             | Pred::InCodes { col, .. }
-            | Pred::InList { col, .. } => out.push(*col),
+            | Pred::InList { col, .. }
+            | Pred::NotNull { col } => out.push(*col),
             Pred::CmpCols { left, right, .. } => {
                 out.push(*left);
                 out.push(*right);
@@ -374,6 +393,24 @@ mod tests {
         };
         let v = e.eval(&mut c, &batch()).unwrap();
         assert_eq!(v.data.to_i64_vec(), vec![0, 0, 30, 40]);
+    }
+
+    #[test]
+    fn not_null_pred_admits_exactly_the_non_null_rows() {
+        use rapid_storage::bitvec::BitVec;
+        let mut c = ctx();
+        let mut nulls = BitVec::zeros(4);
+        nulls.set(1, true);
+        nulls.set(3, true);
+        let b = Batch::new(vec![Vector::with_nulls(
+            ColumnData::I64(vec![1, 0, 3, 0]),
+            nulls,
+        )]);
+        // This is what `col <> lit` compiles to when `lit` cannot match
+        // any stored value: all rows except NULLs.
+        let bv = Pred::NotNull { col: 0 }.eval(&mut c, &b).unwrap();
+        assert!(bv.get(0) && bv.get(2));
+        assert!(!bv.get(1) && !bv.get(3));
     }
 
     #[test]

@@ -132,6 +132,22 @@ impl GroupTable {
         g as u32
     }
 
+    /// Ensure the single global-aggregate group exists. SQL requires an
+    /// ungrouped aggregate to emit exactly one row even over empty input
+    /// (COUNT = 0, other aggregates NULL); with lazy group creation that
+    /// row would otherwise vanish when every input row is filtered out.
+    pub fn force_global_group(&mut self) {
+        debug_assert!(
+            self.key_values.is_empty(),
+            "only global aggregates have an implicit group"
+        );
+        if self.groups() == 0 {
+            // Hash 0 matches what `consume` uses for the keyless case, so
+            // later merges collapse onto this group.
+            self.upsert(0, &[]);
+        }
+    }
+
     /// Consume one batch: assign each row its group index, then run the
     /// grouped-aggregation primitives per aggregate.
     pub fn consume(

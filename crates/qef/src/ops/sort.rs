@@ -4,9 +4,11 @@
 //! The engine range/hash-partitions rows across cores; each core
 //! radix-sorts its share with an LSD byte-wise radix sort over
 //! order-transformed keys (sign-flipped so unsigned byte order equals
-//! signed value order, inverted for DESC, with NULLs mapped to the end of
-//! the ASC order). Multi-key sorts run stable LSD passes from the least
-//! significant key to the most significant.
+//! signed value order, inverted for DESC, with NULLs mapped past every
+//! real value in **both** directions — NULLS LAST is the engine-wide
+//! ORDER BY semantics, pinned against the host executor by the
+//! differential fuzzer). Multi-key sorts run stable LSD passes from the
+//! least significant key to the most significant.
 
 use crate::batch::Batch;
 use crate::error::QefResult;
@@ -14,21 +16,20 @@ use crate::exec::CoreCtx;
 use crate::plan::SortKey;
 use crate::primitives::costs;
 
-/// Order-preserving transform: signed `i64` (with optional NULL) into
-/// unsigned `u64` whose natural order matches the SQL order (NULLS LAST
-/// for ASC; inverted wholesale for DESC).
+/// Order-preserving transform: signed `i64` (with optional NULL) into an
+/// unsigned 65-bit key whose natural order matches the SQL order. The
+/// DESC inversion applies only to real values; NULLs carry a 65th bit so
+/// they sort after *every* non-null key in both directions (NULLS LAST),
+/// without colliding with `i64::MAX` (ASC) or `i64::MIN` (DESC).
 #[inline]
-fn order_key(v: Option<i64>, desc: bool) -> u64 {
-    let k = match v {
-        // Flip the sign bit: i64 order == u64 order.
-        Some(x) => (x as u64) ^ (1u64 << 63),
-        // NULLs after every real value in ascending order.
-        None => u64::MAX,
-    };
-    if desc {
-        !k
-    } else {
-        k
+fn order_key(v: Option<i64>, desc: bool) -> u128 {
+    match v {
+        Some(x) => {
+            // Flip the sign bit: i64 order == u64 order.
+            let k = (x as u64) ^ (1u64 << 63);
+            (if desc { !k } else { k }) as u128
+        }
+        None => 1u128 << 64,
     }
 }
 
@@ -39,15 +40,16 @@ fn radix_pass_column(ctx: &mut CoreCtx, batch: &Batch, key: SortKey, perm: &mut 
         return;
     }
     let col = batch.column(key.col);
-    let keys: Vec<u64> = perm
+    let keys: Vec<u128> = perm
         .iter()
         .map(|&r| order_key(col.get(r as usize), key.desc))
         .collect();
-    // 8 passes of 8 bits, counting sort each (skip passes where all bytes
-    // are equal — common for narrow domains).
-    let mut cur: Vec<(u64, u32)> = keys.into_iter().zip(perm.iter().copied()).collect();
+    // 9 passes of 8 bits over the 65-bit key (the 9th pass separates the
+    // NULL stripe), counting sort each; passes where all bytes are equal
+    // are skipped — common for narrow domains and for all-non-null keys.
+    let mut cur: Vec<(u128, u32)> = keys.into_iter().zip(perm.iter().copied()).collect();
     let mut passes = 0usize;
-    for byte in 0..8 {
+    for byte in 0..9 {
         let shift = byte * 8;
         let first = (cur[0].0 >> shift) & 0xFF;
         if cur.iter().all(|&(k, _)| (k >> shift) & 0xFF == first) {
@@ -64,7 +66,7 @@ fn radix_pass_column(ctx: &mut CoreCtx, batch: &Batch, key: SortKey, perm: &mut 
             *o = acc;
             acc += c;
         }
-        let mut next = vec![(0u64, 0u32); n];
+        let mut next = vec![(0u128, 0u32); n];
         for &(k, r) in &cur {
             let b = ((k >> shift) & 0xFF) as usize;
             next[offsets[b]] = (k, r);
@@ -207,7 +209,7 @@ mod tests {
     }
 
     #[test]
-    fn nulls_last_ascending_first_descending() {
+    fn nulls_sort_last_in_both_directions() {
         use rapid_storage::bitvec::BitVec;
         let mut c = ctx();
         let mut nulls = BitVec::zeros(3);
@@ -225,9 +227,41 @@ mod tests {
             }],
         )
         .unwrap();
+        assert_eq!(asc.column(0).get(0), Some(1));
+        assert_eq!(asc.column(0).get(2), None, "NULLS LAST ascending");
+        let desc = sort_batch(&mut c, &b, &[SortKey { col: 0, desc: true }]).unwrap();
+        assert_eq!(desc.column(0).get(0), Some(2));
+        assert_eq!(desc.column(0).get(2), None, "NULLS LAST descending too");
+    }
+
+    #[test]
+    fn null_does_not_collide_with_extreme_keys() {
+        use rapid_storage::bitvec::BitVec;
+        // The NULL sentinel must stay strictly above i64::MAX ascending and
+        // strictly above i64::MIN descending (the 65th key bit).
+        let mut c = ctx();
+        let mut nulls = BitVec::zeros(3);
+        nulls.set(1, true);
+        let b = Batch::new(vec![Vector::with_nulls(
+            ColumnData::I64(vec![i64::MAX, 0, i64::MIN]),
+            nulls,
+        )]);
+        let asc = sort_batch(
+            &mut c,
+            &b,
+            &[SortKey {
+                col: 0,
+                desc: false,
+            }],
+        )
+        .unwrap();
+        assert_eq!(asc.column(0).get(0), Some(i64::MIN));
+        assert_eq!(asc.column(0).get(1), Some(i64::MAX));
         assert_eq!(asc.column(0).get(2), None);
         let desc = sort_batch(&mut c, &b, &[SortKey { col: 0, desc: true }]).unwrap();
-        assert_eq!(desc.column(0).get(0), None);
+        assert_eq!(desc.column(0).get(0), Some(i64::MAX));
+        assert_eq!(desc.column(0).get(1), Some(i64::MIN));
+        assert_eq!(desc.column(0).get(2), None);
     }
 
     #[test]

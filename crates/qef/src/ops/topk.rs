@@ -3,8 +3,9 @@
 //! Each core maintains a bounded heap over its input stream; per-core
 //! heaps are merged and the final K rows are emitted in order. Comparison
 //! is over widened values (order-preserving encodings make that correct
-//! for every type), with NULLs ordered last ascending / first descending
-//! (SQL default NULLS LAST for ASC).
+//! for every type), with NULLs ordered last in both directions (the
+//! engine-wide NULLS LAST semantics shared with the radix sort and the
+//! host executor).
 
 use std::cmp::Ordering;
 
@@ -25,15 +26,22 @@ pub fn cmp_rows(
     for k in order {
         let a = batch_a.column(k.col).get(row_a);
         let b = batch_b.column(k.col).get(row_b);
-        // NULLs last in ascending order, first in descending (mirrors the
-        // flip below so that desc is the exact reverse of asc).
+        // NULLs last regardless of direction: only real values see the
+        // DESC reversal (matches the radix sort's 65-bit order key and
+        // `valmath::order_by_cmp` on the host).
         let ord = match (a, b) {
             (None, None) => Ordering::Equal,
             (None, Some(_)) => Ordering::Greater,
             (Some(_), None) => Ordering::Less,
-            (Some(x), Some(y)) => x.cmp(&y),
+            (Some(x), Some(y)) => {
+                let o = x.cmp(&y);
+                if k.desc {
+                    o.reverse()
+                } else {
+                    o
+                }
+            }
         };
-        let ord = if k.desc { ord.reverse() } else { ord };
         if ord != Ordering::Equal {
             return ord;
         }
@@ -213,5 +221,23 @@ mod tests {
         assert_eq!(out.column(0).get(0), Some(1));
         assert_eq!(out.column(0).get(1), Some(5));
         assert_eq!(out.column(0).get(2), None);
+    }
+
+    #[test]
+    fn nulls_sort_last_descending_too() {
+        use rapid_storage::bitvec::BitVec;
+        let mut c = ctx();
+        let mut nulls = BitVec::zeros(3);
+        nulls.set(1, true);
+        let b = Batch::new(vec![Vector::with_nulls(
+            ColumnData::I64(vec![5, 0, 1]),
+            nulls,
+        )]);
+        let mut t = TopK::new(vec![SortKey { col: 0, desc: true }], 3);
+        t.consume(&mut c, &b).unwrap();
+        let out = t.finish(&mut c);
+        assert_eq!(out.column(0).get(0), Some(5));
+        assert_eq!(out.column(0).get(1), Some(1));
+        assert_eq!(out.column(0).get(2), None, "NULLS LAST under DESC");
     }
 }

@@ -86,8 +86,9 @@ impl AggState {
         Ok(())
     }
 
-    /// The final widened value (AVG divides here, rounding toward zero at
-    /// the carried scale; the planner adds precision digits beforehand).
+    /// The final widened value (AVG divides here at the carried scale,
+    /// rounding half away from zero like every other division in the
+    /// engine; the host Volcano executor mirrors this exactly).
     pub fn finalize(&self, f: AggFunc) -> Option<i64> {
         match f {
             AggFunc::Count => Some(self.count),
@@ -95,7 +96,7 @@ impl AggState {
                 if self.count == 0 {
                     None
                 } else {
-                    Some(self.value / self.count)
+                    crate::primitives::arith::div_round_half_away(self.value, self.count)
                 }
             }
             AggFunc::Min | AggFunc::Max | AggFunc::Sum => {
@@ -224,5 +225,62 @@ mod tests {
             count: 1,
         };
         assert!(s.update(AggFunc::Sum, 1).is_err());
+    }
+
+    #[test]
+    fn merge_overflow_detected() {
+        // Cross-core merge must hit the same overflow a sequential sum
+        // would: two half-range partials cannot silently wrap.
+        let half = AggState {
+            value: i64::MAX / 2 + 1,
+            count: 1,
+        };
+        let mut a = half;
+        assert!(a.merge(AggFunc::Sum, &half).is_err());
+        let mut b = AggState {
+            value: i64::MIN / 2 - 1,
+            count: 1,
+        };
+        assert!(b
+            .merge(
+                AggFunc::Avg,
+                &AggState {
+                    value: i64::MIN / 2 - 1,
+                    count: 1,
+                }
+            )
+            .is_err());
+    }
+
+    #[test]
+    fn min_overflow_boundary_values_pass_through() {
+        // MIN/MAX never do arithmetic, so i64::MIN / i64::MAX are fine.
+        let mut s = AggState::init(AggFunc::Min);
+        s.update(AggFunc::Min, i64::MIN).unwrap();
+        s.update(AggFunc::Min, i64::MAX).unwrap();
+        assert_eq!(s.finalize(AggFunc::Min), Some(i64::MIN));
+        let mut s = AggState::init(AggFunc::Max);
+        s.update(AggFunc::Max, i64::MIN).unwrap();
+        s.update(AggFunc::Max, i64::MAX).unwrap();
+        assert_eq!(s.finalize(AggFunc::Max), Some(i64::MAX));
+    }
+
+    #[test]
+    fn avg_rounds_half_away_from_zero() {
+        for (sum, count, expect) in [
+            (7i64, 2i64, 4i64), // 3.5 -> 4
+            (-7, 2, -4),        // -3.5 -> -4
+            (5, 2, 3),          // 2.5 -> 3
+            (-5, 2, -3),        // -2.5 -> -3
+            (1, 3, 0),          // 0.33 -> 0
+            (-1, 3, 0),         // -0.33 -> 0
+            (2, 3, 1),          // 0.67 -> 1
+            (-2, 3, -1),        // -0.67 -> -1
+            (i64::MIN, 1, i64::MIN),
+            (i64::MAX, 1, i64::MAX),
+        ] {
+            let s = AggState { value: sum, count };
+            assert_eq!(s.finalize(AggFunc::Avg), Some(expect), "{sum}/{count}");
+        }
     }
 }

@@ -25,6 +25,7 @@
 pub mod bitvec;
 pub mod chunk;
 pub mod encoding;
+pub mod like;
 pub mod load;
 pub mod schema;
 pub mod scn;

@@ -1,0 +1,162 @@
+//! SQL `LIKE` pattern matching shared by every engine.
+//!
+//! The host Volcano executor evaluates `LIKE` per row over decoded
+//! strings; the RAPID compiler evaluates the same pattern once per
+//! dictionary entry and lowers the result to a qualifying-code bitmap.
+//! Both must agree on every pattern, so the matcher lives here, next to
+//! the dictionary, and both sides call it.
+//!
+//! Supported metacharacters are the SQL core set: `%` matches any run of
+//! characters (including the empty run) and `_` matches exactly one
+//! character. There is no escape syntax — none of the SQL front end's
+//! callers produce one.
+
+/// Whether `text` matches the SQL LIKE `pattern` (`%` = any run, `_` =
+/// exactly one character). Matching is over `char`s, not bytes, so `_`
+/// consumes one Unicode scalar value.
+pub fn like_match(pattern: &str, text: &str) -> bool {
+    let p: Vec<char> = pattern.chars().collect();
+    let t: Vec<char> = text.chars().collect();
+    // Classic two-pointer scan with backtracking to the last `%`: O(p·t)
+    // worst case, no recursion, handles runs of consecutive `%`.
+    let (mut pi, mut ti) = (0usize, 0usize);
+    let mut star: Option<(usize, usize)> = None; // (pattern idx after %, text idx)
+    while ti < t.len() {
+        if pi < p.len() && (p[pi] == '_' || p[pi] == t[ti]) && p[pi] != '%' {
+            pi += 1;
+            ti += 1;
+        } else if pi < p.len() && p[pi] == '%' {
+            star = Some((pi + 1, ti));
+            pi += 1;
+        } else if let Some((sp, st)) = star {
+            // Mismatch: let the last `%` absorb one more character.
+            pi = sp;
+            ti = st + 1;
+            star = Some((sp, st + 1));
+        } else {
+            return false;
+        }
+    }
+    while pi < p.len() && p[pi] == '%' {
+        pi += 1;
+    }
+    pi == p.len()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::like_match;
+
+    /// Independent oracle: recursive descent straight off the LIKE
+    /// definition. Exponential in the worst case but fine at test sizes.
+    fn oracle(p: &[char], t: &[char]) -> bool {
+        match p.first() {
+            None => t.is_empty(),
+            Some('%') => (0..=t.len()).any(|k| oracle(&p[1..], &t[k..])),
+            Some('_') => !t.is_empty() && oracle(&p[1..], &t[1..]),
+            Some(&c) => t.first() == Some(&c) && oracle(&p[1..], &t[1..]),
+        }
+    }
+
+    fn check(pattern: &str, text: &str) -> bool {
+        let got = like_match(pattern, text);
+        let want = oracle(
+            &pattern.chars().collect::<Vec<_>>(),
+            &text.chars().collect::<Vec<_>>(),
+        );
+        assert_eq!(got, want, "LIKE '{pattern}' on '{text}'");
+        got
+    }
+
+    #[test]
+    fn exact_and_empty_patterns() {
+        assert!(check("abc", "abc"));
+        assert!(!check("abc", "abd"));
+        assert!(!check("abc", "ab"));
+        assert!(check("", ""));
+        assert!(!check("", "a"));
+    }
+
+    #[test]
+    fn percent_runs() {
+        assert!(check("%", ""));
+        assert!(check("%", "anything"));
+        assert!(check("%%", "x"));
+        assert!(check("%%", ""));
+        assert!(check("a%%c", "abc"));
+        assert!(check("a%%c", "ac"));
+        assert!(!check("a%%c", "ab"));
+        assert!(check("%b%", "abc"));
+        assert!(check("a%c%e", "abcde"));
+        assert!(!check("a%c%e", "abdde"));
+    }
+
+    #[test]
+    fn suffix_and_inner_percent() {
+        assert!(check("%ing", "running"));
+        assert!(!check("%ing", "runner"));
+        assert!(check("run%", "running"));
+        assert!(check("r%g", "running"));
+        assert!(!check("r%x", "running"));
+    }
+
+    #[test]
+    fn underscore_positions() {
+        assert!(check("_bc", "abc"));
+        assert!(!check("_bc", "bc"));
+        assert!(check("ab_", "abc"));
+        assert!(!check("ab_", "ab"));
+        assert!(check("a_c", "abc"));
+        assert!(check("___", "abc"));
+        assert!(!check("___", "ab"));
+        assert!(check("_%", "a"));
+        assert!(!check("_%", ""));
+        assert!(check("%_", "a"));
+        assert!(!check("%_", ""));
+    }
+
+    #[test]
+    fn percent_underscore_interplay() {
+        assert!(check("%a_", "banan"));
+        assert!(check("_%_", "ab"));
+        assert!(!check("_%_", "a"));
+        assert!(check("%_%", "abc"));
+        assert!(check("a_%c", "abxc"));
+        assert!(!check("a_%c", "ac"));
+    }
+
+    #[test]
+    fn exhaustive_small_alphabet_against_oracle() {
+        // Every pattern of length <=4 over {a, %, _} against every text of
+        // length <=4 over {a, b}: 40k pairs, airtight for the core logic.
+        let pat_syms = ['a', '%', '_'];
+        let txt_syms = ['a', 'b'];
+        let mut pats = vec![String::new()];
+        for _ in 0..4 {
+            let mut next = pats.clone();
+            for p in &pats {
+                for s in pat_syms {
+                    next.push(format!("{p}{s}"));
+                }
+            }
+            pats = next;
+        }
+        let mut texts = vec![String::new()];
+        for _ in 0..4 {
+            let mut next = texts.clone();
+            for t in &texts {
+                for s in txt_syms {
+                    next.push(format!("{t}{s}"));
+                }
+            }
+            texts = next;
+        }
+        pats.dedup();
+        texts.dedup();
+        for p in &pats {
+            for t in &texts {
+                check(p, t);
+            }
+        }
+    }
+}

@@ -15,6 +15,7 @@ use rapid::qef::engine::Engine;
 use rapid::qef::exec::ExecContext;
 use rapid::qef::plan::Catalog;
 use rapid::storage::types::Value;
+use rapid_fuzz::canonical;
 
 fn setup() -> (HostDb, Catalog) {
     let data = tpch::generate(&tpch::TpchConfig {
@@ -51,28 +52,8 @@ fn setup() -> (HostDb, Catalog) {
     (db, catalog)
 }
 
-/// Canonical form: every row rendered with numeric normalization (1.50 ==
-/// 1.5 == 3/2), then sorted — immune to cross-engine row-order and scale
-/// representation differences.
-fn canonical(rows: &[Vec<Value>]) -> Vec<Vec<String>> {
-    let mut out: Vec<Vec<String>> = rows
-        .iter()
-        .map(|r| {
-            r.iter()
-                .map(|v| match v {
-                    Value::Null => "NULL".to_string(),
-                    Value::Str(s) => format!("s:{s}"),
-                    other => {
-                        let f = other.to_f64().expect("numeric");
-                        format!("n:{:.6}", f)
-                    }
-                })
-                .collect()
-        })
-        .collect();
-    out.sort();
-    out
-}
+// Canonicalization (numeric normalization + row sort) is shared with the
+// differential fuzzer: `rapid_fuzz::canonical`.
 
 #[test]
 fn all_eleven_queries_agree_across_engines() {
