@@ -25,4 +25,29 @@ FUZZ_QUERIES=200 cargo test -q --release --test differential_fuzz
 echo "== trace_report smoke (sf 0.01) =="
 cargo run -q --release -p rapid-bench --bin trace_report -- --sf 0.01 --query Q6 > /dev/null
 
+echo "== wire server smoke (ephemeral port, client query, loadgen, clean drain) =="
+SRV_LOG=$(mktemp)
+cargo run -q --release -p rapid-server --bin server -- --sf 0.01 --port 0 > "$SRV_LOG" &
+SRV_PID=$!
+trap 'kill "$SRV_PID" 2>/dev/null || true; rm -f "$SRV_LOG"' EXIT
+ADDR=""
+for _ in $(seq 1 300); do
+    ADDR=$(sed -n 's/^listening on //p' "$SRV_LOG")
+    [ -n "$ADDR" ] && break
+    sleep 0.2
+done
+[ -n "$ADDR" ] || { echo "server never came up"; exit 1; }
+echo "   server on $ADDR"
+OUT=$(cargo run -q --release -p rapid-server --bin sql -- --addr "$ADDR" \
+    "SELECT l_returnflag, COUNT(*) AS n FROM lineitem GROUP BY l_returnflag ORDER BY l_returnflag")
+echo "$OUT" | grep -q "^l_returnflag" || { echo "smoke query failed: $OUT"; exit 1; }
+cargo run -q --release -p rapid-bench --bin loadgen -- --sf 0.005 --conns 8 --queries 4 > /dev/null
+cargo run -q --release -p rapid-server --bin sql -- --addr "$ADDR" --shutdown > /dev/null
+wait "$SRV_PID"   # non-zero exit (incl. the leaked-thread assert) fails CI here
+grep -q "threads spawned" "$SRV_LOG" || { echo "server drain report missing"; exit 1; }
+DRAIN=$(sed -n 's/.*threads spawned \([0-9]*\) \/ joined \([0-9]*\).*/\1 \2/p' "$SRV_LOG")
+[ -n "$DRAIN" ] && [ "${DRAIN% *}" = "${DRAIN#* }" ] || { echo "leaked threads: $DRAIN"; exit 1; }
+trap - EXIT
+rm -f "$SRV_LOG"
+
 echo "CI green."

@@ -24,6 +24,7 @@ use rapid_storage::scn::{RowChange, Scn};
 use rapid_storage::table::TableBuilder;
 use rapid_storage::types::{DataType, Value};
 
+use crate::cache::{CachedPlan, PlanCache};
 use crate::offload::{decide, OffloadDecision};
 use crate::sql::{parse_sql, SqlError};
 use crate::store::RowStore;
@@ -154,6 +155,35 @@ pub enum DbError {
     NoSuchTable(String),
     /// A batch session thread panicked; only that query is lost.
     SessionPanic(String),
+    /// Admission refused: the scheduler's waiting queue is full. Callers
+    /// shed load (a wire service answers with a "server busy" frame)
+    /// instead of queueing forever.
+    Busy {
+        /// The waiting-queue bound that was hit.
+        capacity: usize,
+    },
+    /// The query was cancelled.
+    Cancelled,
+    /// The query's execution timeout expired.
+    QueryTimeout,
+}
+
+impl DbError {
+    /// Stable machine-readable error kind. Wire services ship this next to
+    /// the display message so remote clients can match on the same variant
+    /// an in-process caller would (error parity across transports).
+    pub fn kind(&self) -> &'static str {
+        match self {
+            DbError::Sql(_) => "Sql",
+            DbError::Volcano(_) => "Volcano",
+            DbError::Rapid(_) => "Rapid",
+            DbError::NoSuchTable(_) => "NoSuchTable",
+            DbError::SessionPanic(_) => "SessionPanic",
+            DbError::Busy { .. } => "Busy",
+            DbError::Cancelled => "Cancelled",
+            DbError::QueryTimeout => "QueryTimeout",
+        }
+    }
 }
 
 impl std::fmt::Display for DbError {
@@ -164,17 +194,48 @@ impl std::fmt::Display for DbError {
             DbError::Rapid(m) => write!(f, "RAPID error: {m}"),
             DbError::NoSuchTable(t) => write!(f, "no such table '{t}'"),
             DbError::SessionPanic(m) => write!(f, "session panicked: {m}"),
+            DbError::Busy { capacity } => {
+                write!(f, "server busy: admission queue full ({capacity} waiting)")
+            }
+            DbError::Cancelled => write!(f, "query cancelled"),
+            DbError::QueryTimeout => write!(f, "query timed out"),
         }
     }
 }
 
 impl std::error::Error for DbError {}
 
+/// Typed mapping from scheduler refusals to the end-to-end error surface.
+fn sched_err(e: rapid_sched::SchedError) -> DbError {
+    match e {
+        rapid_sched::SchedError::QueueFull { capacity } => DbError::Busy { capacity },
+        rapid_sched::SchedError::Cancelled => DbError::Cancelled,
+        rapid_sched::SchedError::TimedOut => DbError::QueryTimeout,
+    }
+}
+
+/// A prepared statement: SQL validated by [`HostDb::prepare`] whose plan
+/// sits in the server-side [`PlanCache`] keyed by the statement text.
+/// Executing it re-validates the cached plan against DDL/SCN changes, so a
+/// stale prepared statement transparently re-plans rather than mis-binds.
+#[derive(Debug, Clone)]
+pub struct PreparedStatement {
+    sql: String,
+}
+
+impl PreparedStatement {
+    /// The statement text (the plan-cache key).
+    pub fn sql(&self) -> &str {
+        &self.sql
+    }
+}
+
 /// The host database with an attached RAPID node.
 pub struct HostDb {
     store: Arc<RowStore>,
     rapid: Arc<RwLock<Engine>>,
     params: CostParams,
+    plan_cache: PlanCache,
     /// Force every query to RAPID / to the host (benchmark harness knobs).
     pub force_site: Option<ExecutionSite>,
     checkpointer_stop: Arc<AtomicBool>,
@@ -196,6 +257,7 @@ impl HostDb {
             store: Arc::new(RowStore::new()),
             rapid: Arc::new(RwLock::new(Engine::new(rapid_ctx))),
             params: CostParams::default(),
+            plan_cache: PlanCache::default(),
             force_site: None,
             checkpointer_stop: Arc::new(AtomicBool::new(false)),
             checkpointer: None,
@@ -381,8 +443,60 @@ impl HostDb {
                 host_secs: analysis.result.host_secs,
             });
         }
-        let plan = parse_sql(sql, &self.schemas()).map_err(DbError::Sql)?;
+        let plan = self.plan_sql_cached(sql)?;
         self.execute_plan(&plan)
+    }
+
+    /// Parse `sql` through the server-side plan cache: a fresh entry (same
+    /// DDL epoch, referenced tables at their planning-time SCNs) skips the
+    /// SQL front end; anything stale is invalidated and re-planned.
+    fn plan_sql_cached(&self, sql: &str) -> Result<LogicalPlan, DbError> {
+        let epoch = self.store.ddl_epoch();
+        let scn_of = |t: &str| self.store.table(t).map(|h| h.read().scn);
+        if let Some(hit) = self.plan_cache.lookup(sql, epoch, scn_of) {
+            return Ok(hit.plan.clone());
+        }
+        let plan = parse_sql(sql, &self.schemas()).map_err(DbError::Sql)?;
+        let mut tables = std::collections::HashSet::new();
+        crate::offload::referenced_tables(&plan, &mut tables);
+        let mut snapshot: Vec<(String, rapid_storage::scn::Scn)> = tables
+            .into_iter()
+            .filter_map(|t| {
+                let scn = self.store.table(&t).map(|h| h.read().scn)?;
+                Some((t, scn))
+            })
+            .collect();
+        snapshot.sort();
+        self.plan_cache.insert(
+            sql,
+            CachedPlan {
+                plan: plan.clone(),
+                ddl_epoch: epoch,
+                scn_snapshot: snapshot,
+            },
+        );
+        Ok(plan)
+    }
+
+    /// The plan cache's hit/miss/invalidation counters.
+    pub fn plan_cache_stats(&self) -> crate::cache::CacheStats {
+        self.plan_cache.stats()
+    }
+
+    /// Prepare a statement: validate it through the SQL front end and warm
+    /// the plan cache. The returned handle is cheap to clone and re-execute;
+    /// DDL or committed DML on a referenced table invalidates the cached
+    /// plan underneath it, and the next execution transparently re-plans.
+    pub fn prepare(&self, sql: &str) -> Result<PreparedStatement, DbError> {
+        let inner = crate::sql::strip_explain_analyze(sql).unwrap_or(sql);
+        self.plan_sql_cached(inner)?;
+        Ok(PreparedStatement { sql: sql.into() })
+    }
+
+    /// Execute a prepared statement (the cache-hit fast path of
+    /// [`execute_sql`](Self::execute_sql)).
+    pub fn execute_prepared(&self, stmt: &PreparedStatement) -> Result<QueryResult, DbError> {
+        self.execute_sql(&stmt.sql)
     }
 
     /// Execute `sql` (the `EXPLAIN ANALYZE` prefix is optional) with
@@ -467,7 +581,7 @@ impl HostDb {
         // tie-breaks) are a function of the batch alone.
         let handles: Vec<_> = queries
             .iter()
-            .map(|q| sched.submit(q.priority, q.timeout))
+            .map(|q| self.submit_query(q, &sched))
             .collect();
         let results = std::thread::scope(|scope| {
             let spawned: Vec<_> = queries
@@ -475,7 +589,7 @@ impl HostDb {
                 .zip(handles)
                 .map(|(q, h)| {
                     let sched = Arc::clone(&sched);
-                    scope.spawn(move || self.execute_session(q, h, sched))
+                    scope.spawn(move || self.execute_scheduled(q, h?, &sched))
                 })
                 .collect();
             spawned
@@ -496,20 +610,58 @@ impl HostDb {
         }
     }
 
-    /// One concurrent session: admission, then the standard decision path
-    /// with RAPID stages routed through the shared scheduler.
-    fn execute_session(
+    /// Submit one query to a shared scheduler, mapping admission refusals to
+    /// typed errors ([`DbError::Busy`] when the waiting queue is full). Wire
+    /// services call this from connection threads against one long-lived
+    /// scheduler; [`execute_batch`](Self::execute_batch) uses it per batch.
+    pub fn submit_query(
         &self,
         q: &BatchQuery,
-        handle: Result<rapid_sched::QueryHandle, rapid_sched::SchedError>,
-        sched: Arc<Scheduler>,
+        sched: &Arc<Scheduler>,
+    ) -> Result<rapid_sched::QueryHandle, DbError> {
+        self.submit_query_at(q, sched, None)
+    }
+
+    /// [`submit_query`](Self::submit_query) with an explicit simulated
+    /// arrival time. A closed-loop session passes the completion of its
+    /// own previous query ([`Scheduler::completion_cycles`]) so that N
+    /// independent sessions overlap on the shared DPU timeline instead of
+    /// serializing behind the global makespan; `None` keeps the
+    /// conservative makespan arrival.
+    pub fn submit_query_at(
+        &self,
+        q: &BatchQuery,
+        sched: &Arc<Scheduler>,
+        arrival: Option<rapid_sched::Cycles>,
+    ) -> Result<rapid_sched::QueryHandle, DbError> {
+        sched
+            .submit_at(q.priority, q.timeout, arrival)
+            .map_err(sched_err)
+    }
+
+    /// One concurrent session: admission, then the standard decision path
+    /// with RAPID stages routed through the shared scheduler. Scheduler
+    /// refusals surface as the same typed errors an in-process caller sees
+    /// ([`DbError::Cancelled`] / [`DbError::QueryTimeout`]).
+    pub fn execute_scheduled(
+        &self,
+        q: &BatchQuery,
+        handle: rapid_sched::QueryHandle,
+        sched: &Arc<Scheduler>,
     ) -> Result<QueryResult, DbError> {
-        let handle = handle.map_err(|e| DbError::Rapid(e.to_string()))?;
-        handle
-            .await_admission()
-            .map_err(|e| DbError::Rapid(e.to_string()))?;
+        handle.await_admission().map_err(sched_err)?;
         let plan = match &q.source {
-            BatchSource::Sql(sql) => parse_sql(sql, &self.schemas()).map_err(DbError::Sql)?,
+            BatchSource::Sql(sql) => {
+                // EXPLAIN ANALYZE needs the serial tracing path; it holds no
+                // concurrent-DPU slot (parity fix: the session path used to
+                // hand the raw prefix to the parser and fail, while
+                // `execute_sql` stripped it).
+                if crate::sql::strip_explain_analyze(sql).is_some() {
+                    handle.finish();
+                    return self.execute_sql(sql);
+                }
+                self.plan_sql_cached(sql)?
+            }
             BatchSource::Plan(plan) => plan.clone(),
         };
         let decision = match self.force_site {
@@ -523,22 +675,30 @@ impl HostDb {
             }
         };
         let router: (Arc<dyn StageRouter>, u64) =
-            (Arc::clone(&sched) as Arc<dyn StageRouter>, handle.id());
+            (Arc::clone(sched) as Arc<dyn StageRouter>, handle.id());
         match decision {
             OffloadDecision::Full => {
                 match self.execute_on_rapid_routed(&plan, Some(&router), None) {
                     Ok(r) => Ok(r),
-                    // A cancelled or timed-out query aborts outright;
-                    // genuine engine failures fall back to the host as in
-                    // the serial path (slot released first).
-                    Err(e) if handle.cancelled() || handle.timed_out() => Err(e),
+                    // A cancelled or timed-out query aborts outright with
+                    // the typed error; genuine engine failures fall back to
+                    // the host as in the serial path (slot released first).
+                    Err(_) if handle.cancelled() => Err(DbError::Cancelled),
+                    Err(_) if handle.timed_out() => Err(DbError::QueryTimeout),
                     Err(_) => {
                         handle.finish();
                         self.execute_on_host(&plan)
                     }
                 }
             }
-            OffloadDecision::Partial(_) => self.execute_partial_routed(&plan, Some(&router)),
+            OffloadDecision::Partial(_) => {
+                match self.execute_partial_routed(&plan, Some(&router)) {
+                    Ok(r) => Ok(r),
+                    Err(_) if handle.cancelled() => Err(DbError::Cancelled),
+                    Err(_) if handle.timed_out() => Err(DbError::QueryTimeout),
+                    Err(e) => Err(e),
+                }
+            }
             OffloadDecision::None(_) => {
                 // Host-only: free the DPU slot before host execution.
                 handle.finish();
@@ -1254,5 +1414,83 @@ mod tests {
         });
         // No temp-table leftovers once every session finished.
         assert!(d.schemas().keys().all(|t| !t.contains("__")));
+    }
+
+    #[test]
+    fn plan_cache_hits_on_repeat_and_invalidates_on_dml() {
+        let d = db();
+        let sql = "SELECT COUNT(*) AS n FROM sales WHERE id < 100";
+        d.execute_sql(sql).unwrap();
+        let s0 = d.plan_cache_stats();
+        assert_eq!(s0.hits, 0);
+        d.execute_sql(sql).unwrap();
+        let s1 = d.plan_cache_stats();
+        assert_eq!(s1.hits, 1, "second execution reuses the cached plan");
+        // Committed DML moves the table's SCN → the entry is stale.
+        d.commit(
+            "sales",
+            vec![RowChange::Insert(vec![
+                Value::Int(-1),
+                Value::Decimal {
+                    unscaled: 0,
+                    scale: 2,
+                },
+                Value::Str("north".into()),
+            ])],
+        );
+        let r = d.execute_sql(sql).unwrap();
+        let s2 = d.plan_cache_stats();
+        assert_eq!(s2.invalidations, s1.invalidations + 1);
+        assert_eq!(r.rows[0][0], Value::Int(101), "re-plan sees the new row");
+    }
+
+    #[test]
+    fn plan_cache_invalidates_on_ddl() {
+        let d = db();
+        let sql = "SELECT COUNT(*) AS n FROM sales";
+        d.execute_sql(sql).unwrap();
+        d.create_table(
+            "unrelated",
+            Schema::new(vec![Field::new("x", DataType::Int)]),
+        );
+        d.execute_sql(sql).unwrap();
+        assert_eq!(
+            d.plan_cache_stats().invalidations,
+            1,
+            "any DDL bumps the epoch and conservatively re-plans"
+        );
+    }
+
+    #[test]
+    fn prepared_statement_round_trips_and_survives_ddl() {
+        let d = db();
+        let ps = d
+            .prepare("SELECT region, COUNT(*) AS n FROM sales GROUP BY region ORDER BY region")
+            .unwrap();
+        let direct = d.execute_sql(ps.sql()).unwrap();
+        let via = d.execute_prepared(&ps).unwrap();
+        assert_eq!(via.rows, direct.rows);
+        assert!(d.plan_cache_stats().hits >= 1, "prepare warmed the cache");
+        // DDL after prepare: execution transparently re-plans.
+        d.create_table("other", Schema::new(vec![Field::new("x", DataType::Int)]));
+        assert_eq!(d.execute_prepared(&ps).unwrap().rows, direct.rows);
+        // Invalid SQL is rejected at prepare time with the parse error.
+        let err = d.prepare("SELECT FROM nothing").unwrap_err();
+        assert_eq!(err.kind(), "Sql");
+    }
+
+    #[test]
+    fn scheduled_explain_analyze_matches_serial_path() {
+        // Parity fix: EXPLAIN ANALYZE through the batch/session path used
+        // to hand the raw prefix to the parser and fail with a Sql error
+        // while `execute_sql` succeeded.
+        let d = db();
+        d.load_into_rapid("sales").unwrap();
+        let sql = "EXPLAIN ANALYZE SELECT region, COUNT(*) AS n FROM sales GROUP BY region";
+        let serial = d.execute_sql(sql).unwrap();
+        let out = d.execute_batch(&[BatchQuery::new(sql)], SchedConfig::default());
+        let batched = out.results.into_iter().next().unwrap().unwrap();
+        assert_eq!(batched.rows.len(), serial.rows.len());
+        assert_eq!(batched.rows[0][0], serial.rows[0][0]);
     }
 }

@@ -25,6 +25,7 @@
 
 #![warn(missing_docs)]
 
+pub mod cache;
 pub mod db;
 pub mod offload;
 pub mod sql;
@@ -32,6 +33,10 @@ pub mod store;
 pub mod valmath;
 pub mod volcano;
 
-pub use db::{BatchOutcome, BatchQuery, ExecutionSite, ExplainAnalysis, HostDb, QueryResult};
+pub use cache::{CacheStats, CachedPlan, PlanCache};
+pub use db::{
+    BatchOutcome, BatchQuery, DbError, ExecutionSite, ExplainAnalysis, HostDb, PreparedStatement,
+    QueryResult,
+};
 pub use sql::{parse_sql, strip_explain_analyze};
 pub use store::{HostTable, RowStore};

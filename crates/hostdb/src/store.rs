@@ -7,6 +7,7 @@
 
 use parking_lot::RwLock;
 use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
 use rapid_storage::schema::Schema;
@@ -69,6 +70,9 @@ impl HostTable {
 pub struct RowStore {
     tables: RwLock<HashMap<String, Arc<RwLock<HostTable>>>>,
     clock: ScnClock,
+    /// Monotonic counter bumped by every DDL statement (create/drop); plan
+    /// caches key their validity on it.
+    ddl_epoch: AtomicU64,
 }
 
 impl RowStore {
@@ -82,12 +86,20 @@ impl RowStore {
         &self.clock
     }
 
-    /// Create a table (replacing any previous definition).
+    /// Create a table (replacing any previous definition). DDL: bumps the
+    /// [`ddl_epoch`](Self::ddl_epoch), invalidating cached plans.
     pub fn create_table(&self, name: &str, schema: Schema) {
         self.tables.write().insert(
             name.to_string(),
             Arc::new(RwLock::new(HostTable::new(schema))),
         );
+        self.ddl_epoch.fetch_add(1, Ordering::Release);
+    }
+
+    /// The current DDL epoch. Any create/drop since a plan was cached makes
+    /// that plan's name resolution stale; caches compare epochs to decide.
+    pub fn ddl_epoch(&self) -> u64 {
+        self.ddl_epoch.load(Ordering::Acquire)
     }
 
     /// Handle to a table.
@@ -101,9 +113,10 @@ impl RowStore {
     }
 
     /// Drop a table (used for the offload path's temporary fragment
-    /// results).
+    /// results). DDL: bumps the [`ddl_epoch`](Self::ddl_epoch).
     pub fn drop_table(&self, name: &str) {
         self.tables.write().remove(name);
+        self.ddl_epoch.fetch_add(1, Ordering::Release);
     }
 
     /// Commit a batch of changes to one table: bumps the SCN, applies to

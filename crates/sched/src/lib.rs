@@ -44,3 +44,7 @@ pub use scheduler::{QueryHandle, QueryStats, SchedConfig, SchedError, SchedRepor
 pub use timeline::{
     DispatchMode, DpuTimeline, Placement, PlacementRecord, Utilization, UtilizationSample,
 };
+
+// Simulated-time units, re-exported so callers passing explicit arrival
+// times (see [`Scheduler::submit_at`]) need not depend on `dpu-sim`.
+pub use dpu_sim::clock::{Cycles, SimTime};

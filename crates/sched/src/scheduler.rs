@@ -203,10 +203,35 @@ impl Scheduler {
     /// Submit a query. Returns immediately: the query is either admitted
     /// (slot free) or queued by `(priority desc, id asc)`; a full queue is
     /// refused. `timeout` is a wall-clock bound on the whole query.
+    ///
+    /// The query's simulated arrival is the current timeline makespan — a
+    /// conservative mapping that serializes a closed-loop stream of
+    /// submissions behind everything already placed. Streams that know
+    /// their own simulated history (wire sessions) should use
+    /// [`submit_at`](Self::submit_at) instead.
     pub fn submit(
         self: &Arc<Self>,
         priority: u8,
         timeout: Option<Duration>,
+    ) -> Result<QueryHandle, SchedError> {
+        self.submit_at(priority, timeout, None)
+    }
+
+    /// Submit a query with an explicit simulated arrival time.
+    ///
+    /// `arrival` is where this query's clock starts on the shared
+    /// timeline; placement never starts a stage before it (contention can
+    /// only delay). A closed-loop session passes the completion time of
+    /// its *own* previous query (see
+    /// [`completion_cycles`](Self::completion_cycles)), so N independent
+    /// sessions overlap in simulated time exactly like N clients sharing
+    /// one DPU — rather than serializing behind the global makespan.
+    /// `None` falls back to the conservative makespan arrival.
+    pub fn submit_at(
+        self: &Arc<Self>,
+        priority: u8,
+        timeout: Option<Duration>,
+        arrival: Option<Cycles>,
     ) -> Result<QueryHandle, SchedError> {
         let mut inner = self.lock();
         if inner.active >= self.cfg.max_active && inner.waiting >= self.cfg.queue_capacity {
@@ -216,7 +241,7 @@ impl Scheduler {
         }
         let id = inner.next_id;
         inner.next_id += 1;
-        let now = inner.timeline.makespan();
+        let now = arrival.unwrap_or_else(|| inner.timeline.makespan());
         let admit = inner.active < self.cfg.max_active;
         let cancelled = Arc::new(AtomicBool::new(false));
         inner.queries.insert(
@@ -245,6 +270,44 @@ impl Scheduler {
             cancelled,
             finished: AtomicBool::new(false),
         })
+    }
+
+    /// Simulated completion time (cycles) of a finished query, or `None`
+    /// while it is still live or the id is unknown. This is what a
+    /// closed-loop session feeds back into
+    /// [`submit_at`](Self::submit_at) as its next query's arrival.
+    pub fn completion_cycles(&self, id: u64) -> Option<Cycles> {
+        let inner = self.lock();
+        inner
+            .queries
+            .get(&id)
+            .filter(|q| q.phase == Phase::Done)
+            .map(|q| q.ready)
+    }
+
+    /// Cancel a query by scheduler id from any thread (out-of-band cancel:
+    /// a wire service maps a client's cancel request to the target
+    /// session's live query id). Returns `true` if the query was still
+    /// live — waiting or active — and its flag was raised; `false` if the
+    /// id is unknown or already finished. The owning session observes the
+    /// flag at its next stage boundary, exactly as with
+    /// [`QueryHandle::cancel`].
+    pub fn cancel(&self, id: u64) -> bool {
+        let inner = self.lock();
+        let live = inner
+            .queries
+            .get(&id)
+            .filter(|q| !matches!(q.phase, Phase::Done))
+            .map(|q| Arc::clone(&q.cancelled));
+        drop(inner);
+        match live {
+            Some(flag) => {
+                flag.store(true, Ordering::Relaxed);
+                self.cv.notify_all();
+                true
+            }
+            None => false,
+        }
     }
 
     /// Snapshot: finished queries (by id) plus whole-DPU utilization.
@@ -624,6 +687,49 @@ mod tests {
         assert!(r.queries[1].queued.as_secs() > 0.0, "b waited in the queue");
     }
 
+    /// Explicit arrivals are what let independent closed-loop sessions
+    /// overlap in simulated time: the default makespan arrival serializes
+    /// a host-serial stream, while per-session completion chaining lets
+    /// the same work from two sessions land on different cores.
+    #[test]
+    fn submit_at_overlaps_independent_sessions() {
+        let freq = SchedConfig::default().cost_model.freq_hz;
+
+        // Conservative default: a host-serial stream serializes.
+        let s = Arc::new(Scheduler::new(cfg(DispatchMode::WorkStealing, 8, 8)));
+        for _ in 0..4 {
+            let h = s.submit(0, None).unwrap();
+            s.route_stage(&stage(h.id(), 1, vec![compute_item(1000.0)]))
+                .unwrap();
+            h.finish();
+        }
+        let serial = s.report().utilization.makespan.as_secs();
+        assert!((serial - 4000.0 / freq).abs() < 1e-15, "serial {serial}");
+
+        // Two sessions, two queries each, chained per session: each chain
+        // ends at 2000 cycles and the sessions overlap on separate cores.
+        let s = Arc::new(Scheduler::new(cfg(DispatchMode::WorkStealing, 8, 8)));
+        let mut last = [Cycles::ZERO; 2];
+        for _round in 0..2 {
+            for arrival in last.iter_mut() {
+                let h = s.submit_at(0, None, Some(*arrival)).unwrap();
+                s.route_stage(&stage(h.id(), 1, vec![compute_item(1000.0)]))
+                    .unwrap();
+                h.finish();
+                *arrival = s.completion_cycles(h.id()).expect("finished");
+            }
+        }
+        let overlapped = s.report().utilization.makespan.as_secs();
+        assert!(
+            (overlapped - 2000.0 / freq).abs() < 1e-15,
+            "chained sessions must overlap: {overlapped}"
+        );
+        // A live query has no completion yet; unknown ids have none.
+        let live = s.submit_at(0, None, Some(Cycles::ZERO)).unwrap();
+        assert_eq!(s.completion_cycles(live.id()), None);
+        assert_eq!(s.completion_cycles(987_654), None);
+    }
+
     #[test]
     fn queue_full_is_backpressure() {
         let s = Arc::new(Scheduler::new(cfg(DispatchMode::WorkStealing, 1, 1)));
@@ -683,6 +789,28 @@ mod tests {
         let b = s.submit(0, None).unwrap();
         b.cancel();
         assert_eq!(b.await_admission().unwrap_err(), SchedError::Cancelled);
+    }
+
+    #[test]
+    fn cancel_by_id_reaches_live_queries_only() {
+        let s = Arc::new(Scheduler::new(cfg(DispatchMode::WorkStealing, 1, 2)));
+        let active = s.submit(0, None).unwrap();
+        let waiting = s.submit(0, None).unwrap();
+        // Out-of-band cancel of a waiting query by id alone.
+        assert!(s.cancel(waiting.id()));
+        assert_eq!(
+            waiting.await_admission().unwrap_err(),
+            SchedError::Cancelled
+        );
+        // Active query: flag raised, next stage request aborts.
+        assert!(s.cancel(active.id()));
+        let err = s
+            .route_stage(&stage(active.id(), 1, vec![compute_item(1.0)]))
+            .unwrap_err();
+        assert_eq!(err.reason, "cancelled");
+        // Finished or unknown ids report false.
+        assert!(!s.cancel(active.id()), "finished query is no longer live");
+        assert!(!s.cancel(12345), "unknown id");
     }
 
     /// Drive `n` concurrent synthetic queries through the scheduler on real

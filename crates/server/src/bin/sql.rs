@@ -1,0 +1,119 @@
+//! Minimal command-line SQL client for the wire server.
+//!
+//! ```text
+//! cargo run --release -p rapid-server --bin sql -- \
+//!     --addr 127.0.0.1:7878 "SELECT COUNT(*) AS n FROM lineitem"
+//! cargo run --release -p rapid-server --bin sql -- --addr 127.0.0.1:7878 --stats
+//! cargo run --release -p rapid-server --bin sql -- --addr 127.0.0.1:7878 --shutdown
+//! ```
+//!
+//! Prints one tab-separated line per row; `--stats` and `--shutdown` issue
+//! the corresponding control frames instead of a query.
+
+use rapid_server::Client;
+use rapid_storage::types::Value;
+
+fn render(v: &Value) -> String {
+    match v {
+        Value::Null => "NULL".into(),
+        Value::Int(i) => i.to_string(),
+        Value::Str(s) => s.clone(),
+        other => match other.to_f64() {
+            Some(f) => format!("{f}"),
+            None => format!("{other:?}"),
+        },
+    }
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut addr = "127.0.0.1:7878".to_string();
+    let mut stats = false;
+    let mut shutdown = false;
+    let mut sql: Option<String> = None;
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--addr" => {
+                addr = args.get(i + 1).cloned().unwrap_or(addr);
+                i += 2;
+            }
+            "--stats" => {
+                stats = true;
+                i += 1;
+            }
+            "--shutdown" => {
+                shutdown = true;
+                i += 1;
+            }
+            other => {
+                sql = Some(other.to_string());
+                i += 1;
+            }
+        }
+    }
+
+    let mut client = match Client::connect(&addr) {
+        Ok(c) => c,
+        Err(e) => {
+            eprintln!("connect {addr}: {e}");
+            std::process::exit(1);
+        }
+    };
+
+    if stats {
+        match client.stats() {
+            Ok(s) => {
+                println!(
+                    "queries {}  makespan {:.6}s  core-util {:.1}%  dms-util {:.1}%  \
+                     cache hits/misses/invalidations {}/{}/{}  connections {}",
+                    s.queries_finished,
+                    s.makespan_secs,
+                    s.core_utilization * 100.0,
+                    s.dms_utilization * 100.0,
+                    s.plan_cache_hits,
+                    s.plan_cache_misses,
+                    s.plan_cache_invalidations,
+                    s.connections
+                );
+            }
+            Err(e) => {
+                eprintln!("stats: {e}");
+                std::process::exit(1);
+            }
+        }
+    }
+
+    if let Some(sql) = sql {
+        match client.query(&sql) {
+            Ok(r) => {
+                println!("{}", r.columns.join("\t"));
+                for row in &r.rows {
+                    let cells: Vec<String> = row.iter().map(render).collect();
+                    println!("{}", cells.join("\t"));
+                }
+                eprintln!(
+                    "-- {} rows, site {}, rapid {:.6}s host {:.6}s",
+                    r.rows.len(),
+                    r.site,
+                    r.rapid_secs,
+                    r.host_secs
+                );
+            }
+            Err(e) => {
+                eprintln!("query failed: {e}");
+                std::process::exit(1);
+            }
+        }
+    }
+
+    if shutdown {
+        if let Err(e) = client.request_shutdown() {
+            eprintln!("shutdown: {e}");
+            std::process::exit(1);
+        }
+        println!("server draining");
+        return; // the server closes this session after acknowledging
+    }
+    let _ = client.bye();
+}

@@ -1,0 +1,354 @@
+//! The wire protocol: length-prefixed JSON frames.
+//!
+//! Every message is one frame: a 4-byte big-endian length followed by that
+//! many bytes of JSON encoding a [`Request`] or [`Response`] (externally
+//! tagged, via the workspace serde shim). Result sets stream as a
+//! `RowHeader` frame, zero or more `RowBatch` frames, and a terminating
+//! `QueryDone` frame, so clients can consume arbitrarily large results
+//! without the server materializing one giant frame.
+//!
+//! | request | responses |
+//! |---|---|
+//! | `Hello` | `HelloOk` (or `Busy` straight from the acceptor) |
+//! | `Query { sql }` | `RowHeader`, `RowBatch`*, `QueryDone` — or `Busy` / `Error` |
+//! | `Prepare { sql }` | `Prepared { stmt }` or `Error` |
+//! | `ExecutePrepared { stmt }` | same stream as `Query` |
+//! | `ClosePrepared { stmt }` | `Closed { stmt }` |
+//! | `Cancel { conn, secret }` | `CancelOk { delivered }` (allowed pre-`Hello`) |
+//! | `Stats` | `Stats` |
+//! | `Shutdown` | `ShuttingDown`, then the server drains and exits |
+//! | `Bye` | `Bye`, connection closes |
+//!
+//! `Error` frames carry [`hostdb::DbError::kind`] plus the display
+//! message, so a remote client can match the exact variant an in-process
+//! caller would see (error parity across transports). Frames above
+//! [`MAX_FRAME_BYTES`] are refused before the body is read — a garbage
+//! length prefix cannot make the server allocate unbounded memory.
+
+use serde::{Deserialize, Serialize};
+use std::io::{self, Read, Write};
+
+use rapid_storage::types::Value;
+
+/// Protocol revision carried in the handshake.
+pub const PROTOCOL_VERSION: u32 = 1;
+
+/// Upper bound on a single frame body, enforced by both sides.
+pub const MAX_FRAME_BYTES: u32 = 16 * 1024 * 1024;
+
+/// Client → server messages.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum Request {
+    /// Handshake: must be the first frame of a session (except `Cancel`).
+    Hello {
+        /// Client's protocol revision.
+        version: u32,
+        /// Free-form client identification for logs.
+        client: String,
+    },
+    /// Execute one SQL statement.
+    Query {
+        /// Statement text.
+        sql: String,
+    },
+    /// Validate and cache a statement server-side.
+    Prepare {
+        /// Statement text.
+        sql: String,
+    },
+    /// Execute a statement previously returned by `Prepared`.
+    ExecutePrepared {
+        /// Server-assigned statement id.
+        stmt: u64,
+    },
+    /// Release a prepared statement.
+    ClosePrepared {
+        /// Server-assigned statement id.
+        stmt: u64,
+    },
+    /// Out-of-band cancel of `conn`'s in-flight query (Postgres style:
+    /// sent on a *fresh* connection, before any `Hello`, authorized by the
+    /// secret issued in that session's `HelloOk`).
+    Cancel {
+        /// Target connection id.
+        conn: u64,
+        /// The target session's cancel secret.
+        secret: u64,
+    },
+    /// Ask for scheduler / plan-cache counters.
+    Stats,
+    /// Request graceful server shutdown (drains in-flight queries).
+    Shutdown,
+    /// Close this session cleanly.
+    Bye,
+}
+
+/// Scheduler and plan-cache counters reported by `Stats`.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ServerStats {
+    /// Queries the shared scheduler has finished since startup.
+    pub queries_finished: u64,
+    /// Simulated makespan of everything placed on the DPU so far.
+    pub makespan_secs: f64,
+    /// Core-busy fraction of `cores × makespan`.
+    pub core_utilization: f64,
+    /// DMS-engine occupancy over the makespan.
+    pub dms_utilization: f64,
+    /// Energy at the DPU's provisioned power over the makespan.
+    pub energy_joules: f64,
+    /// Plan-cache lookups answered from cache.
+    pub plan_cache_hits: u64,
+    /// Plan-cache lookups that re-planned.
+    pub plan_cache_misses: u64,
+    /// Plan-cache entries dropped on DDL/SCN change.
+    pub plan_cache_invalidations: u64,
+    /// Currently open connections.
+    pub connections: u64,
+}
+
+/// Server → client messages.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum Response {
+    /// Handshake accepted.
+    HelloOk {
+        /// Server's protocol revision.
+        version: u32,
+        /// This session's connection id (cancel target).
+        conn: u64,
+        /// This session's cancel secret.
+        secret: u64,
+        /// Server identification string.
+        server: String,
+    },
+    /// Load shed: the connection cap or the scheduler's admission queue is
+    /// full. Sent instead of hanging; after a per-query `Busy` the session
+    /// stays open and may retry.
+    Busy {
+        /// The bound that was hit (connections or queue slots).
+        capacity: usize,
+        /// Human-readable description.
+        message: String,
+    },
+    /// Result-set start: output column names.
+    RowHeader {
+        /// Column names, in output order.
+        columns: Vec<String>,
+    },
+    /// One batch of result rows (the stream may contain any number).
+    RowBatch {
+        /// Rows in result order.
+        rows: Vec<Vec<Value>>,
+    },
+    /// Result-set end.
+    QueryDone {
+        /// Total rows streamed.
+        row_count: u64,
+        /// Where execution happened (`Rapid` / `Host` / `Mixed`).
+        site: String,
+        /// Seconds attributed to RAPID (simulated on the DPU backend).
+        rapid_secs: f64,
+        /// Wall seconds attributed to the host engine.
+        host_secs: f64,
+    },
+    /// Statement cached server-side.
+    Prepared {
+        /// Id to pass to `ExecutePrepared` / `ClosePrepared`.
+        stmt: u64,
+    },
+    /// Prepared statement released.
+    Closed {
+        /// The released id.
+        stmt: u64,
+    },
+    /// Cancel processed.
+    CancelOk {
+        /// Whether a live query was found and flagged.
+        delivered: bool,
+    },
+    /// Scheduler / cache counters.
+    Stats {
+        /// The counters.
+        stats: ServerStats,
+    },
+    /// Typed failure: `kind` matches [`hostdb::DbError::kind`] for engine
+    /// errors; connection-level kinds are `"Protocol"`, `"FrameTooLarge"`
+    /// and `"IdleTimeout"`.
+    Error {
+        /// Stable machine-readable kind.
+        kind: String,
+        /// Display message (identical to the in-process error's).
+        message: String,
+    },
+    /// Graceful shutdown acknowledged; the server is draining.
+    ShuttingDown,
+    /// Session closed cleanly.
+    Bye,
+}
+
+/// Why a frame could not be read.
+#[derive(Debug)]
+pub enum FrameError {
+    /// Clean end-of-stream at a frame boundary.
+    Eof,
+    /// Transport failure (including EOF mid-frame).
+    Io(io::Error),
+    /// The length prefix exceeds the negotiated bound.
+    TooLarge {
+        /// Announced body length.
+        len: u32,
+        /// Enforced maximum.
+        max: u32,
+    },
+    /// The body was not valid JSON for the expected type.
+    Malformed(String),
+}
+
+impl std::fmt::Display for FrameError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            FrameError::Eof => write!(f, "connection closed"),
+            FrameError::Io(e) => write!(f, "i/o error: {e}"),
+            FrameError::TooLarge { len, max } => {
+                write!(f, "frame of {len} bytes exceeds the {max}-byte limit")
+            }
+            FrameError::Malformed(m) => write!(f, "malformed frame: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for FrameError {}
+
+impl From<io::Error> for FrameError {
+    fn from(e: io::Error) -> Self {
+        FrameError::Io(e)
+    }
+}
+
+/// Write one frame: 4-byte big-endian length, then the JSON body.
+pub fn write_frame<T: Serialize>(w: &mut impl Write, frame: &T) -> io::Result<()> {
+    let body = serde_json::to_string(frame)
+        .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e.to_string()))?;
+    let bytes = body.as_bytes();
+    let len = u32::try_from(bytes.len())
+        .map_err(|_| io::Error::new(io::ErrorKind::InvalidData, "frame too large"))?;
+    w.write_all(&len.to_be_bytes())?;
+    w.write_all(bytes)?;
+    w.flush()
+}
+
+/// Blocking read of one frame (used by the client; the server uses its own
+/// polling reader so it can observe idle timeouts and shutdown).
+pub fn read_frame<T: Deserialize>(r: &mut impl Read, max: u32) -> Result<T, FrameError> {
+    let mut hdr = [0u8; 4];
+    let mut filled = 0usize;
+    while filled < hdr.len() {
+        match r.read(&mut hdr[filled..]) {
+            Ok(0) if filled == 0 => return Err(FrameError::Eof),
+            Ok(0) => {
+                return Err(FrameError::Io(io::Error::new(
+                    io::ErrorKind::UnexpectedEof,
+                    "eof mid-header",
+                )))
+            }
+            Ok(n) => filled += n,
+            Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
+            Err(e) => return Err(FrameError::Io(e)),
+        }
+    }
+    let len = u32::from_be_bytes(hdr);
+    if len > max {
+        return Err(FrameError::TooLarge { len, max });
+    }
+    let mut body = vec![0u8; len as usize];
+    r.read_exact(&mut body)?;
+    decode(&body)
+}
+
+/// Decode a complete frame body.
+pub fn decode<T: Deserialize>(body: &[u8]) -> Result<T, FrameError> {
+    let text =
+        std::str::from_utf8(body).map_err(|e| FrameError::Malformed(format!("not UTF-8: {e}")))?;
+    serde_json::from_str(text).map_err(|e| FrameError::Malformed(e.to_string()))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn frames_roundtrip() {
+        let msgs = vec![
+            Request::Hello {
+                version: PROTOCOL_VERSION,
+                client: "t".into(),
+            },
+            Request::Query {
+                sql: "SELECT 1 AS x".into(),
+            },
+            Request::Cancel {
+                conn: 3,
+                secret: 0xdead_beef,
+            },
+            Request::Bye,
+        ];
+        let mut buf = Vec::new();
+        for m in &msgs {
+            write_frame(&mut buf, m).unwrap();
+        }
+        let mut r = &buf[..];
+        for m in &msgs {
+            let back: Request = read_frame(&mut r, MAX_FRAME_BYTES).unwrap();
+            assert_eq!(&back, m);
+        }
+        assert!(matches!(
+            read_frame::<Request>(&mut r, MAX_FRAME_BYTES),
+            Err(FrameError::Eof)
+        ));
+    }
+
+    #[test]
+    fn response_rows_roundtrip() {
+        let resp = Response::RowBatch {
+            rows: vec![
+                vec![Value::Int(-7), Value::Null, Value::Str("x".into())],
+                vec![
+                    Value::Decimal {
+                        unscaled: -12345,
+                        scale: 2,
+                    },
+                    Value::Date(9000),
+                    Value::Int(i64::MAX),
+                ],
+            ],
+        };
+        let mut buf = Vec::new();
+        write_frame(&mut buf, &resp).unwrap();
+        let back: Response = read_frame(&mut &buf[..], MAX_FRAME_BYTES).unwrap();
+        assert_eq!(back, resp);
+    }
+
+    #[test]
+    fn oversized_frame_refused_before_allocation() {
+        let mut buf = Vec::new();
+        buf.extend_from_slice(&u32::MAX.to_be_bytes());
+        buf.extend_from_slice(b"junk");
+        match read_frame::<Request>(&mut &buf[..], MAX_FRAME_BYTES) {
+            Err(FrameError::TooLarge { len, max }) => {
+                assert_eq!(len, u32::MAX);
+                assert_eq!(max, MAX_FRAME_BYTES);
+            }
+            other => panic!("expected TooLarge, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn garbage_body_is_malformed() {
+        let mut buf = Vec::new();
+        buf.extend_from_slice(&4u32.to_be_bytes());
+        buf.extend_from_slice(b"@@@@");
+        assert!(matches!(
+            read_frame::<Request>(&mut &buf[..], MAX_FRAME_BYTES),
+            Err(FrameError::Malformed(_))
+        ));
+    }
+}

@@ -1,0 +1,89 @@
+//! Serving SQL over the wire: start an in-process `rapid-server`, connect
+//! a client, run ad-hoc and prepared queries through the scheduler and
+//! plan cache, then drain gracefully.
+//!
+//! ```text
+//! cargo run --release --example sql_server
+//! ```
+
+use std::sync::Arc;
+
+use hostdb::HostDb;
+use rapid_qef::exec::ExecContext;
+use rapid_server::{Client, Server, ServerConfig};
+use rapid_storage::schema::{Field, Schema};
+use rapid_storage::types::{DataType, Value};
+
+fn main() {
+    // --- 1. A host database with one table shipped to RAPID -------------
+    let db = HostDb::new(ExecContext::dpu());
+    db.create_table(
+        "trips",
+        Schema::new(vec![
+            Field::new("city", DataType::Varchar),
+            Field::new("distance", DataType::Int),
+        ]),
+    );
+    db.bulk_insert(
+        "trips",
+        (0..20_000i64).map(|i| {
+            vec![
+                Value::Str(["berlin", "tokyo", "lima"][(i % 3) as usize].to_string()),
+                Value::Int(1 + i % 97),
+            ]
+        }),
+    );
+    db.load_into_rapid("trips").expect("load");
+
+    // --- 2. Serve it on an ephemeral loopback port ----------------------
+    let server = Server::start(Arc::new(db), ServerConfig::default(), ("127.0.0.1", 0))
+        .expect("bind server");
+    let addr = server.local_addr();
+    println!("serving on {addr}");
+
+    // --- 3. Ad-hoc query over the wire ----------------------------------
+    let mut client = Client::connect(addr).expect("connect");
+    println!(
+        "connected to {} (conn {})",
+        client.server_name(),
+        client.conn_id()
+    );
+    let r = client
+        .query(
+            "SELECT city, COUNT(*) AS trips, SUM(distance) AS km \
+             FROM trips GROUP BY city ORDER BY city",
+        )
+        .expect("query");
+    println!("{:?}", r.columns);
+    for row in &r.rows {
+        println!("  {row:?}");
+    }
+    println!(
+        "ran on {} in {:.3} ms simulated",
+        r.site,
+        r.rapid_secs * 1e3
+    );
+
+    // --- 4. Prepared statement: planned once, cached server-side --------
+    let stmt = client
+        .prepare("SELECT COUNT(*) AS n FROM trips WHERE distance > 50")
+        .expect("prepare");
+    for _ in 0..3 {
+        let r = client.execute(stmt).expect("execute");
+        assert_eq!(r.rows.len(), 1);
+    }
+    client.close_stmt(stmt).expect("close");
+    let stats = client.stats().expect("stats");
+    println!(
+        "after 3 executions: plan cache {} hits / {} misses",
+        stats.plan_cache_hits, stats.plan_cache_misses
+    );
+
+    // --- 5. Graceful shutdown -------------------------------------------
+    client.request_shutdown().expect("shutdown request");
+    let drain = server.shutdown();
+    println!(
+        "drained: {} connections served, {}/{} threads joined",
+        drain.connections_served, drain.threads_joined, drain.threads_spawned
+    );
+}

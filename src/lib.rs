@@ -8,6 +8,7 @@
 //! * [`qcomp`] — the cost-based physical query compiler,
 //! * [`sched`] — the concurrent multi-query scheduler with admission control,
 //! * [`host`] — the "System X" host RDBMS with RAPID offload,
+//! * [`server`] — the SQL wire service (TCP protocol, client, plan cache),
 //! * [`tpch`] — the TPC-H-style workload used throughout the evaluation.
 //!
 //! See `README.md` for a quickstart and `DESIGN.md` / `EXPERIMENTS.md` for
@@ -18,5 +19,6 @@ pub use hostdb as host;
 pub use rapid_qcomp as qcomp;
 pub use rapid_qef as qef;
 pub use rapid_sched as sched;
+pub use rapid_server as server;
 pub use rapid_storage as storage;
 pub use tpch;

@@ -1,0 +1,247 @@
+//! Parity of the wire service against in-process execution.
+//!
+//! Three pins:
+//!
+//! * **Error parity** — a failing statement produces the *same* typed
+//!   error (kind and message) whether executed directly
+//!   (`execute_sql`), through the scheduler (`execute_batch`), or over
+//!   the wire (`Error` frame → `ClientError::Server`).
+//! * **Result parity under concurrency** — many wire sessions hammering
+//!   one server produce bit-identical canonical rows to both the direct
+//!   path and a scheduled `execute_batch` of the same statements.
+//! * **Concurrency pays** — 32 closed-loop connections sustain more than
+//!   2× the simulated-DPU queries/sec of a single connection; the
+//!   scheduler turns the DPU's fixed power budget into throughput.
+
+use std::sync::{Arc, OnceLock};
+
+use hostdb::{BatchQuery, HostDb};
+use rapid::sched::SchedConfig;
+use rapid::server::{Client, ClientError, Server, ServerConfig};
+use rapid::storage::types::Value;
+use rapid_fuzz::canonical;
+
+/// One shared TPC-H database: queries here are read-only and building it
+/// is the expensive part.
+fn db() -> Arc<HostDb> {
+    static DB: OnceLock<Arc<HostDb>> = OnceLock::new();
+    Arc::clone(DB.get_or_init(|| {
+        let data = tpch::generate(&tpch::TpchConfig {
+            scale_factor: 0.002,
+            seed: 20260805,
+            partitions: 3,
+            chunk_rows: 1024,
+        });
+        let db = HostDb::new(rapid::qef::exec::ExecContext::dpu().with_cores(8));
+        for t in data.tables() {
+            db.create_table(&t.name, t.schema.clone());
+            let ncols = t.schema.len();
+            let cols: Vec<Vec<i64>> = (0..ncols).map(|c| t.column_i64(c)).collect();
+            let nulls: Vec<rapid::storage::bitvec::BitVec> =
+                (0..ncols).map(|c| t.column_nulls(c)).collect();
+            let rows = (0..t.rows()).map(|r| {
+                (0..ncols)
+                    .map(|c| {
+                        if nulls[c].get(r) {
+                            Value::Null
+                        } else {
+                            t.decode_value(c, cols[c][r])
+                        }
+                    })
+                    .collect::<Vec<_>>()
+            });
+            db.bulk_insert(&t.name, rows);
+            db.load_into_rapid(&t.name).expect("load");
+        }
+        Arc::new(db)
+    }))
+}
+
+/// The statement mix used by the concurrency tests (all valid).
+const MIX: &[&str] = &[
+    "SELECT l_returnflag, COUNT(*) AS n, SUM(l_quantity) AS qty \
+     FROM lineitem GROUP BY l_returnflag ORDER BY l_returnflag",
+    "SELECT o_orderpriority, COUNT(*) AS n FROM orders \
+     GROUP BY o_orderpriority ORDER BY o_orderpriority",
+    "SELECT l_shipmode, SUM(l_extendedprice) AS revenue FROM lineitem \
+     WHERE l_quantity < 30 GROUP BY l_shipmode ORDER BY l_shipmode",
+    "SELECT COUNT(*) AS n FROM orders JOIN lineitem ON o_orderkey = l_orderkey \
+     WHERE l_discount > 0.05",
+    "SELECT o_orderstatus, COUNT(*) AS n, SUM(o_totalprice) AS total \
+     FROM orders GROUP BY o_orderstatus ORDER BY o_orderstatus",
+    "EXPLAIN ANALYZE SELECT l_shipmode, SUM(l_quantity) AS q \
+     FROM lineitem GROUP BY l_shipmode ORDER BY l_shipmode",
+];
+
+/// Statements that must fail identically on all three paths.
+const BAD: &[&str] = &[
+    "SELEC l_orderkey FROM lineitem",
+    "SELECT l_orderkey FROM no_such_table",
+    "SELECT l_orderkey, SUM(l_quantity) FROM lineitem",
+    "SELECT nope FROM lineitem",
+    "SELECT l_orderkey FROM lineitem WHERE",
+];
+
+/// Canonical rows with wall-clock-dependent `EXPLAIN ANALYZE` text
+/// masked: simulated cycles/energy are bit-stable across runs, the host
+/// wall measurements are not.
+fn stable(rows: &[Vec<Value>]) -> Vec<Vec<String>> {
+    canonical(rows)
+        .into_iter()
+        .filter(|r| !r.iter().any(|c| c.contains("host wall")))
+        .map(|r| {
+            r.into_iter()
+                .map(|c| match c.find(" wall=") {
+                    Some(i) => c[..i].to_string(),
+                    None => c,
+                })
+                .collect()
+        })
+        .collect()
+}
+
+fn start_server(max_active: usize) -> Server {
+    let cfg = ServerConfig {
+        sched: SchedConfig {
+            max_active,
+            queue_capacity: 256,
+            ..ServerConfig::default().sched
+        },
+        ..ServerConfig::default()
+    };
+    Server::start(db(), cfg, ("127.0.0.1", 0)).expect("bind")
+}
+
+/// Tri-path error parity: direct vs scheduled batch vs wire frame.
+#[test]
+fn errors_are_identical_across_direct_batch_and_wire() {
+    let db = db();
+    let server = start_server(4);
+    let mut client = Client::connect(server.local_addr()).expect("connect");
+
+    for sql in BAD {
+        let direct = db.execute_sql(sql).expect_err("direct must fail");
+
+        let batch = db.execute_batch(&[BatchQuery::new(*sql)], SchedConfig::default());
+        let scheduled = batch.results[0].as_ref().expect_err("batch must fail");
+        assert_eq!(direct.kind(), scheduled.kind(), "kind parity for {sql:?}");
+        assert_eq!(
+            direct.to_string(),
+            scheduled.to_string(),
+            "message parity for {sql:?}"
+        );
+
+        match client.query(sql) {
+            Err(ClientError::Server { kind, message }) => {
+                assert_eq!(kind, direct.kind(), "wire kind parity for {sql:?}");
+                assert_eq!(
+                    message,
+                    direct.to_string(),
+                    "wire message parity for {sql:?}"
+                );
+            }
+            other => panic!("wire path for {sql:?} returned {other:?}"),
+        }
+        // The session survives a failed statement.
+        let ok = client
+            .query("SELECT COUNT(*) AS n FROM lineitem")
+            .expect("session must stay usable after an error");
+        assert_eq!(ok.rows.len(), 1);
+    }
+    client.bye().expect("bye");
+    let stats = server.shutdown();
+    assert_eq!(stats.threads_spawned, stats.threads_joined);
+}
+
+/// Concurrent wire sessions return exactly the rows of the direct path
+/// AND of a scheduled `execute_batch` of the same statements.
+#[test]
+fn concurrent_wire_sessions_match_direct_and_batch_results() {
+    let db = db();
+
+    // Reference 1: the direct, unscheduled path.
+    let direct: Vec<Vec<Vec<String>>> = MIX
+        .iter()
+        .map(|sql| stable(&db.execute_sql(sql).expect("direct").rows))
+        .collect();
+
+    // Reference 2: the scheduled batch path.
+    let queries: Vec<BatchQuery> = MIX.iter().map(|s| BatchQuery::new(*s)).collect();
+    let outcome = db.execute_batch(&queries, SchedConfig::default());
+    for (i, r) in outcome.results.iter().enumerate() {
+        let rows = &r.as_ref().expect("batch").rows;
+        assert_eq!(stable(rows), direct[i], "batch vs direct for query {i}");
+    }
+
+    // Wire: 6 concurrent sessions, each running the full mix with a
+    // session-distinct starting offset.
+    let server = start_server(8);
+    let addr = server.local_addr();
+    std::thread::scope(|scope| {
+        let direct = &direct;
+        for c in 0..6usize {
+            scope.spawn(move || {
+                let mut client = Client::connect(addr).expect("connect");
+                for q in 0..MIX.len() {
+                    let i = (c + q) % MIX.len();
+                    let got = client.query(MIX[i]).expect("wire query");
+                    assert_eq!(
+                        stable(&got.rows),
+                        direct[i],
+                        "wire vs direct for conn {c} query {i}"
+                    );
+                }
+                client.bye().expect("bye");
+            });
+        }
+    });
+    let stats = server.shutdown();
+    assert_eq!(stats.threads_spawned, stats.threads_joined);
+}
+
+/// The headline acceptance criterion: 32 closed-loop connections sustain
+/// more than 2× the simulated-DPU throughput of one connection. Wall
+/// clock is irrelevant on a small host; the simulated timeline is what
+/// the paper provisions (queries per second per fixed DPU watt).
+#[test]
+fn thirty_two_connections_beat_double_the_serial_sim_throughput() {
+    let total = 32usize;
+
+    // Serial baseline: one connection, closed loop.
+    let server = start_server(8);
+    let mut client = Client::connect(server.local_addr()).expect("connect");
+    for q in 0..total {
+        client
+            .query(MIX[q % (MIX.len() - 1)])
+            .expect("serial query");
+    }
+    client.bye().expect("bye");
+    let serial = server.scheduler().report();
+    let serial_qps = total as f64 / serial.utilization.makespan.as_secs();
+    server.shutdown();
+
+    // Concurrent: 32 connections, one query each, same statement mix.
+    let server = start_server(8);
+    let addr = server.local_addr();
+    std::thread::scope(|scope| {
+        for q in 0..total {
+            scope.spawn(move || {
+                let mut client = Client::connect(addr).expect("connect");
+                client
+                    .query(MIX[q % (MIX.len() - 1)])
+                    .expect("concurrent query");
+                client.bye().expect("bye");
+            });
+        }
+    });
+    let concurrent = server.scheduler().report();
+    let concurrent_qps = total as f64 / concurrent.utilization.makespan.as_secs();
+    let stats = server.shutdown();
+    assert_eq!(stats.threads_spawned, stats.threads_joined);
+
+    assert!(
+        concurrent_qps > 2.0 * serial_qps,
+        "32 connections must beat 2x serial sim throughput: serial {serial_qps:.1} q/s, \
+         concurrent {concurrent_qps:.1} q/s"
+    );
+}
