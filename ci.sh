@@ -22,6 +22,10 @@ cargo test -q --workspace --doc
 echo "== differential fuzz smoke (200 queries, fixed seed) + corpus replay =="
 FUZZ_QUERIES=200 cargo test -q --release --test differential_fuzz
 
+echo "== static plan verification (TPC-H sf 0.01 + fuzz corpus) + mutation harness =="
+cargo run -q --release -p rapid-bench --bin verify_report -- --sf 0.01
+cargo test -q --release -p rapid-verify
+
 echo "== trace_report smoke (sf 0.01) =="
 cargo run -q --release -p rapid-bench --bin trace_report -- --sf 0.01 --query Q6 > /dev/null
 

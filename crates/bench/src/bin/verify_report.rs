@@ -1,0 +1,143 @@
+//! Static verification sweep over every plan shape the repo can produce.
+//!
+//! Compiles all eleven TPC-H queries at the given scale factor plus every
+//! fuzz-corpus repro through `compile_unverified`, then runs `rapid-verify`
+//! over each physical plan and prints a one-line verdict per query
+//! (`--full` dumps the per-stage working-set table as well). Exits
+//! non-zero if any plan fails verification — this is the CI gate proving
+//! the verifier has no false positives on compiler-produced plans.
+//!
+//! ```text
+//! cargo run --release -p rapid-bench --bin verify_report -- \
+//!     [--sf <scale-factor>] [--full]
+//! ```
+
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use hostdb::HostDb;
+use rapid_bench as bench;
+use rapid_qcomp::CostParams;
+use rapid_qef::exec::ExecContext;
+use rapid_qef::plan::Catalog;
+
+fn main() {
+    let mut sf = 0.01;
+    let mut full = false;
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--sf" => {
+                i += 1;
+                sf = args[i].parse().expect("--sf takes a float");
+            }
+            "--full" => full = true,
+            other => {
+                eprintln!("unknown argument {other}");
+                std::process::exit(2);
+            }
+        }
+        i += 1;
+    }
+
+    let params = CostParams::default();
+    let cfg = rapid_qcomp::verify_config(&params);
+    let mut failures = 0usize;
+
+    println!("== TPC-H sf {sf} ==");
+    let (_db, catalog) = bench::setup_tpch(sf, ExecContext::dpu());
+    for (name, lp) in tpch::queries::all() {
+        failures += verify_one(name, &lp, &catalog, &params, &cfg, full);
+    }
+
+    println!("== fuzz corpus ==");
+    let dir = rapid_fuzz::corpus::corpus_dir();
+    let entries = rapid_fuzz::corpus::load_all(&dir);
+    if entries.is_empty() {
+        eprintln!("warning: no corpus entries under {}", dir.display());
+    }
+    for (path, entry) in &entries {
+        let label = path
+            .file_stem()
+            .and_then(|s| s.to_str())
+            .unwrap_or(&entry.name);
+        let schemas: HashMap<String, Vec<String>> = entry
+            .tables
+            .iter()
+            .map(|t| {
+                (
+                    t.name.clone(),
+                    t.columns.iter().map(|c| c.name.clone()).collect(),
+                )
+            })
+            .collect();
+        let lp = match hostdb::sql::parse_sql(&entry.sql, &schemas) {
+            Ok(lp) => lp,
+            Err(e) => {
+                // Corpus entries that pin an agreed-upon *error* never
+                // reach the compiler; that is a skip, not a failure.
+                println!("{label:28} SKIP (parse: {e})");
+                continue;
+            }
+        };
+        let db = HostDb::new(ExecContext::dpu());
+        let mut loaded = true;
+        for t in &entry.tables {
+            db.create_table(&t.name, t.schema());
+            db.bulk_insert(&t.name, t.rows.iter().cloned());
+            if let Err(e) = db.load_into_rapid(&t.name) {
+                println!("{label:28} SKIP (load {}: {e})", t.name);
+                loaded = false;
+                break;
+            }
+        }
+        if !loaded {
+            continue;
+        }
+        let mut catalog = Catalog::new();
+        for t in db.rapid().read().catalog().values() {
+            catalog.insert(t.name.clone(), Arc::clone(t));
+        }
+        failures += verify_one(label, &lp, &catalog, &params, &cfg, full);
+    }
+
+    if failures > 0 {
+        eprintln!("verify_report: {failures} plan(s) FAILED verification");
+        std::process::exit(1);
+    }
+    println!("verify_report: all plans PASS");
+}
+
+/// Compile + verify one logical plan; returns 1 on failure, 0 otherwise.
+fn verify_one(
+    name: &str,
+    lp: &rapid_qcomp::logical::LogicalPlan,
+    catalog: &Catalog,
+    params: &CostParams,
+    cfg: &rapid_verify::VerifyConfig,
+    full: bool,
+) -> usize {
+    let compiled = match rapid_qcomp::compile_unverified(lp, catalog, params) {
+        Ok(c) => c,
+        Err(e) => {
+            // The sweep verifies plans; queries the compiler itself
+            // refuses (agreed error cases in the corpus) are skips.
+            println!("{name:28} SKIP (compile: {e})");
+            return 0;
+        }
+    };
+    let report = rapid_verify::verify(&compiled.plan, catalog, cfg);
+    let verdict = if report.ok() { "PASS" } else { "FAIL" };
+    println!(
+        "{name:28} {verdict}  ({} stages, {} diagnostics)",
+        report.stages.len(),
+        report.diagnostics.len()
+    );
+    if full || !report.ok() {
+        for line in report.render(cfg.dmem_bytes, cfg.tile_rows).lines() {
+            println!("    {line}");
+        }
+    }
+    usize::from(!report.ok())
+}

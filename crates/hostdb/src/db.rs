@@ -429,6 +429,16 @@ impl HostDb {
     /// rendered per-operator trace as a one-column (`QUERY PLAN`) result,
     /// the way interactive databases surface it.
     pub fn execute_sql(&self, sql: &str) -> Result<QueryResult, DbError> {
+        if crate::sql::strip_explain_verify(sql).is_some() {
+            let text = self.explain_verify(sql)?;
+            return Ok(QueryResult {
+                columns: vec!["QUERY PLAN".into()],
+                rows: text.lines().map(|l| vec![Value::Str(l.into())]).collect(),
+                site: ExecutionSite::Host,
+                rapid_secs: 0.0,
+                host_secs: 0.0,
+            });
+        }
         if crate::sql::strip_explain_analyze(sql).is_some() {
             let analysis = self.explain_analyze(sql)?;
             return Ok(QueryResult {
@@ -488,7 +498,9 @@ impl HostDb {
     /// DDL or committed DML on a referenced table invalidates the cached
     /// plan underneath it, and the next execution transparently re-plans.
     pub fn prepare(&self, sql: &str) -> Result<PreparedStatement, DbError> {
-        let inner = crate::sql::strip_explain_analyze(sql).unwrap_or(sql);
+        let inner = crate::sql::strip_explain_analyze(sql)
+            .or_else(|| crate::sql::strip_explain_verify(sql))
+            .unwrap_or(sql);
         self.plan_sql_cached(inner)?;
         Ok(PreparedStatement { sql: sql.into() })
     }
@@ -497,6 +509,23 @@ impl HostDb {
     /// [`execute_sql`](Self::execute_sql)).
     pub fn execute_prepared(&self, stmt: &PreparedStatement) -> Result<QueryResult, DbError> {
         self.execute_sql(&stmt.sql)
+    }
+
+    /// Run the static verifier over the compiled plan of `sql` (the
+    /// `EXPLAIN VERIFY` prefix is optional) *without executing it*:
+    /// returns the per-stage DMEM / effective-tile / fan-out / descriptor
+    /// table plus any rule-id diagnostics, ending in a PASS/FAIL line.
+    /// Unlike normal execution (whose compile gate makes violations hard
+    /// errors), a failing plan still renders — the point is to see *why*.
+    pub fn explain_verify(&self, sql: &str) -> Result<String, DbError> {
+        let inner = crate::sql::strip_explain_verify(sql).unwrap_or(sql);
+        let plan = parse_sql(inner, &self.schemas()).map_err(DbError::Sql)?;
+        let rapid = self.rapid.read();
+        let compiled = rapid_qcomp::compile_unverified(&plan, rapid.catalog(), &self.params)
+            .map_err(|e| DbError::Rapid(e.to_string()))?;
+        let cfg = rapid_qcomp::verify_config(&self.params);
+        let report = rapid_verify::verify(&compiled.plan, rapid.catalog(), &cfg);
+        Ok(report.render(cfg.dmem_bytes, cfg.tile_rows))
     }
 
     /// Execute `sql` (the `EXPLAIN ANALYZE` prefix is optional) with
@@ -656,7 +685,9 @@ impl HostDb {
                 // concurrent-DPU slot (parity fix: the session path used to
                 // hand the raw prefix to the parser and fail, while
                 // `execute_sql` stripped it).
-                if crate::sql::strip_explain_analyze(sql).is_some() {
+                if crate::sql::strip_explain_analyze(sql).is_some()
+                    || crate::sql::strip_explain_verify(sql).is_some()
+                {
                     handle.finish();
                     return self.execute_sql(sql);
                 }
@@ -1179,6 +1210,27 @@ mod tests {
             .rows
             .iter()
             .any(|row| matches!(&row[0], Value::Str(s) if s.contains("TOTAL simulated"))));
+    }
+
+    #[test]
+    fn explain_verify_renders_stage_table_without_executing() {
+        let d = db();
+        d.load_into_rapid("sales").unwrap();
+        let text = d
+            .explain_verify("SELECT region, COUNT(*) AS n FROM sales GROUP BY region")
+            .unwrap();
+        assert!(text.contains("scan(sales)"), "{text}");
+        assert!(text.contains("groupby.consume"), "{text}");
+        assert!(text.contains("PASS"), "{text}");
+        // And through the SQL surface, as a QUERY PLAN result.
+        let r = d
+            .execute_sql("EXPLAIN VERIFY SELECT region, COUNT(*) AS n FROM sales GROUP BY region")
+            .unwrap();
+        assert_eq!(r.columns, vec!["QUERY PLAN"]);
+        assert!(r
+            .rows
+            .iter()
+            .any(|row| matches!(&row[0], Value::Str(s) if s.contains("PASS"))));
     }
 
     #[test]

@@ -38,5 +38,5 @@ pub use db::{
     BatchOutcome, BatchQuery, DbError, ExecutionSite, ExplainAnalysis, HostDb, PreparedStatement,
     QueryResult,
 };
-pub use sql::{parse_sql, strip_explain_analyze};
+pub use sql::{parse_sql, strip_explain_analyze, strip_explain_verify};
 pub use store::{HostTable, RowStore};

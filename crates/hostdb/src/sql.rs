@@ -843,6 +843,16 @@ pub fn strip_explain_analyze(sql: &str) -> Option<&str> {
     strip_keyword(rest.trim_start(), "ANALYZE")
 }
 
+/// Strip a leading `EXPLAIN VERIFY` prefix (case-insensitive), returning
+/// the statement to verify, or `None` when the prefix is absent.
+/// `EXPLAIN VERIFY` compiles the statement and runs the static plan
+/// verifier over it — per-stage DMEM/fan-out/descriptor accounting plus
+/// rule-id diagnostics — without executing it.
+pub fn strip_explain_verify(sql: &str) -> Option<&str> {
+    let rest = strip_keyword(sql.trim_start(), "EXPLAIN")?;
+    strip_keyword(rest.trim_start(), "VERIFY")
+}
+
 /// Strip one leading keyword at a word boundary, case-insensitively.
 fn strip_keyword<'a>(s: &'a str, kw: &str) -> Option<&'a str> {
     if s.len() < kw.len() || !s[..kw.len()].eq_ignore_ascii_case(kw) {
@@ -1470,5 +1480,20 @@ mod window_setop_tests {
         assert_eq!(strip_explain_analyze("EXPLAIN SELECT 1"), None);
         assert_eq!(strip_explain_analyze("EXPLAINANALYZE SELECT 1"), None);
         assert_eq!(strip_explain_analyze("SELECT 'EXPLAIN ANALYZE'"), None);
+    }
+
+    #[test]
+    fn explain_verify_prefix_strips() {
+        assert_eq!(
+            strip_explain_verify("EXPLAIN VERIFY SELECT 1"),
+            Some(" SELECT 1")
+        );
+        assert_eq!(
+            strip_explain_verify("  explain verify\nSELECT id FROM emp"),
+            Some("\nSELECT id FROM emp")
+        );
+        assert_eq!(strip_explain_verify("EXPLAIN ANALYZE SELECT 1"), None);
+        assert_eq!(strip_explain_verify("EXPLAIN SELECT 1"), None);
+        assert_eq!(strip_explain_verify("EXPLAINVERIFY SELECT 1"), None);
     }
 }

@@ -36,6 +36,12 @@ pub enum CompileError {
     BadLiteral(String),
     /// Feature not supported by the physical engine.
     Unsupported(String),
+    /// Catalog metadata is inconsistent (e.g. a dictionary-encoded column
+    /// without its dictionary).
+    BadCatalog(String),
+    /// The lowered plan failed static verification (rule-id diagnostics
+    /// from `rapid-verify`).
+    Verify(String),
 }
 
 impl std::fmt::Display for CompileError {
@@ -45,6 +51,8 @@ impl std::fmt::Display for CompileError {
             CompileError::UnknownColumn(c) => write!(f, "unknown column '{c}'"),
             CompileError::BadLiteral(m) => write!(f, "bad literal: {m}"),
             CompileError::Unsupported(m) => write!(f, "unsupported: {m}"),
+            CompileError::BadCatalog(m) => write!(f, "bad catalog: {m}"),
+            CompileError::Verify(m) => write!(f, "plan verification failed: {m}"),
         }
     }
 }
@@ -77,8 +85,28 @@ pub struct Compiled {
     pub cost: PlanCost,
 }
 
-/// Compile a logical plan against the catalog.
+/// Compile a logical plan against the catalog and gate the result on the
+/// static verifier: a plan that violates a structural, resource or
+/// accounting invariant is a [`CompileError::Verify`], never a `Compiled`.
+/// Compiling also registers the verifier as the engine's pre-execution
+/// re-check (see `rapid_qef::verifyhook`).
 pub fn compile(
+    lp: &LogicalPlan,
+    catalog: &Catalog,
+    params: &CostParams,
+) -> Result<Compiled, CompileError> {
+    let compiled = compile_unverified(lp, catalog, params)?;
+    rapid_verify::install();
+    rapid_verify::check(&compiled.plan, catalog, &verify_config(params))
+        .map_err(CompileError::Verify)?;
+    Ok(compiled)
+}
+
+/// Compile without the verification gate. For diagnostics that want the
+/// plan *and* its verification report even when verification fails
+/// (`EXPLAIN VERIFY`), and for tests that construct deliberately-broken
+/// plans.
+pub fn compile_unverified(
     lp: &LogicalPlan,
     catalog: &Catalog,
     params: &CostParams,
@@ -86,6 +114,17 @@ pub fn compile(
     let (plan, output) = lower(lp, catalog, params)?;
     let cost = estimate(&plan, catalog, params);
     Ok(Compiled { plan, output, cost })
+}
+
+/// The verifier configuration the cost parameters imply: the compiler
+/// promises exactly what it costed (same DMEM, tile and core count).
+pub fn verify_config(params: &CostParams) -> rapid_verify::VerifyConfig {
+    rapid_verify::VerifyConfig {
+        dmem_bytes: params.dmem_bytes,
+        tile_rows: params.tile_rows,
+        cores: params.cores,
+        ..rapid_verify::VerifyConfig::default()
+    }
 }
 
 fn lower(
@@ -582,10 +621,7 @@ fn lower_pred(p: &LPred, cols: &[OutCol], catalog: &Catalog) -> Result<Pred, Com
             let c = &cols[i];
             if let Some((tname, tcol)) = &c.dict {
                 // String IN-list: a code bitmap.
-                let t = catalog
-                    .get(tname)
-                    .ok_or_else(|| CompileError::UnknownTable(tname.clone()))?;
-                let dict = t.dicts[*tcol].as_ref().expect("varchar has dict");
+                let dict = column_dict(catalog, tname, *tcol)?;
                 let mut codes = rapid_storage::bitvec::BitVec::zeros(dict.len());
                 for v in values {
                     if let Value::Str(s) = v {
@@ -655,10 +691,23 @@ fn resolve_dict<'a>(
         .dict
         .as_ref()
         .ok_or_else(|| CompileError::Unsupported(format!("LIKE on non-string column {col}")))?;
+    Ok((i, column_dict(catalog, tname, *tcol)?))
+}
+
+/// A varchar column's dictionary. Metadata claiming dictionary provenance
+/// without a stored dictionary is a catalog inconsistency, reported as a
+/// typed error rather than a panic.
+fn column_dict<'a>(
+    catalog: &'a Catalog,
+    tname: &str,
+    tcol: usize,
+) -> Result<&'a rapid_storage::encoding::dict::Dictionary, CompileError> {
     let t = catalog
         .get(tname)
-        .ok_or_else(|| CompileError::UnknownTable(tname.clone()))?;
-    Ok((i, t.dicts[*tcol].as_ref().expect("varchar has dict")))
+        .ok_or_else(|| CompileError::UnknownTable(tname.to_string()))?;
+    t.dicts.get(tcol).and_then(|d| d.as_ref()).ok_or_else(|| {
+        CompileError::BadCatalog(format!("column {tcol} of '{tname}' has no dictionary"))
+    })
 }
 
 fn lower_cmp(
@@ -678,10 +727,7 @@ fn lower_cmp(
             let c = &cols[i];
             // String comparisons go through the dictionary.
             if let (Some((tname, tcol)), Value::Str(s)) = (&c.dict, v) {
-                let t = catalog
-                    .get(tname)
-                    .ok_or_else(|| CompileError::UnknownTable(tname.clone()))?;
-                let dict = t.dicts[*tcol].as_ref().expect("varchar has dict");
+                let dict = column_dict(catalog, tname, *tcol)?;
                 return Ok(compile_string_cmp(i, op, s, dict));
             }
             match op {
@@ -916,13 +962,29 @@ fn lower_join(
         );
         c.rows as u64
     };
+    // Both sides stream through the partition passes; the local-buffer
+    // limit (heuristic b) is set by the *widest* row, computed from the
+    // actual output layouts rather than a key-count guess. Feeding the
+    // real width to the optimizer both prices spills correctly and
+    // hard-bounds the per-round fan-out to what the DMEM buffers admit —
+    // the same `max_buffered_fanout` the verifier enforces (R-FANOUT-
+    // BUFFER), so a chosen scheme can never fail verification.
+    let phys_row = |cs: &[OutCol]| -> usize {
+        cs.iter()
+            .map(|c| c.dtype.physical_width())
+            .sum::<usize>()
+            .max(8)
+    };
+    let row_bytes = phys_row(&lcols).max(phys_row(&rcols));
+    let buffer_cap = rapid_qef::budget::max_buffered_fanout(row_bytes, params.dmem_bytes);
     let scheme = optimize_partition_scheme(
         &params.cm,
         &PartitionOptInput {
             rows: build_rows.max(1),
-            row_bytes: (lk.len() * 8 + 8).max(8),
+            row_bytes,
+            dmem_bytes: params.dmem_bytes,
             cores: params.cores,
-            ..Default::default()
+            max_round_fanout: buffer_cap.min(1024),
         },
     );
 
@@ -1044,7 +1106,7 @@ fn lower_aggregate(
     }
 
     // Strategy selection from NDV statistics (§5.4's two group-by cases).
-    let limit = rapid_qef::ops::groupby::on_the_fly_group_limit(32 * 1024, k, specs.len());
+    let limit = rapid_qef::ops::groupby::on_the_fly_group_limit(params.dmem_bytes, k, specs.len());
     let strategy = match known_ndv {
         Some(ndv) if (ndv as usize) <= limit => GroupStrategy::OnTheFly,
         Some(_) => GroupStrategy::Partitioned,
@@ -1294,6 +1356,93 @@ mod tests {
             compile(&lp, &catalog(), &params()).unwrap_err(),
             CompileError::UnknownColumn("nope".into())
         );
+    }
+
+    #[test]
+    fn join_scheme_respects_the_buffer_fanout_cap() {
+        // A join whose output rows are much wider than `keys * 8` bytes:
+        // sizing the partition buffers from the key count alone would
+        // admit fan-outs the real rows cannot buffer (the pre-fix
+        // formula gave 16 B here vs an actual 100+ B row).
+        let mut fields = vec![Field::new("k", DataType::Int)];
+        for i in 0..12 {
+            fields.push(Field::new(format!("v{i}"), DataType::Int));
+        }
+        let mut b = TableBuilder::new("wide", Schema::new(fields));
+        for r in 0..4000i64 {
+            let mut row = vec![Value::Int(r)];
+            row.extend((0..12).map(|i| Value::Int(r * 13 + i)));
+            b.push_row(row);
+        }
+        let mut cat = Catalog::new();
+        cat.insert("wide".into(), Arc::new(b.finish()));
+
+        let lp = LogicalPlan::scan("wide").join(LogicalPlan::scan("wide"), &["k"], &["k"]);
+        let p = params();
+        let c = compile(&lp, &cat, &p).unwrap();
+        let PlanNode::HashJoin {
+            scheme: Some(s), ..
+        } = &c.plan
+        else {
+            panic!("expected join root, got {:?}", c.plan)
+        };
+        // 13 int columns -> 104 B rows; the buffer cap for those rows.
+        let cap = rapid_qef::budget::max_buffered_fanout(104, p.dmem_bytes);
+        assert!(
+            s.iter().all(|&f| f <= cap),
+            "scheme {s:?} exceeds the {cap}-way cap for 104-byte rows"
+        );
+        // And the verifier agrees (the compile() gate already enforced
+        // this; assert explicitly for the regression).
+        assert!(rapid_verify::verify(&c.plan, &cat, &verify_config(&p)).ok());
+    }
+
+    #[test]
+    fn aggregate_strategy_tracks_configured_dmem() {
+        // k has NDV 100. At the default 32 KiB DMEM the on-the-fly table
+        // holds it; at 2 KiB it cannot, and the compiler must partition.
+        // Pre-fix, the limit was computed from a hardcoded 32 KiB and
+        // ignored the configured scratchpad.
+        let lp = LogicalPlan::scan("t").aggregate(
+            vec![LNamed::new("g", LExpr::col("k"))],
+            vec![LAgg {
+                func: AggFunc::Sum,
+                input: LExpr::col("price"),
+                name: "s".into(),
+            }],
+        );
+        let c = compile(&lp, &catalog(), &params()).unwrap();
+        let PlanNode::GroupBy { strategy, .. } = &c.plan else {
+            panic!()
+        };
+        assert_eq!(*strategy, GroupStrategy::OnTheFly);
+
+        let small = CostParams {
+            dmem_bytes: 2048,
+            ..params()
+        };
+        let c = compile_unverified(&lp, &catalog(), &small).unwrap();
+        let PlanNode::GroupBy { strategy, .. } = &c.plan else {
+            panic!()
+        };
+        assert_eq!(*strategy, GroupStrategy::Partitioned);
+    }
+
+    #[test]
+    fn compile_gate_rejects_invalid_configurations() {
+        // A tile below the 64-row minimum vector is an accounting
+        // violation: the gate converts the verifier diagnostic into a
+        // typed CompileError instead of handing the engine a bad plan.
+        let lp = LogicalPlan::scan("t");
+        let bad = CostParams {
+            tile_rows: 16,
+            ..params()
+        };
+        let err = compile(&lp, &catalog(), &bad).unwrap_err();
+        let CompileError::Verify(msg) = err else {
+            panic!("expected Verify error, got {err:?}")
+        };
+        assert!(msg.contains("A-TILE-MIN"), "{msg}");
     }
 
     #[test]

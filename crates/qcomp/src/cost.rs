@@ -29,6 +29,8 @@ pub struct CostParams {
     pub cores: usize,
     /// Tile size assumed for amortizing per-tile overheads.
     pub tile_rows: usize,
+    /// Per-core DMEM scratchpad capacity the plans will run against.
+    pub dmem_bytes: usize,
     /// Bytes/sec of the result-return link to the host (RDMA over IB).
     pub network_bytes_per_sec: f64,
     /// Fixed per-offload latency (round trip, scheduling) in seconds.
@@ -41,6 +43,7 @@ impl Default for CostParams {
             cm: CostModel::default(),
             cores: 32,
             tile_rows: 256,
+            dmem_bytes: dpu_sim::dmem::DMEM_BYTES,
             network_bytes_per_sec: 3.0e9, // IB FDR-class single link
             offload_latency_secs: 150.0e-6,
         }

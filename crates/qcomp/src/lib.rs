@@ -26,7 +26,7 @@ pub mod logical;
 pub mod partition_opt;
 pub mod task_formation;
 
-pub use compiler::{compile, CompileError, Compiled};
+pub use compiler::{compile, compile_unverified, verify_config, CompileError, Compiled};
 pub use cost::{CostParams, PlanCost};
 pub use logical::{LExpr, LPred, LogicalPlan};
 pub use partition_opt::{optimize_partition_scheme, PartitionScheme};

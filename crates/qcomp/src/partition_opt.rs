@@ -106,7 +106,10 @@ pub fn scheme_cost(cm: &CostModel, input: &PartitionOptInput, rounds: &[usize]) 
 /// rounds bounded by `max_round_fanout` (heuristics a–d), cost each, and
 /// return the cheapest.
 pub fn optimize_partition_scheme(cm: &CostModel, input: &PartitionOptInput) -> PartitionScheme {
-    let target = required_partitions(input);
+    // A scheme consumes one hash bit per doubling; the top 4 of the 32
+    // hash bits stay reserved for skew re-partitioning (§6.4), so the
+    // total partition count is capped at 2^28.
+    let target = required_partitions(input).min(1 << 28);
     let max_f = input.max_round_fanout.next_power_of_two();
     let mut best: Option<PartitionScheme> = None;
     let mut candidates: Vec<Vec<usize>> = Vec::new();
@@ -127,7 +130,12 @@ pub fn optimize_partition_scheme(cm: &CostModel, input: &PartitionOptInput) -> P
             });
         }
     }
-    best.expect("at least one factorization exists")
+    // The enumeration always yields at least one factorization of a
+    // power-of-two target, but stay total: fall back to one round.
+    best.unwrap_or_else(|| PartitionScheme {
+        cost_cycles: scheme_cost(cm, input, &[target]),
+        rounds: vec![target],
+    })
 }
 
 /// Tie-break per the paper: fewer rounds first, then more symmetric
@@ -137,8 +145,8 @@ fn prefer(a: &[usize], b: &[usize]) -> bool {
         return a.len() < b.len();
     }
     let spread = |r: &[usize]| {
-        let max = *r.iter().max().expect("non-empty");
-        let min = *r.iter().min().expect("non-empty");
+        let max = r.iter().max().copied().unwrap_or(1);
+        let min = r.iter().min().copied().unwrap_or(1).max(1);
         max / min
     };
     spread(a) < spread(b)

@@ -1,0 +1,194 @@
+//! Shared DMEM working-set arithmetic (§5.2 task formation).
+//!
+//! Both the engine (per-stage tile clamping) and the static verifier
+//! (`rapid-verify`) size vectors from this one module, so the static
+//! verdict and the runtime behavior cannot drift apart: a stage the
+//! verifier reports as fitting at tile `t` is exactly the stage the
+//! engine will run at tile `t`.
+//!
+//! The model follows the paper's task-formation rule: a stage holds its
+//! operator state plus one double-buffered DMEM buffer per column stream
+//! (input and output buffers counted once per distinct stream, double
+//! buffering doubles each). Vectors below [`MIN_VECTOR_ROWS`] rows stop
+//! amortizing per-tile overheads; when even a single-buffered minimum
+//! vector does not fit, the plan cannot execute within the scratchpad.
+
+/// Minimum rows per vector worth double-buffering (§5.2's floor; below
+/// this, per-tile descriptor setup dominates the transfer).
+pub const MIN_VECTOR_ROWS: usize = 64;
+
+/// Fixed per-stage bookkeeping state (cursors, row counters, descriptor
+/// chain head) charged against DMEM before any vector.
+pub const BASE_STATE_BYTES: usize = 64;
+
+/// Per-row stream bytes of a partition pass over `row_bytes`-wide rows:
+/// every column streams through DMEM plus the 4-byte hash lane the
+/// partition map is computed from.
+pub fn partition_stream_bytes(row_bytes: usize) -> usize {
+    row_bytes + 4
+}
+
+/// How a stage's vectors fit into DMEM.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TileFit {
+    /// Largest rows-per-vector that fits (before clamping to the
+    /// configured tile size).
+    pub rows: usize,
+    /// Whether the fit keeps double buffering. `false` means the stage
+    /// only fits single-buffered: it executes, but transfer no longer
+    /// overlaps compute.
+    pub double_buffered: bool,
+}
+
+/// Largest tile that fits `state_bytes + k * stream_bytes_per_row * tile`
+/// in `dmem_bytes`, preferring double-buffered (`k = 2`) and falling back
+/// to single-buffered (`k = 1`). `None` when even [`MIN_VECTOR_ROWS`]
+/// single-buffered rows do not fit — the compiler's halting condition.
+pub fn fit_tile(
+    state_bytes: usize,
+    stream_bytes_per_row: usize,
+    dmem_bytes: usize,
+) -> Option<TileFit> {
+    let free = dmem_bytes.checked_sub(state_bytes)?;
+    if stream_bytes_per_row == 0 {
+        // Stage moves no per-row streams (e.g. pure state machines): any
+        // tile fits.
+        return Some(TileFit {
+            rows: usize::MAX,
+            double_buffered: true,
+        });
+    }
+    let double = free / (2 * stream_bytes_per_row);
+    if double >= MIN_VECTOR_ROWS {
+        return Some(TileFit {
+            rows: double,
+            double_buffered: true,
+        });
+    }
+    let single = free / stream_bytes_per_row;
+    if single >= MIN_VECTOR_ROWS {
+        return Some(TileFit {
+            rows: single,
+            double_buffered: false,
+        });
+    }
+    None
+}
+
+/// The tile the engine actually uses for a stage: the configured tile,
+/// clamped to what fits the stage's working set. `None` propagates the
+/// halting condition from [`fit_tile`].
+pub fn effective_tile(
+    cfg_tile: usize,
+    state_bytes: usize,
+    stream_bytes_per_row: usize,
+    dmem_bytes: usize,
+) -> Option<usize> {
+    fit_tile(state_bytes, stream_bytes_per_row, dmem_bytes).map(|f| cfg_tile.min(f.rows))
+}
+
+/// Largest per-round partition fan-out whose per-partition local buffers
+/// (half of DMEM split `fanout` ways) still hold the 16-row minimum DMS
+/// burst for `row_bytes`-wide rows — heuristic (b) of §5.3, the same
+/// bound `partition_opt::scheme_cost` prices as the spill penalty. Never
+/// below 2 (a round narrower than binary cannot make progress).
+pub fn max_buffered_fanout(row_bytes: usize, dmem_bytes: usize) -> usize {
+    let cap = (dmem_bytes / 2) / (16 * row_bytes.max(1));
+    // Round down to a power of two, floor at 2.
+    if cap < 2 {
+        return 2;
+    }
+    let mut p = cap.next_power_of_two();
+    if p > cap {
+        p /= 2;
+    }
+    p
+}
+
+/// Split any round of `rounds` that exceeds [`max_buffered_fanout`] for
+/// this row width into multiple buffer-respecting rounds, preserving the
+/// total partition count. Used by the engine's fallback scheme (the
+/// compiler-optimized schemes already respect the cap).
+pub fn cap_rounds(rounds: &[usize], row_bytes: usize, dmem_bytes: usize) -> Vec<usize> {
+    let cap = max_buffered_fanout(row_bytes, dmem_bytes);
+    let mut out = Vec::with_capacity(rounds.len());
+    for &f in rounds {
+        let mut rest = f;
+        while rest > cap {
+            out.push(cap);
+            rest = rest.div_ceil(cap).next_power_of_two();
+        }
+        if rest > 1 {
+            out.push(rest);
+        }
+    }
+    if out.is_empty() {
+        out.push(1);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const DMEM: usize = 32 * 1024;
+
+    #[test]
+    fn narrow_stage_fits_double_buffered() {
+        // 7 Int columns: 56 B/row. (32768-64)/(2*56) = 292.
+        let f = fit_tile(64, 56, DMEM).unwrap();
+        assert!(f.double_buffered);
+        assert_eq!(f.rows, (DMEM - 64) / 112);
+    }
+
+    #[test]
+    fn wide_stage_falls_back_to_single_buffering() {
+        // 300 B/row double-buffered at 64 rows needs 38400 B > 32 KiB,
+        // but single-buffered 64-row vectors (19200 B) fit.
+        let f = fit_tile(64, 300, DMEM).unwrap();
+        assert!(!f.double_buffered);
+        assert!(f.rows >= MIN_VECTOR_ROWS);
+    }
+
+    #[test]
+    fn impossible_stage_is_none() {
+        // 600 B/row: even single-buffered 64-row vectors exceed DMEM.
+        assert!(fit_tile(0, 600, DMEM).is_none());
+        // State alone exceeding DMEM is also a halt.
+        assert!(fit_tile(DMEM + 1, 8, DMEM).is_none());
+    }
+
+    #[test]
+    fn effective_tile_clamps_but_never_raises() {
+        // 8 Int columns: fit = (32768-64)/(2*64) = 255 < 256.
+        assert_eq!(effective_tile(256, 64, 64, DMEM), Some(255));
+        // Narrow stage: configured tile already fits.
+        assert_eq!(effective_tile(256, 64, 16, DMEM), Some(256));
+    }
+
+    #[test]
+    fn zero_stream_stage_accepts_any_tile() {
+        assert_eq!(effective_tile(256, 1024, 0, DMEM), Some(256));
+    }
+
+    #[test]
+    fn fanout_cap_matches_the_min_burst_rule() {
+        // 8 B rows: (16384)/(16*8) = 128 buffers of exactly one burst.
+        assert_eq!(max_buffered_fanout(8, DMEM), 128);
+        // 100 B rows: 16384/1600 = 10 -> 8-way.
+        assert_eq!(max_buffered_fanout(100, DMEM), 8);
+        // Absurdly wide rows still allow binary rounds.
+        assert_eq!(max_buffered_fanout(10_000, DMEM), 2);
+    }
+
+    #[test]
+    fn cap_rounds_preserves_total_partitions() {
+        let capped = cap_rounds(&[1024], 100, DMEM);
+        assert!(capped.iter().all(|&f| f <= 8));
+        assert_eq!(capped.iter().product::<usize>(), 1024);
+        // Already-fine schemes pass through.
+        assert_eq!(cap_rounds(&[8, 4], 8, DMEM), vec![8, 4]);
+        assert_eq!(cap_rounds(&[1], 8, DMEM), vec![1]);
+    }
+}

@@ -202,6 +202,16 @@ impl Engine {
     /// [`StageEvent`](crate::trace::StageEvent) is emitted per executed
     /// stage; their `sim_secs` sum to the report's exactly.
     pub fn execute(&self, plan: &PlanNode) -> QefResult<(QueryOutput, QueryReport)> {
+        // Second verification layer: when the static verifier is linked
+        // into the process (rapid-verify installs itself through the
+        // compiler) re-check every plan before spending cycles on it —
+        // always in debug builds, controlled by RAPID_VERIFY in release.
+        if crate::verifyhook::recheck_enabled() {
+            if let Some(check) = crate::verifyhook::installed() {
+                check(plan, &self.catalog, &self.ctx)
+                    .map_err(|e| QefError::BadPlan(format!("verifier rejected plan: {e}")))?;
+            }
+        }
         let mut report = QueryReport::default();
         let mut tr = Tracer::new(&self.ctx);
         let batches = self.exec_node(plan, &mut report, &mut tr, 0)?;
@@ -362,6 +372,27 @@ impl Engine {
         }
     }
 
+    /// The tile this stage actually runs at: the configured tile clamped
+    /// to what the stage's DMEM working set supports (same math as the
+    /// static verifier, via [`crate::budget`]). `Err` is the §5.2 halting
+    /// condition: even a minimum vector does not fit.
+    fn stage_tile(&self, state_bytes: usize, stream_bytes_per_row: usize) -> QefResult<usize> {
+        crate::budget::effective_tile(
+            self.ctx.tile_rows,
+            state_bytes,
+            stream_bytes_per_row,
+            self.ctx.dmem_bytes,
+        )
+        .ok_or_else(|| {
+            QefError::DmemExhausted(format!(
+                "stage working set ({state_bytes} B state + {stream_bytes_per_row} B/row) \
+                 exceeds DMEM ({} B) even at {}-row vectors",
+                self.ctx.dmem_bytes,
+                crate::budget::MIN_VECTOR_ROWS
+            ))
+        })
+    }
+
     #[allow(clippy::too_many_arguments)]
     fn exec_scan(
         &self,
@@ -400,7 +431,25 @@ impl Engine {
 
         let chunks: Vec<&rapid_storage::chunk::Chunk> = t.chunks().collect();
         let cols = columns.to_vec();
-        let tile = self.ctx.tile_rows;
+        // Clamp the tile so the scan task's DMEM working set — one
+        // double-buffered stream per distinct column touched (predicate
+        // inputs plus projected outputs) — fits the scratchpad.
+        let mut stream_cols: Vec<usize> = columns.to_vec();
+        for p in &conjuncts {
+            p.referenced_columns(&mut stream_cols);
+        }
+        stream_cols.sort_unstable();
+        stream_cols.dedup();
+        let stream_bytes: usize = stream_cols
+            .iter()
+            .map(|&c| {
+                t.schema
+                    .fields
+                    .get(c)
+                    .map_or(8, |f| f.dtype.physical_width())
+            })
+            .sum();
+        let tile = self.stage_tile(crate::budget::BASE_STATE_BYTES, stream_bytes)?;
         let conj = conjuncts;
         let (out, timing) = run_stage(&self.ctx, chunks, move |core, chunk| {
             let fr = ops::filter::filter_chunk(core, chunk, &conj, expected, tile)?;
@@ -441,29 +490,46 @@ impl Engine {
             return Err(QefError::BadPlan("join key arity mismatch".into()));
         }
         let build_meta = build.output_meta(&self.catalog)?;
+        let probe_meta = probe.output_meta(&self.catalog)?;
         let build_batches = self.exec_node(build, report, tr, depth + 1)?;
         let probe_batches = self.exec_node(probe, report, tr, depth + 1)?;
         let build_rows: usize = build_batches.iter().map(Batch::rows).sum();
         let probe_rows = batch_rows(&probe_batches);
+        let build_row_bytes: usize = build_meta.iter().map(|m| m.dtype.physical_width()).sum();
+        let probe_row_bytes: usize = probe_meta.iter().map(|m| m.dtype.physical_width()).sum();
 
         // Partition scheme: from the compiler, or the engine default —
         // enough partitions that each build side fits a DMEM join kernel,
         // and at least one per core (§5.3's "required number of
-        // partitions").
+        // partitions"). The fallback caps each round by the wider side's
+        // local-buffer budget (heuristic b); compiler schemes arrive
+        // already capped.
         let scheme_vec: Vec<usize> = match scheme {
             Some(s) if !s.is_empty() => s.to_vec(),
-            _ => default_scheme(build_rows, build_keys.len(), &self.ctx),
+            _ => crate::budget::cap_rounds(
+                &default_scheme(build_rows, build_keys.len(), &self.ctx),
+                build_row_bytes.max(probe_row_bytes),
+                self.ctx.dmem_bytes,
+            ),
         };
         let partitions: usize = scheme_vec.iter().product();
         let est_per_partition = (build_rows / partitions.max(1)).max(1);
 
         // Partition both sides (single stage each; the HW+SW split is
-        // captured by the per-round costs inside partition_scheme).
+        // captured by the per-round costs inside partition_scheme). Each
+        // side's tile is clamped to its own stream width.
+        let tile_b = self.stage_tile(
+            crate::budget::BASE_STATE_BYTES,
+            crate::budget::partition_stream_bytes(build_row_bytes),
+        )?;
+        let tile_p = self.stage_tile(
+            crate::budget::BASE_STATE_BYTES,
+            crate::budget::partition_stream_bytes(probe_row_bytes),
+        )?;
         let bk = build_keys.to_vec();
         let sv = scheme_vec.clone();
-        let tile = self.ctx.tile_rows;
         let (bparts, t1) = run_stage(&self.ctx, vec![build_batches], move |core, bs| {
-            ops::partition::partition_scheme(core, bs, &bk, &sv, tile)
+            ops::partition::partition_scheme(core, bs, &bk, &sv, tile_b)
         })?;
         tr.absorb(
             report,
@@ -476,11 +542,15 @@ impl Engine {
         let pk = probe_keys.to_vec();
         let sv2 = scheme_vec.clone();
         let (pparts, t2) = run_stage(&self.ctx, vec![probe_batches], move |core, bs| {
-            ops::partition::partition_scheme(core, bs, &pk, &sv2, tile)
+            ops::partition::partition_scheme(core, bs, &pk, &sv2, tile_p)
         })?;
         tr.absorb(report, &t2, nid, depth, "join.partition-probe", probe_rows);
-        let bparts = bparts.into_iter().next().expect("one item");
-        let pparts = pparts.into_iter().next().expect("one item");
+        let bparts = bparts.into_iter().next().ok_or_else(|| {
+            QefError::Internal("join build partition stage lost its output".into())
+        })?;
+        let pparts = pparts.into_iter().next().ok_or_else(|| {
+            QefError::Internal("join probe partition stage lost its output".into())
+        })?;
 
         // Join partition pairs in parallel; handle large skew by extra
         // partitioning rounds inside the worker.
@@ -502,6 +572,7 @@ impl Engine {
                 .map(|m| rapid_storage::vector::ColumnData::empty_for(m.dtype))
                 .collect(),
         };
+        let pair_tile = tile_b.min(tile_p);
         let (joined, t3) = run_stage(&self.ctx, pairs, move |core, (b, p)| {
             join_pair_resilient(
                 core,
@@ -512,7 +583,7 @@ impl Engine {
                 join_type,
                 est_per_partition,
                 &build_protos,
-                tile,
+                pair_tile,
                 0,
             )
         })?;
@@ -589,13 +660,28 @@ impl Engine {
             GroupStrategy::Partitioned => {
                 // Partition by grouping keys so each partition's table fits.
                 let rows: usize = batches.iter().map(Batch::rows).sum();
-                let scheme = default_scheme(rows, keys.len(), &self.ctx);
-                let (kk, sv, tile) = (keys.to_vec(), scheme, self.ctx.tile_rows);
+                let row_bytes: usize = input
+                    .output_meta(&self.catalog)?
+                    .iter()
+                    .map(|m| m.dtype.physical_width())
+                    .sum();
+                let scheme = crate::budget::cap_rounds(
+                    &default_scheme(rows, keys.len(), &self.ctx),
+                    row_bytes,
+                    self.ctx.dmem_bytes,
+                );
+                let tile = self.stage_tile(
+                    crate::budget::BASE_STATE_BYTES,
+                    crate::budget::partition_stream_bytes(row_bytes),
+                )?;
+                let (kk, sv) = (keys.to_vec(), scheme);
                 let (parts, t) = run_stage(&self.ctx, vec![batches], move |core, bs| {
                     ops::partition::partition_scheme(core, bs, &kk, &sv, tile)
                 })?;
                 tr.absorb(report, &t, nid, depth, "groupby.partition", rows as u64);
-                let parts = parts.into_iter().next().expect("one item");
+                let parts = parts.into_iter().next().ok_or_else(|| {
+                    QefError::Internal("group-by partition stage lost its output".into())
+                })?;
                 let (kk, aa) = (keys.to_vec(), aggs.to_vec());
                 let (out, t2) = run_stage(
                     &self.ctx,
@@ -1186,6 +1272,42 @@ mod tests {
         assert!(scan_ev.energy_joules > 0.0);
         let filter_ev = events.iter().find(|e| e.operator == "filter").unwrap();
         assert!(filter_ev.instructions > 0);
+    }
+
+    #[test]
+    fn tile_clamp_under_small_dmem_is_trace_observable() {
+        use crate::trace::MemorySink;
+        // At the default 32 KiB the configured 256-row tile fits. In a
+        // 4 KiB scratchpad the stage's double-buffered 24 B/row stream
+        // only admits ~84 rows per vector, so the same data needs more
+        // descriptor bursts to move — visible in the trace — while
+        // producing identical results.
+        let plan = || PlanNode::Filter {
+            input: Box::new(scan(None)),
+            pred: Pred::CmpConst {
+                col: 0,
+                op: CmpOp::Ge,
+                value: 0,
+            },
+        };
+        let baseline = {
+            let sink = MemorySink::new();
+            let e = engine(ExecContext::dpu().with_trace(sink.clone()));
+            e.execute(&plan()).unwrap();
+            sink.take().iter().map(|ev| ev.dms_descriptors).sum::<u64>()
+        };
+        let sink = MemorySink::new();
+        let e = engine(ExecContext {
+            dmem_bytes: 4096,
+            ..ExecContext::dpu().with_trace(sink.clone())
+        });
+        let (out, _) = e.execute(&plan()).unwrap();
+        assert_eq!(out.batch.rows(), 5000, "clamping must not change results");
+        let clamped: u64 = sink.take().iter().map(|ev| ev.dms_descriptors).sum();
+        assert!(
+            clamped > baseline,
+            "clamped run executed {clamped} descriptors vs {baseline} at full DMEM"
+        );
     }
 
     #[test]

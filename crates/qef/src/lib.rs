@@ -18,6 +18,7 @@
 //! | module | contents |
 //! |---|---|
 //! | [`batch`] | the tile of column vectors flowing between operators |
+//! | [`budget`] | shared DMEM working-set math: tile fitting, fan-out caps |
 //! | [`exec`] | execution context: backend (simulated DPU vs native x86), core handle, [`StageRouter`](exec::StageRouter) hook |
 //! | [`expr`] | vectorized scalar expressions and predicates |
 //! | [`primitives`] | the generated primitive library (filter, arithmetic, hash, partition map, aggregation) |
@@ -26,6 +27,7 @@
 //! | [`plan`] | the serializable physical query execution plan (QEP) |
 //! | [`engine`] | the plan interpreter driving tasks across dpCores |
 //! | [`actor`] | message-passing scheduler used for exchange/merge steps |
+//! | [`verifyhook`] | registration point for the `rapid-verify` static checker |
 //!
 //! An engine normally owns the whole simulated DPU. For concurrent
 //! multi-query execution, [`Engine::fork`](engine::Engine::fork) a
@@ -37,6 +39,7 @@
 
 pub mod actor;
 pub mod batch;
+pub mod budget;
 pub mod engine;
 pub mod error;
 pub mod exec;
@@ -47,6 +50,7 @@ pub mod primitives;
 pub mod ra;
 pub mod trace;
 pub mod util;
+pub mod verifyhook;
 
 pub use batch::Batch;
 pub use engine::{Engine, QueryOutput, QueryReport};

@@ -98,6 +98,23 @@ pub fn partition_scheme(
     scheme: &[usize],
     tile: usize,
 ) -> QefResult<Vec<Batch>> {
+    // Reject malformed schemes up front with a typed error instead of
+    // letting the bit cursor's invariant assert mid-partitioning: every
+    // round must be a power of two and the rounds together may consume at
+    // most the hash's 32 bits (the static verifier additionally reserves
+    // the top 4 for skew re-partitioning; by the time a scheme reaches
+    // this operator the hard limit is the hash width itself).
+    if let Some(&bad) = scheme.iter().find(|f| !f.is_power_of_two()) {
+        return Err(crate::error::QefError::BadPlan(format!(
+            "partition scheme {scheme:?} has non-power-of-two fan-out {bad}"
+        )));
+    }
+    let total_bits: u32 = scheme.iter().map(|f| f.trailing_zeros()).sum();
+    if total_bits > 32 {
+        return Err(crate::error::QefError::BadPlan(format!(
+            "partition scheme {scheme:?} consumes {total_bits} hash bits (32 available)"
+        )));
+    }
     let mut cursor = HashBitCursor::default();
     let mut current: Vec<Batch> = vec![Batch::concat(&batches)];
     for &fanout in scheme {
@@ -231,6 +248,17 @@ mod tests {
                 }
             }
         }
+    }
+
+    #[test]
+    fn malformed_schemes_are_typed_errors_not_panics() {
+        use crate::error::QefError;
+        let mut c = ctx();
+        let e = partition_scheme(&mut c, vec![batch(100)], &[0], &[3], 64);
+        assert!(matches!(e, Err(QefError::BadPlan(m)) if m.contains("non-power-of-two")));
+        let deep: Vec<usize> = vec![1024; 4]; // 40 hash bits
+        let e = partition_scheme(&mut c, vec![batch(100)], &[0], &deep, 64);
+        assert!(matches!(e, Err(QefError::BadPlan(m)) if m.contains("hash bits")));
     }
 
     #[test]

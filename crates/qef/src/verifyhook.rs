@@ -1,0 +1,73 @@
+//! Registration point for a static plan verifier.
+//!
+//! The verifier lives in `rapid-verify`, which depends on this crate for
+//! the plan IR — so the engine cannot link it directly. Instead the
+//! verifier installs a check function here (the compiler does this as a
+//! side effect of its own verification pass), and
+//! [`Engine::execute`](crate::engine::Engine::execute) re-runs it on
+//! every plan it is handed:
+//!
+//! * always under `debug_assertions`,
+//! * in release builds when `RAPID_VERIFY=1` is set,
+//! * never when `RAPID_VERIFY=0` is set (force-off, e.g. to time the
+//!   engine without the check).
+//!
+//! The re-check is the second of the three verification layers (compile
+//! gate, execute re-check, fuzzer soak): it catches plans that reach the
+//! engine without passing through the compiler — hand-built plans in
+//! tests, deserialized plans from the wire, or plans mutated after
+//! compilation.
+
+use std::sync::OnceLock;
+
+use crate::exec::ExecContext;
+use crate::plan::{Catalog, PlanNode};
+
+/// A static plan check: `Err` carries rendered diagnostics.
+pub type PlanCheckFn = fn(&PlanNode, &Catalog, &ExecContext) -> Result<(), String>;
+
+static HOOK: OnceLock<PlanCheckFn> = OnceLock::new();
+
+/// Install the verifier (idempotent; the first installation wins).
+pub fn install(f: PlanCheckFn) {
+    let _ = HOOK.set(f);
+}
+
+/// The installed verifier, if any.
+pub fn installed() -> Option<PlanCheckFn> {
+    HOOK.get().copied()
+}
+
+/// Whether the engine should re-check plans before executing.
+pub fn recheck_enabled() -> bool {
+    match std::env::var("RAPID_VERIFY") {
+        Ok(v) if v == "0" || v.eq_ignore_ascii_case("off") => false,
+        Ok(_) => true,
+        Err(_) => cfg!(debug_assertions),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn uninstalled_hook_is_none_until_set() {
+        // Note: OnceLock is process-global, so this test only asserts the
+        // idempotence contract, not initial emptiness (another test may
+        // have installed first).
+        fn ok(_: &PlanNode, _: &Catalog, _: &ExecContext) -> Result<(), String> {
+            Ok(())
+        }
+        fn other(_: &PlanNode, _: &Catalog, _: &ExecContext) -> Result<(), String> {
+            Err("second".into())
+        }
+        install(ok);
+        let first = installed().expect("installed");
+        install(other);
+        assert!(std::ptr::fn_addr_eq(
+            installed().expect("still installed"),
+            first
+        ));
+    }
+}

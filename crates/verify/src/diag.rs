@@ -1,0 +1,335 @@
+//! Rules, diagnostics and the verification report.
+//!
+//! Every check the verifier performs is named by a [`Rule`] with a stable
+//! id. Diagnostics carry the rule id, the plan node's pre-order id (the
+//! same numbering the engine's tracer assigns, so a diagnostic points at
+//! the exact stage an `EXPLAIN ANALYZE` would show) and the operator path
+//! from the plan root.
+
+use std::fmt;
+
+/// How bad a finding is.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Severity {
+    /// Suboptimal but executable (e.g. fewer partitions than cores).
+    Warning,
+    /// The plan must not execute: it would exceed a hardware budget,
+    /// compute a wrong answer, or panic.
+    Error,
+}
+
+/// Every invariant the verifier checks, named by a stable rule id.
+///
+/// `S-*` are structural IR rules, `R-*` resource rules from the paper's
+/// hardware model (32 KiB DMEM, DMS fan-out, descriptor well-formedness),
+/// `A-*` accounting rules (declared cost-model parameters vs what the
+/// engine executes). See README/EXPERIMENTS.md for the rule table with
+/// paper justifications.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Rule {
+    /// Stage DAG must be acyclic.
+    DagCycle,
+    /// No stage may consume a temp produced later in the schedule.
+    UseBeforeDef,
+    /// Every column reference must be within its input's arity.
+    ColBounds,
+    /// Join key lists must be non-empty and of equal length.
+    JoinArity,
+    /// Join keys / set-op columns must agree in type, scale and
+    /// dictionary provenance.
+    TypeMismatch,
+    /// Schema resolution (tables, scan columns) must succeed.
+    Schema,
+    /// Each stage's DMEM working set must fit the 32 KiB scratchpad at a
+    /// >= 64-row vector.
+    DmemFit,
+    /// Partition fan-outs must be powers of two within the DMS limit.
+    FanoutPow2,
+    /// A scheme may consume at most 28 hash bits (4 reserved for skew).
+    HashBits,
+    /// Per-round fan-out is capped by the 16-row minimum DMS burst.
+    FanoutBuffer,
+    /// No zero-length descriptors.
+    DescEmpty,
+    /// Descriptor element width must be 1, 2, 4 or 8 bytes.
+    DescWidth,
+    /// Concurrently-live DMEM buffer spans must not overlap.
+    DescOverlap,
+    /// Buffer spans must lie inside DMEM.
+    DescRange,
+    /// Partition write targets must be below the fan-out.
+    PartTarget,
+    /// The declared tile size must be at least the 64-row minimum vector.
+    TileMin,
+    /// An on-the-fly group-by must fit its statically-known NDV in DMEM.
+    GroupLimit,
+    /// A scheme should produce at least one partition per core.
+    SchemeCores,
+}
+
+impl Rule {
+    /// The stable rule id used in diagnostics and documentation.
+    pub fn id(&self) -> &'static str {
+        match self {
+            Rule::DagCycle => "S-DAG-CYCLE",
+            Rule::UseBeforeDef => "S-USE-BEFORE-DEF",
+            Rule::ColBounds => "S-COL-BOUNDS",
+            Rule::JoinArity => "S-JOIN-ARITY",
+            Rule::TypeMismatch => "S-TYPE-MISMATCH",
+            Rule::Schema => "S-SCHEMA",
+            Rule::DmemFit => "R-DMEM-FIT",
+            Rule::FanoutPow2 => "R-FANOUT-POW2",
+            Rule::HashBits => "R-HASH-BITS",
+            Rule::FanoutBuffer => "R-FANOUT-BUFFER",
+            Rule::DescEmpty => "R-DESC-EMPTY",
+            Rule::DescWidth => "R-DESC-WIDTH",
+            Rule::DescOverlap => "R-DESC-OVERLAP",
+            Rule::DescRange => "R-DESC-RANGE",
+            Rule::PartTarget => "R-PART-TARGET",
+            Rule::TileMin => "A-TILE-MIN",
+            Rule::GroupLimit => "A-GROUP-LIMIT",
+            Rule::SchemeCores => "A-SCHEME-CORES",
+        }
+    }
+
+    /// Severity of a violation of this rule.
+    pub fn severity(&self) -> Severity {
+        match self {
+            Rule::SchemeCores => Severity::Warning,
+            _ => Severity::Error,
+        }
+    }
+}
+
+/// One finding.
+#[derive(Debug, Clone)]
+pub struct Diagnostic {
+    /// The violated rule.
+    pub rule: Rule,
+    /// Severity (copied from the rule for convenience).
+    pub severity: Severity,
+    /// Pre-order id of the plan node (the engine tracer's `node_id`).
+    pub node_id: usize,
+    /// Operator path from the plan root, e.g.
+    /// `GroupBy/Map/HashJoin.build/Scan(part)`.
+    pub path: String,
+    /// Human-readable description of the violation.
+    pub message: String,
+}
+
+impl Diagnostic {
+    /// Construct a diagnostic for `rule` at a node.
+    pub fn new(rule: Rule, node_id: usize, path: &str, message: String) -> Diagnostic {
+        Diagnostic {
+            rule,
+            severity: rule.severity(),
+            node_id,
+            path: path.to_string(),
+            message,
+        }
+    }
+}
+
+impl fmt::Display for Diagnostic {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "[{}] node {} at {}: {}",
+            self.rule.id(),
+            self.node_id,
+            self.path,
+            self.message
+        )
+    }
+}
+
+/// Resource summary of one engine stage derived from a plan node (a node
+/// can yield several stages, e.g. a join's two partition passes plus the
+/// pair-join stage).
+#[derive(Debug, Clone)]
+pub struct StageReport {
+    /// Pre-order id of the owning plan node.
+    pub node_id: usize,
+    /// Operator path from the root.
+    pub path: String,
+    /// Stage label, matching the engine tracer's operator names
+    /// (`scan(t)`, `join.partition-build`, `groupby.consume`, ...).
+    pub stage: String,
+    /// Fixed operator state charged against DMEM.
+    pub state_bytes: usize,
+    /// Per-row bytes across the stage's column streams.
+    pub stream_bytes_per_row: usize,
+    /// Tile the engine will run this stage at (configured tile clamped to
+    /// the working set); `None` when even a minimum vector does not fit.
+    pub effective_tile: Option<usize>,
+    /// Whether the fit keeps double buffering.
+    pub double_buffered: bool,
+    /// DMEM working set at the effective tile.
+    pub working_set_bytes: usize,
+    /// Partition fan-out per round (partition stages only).
+    pub fanouts: Vec<usize>,
+    /// Hash bits the scheme consumes (partition stages only).
+    pub hash_bits: u32,
+    /// Descriptors per loop iteration in the derived DMS program.
+    pub descriptors: usize,
+}
+
+/// The verifier's output: per-stage resource reports plus diagnostics.
+#[derive(Debug, Clone, Default)]
+pub struct VerifyReport {
+    /// One entry per derived engine stage, in plan pre-order.
+    pub stages: Vec<StageReport>,
+    /// All findings.
+    pub diagnostics: Vec<Diagnostic>,
+}
+
+impl VerifyReport {
+    /// Whether the plan may execute (no error-severity findings).
+    pub fn ok(&self) -> bool {
+        !self
+            .diagnostics
+            .iter()
+            .any(|d| d.severity == Severity::Error)
+    }
+
+    /// Error-severity findings.
+    pub fn errors(&self) -> impl Iterator<Item = &Diagnostic> {
+        self.diagnostics
+            .iter()
+            .filter(|d| d.severity == Severity::Error)
+    }
+
+    /// One line per error, for embedding in a compile/engine error.
+    pub fn error_summary(&self) -> String {
+        self.errors()
+            .map(|d| d.to_string())
+            .collect::<Vec<_>>()
+            .join("; ")
+    }
+
+    /// Render the per-stage DMEM/fan-out table plus diagnostics — the
+    /// body of `EXPLAIN VERIFY`.
+    pub fn render(&self, dmem_bytes: usize, tile_rows: usize) -> String {
+        let mut s = format!("VERIFY (dmem {dmem_bytes} B, tile {tile_rows} rows)\n");
+        s.push_str("node  stage                    tile    ws-bytes  state  B/row  buf  fanout      desc\n");
+        for r in &self.stages {
+            let tile = r
+                .effective_tile
+                .map_or("halt".to_string(), |t| t.to_string());
+            let fan = if r.fanouts.is_empty() {
+                "-".to_string()
+            } else {
+                format!(
+                    "{}({}b)",
+                    r.fanouts
+                        .iter()
+                        .map(|f| f.to_string())
+                        .collect::<Vec<_>>()
+                        .join("x"),
+                    r.hash_bits
+                )
+            };
+            s.push_str(&format!(
+                "{:>4}  {:<24} {:>5} {:>10}  {:>5}  {:>5}  {}  {:<10} {:>5}\n",
+                r.node_id,
+                r.stage,
+                tile,
+                r.working_set_bytes,
+                r.state_bytes,
+                r.stream_bytes_per_row,
+                if r.double_buffered { "2x" } else { "1x" },
+                fan,
+                r.descriptors,
+            ));
+        }
+        if self.diagnostics.is_empty() {
+            s.push_str("no findings\n");
+        } else {
+            for d in &self.diagnostics {
+                let sev = match d.severity {
+                    Severity::Error => "error",
+                    Severity::Warning => "warning",
+                };
+                s.push_str(&format!("{sev}: {d}\n"));
+            }
+        }
+        let errs = self.errors().count();
+        let warns = self.diagnostics.len() - errs;
+        s.push_str(&format!(
+            "{} ({errs} errors, {warns} warnings)\n",
+            if errs == 0 { "PASS" } else { "FAIL" }
+        ));
+        s
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rule_ids_are_unique_and_stable() {
+        let all = [
+            Rule::DagCycle,
+            Rule::UseBeforeDef,
+            Rule::ColBounds,
+            Rule::JoinArity,
+            Rule::TypeMismatch,
+            Rule::Schema,
+            Rule::DmemFit,
+            Rule::FanoutPow2,
+            Rule::HashBits,
+            Rule::FanoutBuffer,
+            Rule::DescEmpty,
+            Rule::DescWidth,
+            Rule::DescOverlap,
+            Rule::DescRange,
+            Rule::PartTarget,
+            Rule::TileMin,
+            Rule::GroupLimit,
+            Rule::SchemeCores,
+        ];
+        let ids: std::collections::HashSet<&str> = all.iter().map(|r| r.id()).collect();
+        assert_eq!(ids.len(), all.len());
+        for r in &all {
+            let id = r.id();
+            assert!(id.starts_with("S-") || id.starts_with("R-") || id.starts_with("A-"));
+        }
+    }
+
+    #[test]
+    fn diagnostic_display_carries_rule_node_and_path() {
+        let d = Diagnostic::new(
+            Rule::DmemFit,
+            3,
+            "GroupBy/Scan(lineitem)",
+            "working set 40000 B exceeds 32768 B".into(),
+        );
+        let s = d.to_string();
+        assert!(s.contains("[R-DMEM-FIT]"));
+        assert!(s.contains("node 3"));
+        assert!(s.contains("GroupBy/Scan(lineitem)"));
+    }
+
+    #[test]
+    fn report_ok_ignores_warnings() {
+        let mut r = VerifyReport::default();
+        r.diagnostics.push(Diagnostic::new(
+            Rule::SchemeCores,
+            0,
+            "HashJoin",
+            "2 < 32".into(),
+        ));
+        assert!(r.ok());
+        r.diagnostics.push(Diagnostic::new(
+            Rule::HashBits,
+            0,
+            "HashJoin",
+            "30 > 28".into(),
+        ));
+        assert!(!r.ok());
+        assert_eq!(r.errors().count(), 1);
+        let text = r.render(32768, 256);
+        assert!(text.contains("FAIL (1 errors, 1 warnings)"));
+    }
+}

@@ -1,0 +1,233 @@
+//! Derived DMS descriptor programs and their well-formedness rules.
+//!
+//! For every engine stage the verifier lays out the stage's DMEM buffers
+//! the way the relation accessor programs the DMS: operator state first,
+//! then one buffer span per column stream (two when double-buffered),
+//! each driven by one [`Descriptor`] per loop iteration. Partition stages
+//! additionally carry the fan-out and the partition write targets.
+//!
+//! [`check_program`] enforces the descriptor rules (R-DESC-EMPTY,
+//! R-DESC-WIDTH, R-DESC-OVERLAP, R-DESC-RANGE, R-PART-TARGET). Programs
+//! derived by [`derive_program`] are correct by construction — the rules
+//! exist to catch hand-built or corrupted programs, and the mutation
+//! harness corrupts derived ones to prove each rule fires.
+
+use dpu_sim::dms::{Descriptor, Direction};
+
+use crate::diag::{Diagnostic, Rule, VerifyReport};
+
+/// A byte range in DMEM backing one descriptor's buffer.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Span {
+    /// First byte of the buffer.
+    pub offset: usize,
+    /// Buffer length in bytes.
+    pub len: usize,
+}
+
+/// One transfer: a descriptor and the DMEM span it fills or drains.
+#[derive(Debug, Clone)]
+pub struct DmsTransfer {
+    /// The DMS descriptor executed each loop iteration.
+    pub desc: Descriptor,
+    /// The DMEM buffer it targets.
+    pub span: Span,
+}
+
+/// The descriptor program of one stage.
+#[derive(Debug, Clone)]
+pub struct DmsProgram {
+    /// All transfers live concurrently during the stage's loop.
+    pub transfers: Vec<DmsTransfer>,
+    /// Hardware-partition fan-out, for partition stages.
+    pub partition_fanout: Option<usize>,
+    /// Partition indices the program writes to (must be `< fanout`).
+    pub partition_targets: Vec<usize>,
+    /// DMEM capacity the spans must fit in.
+    pub dmem_bytes: usize,
+}
+
+/// Lay out a stage's descriptor program: state first, then per-stream
+/// buffers of `width * tile` bytes, two per stream when double-buffered.
+pub fn derive_program(
+    state_bytes: usize,
+    stream_widths: &[usize],
+    tile: usize,
+    double_buffered: bool,
+    fanout: Option<usize>,
+    dmem_bytes: usize,
+) -> DmsProgram {
+    let mut transfers = Vec::new();
+    let mut cur = state_bytes;
+    let buffers = if double_buffered { 2 } else { 1 };
+    for &w in stream_widths {
+        for _ in 0..buffers {
+            let len = w * tile;
+            transfers.push(DmsTransfer {
+                desc: Descriptor {
+                    direction: Direction::Read,
+                    rows: tile,
+                    width: w,
+                    gather: false,
+                },
+                span: Span { offset: cur, len },
+            });
+            cur += len;
+        }
+    }
+    DmsProgram {
+        transfers,
+        partition_fanout: fanout,
+        partition_targets: fanout.map(|f| (0..f).collect()).unwrap_or_default(),
+        dmem_bytes,
+    }
+}
+
+/// Check a descriptor program's well-formedness rules, reporting into
+/// `report` under the owning stage's node id and path.
+pub fn check_program(p: &DmsProgram, node_id: usize, path: &str, report: &mut VerifyReport) {
+    for (i, t) in p.transfers.iter().enumerate() {
+        if t.desc.rows == 0 || t.desc.width == 0 || t.span.len == 0 {
+            report.diagnostics.push(Diagnostic::new(
+                Rule::DescEmpty,
+                node_id,
+                path,
+                format!(
+                    "descriptor {i} transfers zero bytes ({} rows x {} B into a {}-byte span)",
+                    t.desc.rows, t.desc.width, t.span.len
+                ),
+            ));
+        } else if !matches!(t.desc.width, 1 | 2 | 4 | 8) {
+            report.diagnostics.push(Diagnostic::new(
+                Rule::DescWidth,
+                node_id,
+                path,
+                format!(
+                    "descriptor {i} has element width {} B; the DMS moves 1/2/4/8-byte elements",
+                    t.desc.width
+                ),
+            ));
+        }
+        if t.span.offset.saturating_add(t.span.len) > p.dmem_bytes {
+            report.diagnostics.push(Diagnostic::new(
+                Rule::DescRange,
+                node_id,
+                path,
+                format!(
+                    "descriptor {i} buffer [{}, {}) extends past DMEM ({} B)",
+                    t.span.offset,
+                    t.span.offset.saturating_add(t.span.len),
+                    p.dmem_bytes
+                ),
+            ));
+        }
+    }
+    let mut spans: Vec<(usize, usize, usize)> = p
+        .transfers
+        .iter()
+        .enumerate()
+        .filter(|(_, t)| t.span.len > 0)
+        .map(|(i, t)| (t.span.offset, t.span.len, i))
+        .collect();
+    spans.sort_unstable();
+    for w in spans.windows(2) {
+        let (o1, l1, i1) = w[0];
+        let (o2, _, i2) = w[1];
+        if o1 + l1 > o2 {
+            report.diagnostics.push(Diagnostic::new(
+                Rule::DescOverlap,
+                node_id,
+                path,
+                format!(
+                    "descriptor {i1}'s buffer [{o1}, {}) overlaps descriptor {i2}'s starting at {o2}",
+                    o1 + l1
+                ),
+            ));
+        }
+    }
+    if let Some(f) = p.partition_fanout {
+        for &t in &p.partition_targets {
+            if t >= f {
+                report.diagnostics.push(Diagnostic::new(
+                    Rule::PartTarget,
+                    node_id,
+                    path,
+                    format!("partition write target {t} out of range for fan-out {f}"),
+                ));
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn derived_programs_are_well_formed() {
+        let p = derive_program(64, &[8, 8, 4], 256, true, Some(32), 32 * 1024);
+        assert_eq!(p.transfers.len(), 6); // 3 streams, double-buffered
+        let mut r = VerifyReport::default();
+        check_program(&p, 0, "test", &mut r);
+        assert!(r.diagnostics.is_empty(), "{:?}", r.diagnostics);
+        // Spans tile DMEM contiguously after the state block.
+        assert_eq!(p.transfers[0].span.offset, 64);
+        let end = p.transfers.last().map(|t| t.span.offset + t.span.len);
+        assert_eq!(end, Some(64 + 2 * (8 + 8 + 4) * 256));
+    }
+
+    #[test]
+    fn single_buffered_halves_the_spans() {
+        let d = derive_program(0, &[8], 128, true, None, 32 * 1024);
+        let s = derive_program(0, &[8], 128, false, None, 32 * 1024);
+        assert_eq!(d.transfers.len(), 2);
+        assert_eq!(s.transfers.len(), 1);
+    }
+
+    #[test]
+    fn each_rule_fires_on_a_corrupted_program() {
+        let base = || derive_program(64, &[8, 4], 256, true, Some(4), 32 * 1024);
+        let run = |p: &DmsProgram| {
+            let mut r = VerifyReport::default();
+            check_program(p, 7, "HashJoin", &mut r);
+            r
+        };
+
+        let mut p = base();
+        p.transfers[0].desc.rows = 0;
+        p.transfers[0].span.len = 0;
+        assert!(run(&p)
+            .diagnostics
+            .iter()
+            .any(|d| d.rule == Rule::DescEmpty));
+
+        let mut p = base();
+        p.transfers[0].desc.width = 3;
+        assert!(run(&p)
+            .diagnostics
+            .iter()
+            .any(|d| d.rule == Rule::DescWidth));
+
+        let mut p = base();
+        p.transfers[1].span.offset = p.transfers[0].span.offset + 8;
+        assert!(run(&p)
+            .diagnostics
+            .iter()
+            .any(|d| d.rule == Rule::DescOverlap));
+
+        let mut p = base();
+        let last = p.transfers.len() - 1;
+        p.transfers[last].span.offset = 32 * 1024 - 16;
+        assert!(run(&p)
+            .diagnostics
+            .iter()
+            .any(|d| d.rule == Rule::DescRange));
+
+        let mut p = base();
+        p.partition_targets.push(4);
+        assert!(run(&p)
+            .diagnostics
+            .iter()
+            .any(|d| d.rule == Rule::PartTarget));
+    }
+}

@@ -1,0 +1,147 @@
+//! rapid-verify: static plan and DMS-descriptor verifier.
+//!
+//! A compiled physical plan is a program for the simulated RAPID DPU: a
+//! DAG of engine stages, each of which tiles its input through the 32 KiB
+//! DMEM scratchpad with DMS descriptor transfers and (for joins and
+//! partitioned aggregations) hash-partitions rows across dpCores. This
+//! crate checks such programs *statically*, before a single row moves:
+//!
+//! * **Structural rules (`S-*`)** — the stage DAG is acyclic and
+//!   schedulable, every column reference is in bounds, join key lists
+//!   agree in arity and type (including dictionary provenance for
+//!   encoded varchars), and every scanned table resolves.
+//! * **Resource rules (`R-*`)** — each stage's working set fits DMEM at a
+//!   minimum 64-row vector, partition fan-outs are powers of two within
+//!   the schedulable hash bits and the local-buffer limit, and the
+//!   derived descriptor programs are well-formed (no empty transfers,
+//!   legal element widths, non-overlapping in-range buffer spans, valid
+//!   partition targets).
+//! * **Accounting rules (`A-*`)** — declared cost-model parameters match
+//!   what the engine will execute: the configured tile is at least the
+//!   minimum vector, and an on-the-fly aggregation's statically-known
+//!   group count fits the per-core DMEM table.
+//!
+//! All DMEM arithmetic is shared with the engine via `rapid_qef::budget`,
+//! so the static verdict and the runtime tile choice cannot drift apart.
+//!
+//! The verifier runs at three layers: the compiler gates every compiled
+//! plan (hard error), the engine re-checks plans before execution via
+//! [`rapid_qef::verifyhook`] (under `debug_assertions` or
+//! `RAPID_VERIFY=1`), and the differential fuzzer verifies every plan it
+//! generates. The [`mutate`] harness proves each rule actually fires by
+//! corrupting known-good plans, one mutation class per rule.
+
+#![warn(missing_docs)]
+
+pub mod diag;
+pub mod dms;
+pub mod mutate;
+pub mod stage;
+
+pub use diag::{Diagnostic, Rule, Severity, StageReport, VerifyReport};
+pub use stage::StageGraph;
+
+use rapid_qef::exec::ExecContext;
+use rapid_qef::plan::{Catalog, PlanNode};
+
+/// The hardware/engine parameters a plan is verified against.
+#[derive(Debug, Clone)]
+pub struct VerifyConfig {
+    /// Per-core DMEM scratchpad capacity in bytes.
+    pub dmem_bytes: usize,
+    /// Configured vector (tile) size in rows.
+    pub tile_rows: usize,
+    /// Number of dpCores partitions should cover.
+    pub cores: usize,
+    /// Maximum fan-out of one partition round (radix bits of one pass).
+    pub max_round_fanout: usize,
+    /// Total hash bits available to partition schemes.
+    pub hash_bits: u32,
+    /// High hash bits reserved for skew re-partitioning (paper §6.4).
+    pub skew_reserved_bits: u32,
+}
+
+impl Default for VerifyConfig {
+    fn default() -> Self {
+        VerifyConfig {
+            dmem_bytes: dpu_sim::dmem::DMEM_BYTES,
+            tile_rows: 256,
+            cores: 32,
+            max_round_fanout: 1024,
+            hash_bits: 32,
+            skew_reserved_bits: 4,
+        }
+    }
+}
+
+impl VerifyConfig {
+    /// Derive the configuration an execution context implies; everything
+    /// the context does not carry stays at the hardware default.
+    pub fn from_exec(ctx: &ExecContext) -> VerifyConfig {
+        VerifyConfig {
+            dmem_bytes: ctx.dmem_bytes,
+            tile_rows: ctx.tile_rows,
+            cores: ctx.cores,
+            ..VerifyConfig::default()
+        }
+    }
+}
+
+/// Verify a plan against a catalog and configuration, returning the full
+/// per-stage report plus diagnostics.
+pub fn verify(plan: &PlanNode, catalog: &Catalog, cfg: &VerifyConfig) -> VerifyReport {
+    stage::check_plan(plan, catalog, cfg)
+}
+
+/// Verify a plan and collapse the result to pass/fail: `Err` carries one
+/// line per error-severity diagnostic.
+pub fn check(plan: &PlanNode, catalog: &Catalog, cfg: &VerifyConfig) -> Result<(), String> {
+    let report = verify(plan, catalog, cfg);
+    if report.ok() {
+        Ok(())
+    } else {
+        Err(report.error_summary())
+    }
+}
+
+fn hook(plan: &PlanNode, catalog: &Catalog, ctx: &ExecContext) -> Result<(), String> {
+    check(plan, catalog, &VerifyConfig::from_exec(ctx))
+}
+
+/// Register the verifier as the engine's pre-execution plan check (see
+/// [`rapid_qef::verifyhook`]). Idempotent; the compiler calls this as a
+/// side effect of its own verification gate.
+pub fn install() {
+    rapid_qef::verifyhook::install(hook);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::mutate::{base_plan, demo_catalog};
+
+    #[test]
+    fn check_is_ok_for_the_demo_plan() {
+        let cat = demo_catalog();
+        assert_eq!(check(&base_plan(), &cat, &VerifyConfig::default()), Ok(()));
+    }
+
+    #[test]
+    fn check_renders_rule_ids_into_the_error() {
+        let cat = demo_catalog();
+        let plan = base_plan();
+        let cfg = VerifyConfig {
+            dmem_bytes: 1024,
+            ..VerifyConfig::default()
+        };
+        let err = check(&plan, &cat, &cfg).unwrap_err();
+        assert!(err.contains("R-DMEM-FIT"), "{err}");
+    }
+
+    #[test]
+    fn install_is_idempotent_and_registers_the_hook() {
+        install();
+        install();
+        assert!(rapid_qef::verifyhook::installed().is_some());
+    }
+}

@@ -1,0 +1,402 @@
+//! The plan-mutation harness: corrupt known-good inputs, prove each rule
+//! fires.
+//!
+//! A verifier that never rejects anything is indistinguishable from one
+//! that checks nothing. This module builds a small demo catalog and a
+//! physical plan that verifies **clean** under the default configuration,
+//! then provides one mutation per invariant class — swap a column
+//! reference out of bounds, inflate a fan-out past the DMS buffer limit,
+//! break a descriptor span, introduce a cycle — each of which must
+//! produce a diagnostic carrying its rule id. The `mutations` integration
+//! test asserts exactly that, for every class.
+
+use std::sync::Arc;
+
+use rapid_qef::expr::{Expr, Pred};
+use rapid_qef::plan::{AggSpec, Catalog, GroupStrategy, JoinType, NamedExpr, PlanNode};
+use rapid_qef::primitives::agg::AggFunc;
+use rapid_qef::primitives::filter::CmpOp;
+use rapid_storage::schema::{Field, Schema};
+use rapid_storage::table::TableBuilder;
+use rapid_storage::types::{DataType, Value};
+
+use crate::diag::Rule;
+use crate::dms::{self, DmsProgram};
+use crate::stage::StageGraph;
+use crate::VerifyConfig;
+
+/// Two-table demo catalog: a 2000-row fact table (unique `id`, 3-distinct
+/// `grp`, decimal `price`, small-domain `qty`, date `d`) and a 100-row
+/// dimension (`id`, `name`, decimal `rate`).
+pub fn demo_catalog() -> Catalog {
+    let fact_schema = Schema::new(vec![
+        Field::new("id", DataType::Int),
+        Field::new("grp", DataType::Varchar),
+        Field::new("price", DataType::Decimal { scale: 2 }),
+        Field::new("qty", DataType::Int),
+        Field::new("d", DataType::Date),
+    ]);
+    let mut fb = TableBuilder::new("t_fact", fact_schema);
+    for i in 0..2000i64 {
+        fb.push_row(vec![
+            Value::Int(i),
+            Value::Str(["a", "b", "c"][(i % 3) as usize].into()),
+            Value::Decimal {
+                unscaled: 100 + i,
+                scale: 2,
+            },
+            Value::Int(i % 7),
+            Value::Date(10_000 + (i as i32 % 50)),
+        ]);
+    }
+    let dim_schema = Schema::new(vec![
+        Field::new("id", DataType::Int),
+        Field::new("name", DataType::Varchar),
+        Field::new("rate", DataType::Decimal { scale: 4 }),
+    ]);
+    let mut db = TableBuilder::new("t_dim", dim_schema);
+    for i in 0..100i64 {
+        db.push_row(vec![
+            Value::Int(i),
+            Value::Str(format!("n{i}")),
+            Value::Decimal {
+                unscaled: 5000 + i,
+                scale: 4,
+            },
+        ]);
+    }
+    let mut c = Catalog::new();
+    c.insert("t_fact".into(), Arc::new(fb.finish()));
+    c.insert("t_dim".into(), Arc::new(db.finish()));
+    c
+}
+
+/// A plan that verifies clean at [`VerifyConfig::default`]: an aggregation
+/// over a mapped join of the demo tables, with an explicit 32-way
+/// partition scheme and an on-the-fly group-by on the 3-distinct key.
+pub fn base_plan() -> PlanNode {
+    let build = PlanNode::Scan {
+        table: "t_dim".into(),
+        columns: vec![0, 2], // id, rate
+        pred: None,
+    };
+    let probe = PlanNode::Scan {
+        table: "t_fact".into(),
+        columns: vec![0, 1, 2], // id, grp, price
+        pred: Some(Pred::CmpConst {
+            col: 3, // qty, streamed but not projected
+            op: CmpOp::Gt,
+            value: 1,
+        }),
+    };
+    let join = PlanNode::HashJoin {
+        build: Box::new(build),
+        probe: Box::new(probe),
+        build_keys: vec![0],
+        probe_keys: vec![0],
+        join_type: JoinType::Inner,
+        scheme: Some(vec![32]),
+    };
+    // Join output: [fact.id Int, grp Varchar, price Dec(2), dim.id Int,
+    // rate Dec(4)].
+    let map = PlanNode::Map {
+        input: Box::new(join),
+        exprs: vec![
+            NamedExpr {
+                expr: Expr::Col(0),
+                name: "id".into(),
+                dtype: DataType::Int,
+                scale: 0,
+                dict: None,
+            },
+            NamedExpr {
+                expr: Expr::Col(1),
+                name: "grp".into(),
+                dtype: DataType::Varchar,
+                scale: 0,
+                dict: Some(("t_fact".into(), 1)),
+            },
+            NamedExpr {
+                expr: Expr::mul(Expr::Col(2), Expr::Col(4)),
+                name: "revenue".into(),
+                dtype: DataType::Decimal { scale: 6 },
+                scale: 6,
+                dict: None,
+            },
+        ],
+    };
+    PlanNode::GroupBy {
+        input: Box::new(map),
+        keys: vec![1],
+        aggs: vec![AggSpec {
+            func: AggFunc::Sum,
+            col: 2,
+        }],
+        strategy: GroupStrategy::OnTheFly,
+    }
+}
+
+/// A well-formed descriptor program (two double-buffered streams after a
+/// 64-byte state block, 32-way partition targets) for program-level
+/// mutations to corrupt.
+pub fn demo_program() -> DmsProgram {
+    dms::derive_program(64, &[8, 4], 256, true, Some(32), 32 * 1024)
+}
+
+/// What a mutation produced: the corrupted artifact to re-verify.
+#[derive(Debug, Clone)]
+pub enum Mutated {
+    /// A corrupted physical plan (verify with [`crate::verify`]).
+    Plan(PlanNode),
+    /// A corrupted stage graph (check with [`StageGraph::check`]).
+    Graph(StageGraph),
+    /// A corrupted descriptor program (check with
+    /// [`crate::dms::check_program`]).
+    Program(DmsProgram),
+    /// A corrupted engine configuration (verify the base plan under it).
+    Config(VerifyConfig),
+}
+
+/// One mutation class per verifier rule.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Mutation {
+    /// Group-by key swapped to a column the input does not produce.
+    SwapColumnRef,
+    /// Probe key list emptied.
+    BreakJoinArity,
+    /// Build key re-pointed at a decimal, probing with an integer.
+    MismatchJoinKeyTypes,
+    /// Scan re-pointed at a table that is not in the catalog.
+    CorruptSchema,
+    /// Back edge added from a leaf scan to the plan root.
+    IntroduceCycle,
+    /// Root stage moved to the front of the execution schedule.
+    SwapScheduleOrder,
+    /// Partition round fan-out set to 24 (not a power of two).
+    NonPow2Fanout,
+    /// Three 1024-way rounds: 30 hash bits against a 28-bit budget.
+    ExcessHashBits,
+    /// Single 256-way round: past the local-buffer fan-out limit.
+    OverFanout,
+    /// Single 2-way round: fewer partitions than cores (warning).
+    StarveCores,
+    /// DMEM shrunk to 1 KiB under the same plan.
+    InflatePastDmem,
+    /// Tile configured below the 64-row minimum vector.
+    TileBelowMin,
+    /// On-the-fly group-by re-keyed to the 2000-distinct column.
+    OnTheFlyOverLimit,
+    /// Descriptor transferring zero bytes.
+    ZeroLenDescriptor,
+    /// Descriptor with a 3-byte element width.
+    BadDescWidth,
+    /// Two live buffer spans overlapping in DMEM.
+    OverlapSpans,
+    /// Buffer span extending past the end of DMEM.
+    OutOfRangeSpan,
+    /// Partition write target equal to the fan-out.
+    BadPartitionTarget,
+}
+
+impl Mutation {
+    /// Every mutation class, one per rule.
+    pub fn all() -> Vec<Mutation> {
+        use Mutation::*;
+        vec![
+            SwapColumnRef,
+            BreakJoinArity,
+            MismatchJoinKeyTypes,
+            CorruptSchema,
+            IntroduceCycle,
+            SwapScheduleOrder,
+            NonPow2Fanout,
+            ExcessHashBits,
+            OverFanout,
+            StarveCores,
+            InflatePastDmem,
+            TileBelowMin,
+            OnTheFlyOverLimit,
+            ZeroLenDescriptor,
+            BadDescWidth,
+            OverlapSpans,
+            OutOfRangeSpan,
+            BadPartitionTarget,
+        ]
+    }
+
+    /// The rule this mutation must trigger.
+    pub fn expected_rule(self) -> Rule {
+        match self {
+            Mutation::SwapColumnRef => Rule::ColBounds,
+            Mutation::BreakJoinArity => Rule::JoinArity,
+            Mutation::MismatchJoinKeyTypes => Rule::TypeMismatch,
+            Mutation::CorruptSchema => Rule::Schema,
+            Mutation::IntroduceCycle => Rule::DagCycle,
+            Mutation::SwapScheduleOrder => Rule::UseBeforeDef,
+            Mutation::NonPow2Fanout => Rule::FanoutPow2,
+            Mutation::ExcessHashBits => Rule::HashBits,
+            Mutation::OverFanout => Rule::FanoutBuffer,
+            Mutation::StarveCores => Rule::SchemeCores,
+            Mutation::InflatePastDmem => Rule::DmemFit,
+            Mutation::TileBelowMin => Rule::TileMin,
+            Mutation::OnTheFlyOverLimit => Rule::GroupLimit,
+            Mutation::ZeroLenDescriptor => Rule::DescEmpty,
+            Mutation::BadDescWidth => Rule::DescWidth,
+            Mutation::OverlapSpans => Rule::DescOverlap,
+            Mutation::OutOfRangeSpan => Rule::DescRange,
+            Mutation::BadPartitionTarget => Rule::PartTarget,
+        }
+    }
+
+    /// Apply the mutation to the appropriate known-good artifact.
+    pub fn apply(self) -> Mutated {
+        match self {
+            Mutation::SwapColumnRef => Mutated::Plan(plan_mut(|p| {
+                if let PlanNode::GroupBy { keys, .. } = p {
+                    *keys = vec![7];
+                }
+            })),
+            Mutation::BreakJoinArity => Mutated::Plan(plan_mut(|p| {
+                if let PlanNode::HashJoin { probe_keys, .. } = demo_join(p) {
+                    probe_keys.clear();
+                }
+            })),
+            Mutation::MismatchJoinKeyTypes => Mutated::Plan(plan_mut(|p| {
+                if let PlanNode::HashJoin { build_keys, .. } = demo_join(p) {
+                    *build_keys = vec![1]; // rate: Decimal(4) vs Int probe key
+                }
+            })),
+            Mutation::CorruptSchema => Mutated::Plan(plan_mut(|p| {
+                if let PlanNode::HashJoin { probe, .. } = demo_join(p) {
+                    if let PlanNode::Scan { table, .. } = probe.as_mut() {
+                        *table = "ghost".into();
+                    }
+                }
+            })),
+            Mutation::IntroduceCycle => {
+                let mut g = StageGraph::from_plan(&base_plan());
+                // The last pre-order node is the probe scan; feeding it the
+                // root's output closes a cycle.
+                if let Some(leaf) = g.nodes.last_mut() {
+                    leaf.inputs.push(0);
+                }
+                Mutated::Graph(g)
+            }
+            Mutation::SwapScheduleOrder => {
+                let mut g = StageGraph::from_plan(&base_plan());
+                let last = g.schedule.len() - 1;
+                g.schedule.swap(0, last); // root now runs first
+                Mutated::Graph(g)
+            }
+            Mutation::NonPow2Fanout => Mutated::Plan(set_scheme(vec![24])),
+            Mutation::ExcessHashBits => Mutated::Plan(set_scheme(vec![1024, 1024, 1024])),
+            Mutation::OverFanout => Mutated::Plan(set_scheme(vec![256])),
+            Mutation::StarveCores => Mutated::Plan(set_scheme(vec![2])),
+            Mutation::InflatePastDmem => Mutated::Config(VerifyConfig {
+                dmem_bytes: 1024,
+                ..VerifyConfig::default()
+            }),
+            Mutation::TileBelowMin => Mutated::Config(VerifyConfig {
+                tile_rows: 16,
+                ..VerifyConfig::default()
+            }),
+            Mutation::OnTheFlyOverLimit => Mutated::Plan(plan_mut(|p| {
+                if let PlanNode::GroupBy { keys, .. } = p {
+                    *keys = vec![0]; // fact.id: 2000 distinct values
+                }
+            })),
+            Mutation::ZeroLenDescriptor => {
+                let mut p = demo_program();
+                p.transfers[0].desc.rows = 0;
+                p.transfers[0].span.len = 0;
+                Mutated::Program(p)
+            }
+            Mutation::BadDescWidth => {
+                let mut p = demo_program();
+                p.transfers[0].desc.width = 3;
+                Mutated::Program(p)
+            }
+            Mutation::OverlapSpans => {
+                let mut p = demo_program();
+                p.transfers[1].span.offset = p.transfers[0].span.offset + 8;
+                Mutated::Program(p)
+            }
+            Mutation::OutOfRangeSpan => {
+                let mut p = demo_program();
+                let last = p.transfers.len() - 1;
+                p.transfers[last].span.offset = p.dmem_bytes - 16;
+                Mutated::Program(p)
+            }
+            Mutation::BadPartitionTarget => {
+                let mut p = demo_program();
+                p.partition_targets.push(32);
+                Mutated::Program(p)
+            }
+        }
+    }
+}
+
+fn plan_mut(f: impl FnOnce(&mut PlanNode)) -> PlanNode {
+    let mut p = base_plan();
+    f(&mut p);
+    p
+}
+
+/// Descend to the demo plan's join node.
+fn demo_join(p: &mut PlanNode) -> &mut PlanNode {
+    let PlanNode::GroupBy { input, .. } = p else {
+        panic!("demo plan shape changed: expected GroupBy root");
+    };
+    let PlanNode::Map { input, .. } = input.as_mut() else {
+        panic!("demo plan shape changed: expected Map under GroupBy");
+    };
+    input.as_mut()
+}
+
+fn set_scheme(s: Vec<usize>) -> PlanNode {
+    plan_mut(|p| {
+        if let PlanNode::HashJoin { scheme, .. } = demo_join(p) {
+            *scheme = Some(s);
+        }
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn base_plan_verifies_clean() {
+        let report = crate::verify(&base_plan(), &demo_catalog(), &VerifyConfig::default());
+        assert!(
+            report.diagnostics.is_empty(),
+            "base plan must be clean: {:?}",
+            report.diagnostics
+        );
+        assert!(report.ok());
+        // Sanity on the derived stages: scans, three join stages, map,
+        // group-by consume.
+        assert!(report.stages.len() >= 6, "stages: {:?}", report.stages);
+    }
+
+    #[test]
+    fn demo_program_is_well_formed() {
+        let mut r = crate::VerifyReport::default();
+        dms::check_program(&demo_program(), 0, "demo", &mut r);
+        assert!(r.diagnostics.is_empty(), "{:?}", r.diagnostics);
+    }
+
+    #[test]
+    fn every_rule_has_a_mutation() {
+        use std::collections::HashSet;
+        let covered: HashSet<&str> = Mutation::all()
+            .into_iter()
+            .map(|m| m.expected_rule().id())
+            .collect();
+        assert_eq!(
+            covered.len(),
+            Mutation::all().len(),
+            "one rule per mutation"
+        );
+    }
+}

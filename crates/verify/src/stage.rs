@@ -1,0 +1,986 @@
+//! Stage-graph construction and the structural/resource/accounting walk.
+//!
+//! [`StageGraph::from_plan`] assigns every plan node the same pre-order id
+//! the engine's tracer uses, so diagnostics line up with `EXPLAIN
+//! ANALYZE` output, and derives the post-order execution schedule the
+//! engine follows. [`check_plan`] then walks the plan once, deriving the
+//! engine stages each node executes as (a join is two partition passes
+//! plus a pair-join stage) and checking every rule in
+//! [`crate::diag::Rule`] against them. All DMEM arithmetic comes from
+//! `rapid_qef::budget`, the same module the engine sizes its vectors
+//! with — the static verdict and the runtime tile cannot drift apart.
+
+use rapid_qef::budget::{self, BASE_STATE_BYTES, MIN_VECTOR_ROWS};
+use rapid_qef::expr::Expr;
+use rapid_qef::ops::groupby::on_the_fly_group_limit;
+use rapid_qef::plan::{Catalog, ColMeta, GroupStrategy, JoinType, PlanNode};
+use rapid_qef::primitives::agg::AggFunc;
+use rapid_storage::types::DataType;
+
+use crate::diag::{Diagnostic, Rule, StageReport, VerifyReport};
+use crate::dms;
+use crate::VerifyConfig;
+
+/// One node of the stage DAG.
+#[derive(Debug, Clone)]
+pub struct GraphNode {
+    /// Pre-order id (== the engine tracer's node id).
+    pub id: usize,
+    /// Operator label, e.g. `Scan(lineitem)` or `HashJoin`.
+    pub label: String,
+    /// Operator path from the plan root.
+    pub path: String,
+    /// Ids of the nodes whose output this node consumes.
+    pub inputs: Vec<usize>,
+}
+
+/// The stage DAG plus the post-order schedule the engine executes it in.
+#[derive(Debug, Clone)]
+pub struct StageGraph {
+    /// Nodes in pre-order.
+    pub nodes: Vec<GraphNode>,
+    /// Execution schedule (post-order: producers before consumers).
+    pub schedule: Vec<usize>,
+}
+
+/// Operator label of a plan node, as used in paths and diagnostics.
+pub fn node_label(plan: &PlanNode) -> String {
+    match plan {
+        PlanNode::Scan { table, .. } => format!("Scan({table})"),
+        PlanNode::Filter { .. } => "Filter".into(),
+        PlanNode::Map { .. } => "Map".into(),
+        PlanNode::HashJoin { .. } => "HashJoin".into(),
+        PlanNode::GroupBy { .. } => "GroupBy".into(),
+        PlanNode::TopK { .. } => "TopK".into(),
+        PlanNode::Sort { .. } => "Sort".into(),
+        PlanNode::Limit { .. } => "Limit".into(),
+        PlanNode::SetOp { .. } => "SetOp".into(),
+        PlanNode::Window { .. } => "Window".into(),
+    }
+}
+
+impl StageGraph {
+    /// Build the graph from a plan, assigning pre-order ids.
+    pub fn from_plan(plan: &PlanNode) -> StageGraph {
+        let mut g = StageGraph {
+            nodes: Vec::new(),
+            schedule: Vec::new(),
+        };
+        g.add(plan, "");
+        g
+    }
+
+    fn add(&mut self, plan: &PlanNode, parent_path: &str) -> usize {
+        let id = self.nodes.len();
+        let label = node_label(plan);
+        let path = if parent_path.is_empty() {
+            label.clone()
+        } else {
+            format!("{parent_path}/{label}")
+        };
+        self.nodes.push(GraphNode {
+            id,
+            label,
+            path: path.clone(),
+            inputs: Vec::new(),
+        });
+        let inputs = match plan {
+            PlanNode::Scan { .. } => Vec::new(),
+            PlanNode::Filter { input, .. }
+            | PlanNode::Map { input, .. }
+            | PlanNode::GroupBy { input, .. }
+            | PlanNode::TopK { input, .. }
+            | PlanNode::Sort { input, .. }
+            | PlanNode::Limit { input, .. }
+            | PlanNode::Window { input, .. } => vec![self.add(input, &path)],
+            PlanNode::HashJoin { build, probe, .. } => vec![
+                self.add(build, &format!("{path}.build")),
+                self.add(probe, &format!("{path}.probe")),
+            ],
+            PlanNode::SetOp { left, right, .. } => vec![
+                self.add(left, &format!("{path}.left")),
+                self.add(right, &format!("{path}.right")),
+            ],
+        };
+        self.nodes[id].inputs = inputs;
+        self.schedule.push(id);
+        id
+    }
+
+    /// Check S-DAG-CYCLE (Kahn's algorithm over producer->consumer edges)
+    /// and S-USE-BEFORE-DEF (every input produced earlier in the
+    /// schedule).
+    pub fn check(&self, report: &mut VerifyReport) {
+        let n = self.nodes.len();
+        let mut indeg: Vec<usize> = self.nodes.iter().map(|nd| nd.inputs.len()).collect();
+        let mut consumers: Vec<Vec<usize>> = vec![Vec::new(); n];
+        for nd in &self.nodes {
+            for &i in &nd.inputs {
+                if i < n {
+                    consumers[i].push(nd.id);
+                }
+            }
+        }
+        let mut queue: Vec<usize> = (0..n).filter(|&i| indeg[i] == 0).collect();
+        let mut seen = 0usize;
+        while let Some(v) = queue.pop() {
+            seen += 1;
+            for &c in &consumers[v] {
+                indeg[c] -= 1;
+                if indeg[c] == 0 {
+                    queue.push(c);
+                }
+            }
+        }
+        if seen < n {
+            let stuck: Vec<&GraphNode> = self.nodes.iter().filter(|nd| indeg[nd.id] > 0).collect();
+            let chain = stuck
+                .iter()
+                .map(|nd| format!("{}#{}", nd.label, nd.id))
+                .collect::<Vec<_>>()
+                .join(" -> ");
+            let first = stuck[0];
+            report.diagnostics.push(Diagnostic::new(
+                Rule::DagCycle,
+                first.id,
+                &first.path,
+                format!(
+                    "stage graph has a cycle through {chain}; no schedule can order these stages"
+                ),
+            ));
+        }
+        let mut produced = vec![false; n];
+        for &s in &self.schedule {
+            let Some(nd) = self.nodes.get(s) else {
+                continue;
+            };
+            for &i in &nd.inputs {
+                if !produced.get(i).copied().unwrap_or(false) {
+                    let src = self
+                        .nodes
+                        .get(i)
+                        .map_or_else(|| format!("#{i}"), |p| format!("{}#{}", p.label, p.id));
+                    report.diagnostics.push(Diagnostic::new(
+                        Rule::UseBeforeDef,
+                        nd.id,
+                        &nd.path,
+                        format!(
+                            "stage consumes the output of {src} before the schedule produces it"
+                        ),
+                    ));
+                }
+            }
+            produced[s] = true;
+        }
+    }
+}
+
+/// Configuration-level accounting checks (A-TILE-MIN).
+pub fn check_config(cfg: &VerifyConfig, report: &mut VerifyReport) {
+    if cfg.tile_rows < MIN_VECTOR_ROWS {
+        report.diagnostics.push(Diagnostic::new(
+            Rule::TileMin,
+            0,
+            "(config)",
+            format!(
+                "configured tile of {} rows is below the {MIN_VECTOR_ROWS}-row minimum vector; \
+                 per-tile descriptor setup would dominate every transfer",
+                cfg.tile_rows
+            ),
+        ));
+    }
+}
+
+/// Run every check over a plan: graph rules, configuration rules, then
+/// the per-node structural/resource/accounting walk.
+pub fn check_plan(plan: &PlanNode, catalog: &Catalog, cfg: &VerifyConfig) -> VerifyReport {
+    let mut report = VerifyReport::default();
+    StageGraph::from_plan(plan).check(&mut report);
+    check_config(cfg, &mut report);
+    let mut w = Walker {
+        catalog,
+        cfg,
+        report: &mut report,
+        next_id: 0,
+    };
+    let _ = w.node(plan, "");
+    report
+}
+
+/// What a node exposes to its consumer: output metadata plus the
+/// statically-derivable NDV per column (the same derivation the
+/// compiler's aggregate-strategy selection uses: base-table statistics
+/// through scans, `Expr::Col` pass-throughs and join concatenation;
+/// anything computed is unknown).
+struct NodeInfo {
+    meta: Vec<ColMeta>,
+    ndv: Vec<Option<u64>>,
+}
+
+fn width(m: &ColMeta) -> usize {
+    m.dtype.physical_width()
+}
+
+struct Walker<'a> {
+    catalog: &'a Catalog,
+    cfg: &'a VerifyConfig,
+    report: &'a mut VerifyReport,
+    next_id: usize,
+}
+
+impl Walker<'_> {
+    fn diag(&mut self, rule: Rule, id: usize, path: &str, msg: String) {
+        self.report
+            .diagnostics
+            .push(Diagnostic::new(rule, id, path, msg));
+    }
+
+    /// Derive one engine stage: fit its working set (R-DMEM-FIT), derive
+    /// its DMS descriptor program at the effective tile and check it
+    /// (R-DESC-*, R-PART-TARGET), and record the stage report.
+    fn stage(
+        &mut self,
+        node_id: usize,
+        path: &str,
+        label: &str,
+        state_bytes: usize,
+        stream_widths: Vec<usize>,
+        fanouts: Vec<usize>,
+    ) {
+        let per_row: usize = stream_widths.iter().sum();
+        let fit = budget::fit_tile(state_bytes, per_row, self.cfg.dmem_bytes);
+        let eff = fit.map(|f| self.cfg.tile_rows.min(f.rows));
+        let double = fit.is_some_and(|f| f.double_buffered);
+        if eff.is_none() {
+            self.diag(
+                Rule::DmemFit,
+                node_id,
+                path,
+                format!(
+                    "stage '{label}' needs {state_bytes} B state + {per_row} B/row; even a \
+                     single-buffered {MIN_VECTOR_ROWS}-row vector ({} B) exceeds DMEM ({} B)",
+                    state_bytes + per_row * MIN_VECTOR_ROWS,
+                    self.cfg.dmem_bytes
+                ),
+            );
+        }
+        let mut descriptors = 0;
+        if let Some(t) = eff {
+            let program = dms::derive_program(
+                state_bytes,
+                &stream_widths,
+                t,
+                double,
+                fanouts.first().copied(),
+                self.cfg.dmem_bytes,
+            );
+            descriptors = program.transfers.len();
+            dms::check_program(&program, node_id, path, self.report);
+        }
+        let buffers = if double { 2 } else { 1 };
+        let working_set = state_bytes + buffers * per_row * eff.unwrap_or(MIN_VECTOR_ROWS);
+        let hash_bits = fanouts
+            .iter()
+            .map(|&f| {
+                if f.is_power_of_two() {
+                    f.trailing_zeros()
+                } else {
+                    0
+                }
+            })
+            .sum();
+        self.report.stages.push(StageReport {
+            node_id,
+            path: path.to_string(),
+            stage: label.to_string(),
+            state_bytes,
+            stream_bytes_per_row: per_row,
+            effective_tile: eff,
+            double_buffered: double,
+            working_set_bytes: working_set,
+            fanouts,
+            hash_bits,
+            descriptors,
+        });
+    }
+
+    /// Check a declared partition scheme (R-FANOUT-POW2, R-HASH-BITS,
+    /// R-FANOUT-BUFFER, A-SCHEME-CORES) against the widest row streaming
+    /// through the partition passes.
+    fn check_scheme(&mut self, id: usize, path: &str, scheme: &[usize], row_bytes: usize) {
+        for &f in scheme {
+            if f == 0 || !f.is_power_of_two() || f > self.cfg.max_round_fanout {
+                self.diag(
+                    Rule::FanoutPow2,
+                    id,
+                    path,
+                    format!(
+                        "partition round fan-out {f} must be a power of two in 1..={} \
+                         (radix bits of one hash round)",
+                        self.cfg.max_round_fanout
+                    ),
+                );
+            }
+        }
+        let bits: u32 = scheme
+            .iter()
+            .map(|&f| {
+                if f.is_power_of_two() {
+                    f.trailing_zeros()
+                } else {
+                    0
+                }
+            })
+            .sum();
+        let schedulable = self
+            .cfg
+            .hash_bits
+            .saturating_sub(self.cfg.skew_reserved_bits);
+        if bits > schedulable {
+            self.diag(
+                Rule::HashBits,
+                id,
+                path,
+                format!(
+                    "scheme {scheme:?} consumes {bits} hash bits; only {schedulable} of {} are \
+                     schedulable ({} reserved for skew re-partitioning)",
+                    self.cfg.hash_bits, self.cfg.skew_reserved_bits
+                ),
+            );
+        }
+        let cap = budget::max_buffered_fanout(row_bytes.max(1), self.cfg.dmem_bytes);
+        if let Some(&f) = scheme.iter().find(|&&f| f.is_power_of_two() && f > cap) {
+            self.diag(
+                Rule::FanoutBuffer,
+                id,
+                path,
+                format!(
+                    "round fan-out {f} exceeds the {cap}-way local-buffer limit for \
+                     {row_bytes}-byte rows (16-row minimum DMS burst in half of {} B DMEM)",
+                    self.cfg.dmem_bytes
+                ),
+            );
+        }
+        let product: usize = scheme.iter().product();
+        if product < self.cfg.cores {
+            self.diag(
+                Rule::SchemeCores,
+                id,
+                path,
+                format!(
+                    "scheme produces {product} partitions for {} cores; cores will idle",
+                    self.cfg.cores
+                ),
+            );
+        }
+    }
+
+    fn node(&mut self, plan: &PlanNode, parent_path: &str) -> Result<NodeInfo, ()> {
+        let id = self.next_id;
+        self.next_id += 1;
+        let label = node_label(plan);
+        let path = if parent_path.is_empty() {
+            label.clone()
+        } else {
+            format!("{parent_path}/{label}")
+        };
+        match plan {
+            PlanNode::Scan {
+                table,
+                columns,
+                pred,
+            } => {
+                let Some(t) = self.catalog.get(table) else {
+                    self.diag(
+                        Rule::Schema,
+                        id,
+                        &path,
+                        format!("table '{table}' is not in the catalog"),
+                    );
+                    return Err(());
+                };
+                let nfields = t.schema.len();
+                let mut bad = false;
+                for &c in columns {
+                    if c >= nfields {
+                        self.diag(
+                            Rule::ColBounds,
+                            id,
+                            &path,
+                            format!("scan projects column {c} but '{table}' has {nfields} columns"),
+                        );
+                        bad = true;
+                    }
+                }
+                let mut pred_cols = Vec::new();
+                if let Some(p) = pred {
+                    p.referenced_columns(&mut pred_cols);
+                }
+                for &c in &pred_cols {
+                    if c >= nfields {
+                        self.diag(
+                            Rule::ColBounds,
+                            id,
+                            &path,
+                            format!(
+                                "scan predicate references column {c} but '{table}' has {nfields} columns"
+                            ),
+                        );
+                        bad = true;
+                    }
+                }
+                // Streams: projection union predicate columns, each column
+                // buffer counted once (matches the engine's scan task).
+                let mut stream_cols: Vec<usize> = columns
+                    .iter()
+                    .chain(pred_cols.iter())
+                    .copied()
+                    .filter(|&c| c < nfields)
+                    .collect();
+                stream_cols.sort_unstable();
+                stream_cols.dedup();
+                let widths: Vec<usize> = stream_cols
+                    .iter()
+                    .map(|&c| t.schema.fields[c].dtype.physical_width())
+                    .collect();
+                self.stage(
+                    id,
+                    &path,
+                    &format!("scan({table})"),
+                    BASE_STATE_BYTES,
+                    widths,
+                    Vec::new(),
+                );
+                if bad {
+                    return Err(());
+                }
+                let meta = columns
+                    .iter()
+                    .map(|&c| {
+                        let f = &t.schema.fields[c];
+                        ColMeta {
+                            name: f.name.clone(),
+                            dtype: f.dtype,
+                            scale: t.scales[c],
+                            dict: matches!(f.dtype, DataType::Varchar).then(|| (table.clone(), c)),
+                            nullable: f.nullable,
+                        }
+                    })
+                    .collect();
+                let ndv = columns
+                    .iter()
+                    .map(|&c| t.stats.column(c).map(|s| s.ndv))
+                    .collect();
+                Ok(NodeInfo { meta, ndv })
+            }
+            PlanNode::Filter { input, pred } => {
+                let info = self.node(input, &path)?;
+                let arity = info.meta.len();
+                let mut refs = Vec::new();
+                pred.referenced_columns(&mut refs);
+                let mut bad = false;
+                for &c in &refs {
+                    if c >= arity {
+                        self.diag(
+                            Rule::ColBounds,
+                            id,
+                            &path,
+                            format!("filter references column {c} of a {arity}-column input"),
+                        );
+                        bad = true;
+                    }
+                }
+                let widths: Vec<usize> = info.meta.iter().map(width).collect();
+                self.stage(id, &path, "filter", BASE_STATE_BYTES, widths, Vec::new());
+                if bad {
+                    return Err(());
+                }
+                Ok(info)
+            }
+            PlanNode::Map { input, exprs } => {
+                let info = self.node(input, &path)?;
+                let arity = info.meta.len();
+                let mut refs = Vec::new();
+                for e in exprs {
+                    e.expr.referenced_columns(&mut refs);
+                }
+                refs.sort_unstable();
+                refs.dedup();
+                let mut bad = false;
+                for &c in &refs {
+                    if c >= arity {
+                        self.diag(
+                            Rule::ColBounds,
+                            id,
+                            &path,
+                            format!(
+                                "map expression references column {c} of a {arity}-column input"
+                            ),
+                        );
+                        bad = true;
+                    }
+                }
+                // Streams: each referenced input column once, plus an
+                // output buffer per computed (non-pass-through) expression.
+                let mut widths: Vec<usize> = refs
+                    .iter()
+                    .filter(|&&c| c < arity)
+                    .map(|&c| width(&info.meta[c]))
+                    .collect();
+                for e in exprs {
+                    if !matches!(e.expr, Expr::Col(_)) {
+                        widths.push(e.dtype.physical_width());
+                    }
+                }
+                self.stage(id, &path, "map", BASE_STATE_BYTES, widths, Vec::new());
+                if bad {
+                    return Err(());
+                }
+                let meta = exprs
+                    .iter()
+                    .map(|e| ColMeta {
+                        name: e.name.clone(),
+                        dtype: e.dtype,
+                        scale: e.scale,
+                        dict: e.dict.clone(),
+                        nullable: true,
+                    })
+                    .collect();
+                let ndv = exprs
+                    .iter()
+                    .map(|e| match &e.expr {
+                        Expr::Col(i) => info.ndv.get(*i).copied().flatten(),
+                        Expr::Lit(_) => Some(1),
+                        _ => None,
+                    })
+                    .collect();
+                Ok(NodeInfo { meta, ndv })
+            }
+            PlanNode::HashJoin {
+                build,
+                probe,
+                build_keys,
+                probe_keys,
+                join_type,
+                scheme,
+            } => {
+                // Visit both children even if one fails, so pre-order ids
+                // stay aligned with the stage graph.
+                let b = self.node(build, &format!("{path}.build"));
+                let p = self.node(probe, &format!("{path}.probe"));
+                let (b, p) = (b?, p?);
+                let (nb, np) = (build_keys.len(), probe_keys.len());
+                if nb == 0 || np == 0 || nb != np {
+                    self.diag(
+                        Rule::JoinArity,
+                        id,
+                        &path,
+                        format!(
+                            "join has {nb} build keys and {np} probe keys (need equal-length, \
+                             non-empty key lists)"
+                        ),
+                    );
+                }
+                for &k in build_keys {
+                    if k >= b.meta.len() {
+                        self.diag(
+                            Rule::ColBounds,
+                            id,
+                            &path,
+                            format!(
+                                "build key {k} out of bounds for the {}-column build input",
+                                b.meta.len()
+                            ),
+                        );
+                    }
+                }
+                for &k in probe_keys {
+                    if k >= p.meta.len() {
+                        self.diag(
+                            Rule::ColBounds,
+                            id,
+                            &path,
+                            format!(
+                                "probe key {k} out of bounds for the {}-column probe input",
+                                p.meta.len()
+                            ),
+                        );
+                    }
+                }
+                for (&bk, &pk) in build_keys.iter().zip(probe_keys.iter()) {
+                    let (Some(bm), Some(pm)) = (b.meta.get(bk), p.meta.get(pk)) else {
+                        continue;
+                    };
+                    if bm.dtype != pm.dtype {
+                        self.diag(
+                            Rule::TypeMismatch,
+                            id,
+                            &path,
+                            format!(
+                                "join key types differ: build '{}' is {:?}, probe '{}' is {:?}",
+                                bm.name, bm.dtype, pm.name, pm.dtype
+                            ),
+                        );
+                    } else if matches!(bm.dtype, DataType::Varchar) && bm.dict != pm.dict {
+                        self.diag(
+                            Rule::TypeMismatch,
+                            id,
+                            &path,
+                            format!(
+                                "join keys '{}' and '{}' come from different dictionaries \
+                                 ({:?} vs {:?}); their codes are not comparable",
+                                bm.name, pm.name, bm.dict, pm.dict
+                            ),
+                        );
+                    }
+                }
+                let brow: usize = b.meta.iter().map(width).sum();
+                let prow: usize = p.meta.iter().map(width).sum();
+                let mut fanouts = Vec::new();
+                if let Some(s) = scheme {
+                    fanouts = s.clone();
+                    self.check_scheme(id, &path, s, brow.max(prow));
+                }
+                let mut bw: Vec<usize> = b.meta.iter().map(width).collect();
+                bw.push(4); // hash lane driving the partition map
+                self.stage(
+                    id,
+                    &path,
+                    "join.partition-build",
+                    BASE_STATE_BYTES,
+                    bw,
+                    fanouts.clone(),
+                );
+                let mut pw: Vec<usize> = p.meta.iter().map(width).collect();
+                pw.push(4);
+                self.stage(
+                    id,
+                    &path,
+                    "join.partition-probe",
+                    BASE_STATE_BYTES,
+                    pw,
+                    fanouts,
+                );
+                // Pair stage: the DMEM-resident hash table takes half the
+                // scratchpad; key streams plus the matched row-id pairs.
+                let mut pairw = vec![8usize; nb + np];
+                pairw.push(8);
+                pairw.push(8);
+                self.stage(
+                    id,
+                    &path,
+                    "join.pairs",
+                    self.cfg.dmem_bytes / 2,
+                    pairw,
+                    Vec::new(),
+                );
+                let (mut meta, mut ndv) = (p.meta, p.ndv);
+                match join_type {
+                    JoinType::LeftSemi | JoinType::LeftAnti => {}
+                    JoinType::Inner => {
+                        meta.extend(b.meta);
+                        ndv.extend(b.ndv);
+                    }
+                    JoinType::LeftOuter => {
+                        meta.extend(b.meta.into_iter().map(|mut m| {
+                            m.nullable = true;
+                            m
+                        }));
+                        ndv.extend(b.ndv);
+                    }
+                }
+                Ok(NodeInfo { meta, ndv })
+            }
+            PlanNode::GroupBy {
+                input,
+                keys,
+                aggs,
+                strategy,
+            } => {
+                let info = self.node(input, &path)?;
+                let arity = info.meta.len();
+                let mut bad = false;
+                for &k in keys {
+                    if k >= arity {
+                        self.diag(
+                            Rule::ColBounds,
+                            id,
+                            &path,
+                            format!("group-by key {k} out of bounds for a {arity}-column input"),
+                        );
+                        bad = true;
+                    }
+                }
+                for a in aggs {
+                    if a.col >= arity {
+                        self.diag(
+                            Rule::ColBounds,
+                            id,
+                            &path,
+                            format!(
+                                "aggregate input column {} out of bounds for a {arity}-column input",
+                                a.col
+                            ),
+                        );
+                        bad = true;
+                    }
+                }
+                if bad {
+                    return Err(());
+                }
+                if *strategy == GroupStrategy::OnTheFly {
+                    let known = keys
+                        .iter()
+                        .try_fold(1u64, |acc, &k| info.ndv[k].and_then(|n| acc.checked_mul(n)));
+                    let limit = on_the_fly_group_limit(self.cfg.dmem_bytes, keys.len(), aggs.len());
+                    if let Some(n) = known {
+                        if n as usize > limit {
+                            self.diag(
+                                Rule::GroupLimit,
+                                id,
+                                &path,
+                                format!(
+                                    "on-the-fly group-by must hold ~{n} groups but the per-core \
+                                     DMEM table caps at {limit} ({} B DMEM, {} keys, {} aggregates)",
+                                    self.cfg.dmem_bytes,
+                                    keys.len(),
+                                    aggs.len()
+                                ),
+                            );
+                        }
+                    }
+                }
+                let mut widths: Vec<usize> = keys.iter().map(|&k| width(&info.meta[k])).collect();
+                widths.extend(aggs.iter().map(|a| width(&info.meta[a.col])));
+                self.stage(
+                    id,
+                    &path,
+                    "groupby.consume",
+                    self.cfg.dmem_bytes / 2,
+                    widths,
+                    Vec::new(),
+                );
+                if *strategy == GroupStrategy::Partitioned {
+                    let mut pw: Vec<usize> = info.meta.iter().map(width).collect();
+                    pw.push(4);
+                    self.stage(
+                        id,
+                        &path,
+                        "groupby.partition",
+                        BASE_STATE_BYTES,
+                        pw,
+                        Vec::new(),
+                    );
+                }
+                let mut meta = Vec::with_capacity(keys.len() + aggs.len());
+                let mut ndv = Vec::with_capacity(keys.len() + aggs.len());
+                for &k in keys {
+                    meta.push(info.meta[k].clone());
+                    ndv.push(info.ndv[k]);
+                }
+                for a in aggs {
+                    let src = &info.meta[a.col];
+                    let (name, dtype, scale) = match a.func {
+                        AggFunc::Count => (format!("count_{}", src.name), DataType::Int, 0),
+                        AggFunc::Sum => (format!("sum_{}", src.name), src.dtype, src.scale),
+                        AggFunc::Avg => (format!("avg_{}", src.name), src.dtype, src.scale),
+                        AggFunc::Min => (format!("min_{}", src.name), src.dtype, src.scale),
+                        AggFunc::Max => (format!("max_{}", src.name), src.dtype, src.scale),
+                    };
+                    let dict = match a.func {
+                        AggFunc::Min | AggFunc::Max => src.dict.clone(),
+                        _ => None,
+                    };
+                    meta.push(ColMeta {
+                        name,
+                        dtype,
+                        scale,
+                        dict,
+                        nullable: true,
+                    });
+                    ndv.push(None);
+                }
+                Ok(NodeInfo { meta, ndv })
+            }
+            PlanNode::TopK { input, order, k } => {
+                let info = self.node(input, &path)?;
+                let arity = info.meta.len();
+                let mut bad = false;
+                for s in order {
+                    if s.col >= arity {
+                        self.diag(
+                            Rule::ColBounds,
+                            id,
+                            &path,
+                            format!(
+                                "sort key {} out of bounds for a {arity}-column input",
+                                s.col
+                            ),
+                        );
+                        bad = true;
+                    }
+                }
+                let row: usize = info.meta.iter().map(width).sum();
+                let widths: Vec<usize> = info.meta.iter().map(width).collect();
+                // The heap of k candidate rows is operator state, capped at
+                // half of DMEM (larger k spills merge rounds, not state).
+                let state = BASE_STATE_BYTES + k.saturating_mul(row).min(self.cfg.dmem_bytes / 2);
+                self.stage(id, &path, "topk.consume", state, widths, Vec::new());
+                if bad {
+                    return Err(());
+                }
+                Ok(info)
+            }
+            PlanNode::Sort { input, order } => {
+                let info = self.node(input, &path)?;
+                let arity = info.meta.len();
+                let mut bad = false;
+                for s in order {
+                    if s.col >= arity {
+                        self.diag(
+                            Rule::ColBounds,
+                            id,
+                            &path,
+                            format!(
+                                "sort key {} out of bounds for a {arity}-column input",
+                                s.col
+                            ),
+                        );
+                        bad = true;
+                    }
+                }
+                let widths: Vec<usize> = info.meta.iter().map(width).collect();
+                self.stage(
+                    id,
+                    &path,
+                    "sort.local",
+                    self.cfg.dmem_bytes / 2,
+                    widths,
+                    Vec::new(),
+                );
+                if bad {
+                    return Err(());
+                }
+                Ok(info)
+            }
+            PlanNode::Limit { input, .. } => self.node(input, &path),
+            PlanNode::SetOp { left, right, .. } => {
+                let l = self.node(left, &format!("{path}.left"));
+                let r = self.node(right, &format!("{path}.right"));
+                let (l, r) = (l?, r?);
+                if l.meta.len() != r.meta.len() {
+                    self.diag(
+                        Rule::TypeMismatch,
+                        id,
+                        &path,
+                        format!(
+                            "set operation inputs differ in arity: {} columns vs {}",
+                            l.meta.len(),
+                            r.meta.len()
+                        ),
+                    );
+                } else {
+                    for (i, (lm, rm)) in l.meta.iter().zip(r.meta.iter()).enumerate() {
+                        if lm.dtype != rm.dtype {
+                            self.diag(
+                                Rule::TypeMismatch,
+                                id,
+                                &path,
+                                format!(
+                                    "set operation column {i} ('{}') is {:?} on the left but \
+                                     {:?} on the right",
+                                    lm.name, lm.dtype, rm.dtype
+                                ),
+                            );
+                        } else if matches!(lm.dtype, DataType::Varchar) && lm.dict != rm.dict {
+                            self.diag(
+                                Rule::TypeMismatch,
+                                id,
+                                &path,
+                                format!(
+                                    "set operation column {i} ('{}') uses different dictionaries \
+                                     on each side ({:?} vs {:?})",
+                                    lm.name, lm.dict, rm.dict
+                                ),
+                            );
+                        }
+                    }
+                }
+                let widths: Vec<usize> = l.meta.iter().map(width).collect();
+                self.stage(
+                    id,
+                    &path,
+                    "setop",
+                    self.cfg.dmem_bytes / 2,
+                    widths,
+                    Vec::new(),
+                );
+                let arity = l.meta.len();
+                Ok(NodeInfo {
+                    meta: l.meta,
+                    ndv: vec![None; arity],
+                })
+            }
+            PlanNode::Window {
+                input,
+                partition_by,
+                order_by,
+                func,
+            } => {
+                let info = self.node(input, &path)?;
+                let arity = info.meta.len();
+                let mut bad = false;
+                let mut cols: Vec<usize> = partition_by.clone();
+                cols.extend(order_by.iter().map(|s| s.col));
+                if let rapid_qef::plan::WindowFunc::RunningSum { col } = func {
+                    cols.push(*col);
+                }
+                for &c in &cols {
+                    if c >= arity {
+                        self.diag(
+                            Rule::ColBounds,
+                            id,
+                            &path,
+                            format!("window references column {c} of a {arity}-column input"),
+                        );
+                        bad = true;
+                    }
+                }
+                let mut widths: Vec<usize> = info.meta.iter().map(width).collect();
+                widths.push(8); // appended output column
+                self.stage(
+                    id,
+                    &path,
+                    "window",
+                    self.cfg.dmem_bytes / 2,
+                    widths,
+                    Vec::new(),
+                );
+                if bad {
+                    return Err(());
+                }
+                let mut meta = info.meta;
+                let mut ndv = info.ndv;
+                let (name, dtype, scale) = match func {
+                    rapid_qef::plan::WindowFunc::Rank => ("rank".to_string(), DataType::Int, 0),
+                    rapid_qef::plan::WindowFunc::RowNumber => {
+                        ("row_number".to_string(), DataType::Int, 0)
+                    }
+                    rapid_qef::plan::WindowFunc::RunningSum { col } => {
+                        let src = &meta[*col];
+                        (format!("running_sum_{}", src.name), src.dtype, src.scale)
+                    }
+                };
+                meta.push(ColMeta {
+                    name,
+                    dtype,
+                    scale,
+                    dict: None,
+                    nullable: false,
+                });
+                ndv.push(None);
+                Ok(NodeInfo { meta, ndv })
+            }
+        }
+    }
+}

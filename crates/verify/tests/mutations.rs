@@ -1,0 +1,152 @@
+//! The mutation harness contract: every invariant class has a mutation,
+//! every mutation is rejected with its rule id, and the un-mutated
+//! artifacts verify clean.
+
+use rapid_verify::diag::Severity;
+use rapid_verify::mutate::{base_plan, demo_catalog, Mutated, Mutation};
+use rapid_verify::{dms, verify, StageGraph, VerifyConfig, VerifyReport};
+
+#[test]
+fn base_artifacts_are_clean() {
+    let cat = demo_catalog();
+    let report = verify(&base_plan(), &cat, &VerifyConfig::default());
+    assert!(
+        report.diagnostics.is_empty(),
+        "un-mutated plan must verify clean: {}",
+        report
+            .diagnostics
+            .iter()
+            .map(|d| d.to_string())
+            .collect::<Vec<_>>()
+            .join("; ")
+    );
+}
+
+#[test]
+fn every_mutation_class_is_rejected_with_its_rule_id() {
+    let cat = demo_catalog();
+    for m in Mutation::all() {
+        let expected = m.expected_rule();
+        let report = match m.apply() {
+            Mutated::Plan(p) => verify(&p, &cat, &VerifyConfig::default()),
+            Mutated::Config(cfg) => verify(&base_plan(), &cat, &cfg),
+            Mutated::Graph(g) => {
+                let mut r = VerifyReport::default();
+                g.check(&mut r);
+                r
+            }
+            Mutated::Program(p) => {
+                let mut r = VerifyReport::default();
+                dms::check_program(&p, 0, "(program)", &mut r);
+                r
+            }
+        };
+        let hit: Vec<_> = report
+            .diagnostics
+            .iter()
+            .filter(|d| d.rule == expected)
+            .collect();
+        assert!(
+            !hit.is_empty(),
+            "{m:?} must trigger {} but produced: [{}]",
+            expected.id(),
+            report
+                .diagnostics
+                .iter()
+                .map(|d| d.to_string())
+                .collect::<Vec<_>>()
+                .join("; ")
+        );
+        match expected.severity() {
+            Severity::Error => assert!(
+                !report.ok(),
+                "{m:?} produced only warnings; an {} violation must fail verification",
+                expected.id()
+            ),
+            Severity::Warning => assert!(
+                report.ok(),
+                "{m:?} should warn, not fail: {}",
+                report.error_summary()
+            ),
+        }
+    }
+}
+
+#[test]
+fn diagnostics_are_human_readable_and_located() {
+    let cat = demo_catalog();
+    for m in Mutation::all() {
+        let report = match m.apply() {
+            Mutated::Plan(p) => verify(&p, &cat, &VerifyConfig::default()),
+            Mutated::Config(cfg) => verify(&base_plan(), &cat, &cfg),
+            Mutated::Graph(g) => {
+                let mut r = VerifyReport::default();
+                g.check(&mut r);
+                r
+            }
+            Mutated::Program(p) => {
+                let mut r = VerifyReport::default();
+                dms::check_program(&p, 3, "GroupBy/Map/HashJoin", &mut r);
+                r
+            }
+        };
+        let d = report
+            .diagnostics
+            .iter()
+            .find(|d| d.rule == m.expected_rule())
+            .unwrap_or_else(|| panic!("{m:?} produced no {} diagnostic", m.expected_rule().id()));
+        let text = d.to_string();
+        assert!(text.contains(d.rule.id()), "{m:?}: {text}");
+        assert!(text.contains("node "), "{m:?}: {text}");
+        assert!(!d.path.is_empty(), "{m:?}: empty operator path");
+        assert!(!d.message.is_empty(), "{m:?}: empty message");
+    }
+}
+
+#[test]
+fn mutation_diagnostics_are_distinct_per_class() {
+    // Two different mutations of the same artifact must not be
+    // indistinguishable: the (rule id, message) pair differs per class.
+    let cat = demo_catalog();
+    let mut seen = std::collections::HashSet::new();
+    for m in Mutation::all() {
+        let report = match m.apply() {
+            Mutated::Plan(p) => verify(&p, &cat, &VerifyConfig::default()),
+            Mutated::Config(cfg) => verify(&base_plan(), &cat, &cfg),
+            Mutated::Graph(g) => {
+                let mut r = VerifyReport::default();
+                g.check(&mut r);
+                r
+            }
+            Mutated::Program(p) => {
+                let mut r = VerifyReport::default();
+                dms::check_program(&p, 0, "(program)", &mut r);
+                r
+            }
+        };
+        let d = report
+            .diagnostics
+            .iter()
+            .find(|d| d.rule == m.expected_rule())
+            .expect("checked by the rejection test");
+        assert!(
+            seen.insert(format!("{} {}", d.rule.id(), d.message)),
+            "{m:?} duplicates another class's diagnostic"
+        );
+    }
+}
+
+#[test]
+fn stage_graph_matches_pre_order_walker_ids() {
+    // The graph's ids must agree with the walker's numbering, otherwise
+    // diagnostics from the two passes point at different nodes.
+    let cat = demo_catalog();
+    let plan = base_plan();
+    let g = StageGraph::from_plan(&plan);
+    let report = verify(&plan, &cat, &VerifyConfig::default());
+    assert_eq!(g.nodes.len(), 5); // GroupBy, Map, HashJoin, two scans
+    for s in &report.stages {
+        let node = &g.nodes[s.node_id];
+        assert_eq!(node.path, s.path, "stage {} path mismatch", s.stage);
+    }
+}
