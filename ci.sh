@@ -29,11 +29,36 @@ cargo test -q --release -p rapid-verify
 echo "== trace_report smoke (sf 0.01) =="
 cargo run -q --release -p rapid-bench --bin trace_report -- --sf 0.01 --query Q6 > /dev/null
 
+echo "== benchmark regression gate (deterministic series vs BENCH_baseline.json) =="
+# The gate's own tests (injected regressions fail naming the metric,
+# bit-identical deterministic series) plus the fuzz repro-report tests.
+cargo test -q --release -p rapid-bench -p rapid-fuzz
+# Re-collects only gated metrics (simulated cycles, energy, DMS
+# bytes/descriptors — no wall time); fails on >10% growth. To accept an
+# intentional change: re-run with --bless and commit the new baseline.
+cargo run -q --release -p rapid-bench --bin bench_report -- --sf 0.01 --gate BENCH_baseline.json
+
 echo "== wire server smoke (ephemeral port, client query, loadgen, clean drain) =="
+# Idempotent cleanup, installed BEFORE the server spawn so no failure
+# window leaks the background process or the tempfile. Safe to call
+# twice: each resource is released exactly once.
+SRV_LOG=""
+SRV_PID=""
+cleanup_wire() {
+    if [ -n "${SRV_PID:-}" ]; then
+        kill "$SRV_PID" 2>/dev/null || true
+        wait "$SRV_PID" 2>/dev/null || true
+        SRV_PID=""
+    fi
+    if [ -n "${SRV_LOG:-}" ]; then
+        rm -f "$SRV_LOG"
+        SRV_LOG=""
+    fi
+}
+trap cleanup_wire EXIT
 SRV_LOG=$(mktemp)
 cargo run -q --release -p rapid-server --bin server -- --sf 0.01 --port 0 > "$SRV_LOG" &
 SRV_PID=$!
-trap 'kill "$SRV_PID" 2>/dev/null || true; rm -f "$SRV_LOG"' EXIT
 ADDR=""
 for _ in $(seq 1 300); do
     ADDR=$(sed -n 's/^listening on //p' "$SRV_LOG")
@@ -48,10 +73,11 @@ echo "$OUT" | grep -q "^l_returnflag" || { echo "smoke query failed: $OUT"; exit
 cargo run -q --release -p rapid-bench --bin loadgen -- --sf 0.005 --conns 8 --queries 4 > /dev/null
 cargo run -q --release -p rapid-server --bin sql -- --addr "$ADDR" --shutdown > /dev/null
 wait "$SRV_PID"   # non-zero exit (incl. the leaked-thread assert) fails CI here
+SRV_PID=""        # drained; cleanup must not kill a reused pid
 grep -q "threads spawned" "$SRV_LOG" || { echo "server drain report missing"; exit 1; }
 DRAIN=$(sed -n 's/.*threads spawned \([0-9]*\) \/ joined \([0-9]*\).*/\1 \2/p' "$SRV_LOG")
 [ -n "$DRAIN" ] && [ "${DRAIN% *}" = "${DRAIN#* }" ] || { echo "leaked threads: $DRAIN"; exit 1; }
+cleanup_wire
 trap - EXIT
-rm -f "$SRV_LOG"
 
 echo "CI green."

@@ -1,0 +1,135 @@
+//! `bench_report` — run the measurement suite, emit `BENCH_<name>.json`,
+//! or gate the deterministic subset against a committed baseline.
+//!
+//! ```text
+//! # Full run: TPC-H planning/execution, wire qps at 1/8/32 conns, fuzz qps.
+//! cargo run --release -p rapid-bench --bin bench_report -- \
+//!     --sf 0.01 --out BENCH_current.json
+//!
+//! # CI gate: re-collect only the deterministic series (simulated cycles,
+//! # energy, DMS bytes/descriptors — no wall time) and fail on >10%
+//! # regression against the committed baseline.
+//! cargo run --release -p rapid-bench --bin bench_report -- \
+//!     --sf 0.01 --gate BENCH_baseline.json
+//!
+//! # Intentional baseline update: full re-run, overwrite the baseline.
+//! cargo run --release -p rapid-bench --bin bench_report -- \
+//!     --sf 0.01 --gate BENCH_baseline.json --bless
+//! ```
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+use rapid_bench::report::{self, ReportConfig};
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut cfg = ReportConfig::default();
+    let mut out = PathBuf::from("BENCH_current.json");
+    let mut gate: Option<PathBuf> = None;
+    let mut bless = false;
+    let mut tolerance = 0.10f64;
+    let mut i = 0;
+    while i < args.len() {
+        let val = args.get(i + 1);
+        match args[i].as_str() {
+            "--sf" => {
+                cfg.sf = val.and_then(|s| s.parse().ok()).unwrap_or(cfg.sf);
+                i += 2;
+            }
+            "--out" => {
+                out = PathBuf::from(val.cloned().unwrap_or_default());
+                i += 2;
+            }
+            "--gate" => {
+                gate = val.map(PathBuf::from);
+                i += 2;
+            }
+            "--bless" => {
+                bless = true;
+                i += 1;
+            }
+            "--tolerance" => {
+                tolerance = val.and_then(|s| s.parse().ok()).unwrap_or(tolerance);
+                i += 2;
+            }
+            "--planning-iters" => {
+                cfg.planning_iters = val
+                    .and_then(|s| s.parse().ok())
+                    .unwrap_or(cfg.planning_iters);
+                i += 2;
+            }
+            "--wire-queries" => {
+                cfg.wire_queries = val.and_then(|s| s.parse().ok()).unwrap_or(cfg.wire_queries);
+                i += 2;
+            }
+            "--fuzz-queries" => {
+                cfg.fuzz_queries = val.and_then(|s| s.parse().ok()).unwrap_or(cfg.fuzz_queries);
+                i += 2;
+            }
+            other => {
+                eprintln!("unknown argument: {other}");
+                return ExitCode::from(2);
+            }
+        }
+    }
+
+    match gate {
+        Some(baseline_path) if !bless => {
+            let baseline = match report::load(&baseline_path) {
+                Ok(b) => b,
+                Err(e) => {
+                    eprintln!("cannot load baseline {}: {e}", baseline_path.display());
+                    return ExitCode::from(2);
+                }
+            };
+            cfg.deterministic_only = true;
+            eprintln!(
+                "gate: re-collecting deterministic series at sf {} ...",
+                cfg.sf
+            );
+            let current = report::collect(&cfg);
+            let outcome = report::compare(&baseline, &current, tolerance);
+            println!(
+                "gate: {} gated metrics checked against {} (tolerance {:.0}%)",
+                outcome.checked,
+                baseline_path.display(),
+                tolerance * 100.0
+            );
+            if outcome.passed() {
+                println!("gate: PASS");
+                ExitCode::SUCCESS
+            } else {
+                for f in &outcome.failures {
+                    println!("gate: FAIL {f}");
+                }
+                println!(
+                    "gate: {} failure(s); to accept intentionally, re-run with --bless",
+                    outcome.failures.len()
+                );
+                ExitCode::FAILURE
+            }
+        }
+        gate => {
+            // Full run; --bless overwrites the baseline it was pointed at.
+            let target = match (&gate, bless) {
+                (Some(p), true) => p.clone(),
+                _ => out,
+            };
+            eprintln!("collecting full benchmark report at sf {} ...", cfg.sf);
+            let data = report::collect(&cfg);
+            if let Err(e) = report::save(&target, &data) {
+                eprintln!("cannot write {}: {e}", target.display());
+                return ExitCode::from(2);
+            }
+            let gated = data.gated().count();
+            println!(
+                "wrote {} ({} benches, {} gated)",
+                target.display(),
+                data.benches.len(),
+                gated
+            );
+            ExitCode::SUCCESS
+        }
+    }
+}

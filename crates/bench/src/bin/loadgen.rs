@@ -1,12 +1,12 @@
 //! Closed-loop load generator for the wire server.
 //!
-//! Boots an in-process `rapid-server` over a TPC-H host database, then
-//! drives it with N client connections issuing M queries each (closed
-//! loop: every client waits for its result before sending the next
-//! request). Reports wall-clock latency percentiles plus the numbers the
-//! paper cares about — simulated-DPU throughput and utilization from the
-//! scheduler's placement, which are what scale with concurrency when the
-//! harness itself runs on a small host machine.
+//! Thin CLI over [`bench::wire::run_wire`] — the same harness the
+//! `bench_report` trajectory runner drives. Boots an in-process
+//! `rapid-server` over a TPC-H host database, runs N client connections
+//! issuing M queries each, and prints wall-clock latency percentiles plus
+//! the numbers the paper cares about — simulated-DPU throughput and
+//! utilization from the scheduler's placement, which are what scale with
+//! concurrency when the harness itself runs on a small host machine.
 //!
 //! ```text
 //! cargo run --release -p rapid-bench --bin loadgen -- \
@@ -16,53 +16,25 @@
 //! ```
 
 use std::sync::Arc;
-use std::time::{Duration, Instant};
 
 use rapid_bench as bench;
+use rapid_bench::wire::WireRunConfig;
 use rapid_qef::exec::ExecContext;
-use rapid_sched::SchedConfig;
-use rapid_server::{Client, Server, ServerConfig};
-
-/// The query mix: hand-written SQL over the TPC-H tables, exercising
-/// scan/filter, aggregation, and a join so the stages span DMS and cores.
-pub const MIX: &[&str] = &[
-    "SELECT l_returnflag, COUNT(*) AS n, SUM(l_quantity) AS qty \
-     FROM lineitem GROUP BY l_returnflag ORDER BY l_returnflag",
-    "SELECT o_orderpriority, COUNT(*) AS n FROM orders \
-     GROUP BY o_orderpriority ORDER BY o_orderpriority",
-    "SELECT l_shipmode, SUM(l_extendedprice) AS revenue FROM lineitem \
-     WHERE l_quantity < 30 GROUP BY l_shipmode ORDER BY l_shipmode",
-    "SELECT COUNT(*) AS n FROM orders JOIN lineitem ON o_orderkey = l_orderkey \
-     WHERE l_discount > 0.05",
-    "SELECT o_orderstatus, COUNT(*) AS n, SUM(o_totalprice) AS total \
-     FROM orders GROUP BY o_orderstatus ORDER BY o_orderstatus",
-];
-
-fn percentile(sorted: &[Duration], p: f64) -> Duration {
-    if sorted.is_empty() {
-        return Duration::ZERO;
-    }
-    let idx = ((sorted.len() as f64 - 1.0) * p).round() as usize;
-    sorted[idx.min(sorted.len() - 1)]
-}
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut sf = 0.01f64;
-    let mut conns = 8usize;
-    let mut queries = 16usize;
-    let mut active = 8usize;
-    let mut cap = 0usize; // 0 = conns + 4
+    let mut cfg = WireRunConfig::default();
     let mut cores = 8usize;
     let mut i = 0;
     while i < args.len() {
         let val = args.get(i + 1);
         match args[i].as_str() {
             "--sf" => sf = val.and_then(|s| s.parse().ok()).unwrap_or(sf),
-            "--conns" => conns = val.and_then(|s| s.parse().ok()).unwrap_or(conns),
-            "--queries" => queries = val.and_then(|s| s.parse().ok()).unwrap_or(queries),
-            "--active" => active = val.and_then(|s| s.parse().ok()).unwrap_or(active),
-            "--cap" => cap = val.and_then(|s| s.parse().ok()).unwrap_or(cap),
+            "--conns" => cfg.conns = val.and_then(|s| s.parse().ok()).unwrap_or(cfg.conns),
+            "--queries" => cfg.queries = val.and_then(|s| s.parse().ok()).unwrap_or(cfg.queries),
+            "--active" => cfg.active = val.and_then(|s| s.parse().ok()).unwrap_or(cfg.active),
+            "--cap" => cfg.cap = val.and_then(|s| s.parse().ok()).unwrap_or(cfg.cap),
             "--cores" => cores = val.and_then(|s| s.parse().ok()).unwrap_or(cores),
             other => {
                 eprintln!("unknown argument: {other}");
@@ -71,105 +43,55 @@ fn main() {
         }
         i += 2;
     }
-    let cap = if cap == 0 { conns + 4 } else { cap };
 
     eprintln!("loading TPC-H sf {sf}...");
     let (db, _catalog) = bench::setup_tpch(sf, ExecContext::dpu().with_cores(cores));
     let db = Arc::new(db);
-    let cfg = ServerConfig {
-        max_connections: cap,
-        sched: SchedConfig {
-            max_active: active,
-            queue_capacity: (conns * queries).max(64),
-            ..ServerConfig::default().sched
-        },
-        ..ServerConfig::default()
-    };
-    let server = Server::start(Arc::clone(&db), cfg, ("127.0.0.1", 0)).expect("bind");
-    let addr = server.local_addr();
-    eprintln!("server on {addr}; {conns} connections x {queries} queries");
+    eprintln!("{} connections x {} queries", cfg.conns, cfg.queries);
+    let r = bench::wire::run_wire(&db, &cfg);
 
-    let wall_start = Instant::now();
-    let mut latencies: Vec<Duration> = Vec::with_capacity(conns * queries);
-    let mut failures = 0usize;
-    std::thread::scope(|scope| {
-        let handles: Vec<_> = (0..conns)
-            .map(|c| {
-                scope.spawn(move || {
-                    let mut client = Client::connect(addr).expect("connect");
-                    let mut lats = Vec::with_capacity(queries);
-                    let mut errs = 0usize;
-                    for q in 0..queries {
-                        let sql = MIX[(c + q) % MIX.len()];
-                        let t0 = Instant::now();
-                        match client.query(sql) {
-                            Ok(_) => lats.push(t0.elapsed()),
-                            Err(e) => {
-                                eprintln!("conn {c} query {q}: {e}");
-                                errs += 1;
-                            }
-                        }
-                    }
-                    let _ = client.bye();
-                    (lats, errs)
-                })
-            })
-            .collect();
-        for h in handles {
-            let (lats, errs) = h.join().expect("client thread");
-            latencies.extend(lats);
-            failures += errs;
-        }
-    });
-    let wall = wall_start.elapsed();
-
-    let report = server.scheduler().report();
-    let cache = db.plan_cache_stats();
-    let stats = server.shutdown();
-
-    latencies.sort();
-    let done = latencies.len();
-    let u = &report.utilization;
-    let sim_makespan = u.makespan.as_secs();
-    println!("--- loadgen: {conns} conns x {queries} queries (sf {sf}) ---");
-    println!("  completed             {done} ({failures} failed)");
+    println!(
+        "--- loadgen: {} conns x {} queries (sf {sf}) ---",
+        cfg.conns, cfg.queries
+    );
+    println!(
+        "  completed             {} ({} failed)",
+        r.completed, r.failures
+    );
     println!(
         "  wall latency p50      {:.3} ms",
-        percentile(&latencies, 0.50).as_secs_f64() * 1e3
+        r.wall.p50.as_secs_f64() * 1e3
     );
     println!(
         "  wall latency p95      {:.3} ms",
-        percentile(&latencies, 0.95).as_secs_f64() * 1e3
+        r.wall.p95.as_secs_f64() * 1e3
     );
     println!(
         "  wall latency p99      {:.3} ms",
-        percentile(&latencies, 0.99).as_secs_f64() * 1e3
+        r.wall.p99.as_secs_f64() * 1e3
     );
+    println!("  wall throughput       {:.1} queries/s", r.wall.qps);
     println!(
-        "  wall throughput       {:.1} queries/s",
-        done as f64 / wall.as_secs_f64()
+        "  sim makespan          {:.3} ms",
+        r.sim.makespan_secs * 1e3
     );
-    println!("  sim makespan          {:.3} ms", u.makespan.as_millis());
-    println!(
-        "  sim throughput        {:.1} queries/s",
-        done as f64 / sim_makespan
-    );
+    println!("  sim throughput        {:.1} queries/s", r.sim.qps);
     println!(
         "  DPU core utilization  {:.1} %",
-        u.core_utilization * 100.0
+        r.sim.core_utilization * 100.0
     );
-    println!("  DMS utilization       {:.1} %", u.dms_utilization * 100.0);
-    println!("  sim energy            {:.3} J", u.energy_joules);
+    println!(
+        "  DMS utilization       {:.1} %",
+        r.sim.dms_utilization * 100.0
+    );
+    println!("  sim energy            {:.3} J", r.sim.energy_joules);
     println!(
         "  plan cache            {} hits / {} misses / {} invalidations",
-        cache.hits, cache.misses, cache.invalidations
+        r.cache.hits, r.cache.misses, r.cache.invalidations
     );
     println!(
         "  threads               {} spawned / {} joined",
-        stats.threads_spawned, stats.threads_joined
+        r.threads_spawned, r.threads_joined
     );
-    assert_eq!(
-        stats.threads_spawned, stats.threads_joined,
-        "leaked threads"
-    );
+    assert_eq!(r.threads_spawned, r.threads_joined, "leaked threads");
 }

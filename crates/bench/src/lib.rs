@@ -22,6 +22,9 @@
 
 #![warn(missing_docs)]
 
+pub mod report;
+pub mod wire;
+
 use std::sync::Arc;
 
 use dpu_sim::clock::{rates, Cycles};

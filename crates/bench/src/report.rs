@@ -1,0 +1,480 @@
+//! Benchmark-trajectory reports: `BENCH_<name>.json` emission and the
+//! CI regression gate.
+//!
+//! The on-disk format is exactly one github-action-benchmark
+//! `BENCHMARK_DATA` entry (the format optd and risinglight publish for
+//! their TPC-H planning/execution series): a `commit` header, a `date`
+//! (ms epoch), `tool: "cargo"`, and a flat `benches` array of
+//! `{name, value, range, unit}`.
+//!
+//! Two kinds of metric live side by side, distinguished **by unit**:
+//!
+//! * **Gated (deterministic)** — units `cycles`, `joules`, `bytes`,
+//!   `descriptors`. These come from the simulated DPU (cycle accounts,
+//!   energy at provisioned power, DMS byte/descriptor counters) and are
+//!   bit-identical across runs on any machine. The CI gate re-collects
+//!   them and fails on >10 % growth against the committed baseline.
+//! * **Informational (wall)** — units `ns/iter` and `qps`. Host
+//!   wall-clock planning/execution time, wire throughput, fuzz
+//!   throughput. Tracked for the trajectory plot, never gated.
+
+use std::io;
+use std::path::Path;
+use std::sync::Arc;
+use std::time::Instant;
+
+use rapid_qcomp::cost::CostParams;
+use rapid_qef::engine::Engine;
+use rapid_qef::exec::ExecContext;
+
+use crate::wire::{run_wire, WireRunConfig};
+
+/// Seed for the fuzz-throughput measurement — same value the
+/// differential-fuzz CI smoke pins (`tests/differential_fuzz.rs`).
+pub const FUZZ_BENCH_SEED: u64 = 0x5EED_2A91D;
+
+/// Units whose metrics the regression gate checks. Everything else is
+/// informational wall-clock data.
+pub const GATED_UNITS: &[&str] = &["cycles", "joules", "bytes", "descriptors"];
+
+/// True if a metric with this unit feeds the regression gate.
+pub fn is_gated_unit(unit: &str) -> bool {
+    GATED_UNITS.contains(&unit)
+}
+
+/// One measured series point: `{name, value, range, unit}`.
+#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct Bench {
+    /// Slash-separated series name, e.g. `tpch/q1/execution/cycles`.
+    pub name: String,
+    /// Measured value.
+    pub value: f64,
+    /// Spread rendered github-action-benchmark style: `"± 1234"`.
+    pub range: String,
+    /// Unit string; decides gated vs informational (see [`GATED_UNITS`]).
+    pub unit: String,
+}
+
+/// `author` / `committer` identity in the commit header.
+#[derive(Debug, Clone, Default, serde::Serialize, serde::Deserialize)]
+pub struct GitPerson {
+    /// Email address.
+    pub email: String,
+    /// Display name.
+    pub name: String,
+    /// Login; unknown offline, kept for format fidelity.
+    pub username: String,
+}
+
+/// The `commit` header of a `BENCHMARK_DATA` entry.
+#[derive(Debug, Clone, Default, serde::Serialize, serde::Deserialize)]
+pub struct CommitInfo {
+    /// Commit author.
+    pub author: GitPerson,
+    /// Commit committer.
+    pub committer: GitPerson,
+    /// Always true for a single-entry file.
+    pub distinct: bool,
+    /// Commit hash (`HEAD` at collection time).
+    pub id: String,
+    /// Commit subject line.
+    pub message: String,
+    /// Committer timestamp, ISO-8601.
+    pub timestamp: String,
+    /// Tree hash.
+    pub tree_id: String,
+    /// Commit URL; empty for a local-only repository.
+    pub url: String,
+}
+
+/// One `BENCHMARK_DATA` entry — the whole `BENCH_<name>.json` file.
+#[derive(Debug, Clone, serde::Serialize, serde::Deserialize)]
+pub struct BenchmarkData {
+    /// Commit the numbers were collected at.
+    pub commit: CommitInfo,
+    /// Collection time, milliseconds since the epoch. Informational.
+    pub date: u64,
+    /// Collector tag; `"cargo"`, matching the exemplar series.
+    pub tool: String,
+    /// The measured series.
+    pub benches: Vec<Bench>,
+}
+
+impl BenchmarkData {
+    /// The gated (deterministic) subset of [`BenchmarkData::benches`].
+    pub fn gated(&self) -> impl Iterator<Item = &Bench> {
+        self.benches.iter().filter(|b| is_gated_unit(&b.unit))
+    }
+}
+
+/// What to measure.
+#[derive(Debug, Clone)]
+pub struct ReportConfig {
+    /// TPC-H scale factor.
+    pub sf: f64,
+    /// Wall-clock iterations per query for the planning series.
+    pub planning_iters: usize,
+    /// Connection counts for the wire-throughput series.
+    pub wire_conns: Vec<usize>,
+    /// Queries per connection in each wire run.
+    pub wire_queries: usize,
+    /// Differential-fuzz cases for the fuzz-throughput series.
+    pub fuzz_queries: usize,
+    /// Collect only the gated (deterministic) series — what the CI gate
+    /// runs: no planning loop, no wire runs, no fuzzing, no wall timing.
+    pub deterministic_only: bool,
+}
+
+impl Default for ReportConfig {
+    fn default() -> Self {
+        ReportConfig {
+            sf: 0.01,
+            planning_iters: 5,
+            wire_conns: vec![1, 8, 32],
+            wire_queries: 16,
+            fuzz_queries: 64,
+            deterministic_only: false,
+        }
+    }
+}
+
+fn bench(name: String, value: f64, range: String, unit: &str) -> Bench {
+    Bench {
+        name,
+        value,
+        range,
+        unit: unit.to_string(),
+    }
+}
+
+/// A deterministic point: exact value, zero spread.
+fn exact(name: String, value: f64, unit: &str) -> Bench {
+    bench(name, value, "± 0".to_string(), unit)
+}
+
+fn mean_stddev(samples: &[f64]) -> (f64, f64) {
+    let n = samples.len().max(1) as f64;
+    let mean = samples.iter().sum::<f64>() / n;
+    let var = samples.iter().map(|s| (s - mean).powi(2)).sum::<f64>() / n;
+    (mean, var.sqrt())
+}
+
+/// Run the measurement suite and return the series.
+///
+/// With `deterministic_only` the result contains exactly the gated
+/// benches: per-query simulated execution cycles, energy joules, DMS
+/// bytes, and DMS descriptors — bit-identical run to run. The full run
+/// adds wall planning/execution ns/iter, wire qps at each connection
+/// count, and fuzz qps.
+pub fn collect(cfg: &ReportConfig) -> BenchmarkData {
+    let (db, catalog) = crate::setup_tpch(cfg.sf, ExecContext::dpu());
+    let params = CostParams::default();
+    let mut dpu = Engine::new(ExecContext::dpu());
+    for t in catalog.values() {
+        dpu.load_table(Arc::clone(t));
+    }
+
+    let mut benches = Vec::new();
+    for (name, lp) in tpch::queries::all() {
+        let q = name.to_lowercase();
+        if !cfg.deterministic_only {
+            let mut ns = Vec::with_capacity(cfg.planning_iters);
+            for _ in 0..cfg.planning_iters.max(1) {
+                let t0 = Instant::now();
+                let _ = rapid_qcomp::compile(&lp, &catalog, &params).expect("compile");
+                ns.push(t0.elapsed().as_nanos() as f64);
+            }
+            let (mean, sd) = mean_stddev(&ns);
+            benches.push(bench(
+                format!("tpch/{q}/planning"),
+                mean.round(),
+                format!("± {}", sd.round()),
+                "ns/iter",
+            ));
+        }
+        let compiled = rapid_qcomp::compile(&lp, &catalog, &params).expect("compile");
+        let t0 = Instant::now();
+        let (_, report) = dpu.execute(&compiled.plan).expect("dpu run");
+        let wall_ns = t0.elapsed().as_nanos() as f64;
+        if !cfg.deterministic_only {
+            benches.push(bench(
+                format!("tpch/{q}/execution"),
+                wall_ns.round(),
+                "± 0".to_string(),
+                "ns/iter",
+            ));
+        }
+        benches.push(exact(
+            format!("tpch/{q}/execution/cycles"),
+            report.sim_cycles,
+            "cycles",
+        ));
+        benches.push(exact(
+            format!("tpch/{q}/execution/energy"),
+            report.energy_joules,
+            "joules",
+        ));
+        benches.push(exact(
+            format!("tpch/{q}/execution/dms_bytes"),
+            report.dms_bytes as f64,
+            "bytes",
+        ));
+        benches.push(exact(
+            format!("tpch/{q}/execution/descriptors"),
+            report.dms_descriptors as f64,
+            "descriptors",
+        ));
+    }
+
+    if !cfg.deterministic_only {
+        let db = Arc::new(db);
+        for &conns in &cfg.wire_conns {
+            let wcfg = WireRunConfig {
+                conns,
+                queries: cfg.wire_queries,
+                ..WireRunConfig::default()
+            };
+            let r = run_wire(&db, &wcfg);
+            benches.push(exact(format!("wire/conns{conns}/qps"), r.wall.qps, "qps"));
+            benches.push(exact(
+                format!("wire/conns{conns}/sim_qps"),
+                r.sim.qps,
+                "qps",
+            ));
+        }
+
+        let t0 = Instant::now();
+        let fr = rapid_fuzz::fuzz_run(FUZZ_BENCH_SEED, cfg.fuzz_queries);
+        let secs = t0.elapsed().as_secs_f64();
+        benches.push(exact(
+            "fuzz/qps".to_string(),
+            if secs > 0.0 {
+                fr.executed as f64 / secs
+            } else {
+                0.0
+            },
+            "qps",
+        ));
+    }
+
+    BenchmarkData {
+        commit: commit_info(),
+        date: std::time::SystemTime::now()
+            .duration_since(std::time::UNIX_EPOCH)
+            .map(|d| d.as_millis() as u64)
+            .unwrap_or(0),
+        tool: "cargo".to_string(),
+        benches,
+    }
+}
+
+/// Best-effort commit header from the local repository; falls back to
+/// `"unknown"` fields when `git` is unavailable.
+pub fn commit_info() -> CommitInfo {
+    let git = |args: &[&str]| -> Option<String> {
+        let out = std::process::Command::new("git").args(args).output().ok()?;
+        if !out.status.success() {
+            return None;
+        }
+        let s = String::from_utf8_lossy(&out.stdout).trim().to_string();
+        if s.is_empty() {
+            None
+        } else {
+            Some(s)
+        }
+    };
+    let field = |args: &[&str]| git(args).unwrap_or_else(|| "unknown".to_string());
+    let person = GitPerson {
+        email: field(&["log", "-1", "--pretty=%ae"]),
+        name: field(&["log", "-1", "--pretty=%an"]),
+        username: String::new(),
+    };
+    CommitInfo {
+        author: person.clone(),
+        committer: person,
+        distinct: true,
+        id: field(&["rev-parse", "HEAD"]),
+        message: field(&["log", "-1", "--pretty=%s"]),
+        timestamp: field(&["log", "-1", "--pretty=%cI"]),
+        tree_id: field(&["rev-parse", "HEAD^{tree}"]),
+        url: String::new(),
+    }
+}
+
+/// Re-indent compact JSON (the vendored `serde_json` has no pretty
+/// printer). String-escape aware; two-space indent.
+fn pretty(json: &str) -> String {
+    let mut out = String::with_capacity(json.len() * 2);
+    let mut depth = 0usize;
+    let mut in_str = false;
+    let mut escaped = false;
+    let indent = |out: &mut String, depth: usize| {
+        out.push('\n');
+        for _ in 0..depth {
+            out.push_str("  ");
+        }
+    };
+    for c in json.chars() {
+        if in_str {
+            out.push(c);
+            if escaped {
+                escaped = false;
+            } else if c == '\\' {
+                escaped = true;
+            } else if c == '"' {
+                in_str = false;
+            }
+            continue;
+        }
+        match c {
+            '"' => {
+                in_str = true;
+                out.push(c);
+            }
+            '{' | '[' => {
+                out.push(c);
+                depth += 1;
+                indent(&mut out, depth);
+            }
+            '}' | ']' => {
+                depth = depth.saturating_sub(1);
+                indent(&mut out, depth);
+                out.push(c);
+            }
+            ',' => {
+                out.push(c);
+                indent(&mut out, depth);
+            }
+            ':' => out.push_str(": "),
+            _ => out.push(c),
+        }
+    }
+    out
+}
+
+/// Write `data` as pretty JSON + trailing newline.
+pub fn save(path: &Path, data: &BenchmarkData) -> io::Result<()> {
+    let compact = serde_json::to_string(data).map_err(io::Error::other)?;
+    let mut text = pretty(&compact);
+    text.push('\n');
+    std::fs::write(path, text)
+}
+
+/// Load a `BENCH_<name>.json` file.
+pub fn load(path: &Path) -> io::Result<BenchmarkData> {
+    let text = std::fs::read_to_string(path)?;
+    serde_json::from_str(&text).map_err(io::Error::other)
+}
+
+/// Outcome of one gate comparison.
+#[derive(Debug, Clone)]
+pub struct GateOutcome {
+    /// Gated metrics compared.
+    pub checked: usize,
+    /// Human-readable failure lines; empty means the gate passes.
+    pub failures: Vec<String>,
+}
+
+impl GateOutcome {
+    /// True when every gated metric stayed within tolerance.
+    pub fn passed(&self) -> bool {
+        self.failures.is_empty()
+    }
+}
+
+/// Compare `current` against `baseline` on the gated metrics only.
+///
+/// A gated metric fails when it grew by more than `tolerance`
+/// (e.g. `0.10`) over the baseline value, or when it disappeared from
+/// `current`. Improvements (smaller values) and informational wall
+/// metrics never fail. New gated metrics in `current` that the baseline
+/// lacks are ignored — bless the baseline to start tracking them.
+pub fn compare(baseline: &BenchmarkData, current: &BenchmarkData, tolerance: f64) -> GateOutcome {
+    let mut failures = Vec::new();
+    let mut checked = 0usize;
+    for base in baseline.gated() {
+        checked += 1;
+        let Some(cur) = current.benches.iter().find(|b| b.name == base.name) else {
+            failures.push(format!(
+                "{}: gated metric missing from current run (baseline {} {})",
+                base.name, base.value, base.unit
+            ));
+            continue;
+        };
+        let allowed = base.value * (1.0 + tolerance);
+        if cur.value > allowed {
+            let pct = if base.value > 0.0 {
+                (cur.value / base.value - 1.0) * 100.0
+            } else {
+                f64::INFINITY
+            };
+            failures.push(format!(
+                "{}: regression +{:.1}% ({} -> {} {}, tolerance {:.0}%)",
+                base.name,
+                pct,
+                base.value,
+                cur.value,
+                base.unit,
+                tolerance * 100.0
+            ));
+        }
+    }
+    GateOutcome { checked, failures }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn data(benches: Vec<Bench>) -> BenchmarkData {
+        BenchmarkData {
+            commit: CommitInfo::default(),
+            date: 0,
+            tool: "cargo".to_string(),
+            benches,
+        }
+    }
+
+    #[test]
+    fn gated_units_are_exactly_the_deterministic_ones() {
+        for u in ["cycles", "joules", "bytes", "descriptors"] {
+            assert!(is_gated_unit(u), "{u} must be gated");
+        }
+        for u in ["ns/iter", "qps"] {
+            assert!(!is_gated_unit(u), "{u} must be informational");
+        }
+    }
+
+    #[test]
+    fn compare_ignores_informational_regressions() {
+        let base = data(vec![
+            exact("tpch/q1/execution/cycles".into(), 1000.0, "cycles"),
+            exact("tpch/q1/planning".into(), 1000.0, "ns/iter"),
+        ]);
+        let mut cur = base.clone();
+        cur.benches[1].value = 50_000.0; // wall metric blows up: not gated
+        let out = compare(&base, &cur, 0.10);
+        assert_eq!(out.checked, 1);
+        assert!(out.passed(), "{:?}", out.failures);
+    }
+
+    #[test]
+    fn roundtrip_preserves_benches() {
+        let base = data(vec![
+            exact("tpch/q1/execution/cycles".into(), 12345.0, "cycles"),
+            bench(
+                "tpch/q1/planning".into(),
+                777.0,
+                "± 12".to_string(),
+                "ns/iter",
+            ),
+        ]);
+        let dir = std::env::temp_dir().join("rapid_report_roundtrip");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("BENCH_test.json");
+        save(&path, &base).unwrap();
+        let loaded = load(&path).unwrap();
+        assert_eq!(loaded.benches, base.benches);
+        std::fs::remove_file(&path).ok();
+    }
+}

@@ -1,0 +1,272 @@
+//! Reusable closed-loop wire-load harness.
+//!
+//! This is `loadgen`'s measurement loop as a library entry point, so the
+//! `loadgen` binary, the `bench_report` trajectory runner, and tests all
+//! drive the exact same harness: boot an in-process `rapid-server` over a
+//! prepared host database, run N client connections issuing M queries each
+//! (closed loop: every client waits for its result before sending the
+//! next request), and report wall-clock and simulated-DPU figures
+//! **separately** — wall readings are host-machine noise, simulated
+//! readings come from the scheduler's placed timeline.
+
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use hostdb::HostDb;
+use rapid_sched::SchedConfig;
+use rapid_server::{Client, Server, ServerConfig};
+
+/// The query mix: hand-written SQL over the TPC-H tables, exercising
+/// scan/filter, aggregation, and a join so the stages span DMS and cores.
+pub const MIX: &[&str] = &[
+    "SELECT l_returnflag, COUNT(*) AS n, SUM(l_quantity) AS qty \
+     FROM lineitem GROUP BY l_returnflag ORDER BY l_returnflag",
+    "SELECT o_orderpriority, COUNT(*) AS n FROM orders \
+     GROUP BY o_orderpriority ORDER BY o_orderpriority",
+    "SELECT l_shipmode, SUM(l_extendedprice) AS revenue FROM lineitem \
+     WHERE l_quantity < 30 GROUP BY l_shipmode ORDER BY l_shipmode",
+    "SELECT COUNT(*) AS n FROM orders JOIN lineitem ON o_orderkey = l_orderkey \
+     WHERE l_discount > 0.05",
+    "SELECT o_orderstatus, COUNT(*) AS n, SUM(o_totalprice) AS total \
+     FROM orders GROUP BY o_orderstatus ORDER BY o_orderstatus",
+];
+
+/// Nearest-rank percentile over an ascending-sorted sample.
+///
+/// The nearest-rank definition: the p-th percentile of N samples is the
+/// value at rank `ceil(p × N)` (1-based), i.e. the smallest sample such
+/// that at least `p × N` samples are ≤ it. The previous implementation
+/// rounded `(N − 1) × p` to the nearest index, which overshoots by one on
+/// small sample counts — e.g. p50 of `[10, 20, 30, 40]` must be 20 (rank
+/// ceil(2) = 2), not 30.
+pub fn percentile_nearest_rank(sorted: &[Duration], p: f64) -> Duration {
+    if sorted.is_empty() {
+        return Duration::ZERO;
+    }
+    let rank = (p * sorted.len() as f64).ceil() as usize;
+    // Rank 1 is the minimum; clamp covers p = 0.0 and float overshoot.
+    let idx = rank.clamp(1, sorted.len()) - 1;
+    sorted[idx]
+}
+
+/// Configuration of one closed-loop wire run.
+#[derive(Debug, Clone)]
+pub struct WireRunConfig {
+    /// Concurrent client connections.
+    pub conns: usize,
+    /// Queries issued per connection (closed loop).
+    pub queries: usize,
+    /// Scheduler admission slots.
+    pub active: usize,
+    /// Server connection cap (0 = `conns + 4`).
+    pub cap: usize,
+}
+
+impl Default for WireRunConfig {
+    fn default() -> Self {
+        WireRunConfig {
+            conns: 8,
+            queries: 16,
+            active: 8,
+            cap: 0,
+        }
+    }
+}
+
+/// Wall-clock (host machine) side of a wire run. Nondeterministic: these
+/// values change run to run and must never feed a regression gate.
+#[derive(Debug, Clone, Copy)]
+pub struct WireWall {
+    /// End-to-end wall time of the whole run.
+    pub secs: f64,
+    /// p50 query latency, nearest-rank.
+    pub p50: Duration,
+    /// p95 query latency, nearest-rank.
+    pub p95: Duration,
+    /// p99 query latency, nearest-rank.
+    pub p99: Duration,
+    /// Completed queries per wall second.
+    pub qps: f64,
+}
+
+/// Simulated-DPU side of a wire run, from the scheduler's placed timeline.
+/// No host wall clock enters any of these fields.
+#[derive(Debug, Clone, Copy)]
+pub struct WireSim {
+    /// Simulated makespan in seconds.
+    pub makespan_secs: f64,
+    /// Simulated makespan in cycles.
+    pub makespan_cycles: f64,
+    /// Completed queries per simulated second.
+    pub qps: f64,
+    /// Core occupancy over the makespan in [0, 1].
+    pub core_utilization: f64,
+    /// DMS occupancy over the makespan in [0, 1].
+    pub dms_utilization: f64,
+    /// Energy at provisioned power over the makespan, joules.
+    pub energy_joules: f64,
+}
+
+/// Everything one closed-loop run produced, wall and simulated figures
+/// kept in separate structs so callers cannot accidentally mix them.
+#[derive(Debug, Clone)]
+pub struct WireRunReport {
+    /// Queries that completed successfully.
+    pub completed: usize,
+    /// Queries that errored.
+    pub failures: usize,
+    /// Host wall-clock figures (informational).
+    pub wall: WireWall,
+    /// Simulated-DPU figures (deterministic given a fixed placement order).
+    pub sim: WireSim,
+    /// Server plan-cache counters.
+    pub cache: hostdb::CacheStats,
+    /// Threads the server spawned / joined (must be equal after drain).
+    pub threads_spawned: u64,
+    /// See `threads_spawned`.
+    pub threads_joined: u64,
+}
+
+/// Run the closed loop: boot a server over `db`, drive it with
+/// `cfg.conns × cfg.queries` queries from [`MIX`], drain, and report.
+pub fn run_wire(db: &Arc<HostDb>, cfg: &WireRunConfig) -> WireRunReport {
+    let cap = if cfg.cap == 0 { cfg.conns + 4 } else { cfg.cap };
+    let server_cfg = ServerConfig {
+        max_connections: cap,
+        sched: SchedConfig {
+            max_active: cfg.active,
+            queue_capacity: (cfg.conns * cfg.queries).max(64),
+            ..ServerConfig::default().sched
+        },
+        ..ServerConfig::default()
+    };
+    let server = Server::start(Arc::clone(db), server_cfg, ("127.0.0.1", 0)).expect("bind");
+    let addr = server.local_addr();
+
+    let wall_start = Instant::now();
+    let mut latencies: Vec<Duration> = Vec::with_capacity(cfg.conns * cfg.queries);
+    let mut failures = 0usize;
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..cfg.conns)
+            .map(|c| {
+                let queries = cfg.queries;
+                scope.spawn(move || {
+                    let mut client = Client::connect(addr).expect("connect");
+                    let mut lats = Vec::with_capacity(queries);
+                    let mut errs = 0usize;
+                    for q in 0..queries {
+                        let sql = MIX[(c + q) % MIX.len()];
+                        let t0 = Instant::now();
+                        match client.query(sql) {
+                            Ok(_) => lats.push(t0.elapsed()),
+                            Err(e) => {
+                                eprintln!("conn {c} query {q}: {e}");
+                                errs += 1;
+                            }
+                        }
+                    }
+                    let _ = client.bye();
+                    (lats, errs)
+                })
+            })
+            .collect();
+        for h in handles {
+            let (lats, errs) = h.join().expect("client thread");
+            latencies.extend(lats);
+            failures += errs;
+        }
+    });
+    let wall_secs = wall_start.elapsed().as_secs_f64();
+
+    let report = server.scheduler().report();
+    let cache = db.plan_cache_stats();
+    let stats = server.shutdown();
+
+    latencies.sort();
+    let completed = latencies.len();
+    let u = &report.utilization;
+    let sim_makespan = u.makespan.as_secs();
+    WireRunReport {
+        completed,
+        failures,
+        wall: WireWall {
+            secs: wall_secs,
+            p50: percentile_nearest_rank(&latencies, 0.50),
+            p95: percentile_nearest_rank(&latencies, 0.95),
+            p99: percentile_nearest_rank(&latencies, 0.99),
+            qps: if wall_secs > 0.0 {
+                completed as f64 / wall_secs
+            } else {
+                0.0
+            },
+        },
+        sim: WireSim {
+            makespan_secs: sim_makespan,
+            makespan_cycles: u.makespan_cycles,
+            qps: if sim_makespan > 0.0 {
+                completed as f64 / sim_makespan
+            } else {
+                0.0
+            },
+            core_utilization: u.core_utilization,
+            dms_utilization: u.dms_utilization,
+            energy_joules: u.energy_joules,
+        },
+        cache,
+        threads_spawned: stats.threads_spawned,
+        threads_joined: stats.threads_joined,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ms(values: &[u64]) -> Vec<Duration> {
+        values.iter().map(|&v| Duration::from_millis(v)).collect()
+    }
+
+    /// Hand-computed nearest-rank oracle: p-th percentile of N samples is
+    /// the value at 1-based rank ceil(p × N).
+    #[test]
+    fn percentile_matches_nearest_rank_oracle() {
+        // The canonical worked example (N = 5): p30 → rank ceil(1.5) = 2.
+        let s = ms(&[15, 20, 35, 40, 50]);
+        assert_eq!(percentile_nearest_rank(&s, 0.30), Duration::from_millis(20));
+        assert_eq!(percentile_nearest_rank(&s, 0.40), Duration::from_millis(20));
+        assert_eq!(percentile_nearest_rank(&s, 0.50), Duration::from_millis(35));
+        assert_eq!(percentile_nearest_rank(&s, 1.00), Duration::from_millis(50));
+
+        // N = 4: p50 is rank ceil(2) = 2 → 20, the case the rounding
+        // implementation got wrong (it returned 30).
+        let s = ms(&[10, 20, 30, 40]);
+        assert_eq!(percentile_nearest_rank(&s, 0.50), Duration::from_millis(20));
+        assert_eq!(percentile_nearest_rank(&s, 0.95), Duration::from_millis(40));
+        assert_eq!(percentile_nearest_rank(&s, 0.99), Duration::from_millis(40));
+        assert_eq!(percentile_nearest_rank(&s, 0.25), Duration::from_millis(10));
+
+        // A 1-connection × 16-query run: p95 is rank ceil(15.2) = 16, the
+        // maximum — not an out-of-range overshoot.
+        let s = ms(&(1..=16).collect::<Vec<u64>>());
+        assert_eq!(percentile_nearest_rank(&s, 0.95), Duration::from_millis(16));
+        assert_eq!(percentile_nearest_rank(&s, 0.50), Duration::from_millis(8));
+        assert_eq!(percentile_nearest_rank(&s, 0.99), Duration::from_millis(16));
+
+        // Single sample: every percentile is that sample.
+        let s = ms(&[7]);
+        for p in [0.0, 0.5, 0.95, 0.99, 1.0] {
+            assert_eq!(percentile_nearest_rank(&s, p), Duration::from_millis(7));
+        }
+
+        // N = 100 with values 1..=100: pXX is exactly XX ms.
+        let s = ms(&(1..=100).collect::<Vec<u64>>());
+        assert_eq!(percentile_nearest_rank(&s, 0.50), Duration::from_millis(50));
+        assert_eq!(percentile_nearest_rank(&s, 0.95), Duration::from_millis(95));
+        assert_eq!(percentile_nearest_rank(&s, 0.99), Duration::from_millis(99));
+    }
+
+    #[test]
+    fn percentile_of_empty_sample_is_zero() {
+        assert_eq!(percentile_nearest_rank(&[], 0.5), Duration::ZERO);
+    }
+}

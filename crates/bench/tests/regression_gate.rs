@@ -1,0 +1,164 @@
+//! The regression gate, tested against itself: injected regressions must
+//! fail naming the offending metric, small drift must pass, and the
+//! deterministic series must be bit-identical across two collections.
+
+use rapid_bench::report::{
+    collect, compare, is_gated_unit, load, save, Bench, BenchmarkData, CommitInfo, ReportConfig,
+};
+
+fn gated(name: &str, value: f64) -> Bench {
+    Bench {
+        name: name.to_string(),
+        value,
+        range: "± 0".to_string(),
+        unit: "cycles".to_string(),
+    }
+}
+
+fn wall(name: &str, value: f64) -> Bench {
+    Bench {
+        name: name.to_string(),
+        value,
+        range: "± 10".to_string(),
+        unit: "ns/iter".to_string(),
+    }
+}
+
+fn data(benches: Vec<Bench>) -> BenchmarkData {
+    BenchmarkData {
+        commit: CommitInfo::default(),
+        date: 0,
+        tool: "cargo".to_string(),
+        benches,
+    }
+}
+
+#[test]
+fn injected_20pct_regression_fails_naming_the_metric() {
+    let baseline = data(vec![
+        gated("tpch/q1/execution/cycles", 100_000.0),
+        gated("tpch/q6/execution/cycles", 50_000.0),
+        wall("tpch/q1/planning", 1_000.0),
+    ]);
+    let mut current = baseline.clone();
+    current.benches[1].value = 60_000.0; // +20% on q6 cycles
+
+    let out = compare(&baseline, &current, 0.10);
+    assert!(!out.passed());
+    assert_eq!(out.checked, 2, "only the two gated metrics are checked");
+    assert_eq!(out.failures.len(), 1, "{:?}", out.failures);
+    assert!(
+        out.failures[0].contains("tpch/q6/execution/cycles"),
+        "failure must name the offending metric: {}",
+        out.failures[0]
+    );
+    assert!(
+        out.failures[0].contains("20.0%"),
+        "failure must quantify the regression: {}",
+        out.failures[0]
+    );
+}
+
+#[test]
+fn sub_tolerance_drift_passes() {
+    let baseline = data(vec![
+        gated("tpch/q1/execution/cycles", 100_000.0),
+        gated("tpch/q1/execution/energy", 2.5),
+    ]);
+    let mut current = baseline.clone();
+    current.benches[0].value = 109_000.0; // +9%: inside the 10% tolerance
+    current.benches[1].value = 2.0; // improvement: always fine
+
+    let out = compare(&baseline, &current, 0.10);
+    assert!(out.passed(), "{:?}", out.failures);
+    assert_eq!(out.checked, 2);
+}
+
+#[test]
+fn missing_gated_metric_fails() {
+    let baseline = data(vec![
+        gated("tpch/q1/execution/cycles", 100_000.0),
+        gated("tpch/q3/execution/cycles", 200_000.0),
+    ]);
+    let current = data(vec![gated("tpch/q1/execution/cycles", 100_000.0)]);
+
+    let out = compare(&baseline, &current, 0.10);
+    assert!(!out.passed());
+    assert_eq!(out.failures.len(), 1);
+    assert!(
+        out.failures[0].contains("tpch/q3/execution/cycles") && out.failures[0].contains("missing"),
+        "{}",
+        out.failures[0]
+    );
+}
+
+#[test]
+fn wall_only_regression_passes_and_new_gated_metrics_are_ignored() {
+    let baseline = data(vec![
+        gated("tpch/q1/execution/cycles", 100_000.0),
+        wall("wire/conns8/qps", 500.0),
+    ]);
+    let mut current = baseline.clone();
+    current.benches[1].value = 5.0; // wall collapse: informational
+    current
+        .benches
+        .push(gated("tpch/q19/execution/cycles", 1.0e9)); // not in baseline
+
+    let out = compare(&baseline, &current, 0.10);
+    assert!(out.passed(), "{:?}", out.failures);
+    assert_eq!(out.checked, 1);
+}
+
+#[test]
+fn gate_roundtrips_through_disk_like_ci_does() {
+    // The ci.sh flow in miniature: save a baseline, load it back, compare
+    // an injected regression against it.
+    let baseline = data(vec![gated("tpch/q1/execution/cycles", 100_000.0)]);
+    let dir = std::env::temp_dir().join("rapid_gate_roundtrip");
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join("BENCH_scratch.json");
+    save(&path, &baseline).unwrap();
+    let loaded = load(&path).unwrap();
+
+    let regressed = data(vec![gated("tpch/q1/execution/cycles", 125_000.0)]);
+    let out = compare(&loaded, &regressed, 0.10);
+    assert!(!out.passed());
+    assert!(out.failures[0].contains("tpch/q1/execution/cycles"));
+
+    let same = compare(&loaded, &baseline, 0.10);
+    assert!(same.passed(), "{:?}", same.failures);
+    std::fs::remove_file(&path).ok();
+}
+
+/// Two consecutive deterministic collections must agree bit-for-bit on
+/// every gated metric — the property the whole gate rests on.
+#[test]
+fn deterministic_series_is_bit_identical_across_runs() {
+    let cfg = ReportConfig {
+        sf: 0.002,
+        deterministic_only: true,
+        ..ReportConfig::default()
+    };
+    let a = collect(&cfg);
+    let b = collect(&cfg);
+
+    let gated_a: Vec<&Bench> = a.gated().collect();
+    let gated_b: Vec<&Bench> = b.gated().collect();
+    assert!(!gated_a.is_empty());
+    // 11 queries x 4 gated metrics each.
+    assert_eq!(gated_a.len(), 44);
+    assert_eq!(gated_a, gated_b, "gated series must be bit-identical");
+    // The deterministic-only run contains nothing but gated metrics, so
+    // the serialized benches arrays are byte-identical too.
+    for bench in &a.benches {
+        assert!(
+            is_gated_unit(&bench.unit),
+            "stray wall metric {}",
+            bench.name
+        );
+    }
+    assert_eq!(
+        serde_json::to_string(&a.benches).unwrap(),
+        serde_json::to_string(&b.benches).unwrap()
+    );
+}

@@ -96,22 +96,70 @@ impl FuzzReport {
     /// Human-readable failure report: one block per divergence with the
     /// seed, minimized SQL, and minimized data as corpus-style JSON.
     pub fn render(&self) -> String {
+        self.render_inner(None, &[])
+    }
+
+    /// Full reproducibility report for a failed run: [`render`] plus the
+    /// exact `FUZZ_SEED`/`FUZZ_QUERIES` command line that re-runs the
+    /// whole sweep, and the corpus path written for each divergence
+    /// (pair with [`save_failures`]; `saved` is parallel to
+    /// `divergences`, shorter is tolerated).
+    ///
+    /// [`render`]: FuzzReport::render
+    /// [`save_failures`]: FuzzReport::save_failures
+    pub fn render_repro(&self, run_seed: u64, n: usize, saved: &[std::path::PathBuf]) -> String {
+        self.render_inner(Some((run_seed, n)), saved)
+    }
+
+    fn render_inner(&self, run: Option<(u64, usize)>, saved: &[std::path::PathBuf]) -> String {
         let mut s = format!(
             "{} executed, {} skipped, {} divergences",
             self.executed,
             self.skipped,
             self.divergences.len()
         );
-        for d in &self.divergences {
+        if let Some((run_seed, n)) = run {
             s.push_str(&format!(
-                "\n--- seed {:#x}\n{}\nminimized SQL: {}\nminimized data: {}",
-                d.seed,
-                d.detail,
+                "\nre-run the exact sweep: FUZZ_SEED={run_seed:#x} FUZZ_QUERIES={n} \
+                 cargo test --release --test differential_fuzz fuzz_smoke_finds_no_divergence"
+            ));
+        }
+        for (i, d) in self.divergences.iter().enumerate() {
+            s.push_str(&format!(
+                "\n--- seed {:#x}\n{}\nreproduce this case alone: rapid_fuzz::fuzz_one({:#x})",
+                d.seed, d.detail, d.seed
+            ));
+            if let Some(path) = saved.get(i) {
+                s.push_str(&format!("\nrepro written: {}", path.display()));
+            }
+            s.push_str(&format!(
+                "\nminimized SQL: {}\nminimized data: {}",
                 d.minimized.sql(),
                 serde_json::to_string(&d.minimized.tables).unwrap_or_default()
             ));
         }
         s
+    }
+
+    /// Write each divergence as a replayable corpus entry under `dir`
+    /// (one `pending-<seed>.json` per divergence), returning the paths in
+    /// `divergences` order. The entries are ordinary [`corpus`] files: a
+    /// later session promotes them into `fuzz/corpus/` proper (with a
+    /// fix note) or deletes them once fixed.
+    pub fn save_failures(&self, dir: &std::path::Path) -> Vec<std::path::PathBuf> {
+        self.divergences
+            .iter()
+            .map(|d| {
+                let entry = corpus::CorpusEntry {
+                    name: format!("pending-{:016x}", d.seed),
+                    note: format!("PENDING unfixed divergence: {}", d.detail),
+                    seed: Some(d.seed),
+                    sql: d.minimized.sql(),
+                    tables: d.minimized.tables.clone(),
+                };
+                corpus::save(dir, &entry)
+            })
+            .collect()
     }
 }
 
@@ -145,4 +193,62 @@ pub fn fuzz_run(run_seed: u64, n: usize) -> FuzzReport {
         }
     }
     report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Force a synthetic divergence and check the failure report is a
+    /// complete repro: exact re-run command line, per-case seed, and the
+    /// corpus path written — and that the written file replays as a
+    /// normal corpus entry.
+    #[test]
+    fn failure_report_is_a_complete_repro() {
+        // A real generated case (whether it diverges is irrelevant —
+        // the report is being tested, not the engines).
+        let case_seed = rng::mix(0xD1CE, 0);
+        let case = fuzz_one(case_seed).case;
+        let report = FuzzReport {
+            executed: 5,
+            skipped: 0,
+            divergences: vec![Divergence {
+                seed: case_seed,
+                detail: "synthetic: host and dpu disagree on row 0".to_string(),
+                minimized: case,
+            }],
+        };
+
+        let dir = std::env::temp_dir().join("rapid_fuzz_pending_test");
+        std::fs::remove_dir_all(&dir).ok();
+        let saved = report.save_failures(&dir);
+        assert_eq!(saved.len(), 1);
+
+        let rendered = report.render_repro(0x5EED, 200, &saved);
+        let rerun = format!("FUZZ_SEED={:#x} FUZZ_QUERIES=200", 0x5EEDu64);
+        assert!(rendered.contains(&rerun), "missing re-run env: {rendered}");
+        assert!(
+            rendered.contains("cargo test --release --test differential_fuzz"),
+            "missing re-run command: {rendered}"
+        );
+        assert!(
+            rendered.contains(&format!("fuzz_one({case_seed:#x})")),
+            "missing per-case seed: {rendered}"
+        );
+        assert!(
+            rendered.contains(&saved[0].display().to_string()),
+            "missing corpus path: {rendered}"
+        );
+
+        // The written artifact must be a loadable corpus entry pinning
+        // the same case.
+        let entries = corpus::load_all(&dir);
+        assert_eq!(entries.len(), 1);
+        let (path, entry) = &entries[0];
+        assert_eq!(path, &saved[0]);
+        assert_eq!(entry.seed, Some(case_seed));
+        assert_eq!(entry.sql, report.divergences[0].minimized.sql());
+        assert!(entry.name.starts_with("pending-"));
+        std::fs::remove_dir_all(&dir).ok();
+    }
 }

@@ -32,6 +32,11 @@ use crate::exec::{Backend, CoreCtx, ExecContext, StageProfile};
 pub struct StageTiming {
     /// Simulated elapsed time (Dpu backend; zero otherwise).
     pub sim: SimTime,
+    /// Simulated elapsed cycles — the exact cycle count behind `sim`
+    /// (Dpu backend; zero otherwise). Kept alongside the seconds so
+    /// reports can expose stable cycle figures without re-deriving them
+    /// through a frequency division.
+    pub elapsed: Cycles,
     /// Wall-clock elapsed (Native backend; zero otherwise).
     pub wall: Duration,
     /// Max per-core compute cycles (Dpu).
@@ -144,10 +149,12 @@ where
             let duration = router
                 .route_stage(&profile)
                 .map_err(|a| QefError::Aborted(format!("query {}: {}", ctx.query_id, a.reason)))?;
+            timing.elapsed = duration;
             timing.sim = duration.to_time(ctx.cost_model.freq_hz);
         }
         _ => {
             let elapsed = max_elapsed.max(timing.dms_total);
+            timing.elapsed = elapsed;
             timing.sim = elapsed.to_time(ctx.cost_model.freq_hz);
         }
     }

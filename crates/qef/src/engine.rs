@@ -45,6 +45,14 @@ pub struct QueryOutput {
 pub struct QueryReport {
     /// Total simulated seconds (Dpu backend).
     pub sim_secs: f64,
+    /// Total simulated elapsed cycles — the exact cycle counts behind
+    /// `sim_secs`, summed per stage (Dpu backend). Deterministic: two
+    /// identical runs produce bit-identical values.
+    pub sim_cycles: f64,
+    /// Energy at the DPU's provisioned power over the simulated elapsed
+    /// time, in joules — the same per-stage values the trace events carry,
+    /// absorbed in emission order (Dpu backend). Deterministic.
+    pub energy_joules: f64,
     /// Total wall-clock seconds (Native backend).
     pub wall_secs: f64,
     /// Pipeline stages executed.
@@ -55,6 +63,10 @@ pub struct QueryReport {
     pub branches: u64,
     /// Branch mispredicts (Dpu accounting).
     pub mispredicts: u64,
+    /// Bytes moved by DMS descriptor programs (Dpu accounting).
+    pub dms_bytes: u64,
+    /// DMS descriptors executed (Dpu accounting).
+    pub dms_descriptors: u64,
 }
 
 impl QueryReport {
@@ -68,10 +80,13 @@ impl QueryReport {
 
     fn absorb(&mut self, t: &StageTiming) {
         self.sim_secs += t.sim.as_secs();
+        self.sim_cycles += t.elapsed.get();
         self.wall_secs += t.wall.as_secs_f64();
         self.stages += 1;
         self.branches += t.counters.branches;
         self.mispredicts += t.counters.branch_mispredicts;
+        self.dms_bytes += t.counters.dms_bytes;
+        self.dms_descriptors += t.counters.dms_descriptors;
     }
 }
 
@@ -119,6 +134,10 @@ impl Tracer {
         rows: u64,
     ) {
         report.absorb(t);
+        // The identical per-stage figure the trace event carries, absorbed
+        // in emission order: report totals reproduce the event sums
+        // bit-for-bit whether or not a sink is installed.
+        report.energy_joules += self.watts * t.sim.as_secs();
         if let Some(sink) = &self.sink {
             let sim_secs = t.sim.as_secs();
             let c = t.counters;

@@ -82,12 +82,25 @@ pub struct UtilizationSample {
 }
 
 /// Utilization and energy summary of everything placed so far.
+///
+/// Every field is derived from the *simulated* timeline — no host wall
+/// clock enters here, so two identical deterministic-mode runs produce
+/// bit-identical values. The `*_cycles` fields are the exact cycle counts
+/// behind the `SimTime` figures, exposed so downstream reports (the bench
+/// regression gate in particular) can compare stable integers-of-f64
+/// without re-deriving them through a frequency division.
 #[derive(Debug, Clone, Copy)]
 pub struct Utilization {
     /// Simulated makespan: the latest stage end placed on the timeline.
     pub makespan: SimTime,
+    /// Makespan in simulated cycles — the exact count behind `makespan`.
+    pub makespan_cycles: f64,
     /// Total core-busy simulated time across all cores.
     pub core_busy: SimTime,
+    /// Core-busy total in simulated cycles.
+    pub core_busy_cycles: f64,
+    /// DMS-engine-busy total in simulated cycles.
+    pub dms_busy_cycles: f64,
     /// Core busy time over `cores × makespan` in [0, 1].
     pub core_utilization: f64,
     /// DMS engine occupancy over the makespan in [0, 1].
@@ -283,7 +296,10 @@ impl DpuTimeline {
         let denom = self.makespan.get() * self.core_free.len() as f64;
         Utilization {
             makespan,
+            makespan_cycles: self.makespan.get(),
             core_busy: busy.to_time(cost_model.freq_hz),
+            core_busy_cycles: busy.get(),
+            dms_busy_cycles: self.dms_busy.get(),
             core_utilization: if denom > 0.0 { busy.get() / denom } else { 0.0 },
             dms_utilization: if self.makespan.get() > 0.0 {
                 self.dms_busy.get() / self.makespan.get()

@@ -45,11 +45,18 @@ fn fuzz_smoke_finds_no_divergence() {
         report.executed,
         report.skipped
     );
-    assert!(
-        report.divergences.is_empty(),
-        "differential fuzzing found engine divergences:\n{}",
-        report.render()
-    );
+    if !report.divergences.is_empty() {
+        // Write each divergence as a replayable pending corpus entry (a
+        // subdirectory, so corpus replay — which reads only top-level
+        // *.json — stays green until the bug is actually fixed), then
+        // fail with the full repro: exact FUZZ_SEED/FUZZ_QUERIES re-run
+        // line, per-case seeds, and the paths written.
+        let saved = report.save_failures(&corpus::corpus_dir().join("pending"));
+        panic!(
+            "differential fuzzing found engine divergences:\n{}",
+            report.render_repro(seed, n, &saved)
+        );
+    }
 }
 
 #[test]
