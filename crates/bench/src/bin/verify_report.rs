@@ -1,11 +1,14 @@
 //! Static verification sweep over every plan shape the repo can produce.
 //!
 //! Compiles all eleven TPC-H queries at the given scale factor plus every
-//! fuzz-corpus repro through `compile_unverified`, then runs `rapid-verify`
-//! over each physical plan and prints a one-line verdict per query
-//! (`--full` dumps the per-stage working-set table as well). Exits
-//! non-zero if any plan fails verification — this is the CI gate proving
-//! the verifier has no false positives on compiler-produced plans.
+//! fuzz-corpus repro through `compile_unverified` — under both the
+//! cost-based join order (the default) and the declared order
+//! (`reorder_joins: false`), so reordered and unreordered plan shapes are
+//! both swept — then runs `rapid-verify` over each physical plan and
+//! prints a one-line verdict per query (`--full` dumps the per-stage
+//! working-set table as well). Exits non-zero if any plan fails
+//! verification — this is the CI gate proving the verifier has no false
+//! positives on compiler-produced plans.
 //!
 //! ```text
 //! cargo run --release -p rapid-bench --bin verify_report -- \
@@ -41,14 +44,22 @@ fn main() {
         i += 1;
     }
 
-    let params = CostParams::default();
-    let cfg = rapid_qcomp::verify_config(&params);
+    // Both optimizer modes: the cost-based join order and the declared
+    // one. Every query is swept under each so a reordered plan shape can
+    // never dodge the verifier.
+    let reordered = CostParams::default();
+    let declared = CostParams {
+        reorder_joins: false,
+        ..CostParams::default()
+    };
+    let variants: [(&str, &CostParams); 2] = [("", &reordered), ("(declared)", &declared)];
+    let cfg = rapid_qcomp::verify_config(&reordered);
     let mut failures = 0usize;
 
     println!("== TPC-H sf {sf} ==");
     let (_db, catalog) = bench::setup_tpch(sf, ExecContext::dpu());
     for (name, lp) in tpch::queries::all() {
-        failures += verify_one(name, &lp, &catalog, &params, &cfg, full);
+        failures += verify_one(name, &lp, &catalog, &variants, &cfg, full);
     }
 
     println!("== fuzz corpus ==");
@@ -99,7 +110,7 @@ fn main() {
         for t in db.rapid().read().catalog().values() {
             catalog.insert(t.name.clone(), Arc::clone(t));
         }
-        failures += verify_one(label, &lp, &catalog, &params, &cfg, full);
+        failures += verify_one(label, &lp, &catalog, &variants, &cfg, full);
     }
 
     if failures > 0 {
@@ -109,35 +120,41 @@ fn main() {
     println!("verify_report: all plans PASS");
 }
 
-/// Compile + verify one logical plan; returns 1 on failure, 0 otherwise.
+/// Compile + verify one logical plan under every optimizer variant;
+/// returns the number of failing variants.
 fn verify_one(
     name: &str,
     lp: &rapid_qcomp::logical::LogicalPlan,
     catalog: &Catalog,
-    params: &CostParams,
+    variants: &[(&str, &CostParams)],
     cfg: &rapid_verify::VerifyConfig,
     full: bool,
 ) -> usize {
-    let compiled = match rapid_qcomp::compile_unverified(lp, catalog, params) {
-        Ok(c) => c,
-        Err(e) => {
-            // The sweep verifies plans; queries the compiler itself
-            // refuses (agreed error cases in the corpus) are skips.
-            println!("{name:28} SKIP (compile: {e})");
-            return 0;
+    let mut failures = 0usize;
+    for (suffix, params) in variants {
+        let label = format!("{name}{suffix}");
+        let compiled = match rapid_qcomp::compile_unverified(lp, catalog, params) {
+            Ok(c) => c,
+            Err(e) => {
+                // The sweep verifies plans; queries the compiler itself
+                // refuses (agreed error cases in the corpus) are skips.
+                println!("{label:28} SKIP (compile: {e})");
+                continue;
+            }
+        };
+        let report = rapid_verify::verify(&compiled.plan, catalog, cfg);
+        let verdict = if report.ok() { "PASS" } else { "FAIL" };
+        println!(
+            "{label:28} {verdict}  ({} stages, {} diagnostics)",
+            report.stages.len(),
+            report.diagnostics.len()
+        );
+        if full || !report.ok() {
+            for line in report.render(cfg.dmem_bytes, cfg.tile_rows).lines() {
+                println!("    {line}");
+            }
         }
-    };
-    let report = rapid_verify::verify(&compiled.plan, catalog, cfg);
-    let verdict = if report.ok() { "PASS" } else { "FAIL" };
-    println!(
-        "{name:28} {verdict}  ({} stages, {} diagnostics)",
-        report.stages.len(),
-        report.diagnostics.len()
-    );
-    if full || !report.ok() {
-        for line in report.render(cfg.dmem_bytes, cfg.tile_rows).lines() {
-            println!("    {line}");
-        }
+        failures += usize::from(!report.ok());
     }
-    usize::from(!report.ok())
+    failures
 }

@@ -34,8 +34,18 @@ use crate::wire::{run_wire, WireRunConfig};
 pub const FUZZ_BENCH_SEED: u64 = 0x5EED_2A91D;
 
 /// Units whose metrics the regression gate checks. Everything else is
-/// informational wall-clock data.
-pub const GATED_UNITS: &[&str] = &["cycles", "joules", "bytes", "descriptors"];
+/// informational wall-clock data. `entries` and `plans` are the
+/// join-order search's memo size and enumeration count (optd-style
+/// planning-cost metrics): deterministic by construction, so a memo blowup
+/// fails the gate like a cycle regression would.
+pub const GATED_UNITS: &[&str] = &[
+    "cycles",
+    "joules",
+    "bytes",
+    "descriptors",
+    "entries",
+    "plans",
+];
 
 /// True if a metric with this unit feeds the regression gate.
 pub fn is_gated_unit(unit: &str) -> bool {
@@ -193,6 +203,16 @@ pub fn collect(cfg: &ReportConfig) -> BenchmarkData {
             ));
         }
         let compiled = rapid_qcomp::compile(&lp, &catalog, &params).expect("compile");
+        benches.push(exact(
+            format!("tpch/{q}/optimize/memo"),
+            compiled.optimize.memo_entries as f64,
+            "entries",
+        ));
+        benches.push(exact(
+            format!("tpch/{q}/optimize/plans"),
+            compiled.optimize.plans_considered as f64,
+            "plans",
+        ));
         let t0 = Instant::now();
         let (_, report) = dpu.execute(&compiled.plan).expect("dpu run");
         let wall_ns = t0.elapsed().as_nanos() as f64;
@@ -437,7 +457,14 @@ mod tests {
 
     #[test]
     fn gated_units_are_exactly_the_deterministic_ones() {
-        for u in ["cycles", "joules", "bytes", "descriptors"] {
+        for u in [
+            "cycles",
+            "joules",
+            "bytes",
+            "descriptors",
+            "entries",
+            "plans",
+        ] {
             assert!(is_gated_unit(u), "{u} must be gated");
         }
         for u in ["ns/iter", "qps"] {

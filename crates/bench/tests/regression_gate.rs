@@ -145,8 +145,8 @@ fn deterministic_series_is_bit_identical_across_runs() {
     let gated_a: Vec<&Bench> = a.gated().collect();
     let gated_b: Vec<&Bench> = b.gated().collect();
     assert!(!gated_a.is_empty());
-    // 11 queries x 4 gated metrics each.
-    assert_eq!(gated_a.len(), 44);
+    // 11 queries x 6 gated metrics each (4 execution + 2 optimize).
+    assert_eq!(gated_a.len(), 66);
     assert_eq!(gated_a, gated_b, "gated series must be bit-identical");
     // The deterministic-only run contains nothing but gated metrics, so
     // the serialized benches arrays are byte-identical too.

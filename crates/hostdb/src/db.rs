@@ -547,7 +547,23 @@ impl HostDb {
         match self.execute_on_rapid_routed(plan, None, Some(trace)) {
             Ok(result) => {
                 let events = sink.take();
-                let text = render_explain(&events, &result);
+                // Recompile (deterministic) for the estimator's view of
+                // the same physical plan: per-node estimated rows in the
+                // tracer's pre-order id space, so every operator line can
+                // carry its Q-error.
+                let estimates = {
+                    let rapid = self.rapid.read();
+                    rapid_qcomp::compile_unverified(plan, rapid.catalog(), &self.params)
+                        .ok()
+                        .map(|c| {
+                            rapid_qcomp::estimate_rows_per_node(
+                                &c.plan,
+                                rapid.catalog(),
+                                &self.params,
+                            )
+                        })
+                };
+                let text = render_explain(&events, &result, estimates.as_deref());
                 Ok(ExplainAnalysis {
                     result,
                     events,
@@ -895,7 +911,17 @@ impl Drop for HostDb {
 /// sums `sim_secs` in stage-emission order, which reproduces the engine's
 /// `QueryReport::sim_secs` bit-for-bit (same f64 values, same addition
 /// order — see `rapid_qef::trace`).
-fn render_explain(events: &[StageEvent], result: &QueryResult) -> String {
+///
+/// `estimates` carries the compiler's estimated output rows per node
+/// (indexed by the same pre-order node id, from
+/// `rapid_qcomp::estimate_rows_per_node`); each node's final stage line
+/// then shows `est=` and the Q-error `q = max(est/actual, actual/est)`,
+/// making mis-estimates visible next to the operator that suffered them.
+fn render_explain(
+    events: &[StageEvent],
+    result: &QueryResult,
+    estimates: Option<&[f64]>,
+) -> String {
     use std::fmt::Write;
     let mut s = String::new();
     let _ = writeln!(
@@ -904,10 +930,16 @@ fn render_explain(events: &[StageEvent], result: &QueryResult) -> String {
         result.site,
         events.len()
     );
+    // A node's actual output rows are reported by its final stage.
+    let mut last_stage: HashMap<u32, u32> = HashMap::new();
+    for e in events {
+        let st = last_stage.entry(e.node_id).or_insert(e.stage_id);
+        *st = (*st).max(e.stage_id);
+    }
     let mut tree: Vec<&StageEvent> = events.iter().collect();
     tree.sort_by_key(|e| (e.node_id, e.stage_id));
     for e in &tree {
-        let _ = writeln!(
+        let _ = write!(
             s,
             "{:indent$}{}  rows={} sim={:.9}s cycles={:.0}c+{:.0}d instr={} \
              bytes={} dmem_peak={} energy={:.3e}J wall={:.6}s",
@@ -924,6 +956,15 @@ fn render_explain(events: &[StageEvent], result: &QueryResult) -> String {
             e.wall_secs,
             indent = e.depth as usize * 2,
         );
+        if last_stage.get(&e.node_id) == Some(&e.stage_id) {
+            if let Some(est) = estimates.and_then(|v| v.get(e.node_id as usize)) {
+                let actual = (e.rows as f64).max(1.0);
+                let estimated = est.max(1.0);
+                let q = (estimated / actual).max(actual / estimated);
+                let _ = write!(s, " est={:.0} q={:.2}", est, q);
+            }
+        }
+        let _ = writeln!(s);
     }
     let mut emission: Vec<&StageEvent> = events.iter().collect();
     emission.sort_by_key(|e| e.stage_id);
@@ -1196,6 +1237,24 @@ mod tests {
             "tree names the scan:\n{}",
             a.text
         );
+    }
+
+    #[test]
+    fn explain_analyze_shows_estimates_and_q_error() {
+        let d = db();
+        d.load_into_rapid("sales").unwrap();
+        let a = d
+            .explain_analyze(
+                "EXPLAIN ANALYZE SELECT region, COUNT(*) AS n FROM sales GROUP BY region",
+            )
+            .unwrap();
+        // Every operator's final stage line carries the estimator's view.
+        assert!(a.text.contains(" est="), "no estimates:\n{}", a.text);
+        assert!(a.text.contains(" q="), "no Q-error column:\n{}", a.text);
+        // Each traced node gets exactly one est/q annotation.
+        let nodes: std::collections::HashSet<u32> = a.events.iter().map(|e| e.node_id).collect();
+        let annotations = a.text.matches(" q=").count();
+        assert_eq!(annotations, nodes.len(), "{}", a.text);
     }
 
     #[test]

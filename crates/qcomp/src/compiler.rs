@@ -83,6 +83,8 @@ pub struct Compiled {
     pub output: Vec<OutCol>,
     /// Estimated cost.
     pub cost: PlanCost,
+    /// Deterministic counters from the join-order search.
+    pub optimize: crate::joinorder::OptimizeStats,
 }
 
 /// Compile a logical plan against the catalog and gate the result on the
@@ -111,9 +113,22 @@ pub fn compile_unverified(
     catalog: &Catalog,
     params: &CostParams,
 ) -> Result<Compiled, CompileError> {
-    let (plan, output) = lower(lp, catalog, params)?;
+    // Logical-to-logical join-order search before lowering; `lower_join`
+    // then picks build sides and partition schemes within the chosen
+    // order from the same estimates.
+    let (reordered, optimize) = if params.reorder_joins {
+        crate::joinorder::reorder(lp, catalog, params)
+    } else {
+        (lp.clone(), crate::joinorder::OptimizeStats::default())
+    };
+    let (plan, output) = lower(&reordered, catalog, params)?;
     let cost = estimate(&plan, catalog, params);
-    Ok(Compiled { plan, output, cost })
+    Ok(Compiled {
+        plan,
+        output,
+        cost,
+        optimize,
+    })
 }
 
 /// The verifier configuration the cost parameters imply: the compiler
@@ -127,7 +142,7 @@ pub fn verify_config(params: &CostParams) -> rapid_verify::VerifyConfig {
     }
 }
 
-fn lower(
+pub(crate) fn lower(
     lp: &LogicalPlan,
     catalog: &Catalog,
     params: &CostParams,

@@ -17,8 +17,11 @@
 use dpu_sim::clock::SimTime;
 use dpu_sim::isa::CostModel;
 
+use rapid_qef::engine::estimate_selectivity_cols;
 use rapid_qef::plan::{Catalog, GroupStrategy, JoinType, PlanNode};
+use rapid_qef::primitives::agg::AggFunc;
 use rapid_qef::primitives::costs;
+use rapid_storage::stats::ColumnStats;
 
 /// Tunables of the estimator.
 #[derive(Debug, Clone)]
@@ -35,6 +38,10 @@ pub struct CostParams {
     pub network_bytes_per_sec: f64,
     /// Fixed per-offload latency (round trip, scheduling) in seconds.
     pub offload_latency_secs: f64,
+    /// Run the cost-based join-order search during compilation. Off keeps
+    /// the declared (SQL-order) join tree — useful for A/B comparisons and
+    /// as the differential baseline the reorderer is tested against.
+    pub reorder_joins: bool,
 }
 
 impl Default for CostParams {
@@ -46,6 +53,7 @@ impl Default for CostParams {
             dmem_bytes: dpu_sim::dmem::DMEM_BYTES,
             network_bytes_per_sec: 3.0e9, // IB FDR-class single link
             offload_latency_secs: 150.0e-6,
+            reorder_joins: true,
         }
     }
 }
@@ -68,8 +76,108 @@ impl PlanCost {
     }
 }
 
+/// A node estimate: the cost plus *derived* per-output-column statistics,
+/// so predicates and join keys above the leaves are still estimated from
+/// data properties rather than fixed constants. `None` marks a computed or
+/// otherwise unknown column.
+#[derive(Debug, Clone, Default)]
+pub struct NodeEst {
+    /// The plan-cost triple for this node.
+    pub cost: PlanCost,
+    /// Statistics per output column, in output order.
+    pub cols: Vec<Option<ColumnStats>>,
+}
+
+impl NodeEst {
+    /// NDV of output column `i`, capped by the estimated row count (a
+    /// column cannot have more distinct values than rows reaching it).
+    pub fn col_ndv(&self, i: usize) -> Option<f64> {
+        let s = self.cols.get(i)?.as_ref()?;
+        if s.ndv == 0 {
+            return None;
+        }
+        Some((s.ndv as f64).min(self.cost.rows.max(1.0)))
+    }
+
+    fn col_refs(&self) -> Vec<Option<&ColumnStats>> {
+        self.cols.iter().map(|c| c.as_ref()).collect()
+    }
+}
+
 /// Estimate the execution cost of a physical plan against a catalog.
 pub fn estimate(plan: &PlanNode, catalog: &Catalog, p: &CostParams) -> PlanCost {
+    estimate_node(plan, catalog, p).cost
+}
+
+/// Estimated join-output rows from NDV containment: `|L|·|R| / Π max(ndv)`
+/// over the key pairs with at least one known NDV; `None` when every pair
+/// is unknown (caller falls back to a heuristic).
+fn containment_rows(b: &NodeEst, pr: &NodeEst, bk: &[usize], pk: &[usize]) -> Option<f64> {
+    let mut divisors: Vec<f64> = Vec::new();
+    for (&kb, &kp) in bk.iter().zip(pk.iter()) {
+        let nb = b.col_ndv(kb);
+        let np = pr.col_ndv(kp);
+        let d = match (nb, np) {
+            (Some(a), Some(c)) => a.max(c),
+            (Some(a), None) => a,
+            (None, Some(c)) => c,
+            (None, None) => continue,
+        };
+        divisors.push(d.max(1.0));
+    }
+    if divisors.is_empty() {
+        return None;
+    }
+    let cross = b.cost.rows.max(1.0) * pr.cost.rows.max(1.0);
+    Some((cross / composite_key_divisor(&mut divisors)).clamp(1.0, cross))
+}
+
+/// Combine per-key NDV divisors of a multi-key equi-join under
+/// exponential backoff: the most selective key counts in full, the next
+/// at the square root, then the fourth root, and so on. Composite keys
+/// are rarely independent — `partsupp(ps_partkey, ps_suppkey)` is a
+/// compound primary key, so multiplying both divisors undercounts the
+/// join of `lineitem` with it by the full suppkey NDV — and backoff is
+/// the standard damping between "independent" (too low) and "use only
+/// the best key" (too high).
+fn composite_key_divisor(divisors: &mut [f64]) -> f64 {
+    divisors.sort_by(|x, y| y.total_cmp(x));
+    let mut divisor = 1.0f64;
+    let mut exp = 1.0f64;
+    for &d in divisors.iter() {
+        divisor *= d.powf(exp);
+        exp *= 0.5;
+    }
+    divisor.max(1.0)
+}
+
+/// Fraction of probe rows with a build-side match, from key-NDV
+/// containment: `min(1, ndv(build.k) / ndv(probe.k))` per key pair.
+/// `None` when no pair has both NDVs known.
+fn semi_match_fraction(b: &NodeEst, pr: &NodeEst, bk: &[usize], pk: &[usize]) -> Option<f64> {
+    let mut fracs: Vec<f64> = Vec::new();
+    for (&kb, &kp) in bk.iter().zip(pk.iter()) {
+        if let (Some(nb), Some(np)) = (b.col_ndv(kb), pr.col_ndv(kp)) {
+            fracs.push((nb / np.max(1.0)).min(1.0));
+        }
+    }
+    if fracs.is_empty() {
+        return None;
+    }
+    // Same composite-key backoff as `containment_rows`: most selective
+    // key in full, the rest at geometrically decaying exponents.
+    fracs.sort_by(|x, y| x.total_cmp(y));
+    let mut frac = 1.0f64;
+    let mut exp = 1.0f64;
+    for &f in &fracs {
+        frac *= f.powf(exp);
+        exp *= 0.5;
+    }
+    Some(frac)
+}
+
+/// Full estimator: cost plus derived column statistics per node.
+pub fn estimate_node(plan: &PlanNode, catalog: &Catalog, p: &CostParams) -> NodeEst {
     let cm = &p.cm;
     match plan {
         PlanNode::Scan {
@@ -78,7 +186,7 @@ pub fn estimate(plan: &PlanNode, catalog: &Catalog, p: &CostParams) -> PlanCost 
             pred,
         } => {
             let Some(t) = catalog.get(table) else {
-                return PlanCost::default();
+                return NodeEst::default();
             };
             let rows = t.rows() as f64;
             let bytes: f64 = columns
@@ -95,62 +203,106 @@ pub fn estimate(plan: &PlanNode, catalog: &Catalog, p: &CostParams) -> PlanCost 
             let compute_per_core =
                 rows * cm.kernel_cycles(&costs::filter_per_row()) / p.cores as f64;
             let cycles = wire.max(compute_per_core);
-            PlanCost {
-                rows: (rows * sel).max(0.0),
-                row_bytes: bytes,
-                exec_secs: SimTime::from_secs(cycles / cm.freq_hz).as_secs(),
+            NodeEst {
+                cost: PlanCost {
+                    rows: (rows * sel).max(0.0),
+                    row_bytes: bytes,
+                    exec_secs: SimTime::from_secs(cycles / cm.freq_hz).as_secs(),
+                },
+                cols: columns
+                    .iter()
+                    .map(|&c| t.stats.column(c).cloned())
+                    .collect(),
             }
         }
-        PlanNode::Filter { input, .. } => {
-            let c = estimate(input, catalog, p);
-            let cycles = c.rows * cm.kernel_cycles(&costs::filter_per_row()) / p.cores as f64;
-            PlanCost {
-                rows: c.rows * 0.5,
-                row_bytes: c.row_bytes,
-                exec_secs: c.exec_secs + cycles / cm.freq_hz,
+        PlanNode::Filter { input, pred } => {
+            let c = estimate_node(input, catalog, p);
+            let cycles = c.cost.rows * cm.kernel_cycles(&costs::filter_per_row()) / p.cores as f64;
+            // Same estimator as the Scan path, fed the derived stats of
+            // whatever feeds this Filter (fixes the flat 0.5).
+            let sel = estimate_selectivity_cols(pred, &c.col_refs());
+            NodeEst {
+                cost: PlanCost {
+                    rows: (c.cost.rows * sel).max(0.0),
+                    row_bytes: c.cost.row_bytes,
+                    exec_secs: c.cost.exec_secs + cycles / cm.freq_hz,
+                },
+                cols: c.cols,
             }
         }
         PlanNode::Map { input, exprs } => {
-            let c = estimate(input, catalog, p);
-            let cycles = c.rows * exprs.len() as f64 * cm.kernel_cycles(&costs::arith_per_row())
-                / p.cores as f64;
-            PlanCost {
-                rows: c.rows,
-                row_bytes: exprs.len() as f64 * 8.0,
-                exec_secs: c.exec_secs + cycles / cm.freq_hz,
+            let c = estimate_node(input, catalog, p);
+            let cycles =
+                c.cost.rows * exprs.len() as f64 * cm.kernel_cycles(&costs::arith_per_row())
+                    / p.cores as f64;
+            NodeEst {
+                cost: PlanCost {
+                    rows: c.cost.rows,
+                    row_bytes: exprs.len() as f64 * 8.0,
+                    exec_secs: c.cost.exec_secs + cycles / cm.freq_hz,
+                },
+                cols: exprs
+                    .iter()
+                    .map(|e| match &e.expr {
+                        rapid_qef::expr::Expr::Col(i) => c.cols.get(*i).cloned().flatten(),
+                        _ => None,
+                    })
+                    .collect(),
             }
         }
         PlanNode::HashJoin {
             build,
             probe,
+            build_keys,
+            probe_keys,
             join_type,
             ..
         } => {
-            let b = estimate(build, catalog, p);
-            let pr = estimate(probe, catalog, p);
+            let b = estimate_node(build, catalog, p);
+            let pr = estimate_node(probe, catalog, p);
             // Partition both sides (read+write through the DMS), build,
             // probe.
-            let part_bytes = b.output_bytes() + pr.output_bytes();
+            let part_bytes = b.cost.output_bytes() + pr.cost.output_bytes();
             let wire = 2.0 * part_bytes / cm.dms_bytes_per_cycle();
-            let build_cy = b.rows * cm.kernel_cycles(&costs::join_build_per_row());
-            let probe_cy = pr.rows
+            let build_cy = b.cost.rows * cm.kernel_cycles(&costs::join_build_per_row());
+            let probe_cy = pr.cost.rows
                 * (cm.kernel_cycles(&costs::join_probe_per_row())
                     + cm.kernel_cycles(&costs::join_probe_per_link()));
             let compute = (build_cy + probe_cy) / p.cores as f64;
             let cycles = wire.max(compute) + wire.min(compute) * 0.15;
+            let inner_rows = containment_rows(&b, &pr, build_keys, probe_keys)
+                .unwrap_or_else(|| pr.cost.rows.max(1.0));
+            let match_frac = semi_match_fraction(&b, &pr, build_keys, probe_keys)
+                .unwrap_or(0.5)
+                .clamp(0.0, 1.0);
             let out_rows = match join_type {
-                JoinType::Inner | JoinType::LeftOuter => pr.rows.max(1.0),
-                JoinType::LeftSemi => pr.rows * 0.5,
-                JoinType::LeftAnti => pr.rows * 0.5,
+                JoinType::Inner => inner_rows,
+                // Every probe row survives an outer join at least once.
+                JoinType::LeftOuter => inner_rows.max(pr.cost.rows),
+                // Semi and anti partition the probe side: they must sum to
+                // the probe row count.
+                JoinType::LeftSemi => pr.cost.rows * match_frac,
+                JoinType::LeftAnti => pr.cost.rows * (1.0 - match_frac),
             };
             let out_bytes = match join_type {
-                JoinType::Inner | JoinType::LeftOuter => b.row_bytes + pr.row_bytes,
-                _ => pr.row_bytes,
+                JoinType::Inner | JoinType::LeftOuter => b.cost.row_bytes + pr.cost.row_bytes,
+                _ => pr.cost.row_bytes,
             };
-            PlanCost {
-                rows: out_rows,
-                row_bytes: out_bytes,
-                exec_secs: b.exec_secs + pr.exec_secs + cycles / cm.freq_hz,
+            // Output layout: probe columns ++ build columns (inner/outer),
+            // probe columns only (semi/anti).
+            let cols = match join_type {
+                JoinType::Inner | JoinType::LeftOuter => {
+                    pr.cols.iter().chain(b.cols.iter()).cloned().collect()
+                }
+                _ => pr.cols.clone(),
+            };
+            NodeEst {
+                cost: PlanCost {
+                    rows: out_rows,
+                    row_bytes: out_bytes,
+                    exec_secs: b.cost.exec_secs + pr.cost.exec_secs + cycles / cm.freq_hz,
+                },
+                cols,
             }
         }
         PlanNode::GroupBy {
@@ -159,69 +311,195 @@ pub fn estimate(plan: &PlanNode, catalog: &Catalog, p: &CostParams) -> PlanCost 
             aggs,
             strategy,
         } => {
-            let c = estimate(input, catalog, p);
+            let c = estimate_node(input, catalog, p);
             let per_row = cm.kernel_cycles(&costs::group_lookup_per_row())
                 + aggs.len() as f64 * cm.kernel_cycles(&costs::grouped_agg_per_row());
-            let mut cycles = c.rows * per_row / p.cores as f64;
+            let mut cycles = c.cost.rows * per_row / p.cores as f64;
             if *strategy == GroupStrategy::Partitioned {
                 // Extra pass through the DMS to partition by keys.
-                cycles += 2.0 * c.output_bytes() / cm.dms_bytes_per_cycle();
+                cycles += 2.0 * c.cost.output_bytes() / cm.dms_bytes_per_cycle();
             }
-            let groups = (c.rows * 0.1).max(1.0);
-            PlanCost {
-                rows: groups,
-                row_bytes: (keys.len() + aggs.len()) as f64 * 8.0,
-                exec_secs: c.exec_secs + cycles / cm.freq_hz,
+            // Group count: product of key NDVs, capped by input rows.
+            // Unknown keys contribute no factor (a lower bound); with no
+            // known key at all, fall back to the 10% heuristic.
+            let mut ndv_prod = 1.0f64;
+            let mut any_known = false;
+            for &k in keys {
+                if let Some(n) = c.col_ndv(k) {
+                    any_known = true;
+                    ndv_prod *= n;
+                }
+            }
+            let groups = if any_known {
+                ndv_prod.min(c.cost.rows).max(1.0)
+            } else {
+                (c.cost.rows * 0.1).max(1.0)
+            };
+            let mut cols: Vec<Option<ColumnStats>> = keys
+                .iter()
+                .map(|&k| c.cols.get(k).cloned().flatten())
+                .collect();
+            // Derived statistics for aggregate outputs, so predicates
+            // above a GroupBy (HAVING-style filters) do not collapse to
+            // the blind 0.5 default. MIN/MAX/AVG stay inside the input's
+            // observed value range; SUM stretches the quantile bounds by
+            // the mean group size (an independence approximation — good
+            // enough to tell "sum > 300" from "sum > 3" when group sums
+            // concentrate far below the constant); COUNT concentrates at
+            // the mean group size.
+            let mean_group = (c.cost.rows / groups).max(1.0);
+            let scale_i64 = |v: i64, f: f64| -> i64 {
+                ((v as f64) * f).clamp(i64::MIN as f64, i64::MAX as f64) as i64
+            };
+            for a in aggs {
+                let derived = c.cols.get(a.col).and_then(|s| s.as_ref()).map(|s| {
+                    let mut d = s.clone();
+                    d.ndv = d.ndv.clamp(1, groups as u64);
+                    d.null_count = 0;
+                    match a.func {
+                        AggFunc::Min | AggFunc::Max | AggFunc::Avg => {}
+                        AggFunc::Sum => {
+                            d.min = d.min.map(|v| scale_i64(v, mean_group));
+                            d.max = d.max.map(|v| scale_i64(v, mean_group));
+                            d.bounds = d.bounds.iter().map(|&v| scale_i64(v, mean_group)).collect();
+                        }
+                        // COUNT's distribution is the group-size
+                        // distribution, which column stats do not carry;
+                        // a point mass at the mean group size is closer
+                        // than nothing.
+                        AggFunc::Count => {
+                            let k = mean_group as i64;
+                            d.min = Some(1);
+                            d.max = Some((2 * k).max(1));
+                            d.bounds = vec![k.max(1); d.bounds.len().max(2)];
+                            d.histogram = vec![groups as u64];
+                        }
+                    }
+                    d
+                });
+                cols.push(derived);
+            }
+            NodeEst {
+                cost: PlanCost {
+                    rows: groups,
+                    row_bytes: (keys.len() + aggs.len()) as f64 * 8.0,
+                    exec_secs: c.cost.exec_secs + cycles / cm.freq_hz,
+                },
+                cols,
             }
         }
         PlanNode::TopK { input, k, .. } => {
-            let c = estimate(input, catalog, p);
-            let cycles = c.rows * cm.kernel_cycles(&costs::topk_per_row()) / p.cores as f64;
-            PlanCost {
-                rows: *k as f64,
-                row_bytes: c.row_bytes,
-                exec_secs: c.exec_secs + cycles / cm.freq_hz,
+            let c = estimate_node(input, catalog, p);
+            let cycles = c.cost.rows * cm.kernel_cycles(&costs::topk_per_row()) / p.cores as f64;
+            NodeEst {
+                cost: PlanCost {
+                    rows: *k as f64,
+                    row_bytes: c.cost.row_bytes,
+                    exec_secs: c.cost.exec_secs + cycles / cm.freq_hz,
+                },
+                cols: c.cols,
             }
         }
         PlanNode::Sort { input, .. } => {
-            let c = estimate(input, catalog, p);
-            let cycles = c.rows * 4.0 * cm.kernel_cycles(&costs::radix_sort_per_row_per_pass())
-                / p.cores as f64;
-            PlanCost {
-                rows: c.rows,
-                row_bytes: c.row_bytes,
-                exec_secs: c.exec_secs + cycles / cm.freq_hz,
+            let c = estimate_node(input, catalog, p);
+            let cycles =
+                c.cost.rows * 4.0 * cm.kernel_cycles(&costs::radix_sort_per_row_per_pass())
+                    / p.cores as f64;
+            NodeEst {
+                cost: PlanCost {
+                    rows: c.cost.rows,
+                    row_bytes: c.cost.row_bytes,
+                    exec_secs: c.cost.exec_secs + cycles / cm.freq_hz,
+                },
+                cols: c.cols,
             }
         }
         PlanNode::Limit { input, n } => {
-            let c = estimate(input, catalog, p);
-            PlanCost {
-                rows: (*n as f64).min(c.rows),
-                ..c
+            let c = estimate_node(input, catalog, p);
+            NodeEst {
+                cost: PlanCost {
+                    rows: (*n as f64).min(c.cost.rows),
+                    ..c.cost
+                },
+                cols: c.cols,
             }
         }
         PlanNode::SetOp { left, right, .. } => {
-            let l = estimate(left, catalog, p);
-            let r = estimate(right, catalog, p);
-            let cycles = (l.rows + r.rows) * cm.kernel_cycles(&costs::group_lookup_per_row());
-            PlanCost {
-                rows: l.rows + r.rows,
-                row_bytes: l.row_bytes,
-                exec_secs: l.exec_secs + r.exec_secs + cycles / cm.freq_hz,
+            let l = estimate_node(left, catalog, p);
+            let r = estimate_node(right, catalog, p);
+            let cycles =
+                (l.cost.rows + r.cost.rows) * cm.kernel_cycles(&costs::group_lookup_per_row());
+            let cols = l
+                .cols
+                .iter()
+                .zip(r.cols.iter())
+                .map(|(a, b)| match (a, b) {
+                    (Some(a), Some(b)) => {
+                        let mut m = a.clone();
+                        m.merge(b);
+                        Some(m)
+                    }
+                    _ => None,
+                })
+                .collect();
+            NodeEst {
+                cost: PlanCost {
+                    rows: l.cost.rows + r.cost.rows,
+                    row_bytes: l.cost.row_bytes,
+                    exec_secs: l.cost.exec_secs + r.cost.exec_secs + cycles / cm.freq_hz,
+                },
+                cols,
             }
         }
         PlanNode::Window { input, .. } => {
-            let c = estimate(input, catalog, p);
-            let cycles = c.rows
+            let c = estimate_node(input, catalog, p);
+            let cycles = c.cost.rows
                 * (cm.kernel_cycles(&costs::group_lookup_per_row())
                     + 2.0 * cm.kernel_cycles(&costs::radix_sort_per_row_per_pass()));
-            PlanCost {
-                rows: c.rows,
-                row_bytes: c.row_bytes + 8.0,
-                exec_secs: c.exec_secs + cycles / cm.freq_hz,
+            let mut cols = c.cols;
+            cols.push(None);
+            NodeEst {
+                cost: PlanCost {
+                    rows: c.cost.rows,
+                    row_bytes: c.cost.row_bytes + 8.0,
+                    exec_secs: c.cost.exec_secs + cycles / cm.freq_hz,
+                },
+                cols,
             }
         }
     }
+}
+
+/// Estimated output rows for every node of `plan`, indexed by the
+/// engine's pre-order node id (self before children; `HashJoin` recurses
+/// build then probe, `SetOp` left then right) — so `out[node_id]` lines
+/// up with the `node_id` on trace events for EXPLAIN ANALYZE's Q-error
+/// column.
+pub fn estimate_rows_per_node(plan: &PlanNode, catalog: &Catalog, p: &CostParams) -> Vec<f64> {
+    fn walk(plan: &PlanNode, catalog: &Catalog, p: &CostParams, out: &mut Vec<f64>) {
+        out.push(estimate_node(plan, catalog, p).cost.rows);
+        match plan {
+            PlanNode::Scan { .. } => {}
+            PlanNode::HashJoin { build, probe, .. } => {
+                walk(build, catalog, p, out);
+                walk(probe, catalog, p, out);
+            }
+            PlanNode::SetOp { left, right, .. } => {
+                walk(left, catalog, p, out);
+                walk(right, catalog, p, out);
+            }
+            PlanNode::Filter { input, .. }
+            | PlanNode::Map { input, .. }
+            | PlanNode::GroupBy { input, .. }
+            | PlanNode::TopK { input, .. }
+            | PlanNode::Sort { input, .. }
+            | PlanNode::Limit { input, .. }
+            | PlanNode::Window { input, .. } => walk(input, catalog, p, out),
+        }
+    }
+    let mut out = Vec::new();
+    walk(plan, catalog, p, &mut out);
+    out
 }
 
 /// Total offload cost: execution + result transfer + fixed latency — the
@@ -294,6 +572,165 @@ mod tests {
         let total = offload_cost(&scan(), &cat, &p);
         let exec = estimate(&scan(), &cat, &p).exec_secs;
         assert!(total > exec + p.offload_latency_secs - 1e-12);
+    }
+
+    #[test]
+    fn filter_costs_same_as_pushed_down_scan_pred() {
+        // Regression: Filter used a flat 0.5 while the same predicate
+        // pushed into the Scan went through the histogram estimator — the
+        // two placements must agree on output rows.
+        let p = CostParams::default();
+        let cat = catalog(10_000);
+        let pred = rapid_qef::expr::Pred::CmpConst {
+            col: 0,
+            op: rapid_qef::primitives::filter::CmpOp::Lt,
+            value: 2_500,
+        };
+        let pushed = PlanNode::Scan {
+            table: "t".into(),
+            columns: vec![0, 1],
+            pred: Some(pred.clone()),
+        };
+        let standalone = PlanNode::Filter {
+            input: Box::new(scan()),
+            pred,
+        };
+        let a = estimate(&pushed, &cat, &p);
+        let b = estimate(&standalone, &cat, &p);
+        assert!(
+            (a.rows - b.rows).abs() < 1e-9,
+            "pushed = {}, standalone = {}",
+            a.rows,
+            b.rows
+        );
+        // And the estimate tracks the data, not a constant fraction.
+        assert!((a.rows - 2_500.0).abs() < 300.0, "rows = {}", a.rows);
+    }
+
+    fn join(join_type: JoinType, build_key: usize, probe_key: usize) -> PlanNode {
+        PlanNode::HashJoin {
+            build: Box::new(scan()),
+            probe: Box::new(scan()),
+            build_keys: vec![build_key],
+            probe_keys: vec![probe_key],
+            join_type,
+            scheme: None,
+        }
+    }
+
+    #[test]
+    fn semi_and_anti_estimates_sum_to_probe_rows() {
+        let p = CostParams::default();
+        let cat = catalog(10_000);
+        // Key col 1 has NDV 10 on both sides: high containment, most
+        // probe rows match.
+        let semi = estimate(&join(JoinType::LeftSemi, 1, 1), &cat, &p);
+        let anti = estimate(&join(JoinType::LeftAnti, 1, 1), &cat, &p);
+        let probe = estimate(&scan(), &cat, &p);
+        assert!(
+            (semi.rows + anti.rows - probe.rows).abs() < 1e-6,
+            "semi {} + anti {} != probe {}",
+            semi.rows,
+            anti.rows,
+            probe.rows
+        );
+        assert!(semi.rows > anti.rows, "full-containment semi should win");
+    }
+
+    #[test]
+    fn inner_join_uses_ndv_containment() {
+        let p = CostParams::default();
+        let cat = catalog(10_000);
+        // Unique key (col 0, ndv = rows) on both sides: |L|·|R|/max(ndv)
+        // = rows — a key-key join, not the old bare probe-row passthrough
+        // (which this matches) ...
+        let pk = estimate(&join(JoinType::Inner, 0, 0), &cat, &p);
+        assert!((pk.rows - 10_000.0).abs() < 1.0, "rows = {}", pk.rows);
+        // ... while a low-NDV key (col 1, ndv 10) explodes to
+        // 10_000 · 10_000 / 10 — the case the old estimate missed by 6
+        // orders of magnitude.
+        let fanout = estimate(&join(JoinType::Inner, 1, 1), &cat, &p);
+        assert!(
+            (fanout.rows - 1.0e7).abs() < 1.0e5,
+            "rows = {}",
+            fanout.rows
+        );
+    }
+
+    #[test]
+    fn inner_join_falls_back_when_both_ndvs_unknown() {
+        let p = CostParams::default();
+        let cat = catalog(5_000);
+        // A computed key column has no derivable stats on either side.
+        let computed = |name: &str| PlanNode::Map {
+            input: Box::new(scan()),
+            exprs: vec![rapid_qef::plan::NamedExpr {
+                expr: rapid_qef::expr::Expr::Arith {
+                    op: rapid_qef::primitives::arith::ArithOp::Add,
+                    a: Box::new(rapid_qef::expr::Expr::Col(0)),
+                    b: Box::new(rapid_qef::expr::Expr::Lit(1)),
+                },
+                name: name.into(),
+                dtype: rapid_storage::types::DataType::Int,
+                scale: 0,
+                dict: None,
+            }],
+        };
+        let j = PlanNode::HashJoin {
+            build: Box::new(computed("a")),
+            probe: Box::new(computed("b")),
+            build_keys: vec![0],
+            probe_keys: vec![0],
+            join_type: JoinType::Inner,
+            scheme: None,
+        };
+        let c = estimate(&j, &cat, &p);
+        // Old behavior: probe rows.
+        assert!((c.rows - 5_000.0).abs() < 1e-6, "rows = {}", c.rows);
+    }
+
+    #[test]
+    fn groupby_groups_follow_key_ndv() {
+        let p = CostParams::default();
+        let cat = catalog(10_000);
+        let gb = PlanNode::GroupBy {
+            input: Box::new(scan()),
+            keys: vec![1], // v = i % 10, NDV 10
+            aggs: vec![rapid_qef::plan::AggSpec {
+                func: rapid_qef::primitives::agg::AggFunc::Count,
+                col: 0,
+            }],
+            strategy: GroupStrategy::Auto,
+        };
+        let c = estimate(&gb, &cat, &p);
+        assert!((c.rows - 10.0).abs() < 1e-6, "groups = {}", c.rows);
+    }
+
+    #[test]
+    fn per_node_estimates_follow_engine_preorder() {
+        let p = CostParams::default();
+        let cat = catalog(1_000);
+        let plan = PlanNode::HashJoin {
+            build: Box::new(scan()),
+            probe: Box::new(PlanNode::Filter {
+                input: Box::new(scan()),
+                pred: rapid_qef::expr::Pred::CmpConst {
+                    col: 0,
+                    op: rapid_qef::primitives::filter::CmpOp::Lt,
+                    value: 500,
+                },
+            }),
+            build_keys: vec![0],
+            probe_keys: vec![0],
+            join_type: JoinType::Inner,
+            scheme: None,
+        };
+        let est = estimate_rows_per_node(&plan, &cat, &p);
+        // Pre-order: join(0), build scan(1), probe filter(2), its scan(3).
+        assert_eq!(est.len(), 4);
+        assert_eq!(est[1], 1_000.0);
+        assert!((est[2] - 500.0).abs() < 100.0, "filter est = {}", est[2]);
+        assert_eq!(est[3], 1_000.0);
     }
 
     #[test]

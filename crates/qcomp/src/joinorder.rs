@@ -1,0 +1,811 @@
+//! Cost-based join-order search (ROADMAP item 2, "Cascades-lite").
+//!
+//! The seed compiler lowered joins in the order the query declared them
+//! (§5.2's "join order already fixed" reading); the only choice it made
+//! was the build side of each individual join. This pass rewrites
+//! maximal *inner-join chains* of a logical plan before lowering:
+//!
+//! 1. **Flatten**: consecutive `Join { join_type: Inner }` nodes become a
+//!    set of relations (the non-inner-join subtrees, themselves optimized
+//!    recursively) plus a set of binary equi-join edges (one per key
+//!    pair).
+//! 2. **Estimate**: each relation is lowered and run through the
+//!    cardinality estimator ([`crate::cost::estimate_node`]), so edge
+//!    selectivities come from key NDVs and set sizes from *estimated*
+//!    (post-predicate) rather than declared cardinalities.
+//! 3. **Enumerate**: a DP-over-subsets memo (bushy trees, connected
+//!    subsets only — no Cartesian products) minimizes the summed
+//!    [`join_cycles`] of every split — a scheme-aware mirror of what
+//!    `lower_join` and the simulator will actually charge: the
+//!    smaller-row side builds, the partition scheme is chosen from the
+//!    build size and widest row, and both sides pay the scheme's
+//!    partition rounds plus per-row join-kernel cycles. A greedy pairing
+//!    takes over past [`MAX_DP_RELATIONS`] relations. Iteration order and tie-breaking
+//!    are deterministic, so the chosen plan and the enumeration counters
+//!    are reproducible — the counters are gated in `bench_report`
+//!    (optd-style planning metrics).
+//! 4. **Reconstruct**: every edge is applied exactly once, at the lowest
+//!    join above both its endpoints (so cyclic join graphs like Q5's
+//!    customer–supplier nation edge stay correct). When the chain's
+//!    *positional* output layout is observable downstream (the chain is
+//!    the plan root, or feeds a `SetOp` through order-preserving
+//!    operators), it is wrapped in a name-preserving `Project` restoring
+//!    the original column order; under a `Project` or `Aggregate` —
+//!    which rebuild their output by name — the wrapper is skipped, since
+//!    it would cost a full-width materialization pass over the join
+//!    result for nothing.
+//!
+//! The pass is semantics-preserving for inner joins (commutative and
+//! associative over multisets; equi-edges never match NULLs regardless of
+//! the level they apply at) and bails to the original tree whenever its
+//! preconditions do not hold (duplicate column names across relations,
+//! unresolvable keys, self-edges, fewer than three relations).
+
+use rapid_qef::plan::{Catalog, JoinType};
+use rapid_qef::primitives::costs;
+
+use crate::compiler::{lower, CompileError, OutCol};
+use crate::cost::{estimate_node, CostParams, NodeEst};
+use crate::logical::{LExpr, LNamed, LogicalPlan};
+use crate::partition_opt::{optimize_partition_scheme, scheme_cost, PartitionOptInput};
+
+/// Relation count above which exhaustive DP yields to greedy pairing.
+pub const MAX_DP_RELATIONS: usize = 12;
+
+/// Deterministic counters from the join-order search, for planning-cost
+/// regression gating (`tpch/q*/optimize/*` in `bench_report`).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct OptimizeStats {
+    /// Relations in the largest inner-join chain considered.
+    pub join_relations: u32,
+    /// Memo entries materialized across all chains (DP subsets with a
+    /// feasible plan, or greedy components created).
+    pub memo_entries: u64,
+    /// Join combinations costed (DP splits plus greedy candidate pairs).
+    pub plans_considered: u64,
+    /// Chains whose join order changed from the declared one.
+    pub reordered: u32,
+}
+
+/// One equi-join edge between two relations of a flattened chain.
+#[derive(Debug, Clone)]
+struct Edge {
+    /// Relation index and column name on one side.
+    a: (usize, String),
+    /// Relation index and column name on the other side.
+    b: (usize, String),
+}
+
+/// A flattened chain relation: the logical subtree plus its lowered
+/// output columns and cardinality estimate.
+struct Rel {
+    lp: LogicalPlan,
+    cols: Vec<OutCol>,
+    est: NodeEst,
+}
+
+/// Rewrite all maximal inner-join chains of `lp` into cost-chosen orders.
+/// Returns the (possibly unchanged) plan and the enumeration counters.
+pub fn reorder(
+    lp: &LogicalPlan,
+    catalog: &Catalog,
+    params: &CostParams,
+) -> (LogicalPlan, OptimizeStats) {
+    let mut stats = OptimizeStats::default();
+    // The root's positional layout IS the query's output layout.
+    let out = rewrite(lp, catalog, params, &mut stats, true);
+    (out, stats)
+}
+
+/// Recursively rewrite: inner-join roots become reordered chains, every
+/// other node keeps its shape with rewritten children.
+///
+/// `positional` tracks whether this node's *column order* (not just its
+/// column names) is observable from above: true at the plan root and
+/// below `SetOp` (positional semantics), passed through order-preserving
+/// operators (`Filter`/`Sort`/`Limit`/`Window`/outer `Join`), and reset
+/// under `Project`/`Aggregate`, which rebuild their output by name. A
+/// reordered chain only needs its order-restoring `Project` wrapper when
+/// `positional` is set.
+fn rewrite(
+    lp: &LogicalPlan,
+    catalog: &Catalog,
+    params: &CostParams,
+    stats: &mut OptimizeStats,
+    positional: bool,
+) -> LogicalPlan {
+    match lp {
+        LogicalPlan::Join {
+            join_type: JoinType::Inner,
+            ..
+        } => reorder_chain(lp, catalog, params, stats, positional),
+        LogicalPlan::Scan { .. } => lp.clone(),
+        LogicalPlan::Filter { input, pred } => LogicalPlan::Filter {
+            input: Box::new(rewrite(input, catalog, params, stats, positional)),
+            pred: pred.clone(),
+        },
+        LogicalPlan::Project { input, exprs } => LogicalPlan::Project {
+            input: Box::new(rewrite(input, catalog, params, stats, false)),
+            exprs: exprs.clone(),
+        },
+        LogicalPlan::Join {
+            left,
+            right,
+            left_keys,
+            right_keys,
+            join_type,
+        } => LogicalPlan::Join {
+            left: Box::new(rewrite(left, catalog, params, stats, positional)),
+            right: Box::new(rewrite(right, catalog, params, stats, positional)),
+            left_keys: left_keys.clone(),
+            right_keys: right_keys.clone(),
+            join_type: *join_type,
+        },
+        LogicalPlan::Aggregate {
+            input,
+            group_by,
+            aggs,
+        } => LogicalPlan::Aggregate {
+            input: Box::new(rewrite(input, catalog, params, stats, false)),
+            group_by: group_by.clone(),
+            aggs: aggs.clone(),
+        },
+        LogicalPlan::Sort { input, order } => LogicalPlan::Sort {
+            input: Box::new(rewrite(input, catalog, params, stats, positional)),
+            order: order.clone(),
+        },
+        LogicalPlan::Limit { input, n } => LogicalPlan::Limit {
+            input: Box::new(rewrite(input, catalog, params, stats, positional)),
+            n: *n,
+        },
+        LogicalPlan::SetOp { left, right, op } => LogicalPlan::SetOp {
+            left: Box::new(rewrite(left, catalog, params, stats, true)),
+            right: Box::new(rewrite(right, catalog, params, stats, true)),
+            op: *op,
+        },
+        LogicalPlan::Window {
+            input,
+            func,
+            partition_by,
+            order_by,
+            name,
+        } => LogicalPlan::Window {
+            input: Box::new(rewrite(input, catalog, params, stats, positional)),
+            func: func.clone(),
+            partition_by: partition_by.clone(),
+            order_by: order_by.clone(),
+            name: name.clone(),
+        },
+    }
+}
+
+/// Flatten the inner-join chain rooted at `lp` into relations + edges.
+/// Relations are rewritten recursively as they are collected.
+fn flatten(
+    lp: &LogicalPlan,
+    catalog: &Catalog,
+    params: &CostParams,
+    stats: &mut OptimizeStats,
+    positional: bool,
+    rels: &mut Vec<LogicalPlan>,
+    raw_edges: &mut Vec<(String, String)>,
+) {
+    match lp {
+        LogicalPlan::Join {
+            left,
+            right,
+            left_keys,
+            right_keys,
+            join_type: JoinType::Inner,
+        } => {
+            flatten(left, catalog, params, stats, positional, rels, raw_edges);
+            flatten(right, catalog, params, stats, positional, rels, raw_edges);
+            for (lk, rk) in left_keys.iter().zip(right_keys.iter()) {
+                raw_edges.push((lk.clone(), rk.clone()));
+            }
+        }
+        // Relations inherit `positional`: if this chain ends up in
+        // declared order (no restoring wrapper), their own layout is
+        // still observable through the chain's concatenated output.
+        other => rels.push(rewrite(other, catalog, params, stats, positional)),
+    }
+}
+
+/// Reorder one inner-join chain; returns the original subtree (rewritten
+/// children included) when any precondition fails or the chosen order is
+/// the declared one.
+fn reorder_chain(
+    lp: &LogicalPlan,
+    catalog: &Catalog,
+    params: &CostParams,
+    stats: &mut OptimizeStats,
+    positional: bool,
+) -> LogicalPlan {
+    let mut rel_plans = Vec::new();
+    let mut raw_edges = Vec::new();
+    flatten(
+        lp,
+        catalog,
+        params,
+        stats,
+        positional,
+        &mut rel_plans,
+        &mut raw_edges,
+    );
+
+    // Fallback tree: same chain, declared order, children rewritten.
+    let fallback = |rel_plans: Vec<LogicalPlan>| -> LogicalPlan {
+        rebuild_declared(lp, &mut rel_plans.into_iter())
+    };
+
+    let n = rel_plans.len();
+    // Below 3 relations only the build side can vary, and `lower_join`
+    // already picks that; above 32 the bitmask representation runs out.
+    if !(3..=32).contains(&n) {
+        return fallback(rel_plans);
+    }
+
+    // Lower every relation for output names and estimates.
+    let rels: Vec<Rel> = match rel_plans
+        .iter()
+        .map(|r| -> Result<Rel, CompileError> {
+            let (plan, cols) = lower(r, catalog, params)?;
+            let est = estimate_node(&plan, catalog, params);
+            Ok(Rel {
+                lp: r.clone(),
+                cols,
+                est,
+            })
+        })
+        .collect()
+    {
+        Ok(v) => v,
+        Err(_) => return fallback(rel_plans),
+    };
+
+    // Global name resolution; bail on duplicates (ambiguous restore).
+    let mut by_name: std::collections::HashMap<&str, (usize, usize)> =
+        std::collections::HashMap::new();
+    for (ri, r) in rels.iter().enumerate() {
+        for (ci, c) in r.cols.iter().enumerate() {
+            if by_name.insert(c.name.as_str(), (ri, ci)).is_some() {
+                return fallback(rel_plans);
+            }
+        }
+    }
+
+    let mut edges = Vec::with_capacity(raw_edges.len());
+    for (a, b) in &raw_edges {
+        let (Some(&(ra, _)), Some(&(rb, _))) = (by_name.get(a.as_str()), by_name.get(b.as_str()))
+        else {
+            return fallback(rel_plans);
+        };
+        if ra == rb {
+            return fallback(rel_plans);
+        }
+        edges.push(Edge {
+            a: (ra, a.clone()),
+            b: (rb, b.clone()),
+        });
+    }
+
+    stats.join_relations = stats.join_relations.max(n as u32);
+
+    // Per-edge selectivity from key NDVs (capped by estimated rows).
+    let edge_sel: Vec<f64> = edges
+        .iter()
+        .map(|e| {
+            let ndv = |(ri, name): &(usize, String)| -> Option<f64> {
+                let r = &rels[*ri];
+                let ci = r.cols.iter().position(|c| &c.name == name)?;
+                r.est.col_ndv(ci)
+            };
+            match (ndv(&e.a), ndv(&e.b)) {
+                (Some(x), Some(y)) => 1.0 / x.max(y).max(1.0),
+                (Some(x), None) | (None, Some(x)) => 1.0 / x.max(1.0),
+                (None, None) => {
+                    let ra = rels[e.a.0].est.cost.rows;
+                    let rb = rels[e.b.0].est.cost.rows;
+                    1.0 / ra.max(rb).max(1.0)
+                }
+            }
+        })
+        .collect();
+
+    let order = if n <= MAX_DP_RELATIONS {
+        dp_order(&rels, &edges, &edge_sel, params, stats)
+    } else {
+        greedy_order(&rels, &edges, &edge_sel, params, stats)
+    };
+    let Some(tree) = order else {
+        return fallback(rel_plans);
+    };
+
+    // Materialize the join tree; bail out unchanged if the search landed
+    // on the declared order.
+    let new_chain = build_tree(&tree, &rels, &edges);
+    let declared = fallback(rel_plans);
+    if new_chain == declared {
+        return declared;
+    }
+    stats.reordered += 1;
+
+    // Only pay for an order-restoring projection when the chain's
+    // positional layout is observable downstream; under a `Project` or
+    // `Aggregate` the parent resolves columns by name anyway, and the
+    // wrapper would materialize a full-width copy of the join result.
+    if !positional {
+        return new_chain;
+    }
+    let restore: Vec<LNamed> = rels
+        .iter()
+        .flat_map(|r| r.cols.iter())
+        .map(|c| LNamed::new(&c.name, LExpr::col(&c.name)))
+        .collect();
+    LogicalPlan::Project {
+        input: Box::new(new_chain),
+        exprs: restore,
+    }
+}
+
+/// Rebuild the chain skeleton of `lp` with relations drawn in order from
+/// `rels` (used for the unchanged/declared-order result so rewritten
+/// children are kept).
+fn rebuild_declared(lp: &LogicalPlan, rels: &mut impl Iterator<Item = LogicalPlan>) -> LogicalPlan {
+    match lp {
+        LogicalPlan::Join {
+            left,
+            right,
+            left_keys,
+            right_keys,
+            join_type: JoinType::Inner,
+        } => {
+            let l = rebuild_declared(left, rels);
+            let r = rebuild_declared(right, rels);
+            LogicalPlan::Join {
+                left: Box::new(l),
+                right: Box::new(r),
+                left_keys: left_keys.clone(),
+                right_keys: right_keys.clone(),
+                join_type: JoinType::Inner,
+            }
+        }
+        _ => rels.next().expect("chain shape matches flatten"),
+    }
+}
+
+/// A join tree over relation indices: leaf or (left, right) pair.
+#[derive(Debug, Clone)]
+enum Tree {
+    Leaf(usize),
+    Node(Box<Tree>, Box<Tree>),
+}
+
+impl Tree {
+    fn mask(&self) -> u32 {
+        match self {
+            Tree::Leaf(i) => 1u32 << i,
+            Tree::Node(l, r) => l.mask() | r.mask(),
+        }
+    }
+
+    /// Lowest relation index in the tree (deterministic orientation).
+    fn min_rel(&self) -> usize {
+        self.mask().trailing_zeros() as usize
+    }
+}
+
+/// Estimated *bytes* of the join of the relations in `mask`: cardinality
+/// (product of relation rows times the selectivity of every edge internal
+/// to the mask) scaled by the concatenated payload width. Rows alone
+/// mislead the search on a DPU: the simulator charges partitioning and
+/// DMS transfers by bytes moved, so a small-but-wide dimension join glued
+/// on early taxes every later join with its payload. Split-independent,
+/// so the memo stores one value per subset.
+fn mask_est(mask: u32, rels: &[Rel], edges: &[Edge], edge_sel: &[f64]) -> (f64, f64) {
+    let mut rows = 1.0f64;
+    let mut width = 0.0f64;
+    for (i, r) in rels.iter().enumerate() {
+        if mask & (1 << i) != 0 {
+            rows *= r.est.cost.rows.max(1.0);
+            width += r.est.cost.row_bytes.max(1.0);
+        }
+    }
+    // Edges between the same relation pair are the key columns of ONE
+    // composite-key join (e.g. lineitem⋈partsupp on partkey AND
+    // suppkey); their selectivities are correlated, not independent, so
+    // multiplying them flat undercounts the join by orders of magnitude
+    // and makes a non-reducing join look like a great first step. Apply
+    // the same exponential backoff as `containment_rows` within each
+    // pair (BTreeMap for a deterministic accumulation order), and treat
+    // distinct pairs as independent.
+    let mut per_pair: std::collections::BTreeMap<(usize, usize), Vec<f64>> =
+        std::collections::BTreeMap::new();
+    for (e, &s) in edges.iter().zip(edge_sel) {
+        if mask & (1 << e.a.0) != 0 && mask & (1 << e.b.0) != 0 {
+            let pair = (e.a.0.min(e.b.0), e.a.0.max(e.b.0));
+            per_pair.entry(pair).or_default().push(s);
+        }
+    }
+    for sels in per_pair.values_mut() {
+        sels.sort_by(|x, y| x.total_cmp(y));
+        let mut exp = 1.0f64;
+        for &s in sels.iter() {
+            rows *= s.powf(exp);
+            exp *= 0.5;
+        }
+    }
+    (rows.max(1.0), width.max(1.0))
+}
+
+/// Estimated cycles to hash-join two subsets, mirroring `lower_join` and
+/// the engine: the smaller-row side builds, the partition scheme is
+/// chosen from the build size and the *widest* row (exactly the inputs
+/// `lower_join` feeds [`optimize_partition_scheme`]), and BOTH sides
+/// then stream through that scheme's partition rounds — so a wide build
+/// that forces a deeper scheme correctly taxes a large probe, which is
+/// the dominant simulator cost the plain bytes objective misses.
+fn join_cycles(params: &CostParams, a: (f64, f64), b: (f64, f64)) -> f64 {
+    let cm = &params.cm;
+    let ((build_rows, build_width), (probe_rows, probe_width)) =
+        if a.0 <= b.0 { (a, b) } else { (b, a) };
+    let row_bytes = (a.1.max(b.1) as usize).max(8);
+    let buffer_cap = rapid_qef::budget::max_buffered_fanout(row_bytes, params.dmem_bytes);
+    let scheme = optimize_partition_scheme(
+        cm,
+        &PartitionOptInput {
+            rows: (build_rows as u64).max(1),
+            row_bytes,
+            dmem_bytes: params.dmem_bytes,
+            cores: params.cores,
+            max_round_fanout: buffer_cap.min(1024),
+        },
+    );
+    let side = |rows: f64, width: f64| PartitionOptInput {
+        rows: (rows as u64).max(1),
+        row_bytes: (width as usize).max(8),
+        dmem_bytes: params.dmem_bytes,
+        cores: params.cores,
+        max_round_fanout: buffer_cap.min(1024),
+    };
+    let partition = scheme_cost(cm, &side(build_rows, build_width), &scheme.rounds)
+        + scheme_cost(cm, &side(probe_rows, probe_width), &scheme.rounds);
+    let kernels = (build_rows * cm.kernel_cycles(&costs::join_build_per_row())
+        + probe_rows
+            * (cm.kernel_cycles(&costs::join_probe_per_row())
+                + cm.kernel_cycles(&costs::join_probe_per_link())))
+        / params.cores as f64;
+    partition + kernels
+}
+
+/// Exhaustive DP over connected subsets (bushy, byte-weighted C_out).
+fn dp_order(
+    rels: &[Rel],
+    edges: &[Edge],
+    edge_sel: &[f64],
+    params: &CostParams,
+    stats: &mut OptimizeStats,
+) -> Option<Tree> {
+    let n = rels.len();
+    let full: u32 = (1u32 << n) - 1;
+
+    #[derive(Clone)]
+    struct Entry {
+        cost: f64,
+        split: Option<(u32, u32)>,
+    }
+    let mut memo: Vec<Option<Entry>> = vec![None; (full as usize) + 1];
+    for i in 0..n {
+        memo[1 << i] = Some(Entry {
+            cost: 0.0,
+            split: None,
+        });
+    }
+    let crosses = |sub: u32, comp: u32| -> bool {
+        edges.iter().any(|e| {
+            let (ma, mb) = (1u32 << e.a.0, 1u32 << e.b.0);
+            (sub & ma != 0 && comp & mb != 0) || (sub & mb != 0 && comp & ma != 0)
+        })
+    };
+
+    // Memoize every subset's (rows, width) estimate up front: the split
+    // cost below needs both sides' sizes, not just the union's.
+    let est: Vec<(f64, f64)> = (0..=full as usize)
+        .map(|m| mask_est(m as u32, rels, edges, edge_sel))
+        .collect();
+
+    for mask in 1..=full {
+        if mask.count_ones() < 2 {
+            continue;
+        }
+        let low = mask & mask.wrapping_neg();
+        let rest = mask ^ low;
+        // Enumerate proper subsets containing the lowest bit (each
+        // unordered split visited once), ascending for determinism:
+        // `r` walks the subsets of `rest` in increasing numeric order.
+        let mut r = 0u32;
+        let mut best: Option<Entry> = None;
+        loop {
+            let sub = low | r;
+            let comp = mask ^ sub;
+            if comp != 0 {
+                if let (Some(a), Some(b)) = (&memo[sub as usize], &memo[comp as usize]) {
+                    if crosses(sub, comp) {
+                        stats.plans_considered += 1;
+                        let cost = a.cost
+                            + b.cost
+                            + join_cycles(params, est[sub as usize], est[comp as usize]);
+                        if best.as_ref().is_none_or(|e| cost < e.cost) {
+                            best = Some(Entry {
+                                cost,
+                                split: Some((sub, comp)),
+                            });
+                        }
+                    }
+                }
+            }
+            if r == rest {
+                break;
+            }
+            r = r.wrapping_sub(rest) & rest;
+        }
+        if best.is_some() {
+            memo[mask as usize] = best;
+            stats.memo_entries += 1;
+        }
+    }
+
+    memo[full as usize].as_ref()?;
+    fn extract(mask: u32, memo: &[Option<Entry>]) -> Tree {
+        let e = memo[mask as usize].as_ref().expect("reachable mask");
+        match e.split {
+            None => Tree::Leaf(mask.trailing_zeros() as usize),
+            Some((a, b)) => {
+                let (l, r) = (extract(a, memo), extract(b, memo));
+                // Deterministic orientation: lowest relation goes left.
+                if l.min_rel() <= r.min_rel() {
+                    Tree::Node(Box::new(l), Box::new(r))
+                } else {
+                    Tree::Node(Box::new(r), Box::new(l))
+                }
+            }
+        }
+    }
+    Some(extract(full, &memo))
+}
+
+/// Greedy pairing for chains too wide for exhaustive DP: repeatedly join
+/// the connected component pair with the smallest estimated output bytes.
+fn greedy_order(
+    rels: &[Rel],
+    edges: &[Edge],
+    edge_sel: &[f64],
+    params: &CostParams,
+    stats: &mut OptimizeStats,
+) -> Option<Tree> {
+    let mut comps: Vec<Tree> = (0..rels.len()).map(Tree::Leaf).collect();
+    while comps.len() > 1 {
+        let mut best: Option<(f64, usize, usize)> = None;
+        for i in 0..comps.len() {
+            for j in (i + 1)..comps.len() {
+                let crossing = edges.iter().any(|e| {
+                    let (ma, mb) = (1u32 << e.a.0, 1u32 << e.b.0);
+                    (comps[i].mask() & ma != 0 && comps[j].mask() & mb != 0)
+                        || (comps[i].mask() & mb != 0 && comps[j].mask() & ma != 0)
+                });
+                if !crossing {
+                    continue;
+                }
+                stats.plans_considered += 1;
+                let cost = join_cycles(
+                    params,
+                    mask_est(comps[i].mask(), rels, edges, edge_sel),
+                    mask_est(comps[j].mask(), rels, edges, edge_sel),
+                );
+                if best.is_none_or(|(c, _, _)| cost < c) {
+                    best = Some((cost, i, j));
+                }
+            }
+        }
+        let (_, i, j) = best?; // disconnected graph: bail
+        let r = comps.remove(j);
+        let l = comps.remove(i);
+        let node = if l.min_rel() <= r.min_rel() {
+            Tree::Node(Box::new(l), Box::new(r))
+        } else {
+            Tree::Node(Box::new(r), Box::new(l))
+        };
+        comps.push(node);
+        stats.memo_entries += 1;
+    }
+    comps.pop()
+}
+
+/// Materialize a `Tree` into `LogicalPlan::Join` nodes. Every edge whose
+/// endpoints land on opposite sides of a node is applied at that node (its
+/// LCA), so each edge is used exactly once.
+fn build_tree(tree: &Tree, rels: &[Rel], edges: &[Edge]) -> LogicalPlan {
+    match tree {
+        Tree::Leaf(i) => rels[*i].lp.clone(),
+        Tree::Node(l, r) => {
+            let (lm, rm) = (l.mask(), r.mask());
+            let mut left_keys = Vec::new();
+            let mut right_keys = Vec::new();
+            for e in edges {
+                let (ma, mb) = (1u32 << e.a.0, 1u32 << e.b.0);
+                if lm & ma != 0 && rm & mb != 0 {
+                    left_keys.push(e.a.1.clone());
+                    right_keys.push(e.b.1.clone());
+                } else if lm & mb != 0 && rm & ma != 0 {
+                    left_keys.push(e.b.1.clone());
+                    right_keys.push(e.a.1.clone());
+                }
+            }
+            debug_assert!(!left_keys.is_empty(), "split without crossing edge");
+            LogicalPlan::Join {
+                left: Box::new(build_tree(l, rels, edges)),
+                right: Box::new(build_tree(r, rels, edges)),
+                left_keys,
+                right_keys,
+                join_type: JoinType::Inner,
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rapid_storage::schema::{Field, Schema};
+    use rapid_storage::table::TableBuilder;
+    use rapid_storage::types::{DataType, Value};
+    use std::sync::Arc;
+
+    /// Catalog: two large tables with a low-NDV pair key and a small one
+    /// keyed to `big1`'s unique id — the selective join the declared
+    /// order does last.
+    fn catalog() -> Catalog {
+        let mut c = Catalog::new();
+        let mut add = |name: &str, prefix: &str, rows: i64, kmod: i64| {
+            let schema = Schema::new(vec![
+                Field::new(format!("{prefix}_id"), DataType::Int),
+                Field::new(format!("{prefix}_k"), DataType::Int),
+            ]);
+            let mut b = TableBuilder::new(name, schema);
+            for i in 0..rows {
+                b.push_row(vec![Value::Int(i), Value::Int(i % kmod)]);
+            }
+            c.insert(name.into(), Arc::new(b.finish()));
+        };
+        add("big1", "x", 10_000, 10);
+        add("big2", "y", 10_000, 10);
+        add("small", "z", 50, 50);
+        c
+    }
+
+    /// Declared order: the exploding (big1 ⋈ big2) pair first.
+    fn chain() -> LogicalPlan {
+        LogicalPlan::scan("big1")
+            .join(LogicalPlan::scan("big2"), &["x_k"], &["y_k"])
+            .join(LogicalPlan::scan("small"), &["x_id"], &["z_id"])
+    }
+
+    fn shape(lp: &LogicalPlan) -> String {
+        match lp {
+            LogicalPlan::Scan { table, .. } => table.clone(),
+            LogicalPlan::Join { left, right, .. } => {
+                format!("({}⋈{})", shape(left), shape(right))
+            }
+            LogicalPlan::Project { input, .. } => shape(input),
+            _ => "?".into(),
+        }
+    }
+
+    #[test]
+    fn selective_join_moves_first() {
+        let cat = catalog();
+        let p = CostParams::default();
+        let (out, stats) = reorder(&chain(), &cat, &p);
+        assert_eq!(stats.join_relations, 3);
+        assert_eq!(stats.reordered, 1);
+        assert!(stats.plans_considered > 0);
+        assert!(stats.memo_entries > 0);
+        assert_eq!(shape(&out), "((big1⋈small)⋈big2)");
+    }
+
+    #[test]
+    fn search_is_deterministic() {
+        let cat = catalog();
+        let p = CostParams::default();
+        let (a, sa) = reorder(&chain(), &cat, &p);
+        let (b, sb) = reorder(&chain(), &cat, &p);
+        assert_eq!(a, b);
+        assert_eq!(sa, sb);
+    }
+
+    #[test]
+    fn reordering_preserves_output_columns() {
+        let cat = catalog();
+        let on = CostParams::default();
+        let off = CostParams {
+            reorder_joins: false,
+            ..CostParams::default()
+        };
+        let c_on = crate::compiler::compile(&chain(), &cat, &on).unwrap();
+        let c_off = crate::compiler::compile(&chain(), &cat, &off).unwrap();
+        let names = |c: &crate::compiler::Compiled| -> Vec<String> {
+            c.output.iter().map(|o| o.name.clone()).collect()
+        };
+        assert_eq!(names(&c_on), names(&c_off));
+    }
+
+    #[test]
+    fn disabled_flag_keeps_declared_order() {
+        let cat = catalog();
+        let off = CostParams {
+            reorder_joins: false,
+            ..CostParams::default()
+        };
+        let c = crate::compiler::compile(&chain(), &cat, &off).unwrap();
+        assert_eq!(c.optimize, OptimizeStats::default());
+    }
+
+    #[test]
+    fn duplicate_column_names_bail_to_declared_order() {
+        let mut cat = catalog();
+        // A second table with big1's exact column names.
+        let schema = Schema::new(vec![
+            Field::new("x_id", DataType::Int),
+            Field::new("x_k", DataType::Int),
+        ]);
+        let mut b = TableBuilder::new("dup", schema);
+        for i in 0..10i64 {
+            b.push_row(vec![Value::Int(i), Value::Int(i)]);
+        }
+        cat.insert("dup".into(), Arc::new(b.finish()));
+        let lp = LogicalPlan::scan("big1")
+            .join(LogicalPlan::scan("big2"), &["x_k"], &["y_k"])
+            .join(LogicalPlan::scan("dup"), &["x_id"], &["x_id"]);
+        let (out, stats) = reorder(&lp, &cat, &CostParams::default());
+        assert_eq!(stats.reordered, 0);
+        assert_eq!(out, lp);
+    }
+
+    #[test]
+    fn two_relation_joins_are_left_alone() {
+        let cat = catalog();
+        let lp = LogicalPlan::scan("big1").join(LogicalPlan::scan("small"), &["x_id"], &["z_id"]);
+        let (out, stats) = reorder(&lp, &cat, &CostParams::default());
+        assert_eq!(stats.reordered, 0);
+        assert_eq!(out, lp);
+    }
+
+    #[test]
+    fn cyclic_edges_each_apply_once() {
+        // big1–big2 (pair key), big1–small, big2–small: a 3-cycle. Every
+        // edge must appear exactly once across the rebuilt join tree.
+        let cat = catalog();
+        let lp = LogicalPlan::scan("big1")
+            .join(LogicalPlan::scan("big2"), &["x_k"], &["y_k"])
+            .join(
+                LogicalPlan::scan("small"),
+                &["x_id", "y_id"],
+                &["z_id", "z_k"],
+            );
+        let (out, stats) = reorder(&lp, &cat, &CostParams::default());
+        assert_eq!(stats.join_relations, 3);
+        fn count_keys(lp: &LogicalPlan) -> usize {
+            match lp {
+                LogicalPlan::Join {
+                    left,
+                    right,
+                    left_keys,
+                    ..
+                } => left_keys.len() + count_keys(left) + count_keys(right),
+                LogicalPlan::Project { input, .. } => count_keys(input),
+                _ => 0,
+            }
+        }
+        assert_eq!(count_keys(&out), 3, "shape: {}", shape(&out));
+    }
+}

@@ -876,45 +876,56 @@ fn empty_with_layout(meta: &[ColMeta]) -> Batch {
 /// most-selective-first ordering and by the compiler's cost model; coarse
 /// is fine).
 pub fn estimate_selectivity(pred: &Pred, stats: &rapid_storage::stats::TableStats) -> f64 {
+    let cols: Vec<Option<&ColumnStats>> = stats.columns.iter().map(Some).collect();
+    estimate_selectivity_cols(pred, &cols)
+}
+
+/// Core of [`estimate_selectivity`] over a positional slice of (possibly
+/// missing) column stats, so the compiler's cost model can feed it
+/// *derived* per-node stats — a Filter above a join sees the surviving
+/// columns, not a base table. `None` entries (computed/unknown columns)
+/// take the same coarse defaults as a missing table column.
+pub fn estimate_selectivity_cols(pred: &Pred, cols: &[Option<&ColumnStats>]) -> f64 {
     use crate::primitives::filter::CmpOp;
-    let col_stats = |c: usize| -> Option<&ColumnStats> { stats.columns.get(c) };
+    let col_stats = |c: usize| -> Option<&ColumnStats> { cols.get(c).copied().flatten() };
     match pred {
         Pred::CmpConst { col, op, value } => {
             let Some(s) = col_stats(*col) else { return 0.5 };
-            match op {
-                CmpOp::Eq => s.eq_selectivity(),
-                CmpOp::Ne => 1.0 - s.eq_selectivity(),
-                CmpOp::Lt | CmpOp::Le => s.range_selectivity(None, Some(*value)),
-                CmpOp::Gt | CmpOp::Ge => s.range_selectivity(Some(*value), None),
-            }
+            // Comparisons are false on NULL, so scale the non-null-row
+            // fraction the histogram models by the non-null fraction.
+            let not_null = 1.0 - s.null_fraction();
+            not_null
+                * match op {
+                    CmpOp::Eq => s.eq_selectivity(),
+                    CmpOp::Ne => 1.0 - s.eq_selectivity(),
+                    CmpOp::Lt | CmpOp::Le => s.range_selectivity(None, Some(*value)),
+                    CmpOp::Gt | CmpOp::Ge => s.range_selectivity(Some(*value), None),
+                }
         }
-        Pred::Between { col, lo, hi } => {
-            col_stats(*col).map_or(0.25, |s| s.range_selectivity(Some(*lo), Some(*hi)))
-        }
+        Pred::Between { col, lo, hi } => col_stats(*col).map_or(0.25, |s| {
+            (1.0 - s.null_fraction()) * s.range_selectivity(Some(*lo), Some(*hi))
+        }),
         Pred::InCodes { col, codes } => {
             let Some(s) = col_stats(*col) else { return 0.3 };
-            (codes.count_ones() as f64 * s.eq_selectivity()).min(1.0)
+            (1.0 - s.null_fraction()) * (codes.count_ones() as f64 * s.eq_selectivity()).min(1.0)
         }
         Pred::InList { col, values } => {
             let Some(s) = col_stats(*col) else { return 0.3 };
-            (values.len() as f64 * s.eq_selectivity()).min(1.0)
+            (1.0 - s.null_fraction()) * (values.len() as f64 * s.eq_selectivity()).min(1.0)
         }
-        Pred::And(ps) => ps.iter().map(|p| estimate_selectivity(p, stats)).product(),
+        Pred::And(ps) => ps
+            .iter()
+            .map(|p| estimate_selectivity_cols(p, cols))
+            .product(),
         Pred::Or(ps) => {
             let mut none = 1.0;
             for p in ps {
-                none *= 1.0 - estimate_selectivity(p, stats);
+                none *= 1.0 - estimate_selectivity_cols(p, cols);
             }
             1.0 - none
         }
-        Pred::Not(p) => 1.0 - estimate_selectivity(p, stats),
-        Pred::NotNull { col } => col_stats(*col).map_or(0.9, |s| {
-            if stats.rows == 0 {
-                1.0
-            } else {
-                1.0 - s.null_count as f64 / stats.rows as f64
-            }
-        }),
+        Pred::Not(p) => 1.0 - estimate_selectivity_cols(p, cols),
+        Pred::NotNull { col } => col_stats(*col).map_or(0.9, |s| 1.0 - s.null_fraction()),
         Pred::CmpCols { .. } | Pred::CmpExpr { .. } => 0.3,
         Pred::Const(b) => {
             if *b {

@@ -11,6 +11,9 @@ use serde::{Deserialize, Serialize};
 /// Number of buckets in the equi-width histograms.
 pub const HISTOGRAM_BUCKETS: usize = 64;
 
+/// Number of buckets in the equi-depth histograms (quantile boundaries).
+pub const EQUIDEPTH_BUCKETS: usize = 32;
+
 /// Statistics for one column.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct ColumnStats {
@@ -24,6 +27,12 @@ pub struct ColumnStats {
     pub null_count: u64,
     /// Equi-width histogram over `[min, max]` of non-null values.
     pub histogram: Vec<u64>,
+    /// Equi-depth histogram: `EQUIDEPTH_BUCKETS + 1` sorted quantile
+    /// boundaries over the non-null values (first = min, last = max).
+    /// Empty for all-null/empty columns and for stats serialized before
+    /// this field existed.
+    #[serde(default)]
+    pub bounds: Vec<i64>,
 }
 
 impl ColumnStats {
@@ -43,6 +52,7 @@ impl ColumnStats {
             distinct.insert(v);
         }
         let mut histogram = vec![0u64; HISTOGRAM_BUCKETS];
+        let mut non_null: Vec<i64> = Vec::with_capacity(values.len());
         if let (Some(lo), Some(hi)) = (min, max) {
             let span = (hi as i128 - lo as i128).max(1) as f64;
             for (i, &v) in values.iter().enumerate() {
@@ -52,14 +62,17 @@ impl ColumnStats {
                 let b = (((v as i128 - lo as i128) as f64 / span) * (HISTOGRAM_BUCKETS - 1) as f64)
                     .round() as usize;
                 histogram[b.min(HISTOGRAM_BUCKETS - 1)] += 1;
+                non_null.push(v);
             }
         }
+        non_null.sort_unstable();
         ColumnStats {
             min,
             max,
             ndv: distinct.len() as u64,
             null_count,
             histogram,
+            bounds: equi_depth_bounds(&non_null),
         }
     }
 
@@ -80,11 +93,66 @@ impl ColumnStats {
         for (h, o) in self.histogram.iter_mut().zip(&other.histogram) {
             *h += o;
         }
+        // Quantiles of a union cannot be recovered from the partition
+        // quantiles exactly; re-sample the pooled boundary points. This is
+        // an approximation (partition sizes are not weighted), in the same
+        // spirit as the NDV-by-max lower bound above.
+        if self.bounds.is_empty() {
+            self.bounds = other.bounds.clone();
+        } else if !other.bounds.is_empty() {
+            let mut pooled: Vec<i64> = self
+                .bounds
+                .iter()
+                .chain(other.bounds.iter())
+                .copied()
+                .collect();
+            pooled.sort_unstable();
+            self.bounds = equi_depth_bounds(&pooled);
+        }
     }
 
-    /// Estimated selectivity of `value <op> bound` style range predicates
-    /// using the histogram: fraction of rows in `[lo, hi]` (inclusive,
-    /// widened domain).
+    /// Fraction of rows that are NULL (0.0 when the column is empty).
+    pub fn null_fraction(&self) -> f64 {
+        let non_null: u64 = self.histogram.iter().sum();
+        let total = non_null + self.null_count;
+        if total == 0 {
+            0.0
+        } else {
+            self.null_count as f64 / total as f64
+        }
+    }
+
+    /// Empirical distribution function from the equi-depth bounds:
+    /// estimated fraction of non-null values `<= x`. Requires non-empty
+    /// `bounds`.
+    fn edf(&self, x: i64) -> f64 {
+        let b = &self.bounds;
+        let nb = b.len() - 1;
+        if nb == 0 {
+            return if x >= b[0] { 1.0 } else { 0.0 };
+        }
+        if x < b[0] {
+            return 0.0;
+        }
+        if x >= b[nb] {
+            return 1.0;
+        }
+        let i = b.partition_point(|&q| q <= x) - 1;
+        let lo = b[i] as f64;
+        let hi = b[i + 1] as f64;
+        let fr = if hi > lo {
+            (x as f64 - lo) / (hi - lo)
+        } else {
+            1.0
+        };
+        (i as f64 + fr) / nb as f64
+    }
+
+    /// Estimated selectivity of `value <op> bound` style range predicates:
+    /// fraction of non-null rows in `[lo, hi]` (inclusive, widened
+    /// domain). Prefers the equi-depth histogram (rank interpolation,
+    /// robust to skew and outlier-stretched domains) and falls back to the
+    /// equi-width one for stats that predate `bounds`.
     pub fn range_selectivity(&self, lo: Option<i64>, hi: Option<i64>) -> f64 {
         let (Some(cmin), Some(cmax)) = (self.min, self.max) else {
             return 0.0;
@@ -93,6 +161,14 @@ impl ColumnStats {
         let hi = hi.unwrap_or(cmax).min(cmax);
         if lo > hi {
             return 0.0;
+        }
+        if !self.bounds.is_empty() {
+            // P(lo <= v <= hi) = EDF(hi) - EDF(lo - 1) over the integer
+            // widened domain; floored at the equality mass so point
+            // ranges do not vanish between quantile boundaries.
+            let below_lo = lo.checked_sub(1).map_or(0.0, |x| self.edf(x));
+            let sel = (self.edf(hi) - below_lo).clamp(0.0, 1.0);
+            return sel.max(self.eq_selectivity().min(1.0));
         }
         let total: u64 = self.histogram.iter().sum();
         if total == 0 {
@@ -117,6 +193,18 @@ impl ColumnStats {
             1.0 / self.ndv as f64
         }
     }
+}
+
+/// Quantile boundaries (`EQUIDEPTH_BUCKETS + 1` points, first = min,
+/// last = max) of an already-sorted slice. Empty input yields no bounds.
+fn equi_depth_bounds(sorted: &[i64]) -> Vec<i64> {
+    if sorted.is_empty() {
+        return Vec::new();
+    }
+    let n = sorted.len();
+    (0..=EQUIDEPTH_BUCKETS)
+        .map(|i| sorted[(i * (n - 1)) / EQUIDEPTH_BUCKETS])
+        .collect()
 }
 
 /// Statistics for one table.
@@ -193,5 +281,61 @@ mod tests {
     fn eq_selectivity_is_one_over_ndv() {
         let s = ColumnStats::compute(&[1, 1, 2, 2, 3, 3, 4, 4], |_| false);
         assert!((s.eq_selectivity() - 0.25).abs() < 1e-12);
+    }
+
+    #[test]
+    fn equi_depth_handles_outlier_stretched_domain() {
+        // 999 values clustered in [0, 999) plus one outlier at i64::MAX/2.
+        // An equi-width histogram lumps the cluster into one bucket; the
+        // equi-depth quantiles keep resolution where the data is.
+        let mut values: Vec<i64> = (0..999).collect();
+        values.push(i64::MAX / 2);
+        let s = ColumnStats::compute(&values, |_| false);
+        assert_eq!(s.bounds.len(), EQUIDEPTH_BUCKETS + 1);
+        assert_eq!(s.bounds[0], 0);
+        assert_eq!(*s.bounds.last().unwrap(), i64::MAX / 2);
+        let sel = s.range_selectivity(Some(0), Some(499));
+        assert!((sel - 0.5).abs() < 0.1, "sel = {sel}");
+    }
+
+    #[test]
+    fn point_range_floors_at_equality_mass() {
+        let values: Vec<i64> = (0..1000).collect();
+        let s = ColumnStats::compute(&values, |_| false);
+        let sel = s.range_selectivity(Some(500), Some(500));
+        assert!(sel >= 1.0 / 1000.0 - 1e-12, "sel = {sel}");
+        assert!(sel < 0.05, "sel = {sel}");
+    }
+
+    #[test]
+    fn null_fraction_counts_nulls() {
+        let values = vec![1i64, 0, 2, 0];
+        let s = ColumnStats::compute(&values, |i| i % 2 == 1);
+        assert!((s.null_fraction() - 0.5).abs() < 1e-12);
+        assert_eq!(ColumnStats::compute(&[], |_| false).null_fraction(), 0.0);
+    }
+
+    #[test]
+    fn stats_without_bounds_deserialize_and_fall_back() {
+        // Stats serialized before `bounds` existed must load (serde
+        // default) and take the equi-width estimation path.
+        let mut s = ColumnStats::compute(&(0..1000).collect::<Vec<i64>>(), |_| false);
+        s.bounds = Vec::new();
+        let json = serde_json::to_string(&s).unwrap();
+        let trimmed: ColumnStats = serde_json::from_str(&json).unwrap();
+        assert!(trimmed.bounds.is_empty());
+        let sel = trimmed.range_selectivity(Some(0), Some(249));
+        assert!((sel - 0.25).abs() < 0.05, "sel = {sel}");
+    }
+
+    #[test]
+    fn merged_bounds_cover_both_partitions() {
+        let mut a = ColumnStats::compute(&(0..100).collect::<Vec<i64>>(), |_| false);
+        let b = ColumnStats::compute(&(100..200).collect::<Vec<i64>>(), |_| false);
+        a.merge(&b);
+        assert_eq!(a.bounds.first(), Some(&0));
+        assert_eq!(a.bounds.last(), Some(&199));
+        let sel = a.range_selectivity(Some(0), Some(99));
+        assert!((sel - 0.5).abs() < 0.15, "sel = {sel}");
     }
 }

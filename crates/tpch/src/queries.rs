@@ -811,6 +811,73 @@ mod tests {
         }
     }
 
+    /// Render the join structure of a physical plan: `(probe⋈build)`
+    /// over scan table names, ignoring non-join operators.
+    fn join_shape(plan: &rapid_qef::plan::PlanNode) -> String {
+        use rapid_qef::plan::PlanNode as P;
+        match plan {
+            P::Scan { table, .. } => table.clone(),
+            P::HashJoin { build, probe, .. } => {
+                format!("({}⋈{})", join_shape(probe), join_shape(build))
+            }
+            P::SetOp { left, right, .. } => {
+                format!("[{}|{}]", join_shape(left), join_shape(right))
+            }
+            P::Filter { input, .. }
+            | P::Map { input, .. }
+            | P::GroupBy { input, .. }
+            | P::TopK { input, .. }
+            | P::Sort { input, .. }
+            | P::Limit { input, .. }
+            | P::Window { input, .. } => join_shape(input),
+        }
+    }
+
+    #[test]
+    fn cost_based_search_reorders_a_join_heavy_query() {
+        let cat = catalog();
+        let fixed = CostParams {
+            reorder_joins: false,
+            ..CostParams::default()
+        };
+        let opt = CostParams::default();
+        let mut engine = Engine::new(ExecContext::dpu().with_cores(8));
+        for t in cat.values() {
+            engine.load_table(Arc::clone(t));
+        }
+        let mut any_changed = false;
+        for target in ["Q3", "Q5", "Q9", "Q10"] {
+            let lp = all().into_iter().find(|(n, _)| *n == target).unwrap().1;
+            let c0 = rapid_qcomp::compile(&lp, &cat, &fixed).unwrap();
+            let c1 = rapid_qcomp::compile(&lp, &cat, &opt).unwrap();
+            assert!(
+                c1.optimize.plans_considered > 0,
+                "{target}: search did not run"
+            );
+            if join_shape(&c0.plan) != join_shape(&c1.plan) {
+                any_changed = true;
+            }
+            // Reordered or not, results must be bit-identical (modulo
+            // output row order).
+            let rows_of = |c: &rapid_qcomp::Compiled| {
+                let (out, _) = engine.execute(&c.plan).unwrap();
+                let cols: Vec<Vec<i64>> = (0..out.meta.len())
+                    .map(|i| out.batch.column(i).data.to_i64_vec())
+                    .collect();
+                let mut rows: Vec<Vec<i64>> = (0..out.batch.rows())
+                    .map(|r| cols.iter().map(|c| c[r]).collect())
+                    .collect();
+                rows.sort();
+                rows
+            };
+            assert_eq!(rows_of(&c0), rows_of(&c1), "{target} results differ");
+        }
+        assert!(
+            any_changed,
+            "no join-heavy query (Q3/Q5/Q9/Q10) changed join order"
+        );
+    }
+
     #[test]
     fn q1_groups_are_flag_status_pairs() {
         let cat = catalog();
