@@ -19,12 +19,30 @@ cargo test -q
 echo "== cargo test --doc =="
 cargo test -q --workspace --doc
 
+echo "== cargo clippy (unwrap/expect escalation in request-path crates) =="
+# rapid-sched and rapid-server deny clippy::unwrap_used/expect_used in
+# non-test code (crate-level attributes); this plain sweep is where the
+# denial actually gets evaluated with warnings-as-errors.
+cargo clippy -q --release -p rapid-sched -p rapid-server -- -D warnings
+
 echo "== differential fuzz smoke (200 queries, fixed seed) + corpus replay =="
 FUZZ_QUERIES=200 cargo test -q --release --test differential_fuzz
+
+echo "== concurrent fuzz soak (1000 queries, work stealing, schedcheck on) =="
+# Batches through the work-stealing scheduler vs serial, per-query rows
+# must match, and every batch's schedule trace is replayed through the
+# C-* interference analyzer — forced on in release via RAPID_SCHEDCHECK.
+RAPID_SCHEDCHECK=1 FUZZ_QUERIES=1000 cargo test -q --release --test concurrent_fuzz
 
 echo "== static plan verification (TPC-H sf 0.01 + fuzz corpus) + mutation harness =="
 cargo run -q --release -p rapid-bench --bin verify_report -- --sf 0.01
 cargo test -q --release -p rapid-verify
+
+echo "== schedule interference verification (both modes) + mutation kill matrix =="
+# Real scheduled TPC-H batches must pass the C-* analyzer (no false
+# positives), and every injected interference bug class must be rejected
+# with its own rule id — replayed here in release, outside cfg(test).
+cargo run -q --release -p rapid-bench --bin schedcheck_report -- --sf 0.01 --mutations
 
 echo "== trace_report smoke (sf 0.01) =="
 cargo run -q --release -p rapid-bench --bin trace_report -- --sf 0.01 --query Q6 > /dev/null

@@ -1,0 +1,133 @@
+//! Schedule-interference verification sweep over real scheduler runs.
+//!
+//! Runs a batch of TPC-H queries through the `rapid-sched` scheduler in
+//! both dispatch modes (deterministic baton order and work stealing),
+//! captures each run's schedule trace, and replays it through
+//! `rapid-verify`'s C-* interference analyzer, printing the per-rule
+//! verdict table. This is the CI gate proving the analyzer has no false
+//! positives on schedules the real scheduler produces — the concurrency
+//! counterpart of `verify_report`.
+//!
+//! `--mutations` additionally replays the interference-mutation harness
+//! in this (release) binary: every injected bug class must be rejected
+//! with its own C-* rule id and a located diagnostic, so the kill matrix
+//! holds outside `cfg(test)` and outside debug assertions.
+//!
+//! Exits non-zero on any finding in a real run, or any surviving mutant.
+//!
+//! ```text
+//! cargo run --release -p rapid-bench --bin schedcheck_report -- \
+//!     [--sf <scale-factor>] [--queries <n>] [--active <slots>] [--mutations]
+//! ```
+
+use std::sync::Arc;
+
+use hostdb::BatchQuery;
+use rapid_bench as bench;
+use rapid_qef::exec::ExecContext;
+use rapid_sched::{DispatchMode, SchedConfig, Scheduler};
+use rapid_verify::schedcheck::{self, InterferenceMutation};
+
+fn main() {
+    let mut sf = 0.01;
+    let mut queries = 12usize;
+    let mut active = 4usize;
+    let mut mutations = false;
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--sf" => {
+                i += 1;
+                sf = args[i].parse().expect("--sf takes a float");
+            }
+            "--queries" => {
+                i += 1;
+                queries = args[i].parse().expect("--queries takes a count");
+            }
+            "--active" => {
+                i += 1;
+                active = args[i].parse().expect("--active takes a count");
+            }
+            "--mutations" => mutations = true,
+            other => {
+                eprintln!("unknown argument {other}");
+                std::process::exit(2);
+            }
+        }
+        i += 1;
+    }
+
+    let mut failures = 0usize;
+
+    println!("== scheduled TPC-H batches (sf {sf}, {queries} queries, {active} slots) ==");
+    let (db, _catalog) = bench::setup_tpch(sf, ExecContext::dpu().with_cores(8));
+    let all = tpch::queries::all();
+    let batch: Vec<BatchQuery> = (0..queries)
+        .map(|i| BatchQuery::from_plan(all[i % all.len()].1.clone()))
+        .collect();
+
+    for mode in [DispatchMode::Deterministic, DispatchMode::WorkStealing] {
+        let sched = Arc::new(Scheduler::new(SchedConfig {
+            max_active: active,
+            queue_capacity: batch.len(),
+            mode,
+            ..SchedConfig::default()
+        }));
+        let handles: Vec<_> = batch.iter().map(|q| db.submit_query(q, &sched)).collect();
+        std::thread::scope(|scope| {
+            for (q, h) in batch.iter().zip(handles) {
+                let sched = Arc::clone(&sched);
+                let db = &db;
+                scope.spawn(move || {
+                    let h = h.expect("batch fits the queue by construction");
+                    if let Err(e) = db.execute_scheduled(q, h, &sched) {
+                        panic!("scheduled query failed: {e:?}");
+                    }
+                });
+            }
+        });
+        let trace = sched.schedule_trace();
+        let report = schedcheck::check_schedule(&trace);
+        println!();
+        for line in schedcheck::render(&trace, &report).lines() {
+            println!("  {line}");
+        }
+        failures += usize::from(!report.ok());
+    }
+
+    if mutations {
+        println!("\n== interference-mutation kill matrix (release) ==");
+        let base = schedcheck::base_trace();
+        let base_report = schedcheck::check_schedule(&base);
+        let verdict = if base_report.ok() { "PASS" } else { "FAIL" };
+        println!("  {:24} {verdict}  (must be clean)", "unmutated-baseline");
+        failures += usize::from(!base_report.ok());
+
+        for m in InterferenceMutation::all() {
+            let mutated = m.apply();
+            let expected = m.expected_rule().id();
+            let report = schedcheck::check_schedule_with_spans(&mutated.trace, &mutated.spans);
+            let killed = report.errors().any(|d| d.rule.id() == expected);
+            let located = report
+                .errors()
+                .filter(|d| d.rule.id() == expected)
+                .all(|d| !d.path.is_empty());
+            let verdict = if killed && located {
+                "REJECTED"
+            } else if killed {
+                "UNLOCATED"
+            } else {
+                "SURVIVED"
+            };
+            println!("  {:24} {verdict:9} ({expected})", mutated.name);
+            failures += usize::from(!(killed && located));
+        }
+    }
+
+    if failures > 0 {
+        eprintln!("schedcheck_report: {failures} FAILURE(S)");
+        std::process::exit(1);
+    }
+    println!("\nschedcheck_report: all schedules PASS");
+}

@@ -9,7 +9,14 @@
 //!
 //! Everything is deterministic per seed: a CI failure line contains the
 //! case seed, and `fuzz_one(seed)` reproduces the exact tables and SQL.
+//!
+//! A second mode ([`concurrent`]) fuzzes the *scheduler* instead of the
+//! engines: batches of generated queries run through the work-stealing
+//! `rapid-sched` scheduler and must produce exactly the serial results,
+//! with every batch's schedule trace replayed through the `rapid-verify`
+//! interference analyzer.
 
+pub mod concurrent;
 pub mod corpus;
 pub mod datagen;
 pub mod querygen;

@@ -102,7 +102,7 @@ fn panic_text(p: &(dyn std::any::Any + Send)) -> String {
     }
 }
 
-fn guarded(f: impl FnOnce() -> Result<EngineOutcome, String>) -> EngineOutcome {
+pub(crate) fn guarded(f: impl FnOnce() -> Result<EngineOutcome, String>) -> EngineOutcome {
     match catch_unwind(AssertUnwindSafe(f)) {
         Ok(Ok(out)) => out,
         Ok(Err(e)) => EngineOutcome::Error(e),

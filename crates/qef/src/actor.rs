@@ -145,6 +145,7 @@ where
                     .into_iter()
                     .map(|c| c.expect("captured"))
                     .collect(),
+                dmem_peak: timing.dmem_peak,
             };
             let duration = router
                 .route_stage(&profile)

@@ -44,6 +44,12 @@ pub struct StageProfile {
     pub parallelism: usize,
     /// Per-item accrued cost, in item order.
     pub items: Vec<CycleAccount>,
+    /// Max per-lane DMEM high-water mark in bytes. The engine's budget
+    /// allocator is a bump arena from offset 0, so `[0, dmem_peak)` is
+    /// exactly the DMEM region the stage's descriptor programs touch on
+    /// each granted core — the schedule interference analyzer uses it as
+    /// the stage's live span.
+    pub dmem_peak: u64,
 }
 
 /// A stage refused by the router: the query was cancelled, timed out, or

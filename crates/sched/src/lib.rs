@@ -9,6 +9,8 @@
 //! |---|---|
 //! | [`timeline`] | [`DpuTimeline`]: sim-time placement of stages onto cores + the DMS engine |
 //! | [`scheduler`] | [`Scheduler`]: admission queue, priorities, cancellation, the two dispatch modes |
+//! | [`trace`] | [`SchedTrace`]: a run's placement + admission evidence for interference analysis |
+//! | [`schedhook`] | registration point for `rapid-verify`'s schedule interference analyzer |
 //!
 //! The scheduler implements [`rapid_qef::exec::StageRouter`]; install it
 //! into a forked engine context per session:
@@ -36,14 +38,21 @@
 //!   thread interleaving.
 
 #![warn(missing_docs)]
+// Scheduler/server code handles request-shaped data (client frames,
+// submitted queries, admission races): a stray unwrap is a
+// denial-of-service panic, so escalate the lints outside test code.
+#![cfg_attr(not(test), deny(clippy::unwrap_used, clippy::expect_used))]
 
+pub mod schedhook;
 pub mod scheduler;
 pub mod timeline;
+pub mod trace;
 
 pub use scheduler::{QueryHandle, QueryStats, SchedConfig, SchedError, SchedReport, Scheduler};
 pub use timeline::{
     DispatchMode, DpuTimeline, Placement, PlacementRecord, Utilization, UtilizationSample,
 };
+pub use trace::{AdmissionEvent, SchedTrace};
 
 // Simulated-time units, re-exported so callers passing explicit arrival
 // times (see [`Scheduler::submit_at`]) need not depend on `dpu-sim`.

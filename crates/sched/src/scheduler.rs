@@ -31,7 +31,9 @@ use dpu_sim::isa::CostModel;
 use dpu_sim::power::PowerModel;
 use rapid_qef::exec::{StageAbort, StageProfile, StageRouter};
 
+use crate::schedhook;
 use crate::timeline::{DispatchMode, DpuTimeline, Utilization};
+use crate::trace::{AdmissionEvent, SchedTrace};
 
 /// Scheduler configuration.
 #[derive(Debug, Clone)]
@@ -45,6 +47,15 @@ pub struct SchedConfig {
     pub queue_capacity: usize,
     /// Dispatch mode.
     pub mode: DispatchMode,
+    /// Per-core DMEM scratchpad capacity in bytes — the budget the
+    /// interference analyzer checks placements against. Must match the
+    /// engine contexts routing stages here (both default to the
+    /// hardware's 32 KiB).
+    pub dmem_bytes: u64,
+    /// Placement/admission records retained for analysis; 0 (the default)
+    /// keeps everything. Long-lived servers set a cap so soak runs don't
+    /// grow without bound; evictions are counted, not silent.
+    pub history_cap: usize,
     /// Cost model used to convert cycles into reported simulated time.
     pub cost_model: CostModel,
     /// Power model for the utilization report's energy figure.
@@ -58,6 +69,8 @@ impl Default for SchedConfig {
             max_active: 8,
             queue_capacity: 64,
             mode: DispatchMode::Deterministic,
+            dmem_bytes: dpu_sim::dmem::DMEM_BYTES as u64,
+            history_cap: 0,
             cost_model: CostModel::default(),
             power: PowerModel::dpu(),
         }
@@ -153,6 +166,20 @@ struct Inner {
     /// Deterministic mode: the query whose parked stage request may proceed.
     baton: Option<u64>,
     finished: Vec<QueryStats>,
+    /// Admission log for the interference analyzer, capped like the
+    /// timeline history.
+    admissions: Vec<AdmissionEvent>,
+    admissions_dropped: u64,
+}
+
+impl Inner {
+    fn log_admission(&mut self, ev: AdmissionEvent, cap: usize) {
+        self.admissions.push(ev);
+        if cap > 0 && self.admissions.len() > cap {
+            self.admissions.remove(0);
+            self.admissions_dropped += 1;
+        }
+    }
 }
 
 /// The concurrent multi-query scheduler owning the simulated DPU.
@@ -178,7 +205,7 @@ pub struct QueryHandle {
 impl Scheduler {
     /// A scheduler over an idle DPU.
     pub fn new(cfg: SchedConfig) -> Scheduler {
-        let timeline = DpuTimeline::new(cfg.cores);
+        let timeline = DpuTimeline::new(cfg.cores).with_history_cap(cfg.history_cap);
         Scheduler {
             cfg,
             inner: Mutex::new(Inner {
@@ -190,6 +217,8 @@ impl Scheduler {
                 parked: 0,
                 baton: None,
                 finished: Vec::new(),
+                admissions: Vec::new(),
+                admissions_dropped: 0,
             }),
             cv: Condvar::new(),
         }
@@ -260,6 +289,14 @@ impl Scheduler {
         );
         if admit {
             inner.active += 1;
+            inner.log_admission(
+                AdmissionEvent {
+                    query_id: id,
+                    after: None,
+                    at: now,
+                },
+                self.cfg.history_cap,
+            );
         } else {
             inner.waiting += 1;
         }
@@ -311,15 +348,66 @@ impl Scheduler {
     }
 
     /// Snapshot: finished queries (by id) plus whole-DPU utilization.
+    ///
+    /// When `rapid-verify` is linked (its `install()` registers the
+    /// analyzer via [`crate::schedhook`]) and rechecking is enabled
+    /// (`debug_assertions` or `RAPID_SCHEDCHECK=1`), the run's schedule
+    /// trace is replayed through the interference analyzer first — a
+    /// violation panics, like a race detector firing.
     pub fn report(&self) -> SchedReport {
+        let (report, trace) = {
+            let inner = self.lock();
+            let mut queries = inner.finished.clone();
+            queries.sort_by_key(|q| q.query_id);
+            let report = SchedReport {
+                queries,
+                utilization: inner
+                    .timeline
+                    .utilization(&self.cfg.cost_model, &self.cfg.power),
+            };
+            let trace = if schedhook::recheck_enabled() && schedhook::installed().is_some() {
+                Some(self.trace_locked(&inner))
+            } else {
+                None
+            };
+            (report, trace)
+        };
+        if let (Some(trace), Some(check)) = (trace, schedhook::installed()) {
+            if let Err(e) = check(&trace) {
+                panic!("schedule interference detected (set RAPID_SCHEDCHECK=0 to disable): {e}");
+            }
+        }
+        report
+    }
+
+    fn trace_locked(&self, inner: &Inner) -> SchedTrace {
+        SchedTrace {
+            mode: self.cfg.mode,
+            cores: self.cfg.cores,
+            dmem_bytes: self.cfg.dmem_bytes,
+            max_active: self.cfg.max_active,
+            placements: inner.timeline.placements(),
+            admissions: inner.admissions.clone(),
+            history_dropped: inner.timeline.history_dropped() + inner.admissions_dropped,
+        }
+    }
+
+    /// The run's schedule trace so far: placement records plus admission
+    /// events, the input to `rapid-verify`'s interference analyzer.
+    pub fn schedule_trace(&self) -> SchedTrace {
         let inner = self.lock();
-        let mut queries = inner.finished.clone();
-        queries.sort_by_key(|q| q.query_id);
-        SchedReport {
-            queries,
-            utilization: inner
-                .timeline
-                .utilization(&self.cfg.cost_model, &self.cfg.power),
+        self.trace_locked(&inner)
+    }
+
+    /// Replay the schedule trace through the installed interference
+    /// analyzer, returning its verdict instead of panicking — the
+    /// explicit release-mode entry point used by the fuzzer's concurrent
+    /// mode and the `schedcheck_report` bench. `Ok(())` when no analyzer
+    /// is linked into the process.
+    pub fn check_interference(&self) -> Result<(), String> {
+        match schedhook::installed() {
+            Some(check) => check(&self.schedule_trace()),
+            None => Ok(()),
         }
     }
 
@@ -333,7 +421,7 @@ impl Scheduler {
     /// Every stage placement so far, tagged with its query id — the raw
     /// series behind [`Scheduler::utilization_series`].
     pub fn placements(&self) -> Vec<crate::timeline::PlacementRecord> {
-        self.lock().timeline.placements().to_vec()
+        self.lock().timeline.placements()
     }
 
     fn lock(&self) -> MutexGuard<'_, Inner> {
@@ -374,7 +462,9 @@ impl Scheduler {
     }
 
     /// Promote waiters into freed slots at simulated instant `at`.
-    fn promote_locked(&self, inner: &mut Inner, at: Cycles) {
+    /// `after` names the finished query whose release triggered the
+    /// promotion — the happens-before edge the admission log records.
+    fn promote_locked(&self, inner: &mut Inner, at: Cycles, after: Option<u64>) {
         while inner.active < self.cfg.max_active {
             let next = inner
                 .queries
@@ -385,12 +475,23 @@ impl Scheduler {
                 })
                 .map(|(&id, _)| id);
             let Some(id) = next else { break };
-            let q = inner.queries.get_mut(&id).expect("waiter exists");
+            let Some(q) = inner.queries.get_mut(&id) else {
+                break;
+            };
             q.phase = Phase::Active;
             q.admitted_at = at.max(q.submitted_at);
             q.ready = q.admitted_at;
+            let admitted_at = q.admitted_at;
             inner.waiting -= 1;
             inner.active += 1;
+            inner.log_admission(
+                AdmissionEvent {
+                    query_id: id,
+                    after,
+                    at: admitted_at,
+                },
+                self.cfg.history_cap,
+            );
         }
     }
 
@@ -427,14 +528,26 @@ impl Scheduler {
         inner.baton = best.map(|(_, _, id)| id);
     }
 
-    /// Place a stage for `id` and advance the query's clock.
-    fn place_locked(&self, inner: &mut Inner, id: u64, profile: &StageProfile) -> Cycles {
-        let prev_ready = inner.queries[&id].ready;
+    /// Place a stage for `id` and advance the query's clock. The id is
+    /// request-shaped (it arrives stamped in an engine context), so an
+    /// unknown query is a routing abort, not a scheduler panic.
+    fn place_locked(
+        &self,
+        inner: &mut Inner,
+        id: u64,
+        profile: &StageProfile,
+    ) -> Result<Cycles, StageAbort> {
+        let Some(prev_ready) = inner.queries.get(&id).map(|q| q.ready) else {
+            return Err(StageAbort {
+                reason: "unknown query (submit it first)".into(),
+            });
+        };
         let p = inner.timeline.place(prev_ready, profile, self.cfg.mode);
-        let q = inner.queries.get_mut(&id).expect("active query");
-        q.ready = p.end;
-        q.stages += 1;
-        p.duration
+        if let Some(q) = inner.queries.get_mut(&id) {
+            q.ready = p.end;
+            q.stages += 1;
+        }
+        Ok(p.duration)
     }
 
     /// Retire a query: release its slot, record stats, promote waiters,
@@ -473,7 +586,7 @@ impl Scheduler {
             inner.baton = None;
         }
         inner.finished.push(stats);
-        self.promote_locked(inner, at);
+        self.promote_locked(inner, at, Some(id));
         Self::refresh_baton(&self.cfg, inner);
         self.cv.notify_all();
     }
@@ -512,11 +625,14 @@ impl Scheduler {
 impl StageRouter for Scheduler {
     fn route_stage(&self, profile: &StageProfile) -> Result<Cycles, StageAbort> {
         let id = profile.query_id;
+        let evicted = || StageAbort {
+            reason: "query evicted mid-request".into(),
+        };
         let mut inner = self.wait_admitted(self.lock(), id)?;
         match self.cfg.mode {
-            DispatchMode::WorkStealing => Ok(self.place_locked(&mut inner, id, profile)),
+            DispatchMode::WorkStealing => self.place_locked(&mut inner, id, profile),
             DispatchMode::Deterministic => {
-                inner.queries.get_mut(&id).expect("active").parked = true;
+                inner.queries.get_mut(&id).ok_or_else(evicted)?.parked = true;
                 inner.parked += 1;
                 Self::refresh_baton(&self.cfg, &mut inner);
                 self.cv.notify_all();
@@ -525,7 +641,7 @@ impl StageRouter for Scheduler {
                         inner.baton = None;
                         break;
                     }
-                    let q = inner.queries.get(&id).expect("parked query");
+                    let q = inner.queries.get(&id).ok_or_else(evicted)?;
                     if let Some(reason) = Self::abort_reason(q) {
                         // finish_locked unparks and re-forms the barrier.
                         self.finish_locked(&mut inner, id, Some(reason.clone()));
@@ -534,9 +650,9 @@ impl StageRouter for Scheduler {
                     let deadline = q.deadline;
                     inner = self.wait(inner, deadline);
                 }
-                inner.queries.get_mut(&id).expect("active").parked = false;
+                inner.queries.get_mut(&id).ok_or_else(evicted)?.parked = false;
                 inner.parked -= 1;
-                let duration = self.place_locked(&mut inner, id, profile);
+                let duration = self.place_locked(&mut inner, id, profile)?;
                 // The placer now runs host-side; peers re-evaluate once it
                 // parks again or finishes.
                 self.cv.notify_all();
@@ -627,6 +743,7 @@ mod tests {
             query_id: qid,
             parallelism: lanes,
             items,
+            dmem_peak: 0,
         }
     }
 
@@ -954,5 +1071,55 @@ mod tests {
             .all(|b| (0.0..=1.0).contains(&b.core_busy_frac)
                 && (0.0..=1.0).contains(&b.dms_busy_frac)));
         assert!(series.iter().any(|b| b.core_busy_frac > 0.0));
+    }
+
+    #[test]
+    fn schedule_trace_records_admission_edges() {
+        let s = Arc::new(Scheduler::new(cfg(DispatchMode::WorkStealing, 1, 4)));
+        let a = s.submit(0, None).unwrap();
+        let b = s.submit(0, None).unwrap();
+        s.route_stage(&stage(a.id(), 1, vec![compute_item(100.0)]))
+            .unwrap();
+        a.finish();
+        b.await_admission().unwrap();
+        s.route_stage(&stage(b.id(), 1, vec![compute_item(100.0)]))
+            .unwrap();
+        b.finish();
+        let trace = s.schedule_trace();
+        assert_eq!(trace.cores, 32);
+        assert_eq!(trace.placements.len(), 2);
+        assert_eq!(trace.history_dropped, 0);
+        assert_eq!(trace.admissions.len(), 2);
+        // a was admitted at submission (no edge); b rode a's freed slot.
+        assert_eq!(trace.admissions[0].query_id, a.id());
+        assert_eq!(trace.admissions[0].after, None);
+        assert_eq!(trace.admissions[1].query_id, b.id());
+        assert_eq!(trace.admissions[1].after, Some(a.id()));
+        assert!(trace.admissions[1].at >= trace.placements[0].end);
+        // With no analyzer linked into this crate's tests, the explicit
+        // check is a no-op success.
+        assert_eq!(s.check_interference(), Ok(()));
+    }
+
+    #[test]
+    fn history_cap_bounds_trace_growth() {
+        let s = Arc::new(Scheduler::new(SchedConfig {
+            max_active: 2,
+            queue_capacity: 8,
+            mode: DispatchMode::WorkStealing,
+            history_cap: 3,
+            ..Default::default()
+        }));
+        for _ in 0..8 {
+            let h = s.submit(0, None).unwrap();
+            h.await_admission().unwrap();
+            s.route_stage(&stage(h.id(), 1, vec![compute_item(10.0)]))
+                .unwrap();
+            h.finish();
+        }
+        let trace = s.schedule_trace();
+        assert_eq!(trace.placements.len(), 3, "placement ring capped");
+        assert!(trace.admissions.len() <= 3, "admission log capped");
+        assert!(trace.history_dropped > 0, "evictions are counted");
     }
 }

@@ -16,6 +16,8 @@
 //! exactly `max(max-core-compute, Σ DMS)` — bit-identical to the
 //! engine-local rule — while contention only ever *delays* stages.
 
+use std::collections::{HashMap, VecDeque};
+
 use dpu_sim::account::CycleAccount;
 use dpu_sim::clock::{Cycles, SimTime};
 use dpu_sim::isa::CostModel;
@@ -49,22 +51,39 @@ pub struct Placement {
 }
 
 /// Retained record of one placed stage, tagged with its query — the
-/// scheduler-side aggregation of the engine's stage trace, and the basis of
-/// [`DpuTimeline::utilization_series`].
+/// scheduler-side aggregation of the engine's stage trace, the basis of
+/// [`DpuTimeline::utilization_series`], and the evidence the schedule
+/// interference analyzer (`rapid-verify`'s `schedcheck`) replays.
 #[derive(Debug, Clone, Copy)]
 pub struct PlacementRecord {
     /// Query the stage belongs to.
     pub query_id: u64,
+    /// Stage index within its query (0-based program order): the per-query
+    /// happens-before chain the analyzer rebuilds.
+    pub seq: u64,
+    /// The query-side ready instant the stage was placed no earlier than.
+    pub ready: Cycles,
     /// Simulated instant the stage's cores start.
     pub start: Cycles,
     /// Simulated instant the stage completes.
     pub end: Cycles,
     /// Cores the stage gang-scheduled.
     pub lanes: usize,
+    /// Bitmask of the granted physical core ids (bit `c` = core `c`).
+    /// Covers cores 0..64; the simulated DPU has 32.
+    pub core_mask: u64,
     /// Core-busy cycles across the stage's lanes.
     pub core_busy: Cycles,
     /// DMS cycles the stage queued on the shared engine.
     pub dms: Cycles,
+    /// Instant the stage's first descriptor starts on the shared DMS
+    /// engine. Equal to `dms_end` when the stage moved no bytes.
+    pub dms_start: Cycles,
+    /// Instant the stage's last descriptor drains off the DMS engine.
+    pub dms_end: Cycles,
+    /// Max per-lane DMEM high-water mark in bytes; the stage's live span
+    /// is exactly `[0, dmem_peak)` on each granted core (bump allocator).
+    pub dmem_peak: u64,
 }
 
 /// One bucket of the whole-DPU utilization series.
@@ -126,12 +145,22 @@ pub struct DpuTimeline {
     makespan: Cycles,
     /// Stages placed.
     stages: usize,
-    /// Every placement, in placement order, tagged with its query.
-    history: Vec<PlacementRecord>,
+    /// Retained placements, oldest first. A capped ring when
+    /// `history_cap > 0`: the oldest record is evicted on overflow and
+    /// `history_dropped` counts evictions, so a long-lived server run
+    /// holds at most `history_cap` records.
+    history: VecDeque<PlacementRecord>,
+    /// Max records retained; 0 means unbounded.
+    history_cap: usize,
+    /// Records evicted from the front of the capped ring.
+    history_dropped: u64,
+    /// Next stage index per query (drives [`PlacementRecord::seq`]).
+    query_seq: HashMap<u64, u64>,
 }
 
 impl DpuTimeline {
-    /// An idle timeline over `cores` physical dpCores.
+    /// An idle timeline over `cores` physical dpCores, retaining the full
+    /// placement history.
     pub fn new(cores: usize) -> Self {
         let cores = cores.max(1);
         DpuTimeline {
@@ -141,13 +170,39 @@ impl DpuTimeline {
             dms_busy: Cycles::ZERO,
             makespan: Cycles::ZERO,
             stages: 0,
-            history: Vec::new(),
+            history: VecDeque::new(),
+            history_cap: 0,
+            history_dropped: 0,
+            query_seq: HashMap::new(),
+        }
+    }
+
+    /// Cap the retained placement history at `cap` records (0 = unbounded).
+    /// Aggregate utilization is unaffected; only the per-record series and
+    /// the interference analyzer see a truncated window.
+    pub fn with_history_cap(mut self, cap: usize) -> Self {
+        self.history_cap = cap;
+        self.trim_history();
+        self
+    }
+
+    fn trim_history(&mut self) {
+        if self.history_cap > 0 {
+            while self.history.len() > self.history_cap {
+                self.history.pop_front();
+                self.history_dropped += 1;
+            }
         }
     }
 
     /// Number of physical cores.
     pub fn cores(&self) -> usize {
         self.core_free.len()
+    }
+
+    /// Records evicted from the capped history ring so far.
+    pub fn history_dropped(&self) -> u64 {
+        self.history_dropped
     }
 
     /// Latest stage end placed so far.
@@ -197,12 +252,17 @@ impl DpuTimeline {
 
         // The engine-local stage rule, placed in time. `dms_delay` is how
         // long this stage's first descriptor waits behind transfers another
-        // query already queued; it is zero for a query running alone.
-        let dms_delay = if dms_total.get() > 0.0 {
-            (self.dms_free - start).max(Cycles::ZERO)
+        // query already queued; it is zero for a query running alone. The
+        // engine window is derived with an exact f64 `max` (never a
+        // subtract-and-re-add round trip), so consecutive stages' recorded
+        // `[dms_start, dms_end)` windows are exactly non-overlapping — the
+        // interference analyzer compares them with strict `<`.
+        let dms_busy_from = if dms_total.get() > 0.0 {
+            self.dms_free.max(start)
         } else {
-            Cycles::ZERO
+            start
         };
+        let dms_delay = dms_busy_from - start;
         let span = max_lane.max(dms_delay + dms_total);
         let end = start + span;
 
@@ -212,20 +272,38 @@ impl DpuTimeline {
             self.core_free[c] = end;
             stage_busy += lane.elapsed_cycles();
         }
+        let dms_end = dms_busy_from + dms_total;
         if dms_total.get() > 0.0 {
-            self.dms_free = start + dms_delay + dms_total;
+            self.dms_free = dms_end;
             self.dms_busy += dms_total;
         }
         self.makespan = self.makespan.max(end);
         self.stages += 1;
-        self.history.push(PlacementRecord {
+        let seq = {
+            let next = self.query_seq.entry(profile.query_id).or_insert(0);
+            let s = *next;
+            *next += 1;
+            s
+        };
+        let core_mask = granted
+            .iter()
+            .filter(|&&c| c < 64)
+            .fold(0u64, |m, &c| m | (1u64 << c));
+        self.history.push_back(PlacementRecord {
             query_id: profile.query_id,
+            seq,
+            ready,
             start,
             end,
             lanes: k,
+            core_mask,
             core_busy: stage_busy,
             dms: dms_total,
+            dms_start: dms_busy_from,
+            dms_end,
+            dmem_peak: profile.dmem_peak,
         });
+        self.trim_history();
 
         // Observed duration = wait for cores + the stage span; for a query
         // alone this is exactly `max(max-core-compute, Σ DMS)`.
@@ -236,9 +314,10 @@ impl DpuTimeline {
         }
     }
 
-    /// Every placement so far, in placement order.
-    pub fn placements(&self) -> &[PlacementRecord] {
-        &self.history
+    /// Retained placements in placement order (the most recent
+    /// `history_cap` when the history ring is capped).
+    pub fn placements(&self) -> Vec<PlacementRecord> {
+        self.history.iter().copied().collect()
     }
 
     /// Whole-DPU utilization over simulated time, as `buckets` equal-width
@@ -332,7 +411,7 @@ fn assign_lanes(items: &[CycleAccount], k: usize, mode: DispatchMode) -> Vec<Cyc
                             .get()
                             .total_cmp(&lanes[b].elapsed_cycles().get())
                     })
-                    .expect("k >= 1");
+                    .unwrap_or(0);
                 lanes[j].absorb(item);
             }
         }
@@ -361,6 +440,7 @@ mod tests {
             query_id: qid,
             parallelism,
             items,
+            dmem_peak: 0,
         }
     }
 
@@ -546,6 +626,117 @@ mod tests {
     fn utilization_series_empty_timeline() {
         let tl = DpuTimeline::new(4);
         assert!(tl.utilization_series(8).is_empty());
+    }
+
+    #[test]
+    fn utilization_series_single_bucket_recovers_totals() {
+        // One bucket spans the whole makespan: its fractions are the
+        // aggregate utilization figures exactly.
+        let mut tl = DpuTimeline::new(2);
+        tl.place(
+            Cycles::ZERO,
+            &profile(1, 2, vec![compute_item(800.0), dms_item(200.0)]),
+            DispatchMode::Deterministic,
+        );
+        let series = tl.utilization_series(1);
+        assert_eq!(series.len(), 1);
+        let s = &series[0];
+        assert_eq!(s.start, Cycles::ZERO);
+        assert_eq!(s.end, tl.makespan());
+        // core_busy = 1000 over 2 cores x 800-cycle makespan.
+        assert!((s.core_busy_frac - 1000.0 / 1600.0).abs() < 1e-9);
+        assert!((s.dms_busy_frac - 200.0 / 800.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn utilization_series_zero_buckets_clamps_to_one() {
+        let mut tl = DpuTimeline::new(2);
+        tl.place(
+            Cycles::ZERO,
+            &profile(1, 1, vec![compute_item(100.0)]),
+            DispatchMode::Deterministic,
+        );
+        let series = tl.utilization_series(0);
+        assert_eq!(series.len(), 1);
+    }
+
+    #[test]
+    fn utilization_series_placement_ending_at_makespan_is_fully_counted() {
+        // A stage whose end lands exactly on the makespan boundary (the
+        // last bucket's right edge) must not lose cycles to clamping.
+        let mut tl = DpuTimeline::new(4);
+        tl.place(
+            Cycles::ZERO,
+            &profile(1, 1, vec![compute_item(700.0)]),
+            DispatchMode::Deterministic,
+        );
+        // Second stage on a fresh core, ready at 300, ends at 1000 = new
+        // makespan; 1000/8 buckets puts its end exactly on bucket 8's edge.
+        tl.place(
+            Cycles(300.0),
+            &profile(2, 1, vec![compute_item(700.0)]),
+            DispatchMode::Deterministic,
+        );
+        assert_eq!(tl.makespan(), Cycles(1000.0));
+        let series = tl.utilization_series(8);
+        let width = tl.makespan().get() / 8.0;
+        let core_total: f64 = series.iter().map(|s| s.core_busy_frac * 4.0 * width).sum();
+        assert!((core_total - 1400.0).abs() < 1e-6, "{core_total}");
+    }
+
+    #[test]
+    fn history_cap_evicts_oldest_and_counts_drops() {
+        let mut tl = DpuTimeline::new(2).with_history_cap(4);
+        for q in 0..10u64 {
+            tl.place(
+                Cycles::ZERO,
+                &profile(q, 1, vec![compute_item(10.0)]),
+                DispatchMode::Deterministic,
+            );
+        }
+        let recs = tl.placements();
+        assert_eq!(recs.len(), 4, "ring holds at most the cap");
+        assert_eq!(tl.history_dropped(), 6);
+        let kept: Vec<u64> = recs.iter().map(|r| r.query_id).collect();
+        assert_eq!(kept, vec![6, 7, 8, 9], "oldest evicted first");
+        // Aggregate utilization still covers all ten stages.
+        let u = tl.utilization(&CostModel::default(), &PowerModel::dpu());
+        assert_eq!(u.stages, 10);
+        assert!((u.core_busy_cycles - 100.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn records_carry_interference_evidence() {
+        let mut tl = DpuTimeline::new(4);
+        let mut p0 = profile(7, 2, vec![compute_item(100.0), dms_item(50.0)]);
+        p0.dmem_peak = 4096;
+        tl.place(Cycles::ZERO, &p0, DispatchMode::Deterministic);
+        tl.place(
+            Cycles(100.0),
+            &profile(7, 1, vec![dms_item(25.0)]),
+            DispatchMode::Deterministic,
+        );
+        let recs = tl.placements();
+        assert_eq!(recs[0].seq, 0);
+        assert_eq!(recs[1].seq, 1, "per-query stage order");
+        assert_eq!(recs[0].ready, Cycles::ZERO);
+        assert_eq!(recs[1].ready, Cycles(100.0));
+        assert_eq!(recs[0].core_mask.count_ones() as usize, recs[0].lanes);
+        assert_eq!(recs[0].dmem_peak, 4096);
+        // DMS windows are exact and non-overlapping: stage 0 holds the
+        // engine for [0, 50), stage 1 for [100, 125).
+        assert_eq!(recs[0].dms_start, Cycles::ZERO);
+        assert_eq!(recs[0].dms_end, Cycles(50.0));
+        assert_eq!(recs[1].dms_start, Cycles(100.0));
+        assert_eq!(recs[1].dms_end, Cycles(125.0));
+        // A stage with no transfers records an empty window.
+        tl.place(
+            Cycles::ZERO,
+            &profile(9, 1, vec![compute_item(10.0)]),
+            DispatchMode::Deterministic,
+        );
+        let recs = tl.placements();
+        assert_eq!(recs[2].dms_start, recs[2].dms_end);
     }
 
     #[test]

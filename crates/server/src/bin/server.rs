@@ -12,6 +12,8 @@
 //! ephemeral port), then blocks until a graceful shutdown is requested and
 //! reports the drain accounting.
 
+#![deny(clippy::unwrap_used, clippy::expect_used)]
+
 use std::sync::Arc;
 use std::time::Duration;
 
@@ -24,7 +26,7 @@ use rapid_storage::types::Value;
 /// Load TPC-H at `sf` into a fresh HostDb and ship every table to RAPID.
 /// (The bench crate has an equivalent loader, but depending on it here
 /// would cycle: bench's loadgen depends on this crate.)
-fn tpch_db(sf: f64, cores: usize) -> HostDb {
+fn tpch_db(sf: f64, cores: usize) -> Result<HostDb, String> {
     let data = tpch::generate(&tpch::TpchConfig::sf(sf));
     let db = HostDb::new(ExecContext::dpu().with_cores(cores));
     for t in data.tables() {
@@ -47,9 +49,10 @@ fn tpch_db(sf: f64, cores: usize) -> HostDb {
             })
             .collect();
         db.bulk_insert(&t.name, rows);
-        db.load_into_rapid(&t.name).expect("load into RAPID");
+        db.load_into_rapid(&t.name)
+            .map_err(|e| format!("loading {} into RAPID: {e}", t.name))?;
     }
-    db
+    Ok(db)
 }
 
 fn main() {
@@ -85,7 +88,13 @@ fn main() {
     }
 
     eprintln!("loading TPC-H sf {sf} ({cores} cores/query)...");
-    let db = Arc::new(tpch_db(sf, cores));
+    let db = match tpch_db(sf, cores) {
+        Ok(db) => Arc::new(db),
+        Err(e) => {
+            eprintln!("fatal: {e}");
+            std::process::exit(1);
+        }
+    };
     let cfg = ServerConfig {
         max_connections: max_conns,
         idle_timeout: Duration::from_secs(idle_secs),
@@ -97,7 +106,13 @@ fn main() {
         },
         ..ServerConfig::default()
     };
-    let server = Server::start(db, cfg, ("127.0.0.1", port)).expect("bind");
+    let server = match Server::start(db, cfg, ("127.0.0.1", port)) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("fatal: cannot bind 127.0.0.1:{port}: {e}");
+            std::process::exit(1);
+        }
+    };
     println!("listening on {}", server.local_addr());
     use std::io::Write as _;
     std::io::stdout().flush().ok();

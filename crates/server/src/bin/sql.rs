@@ -10,6 +10,8 @@
 //! Prints one tab-separated line per row; `--stats` and `--shutdown` issue
 //! the corresponding control frames instead of a query.
 
+#![deny(clippy::unwrap_used, clippy::expect_used)]
+
 use rapid_server::Client;
 use rapid_storage::types::Value;
 

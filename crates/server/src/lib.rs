@@ -28,6 +28,10 @@
 //! ```
 
 #![warn(missing_docs)]
+// Scheduler/server code handles request-shaped data (client frames,
+// submitted queries, admission races): a stray unwrap is a
+// denial-of-service panic, so escalate the lints outside test code.
+#![cfg_attr(not(test), deny(clippy::unwrap_used, clippy::expect_used))]
 
 pub mod client;
 pub mod protocol;

@@ -62,8 +62,14 @@ impl Default for ServerConfig {
             query_timeout: None,
             // Work-stealing dispatch: the deterministic baton protocol
             // expects a closed batch, not an open stream of arrivals.
+            // The placement history is capped because this scheduler
+            // lives as long as the process: an always-on server would
+            // otherwise grow one record per stage forever. Evictions are
+            // counted, and the interference analyzer tolerates a
+            // truncated prefix (aggregate utilization is unaffected).
             sched: SchedConfig {
                 mode: DispatchMode::WorkStealing,
+                history_cap: 65_536,
                 ..SchedConfig::default()
             },
             row_batch: 512,
@@ -616,5 +622,24 @@ impl Session {
             }
             Err(e) => self.send_db_error(&e),
         }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// The server's scheduler is the long-lived one: its placement
+    /// history must be bounded or an always-on process grows without
+    /// limit. (The ring's eviction behavior itself is pinned in
+    /// `rapid-sched`; this pins that the server actually opts in.)
+    #[test]
+    fn default_config_bounds_scheduler_history() {
+        let cfg = ServerConfig::default();
+        assert!(
+            cfg.sched.history_cap > 0,
+            "server scheduler must cap placement history"
+        );
+        assert_eq!(cfg.sched.mode, DispatchMode::WorkStealing);
     }
 }

@@ -23,8 +23,9 @@ pub enum Severity {
 /// `S-*` are structural IR rules, `R-*` resource rules from the paper's
 /// hardware model (32 KiB DMEM, DMS fan-out, descriptor well-formedness),
 /// `A-*` accounting rules (declared cost-model parameters vs what the
-/// engine executes). See README/EXPERIMENTS.md for the rule table with
-/// paper justifications.
+/// engine executes), `C-*` concurrency rules checked by the schedule
+/// interference analyzer over a completed run's placement trace. See
+/// README/EXPERIMENTS.md for the rule table with paper justifications.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum Rule {
     /// Stage DAG must be acyclic.
@@ -65,6 +66,29 @@ pub enum Rule {
     GroupLimit,
     /// A scheme should produce at least one partition per core.
     SchemeCores,
+    /// The happens-before graph over a schedule's placements must be
+    /// acyclic (program + resource + admission edges).
+    HbCycle,
+    /// The recorded placement order must be a linear extension of the
+    /// happens-before order — the witness that a work-stealing schedule
+    /// linearizes to the deterministic baton order.
+    StealOrder,
+    /// No two placements may overlap on the single shared DMS engine.
+    DmsExcl,
+    /// No two placements may hold the same dpCore at the same instant.
+    CoreExcl,
+    /// Live placements' aggregate DMEM footprint must fit the DPU
+    /// (`Σ lanes × dmem_peak ≤ cores × dmem_bytes` at every boundary).
+    DmemCap,
+    /// Each placement's per-core DMEM peak must fit the query's 32 KiB
+    /// scratchpad budget.
+    QueryBudget,
+    /// Concurrent same-core stages must not target overlapping DMEM
+    /// descriptor live spans.
+    SpanAlias,
+    /// A stage must not be dispatched before its program-order
+    /// predecessor completes (the lost-wakeup shape).
+    LostWakeup,
 }
 
 impl Rule {
@@ -89,6 +113,14 @@ impl Rule {
             Rule::TileMin => "A-TILE-MIN",
             Rule::GroupLimit => "A-GROUP-LIMIT",
             Rule::SchemeCores => "A-SCHEME-CORES",
+            Rule::HbCycle => "C-HB-CYCLE",
+            Rule::StealOrder => "C-STEAL-ORDER",
+            Rule::DmsExcl => "C-DMS-EXCL",
+            Rule::CoreExcl => "C-CORE-EXCL",
+            Rule::DmemCap => "C-DMEM-CAP",
+            Rule::QueryBudget => "C-QUERY-BUDGET",
+            Rule::SpanAlias => "C-SPAN-ALIAS",
+            Rule::LostWakeup => "C-LOST-WAKEUP",
         }
     }
 
@@ -288,12 +320,25 @@ mod tests {
             Rule::TileMin,
             Rule::GroupLimit,
             Rule::SchemeCores,
+            Rule::HbCycle,
+            Rule::StealOrder,
+            Rule::DmsExcl,
+            Rule::CoreExcl,
+            Rule::DmemCap,
+            Rule::QueryBudget,
+            Rule::SpanAlias,
+            Rule::LostWakeup,
         ];
         let ids: std::collections::HashSet<&str> = all.iter().map(|r| r.id()).collect();
         assert_eq!(ids.len(), all.len());
         for r in &all {
             let id = r.id();
-            assert!(id.starts_with("S-") || id.starts_with("R-") || id.starts_with("A-"));
+            assert!(
+                id.starts_with("S-")
+                    || id.starts_with("R-")
+                    || id.starts_with("A-")
+                    || id.starts_with("C-")
+            );
         }
     }
 

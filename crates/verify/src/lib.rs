@@ -20,6 +20,12 @@
 //!   what the engine will execute: the configured tile is at least the
 //!   minimum vector, and an on-the-fly aggregation's statically-known
 //!   group count fits the per-core DMEM table.
+//! * **Concurrency rules (`C-*`)** — the [`schedcheck`] analyzer replays
+//!   a completed scheduler run's placement trace against the
+//!   interference invariants: an acyclic happens-before order the record
+//!   order linearizes to, exclusivity of the single DMS engine and of
+//!   each dpCore, DMEM capacity/budget at every placement boundary, no
+//!   descriptor live-span aliasing, and no lost-wakeup dispatches.
 //!
 //! All DMEM arithmetic is shared with the engine via `rapid_qef::budget`,
 //! so the static verdict and the runtime tile choice cannot drift apart.
@@ -36,6 +42,7 @@
 pub mod diag;
 pub mod dms;
 pub mod mutate;
+pub mod schedcheck;
 pub mod stage;
 
 pub use diag::{Diagnostic, Rule, Severity, StageReport, VerifyReport};
@@ -109,10 +116,13 @@ fn hook(plan: &PlanNode, catalog: &Catalog, ctx: &ExecContext) -> Result<(), Str
 }
 
 /// Register the verifier as the engine's pre-execution plan check (see
-/// [`rapid_qef::verifyhook`]). Idempotent; the compiler calls this as a
-/// side effect of its own verification gate.
+/// [`rapid_qef::verifyhook`]) and the schedule interference analyzer as
+/// the scheduler's post-run check (see [`rapid_sched::schedhook`]).
+/// Idempotent; the compiler calls this as a side effect of its own
+/// verification gate.
 pub fn install() {
     rapid_qef::verifyhook::install(hook);
+    rapid_sched::schedhook::install(schedcheck::check_trace);
 }
 
 #[cfg(test)]
@@ -139,9 +149,10 @@ mod tests {
     }
 
     #[test]
-    fn install_is_idempotent_and_registers_the_hook() {
+    fn install_is_idempotent_and_registers_the_hooks() {
         install();
         install();
         assert!(rapid_qef::verifyhook::installed().is_some());
+        assert!(rapid_sched::schedhook::installed().is_some());
     }
 }
